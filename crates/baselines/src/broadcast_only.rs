@@ -1,0 +1,106 @@
+//! Broadcast-only baselines (the point-to-point network is never used).
+//!
+//! With the collision channel alone, computing an `n`-variate global
+//! sensitive function requires Ω(n) slots (Claim 3 of the paper): every input
+//! must at some point be the unique successful transmission, one per slot.
+//! Two schedulers are provided: a TDMA sweep over the id space and
+//! Capetanakis' splitting resolution over the actual participants.
+
+use channel_access::{capetanakis, election, Contender};
+use netsim_sim::CostAccount;
+
+/// Result of a broadcast-only global computation.
+#[derive(Clone, Debug)]
+pub struct BroadcastGlobalRun<T> {
+    /// The computed value (every station heard every successful slot).
+    pub value: T,
+    /// Measured slot usage.
+    pub cost: CostAccount,
+}
+
+/// Computes a global function over the channel alone using a TDMA schedule:
+/// station `i` transmits its input in slot `i`.  Takes exactly `id_space ≥ n`
+/// slots — the Θ(n) behaviour of the Ω(n) lower bound.
+pub fn global_function_tdma<T, F>(inputs: &[T], combine: F) -> BroadcastGlobalRun<T>
+where
+    T: Clone,
+    F: Fn(&T, &T) -> T,
+{
+    assert!(!inputs.is_empty(), "need at least one input");
+    let ids: Vec<u64> = (0..inputs.len() as u64).collect();
+    let (order, cost) = election::tdma_collect(&ids, inputs.len() as u64);
+    let mut value = inputs[order[0] as usize].clone();
+    for &id in &order[1..] {
+        value = combine(&value, &inputs[id as usize]);
+    }
+    BroadcastGlobalRun { value, cost }
+}
+
+/// Computes a global function over the channel alone, scheduling the stations
+/// with Capetanakis' tree resolution (useful when ids are sparse in a larger
+/// id space).  Still Ω(n) slots — every station needs its own success slot.
+pub fn global_function_capetanakis<T, F>(
+    inputs: &[(u64, T)],
+    id_space: u64,
+    combine: F,
+) -> BroadcastGlobalRun<T>
+where
+    T: Clone,
+    F: Fn(&T, &T) -> T,
+{
+    assert!(!inputs.is_empty(), "need at least one input");
+    let contenders: Vec<Contender> = inputs.iter().map(|&(id, _)| Contender::new(id)).collect();
+    let schedule = capetanakis::resolve(&contenders, id_space);
+    let lookup: std::collections::HashMap<u64, &T> =
+        inputs.iter().map(|(id, v)| (*id, v)).collect();
+    let mut value: Option<T> = None;
+    for id in &schedule.order {
+        let v = lookup[id];
+        value = Some(match value {
+            None => v.clone(),
+            Some(acc) => combine(&acc, v),
+        });
+    }
+    BroadcastGlobalRun {
+        value: value.expect("non-empty input"),
+        cost: schedule.cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tdma_sum_takes_n_slots() {
+        let inputs: Vec<u64> = (0..50).map(|i| i * 2).collect();
+        let run = global_function_tdma(&inputs, |a, b| a + b);
+        assert_eq!(run.value, inputs.iter().sum::<u64>());
+        assert_eq!(run.cost.rounds, 50);
+        assert_eq!(run.cost.slots_success, 50);
+    }
+
+    #[test]
+    fn capetanakis_min_over_sparse_ids() {
+        let inputs: Vec<(u64, u64)> = (0..40u64).map(|i| (i * 31 + 5, 500 - i)).collect();
+        let run = global_function_capetanakis(&inputs, 2048, |a, b| *a.min(b));
+        assert_eq!(run.value, 500 - 39);
+        // Ω(n): at least one slot per participant.
+        assert!(run.cost.rounds >= 40);
+    }
+
+    #[test]
+    fn broadcast_time_is_linear_in_n() {
+        for n in [64usize, 128, 256] {
+            let inputs: Vec<u64> = (0..n as u64).collect();
+            let run = global_function_tdma(&inputs, |a, b| a + b);
+            assert_eq!(run.cost.rounds, n as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_inputs_rejected() {
+        let _ = global_function_tdma::<u64, _>(&[], |a, b| a + b);
+    }
+}

@@ -1,0 +1,34 @@
+//! # baselines
+//!
+//! Single-medium comparators for the multimedia-network algorithms: what the
+//! same problems cost when only **one** of the two media is available.  These
+//! realise the comparisons behind Theorem 2 / Corollary 3 of the paper
+//! ("the multimedia network is more powerful than each of its parts"):
+//!
+//! * [`p2p`] — point-to-point only: BFS-tree + convergecast + broadcast for
+//!   global sensitive functions (Θ(diameter) time) and a Borůvka MST
+//!   baseline;
+//! * [`broadcast_only`] — collision channel only: TDMA / Capetanakis
+//!   scheduling of all `n` inputs (Θ(n) slots).
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{broadcast_only, p2p};
+//! use netsim_graph::{generators, NodeId};
+//!
+//! let g = generators::ring(32);
+//! let inputs: Vec<u64> = (0..32).collect();
+//! let p2p_run = p2p::global_function(&g, NodeId(0), &inputs, |a, b| a + b);
+//! let bc_run = broadcast_only::global_function_tdma(&inputs, |a, b| a + b);
+//! assert_eq!(p2p_run.value, bc_run.value);
+//! // Point-to-point pays the diameter, broadcast pays n.
+//! assert!(p2p_run.total_cost().rounds >= 16);
+//! assert_eq!(bc_run.cost.rounds, 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast_only;
+pub mod p2p;

@@ -1,0 +1,27 @@
+//! E1 — Criterion bench: deterministic partition (Section 3) across sizes.
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multimedia::partition::deterministic;
+use netsim_graph::generators::Family;
+use std::time::Duration;
+
+fn bench_det_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_det_partition");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    for n in [256usize, 1024, 4096] {
+        for fam in [Family::Grid, Family::Ring] {
+            let net = workload(fam, n, 42);
+            group.bench_with_input(BenchmarkId::new(fam.name(), n), &net, |b, net| {
+                b.iter(|| {
+                    let out = deterministic::partition(net);
+                    criterion::black_box(out.cost.rounds)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_det_partition);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E3 — Criterion bench: randomized partition (Section 4).
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multimedia::partition::randomized;
+use netsim_graph::generators::Family;
+use std::time::Duration;
+
+fn bench_rand_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_rand_partition");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    for n in [256usize, 1024, 4096] {
+        let net = workload(Family::RandomConnected, n, 7);
+        group.bench_with_input(BenchmarkId::new("random", n), &net, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = randomized::partition(net, seed);
+                criterion::black_box(out.outcome.forest.tree_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rand_partition);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E4 — Criterion bench: global sensitive functions, multimedia vs baselines.
+
+use baselines::{broadcast_only, p2p};
+use bench::workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multimedia::global_fn::{self, Sum};
+use netsim_graph::{generators::Family, NodeId};
+use std::time::Duration;
+
+fn bench_global_fn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_global_fn");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    for n in [256usize, 1024] {
+        let net = workload(Family::Ring, n, 9);
+        let inputs: Vec<Sum> = (0..net.node_count() as u64).map(Sum).collect();
+        let raw: Vec<u64> = (0..net.node_count() as u64).collect();
+        group.bench_with_input(BenchmarkId::new("multimedia_det", n), &net, |b, net| {
+            b.iter(|| criterion::black_box(global_fn::compute_deterministic(net, &inputs).value.0))
+        });
+        group.bench_with_input(BenchmarkId::new("p2p_only", n), &net, |b, net| {
+            b.iter(|| {
+                criterion::black_box(
+                    p2p::global_function(net.graph(), NodeId(0), &raw, |a, b| a + b).value,
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("broadcast_only", n), |b| {
+            b.iter(|| {
+                criterion::black_box(broadcast_only::global_function_tdma(&raw, |a, b| a + b).value)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_global_fn);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E5 — Criterion bench: distributed MST vs the point-to-point baseline and
+//! the sequential reference.
+
+use baselines::p2p;
+use bench::workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multimedia::mst;
+use netsim_graph::{generators::Family, mst as refmst};
+use std::time::Duration;
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_mst");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    for n in [256usize, 1024] {
+        let net = workload(Family::RandomConnected, n, 77);
+        group.bench_with_input(BenchmarkId::new("multimedia", n), &net, |b, net| {
+            b.iter(|| criterion::black_box(mst::minimum_spanning_tree(net).edges.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("p2p_boruvka", n), &net, |b, net| {
+            b.iter(|| criterion::black_box(p2p::boruvka_mst(net.graph()).edges.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("kruskal_reference", n), &net, |b, net| {
+            b.iter(|| criterion::black_box(refmst::kruskal(net.graph()).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst);
+criterion_main!(benches);

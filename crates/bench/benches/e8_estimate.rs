@@ -1,0 +1,32 @@
+//! E8 — Criterion bench: randomized network-size estimation (Section 7.4)
+//! and deterministic counting (Section 7.3).
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multimedia::size;
+use netsim_graph::generators::Family;
+use std::time::Duration;
+
+fn bench_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_size");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    for n in [1024usize, 4096] {
+        let net = workload(Family::Grid, n, 6);
+        group.bench_with_input(BenchmarkId::new("greenberg_ladner", n), &net, |b, net| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                criterion::black_box(size::randomized_estimate(net, seed).estimate)
+            })
+        });
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("deterministic_count", n), &net, |b, net| {
+                b.iter(|| criterion::black_box(size::deterministic_count(net).n))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size);
+criterion_main!(benches);

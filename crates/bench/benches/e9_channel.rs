@@ -1,0 +1,36 @@
+//! E9 — Criterion bench: channel-access substrate (Capetanakis, Metcalfe–Boggs,
+//! elections) as a function of the number of contenders.
+
+use channel_access::{backoff, capetanakis, election, Contender};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_channel");
+    group.sample_size(10).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    for k in [64u64, 512] {
+        let contenders: Vec<Contender> = (0..k).map(|i| Contender::new(i * 131 + 7)).collect();
+        let ids: Vec<u64> = contenders.iter().map(|c| c.id).collect();
+        group.bench_with_input(BenchmarkId::new("capetanakis", k), &contenders, |b, cs| {
+            b.iter(|| criterion::black_box(capetanakis::resolve(cs, 1 << 18).slots()))
+        });
+        group.bench_with_input(BenchmarkId::new("metcalfe_boggs", k), &contenders, |b, cs| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                criterion::black_box(backoff::resolve_known_count(cs, seed).unwrap().slots())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("willard_election", k), &ids, |b, ids| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                criterion::black_box(election::willard_election(ids, 18, seed).leader)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_channel);
+criterion_main!(benches);

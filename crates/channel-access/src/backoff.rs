@@ -1,0 +1,158 @@
+//! Randomized channel scheduling in the style of Metcalfe and Boggs (1976).
+//!
+//! When the number of contenders `k` is (approximately) known — as in the
+//! paper, where the partition gives an `O(√n)` estimate of the number of tree
+//! roots — each remaining contender transmits in every slot with probability
+//! `1/r`, where `r` is the number of still-unscheduled contenders.  The
+//! probability of a success in a slot is then `r·(1/r)·(1 − 1/r)^{r−1} ≥ 1/e`,
+//! so each contender is scheduled in `O(1)` expected slots and the whole set
+//! in `O(k)` expected slots — this is the randomized global-computation
+//! scheduling of Section 5.1.
+//!
+//! [`resolve_with_estimate`] uses a fixed estimate `k̂` instead of the exact
+//! remaining count, which is what a real system has; the expected number of
+//! slots stays `O(k)` as long as `k̂ = Θ(k)`.
+
+use crate::contention::{Contender, ScheduleResult};
+use netsim_sim::CostAccount;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum number of slots the resolution will attempt before giving up,
+/// expressed as a multiple of the contender count.  The Las-Vegas wrapper of
+/// the paper restarts the whole computation on failure; a generous cap keeps
+/// the failure probability negligible while guaranteeing termination.
+const SLOT_CAP_FACTOR: u64 = 64;
+
+/// Schedules every contender, letting each remaining station transmit with
+/// probability `1/remaining` per slot (the "exact knowledge" variant).
+///
+/// Returns `None` if the slot cap was exceeded (probability `≪ 2^{-k}`).
+pub fn resolve_known_count(contenders: &[Contender], seed: u64) -> Option<ScheduleResult> {
+    resolve_inner(contenders, seed, None)
+}
+
+/// Schedules every contender using a fixed estimate `k̂` of the contender
+/// count: every remaining station transmits with probability `min(1, 1/k̂)`.
+///
+/// Returns `None` if the slot cap was exceeded, which for `k̂ = Θ(k)` has
+/// negligible probability.
+pub fn resolve_with_estimate(
+    contenders: &[Contender],
+    estimate: u64,
+    seed: u64,
+) -> Option<ScheduleResult> {
+    resolve_inner(contenders, seed, Some(estimate.max(1)))
+}
+
+fn resolve_inner(
+    contenders: &[Contender],
+    seed: u64,
+    estimate: Option<u64>,
+) -> Option<ScheduleResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining: Vec<u64> = contenders.iter().map(|c| c.id).collect();
+    let mut order = Vec::with_capacity(remaining.len());
+    let mut cost = CostAccount::new();
+    if remaining.is_empty() {
+        cost.add_slot(0);
+        return Some(ScheduleResult { order, cost });
+    }
+    let cap = SLOT_CAP_FACTOR * (remaining.len() as u64 + 1);
+    while !remaining.is_empty() {
+        if cost.rounds >= cap {
+            return None;
+        }
+        let p = match estimate {
+            Some(k_hat) => 1.0 / k_hat as f64,
+            None => 1.0 / remaining.len() as f64,
+        }
+        .min(1.0);
+        let writers: Vec<u64> = remaining
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(p))
+            .collect();
+        cost.add_slot(writers.len() as u64);
+        if writers.len() == 1 {
+            let id = writers[0];
+            remaining.retain(|&x| x != id);
+            order.push(id);
+        }
+    }
+    Some(ScheduleResult { order, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::is_valid_schedule;
+
+    fn contenders(k: u64) -> Vec<Contender> {
+        (0..k).map(|i| Contender::new(i * 3 + 1)).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let r = resolve_known_count(&[], 1).unwrap();
+        assert!(r.order.is_empty());
+        let c = contenders(1);
+        let r = resolve_known_count(&c, 1).unwrap();
+        assert_eq!(r.order, vec![1]);
+        assert_eq!(r.cost.slots_success, 1);
+    }
+
+    #[test]
+    fn schedules_everyone_known_count() {
+        let c = contenders(40);
+        let r = resolve_known_count(&c, 7).unwrap();
+        assert!(is_valid_schedule(&c, &r));
+    }
+
+    #[test]
+    fn schedules_everyone_with_estimate() {
+        let c = contenders(40);
+        let r = resolve_with_estimate(&c, 40, 9).unwrap();
+        assert!(is_valid_schedule(&c, &r));
+        // Over-estimate by 2x still works.
+        let r = resolve_with_estimate(&c, 80, 9).unwrap();
+        assert!(is_valid_schedule(&c, &r));
+    }
+
+    #[test]
+    fn expected_constant_slots_per_contender() {
+        // Average over seeds: slots per contender should be far below the
+        // worst-case cap and in the ballpark of e ≈ 2.7.
+        let c = contenders(100);
+        let mut total_slots = 0;
+        let runs = 20;
+        for seed in 0..runs {
+            let r = resolve_known_count(&c, seed).unwrap();
+            total_slots += r.slots();
+        }
+        let per_contender = total_slots as f64 / (runs as f64 * 100.0);
+        assert!(
+            per_contender < 6.0,
+            "expected O(1) slots per contender, got {per_contender}"
+        );
+        assert!(per_contender > 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let c = contenders(25);
+        let a = resolve_known_count(&c, 123).unwrap();
+        let b = resolve_known_count(&c, 123).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn estimate_of_one_degenerates_but_terminates() {
+        // With k̂ = 1 everyone always transmits: only the last station can
+        // ever succeed alone, so this eventually hits the cap and reports None
+        // for k >= 2 — the Las-Vegas caller restarts.
+        let c = contenders(3);
+        let r = resolve_with_estimate(&c, 1, 5);
+        assert!(r.is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Capetanakis' tree (splitting) algorithm for packet broadcast channels
+//! (Capetanakis 1979).
+//!
+//! The algorithm resolves a conflict among an unknown subset of stations with
+//! ids drawn from a known id space `0..2^b` using only the ternary channel
+//! feedback.  The channel is probed with intervals of the id space: on a
+//! collision the interval is split in two and both halves are probed; on a
+//! success one station is scheduled; on idle the interval is discarded.
+//!
+//! For `k` contenders out of an id space of size `N = 2^b` the number of
+//! slots is `O(k·(1 + log(N/k)))` — for the paper's use (scheduling the
+//! `O(√n)` cores of the partition on the channel) this is the
+//! `O(√n·log n)` term in Sections 5 and 6.
+//!
+//! The implementation is a faithful *simulation* of the distributed process:
+//! in every probed slot each contender transmits iff its id lies in the
+//! probed interval (the interval sequence is a deterministic function of the
+//! feedback, so all stations can track it locally), and the resulting slot
+//! outcome drives the shared interval stack.
+
+use crate::contention::{Contender, ScheduleResult};
+use netsim_sim::CostAccount;
+
+/// Resolves the conflict among `contenders`, whose ids must be distinct and
+/// lie in `0..id_space`.
+///
+/// Returns the order in which stations were scheduled and the slot count.
+///
+/// # Panics
+///
+/// Panics if `id_space == 0`, if any id is `>= id_space`, or if two
+/// contenders share an id.
+pub fn resolve(contenders: &[Contender], id_space: u64) -> ScheduleResult {
+    assert!(id_space > 0, "id space must be non-empty");
+    let mut seen = std::collections::HashSet::new();
+    for c in contenders {
+        assert!(c.id < id_space, "contender id {} outside id space {id_space}", c.id);
+        assert!(seen.insert(c.id), "duplicate contender id {}", c.id);
+    }
+
+    let mut cost = CostAccount::new();
+    let mut order = Vec::new();
+    // Stack of half-open id intervals still to probe.  All stations can
+    // maintain this stack from the public feedback alone.
+    let mut stack: Vec<(u64, u64)> = vec![(0, id_space)];
+    while let Some((lo, hi)) = stack.pop() {
+        let writers: Vec<u64> = contenders
+            .iter()
+            .map(|c| c.id)
+            .filter(|&id| lo <= id && id < hi)
+            .collect();
+        cost.add_slot(writers.len() as u64);
+        match writers.len() {
+            0 => {}
+            1 => order.push(writers[0]),
+            _ => {
+                // Collision: split the interval.  `hi - lo >= 2` because ids
+                // are distinct, so both halves are non-empty ranges.
+                let mid = lo + (hi - lo) / 2;
+                // Probe lower half first (push upper first so lower pops first).
+                stack.push((mid, hi));
+                stack.push((lo, mid));
+            }
+        }
+    }
+    ScheduleResult { order, cost }
+}
+
+/// Upper bound on the number of slots [`resolve`] can take for `k` contenders
+/// in an id space of size `n`: the probe tree has at most
+/// `2k·(⌈log2(n/k)⌉ + 2)` internal probes.  Used by the paper's algorithms to
+/// pre-compute phase lengths ("run the resolution technique for `2^i`
+/// rounds").
+pub fn slot_bound(k: u64, id_space: u64) -> u64 {
+    if k == 0 {
+        return 1;
+    }
+    let ratio = (id_space.max(1) as f64 / k as f64).max(1.0);
+    let levels = ratio.log2().ceil() as u64 + 2;
+    2 * k * levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::is_valid_schedule;
+
+    fn contenders(ids: &[u64]) -> Vec<Contender> {
+        ids.iter().map(|&i| Contender::new(i)).collect()
+    }
+
+    #[test]
+    fn empty_set_takes_one_slot() {
+        let r = resolve(&[], 16);
+        assert!(r.order.is_empty());
+        assert_eq!(r.slots(), 1);
+        assert_eq!(r.cost.slots_idle, 1);
+    }
+
+    #[test]
+    fn single_contender_immediate_success() {
+        let c = contenders(&[5]);
+        let r = resolve(&c, 16);
+        assert_eq!(r.order, vec![5]);
+        assert_eq!(r.slots(), 1);
+        assert_eq!(r.cost.slots_success, 1);
+    }
+
+    #[test]
+    fn all_stations_get_scheduled() {
+        let c = contenders(&[0, 3, 5, 9, 12, 15]);
+        let r = resolve(&c, 16);
+        assert!(is_valid_schedule(&c, &r));
+        assert!(r.cost.slots_collision >= 1);
+    }
+
+    #[test]
+    fn order_is_by_id_for_binary_splitting() {
+        // Depth-first splitting probes lower halves first, so successes come
+        // out in ascending id order.
+        let c = contenders(&[9, 2, 14, 6]);
+        let r = resolve(&c, 16);
+        assert_eq!(r.order, vec![2, 6, 9, 14]);
+    }
+
+    #[test]
+    fn dense_conflict_within_bound() {
+        let ids: Vec<u64> = (0..64).collect();
+        let c = contenders(&ids);
+        let r = resolve(&c, 64);
+        assert!(is_valid_schedule(&c, &r));
+        assert!(r.slots() <= slot_bound(64, 64));
+        // Dense case: ~2k slots.
+        assert!(r.slots() <= 4 * 64);
+    }
+
+    #[test]
+    fn sparse_conflict_scales_with_k_log_n_over_k() {
+        let ids: Vec<u64> = (0..32).map(|i| i * 1024 + 7).collect();
+        let c = contenders(&ids);
+        let n = 32 * 1024;
+        let r = resolve(&c, n);
+        assert!(is_valid_schedule(&c, &r));
+        assert!(r.slots() <= slot_bound(32, n));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_ids_rejected() {
+        let c = contenders(&[1, 1]);
+        let _ = resolve(&c, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_id_rejected() {
+        let c = contenders(&[99]);
+        let _ = resolve(&c, 16);
+    }
+
+    #[test]
+    fn slot_bound_monotone_in_k() {
+        assert!(slot_bound(1, 1024) <= slot_bound(2, 1024));
+        assert!(slot_bound(0, 1024) == 1);
+        assert!(slot_bound(10, 10) >= 20);
+    }
+}

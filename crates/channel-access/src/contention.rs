@@ -1,0 +1,81 @@
+//! Common types for channel contention-resolution algorithms.
+//!
+//! All algorithms in this crate operate on the multiaccess channel **alone**:
+//! a set of *contenders* (for the paper, the cores of the partition's trees)
+//! wants to transmit, and the algorithm schedules them one per slot using
+//! only the ternary slot feedback (idle / success / collision).
+
+use netsim_sim::CostAccount;
+
+/// A station contending for the channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Contender {
+    /// The unique processor id used for deterministic splitting; the paper
+    /// assumes ids fit in `O(log n)` bits.
+    pub id: u64,
+}
+
+impl Contender {
+    /// Convenience constructor.
+    pub fn new(id: u64) -> Self {
+        Contender { id }
+    }
+}
+
+/// Outcome of a contention-resolution run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleResult {
+    /// Contender ids in the order their transmissions succeeded.
+    pub order: Vec<u64>,
+    /// Slots consumed (plus channel-write statistics).
+    pub cost: CostAccount,
+}
+
+impl ScheduleResult {
+    /// Number of successfully scheduled contenders.
+    pub fn scheduled(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Slots used by the resolution.
+    pub fn slots(&self) -> u64 {
+        self.cost.rounds
+    }
+}
+
+/// Validates a schedule: every contender appears exactly once.
+pub fn is_valid_schedule(contenders: &[Contender], result: &ScheduleResult) -> bool {
+    use std::collections::BTreeSet;
+    let expected: BTreeSet<u64> = contenders.iter().map(|c| c.id).collect();
+    let got: BTreeSet<u64> = result.order.iter().copied().collect();
+    expected == got && result.order.len() == contenders.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_validation() {
+        let contenders = vec![Contender::new(3), Contender::new(7)];
+        let ok = ScheduleResult {
+            order: vec![7, 3],
+            cost: CostAccount::new(),
+        };
+        assert!(is_valid_schedule(&contenders, &ok));
+        assert_eq!(ok.scheduled(), 2);
+        assert_eq!(ok.slots(), 0);
+
+        let missing = ScheduleResult {
+            order: vec![7],
+            cost: CostAccount::new(),
+        };
+        assert!(!is_valid_schedule(&contenders, &missing));
+
+        let duplicated = ScheduleResult {
+            order: vec![7, 7],
+            cost: CostAccount::new(),
+        };
+        assert!(!is_valid_schedule(&contenders, &duplicated));
+    }
+}

@@ -1,0 +1,224 @@
+//! Leader election on the multiaccess channel alone.
+//!
+//! Section 2 of the paper observes that, given the standard conflict
+//! resolution techniques, election can be solved **without the point-to-point
+//! network** either deterministically in `O(log n)` time — by comparing the
+//! ids bit by bit — or in `O(log log n)` expected time by random coin flips
+//! (Willard 1984).  Both are implemented here; they are used as the
+//! "broadcast-only" baseline and inside the network-size algorithms.
+
+use netsim_sim::CostAccount;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of an election run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElectionResult {
+    /// Id of the elected leader.
+    pub leader: u64,
+    /// Slot statistics of the run.
+    pub cost: CostAccount,
+}
+
+/// Deterministic election by bitwise id comparison.
+///
+/// The ids (each `< 2^bits`) are examined from the most significant bit down.
+/// In each slot, every still-active station whose current bit is 1 transmits.
+/// If the slot is busy (success or collision), stations whose bit is 0 drop
+/// out; otherwise everyone stays.  After `bits` slots exactly the station
+/// with the maximum id remains.  Takes exactly `bits = O(log n)` slots.
+///
+/// # Panics
+///
+/// Panics if `ids` is empty, if `bits` is 0 or greater than 63, if any id is
+/// out of range, or if ids are not distinct.
+pub fn bitwise_election(ids: &[u64], bits: u32) -> ElectionResult {
+    assert!(!ids.is_empty(), "cannot elect from an empty station set");
+    assert!(bits > 0 && bits <= 63, "bits must be in 1..=63");
+    let mut seen = std::collections::HashSet::new();
+    for &id in ids {
+        assert!(id < (1u64 << bits), "id {id} does not fit in {bits} bits");
+        assert!(seen.insert(id), "duplicate id {id}");
+    }
+
+    let mut active: Vec<u64> = ids.to_vec();
+    let mut cost = CostAccount::new();
+    for bit in (0..bits).rev() {
+        let writers = active.iter().filter(|&&id| (id >> bit) & 1 == 1).count() as u64;
+        cost.add_slot(writers);
+        if writers > 0 {
+            active.retain(|&id| (id >> bit) & 1 == 1);
+        }
+    }
+    debug_assert_eq!(active.len(), 1, "distinct ids leave a unique survivor");
+    ElectionResult {
+        leader: active[0],
+        cost,
+    }
+}
+
+/// Randomized election in expected `O(log log n)` slots, in the style of
+/// Willard (1984).
+///
+/// The stations share a known upper bound `2^bits` on their count.  The
+/// algorithm performs a binary search over the probability exponent
+/// `e ∈ [0, bits]`: in each probe every active station transmits with
+/// probability `2^{-e}`.  A collision means the probability is still too
+/// high (search the higher-exponent half), an idle slot means it is too low
+/// (search lower), and a success elects the unique transmitter.  The binary
+/// search uses `O(log bits) = O(log log n)` slots per sweep; if no success
+/// occurs the sweep repeats with fresh randomness (constant expected number
+/// of sweeps).
+///
+/// # Panics
+///
+/// Panics if `ids` is empty or `bits` is not in `1..=63`.
+pub fn willard_election(ids: &[u64], bits: u32, seed: u64) -> ElectionResult {
+    assert!(!ids.is_empty(), "cannot elect from an empty station set");
+    assert!(bits > 0 && bits <= 63, "bits must be in 1..=63");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cost = CostAccount::new();
+    loop {
+        let (mut lo, mut hi) = (0u32, bits);
+        loop {
+            let e = (lo + hi) / 2;
+            let p = 0.5f64.powi(e as i32);
+            let writers: Vec<u64> = ids.iter().copied().filter(|_| rng.gen_bool(p)).collect();
+            cost.add_slot(writers.len() as u64);
+            match writers.len() {
+                1 => {
+                    return ElectionResult {
+                        leader: writers[0],
+                        cost,
+                    }
+                }
+                0 => {
+                    // Too low a probability: search smaller exponents.
+                    if e == lo {
+                        break;
+                    }
+                    hi = e;
+                }
+                _ => {
+                    // Collision: too high a probability.
+                    if e + 1 > hi {
+                        break;
+                    }
+                    lo = e + 1;
+                }
+            }
+            if lo >= hi {
+                // One last probe at the boundary exponent.
+                let p = 0.5f64.powi(lo as i32);
+                let writers: Vec<u64> = ids.iter().copied().filter(|_| rng.gen_bool(p)).collect();
+                cost.add_slot(writers.len() as u64);
+                if writers.len() == 1 {
+                    return ElectionResult {
+                        leader: writers[0],
+                        cost,
+                    };
+                }
+                break;
+            }
+        }
+        // Defensive cap on pathological inputs (e.g. a single station whose
+        // coin keeps failing): fall back to a guaranteed-success probe.
+        if cost.rounds > 64 * (bits as u64 + 1) {
+            let writers: Vec<u64> = ids.to_vec();
+            cost.add_slot(writers.len() as u64);
+            if writers.len() == 1 {
+                return ElectionResult {
+                    leader: writers[0],
+                    cost,
+                };
+            }
+        }
+    }
+}
+
+/// Trivial TDMA schedule: every station in the id space gets one slot.
+/// Takes `id_space` slots regardless of how many stations are active; used as
+/// the naive broadcast-only baseline (`Θ(n)` time).
+pub fn tdma_collect(ids: &[u64], id_space: u64) -> (Vec<u64>, CostAccount) {
+    let mut cost = CostAccount::new();
+    let mut order = Vec::new();
+    let present: std::collections::HashSet<u64> = ids.iter().copied().collect();
+    for slot in 0..id_space {
+        let writes = u64::from(present.contains(&slot));
+        cost.add_slot(writes);
+        if writes == 1 {
+            order.push(slot);
+        }
+    }
+    (order, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwise_elects_maximum_id() {
+        let ids = vec![5, 9, 3, 12, 7];
+        let r = bitwise_election(&ids, 4);
+        assert_eq!(r.leader, 12);
+        assert_eq!(r.cost.rounds, 4);
+    }
+
+    #[test]
+    fn bitwise_single_station() {
+        let r = bitwise_election(&[0], 8);
+        assert_eq!(r.leader, 0);
+        assert_eq!(r.cost.rounds, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bitwise_rejects_duplicates() {
+        let _ = bitwise_election(&[3, 3], 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bitwise_rejects_empty() {
+        let _ = bitwise_election(&[], 4);
+    }
+
+    #[test]
+    fn willard_elects_some_station() {
+        let ids: Vec<u64> = (0..200).map(|i| i * 7 + 3).collect();
+        for seed in 0..10 {
+            let r = willard_election(&ids, 16, seed);
+            assert!(ids.contains(&r.leader));
+        }
+    }
+
+    #[test]
+    fn willard_is_fast_on_average() {
+        let ids: Vec<u64> = (0..1000).collect();
+        let mut total = 0;
+        let runs = 30;
+        for seed in 0..runs {
+            total += willard_election(&ids, 20, seed).cost.rounds;
+        }
+        let avg = total as f64 / runs as f64;
+        // O(log log n) ≈ 4-5 probes per sweep; allow generous slack but it
+        // must be far below the deterministic 20 slots.
+        assert!(avg < 15.0, "expected O(log log n) slots, got avg {avg}");
+    }
+
+    #[test]
+    fn willard_single_station() {
+        let r = willard_election(&[42], 10, 3);
+        assert_eq!(r.leader, 42);
+    }
+
+    #[test]
+    fn tdma_collects_in_id_order() {
+        let (order, cost) = tdma_collect(&[9, 2, 5], 16);
+        assert_eq!(order, vec![2, 5, 9]);
+        assert_eq!(cost.rounds, 16);
+        assert_eq!(cost.slots_success, 3);
+        assert_eq!(cost.slots_idle, 13);
+    }
+}

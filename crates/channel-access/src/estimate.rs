@@ -1,0 +1,128 @@
+//! Greenberg–Ladner (1983) randomized estimation of the number of active
+//! stations on a multiaccess channel.
+//!
+//! All active stations run rounds `i = 1, 2, …`; in round `i` each station
+//! independently transmits a busy tone with probability `2^{-i}`.  The
+//! procedure stops at the first **idle** slot, after `k` rounds, and every
+//! station outputs `2^k` as the estimate.  With high probability the estimate
+//! is within a constant factor of the true count.  Section 7.4 of the paper
+//! uses exactly this procedure to estimate `n` when it is not known a priori
+//! (and notes that the same coin flips can generate random ids).
+
+use netsim_sim::CostAccount;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one estimation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Estimate {
+    /// Number of busy rounds before the first idle slot.
+    pub rounds: u32,
+    /// The estimate `2^rounds`.
+    pub estimate: u64,
+    /// Slot statistics of the run.
+    pub cost: CostAccount,
+}
+
+/// Runs the Greenberg–Ladner estimation for `active` stations.
+///
+/// Returns the shared estimate `2^k`, where `k` is the number of rounds in
+/// which at least one station transmitted.  For `active == 0` the first slot
+/// is already idle and the estimate is `1` (i.e. `2^0`).
+pub fn estimate_station_count(active: u64, seed: u64) -> Estimate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cost = CostAccount::new();
+    let mut rounds = 0u32;
+    loop {
+        let p = 0.5f64.powi(rounds as i32 + 1);
+        let writers = (0..active).filter(|_| rng.gen_bool(p)).count() as u64;
+        cost.add_slot(writers);
+        if writers == 0 {
+            break;
+        }
+        rounds += 1;
+        // Defensive cap: for any realistic `active` the loop stops long before.
+        if rounds > 63 {
+            break;
+        }
+    }
+    Estimate {
+        rounds,
+        estimate: 1u64 << rounds.min(63),
+        cost,
+    }
+}
+
+/// Repeats the estimation `repeats` times (with derived seeds) and returns
+/// the median estimate, a standard variance-reduction wrapper.
+pub fn estimate_station_count_median(active: u64, repeats: usize, seed: u64) -> u64 {
+    assert!(repeats > 0, "need at least one repetition");
+    let mut estimates: Vec<u64> = (0..repeats)
+        .map(|i| estimate_station_count(active, seed.wrapping_add(i as u64 * 0x9e37)).estimate)
+        .collect();
+    estimates.sort_unstable();
+    estimates[estimates.len() / 2]
+}
+
+/// Generates `count` random ids of `bits` bits each (Section 7.4 notes that
+/// the same random bits can serve as ids when ids are not given).  Ids are
+/// not guaranteed unique; the caller may retry on collision detection.
+pub fn random_ids(count: usize, bits: u32, seed: u64) -> Vec<u64> {
+    assert!(bits > 0 && bits <= 63, "bits must be in 1..=63");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(0..(1u64 << bits))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_stations_gives_estimate_one() {
+        let e = estimate_station_count(0, 1);
+        assert_eq!(e.rounds, 0);
+        assert_eq!(e.estimate, 1);
+        assert_eq!(e.cost.rounds, 1);
+        assert_eq!(e.cost.slots_idle, 1);
+    }
+
+    #[test]
+    fn estimate_grows_with_station_count() {
+        // Median over repetitions should be within a reasonable constant
+        // factor of the true count.
+        for &n in &[8u64, 64, 512, 4096] {
+            let est = estimate_station_count_median(n, 31, n * 17 + 1);
+            let ratio = est as f64 / n as f64;
+            assert!(
+                (0.05..=20.0).contains(&ratio),
+                "estimate {est} too far from true count {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let e = estimate_station_count(1_000, 3);
+        // log2(1000) ≈ 10; allow slack but it must not be linear.
+        assert!(e.rounds <= 25, "rounds {} should be O(log n)", e.rounds);
+        assert!(e.cost.rounds as u32 == e.rounds + 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(estimate_station_count(100, 9), estimate_station_count(100, 9));
+    }
+
+    #[test]
+    fn random_ids_in_range() {
+        let ids = random_ids(100, 10, 4);
+        assert_eq!(ids.len(), 100);
+        assert!(ids.iter().all(|&x| x < 1024));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_repeats_rejected() {
+        let _ = estimate_station_count_median(10, 0, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # channel-access
+//!
+//! Conflict-resolution and estimation protocols for the **multiaccess
+//! channel** component of a multimedia network, as used by the paper
+//! *"The Power of Multimedia"* (Afek, Landau, Schieber, Yung):
+//!
+//! * [`capetanakis`] — the deterministic tree-splitting resolution
+//!   (Capetanakis 1979) used to schedule the `O(√n)` partition cores on the
+//!   channel in `O(√n·log n)` slots (Sections 5, 6 and 7.3);
+//! * [`backoff`] — randomized scheduling with a known contender estimate
+//!   (Metcalfe–Boggs 1976), `O(1)` expected slots per contender (Section 5.1);
+//! * [`estimate`] — the Greenberg–Ladner (1983) estimation of the number of
+//!   active stations (Section 7.4);
+//! * [`election`] — deterministic `O(log n)` bitwise election, randomized
+//!   `O(log log n)` expected-time election (Willard 1984) and a naive TDMA
+//!   baseline (Section 2's discussion of what the channel alone can do).
+//!
+//! All protocols work purely from the ternary slot feedback
+//! (idle / success / collision) and report their slot usage in a
+//! [`netsim_sim::CostAccount`].
+//!
+//! # Example
+//!
+//! ```
+//! use channel_access::{capetanakis, Contender};
+//!
+//! // Schedule 4 stations out of a 16-id space on the channel.
+//! let stations: Vec<Contender> = [2u64, 6, 9, 14].iter().map(|&i| Contender::new(i)).collect();
+//! let schedule = capetanakis::resolve(&stations, 16);
+//! assert_eq!(schedule.order, vec![2, 6, 9, 14]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod capetanakis;
+mod contention;
+pub mod election;
+pub mod estimate;
+
+pub use contention::{is_valid_schedule, Contender, ScheduleResult};

@@ -1,0 +1,346 @@
+//! Computing **global sensitive functions** on a multimedia network
+//! (Section 5.1 of the paper).
+//!
+//! A global sensitive function is an `n`-variate function over a commutative
+//! semigroup whose value cannot be determined from any `n − 1` of its inputs
+//! (e.g. sum, minimum, exclusive-or).  The paper computes such functions in
+//! two stages:
+//!
+//! * a **local stage** on the point-to-point network: each tree of the
+//!   partition aggregates its inputs up to its core with a
+//!   broadcast-and-respond (executed here as a genuine message-passing
+//!   protocol on the synchronous engine);
+//! * a **global stage** on the multiaccess channel: the `O(√n)` cores are
+//!   scheduled on the channel — deterministically with Capetanakis' tree
+//!   resolution or randomly with Metcalfe–Boggs — and broadcast their partial
+//!   results, which every node combines locally.
+//!
+//! The deterministic variant balances the two stages by stopping the
+//! partition earlier (fragments of size `√(n/(log n·log* n))`), giving
+//! `O(√(n·log n·log* n))` time; the randomized variant runs in expected
+//! `O(√n·log* n)` time.
+
+use crate::model::MultimediaNetwork;
+use crate::partition::{deterministic, randomized, PartitionOutcome};
+use channel_access::{backoff, capetanakis, Contender};
+use netsim_graph::{ceil_log2, log_star, NodeId, SpanningForest};
+use netsim_sim::{protocols::Convergecast, CostAccount, SyncEngine};
+
+/// A commutative semigroup element: the domain of a global sensitive function.
+///
+/// Implementations must be commutative and associative; the provided wrappers
+/// ([`Sum`], [`Min`], [`Max`], [`Xor`]) are the examples the paper lists.
+pub trait Semigroup: Clone {
+    /// The semigroup operation.
+    fn combine(&self, other: &Self) -> Self;
+}
+
+/// Addition over `u64` (wrapping, to stay total).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sum(pub u64);
+impl Semigroup for Sum {
+    fn combine(&self, other: &Self) -> Self {
+        Sum(self.0.wrapping_add(other.0))
+    }
+}
+
+/// Minimum over `u64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Min(pub u64);
+impl Semigroup for Min {
+    fn combine(&self, other: &Self) -> Self {
+        Min(self.0.min(other.0))
+    }
+}
+
+/// Maximum over `u64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Max(pub u64);
+impl Semigroup for Max {
+    fn combine(&self, other: &Self) -> Self {
+        Max(self.0.max(other.0))
+    }
+}
+
+/// Exclusive-or over `u64` (addition modulo two in every bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Xor(pub u64);
+impl Semigroup for Xor {
+    fn combine(&self, other: &Self) -> Self {
+        Xor(self.0 ^ other.0)
+    }
+}
+
+/// Result of a global-sensitive-function computation, with the per-stage cost
+/// breakdown the experiments report.
+#[derive(Clone, Debug)]
+pub struct GlobalFnRun<T> {
+    /// The function value, known to every node at the end.
+    pub value: T,
+    /// Number of trees (cores) produced by the partition stage.
+    pub tree_count: usize,
+    /// Cost of building the partition.
+    pub partition_cost: CostAccount,
+    /// Cost of the local (point-to-point) aggregation stage.
+    pub local_cost: CostAccount,
+    /// Cost of the global (channel) stage.
+    pub global_cost: CostAccount,
+}
+
+impl<T> GlobalFnRun<T> {
+    /// Total cost of all three stages.
+    pub fn total_cost(&self) -> CostAccount {
+        self.partition_cost + self.local_cost + self.global_cost
+    }
+}
+
+/// The partition level that balances the local and global stages of the
+/// deterministic algorithm (Section 5.1): fragments of size
+/// `√(n / (log n · log* n))`, hence `O(√(n·log n·log* n))` cores.
+pub fn balanced_target_level(net: &MultimediaNetwork) -> u32 {
+    let n = net.node_count().max(2) as f64;
+    let denom = (n.log2() * f64::from(log_star(net.node_count() as u64).max(1))).max(1.0);
+    let size = (n / denom).sqrt().max(1.0);
+    ceil_log2(size.ceil() as u64)
+}
+
+/// Runs the local stage: every tree of `forest` aggregates its members'
+/// inputs up to its core with a convergecast executed on the synchronous
+/// engine.  Returns the per-core partial values and the measured cost.
+pub fn local_aggregate<T: Semigroup>(
+    net: &MultimediaNetwork,
+    forest: &SpanningForest,
+    inputs: &[T],
+) -> (Vec<(NodeId, T)>, CostAccount) {
+    let g = net.graph();
+    assert_eq!(inputs.len(), g.node_count(), "one input per processor");
+    let mut engine = SyncEngine::new(g, |v| {
+        Convergecast::new(
+            forest.parent(v),
+            forest.children(v).len(),
+            inputs[v.index()].clone(),
+            |a: &T, b: &T| a.combine(b),
+        )
+    });
+    let limit = 4 * (forest.max_radius() as u64 + 2);
+    let outcome = engine.run(limit);
+    assert!(
+        outcome.is_completed(),
+        "convergecast must finish within O(radius) rounds"
+    );
+    let partials: Vec<(NodeId, T)> = forest
+        .roots()
+        .iter()
+        .map(|&r| (r, engine.node(r).result().clone()))
+        .collect();
+    (partials, *engine.cost())
+}
+
+fn combine_all<T: Semigroup>(partials: &[(NodeId, T)]) -> T {
+    let mut iter = partials.iter();
+    let first = iter.next().expect("at least one tree").1.clone();
+    iter.fold(first, |acc, (_, v)| acc.combine(v))
+}
+
+/// Deterministic computation of a global sensitive function
+/// (Section 5.1, deterministic variant).
+///
+/// Every processor contributes `inputs[v]`; the returned value is the
+/// semigroup product of all inputs and is known to every processor.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != n`, if `n == 0`, or if the graph is disconnected.
+pub fn compute_deterministic<T: Semigroup>(
+    net: &MultimediaNetwork,
+    inputs: &[T],
+) -> GlobalFnRun<T> {
+    assert!(net.node_count() > 0, "need at least one processor");
+    let partition = deterministic::partition_to_level(net, balanced_target_level(net));
+    compute_with_partition_deterministic(net, &partition, inputs)
+}
+
+/// Deterministic global computation on a pre-computed partition (useful when
+/// several functions are evaluated over the same forest).
+pub fn compute_with_partition_deterministic<T: Semigroup>(
+    net: &MultimediaNetwork,
+    partition: &PartitionOutcome,
+    inputs: &[T],
+) -> GlobalFnRun<T> {
+    let (partials, local_cost) = local_aggregate(net, &partition.forest, inputs);
+
+    // Global stage: schedule the cores with Capetanakis' tree resolution and
+    // broadcast one partial value per success slot.
+    let contenders: Vec<Contender> = partials
+        .iter()
+        .map(|&(r, _)| Contender::new(net.id_of(r)))
+        .collect();
+    let schedule = capetanakis::resolve(&contenders, net.id_space());
+    let value = combine_all(&partials);
+    GlobalFnRun {
+        value,
+        tree_count: partials.len(),
+        partition_cost: partition.cost,
+        local_cost,
+        global_cost: schedule.cost,
+    }
+}
+
+/// Randomized computation of a global sensitive function
+/// (Section 5.1, randomized variant): randomized partition (Las-Vegas form)
+/// plus Metcalfe–Boggs scheduling of the cores, expected `O(√n·log* n)` time.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != n`, if `n == 0`, or if the graph is disconnected.
+pub fn compute_randomized<T: Semigroup>(
+    net: &MultimediaNetwork,
+    inputs: &[T],
+    seed: u64,
+) -> GlobalFnRun<T> {
+    assert!(net.node_count() > 0, "need at least one processor");
+    let lv = randomized::partition_las_vegas(net, seed);
+    let partition = lv.outcome;
+    let (partials, local_cost) = local_aggregate(net, &partition.forest, inputs);
+
+    let contenders: Vec<Contender> = partials
+        .iter()
+        .map(|&(r, _)| Contender::new(net.id_of(r)))
+        .collect();
+    // The Las-Vegas partition guarantees at most 2√n cores, which is the
+    // estimate the Metcalfe–Boggs scheduling uses.
+    let estimate = (2.0 * (net.node_count() as f64).sqrt()).ceil() as u64 + 1;
+    let mut global_cost = CostAccount::new();
+    let mut attempt = 0u64;
+    let schedule = loop {
+        attempt += 1;
+        match backoff::resolve_with_estimate(&contenders, estimate, seed ^ (attempt * 0x5bd1)) {
+            Some(s) => break s,
+            None => global_cost.add_idle_rounds(1),
+        }
+    };
+    global_cost.absorb(&schedule.cost);
+
+    let value = combine_all(&partials);
+    GlobalFnRun {
+        value,
+        tree_count: partials.len(),
+        partition_cost: partition.cost,
+        local_cost,
+        global_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_graph::generators;
+
+    fn inputs_sum(n: usize) -> (Vec<Sum>, u64) {
+        let vals: Vec<Sum> = (0..n as u64).map(|i| Sum(i * 3 + 1)).collect();
+        let expect = vals.iter().map(|s| s.0).sum();
+        (vals, expect)
+    }
+
+    #[test]
+    fn semigroup_wrappers() {
+        assert_eq!(Sum(2).combine(&Sum(3)), Sum(5));
+        assert_eq!(Min(2).combine(&Min(3)), Min(2));
+        assert_eq!(Max(2).combine(&Max(3)), Max(3));
+        assert_eq!(Xor(0b1100).combine(&Xor(0b1010)), Xor(0b0110));
+    }
+
+    #[test]
+    fn deterministic_sum_on_families() {
+        for fam in [
+            generators::Family::Ring,
+            generators::Family::Grid,
+            generators::Family::RandomConnected,
+            generators::Family::Ray,
+        ] {
+            let g = fam.generate(120, 5);
+            let n = g.node_count();
+            let net = MultimediaNetwork::new(g);
+            let (vals, expect) = inputs_sum(n);
+            let run = compute_deterministic(&net, &vals);
+            assert_eq!(run.value.0, expect, "family {fam}");
+            assert!(run.tree_count >= 1);
+            assert!(run.total_cost().rounds > 0);
+        }
+    }
+
+    #[test]
+    fn randomized_min_matches_reference() {
+        let g = generators::Family::Torus.generate(100, 8);
+        let n = g.node_count();
+        let net = MultimediaNetwork::new(g);
+        let vals: Vec<Min> = (0..n as u64).map(|i| Min((i * 37 + 11) % 91 + 5)).collect();
+        let expect = vals.iter().map(|m| m.0).min().unwrap();
+        let run = compute_randomized(&net, &vals, 99);
+        assert_eq!(run.value.0, expect);
+    }
+
+    #[test]
+    fn xor_parity_on_ring() {
+        let g = generators::ring(64);
+        let net = MultimediaNetwork::new(g);
+        let vals: Vec<Xor> = (0..64u64).map(|i| Xor(i % 2)).collect();
+        let run = compute_deterministic(&net, &vals);
+        assert_eq!(run.value.0, 0); // 32 ones XORed = 0
+    }
+
+    #[test]
+    fn deterministic_time_beats_point_to_point_diameter_on_ring() {
+        // The "power of multimedia": on a ring the point-to-point-only lower
+        // bound is Ω(n), while the multimedia computation takes Õ(√n).
+        let n = 2500;
+        let g = generators::Family::Ring.generate(n, 1);
+        let net = MultimediaNetwork::new(g);
+        let (vals, expect) = inputs_sum(n);
+        let run = compute_deterministic(&net, &vals);
+        assert_eq!(run.value.0, expect);
+        let total = run.total_cost().rounds;
+        assert!(
+            total < (n as u64) / 2,
+            "multimedia time {total} should be well below the Ω(n/2) point-to-point bound"
+        );
+    }
+
+    #[test]
+    fn balanced_level_is_not_larger_than_full_level() {
+        let g = generators::Family::Grid.generate(1024, 2);
+        let net = MultimediaNetwork::new(g);
+        assert!(balanced_target_level(&net) <= net.target_level());
+        assert!(balanced_target_level(&net) >= 1);
+    }
+
+    #[test]
+    fn reusing_a_partition_for_many_functions() {
+        let g = generators::Family::RandomConnected.generate(150, 13);
+        let n = g.node_count();
+        let net = MultimediaNetwork::new(g);
+        let partition = deterministic::partition(&net);
+        let (sums, expect_sum) = inputs_sum(n);
+        let mins: Vec<Min> = (0..n as u64).map(|i| Min(1000 - i)).collect();
+        let s = compute_with_partition_deterministic(&net, &partition, &sums);
+        let m = compute_with_partition_deterministic(&net, &partition, &mins);
+        assert_eq!(s.value.0, expect_sum);
+        assert_eq!(m.value.0, 1000 - (n as u64 - 1));
+        assert_eq!(s.tree_count, m.tree_count);
+    }
+
+    #[test]
+    fn single_node_network() {
+        let net = MultimediaNetwork::new(generators::path(1));
+        let run = compute_deterministic(&net, &[Sum(7)]);
+        assert_eq!(run.value.0, 7);
+        assert_eq!(run.tree_count, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_length_rejected() {
+        let net = MultimediaNetwork::new(generators::ring(5));
+        let _ = compute_deterministic(&net, &[Sum(1), Sum(2)]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # multimedia
+//!
+//! The core algorithms of *"The Power of Multimedia: Combining Point-to-Point
+//! and Multiaccess Networks"* (Afek, Landau, Schieber, Yung; PODC 1988 /
+//! Information & Computation 1990), implemented over the `netsim-sim`
+//! multimedia-network simulator.
+//!
+//! A **multimedia network** connects `n` processors simultaneously by an
+//! arbitrary-topology point-to-point network and a slotted collision channel.
+//! The paper's programme is divide and conquer: partition the network into
+//! `O(√n)` trees of radius `O(√n)`, do *local* work in parallel over the
+//! point-to-point links, and combine the `O(√n)` partial results *globally*
+//! over the channel.  This crate provides:
+//!
+//! * [`MultimediaNetwork`] — the network handle (graph + processor ids);
+//! * [`partition`] — the deterministic (Section 3) and randomized
+//!   (Section 4) partitioning algorithms;
+//! * [`global_fn`] — computation of global sensitive functions (sum, min,
+//!   xor, …) in `Õ(√n)` time (Section 5.1);
+//! * [`lower_bounds`] — the Ω(d) / Ω(n) / Ω(min{d, √n}) bounds and the
+//!   ray-graph adversary workload (Section 5.2);
+//! * [`mst`] — the `O(√n·log n)`-time minimum spanning tree (Section 6);
+//! * [`synchronizer`] — the channel-based synchronizer that removes the
+//!   synchrony assumption (Section 7.1);
+//! * [`size`] — deterministic computation and randomized estimation of `n`
+//!   (Sections 7.3–7.4).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use multimedia::{global_fn::{self, Sum}, MultimediaNetwork};
+//! use netsim_graph::generators;
+//!
+//! // A 10×10 grid of processors, all attached to one collision channel.
+//! let net = MultimediaNetwork::new(generators::Family::Grid.generate(100, 7));
+//! let inputs: Vec<Sum> = (0..net.node_count() as u64).map(Sum).collect();
+//! let run = global_fn::compute_deterministic(&net, &inputs);
+//! assert_eq!(run.value.0, (0..100).sum::<u64>());
+//! // Time is Õ(√n) — far below the Ω(diameter) a point-to-point network needs.
+//! assert!(run.total_cost().rounds < 100 * 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod global_fn;
+pub mod lower_bounds;
+mod model;
+pub mod mst;
+pub mod partition;
+pub mod size;
+pub mod synchronizer;
+
+pub use model::MultimediaNetwork;
+pub use partition::PartitionOutcome;

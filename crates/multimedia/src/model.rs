@@ -1,0 +1,151 @@
+//! The multimedia network handle: the point-to-point graph plus the global
+//! parameters (processor ids, id width, √n) that the paper's algorithms use.
+
+use netsim_graph::{ceil_log2, Graph, NodeId};
+
+/// A multimedia network: `n` processors connected by an arbitrary-topology
+/// point-to-point graph **and** a shared slotted collision channel.
+///
+/// The channel itself carries no state between slots, so the handle only
+/// stores the graph and the processor ids.  The paper assumes that `n` is
+/// known to every processor and that ids are unique and fit in `O(log n)`
+/// bits; [`MultimediaNetwork::new`] uses the node indices as ids, and
+/// [`MultimediaNetwork::with_ids`] accepts an arbitrary sparse id assignment
+/// (used by the Section 7.3 size-computation experiments, whose running time
+/// depends on the id width).
+#[derive(Clone, Debug)]
+pub struct MultimediaNetwork {
+    graph: Graph,
+    ids: Vec<u64>,
+    id_bits: u32,
+}
+
+impl MultimediaNetwork {
+    /// Wraps a graph, assigning processor ids `0..n` (the dense default).
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.node_count() as u64;
+        let ids: Vec<u64> = (0..n).collect();
+        let id_bits = ceil_log2(n.max(2)).max(1);
+        MultimediaNetwork {
+            graph,
+            ids,
+            id_bits,
+        }
+    }
+
+    /// Wraps a graph with explicit distinct processor ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of ids differs from the node count or ids are not
+    /// distinct.
+    pub fn with_ids(graph: Graph, ids: Vec<u64>) -> Self {
+        assert_eq!(ids.len(), graph.node_count(), "one id per node");
+        let mut seen = std::collections::HashSet::new();
+        for &id in &ids {
+            assert!(seen.insert(id), "duplicate processor id {id}");
+        }
+        let max_id = ids.iter().copied().max().unwrap_or(1);
+        let id_bits = ceil_log2(max_id + 1).max(1);
+        MultimediaNetwork {
+            graph,
+            ids,
+            id_bits,
+        }
+    }
+
+    /// The point-to-point communication graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of processors `n`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of point-to-point links `m`.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Processor id of node `v`.
+    pub fn id_of(&self, v: NodeId) -> u64 {
+        self.ids[v.index()]
+    }
+
+    /// All processor ids, indexed by node.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Number of bits needed to represent the largest processor id.
+    pub fn id_bits(&self) -> u32 {
+        self.id_bits
+    }
+
+    /// Size of the id space, `2^id_bits`.
+    pub fn id_space(&self) -> u64 {
+        1u64 << self.id_bits.min(63)
+    }
+
+    /// `⌈√n⌉`, the balance point of the paper's two-stage algorithms.
+    pub fn sqrt_n(&self) -> u64 {
+        (self.node_count() as f64).sqrt().ceil() as u64
+    }
+
+    /// The target fragment level `⌈log₂ √n⌉` of the deterministic partition:
+    /// after the last phase every fragment has at least `2^level ≥ √n` nodes.
+    pub fn target_level(&self) -> u32 {
+        ceil_log2(self.sqrt_n().max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_graph::generators;
+
+    #[test]
+    fn default_ids_are_indices() {
+        let net = MultimediaNetwork::new(generators::ring(10));
+        assert_eq!(net.node_count(), 10);
+        assert_eq!(net.edge_count(), 10);
+        assert_eq!(net.id_of(NodeId(7)), 7);
+        assert_eq!(net.ids().len(), 10);
+        assert_eq!(net.id_bits(), 4);
+        assert_eq!(net.id_space(), 16);
+    }
+
+    #[test]
+    fn sqrt_and_target_level() {
+        let net = MultimediaNetwork::new(generators::ring(100));
+        assert_eq!(net.sqrt_n(), 10);
+        assert_eq!(net.target_level(), 4); // 2^4 = 16 ≥ 10
+        let tiny = MultimediaNetwork::new(generators::path(2));
+        assert_eq!(tiny.sqrt_n(), 2);
+        assert_eq!(tiny.target_level(), 1);
+    }
+
+    #[test]
+    fn custom_sparse_ids() {
+        let g = generators::path(4);
+        let net = MultimediaNetwork::with_ids(g, vec![100, 5, 999, 42]);
+        assert_eq!(net.id_of(NodeId(2)), 999);
+        assert_eq!(net.id_bits(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_ids_rejected() {
+        let g = generators::path(3);
+        let _ = MultimediaNetwork::with_ids(g, vec![1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_id_count_rejected() {
+        let g = generators::path(3);
+        let _ = MultimediaNetwork::with_ids(g, vec![1, 2]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Distributed minimum-spanning-tree construction on a multimedia network
+//! (Section 6 of the paper): `O(√n·log n)` time, `O(m + n·log n·log* n)`
+//! messages.
+//!
+//! The algorithm is a distributed implementation of Kruskal/Borůvka merging
+//! that uses the channel to make every merge decision *globally known*:
+//!
+//! 1. **Stage 1** — the deterministic partition of Section 3 produces the
+//!    *initial fragments* (MST subtrees of size ≥ √n, radius ≤ 8√n).
+//! 2. **Stage 2** — the cores of the initial fragments are scheduled on the
+//!    channel with Capetanakis' resolution (`O(√n·log n)` slots).
+//! 3. **Stage 3** — `O(log n)` phases: every initial fragment finds, over the
+//!    point-to-point network, its minimum-weight link leaving its *current*
+//!    fragment; the cores broadcast these candidates on the channel one per
+//!    slot (using the Stage-2 schedule), after which **every** node knows the
+//!    minimum outgoing link of every current fragment, adds those links to
+//!    the MST and merges the current fragments locally.
+
+use crate::model::MultimediaNetwork;
+use crate::partition::{deterministic, PartitionOutcome};
+use channel_access::{capetanakis, Contender};
+use netsim_graph::{EdgeId, NodeId, UnionFind};
+use netsim_sim::CostAccount;
+use std::collections::HashMap;
+
+/// Result of the distributed MST construction.
+#[derive(Clone, Debug)]
+pub struct MstRun {
+    /// The MST edges (exactly `n − 1` for a connected graph).
+    pub edges: Vec<EdgeId>,
+    /// Cost of Stage 1 (the deterministic partition).
+    pub partition_cost: CostAccount,
+    /// Cost of Stage 2 (channel scheduling of the cores).
+    pub schedule_cost: CostAccount,
+    /// Cost of Stage 3 (the merge phases).
+    pub merge_cost: CostAccount,
+    /// Number of merge phases executed in Stage 3.
+    pub phases: u32,
+    /// Number of initial fragments produced by Stage 1.
+    pub initial_fragments: usize,
+}
+
+impl MstRun {
+    /// Total cost over all three stages.
+    pub fn total_cost(&self) -> CostAccount {
+        self.partition_cost + self.schedule_cost + self.merge_cost
+    }
+}
+
+/// Builds the minimum spanning tree of the network.
+///
+/// # Panics
+///
+/// Panics if the graph is not connected (the MST is then undefined) or empty.
+pub fn minimum_spanning_tree(net: &MultimediaNetwork) -> MstRun {
+    let partition = deterministic::partition(net);
+    minimum_spanning_tree_from_partition(net, &partition)
+}
+
+/// Stage 2 and 3 of the MST algorithm, on a pre-computed Stage-1 partition.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or not connected.
+pub fn minimum_spanning_tree_from_partition(
+    net: &MultimediaNetwork,
+    partition: &PartitionOutcome,
+) -> MstRun {
+    let g = net.graph();
+    let n = g.node_count();
+    assert!(n > 0, "MST of an empty graph is undefined");
+    let forest = &partition.forest;
+    let cores: Vec<NodeId> = forest.roots().to_vec();
+    let core_index: HashMap<NodeId, usize> =
+        cores.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let init_of: Vec<usize> = g
+        .nodes()
+        .map(|v| core_index[&forest.root_of(v)])
+        .collect();
+
+    // The MST starts with the tree edges of the initial fragments
+    // (they are MST edges by property (1) of the partition).
+    let mut mst_edges: Vec<EdgeId> = forest.tree_edges(g);
+
+    // ---- Stage 2: schedule the cores on the channel. ----------------------
+    let contenders: Vec<Contender> = cores.iter().map(|&c| Contender::new(net.id_of(c))).collect();
+    let schedule = capetanakis::resolve(&contenders, net.id_space());
+    let schedule_cost = schedule.cost;
+
+    // ---- Stage 3, part 1: learn the initial fragment across every link. ---
+    let mut merge_cost = CostAccount::new();
+    merge_cost.add_messages(2 * g.edge_count() as u64);
+    merge_cost.add_idle_rounds(1);
+
+    // ---- Stage 3, part 2: Borůvka-style phases over current fragments. ----
+    // Current fragments are a union-find over the initial fragments; every
+    // node can maintain this locally because every merge decision is heard on
+    // the channel.
+    let mut current = UnionFind::new(cores.len());
+    let max_radius = u64::from(forest.max_radius());
+    let mut phases = 0u32;
+
+    while current.set_count() > 1 {
+        phases += 1;
+
+        // Step 1: every initial fragment finds its minimum-weight link whose
+        // other endpoint lies outside its *current* fragment (broadcast and
+        // respond over the initial fragment; no inter-fragment messages).
+        merge_cost.add_messages(2 * (n as u64 - cores.len() as u64));
+        merge_cost.add_idle_rounds(2 * max_radius + 1);
+        let mut candidate_of_init: Vec<Option<EdgeId>> = vec![None; cores.len()];
+        for v in g.nodes() {
+            let init_v = init_of[v.index()];
+            let cur_v = current.find(init_v);
+            for &(w, e) in g.neighbors(v) {
+                if current.find(init_of[w.index()]) == cur_v {
+                    continue;
+                }
+                let better = match candidate_of_init[init_v] {
+                    None => true,
+                    Some(b) => g.edge_key(e) < g.edge_key(b),
+                };
+                if better {
+                    candidate_of_init[init_v] = Some(e);
+                }
+                break; // adjacency is weight-sorted: first outgoing is minimal
+            }
+        }
+
+        // Step 2: the cores broadcast their candidates, one per slot, in the
+        // Stage-2 schedule order; every node now knows every candidate.
+        for (i, _) in cores.iter().enumerate() {
+            let _ = i;
+            merge_cost.add_slot(1);
+        }
+
+        // Every node locally computes the minimum outgoing link of every
+        // current fragment, adds it to the MST and merges.
+        let mut best_of_current: HashMap<usize, EdgeId> = HashMap::new();
+        for (init, cand) in candidate_of_init.iter().enumerate() {
+            let Some(e) = cand else { continue };
+            let cur = current.find(init);
+            best_of_current
+                .entry(cur)
+                .and_modify(|b| {
+                    if g.edge_key(*e) < g.edge_key(*b) {
+                        *b = *e;
+                    }
+                })
+                .or_insert(*e);
+        }
+        if best_of_current.is_empty() {
+            break; // disconnected remainder (cannot happen on connected graphs)
+        }
+        for (_, e) in best_of_current {
+            let edge = g.edge(e);
+            let a = current.find(init_of[edge.u.index()]);
+            let b = current.find(init_of[edge.v.index()]);
+            if current.union(a, b) {
+                mst_edges.push(e);
+            }
+        }
+    }
+
+    mst_edges.sort();
+    mst_edges.dedup();
+    MstRun {
+        edges: mst_edges,
+        partition_cost: partition.cost,
+        schedule_cost,
+        merge_cost,
+        phases,
+        initial_fragments: cores.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_graph::{generators, mst as refmst};
+
+    fn check(net: &MultimediaNetwork, run: &MstRun) {
+        let g = net.graph();
+        assert_eq!(run.edges.len(), g.node_count() - 1);
+        assert!(refmst::is_spanning_tree(g, &run.edges));
+        assert!(
+            refmst::is_minimum_spanning_tree(g, &run.edges),
+            "distributed MST must equal the unique reference MST"
+        );
+        assert!(run.initial_fragments >= 1);
+        assert!(run.total_cost().rounds > 0);
+    }
+
+    #[test]
+    fn mst_matches_kruskal_on_families() {
+        for fam in [
+            generators::Family::Ring,
+            generators::Family::Grid,
+            generators::Family::RandomConnected,
+            generators::Family::Complete,
+            generators::Family::Ray,
+            generators::Family::RandomTree,
+        ] {
+            let g = fam.generate(90, 21);
+            let net = MultimediaNetwork::new(g);
+            let run = minimum_spanning_tree(&net);
+            check(&net, &run);
+        }
+    }
+
+    #[test]
+    fn mst_on_many_random_seeds() {
+        for seed in 0..8 {
+            let g = generators::random_connected(60, 0.1, seed);
+            let g = generators::assign_random_weights(&g, seed + 500);
+            let net = MultimediaNetwork::new(g);
+            let run = minimum_spanning_tree(&net);
+            check(&net, &run);
+        }
+    }
+
+    #[test]
+    fn phase_count_is_logarithmic() {
+        let g = generators::Family::Grid.generate(400, 3);
+        let net = MultimediaNetwork::new(g);
+        let run = minimum_spanning_tree(&net);
+        check(&net, &run);
+        // At most ⌈log2(initial fragments)⌉ + 1 phases.
+        let bound = netsim_graph::ceil_log2(run.initial_fragments as u64) + 1;
+        assert!(
+            run.phases <= bound,
+            "phases {} exceed log bound {bound}",
+            run.phases
+        );
+    }
+
+    #[test]
+    fn time_is_order_sqrt_n_log_n() {
+        // Section 6 claims O(√n·log n) time.  (The constant is sizeable, so
+        // the crossover against the Ω(n) point-to-point bound happens at
+        // larger n than a unit test can simulate; experiment E5 sweeps n and
+        // reports the growth exponent.)
+        let n = 1600;
+        let g = generators::Family::Ring.generate(n, 4);
+        let net = MultimediaNetwork::new(g);
+        let run = minimum_spanning_tree(&net);
+        check(&net, &run);
+        let bound = 40.0 * (n as f64).sqrt() * (n as f64).log2();
+        assert!(
+            (run.total_cost().rounds as f64) < bound,
+            "multimedia MST time {} exceeds O(√n log n) bound {bound}",
+            run.total_cost().rounds
+        );
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        for n in 2..=5 {
+            let g = generators::path(n);
+            let net = MultimediaNetwork::new(g);
+            let run = minimum_spanning_tree(&net);
+            assert_eq!(run.edges.len(), n - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_graph_rejected() {
+        let net = MultimediaNetwork::new(netsim_graph::GraphBuilder::new(0).build());
+        let _ = minimum_spanning_tree(&net);
+    }
+}

@@ -1,0 +1,206 @@
+//! Book-keeping for fragment forests during partition construction.
+//!
+//! A *fragment* is a rooted subtree of the (eventual) spanning forest; its
+//! root is called the **core**.  Both partitioning algorithms and the MST
+//! algorithm of Section 6 maintain, for every node, its tree parent and the
+//! core of the fragment it currently belongs to; this module derives the
+//! per-fragment views (members, sizes, depths, radii) needed for cost
+//! accounting and for the algorithms' own decisions.
+
+use netsim_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// A snapshot of the current fragment structure.
+#[derive(Clone, Debug)]
+pub(crate) struct Fragments {
+    /// Cores, in ascending node order (one per fragment).
+    pub cores: Vec<NodeId>,
+    /// `members[core]` = nodes of that fragment (ascending).
+    pub members: HashMap<NodeId, Vec<NodeId>>,
+    /// Depth of every node below its core.
+    #[allow(dead_code)] // read by the verification tests and future consumers
+    pub depth: Vec<u32>,
+    /// Radius (maximum member depth) per core.
+    pub radius: HashMap<NodeId, u32>,
+}
+
+impl Fragments {
+    /// Derives the snapshot from parent pointers and core labels.
+    ///
+    /// `parent[v]` must stay within `v`'s fragment and `core[v]` must be the
+    /// root reached by following parents; both invariants are maintained by
+    /// the partition algorithms and asserted here in debug builds.
+    pub(crate) fn gather(g: &Graph, parent: &[Option<NodeId>], core: &[NodeId]) -> Self {
+        let n = g.node_count();
+        debug_assert_eq!(parent.len(), n);
+        debug_assert_eq!(core.len(), n);
+
+        let mut members: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for v in g.nodes() {
+            members.entry(core[v.index()]).or_default().push(v);
+        }
+        let mut cores: Vec<NodeId> = members.keys().copied().collect();
+        cores.sort();
+
+        // Children adjacency for depth computation.
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for v in g.nodes() {
+            if let Some(p) = parent[v.index()] {
+                debug_assert_eq!(core[p.index()], core[v.index()], "parents stay in-fragment");
+                children[p.index()].push(v);
+            } else {
+                debug_assert_eq!(core[v.index()], v, "roots are their own core");
+            }
+        }
+        let mut depth = vec![0u32; n];
+        let mut radius: HashMap<NodeId, u32> = HashMap::new();
+        for &c in &cores {
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back((c, 0u32));
+            let mut r = 0;
+            while let Some((v, d)) = queue.pop_front() {
+                depth[v.index()] = d;
+                r = r.max(d);
+                for &ch in &children[v.index()] {
+                    queue.push_back((ch, d + 1));
+                }
+            }
+            radius.insert(c, r);
+        }
+        Fragments {
+            cores,
+            members,
+            depth,
+            radius,
+        }
+    }
+
+    /// Number of fragments.
+    pub(crate) fn count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Size of the fragment rooted at `core`.
+    pub(crate) fn size(&self, core: NodeId) -> usize {
+        self.members.get(&core).map_or(0, Vec::len)
+    }
+
+    /// Level of the fragment rooted at `core`: `⌊log₂ size⌋`.
+    pub(crate) fn level(&self, core: NodeId) -> u32 {
+        let s = self.size(core).max(1) as u64;
+        63 - s.leading_zeros() as u32 + if s.is_power_of_two() { 0 } else { 0 }
+    }
+
+    /// Radius of the fragment rooted at `core`.
+    pub(crate) fn radius(&self, core: NodeId) -> u32 {
+        self.radius.get(&core).copied().unwrap_or(0)
+    }
+
+    /// Maximum radius over all fragments (0 if there are none).
+    pub(crate) fn max_radius(&self) -> u32 {
+        self.radius.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Re-roots the fragment tree containing `new_root` at `new_root` by
+/// reversing the parent pointers along the path from `new_root` to the old
+/// core.  Used when a fragment is merged into another one through one of its
+/// non-core nodes (Step 6 of the deterministic partition, and GHS-style
+/// merging in general).
+pub(crate) fn reroot_at(parent: &mut [Option<NodeId>], new_root: NodeId) {
+    let mut chain = vec![new_root];
+    let mut cur = new_root;
+    while let Some(p) = parent[cur.index()] {
+        chain.push(p);
+        cur = p;
+    }
+    // Reverse pointers: chain[j+1]'s parent becomes chain[j].
+    for w in chain.windows(2) {
+        parent[w[1].index()] = Some(w[0]);
+    }
+    parent[new_root.index()] = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_graph::generators;
+
+    #[test]
+    fn gather_singletons() {
+        let g = generators::ring(5);
+        let parent = vec![None; 5];
+        let core: Vec<NodeId> = g.nodes().collect();
+        let f = Fragments::gather(&g, &parent, &core);
+        assert_eq!(f.count(), 5);
+        assert_eq!(f.max_radius(), 0);
+        for v in g.nodes() {
+            assert_eq!(f.size(v), 1);
+            assert_eq!(f.level(v), 0);
+        }
+    }
+
+    #[test]
+    fn gather_two_fragments_on_path() {
+        let g = generators::path(6);
+        // {0,1,2} rooted at 0; {3,4,5} rooted at 5.
+        let parent = vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(4)),
+            Some(NodeId(5)),
+            None,
+        ];
+        let core = vec![
+            NodeId(0),
+            NodeId(0),
+            NodeId(0),
+            NodeId(5),
+            NodeId(5),
+            NodeId(5),
+        ];
+        let f = Fragments::gather(&g, &parent, &core);
+        assert_eq!(f.count(), 2);
+        assert_eq!(f.cores, vec![NodeId(0), NodeId(5)]);
+        assert_eq!(f.size(NodeId(0)), 3);
+        assert_eq!(f.radius(NodeId(0)), 2);
+        assert_eq!(f.radius(NodeId(5)), 2);
+        assert_eq!(f.level(NodeId(0)), 1);
+        assert_eq!(f.depth[2], 2);
+        assert_eq!(f.max_radius(), 2);
+    }
+
+    #[test]
+    fn level_is_floor_log2() {
+        let g = generators::path(9);
+        let mut parent = vec![None; 9];
+        let mut core = vec![NodeId(0); 9];
+        for i in 1..9 {
+            parent[i] = Some(NodeId(i - 1));
+        }
+        for c in core.iter_mut() {
+            *c = NodeId(0);
+        }
+        let f = Fragments::gather(&g, &parent, &core);
+        assert_eq!(f.level(NodeId(0)), 3); // floor(log2 9) = 3
+    }
+
+    #[test]
+    fn reroot_reverses_path() {
+        // Path fragment 0 <- 1 <- 2 <- 3 (core 0); re-root at 3.
+        let mut parent = vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))];
+        reroot_at(&mut parent, NodeId(3));
+        assert_eq!(parent[3], None);
+        assert_eq!(parent[2], Some(NodeId(3)));
+        assert_eq!(parent[1], Some(NodeId(2)));
+        assert_eq!(parent[0], Some(NodeId(1)));
+    }
+
+    #[test]
+    fn reroot_at_existing_root_is_noop() {
+        let mut parent = vec![None, Some(NodeId(0))];
+        reroot_at(&mut parent, NodeId(0));
+        assert_eq!(parent, vec![None, Some(NodeId(0))]);
+    }
+}

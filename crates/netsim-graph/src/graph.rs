@@ -1,0 +1,492 @@
+//! Undirected graph representation used by every other crate in the workspace.
+//!
+//! The graph models the point-to-point component of a multimedia network:
+//! an arbitrary-topology undirected communication graph `G = (V, E)` with
+//! `n = |V|` processors and `m = |E|` bidirectional links.  Links may carry
+//! distinct weights (required by the minimum-spanning-tree algorithms of the
+//! paper, Sections 3 and 6).
+
+use std::fmt;
+
+/// Identifier of a node (processor) in the network.
+///
+/// Node identifiers are dense indices in `0..n`.  The *processor id* used by
+/// the algorithms for symmetry breaking (which the paper assumes to be unique
+/// and representable in `O(log n)` bits) is carried separately by the
+/// simulator so that anonymous or sparse id spaces can be modelled; for the
+/// graph substrate the dense index is sufficient.
+///
+/// # Examples
+///
+/// ```
+/// use netsim_graph::NodeId;
+/// let v = NodeId(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+/// Identifier of an undirected edge (link).  Edges are indexed densely in
+/// `0..m` in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// Returns the dense index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(value: usize) -> Self {
+        EdgeId(value)
+    }
+}
+
+/// Link weight.
+///
+/// The paper assumes (w.l.o.g.) that link weights are distinct; ties are
+/// broken lexicographically by `(weight, edge id)` exactly as in Gallager,
+/// Humblet and Spira (1983).  [`Weight`] keeps the raw `u64` weight; the
+/// tie-broken total order is provided by [`Graph::edge_key`].
+pub type Weight = u64;
+
+/// An undirected edge record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Link weight (used by the MST algorithms; `0` when unweighted).
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Given one endpoint of the edge, returns the other one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of the edge.
+    #[inline]
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("node {x:?} is not an endpoint of edge {self:?}");
+        }
+    }
+
+    /// Returns `true` if `x` is one of the endpoints.
+    #[inline]
+    pub fn touches(&self, x: NodeId) -> bool {
+        self.u == x || self.v == x
+    }
+}
+
+/// An undirected graph with weighted edges and adjacency lists.
+///
+/// The structure is immutable once built (see [`GraphBuilder`](crate::GraphBuilder));
+/// all algorithm state lives outside the graph, which lets many simulated
+/// processors share one `&Graph`.
+///
+/// # Examples
+///
+/// ```
+/// use netsim_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1), 5);
+/// b.add_edge(NodeId(1), NodeId(2), 2);
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    edges: Vec<Edge>,
+    /// adjacency[v] = list of (neighbor, edge id), sorted by ascending edge
+    /// key so that "scan the ordered list of links and choose the first
+    /// outgoing one" (Step 2 of the deterministic partition) is a simple
+    /// linear scan.
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(n: usize, edges: Vec<Edge>) -> Self {
+        let mut adjacency = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            adjacency[e.u.index()].push((e.v, EdgeId(i)));
+            adjacency[e.v.index()].push((e.u, EdgeId(i)));
+        }
+        let mut g = Graph { edges, adjacency };
+        // Sort each adjacency list by the globally consistent edge key so that
+        // all algorithms observe the same (weight, id) order.
+        let keys: Vec<(Weight, usize)> = g
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.weight, i))
+            .collect();
+        for list in &mut g.adjacency {
+            list.sort_by_key(|&(_, eid)| keys[eid.index()]);
+        }
+        g
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Iterator over all edge ids `0..m`.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edge_count()).map(EdgeId)
+    }
+
+    /// Iterator over all edge records.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter()
+    }
+
+    /// Returns the edge record for `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// Returns the edge record for `e` if it exists.
+    #[inline]
+    pub fn get_edge(&self, e: EdgeId) -> Option<&Edge> {
+        self.edges.get(e.index())
+    }
+
+    /// Weight of edge `e`.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> Weight {
+        self.edges[e.index()].weight
+    }
+
+    /// The tie-broken total order key of edge `e`: `(weight, edge index)`.
+    ///
+    /// The paper assumes distinct weights w.l.o.g.; using the edge index as a
+    /// tiebreaker realises that assumption for arbitrary inputs, exactly as in
+    /// Gallager–Humblet–Spira.
+    #[inline]
+    pub fn edge_key(&self, e: EdgeId) -> (Weight, usize) {
+        (self.edges[e.index()].weight, e.index())
+    }
+
+    /// Degree (number of incident links) of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// Neighbours of `v` with the connecting edge id, in ascending edge-key order.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Looks up the edge between `u` and `v`, if any.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.adjacency[u.index()]
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, e)| e)
+    }
+
+    /// Returns `true` when `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u128 {
+        self.edges.iter().map(|e| e.weight as u128).sum()
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Returns a copy of the graph with every weight replaced by the given
+    /// function of the edge id and current weight.
+    ///
+    /// Useful for re-randomising weights over the same topology.
+    pub fn map_weights<F: FnMut(EdgeId, Weight) -> Weight>(&self, mut f: F) -> Graph {
+        let edges = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Edge {
+                u: e.u,
+                v: e.v,
+                weight: f(EdgeId(i), e.weight),
+            })
+            .collect();
+        Graph::from_parts(self.node_count(), edges)
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Parallel edges and self loops are rejected, matching the communication
+/// graph model of the paper (at most one link between any pair of nodes).
+///
+/// # Examples
+///
+/// ```
+/// use netsim_graph::{GraphBuilder, NodeId};
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(NodeId(0), NodeId(1), 1);
+/// b.add_edge(NodeId(1), NodeId(2), 7);
+/// b.add_edge(NodeId(2), NodeId(3), 3);
+/// let g = b.build();
+/// assert!(g.has_edge(NodeId(2), NodeId(1)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    seen: std::collections::HashSet<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected weighted edge.  Returns the new edge's id, or
+    /// `None` if the edge is a self loop, a duplicate, or out of range.
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> Option<EdgeId> {
+        if u == v || u.index() >= self.n || v.index() >= self.n {
+            return None;
+        }
+        let key = (u.index().min(v.index()), u.index().max(v.index()));
+        if !self.seen.insert(key) {
+            return None;
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { u, v, weight });
+        Some(id)
+    }
+
+    /// Adds an undirected weighted edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self loops, duplicate edges, or endpoints out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> EdgeId {
+        self.try_add_edge(u, v, weight)
+            .unwrap_or_else(|| panic!("invalid or duplicate edge ({u:?}, {v:?})"))
+    }
+
+    /// Returns `true` if the edge `{u, v}` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = (u.index().min(v.index()), u.index().max(v.index()));
+        self.seen.contains(&key)
+    }
+
+    /// Finalises the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph::from_parts(self.n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 3);
+        b.add_edge(NodeId(1), NodeId(2), 1);
+        b.add_edge(NodeId(2), NodeId(0), 2);
+        b.build()
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.nodes().count(), 3);
+        assert_eq!(g.edge_ids().count(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.total_weight(), 0);
+    }
+
+    #[test]
+    fn adjacency_sorted_by_weight() {
+        let g = triangle();
+        // Node 0 is incident to weight-3 (edge 0) and weight-2 (edge 2) links;
+        // the lighter link must come first in the ordered adjacency list.
+        let nbrs = g.neighbors(NodeId(0));
+        assert_eq!(g.weight(nbrs[0].1), 2);
+        assert_eq!(g.weight(nbrs[1].1), 3);
+    }
+
+    #[test]
+    fn degrees_and_lookup() {
+        let g = triangle();
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(2), NodeId(0)));
+        let e = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(g.weight(e), 1);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let e = g.edge(EdgeId(0));
+        assert_eq!(e.other(NodeId(0)), NodeId(1));
+        assert_eq!(e.other(NodeId(1)), NodeId(0));
+        assert!(e.touches(NodeId(0)));
+        assert!(!e.touches(NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_other_panics_for_non_endpoint() {
+        let g = triangle();
+        let _ = g.edge(EdgeId(0)).other(NodeId(2));
+    }
+
+    #[test]
+    fn builder_rejects_self_loop_and_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.try_add_edge(NodeId(0), NodeId(0), 1).is_none());
+        assert!(b.try_add_edge(NodeId(0), NodeId(1), 1).is_some());
+        assert!(b.try_add_edge(NodeId(1), NodeId(0), 9).is_none());
+        assert!(b.try_add_edge(NodeId(0), NodeId(7), 1).is_none());
+        assert!(b.has_edge(NodeId(1), NodeId(0)));
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_key_breaks_ties_by_index() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 5);
+        b.add_edge(NodeId(1), NodeId(2), 5);
+        let g = b.build();
+        assert!(g.edge_key(EdgeId(0)) < g.edge_key(EdgeId(1)));
+    }
+
+    #[test]
+    fn map_weights_preserves_topology() {
+        let g = triangle();
+        let g2 = g.map_weights(|_, w| w * 10);
+        assert_eq!(g2.node_count(), 3);
+        assert_eq!(g2.edge_count(), 3);
+        assert_eq!(g2.total_weight(), 60);
+        assert!(g2.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn total_weight_and_max_degree() {
+        let g = triangle();
+        assert_eq!(g.total_weight(), 6);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn display_and_debug_formats() {
+        assert_eq!(format!("{}", NodeId(4)), "v4");
+        assert_eq!(format!("{:?}", EdgeId(2)), "e2");
+        assert_eq!(NodeId::from(7usize), NodeId(7));
+        assert_eq!(EdgeId::from(7usize), EdgeId(7));
+    }
+}

@@ -1,0 +1,214 @@
+//! Reference (sequential) minimum-spanning-tree algorithms and MST verification.
+//!
+//! The distributed MST of the paper (Section 6) is implemented in the
+//! `multimedia` crate; this module provides the ground truth it is checked
+//! against, plus the "is this forest a sub-forest of the MST?" predicate used
+//! by the partition verifier (the deterministic partition of Section 3 must
+//! produce MST subtrees).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::union_find::UnionFind;
+use std::collections::BinaryHeap;
+
+/// Computes the minimum spanning tree (or forest, for disconnected graphs)
+/// with Kruskal's algorithm.  Ties are broken by edge id ([`Graph::edge_key`]),
+/// which makes the MST unique and identical to the one the distributed
+/// algorithms converge to.
+///
+/// Returns the edge ids of the MST in ascending key order.
+pub fn kruskal(g: &Graph) -> Vec<EdgeId> {
+    let mut order: Vec<EdgeId> = g.edge_ids().collect();
+    order.sort_by_key(|&e| g.edge_key(e));
+    let mut uf = UnionFind::new(g.node_count());
+    let mut tree = Vec::new();
+    for e in order {
+        let edge = g.edge(e);
+        if uf.union(edge.u.index(), edge.v.index()) {
+            tree.push(e);
+        }
+    }
+    tree
+}
+
+/// Computes the minimum spanning tree with Prim's algorithm starting from
+/// `root` (only the component containing `root` is spanned).
+pub fn prim(g: &Graph, root: NodeId) -> Vec<EdgeId> {
+    assert!(root.index() < g.node_count(), "root out of range");
+    let n = g.node_count();
+    let mut in_tree = vec![false; n];
+    let mut tree = Vec::new();
+    // Max-heap on Reverse(key).
+    let mut heap: BinaryHeap<std::cmp::Reverse<((u64, usize), EdgeId, NodeId)>> = BinaryHeap::new();
+    in_tree[root.index()] = true;
+    for &(v, e) in g.neighbors(root) {
+        heap.push(std::cmp::Reverse((g.edge_key(e), e, v)));
+    }
+    while let Some(std::cmp::Reverse((_, e, v))) = heap.pop() {
+        if in_tree[v.index()] {
+            continue;
+        }
+        in_tree[v.index()] = true;
+        tree.push(e);
+        for &(w, e2) in g.neighbors(v) {
+            if !in_tree[w.index()] {
+                heap.push(std::cmp::Reverse((g.edge_key(e2), e2, w)));
+            }
+        }
+    }
+    tree
+}
+
+/// Total weight of a set of edges.
+pub fn weight_of(g: &Graph, edges: &[EdgeId]) -> u128 {
+    edges.iter().map(|&e| g.weight(e) as u128).sum()
+}
+
+/// Returns `true` when `edges` forms a spanning tree of a **connected** graph
+/// `g`: exactly `n - 1` edges, no cycles, touching every node.
+pub fn is_spanning_tree(g: &Graph, edges: &[EdgeId]) -> bool {
+    let n = g.node_count();
+    if n == 0 {
+        return edges.is_empty();
+    }
+    if edges.len() != n - 1 {
+        return false;
+    }
+    let mut uf = UnionFind::new(n);
+    for &e in edges {
+        let edge = g.edge(e);
+        if !uf.union(edge.u.index(), edge.v.index()) {
+            return false; // cycle
+        }
+    }
+    uf.set_count() == 1
+}
+
+/// Returns `true` when `edges` is exactly the unique (tie-broken) MST of `g`.
+pub fn is_minimum_spanning_tree(g: &Graph, edges: &[EdgeId]) -> bool {
+    let mut reference: Vec<EdgeId> = kruskal(g);
+    let mut candidate: Vec<EdgeId> = edges.to_vec();
+    reference.sort();
+    candidate.sort();
+    reference == candidate
+}
+
+/// Returns `true` when every edge in `edges` belongs to the unique MST of `g`
+/// (i.e. the edge set is a *sub-forest of the MST*, the invariant required of
+/// the deterministic partition of Section 3).
+pub fn is_mst_subforest(g: &Graph, edges: &[EdgeId]) -> bool {
+    let mst: std::collections::HashSet<EdgeId> = kruskal(g).into_iter().collect();
+    edges.iter().all(|e| mst.contains(e))
+}
+
+/// The minimum-weight outgoing edge of a node set: the lightest edge with
+/// exactly one endpoint inside `members`.  Returns `None` when no such edge
+/// exists.  (`members` is given as a boolean characteristic vector.)
+pub fn min_outgoing_edge(g: &Graph, members: &[bool]) -> Option<EdgeId> {
+    assert_eq!(members.len(), g.node_count());
+    g.edge_ids()
+        .filter(|&e| {
+            let edge = g.edge(e);
+            members[edge.u.index()] != members[edge.v.index()]
+        })
+        .min_by_key(|&e| g.edge_key(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{assign_random_weights, complete, grid, random_connected, ring};
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn kruskal_on_small_graph() {
+        // Square with a heavy diagonal.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(1), NodeId(2), 2);
+        b.add_edge(NodeId(2), NodeId(3), 3);
+        b.add_edge(NodeId(3), NodeId(0), 4);
+        b.add_edge(NodeId(0), NodeId(2), 10);
+        let g = b.build();
+        let t = kruskal(&g);
+        assert_eq!(t.len(), 3);
+        assert_eq!(weight_of(&g, &t), 6);
+        assert!(is_spanning_tree(&g, &t));
+        assert!(is_minimum_spanning_tree(&g, &t));
+    }
+
+    #[test]
+    fn prim_matches_kruskal_weight() {
+        for seed in 0..5 {
+            let g = assign_random_weights(&random_connected(60, 0.08, seed), seed + 100);
+            let k = kruskal(&g);
+            let p = prim(&g, NodeId(0));
+            assert_eq!(weight_of(&g, &k), weight_of(&g, &p));
+            assert!(is_spanning_tree(&g, &p));
+            // Distinct weights => unique MST => identical edge sets.
+            assert!(is_minimum_spanning_tree(&g, &p));
+        }
+    }
+
+    #[test]
+    fn mst_of_tree_is_the_tree() {
+        let g = crate::generators::random_tree(30, 5);
+        let t = kruskal(&g);
+        assert_eq!(t.len(), 29);
+        assert!(is_mst_subforest(&g, &t));
+    }
+
+    #[test]
+    fn spanning_tree_detects_cycle_and_disconnection() {
+        let g = ring(4);
+        // 4 edges of a ring: not a tree (cycle, too many edges).
+        let all: Vec<EdgeId> = g.edge_ids().collect();
+        assert!(!is_spanning_tree(&g, &all));
+        // 3 of the 4 ring edges: spanning tree.
+        assert!(is_spanning_tree(&g, &all[..3]));
+        // 2 edges: disconnected.
+        assert!(!is_spanning_tree(&g, &all[..2]));
+    }
+
+    #[test]
+    fn min_outgoing_edge_finds_lightest_cut_edge() {
+        let g = grid(3, 3);
+        let mut members = vec![false; 9];
+        members[0] = true; // corner node
+        let e = min_outgoing_edge(&g, &members).unwrap();
+        let edge = g.edge(e);
+        assert!(edge.touches(NodeId(0)));
+        // It must be the lighter of node 0's two incident edges.
+        let lightest = g
+            .neighbors(NodeId(0))
+            .iter()
+            .map(|&(_, e)| g.edge_key(e))
+            .min()
+            .unwrap();
+        assert_eq!(g.edge_key(e), lightest);
+    }
+
+    #[test]
+    fn min_outgoing_edge_none_for_full_set() {
+        let g = complete(5);
+        let members = vec![true; 5];
+        assert!(min_outgoing_edge(&g, &members).is_none());
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = GraphBuilder::new(0).build();
+        assert!(kruskal(&g).is_empty());
+        assert!(is_spanning_tree(&g, &[]));
+    }
+
+    #[test]
+    fn subforest_check_rejects_non_mst_edge() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(1), NodeId(2), 2);
+        let heavy = b.add_edge(NodeId(2), NodeId(0), 100);
+        let g = b.build();
+        assert!(!is_mst_subforest(&g, &[heavy]));
+        assert!(is_mst_subforest(&g, &[EdgeId(0), EdgeId(1)]));
+    }
+}

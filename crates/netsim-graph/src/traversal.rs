@@ -1,0 +1,277 @@
+//! Breadth-first traversal, distances, connectivity and metric properties
+//! (eccentricity, diameter, radius) of the point-to-point graph.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Result of a breadth-first search from a single source.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// Source of the search.
+    pub source: NodeId,
+    /// `dist[v]` is the hop distance from the source, or `None` if unreachable.
+    pub dist: Vec<Option<u32>>,
+    /// `parent[v]` is the BFS-tree parent, `None` for the source and for
+    /// unreachable nodes.
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl BfsTree {
+    /// Hop distance to `v`, if reachable.
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        self.dist[v.index()]
+    }
+
+    /// BFS-tree parent of `v`.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Nodes reachable from the source (including the source itself).
+    pub fn reachable_count(&self) -> usize {
+        self.dist.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Largest finite distance in the tree (the eccentricity of the source
+    /// within its connected component).
+    pub fn max_distance(&self) -> u32 {
+        self.dist.iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// Reconstructs the path from the source to `v` (inclusive), if reachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.dist[v.index()]?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Runs a breadth-first search from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs(g: &Graph, source: NodeId) -> BfsTree {
+    assert!(source.index() < g.node_count(), "source out of range");
+    let n = g.node_count();
+    let mut dist = vec![None; n];
+    let mut parent = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued node has a distance");
+        for &(v, _) in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                parent[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsTree {
+        source,
+        dist,
+        parent,
+    }
+}
+
+/// Returns the connected components of `g` as lists of nodes.
+/// Component order and the order of nodes inside a component are deterministic.
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut comp: Vec<Option<usize>> = vec![None; n];
+    let mut components = Vec::new();
+    for start in g.nodes() {
+        if comp[start.index()].is_some() {
+            continue;
+        }
+        let idx = components.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::new();
+        comp[start.index()] = Some(idx);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            members.push(u);
+            for &(v, _) in g.neighbors(u) {
+                if comp[v.index()].is_none() {
+                    comp[v.index()] = Some(idx);
+                    queue.push_back(v);
+                }
+            }
+        }
+        components.push(members);
+    }
+    components
+}
+
+/// Returns `true` when the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    bfs(g, NodeId(0)).reachable_count() == g.node_count()
+}
+
+/// Eccentricity of `v`: the maximum hop distance from `v` to any reachable node.
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    bfs(g, v).max_distance()
+}
+
+/// Exact diameter and radius of a connected graph, computed with `n` BFS runs.
+///
+/// Returns `(diameter, radius)`.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or disconnected (the metric is undefined there).
+pub fn diameter_radius(g: &Graph) -> (u32, u32) {
+    assert!(g.node_count() > 0, "diameter of the empty graph is undefined");
+    assert!(is_connected(g), "diameter of a disconnected graph is undefined");
+    let mut diameter = 0;
+    let mut radius = u32::MAX;
+    for v in g.nodes() {
+        let ecc = eccentricity(g, v);
+        diameter = diameter.max(ecc);
+        radius = radius.min(ecc);
+    }
+    (diameter, radius)
+}
+
+/// Exact diameter of a connected graph.  See [`diameter_radius`].
+pub fn diameter(g: &Graph) -> u32 {
+    diameter_radius(g).0
+}
+
+/// A cheap two-sweep lower bound on the diameter (exact on trees): BFS from an
+/// arbitrary node, then BFS from the farthest node found.
+///
+/// Useful for large graphs where the exact `O(n·m)` diameter is too slow.
+pub fn diameter_lower_bound(g: &Graph) -> u32 {
+    if g.node_count() == 0 {
+        return 0;
+    }
+    let first = bfs(g, NodeId(0));
+    let far = first
+        .dist
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (d, i)))
+        .max()
+        .map(|(_, i)| NodeId(i))
+        .unwrap_or(NodeId(0));
+    bfs(g, far).max_distance()
+}
+
+/// All-pairs shortest hop distances (dense `n × n` matrix of `Option<u32>`).
+///
+/// Intended for test-sized graphs; cost is `O(n·(n + m))`.
+pub fn all_pairs_distances(g: &Graph) -> Vec<Vec<Option<u32>>> {
+    g.nodes().map(|v| bfs(g, v).dist).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n.saturating_sub(1) {
+            b.add_edge(NodeId(i), NodeId(i + 1), (i + 1) as u64);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5);
+        let t = bfs(&g, NodeId(0));
+        for v in 0..5 {
+            assert_eq!(t.distance(NodeId(v)), Some(v as u32));
+        }
+        assert_eq!(t.max_distance(), 4);
+        assert_eq!(t.reachable_count(), 5);
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn bfs_path_reconstruction() {
+        let g = path(4);
+        let t = bfs(&g, NodeId(0));
+        assert_eq!(
+            t.path_to(NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(t.path_to(NodeId(0)).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(2), NodeId(3), 1);
+        let g = b.build();
+        assert!(!is_connected(&g));
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(comps[1], vec![NodeId(2), NodeId(3)]);
+        assert_eq!(comps[2], vec![NodeId(4)]);
+        let t = bfs(&g, NodeId(0));
+        assert_eq!(t.distance(NodeId(4)), None);
+        assert!(t.path_to(NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn diameter_and_radius_of_path() {
+        let g = path(7);
+        let (d, r) = diameter_radius(&g);
+        assert_eq!(d, 6);
+        assert_eq!(r, 3);
+        assert_eq!(diameter(&g), 6);
+        assert_eq!(diameter_lower_bound(&g), 6);
+    }
+
+    #[test]
+    fn eccentricity_of_center_and_leaf() {
+        let g = path(5);
+        assert_eq!(eccentricity(&g, NodeId(2)), 2);
+        assert_eq!(eccentricity(&g, NodeId(0)), 4);
+    }
+
+    #[test]
+    fn all_pairs_matches_bfs() {
+        let g = path(6);
+        let ap = all_pairs_distances(&g);
+        for u in 0..6 {
+            for v in 0..6 {
+                assert_eq!(ap[u][v], Some((u as i64 - v as i64).unsigned_abs() as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = GraphBuilder::new(0).build();
+        assert!(is_connected(&g));
+        assert_eq!(diameter_lower_bound(&g), 0);
+        let g1 = GraphBuilder::new(1).build();
+        assert!(is_connected(&g1));
+        assert_eq!(diameter_radius(&g1), (0, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn diameter_of_disconnected_panics() {
+        let g = GraphBuilder::new(2).build();
+        let _ = diameter_radius(&g);
+    }
+}

@@ -1,0 +1,175 @@
+//! Disjoint-set forest (union–find) with path compression and union by rank.
+//!
+//! Used by the reference Kruskal MST (see [`crate::mst`]), by the graph
+//! generators to guarantee connectivity, and by the partition verifiers.
+
+/// A disjoint-set forest over the elements `0..len`.
+///
+/// # Examples
+///
+/// ```
+/// use netsim_graph::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.union(1, 0));
+/// assert_eq!(uf.set_count(), 2);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len).collect(),
+            rank: vec![0; len],
+            sets: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Finds the canonical representative of `x`, compressing paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Read-only find (no path compression); useful when only `&self` is available.
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        root
+    }
+
+    /// Returns `true` when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    /// Returns `true` if a merge happened (they were previously disjoint).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Size of the set containing `x` (linear scan; intended for tests/verification).
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        let mut count = 0;
+        for i in 0..self.parent.len() {
+            if self.find(i) == root {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        assert_eq!(uf.set_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+
+    #[test]
+    fn union_reduces_set_count() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(2, 0));
+        assert_eq!(uf.set_count(), 2);
+        assert_eq!(uf.set_size(0), 3);
+        assert_eq!(uf.set_size(3), 1);
+    }
+
+    #[test]
+    fn chain_union_all_connected() {
+        let n = 100;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            assert!(uf.union(i, i + 1));
+        }
+        assert_eq!(uf.set_count(), 1);
+        for i in 0..n {
+            assert!(uf.connected(0, i));
+        }
+    }
+
+    #[test]
+    fn find_immutable_agrees_with_find() {
+        let mut uf = UnionFind::new(10);
+        uf.union(1, 2);
+        uf.union(2, 5);
+        uf.union(7, 8);
+        let im = uf.find_immutable(5);
+        assert_eq!(im, uf.find(5));
+        assert_eq!(uf.find_immutable(0), 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Event-driven engine for the **asynchronous** point-to-point network.
+//!
+//! The paper's base network model is asynchronous: a message sent over a link
+//! arrives error-free after an *arbitrary but finite* delay.  Section 7.1
+//! shows that the multiaccess channel can implement a synchronizer with O(1)
+//! overhead, which is why the rest of the paper assumes synchrony.  This
+//! engine exists to validate that claim experimentally (experiment E6): it
+//! delivers every point-to-point message after a pseudo-random delay chosen
+//! by a seeded adversary, while the channel remains slotted.
+//!
+//! Time is measured in *ticks*; one channel slot lasts [`AsyncConfig::slot_ticks`]
+//! ticks and every message delay is between 1 tick and
+//! [`AsyncConfig::max_delay_ticks`].  With `max_delay_ticks <= slot_ticks`
+//! this matches the paper's normalisation ("the message delay and the slot
+//! length are of the same order of magnitude").
+
+use crate::channel::{resolve_slot, SlotOutcome};
+use crate::metrics::CostAccount;
+use netsim_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Delay configuration of the asynchronous engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AsyncConfig {
+    /// Ticks per channel slot (≥ 1).
+    pub slot_ticks: u64,
+    /// Maximum point-to-point delay in ticks (≥ 1); actual delays are chosen
+    /// uniformly in `1..=max_delay_ticks` by a seeded RNG.
+    pub max_delay_ticks: u64,
+    /// Seed of the delay adversary.
+    pub seed: u64,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            slot_ticks: 4,
+            max_delay_ticks: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-node handler interface of the asynchronous engine.
+pub trait AsyncProtocol {
+    /// Message type used on both media.
+    type Msg: Clone;
+
+    /// Called once at time 0.
+    fn on_start(&mut self, ctx: &mut AsyncCtx<'_, Self::Msg>);
+
+    /// Called when a point-to-point message arrives.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut AsyncCtx<'_, Self::Msg>);
+
+    /// Called at every slot boundary with the slot outcome (all nodes hear it).
+    fn on_slot(&mut self, outcome: &SlotOutcome<Self::Msg>, ctx: &mut AsyncCtx<'_, Self::Msg>);
+
+    /// Local termination flag.
+    fn is_done(&self) -> bool;
+}
+
+/// Output collector handed to the [`AsyncProtocol`] callbacks.
+#[derive(Debug)]
+pub struct AsyncCtx<'a, M> {
+    node: NodeId,
+    tick: u64,
+    neighbors: &'a [(NodeId, netsim_graph::EdgeId)],
+    sends: Vec<(NodeId, M)>,
+    channel_write: Option<M>,
+}
+
+impl<'a, M: Clone> AsyncCtx<'a, M> {
+    /// The executing node.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current time in ticks.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Incident links.
+    pub fn neighbors(&self) -> &[(NodeId, netsim_graph::EdgeId)] {
+        self.neighbors
+    }
+
+    /// Sends a message to a neighbour; it will arrive after an adversarial delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbour.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.neighbors.iter().any(|&(v, _)| v == to),
+            "{:?} attempted to send to non-neighbour {:?}",
+            self.node,
+            to
+        );
+        self.sends.push((to, msg));
+    }
+
+    /// Sends a message to every neighbour.
+    pub fn send_all(&mut self, msg: M) {
+        let targets: Vec<NodeId> = self.neighbors.iter().map(|&(v, _)| v).collect();
+        for t in targets {
+            self.sends.push((t, msg.clone()));
+        }
+    }
+
+    /// Requests a channel write in the **current** slot (the one whose
+    /// boundary has not yet passed).  Only the last request per slot counts.
+    pub fn write_channel(&mut self, msg: M) {
+        self.channel_write = Some(msg);
+    }
+}
+
+/// The asynchronous executor.
+pub struct AsyncEngine<'g, P: AsyncProtocol> {
+    graph: &'g Graph,
+    nodes: Vec<P>,
+    config: AsyncConfig,
+    rng: StdRng,
+    /// (delivery tick, sequence, to, from); payload kept alongside.
+    in_flight: BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
+    payloads: std::collections::HashMap<u64, P::Msg>,
+    seq: u64,
+    /// Channel writes queued for the current slot: one slot-write per node at most.
+    slot_writes: Vec<Option<P::Msg>>,
+    tick: u64,
+    cost: CostAccount,
+    started: bool,
+}
+
+impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
+    /// Creates an engine over `graph` with per-node protocol states from `init`.
+    pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, config: AsyncConfig, mut init: F) -> Self {
+        assert!(config.slot_ticks >= 1, "slot_ticks must be at least 1");
+        assert!(config.max_delay_ticks >= 1, "max_delay_ticks must be at least 1");
+        let nodes = graph.nodes().map(&mut init).collect();
+        AsyncEngine {
+            graph,
+            nodes,
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            in_flight: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            seq: 0,
+            slot_writes: vec![None; graph.node_count()],
+            tick: 0,
+            cost: CostAccount::new(),
+            started: false,
+        }
+    }
+
+    /// Cost account (rounds = slots elapsed).
+    pub fn cost(&self) -> &CostAccount {
+        &self.cost
+    }
+
+    /// Current time in ticks.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Elapsed time in slot units (the paper's time unit).
+    pub fn slots_elapsed(&self) -> u64 {
+        self.tick / self.config.slot_ticks
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, v: NodeId) -> &P {
+        &self.nodes[v.index()]
+    }
+
+    /// Immutable access to all node states.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Consumes the engine, returning the node states and the cost account.
+    pub fn into_parts(self) -> (Vec<P>, CostAccount) {
+        (self.nodes, self.cost)
+    }
+
+    fn collect_ctx(&mut self, node: NodeId, ctx: AsyncCtx<'_, P::Msg>) {
+        let AsyncCtx {
+            sends,
+            channel_write,
+            ..
+        } = ctx;
+        for (to, msg) in sends {
+            let delay = self.rng.gen_range(1..=self.config.max_delay_ticks);
+            let when = self.tick + delay;
+            self.seq += 1;
+            self.payloads.insert(self.seq, msg);
+            self.in_flight
+                .push(Reverse((when, self.seq, to.index(), node.index())));
+            self.cost.add_messages(1);
+        }
+        if let Some(msg) = channel_write {
+            self.slot_writes[node.index()] = Some(msg);
+        }
+    }
+
+    fn make_ctx(&self, node: NodeId) -> AsyncCtx<'g, P::Msg> {
+        AsyncCtx {
+            node,
+            tick: self.tick,
+            neighbors: self.graph.neighbors(node),
+            sends: Vec::new(),
+            channel_write: None,
+        }
+    }
+
+    /// Returns `true` when every node is done, nothing is in flight, and no
+    /// channel write is pending.
+    pub fn is_quiescent(&self) -> bool {
+        self.nodes.iter().all(P::is_done)
+            && self.in_flight.is_empty()
+            && self.slot_writes.iter().all(Option::is_none)
+    }
+
+    fn deliver_due(&mut self) {
+        loop {
+            match self.in_flight.peek() {
+                Some(&Reverse((when, _, _, _))) if when <= self.tick => {}
+                _ => break,
+            }
+            let Reverse((_, seq, to, from)) = self.in_flight.pop().expect("peeked");
+            let msg = self.payloads.remove(&seq).expect("payload stored");
+            let mut ctx = self.make_ctx(NodeId(to));
+            self.nodes[to].on_message(NodeId(from), msg, &mut ctx);
+            self.collect_ctx(NodeId(to), ctx);
+        }
+    }
+
+    fn resolve_slot_boundary(&mut self) {
+        let writes: Vec<(NodeId, P::Msg)> = self
+            .slot_writes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.clone().map(|m| (NodeId(i), m)))
+            .collect();
+        for w in &mut self.slot_writes {
+            *w = None;
+        }
+        let outcome = resolve_slot(&writes);
+        self.cost.add_slot(writes.len() as u64);
+        for v in self.graph.nodes() {
+            let mut ctx = self.make_ctx(v);
+            self.nodes[v.index()].on_slot(&outcome, &mut ctx);
+            self.collect_ctx(v, ctx);
+        }
+    }
+
+    /// Runs until quiescence or until `max_ticks` ticks have elapsed.
+    /// Returns `true` when the run completed.
+    pub fn run(&mut self, max_ticks: u64) -> bool {
+        if !self.started {
+            self.started = true;
+            for v in self.graph.nodes() {
+                let mut ctx = self.make_ctx(v);
+                self.nodes[v.index()].on_start(&mut ctx);
+                self.collect_ctx(v, ctx);
+            }
+        }
+        while self.tick < max_ticks {
+            if self.is_quiescent() {
+                return true;
+            }
+            self.tick += 1;
+            self.deliver_due();
+            if self.tick % self.config.slot_ticks == 0 {
+                self.resolve_slot_boundary();
+            }
+        }
+        self.is_quiescent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_graph::generators;
+
+    /// Node 0 sends a token to all neighbours; every receiver acknowledges on
+    /// the channel (colliding is fine, we only check delivery).
+    struct PingAll {
+        id: NodeId,
+        got: bool,
+        started: bool,
+    }
+
+    impl AsyncProtocol for PingAll {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut AsyncCtx<'_, u32>) {
+            if self.id == NodeId(0) {
+                ctx.send_all(7);
+                self.started = true;
+                self.got = true;
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, msg: u32, _ctx: &mut AsyncCtx<'_, u32>) {
+            assert_eq!(msg, 7);
+            self.got = true;
+        }
+        fn on_slot(&mut self, _o: &SlotOutcome<u32>, _ctx: &mut AsyncCtx<'_, u32>) {}
+        fn is_done(&self) -> bool {
+            self.got
+        }
+    }
+
+    #[test]
+    fn messages_arrive_despite_delays() {
+        let g = generators::star(6);
+        let cfg = AsyncConfig {
+            slot_ticks: 3,
+            max_delay_ticks: 3,
+            seed: 42,
+        };
+        let mut eng = AsyncEngine::new(&g, cfg, |id| PingAll {
+            id,
+            got: false,
+            started: false,
+        });
+        assert!(eng.run(1000));
+        for v in g.nodes() {
+            assert!(eng.node(v).got, "node {v} did not receive the token");
+        }
+        assert_eq!(eng.cost().p2p_messages, 5);
+        assert!(eng.tick() <= 3, "delays are bounded by max_delay_ticks");
+    }
+
+    /// All nodes write once; the slot must resolve as a collision for n >= 2.
+    struct WriteOnce {
+        wrote: bool,
+        saw: Option<bool>,
+    }
+    impl AsyncProtocol for WriteOnce {
+        type Msg = u8;
+        fn on_start(&mut self, ctx: &mut AsyncCtx<'_, u8>) {
+            ctx.write_channel(1);
+            self.wrote = true;
+        }
+        fn on_message(&mut self, _f: NodeId, _m: u8, _c: &mut AsyncCtx<'_, u8>) {}
+        fn on_slot(&mut self, o: &SlotOutcome<u8>, _c: &mut AsyncCtx<'_, u8>) {
+            if self.saw.is_none() {
+                self.saw = Some(o.is_collision());
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.saw.is_some()
+        }
+    }
+
+    #[test]
+    fn slot_boundaries_resolve_collisions() {
+        let g = generators::ring(5);
+        let mut eng = AsyncEngine::new(&g, AsyncConfig::default(), |_| WriteOnce {
+            wrote: false,
+            saw: None,
+        });
+        assert!(eng.run(100));
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).saw, Some(true));
+        }
+        assert_eq!(eng.cost().slots_collision, 1);
+        assert!(eng.slots_elapsed() >= 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::random_connected(20, 0.2, 3);
+        let cfg = AsyncConfig {
+            slot_ticks: 4,
+            max_delay_ticks: 4,
+            seed: 11,
+        };
+        let run = |cfg: AsyncConfig| {
+            let mut eng = AsyncEngine::new(&g, cfg, |id| PingAll {
+                id,
+                got: false,
+                started: false,
+            });
+            eng.run(10_000);
+            (eng.tick(), eng.cost().p2p_messages)
+        };
+        assert_eq!(run(cfg), run(cfg));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_slot_ticks_rejected() {
+        let g = generators::path(2);
+        let cfg = AsyncConfig {
+            slot_ticks: 0,
+            max_delay_ticks: 1,
+            seed: 0,
+        };
+        let _ = AsyncEngine::new(&g, cfg, |id| PingAll {
+            id,
+            got: false,
+            started: false,
+        });
+    }
+}

@@ -1,0 +1,162 @@
+//! The multiaccess (collision) channel.
+//!
+//! Every node of the network can write to, and read from, each slot of the
+//! channel.  A slot is **idle** when no node writes, a **success** when
+//! exactly one node writes (its message is then heard by every node), and a
+//! **collision** when two or more nodes write; collisions are detected by all
+//! nodes but the colliding messages are lost.  This is exactly the model of
+//! Section 2 of the paper.
+
+use netsim_graph::NodeId;
+
+/// Outcome of one channel slot, as observed by **every** node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotOutcome<M> {
+    /// Nobody wrote in this slot.
+    Idle,
+    /// Exactly one node wrote; all nodes hear the message.
+    Success {
+        /// The node whose write succeeded.
+        from: NodeId,
+        /// The broadcast message.
+        msg: M,
+    },
+    /// Two or more nodes wrote; everyone detects the collision but no
+    /// message content is delivered.
+    Collision,
+}
+
+impl<M> SlotOutcome<M> {
+    /// Returns `true` for [`SlotOutcome::Idle`].
+    pub fn is_idle(&self) -> bool {
+        matches!(self, SlotOutcome::Idle)
+    }
+
+    /// Returns `true` for [`SlotOutcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, SlotOutcome::Success { .. })
+    }
+
+    /// Returns `true` for [`SlotOutcome::Collision`].
+    pub fn is_collision(&self) -> bool {
+        matches!(self, SlotOutcome::Collision)
+    }
+
+    /// The delivered message, when the slot was a success.
+    pub fn message(&self) -> Option<&M> {
+        match self {
+            SlotOutcome::Success { msg, .. } => Some(msg),
+            _ => None,
+        }
+    }
+
+    /// The successful writer, when the slot was a success.
+    pub fn sender(&self) -> Option<NodeId> {
+        match self {
+            SlotOutcome::Success { from, .. } => Some(*from),
+            _ => None,
+        }
+    }
+}
+
+/// Resolves a slot from the list of `(writer, message)` attempts.
+///
+/// When several nodes write, the outcome is a collision and the message
+/// contents are discarded, matching the model (no capture effect).
+pub fn resolve_slot<M: Clone>(writes: &[(NodeId, M)]) -> SlotOutcome<M> {
+    match writes {
+        [] => SlotOutcome::Idle,
+        [(from, msg)] => SlotOutcome::Success {
+            from: *from,
+            msg: msg.clone(),
+        },
+        _ => SlotOutcome::Collision,
+    }
+}
+
+/// Ternary channel feedback without message content, used where only the
+/// slot state (idle / success / collision) matters — e.g. the busy-tone
+/// synchronizer of Section 7.1 and the slotting construction of Section 7.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SlotState {
+    /// Zero writers.
+    Idle,
+    /// One writer.
+    Success,
+    /// Two or more writers.
+    Collision,
+}
+
+impl<M> From<&SlotOutcome<M>> for SlotState {
+    fn from(o: &SlotOutcome<M>) -> Self {
+        match o {
+            SlotOutcome::Idle => SlotState::Idle,
+            SlotOutcome::Success { .. } => SlotState::Success,
+            SlotOutcome::Collision => SlotState::Collision,
+        }
+    }
+}
+
+/// Converts an **unslotted** channel into a slotted one using a second
+/// (FDMA) carrier, following Section 7.2 of the paper: every node that is
+/// still active in the current slot transmits a busy tone on the extra
+/// carrier; the first idle period on that carrier marks the slot boundary.
+///
+/// The simulation works in fine-grained *ticks*.  Each active node keeps its
+/// busy tone up for the (integer) number of ticks its transmission needs;
+/// the slot ends at the first tick in which no busy tone is heard.  The
+/// function returns the number of ticks each of the `durations.len()` slots
+/// lasted, demonstrating that the construction yields well-defined slot
+/// boundaries whose length adapts to the slowest writer.
+///
+/// `durations[s]` holds the per-node transmission lengths (in ticks) of the
+/// nodes active in slot `s`; an empty list yields the minimum slot length of
+/// one tick (the idle period itself).
+pub fn fdma_slot_lengths(durations: &[Vec<u32>]) -> Vec<u32> {
+    durations
+        .iter()
+        .map(|active| active.iter().copied().max().unwrap_or(0) + 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_idle_success_collision() {
+        let empty: Vec<(NodeId, u32)> = vec![];
+        assert!(resolve_slot(&empty).is_idle());
+
+        let one = vec![(NodeId(3), 42u32)];
+        let out = resolve_slot(&one);
+        assert!(out.is_success());
+        assert_eq!(out.sender(), Some(NodeId(3)));
+        assert_eq!(out.message(), Some(&42));
+
+        let two = vec![(NodeId(1), 1u32), (NodeId(2), 2u32)];
+        let out = resolve_slot(&two);
+        assert!(out.is_collision());
+        assert_eq!(out.message(), None);
+        assert_eq!(out.sender(), None);
+    }
+
+    #[test]
+    fn slot_state_from_outcome() {
+        let o: SlotOutcome<u8> = SlotOutcome::Idle;
+        assert_eq!(SlotState::from(&o), SlotState::Idle);
+        let o = SlotOutcome::Success {
+            from: NodeId(0),
+            msg: 7u8,
+        };
+        assert_eq!(SlotState::from(&o), SlotState::Success);
+        let o: SlotOutcome<u8> = SlotOutcome::Collision;
+        assert_eq!(SlotState::from(&o), SlotState::Collision);
+    }
+
+    #[test]
+    fn fdma_slots_adapt_to_slowest_writer() {
+        let lens = fdma_slot_lengths(&[vec![3, 1, 2], vec![], vec![5]]);
+        assert_eq!(lens, vec![4, 1, 6]);
+    }
+}

@@ -1,0 +1,361 @@
+//! The synchronous round engine.
+//!
+//! The engine owns one [`Protocol`] instance per node and advances the whole
+//! multimedia network one round at a time: in each round every node takes a
+//! step (observing last round's deliveries and last slot's outcome), then all
+//! point-to-point messages are put in flight for delivery at the next round
+//! and the channel slot is resolved.  Costs are tallied in a
+//! [`CostAccount`](crate::CostAccount).
+
+use crate::channel::{resolve_slot, SlotOutcome};
+use crate::metrics::CostAccount;
+use crate::node::{Protocol, RoundIo};
+use netsim_graph::{Graph, NodeId};
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every node reported [`Protocol::is_done`] and no messages were in flight.
+    Completed {
+        /// Rounds executed.
+        rounds: u64,
+    },
+    /// The round limit was reached before completion.
+    RoundLimit {
+        /// Rounds executed (equals the limit).
+        rounds: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Rounds executed in either case.
+    pub fn rounds(&self) -> u64 {
+        match *self {
+            RunOutcome::Completed { rounds } | RunOutcome::RoundLimit { rounds } => rounds,
+        }
+    }
+
+    /// `true` when the run completed (rather than hitting the limit).
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+}
+
+/// Synchronous executor of a [`Protocol`] over a multimedia network.
+///
+/// # Examples
+///
+/// ```
+/// use netsim_graph::{generators, NodeId};
+/// use netsim_sim::{SyncEngine, Protocol, RoundIo};
+///
+/// /// Every node broadcasts "hello" to its neighbours in round 0 and stops.
+/// struct Hello { heard: usize, done: bool }
+/// impl Protocol for Hello {
+///     type Msg = ();
+///     fn step(&mut self, io: &mut RoundIo<'_, ()>) {
+///         if io.round() == 0 { io.send_all(()); }
+///         self.heard += io.inbox().len();
+///         if io.round() >= 1 { self.done = true; }
+///     }
+///     fn is_done(&self) -> bool { self.done }
+/// }
+///
+/// let g = generators::ring(5);
+/// let mut engine = SyncEngine::new(&g, |_| Hello { heard: 0, done: false });
+/// let outcome = engine.run(10);
+/// assert!(outcome.is_completed());
+/// assert_eq!(engine.node(NodeId(0)).heard, 2);
+/// ```
+#[derive(Debug)]
+pub struct SyncEngine<'g, P: Protocol> {
+    graph: &'g Graph,
+    nodes: Vec<P>,
+    /// Messages to deliver at the start of the next round: `pending[v] = (from, msg)*`.
+    pending: Vec<Vec<(NodeId, P::Msg)>>,
+    prev_slot: SlotOutcome<P::Msg>,
+    cost: CostAccount,
+    round: u64,
+}
+
+impl<'g, P: Protocol> SyncEngine<'g, P> {
+    /// Creates an engine over `graph`, instantiating each node's protocol
+    /// with `init(node_id)`.
+    pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, mut init: F) -> Self {
+        let nodes = graph.nodes().map(&mut init).collect();
+        SyncEngine {
+            graph,
+            nodes,
+            pending: vec![Vec::new(); graph.node_count()],
+            prev_slot: SlotOutcome::Idle,
+            cost: CostAccount::new(),
+            round: 0,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, v: NodeId) -> &P {
+        &self.nodes[v.index()]
+    }
+
+    /// Immutable access to all protocol states, indexed by node id.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// The cost account accumulated so far.
+    pub fn cost(&self) -> &CostAccount {
+        &self.cost
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Outcome of the most recently resolved channel slot.
+    pub fn last_slot(&self) -> &SlotOutcome<P::Msg> {
+        &self.prev_slot
+    }
+
+    /// Returns `true` when every node is done and no message is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.nodes.iter().all(Protocol::is_done)
+            && self.pending.iter().all(Vec::is_empty)
+    }
+
+    /// Executes one round for every node and resolves the channel slot.
+    pub fn step_round(&mut self) {
+        let n = self.graph.node_count();
+        let mut new_pending: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut writes: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut messages_sent: u64 = 0;
+
+        for v in self.graph.nodes() {
+            let inbox = std::mem::take(&mut self.pending[v.index()]);
+            let mut io = RoundIo {
+                node: v,
+                round: self.round,
+                neighbors: self.graph.neighbors(v),
+                inbox: &inbox,
+                prev_slot: &self.prev_slot,
+                outbox: Vec::new(),
+                channel_write: None,
+            };
+            self.nodes[v.index()].step(&mut io);
+            let RoundIo {
+                outbox,
+                channel_write,
+                ..
+            } = io;
+            messages_sent += outbox.len() as u64;
+            for (to, msg) in outbox {
+                new_pending[to.index()].push((v, msg));
+            }
+            if let Some(msg) = channel_write {
+                writes.push((v, msg));
+            }
+        }
+
+        self.prev_slot = resolve_slot(&writes);
+        self.cost.add_messages(messages_sent);
+        self.cost.add_slot(writes.len() as u64);
+        self.pending = new_pending;
+        self.round += 1;
+    }
+
+    /// Runs until quiescence or until `max_rounds` rounds have elapsed in total.
+    pub fn run(&mut self, max_rounds: u64) -> RunOutcome {
+        while self.round < max_rounds {
+            if self.is_quiescent() {
+                return RunOutcome::Completed { rounds: self.round };
+            }
+            self.step_round();
+        }
+        if self.is_quiescent() {
+            RunOutcome::Completed { rounds: self.round }
+        } else {
+            RunOutcome::RoundLimit { rounds: self.round }
+        }
+    }
+
+    /// Runs until `predicate` over the node states becomes true, quiescence,
+    /// or the round limit; returns the outcome as for [`SyncEngine::run`].
+    pub fn run_until<F: FnMut(&[P]) -> bool>(
+        &mut self,
+        max_rounds: u64,
+        mut predicate: F,
+    ) -> RunOutcome {
+        while self.round < max_rounds {
+            if predicate(&self.nodes) || self.is_quiescent() {
+                return RunOutcome::Completed { rounds: self.round };
+            }
+            self.step_round();
+        }
+        RunOutcome::RoundLimit { rounds: self.round }
+    }
+
+    /// Consumes the engine, returning the node states and the cost account.
+    pub fn into_parts(self) -> (Vec<P>, CostAccount) {
+        (self.nodes, self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_graph::generators;
+
+    /// Node 0 writes to the channel every round; all others listen and record
+    /// the first message heard.
+    struct Beacon {
+        id: NodeId,
+        heard: Option<u64>,
+        done: bool,
+    }
+
+    impl Protocol for Beacon {
+        type Msg = u64;
+        fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+            if let SlotOutcome::Success { msg, .. } = io.prev_slot() {
+                if self.heard.is_none() {
+                    self.heard = Some(*msg);
+                }
+                self.done = true;
+            }
+            if self.id == NodeId(0) && !self.done {
+                io.write_channel(99);
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn single_writer_broadcast_reaches_all() {
+        let g = generators::ring(6);
+        let mut eng = SyncEngine::new(&g, |id| Beacon {
+            id,
+            heard: None,
+            done: false,
+        });
+        let out = eng.run(10);
+        assert!(out.is_completed());
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).heard, Some(99));
+        }
+        assert!(eng.cost().slots_success >= 1);
+        assert_eq!(eng.cost().p2p_messages, 0);
+    }
+
+    /// All nodes write in round 0: a collision must be observed.
+    struct Collider {
+        saw_collision: bool,
+    }
+    impl Protocol for Collider {
+        type Msg = u8;
+        fn step(&mut self, io: &mut RoundIo<'_, u8>) {
+            if io.round() == 0 {
+                io.write_channel(1);
+            }
+            if io.prev_slot().is_collision() {
+                self.saw_collision = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.saw_collision
+        }
+    }
+
+    #[test]
+    fn simultaneous_writes_collide() {
+        let g = generators::complete(4);
+        let mut eng = SyncEngine::new(&g, |_| Collider {
+            saw_collision: false,
+        });
+        let out = eng.run(5);
+        assert!(out.is_completed());
+        assert_eq!(eng.cost().slots_collision, 1);
+        assert_eq!(eng.cost().channel_writes, 4);
+        for v in g.nodes() {
+            assert!(eng.node(v).saw_collision);
+        }
+    }
+
+    /// Flood a token from node 0 over the point-to-point network only.
+    struct Flood {
+        have: bool,
+        sent: bool,
+    }
+    impl Protocol for Flood {
+        type Msg = ();
+        fn step(&mut self, io: &mut RoundIo<'_, ()>) {
+            if !io.inbox().is_empty() {
+                self.have = true;
+            }
+            if self.have && !self.sent {
+                io.send_all(());
+                self.sent = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.have
+        }
+    }
+
+    #[test]
+    fn flooding_takes_diameter_rounds() {
+        let g = generators::path(8);
+        let mut eng = SyncEngine::new(&g, |id| Flood {
+            have: id == NodeId(0),
+            sent: false,
+        });
+        let out = eng.run(100);
+        assert!(out.is_completed());
+        // Token must travel 7 hops; each hop takes one round, plus the final
+        // quiescence check round.
+        assert!(out.rounds() >= 7);
+        assert!(out.rounds() <= 9);
+        // Each node forwards once to all neighbours: total messages = sum of degrees = 2m.
+        assert_eq!(eng.cost().p2p_messages, 2 * g.edge_count() as u64);
+    }
+
+    #[test]
+    fn round_limit_is_reported() {
+        struct Never;
+        impl Protocol for Never {
+            type Msg = ();
+            fn step(&mut self, _io: &mut RoundIo<'_, ()>) {}
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::path(3);
+        let mut eng = SyncEngine::new(&g, |_| Never);
+        let out = eng.run(4);
+        assert!(!out.is_completed());
+        assert_eq!(out.rounds(), 4);
+        assert_eq!(eng.round(), 4);
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let g = generators::path(5);
+        let mut eng = SyncEngine::new(&g, |id| Flood {
+            have: id == NodeId(0),
+            sent: false,
+        });
+        let out = eng.run_until(100, |nodes| nodes.iter().filter(|n| n.have).count() >= 3);
+        assert!(out.is_completed());
+        assert!(out.rounds() <= 4);
+        let (nodes, cost) = eng.into_parts();
+        assert_eq!(nodes.len(), 5);
+        assert!(cost.rounds >= 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! # netsim-sim
+//!
+//! The **multimedia network simulator**: the execution substrate for the
+//! reproduction of *"The Power of Multimedia: Combining Point-to-Point and
+//! Multiaccess Networks"* (Afek, Landau, Schieber, Yung).
+//!
+//! A multimedia network (Section 2 of the paper) connects the same set of
+//! processors by two media at once:
+//!
+//! 1. an arbitrary-topology **point-to-point** message-passing network, and
+//! 2. a slotted **multiaccess channel** with ternary feedback
+//!    (idle / success / collision).
+//!
+//! This crate provides:
+//!
+//! * [`SyncEngine`] — a deterministic synchronous round engine: per round,
+//!   every node takes one [`Protocol::step`], point-to-point messages sent in
+//!   a round are delivered at the next round, and one channel slot is
+//!   resolved per round;
+//! * [`AsyncEngine`] — an event-driven engine with adversarial (seeded)
+//!   link delays, used to validate the channel-synchronizer claim of
+//!   Section 7.1;
+//! * [`protocols`] — reusable building blocks (BFS tree construction,
+//!   convergecast / "broadcast and respond", tree broadcast);
+//! * [`CostAccount`] — the paper's cost measures (rounds, point-to-point
+//!   messages, channel-slot statistics).
+//!
+//! # Example
+//!
+//! ```
+//! use netsim_graph::{generators, NodeId};
+//! use netsim_sim::{protocols::BfsBuild, SyncEngine};
+//!
+//! let g = generators::ring(8);
+//! let mut engine = SyncEngine::new(&g, |id| BfsBuild::new(id, NodeId(0)));
+//! let outcome = engine.run(100);
+//! assert!(outcome.is_completed());
+//! assert_eq!(engine.node(NodeId(4)).depth(), Some(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod async_engine;
+mod channel;
+mod engine;
+mod metrics;
+mod node;
+pub mod protocols;
+
+pub use async_engine::{AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol};
+pub use channel::{fdma_slot_lengths, resolve_slot, SlotOutcome, SlotState};
+pub use engine::{RunOutcome, SyncEngine};
+pub use metrics::CostAccount;
+pub use node::{Protocol, RoundIo};

@@ -1,0 +1,157 @@
+//! Cost accounting for multimedia-network executions.
+//!
+//! The paper measures
+//!
+//! * **time** — the number of rounds (point-to-point message delay and the
+//!   channel slot length are both one time unit), and
+//! * **communication** — the total number of point-to-point messages sent
+//!   plus the time (the latter accounts for the information received over the
+//!   channel).
+//!
+//! [`CostAccount`] tracks both, plus a breakdown of channel-slot outcomes.
+
+/// Running totals of the cost measures used throughout the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostAccount {
+    /// Number of synchronous rounds (= channel slots) elapsed.
+    pub rounds: u64,
+    /// Point-to-point messages sent over links.
+    pub p2p_messages: u64,
+    /// Individual write attempts on the multiaccess channel.
+    pub channel_writes: u64,
+    /// Slots in which nobody wrote.
+    pub slots_idle: u64,
+    /// Slots in which exactly one node wrote (the message was heard by all).
+    pub slots_success: u64,
+    /// Slots in which two or more nodes wrote (collision detected by all).
+    pub slots_collision: u64,
+}
+
+impl CostAccount {
+    /// A zeroed account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's *communication complexity*: point-to-point messages plus time.
+    pub fn communication(&self) -> u64 {
+        self.p2p_messages + self.rounds
+    }
+
+    /// Total slots in which the channel was busy (success or collision).
+    pub fn slots_busy(&self) -> u64 {
+        self.slots_success + self.slots_collision
+    }
+
+    /// Adds another account to this one (e.g. to combine algorithm stages).
+    pub fn absorb(&mut self, other: &CostAccount) {
+        self.rounds += other.rounds;
+        self.p2p_messages += other.p2p_messages;
+        self.channel_writes += other.channel_writes;
+        self.slots_idle += other.slots_idle;
+        self.slots_success += other.slots_success;
+        self.slots_collision += other.slots_collision;
+    }
+
+    /// Records `count` point-to-point messages.
+    pub fn add_messages(&mut self, count: u64) {
+        self.p2p_messages += count;
+    }
+
+    /// Records `count` rounds during which the channel stayed idle.
+    pub fn add_idle_rounds(&mut self, count: u64) {
+        self.rounds += count;
+        self.slots_idle += count;
+    }
+
+    /// Records a single slot with the given number of writers.
+    pub fn add_slot(&mut self, writers: u64) {
+        self.rounds += 1;
+        self.channel_writes += writers;
+        match writers {
+            0 => self.slots_idle += 1,
+            1 => self.slots_success += 1,
+            _ => self.slots_collision += 1,
+        }
+    }
+}
+
+impl std::ops::Add for CostAccount {
+    type Output = CostAccount;
+    fn add(self, rhs: CostAccount) -> CostAccount {
+        let mut out = self;
+        out.absorb(&rhs);
+        out
+    }
+}
+
+impl std::ops::AddAssign for CostAccount {
+    fn add_assign(&mut self, rhs: CostAccount) {
+        self.absorb(&rhs);
+    }
+}
+
+impl std::fmt::Display for CostAccount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} p2p_msgs={} writes={} slots(idle/succ/coll)={}/{}/{}",
+            self.rounds,
+            self.p2p_messages,
+            self.channel_writes,
+            self.slots_idle,
+            self.slots_success,
+            self.slots_collision
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_classification() {
+        let mut c = CostAccount::new();
+        c.add_slot(0);
+        c.add_slot(1);
+        c.add_slot(5);
+        assert_eq!(c.rounds, 3);
+        assert_eq!(c.slots_idle, 1);
+        assert_eq!(c.slots_success, 1);
+        assert_eq!(c.slots_collision, 1);
+        assert_eq!(c.channel_writes, 6);
+        assert_eq!(c.slots_busy(), 2);
+    }
+
+    #[test]
+    fn communication_is_messages_plus_time() {
+        let mut c = CostAccount::new();
+        c.add_messages(10);
+        c.add_idle_rounds(4);
+        assert_eq!(c.communication(), 14);
+    }
+
+    #[test]
+    fn absorb_and_add() {
+        let mut a = CostAccount::new();
+        a.add_messages(3);
+        a.add_slot(1);
+        let mut b = CostAccount::new();
+        b.add_messages(2);
+        b.add_idle_rounds(2);
+        let c = a + b;
+        assert_eq!(c.p2p_messages, 5);
+        assert_eq!(c.rounds, 3);
+        let mut d = CostAccount::new();
+        d += c;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let c = CostAccount::new();
+        assert!(!format!("{c}").is_empty());
+        assert!(!format!("{c:?}").is_empty());
+    }
+}

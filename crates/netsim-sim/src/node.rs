@@ -1,0 +1,209 @@
+//! The per-processor protocol interface of the synchronous engine.
+//!
+//! A multimedia-network algorithm is written as a [`Protocol`] state machine.
+//! In every round the engine calls [`Protocol::step`] exactly once per node;
+//! the node observes the messages delivered to it (sent by its neighbours in
+//! the previous round) and the outcome of the previous channel slot, and
+//! decides which point-to-point messages to send and whether to write to the
+//! channel in the current slot.  This is the model of Section 2 of the paper.
+
+use crate::channel::SlotOutcome;
+use netsim_graph::{EdgeId, NodeId};
+
+/// A distributed algorithm, as executed by one processor.
+pub trait Protocol {
+    /// Message type carried both by the point-to-point links and the channel.
+    ///
+    /// The paper assumes messages of `O(log n)` bits plus one data element;
+    /// protocol implementations should keep their messages within that spirit
+    /// (ids, counters, one weight/value), but the engine does not enforce a
+    /// bit bound.
+    type Msg: Clone;
+
+    /// Executes one round.
+    ///
+    /// Inputs (previous-round deliveries, previous slot outcome) and outputs
+    /// (link sends, channel write) are exchanged through `io`.
+    fn step(&mut self, io: &mut RoundIo<'_, Self::Msg>);
+
+    /// Returns `true` once this node has terminated locally.
+    ///
+    /// The engine stops when every node is done and no messages are in flight.
+    fn is_done(&self) -> bool;
+}
+
+/// Per-round input/output window handed to [`Protocol::step`].
+#[derive(Debug)]
+pub struct RoundIo<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) round: u64,
+    pub(crate) neighbors: &'a [(NodeId, EdgeId)],
+    pub(crate) inbox: &'a [(NodeId, M)],
+    pub(crate) prev_slot: &'a SlotOutcome<M>,
+    pub(crate) outbox: Vec<(NodeId, M)>,
+    pub(crate) channel_write: Option<M>,
+}
+
+impl<'a, M: Clone> RoundIo<'a, M> {
+    /// Builds a detached `RoundIo`, outside of a [`SyncEngine`](crate::SyncEngine) run.
+    ///
+    /// This is the hook used by *simulation wrappers* such as the channel
+    /// synchronizer of the paper's Section 7.1: the wrapper drives an
+    /// existing synchronous [`Protocol`] round by round on a different
+    /// substrate (e.g. an asynchronous engine) by constructing the round
+    /// window itself and collecting the outputs with
+    /// [`RoundIo::into_outputs`].
+    pub fn detached(
+        node: NodeId,
+        round: u64,
+        neighbors: &'a [(NodeId, EdgeId)],
+        inbox: &'a [(NodeId, M)],
+        prev_slot: &'a SlotOutcome<M>,
+    ) -> Self {
+        RoundIo {
+            node,
+            round,
+            neighbors,
+            inbox,
+            prev_slot,
+            outbox: Vec::new(),
+            channel_write: None,
+        }
+    }
+
+    /// Consumes the window, returning the link sends and the channel write
+    /// requested during the step.
+    pub fn into_outputs(self) -> (Vec<(NodeId, M)>, Option<M>) {
+        (self.outbox, self.channel_write)
+    }
+
+    /// The identity of the executing node.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round number (first round is 0).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The node's incident links as `(neighbour, edge id)` pairs, in the
+    /// graph's ascending edge-weight order.
+    pub fn neighbors(&self) -> &[(NodeId, EdgeId)] {
+        self.neighbors
+    }
+
+    /// Number of incident links.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Messages delivered this round (sent by neighbours in the previous round).
+    pub fn inbox(&self) -> &[(NodeId, M)] {
+        self.inbox
+    }
+
+    /// Outcome of the previous channel slot, as heard by every node.
+    ///
+    /// In round 0 this is [`SlotOutcome::Idle`].
+    pub fn prev_slot(&self) -> &SlotOutcome<M> {
+        self.prev_slot
+    }
+
+    /// Sends `msg` to the neighbour `to` (delivered at the start of the next
+    /// round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbour of this node: the point-to-point
+    /// medium only connects adjacent processors.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.neighbors.iter().any(|&(v, _)| v == to),
+            "{:?} attempted to send to non-neighbour {:?}",
+            self.node,
+            to
+        );
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every neighbour.
+    pub fn send_all(&mut self, msg: M) {
+        let targets: Vec<NodeId> = self.neighbors.iter().map(|&(v, _)| v).collect();
+        for v in targets {
+            self.outbox.push((v, msg.clone()));
+        }
+    }
+
+    /// Writes `msg` to the multiaccess channel in the current slot.
+    ///
+    /// If more than one node writes in the same slot, every node observes a
+    /// collision in the next round.  Calling this twice in one round keeps
+    /// only the last message (a node owns a single transmitter).
+    pub fn write_channel(&mut self, msg: M) {
+        self.channel_write = Some(msg);
+    }
+
+    /// Returns `true` if a channel write has been requested this round.
+    pub fn will_write_channel(&self) -> bool {
+        self.channel_write.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_io<'a>(
+        neighbors: &'a [(NodeId, EdgeId)],
+        inbox: &'a [(NodeId, u32)],
+        prev: &'a SlotOutcome<u32>,
+    ) -> RoundIo<'a, u32> {
+        RoundIo {
+            node: NodeId(0),
+            round: 3,
+            neighbors,
+            inbox,
+            prev_slot: prev,
+            outbox: Vec::new(),
+            channel_write: None,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let neighbors = [(NodeId(1), EdgeId(0)), (NodeId(2), EdgeId(1))];
+        let inbox = [(NodeId(1), 9u32)];
+        let prev = SlotOutcome::Idle;
+        let io = make_io(&neighbors, &inbox, &prev);
+        assert_eq!(io.id(), NodeId(0));
+        assert_eq!(io.round(), 3);
+        assert_eq!(io.degree(), 2);
+        assert_eq!(io.inbox().len(), 1);
+        assert!(io.prev_slot().is_idle());
+        assert!(!io.will_write_channel());
+    }
+
+    #[test]
+    fn send_and_broadcast() {
+        let neighbors = [(NodeId(1), EdgeId(0)), (NodeId(2), EdgeId(1))];
+        let prev = SlotOutcome::Idle;
+        let mut io = make_io(&neighbors, &[], &prev);
+        io.send(NodeId(2), 5);
+        io.send_all(7);
+        assert_eq!(io.outbox.len(), 3);
+        io.write_channel(1);
+        io.write_channel(2);
+        assert_eq!(io.channel_write, Some(2));
+        assert!(io.will_write_channel());
+    }
+
+    #[test]
+    #[should_panic]
+    fn send_to_non_neighbor_panics() {
+        let neighbors = [(NodeId(1), EdgeId(0))];
+        let prev = SlotOutcome::Idle;
+        let mut io = make_io(&neighbors, &[], &prev);
+        io.send(NodeId(9), 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! Reusable building-block protocols.
+//!
+//! These are the primitives the paper composes repeatedly:
+//!
+//! * [`BfsBuild`] — synchronous breadth-first spanning-tree construction from
+//!   a root (Gallager 1982), used by the point-to-point baselines and by the
+//!   randomized partition's component growth;
+//! * [`Convergecast`] — "broadcast and respond" / *propagation of information
+//!   with feedback* (Segall 1983) over a known rooted tree, aggregating values
+//!   up to the root with an arbitrary associative combiner — the paper's
+//!   Step 1 ("count the nodes of the fragment") and the local stage of the
+//!   global-sensitive-function algorithm (Section 5.1);
+//! * [`TreeBroadcast`] — dissemination of a value from the root down a known
+//!   rooted tree, the "feedback" direction of PIF.
+
+use crate::node::{Protocol, RoundIo};
+use netsim_graph::NodeId;
+
+// ---------------------------------------------------------------------------
+// BFS tree construction
+// ---------------------------------------------------------------------------
+
+/// Message of the BFS builder: `Explore(distance_of_sender)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Explore(pub u32);
+
+/// Synchronous BFS spanning-tree construction from a single root.
+///
+/// In round `r` exactly the nodes at distance `r` from the root adopt a
+/// parent (the lowest-id neighbour that reached them) and forward the wave.
+/// After the run, [`BfsBuild::parent`] / [`BfsBuild::depth`] describe the
+/// BFS tree; total time is `ecc(root) + O(1)` rounds and total messages are
+/// `2m` (each edge is crossed at most twice).
+#[derive(Clone, Debug)]
+pub struct BfsBuild {
+    id: NodeId,
+    is_root: bool,
+    parent: Option<NodeId>,
+    depth: Option<u32>,
+    forwarded: bool,
+}
+
+impl BfsBuild {
+    /// Creates the per-node state; `root` is the BFS source.
+    pub fn new(id: NodeId, root: NodeId) -> Self {
+        BfsBuild {
+            id,
+            is_root: id == root,
+            parent: None,
+            depth: if id == root { Some(0) } else { None },
+            forwarded: false,
+        }
+    }
+
+    /// Parent in the BFS tree (`None` for the root and for unreached nodes).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Distance from the root, once reached.
+    pub fn depth(&self) -> Option<u32> {
+        self.depth
+    }
+
+    /// Returns `true` when this node has been reached by the wave.
+    pub fn reached(&self) -> bool {
+        self.depth.is_some()
+    }
+}
+
+impl Protocol for BfsBuild {
+    type Msg = Explore;
+
+    fn step(&mut self, io: &mut RoundIo<'_, Explore>) {
+        if self.depth.is_none() {
+            // Adopt the best (lowest-id) neighbour that reached us this round.
+            let best = io
+                .inbox()
+                .iter()
+                .min_by_key(|&&(from, Explore(d))| (d, from))
+                .copied();
+            if let Some((from, Explore(d))) = best {
+                self.parent = Some(from);
+                self.depth = Some(d + 1);
+            }
+        }
+        if let Some(d) = self.depth {
+            if !self.forwarded {
+                io.send_all(Explore(d));
+                self.forwarded = true;
+            }
+        }
+        let _ = self.is_root;
+        let _ = self.id;
+    }
+
+    fn is_done(&self) -> bool {
+        self.forwarded
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convergecast over a known rooted tree
+// ---------------------------------------------------------------------------
+
+/// Aggregation ("response") message carrying a partial value of type `V`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partial<V>(pub V);
+
+/// Convergecast of values up a **known** rooted tree with an associative
+/// combiner.
+///
+/// Every node is given its parent and its number of children.  Leaves send
+/// their value to their parent in the first round; an internal node responds
+/// to its parent only after receiving the responses of all its children,
+/// exactly as in Step 1 of the paper's deterministic partition.  The run
+/// takes `depth(tree) + O(1)` rounds and `n - 1` messages; at the end the
+/// root's [`Convergecast::result`] holds the combined value of the whole tree.
+#[derive(Clone, Debug)]
+pub struct Convergecast<V, F> {
+    parent: Option<NodeId>,
+    pending_children: usize,
+    value: V,
+    combine: F,
+    sent: bool,
+}
+
+impl<V: Clone, F: Fn(&V, &V) -> V> Convergecast<V, F> {
+    /// Creates the per-node state.
+    ///
+    /// * `parent` — tree parent (`None` for the root);
+    /// * `children` — number of tree children of this node;
+    /// * `value` — this node's local input;
+    /// * `combine` — associative combiner.
+    pub fn new(parent: Option<NodeId>, children: usize, value: V, combine: F) -> Self {
+        Convergecast {
+            parent,
+            pending_children: children,
+            value,
+            combine,
+            sent: false,
+        }
+    }
+
+    /// The aggregate of this node's subtree (meaningful once the node is done;
+    /// at the root this is the global result).
+    pub fn result(&self) -> &V {
+        &self.value
+    }
+
+    /// Returns `true` once every child's response has been absorbed.
+    pub fn subtree_complete(&self) -> bool {
+        self.pending_children == 0
+    }
+}
+
+impl<V: Clone, F: Fn(&V, &V) -> V> Protocol for Convergecast<V, F> {
+    type Msg = Partial<V>;
+
+    fn step(&mut self, io: &mut RoundIo<'_, Partial<V>>) {
+        for (_, Partial(v)) in io.inbox() {
+            self.value = (self.combine)(&self.value, v);
+            self.pending_children = self.pending_children.saturating_sub(1);
+        }
+        if self.pending_children == 0 && !self.sent {
+            if let Some(p) = self.parent {
+                io.send(p, Partial(self.value.clone()));
+            }
+            self.sent = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast down a known rooted tree
+// ---------------------------------------------------------------------------
+
+/// Dissemination of a root value down a known rooted tree.
+///
+/// Each node is given the list of its children; the root starts with the
+/// value, every other node learns it from its parent and forwards it.  Takes
+/// `depth(tree) + O(1)` rounds and `n - 1` messages.
+#[derive(Clone, Debug)]
+pub struct TreeBroadcast<V> {
+    children: Vec<NodeId>,
+    value: Option<V>,
+    forwarded: bool,
+}
+
+impl<V: Clone> TreeBroadcast<V> {
+    /// Creates the per-node state.  The root passes `Some(value)`, all other
+    /// nodes pass `None`.
+    pub fn new(children: Vec<NodeId>, value: Option<V>) -> Self {
+        TreeBroadcast {
+            children,
+            value,
+            forwarded: false,
+        }
+    }
+
+    /// The received value, once it has arrived.
+    pub fn value(&self) -> Option<&V> {
+        self.value.as_ref()
+    }
+}
+
+impl<V: Clone> Protocol for TreeBroadcast<V> {
+    type Msg = V;
+
+    fn step(&mut self, io: &mut RoundIo<'_, V>) {
+        if self.value.is_none() {
+            if let Some((_, v)) = io.inbox().first() {
+                self.value = Some(v.clone());
+            }
+        }
+        if let Some(v) = self.value.clone() {
+            if !self.forwarded {
+                for c in self.children.clone() {
+                    io.send(c, v.clone());
+                }
+                self.forwarded = true;
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.forwarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SyncEngine;
+    use netsim_graph::{generators, traversal, SpanningForest};
+
+    #[test]
+    fn bfs_build_matches_sequential_bfs() {
+        let g = generators::Family::Grid.generate(36, 3);
+        let root = NodeId(0);
+        let mut eng = SyncEngine::new(&g, |id| BfsBuild::new(id, root));
+        let out = eng.run(1000);
+        assert!(out.is_completed());
+        let reference = traversal::bfs(&g, root);
+        for v in g.nodes() {
+            assert!(eng.node(v).reached());
+            assert_eq!(eng.node(v).depth(), reference.distance(v));
+        }
+        // Time is eccentricity + O(1); messages are exactly 2m (every node
+        // forwards once to all its neighbours).
+        assert!(out.rounds() as u32 <= reference.max_distance() + 3);
+        assert_eq!(eng.cost().p2p_messages, 2 * g.edge_count() as u64);
+    }
+
+    #[test]
+    fn bfs_parents_form_valid_forest() {
+        let g = generators::random_connected(50, 0.08, 9);
+        let root = NodeId(7);
+        let mut eng = SyncEngine::new(&g, |id| BfsBuild::new(id, root));
+        eng.run(1000);
+        let parents: Vec<Option<NodeId>> = g.nodes().map(|v| eng.node(v).parent()).collect();
+        let forest = SpanningForest::from_parents(&g, parents).unwrap();
+        assert_eq!(forest.tree_count(), 1);
+        assert_eq!(forest.roots(), &[root]);
+    }
+
+    #[test]
+    fn convergecast_sums_path() {
+        // Path rooted at node 0: parent of i is i-1, one child each except the last.
+        let g = generators::path(6);
+        let n = g.node_count();
+        let mut eng = SyncEngine::new(&g, |id| {
+            let parent = if id.index() == 0 {
+                None
+            } else {
+                Some(NodeId(id.index() - 1))
+            };
+            let children = usize::from(id.index() + 1 < n);
+            Convergecast::new(parent, children, id.index() as u64, |a, b| a + b)
+        });
+        let out = eng.run(100);
+        assert!(out.is_completed());
+        assert_eq!(*eng.node(NodeId(0)).result(), (0..6).sum::<u64>());
+        assert!(eng.node(NodeId(0)).subtree_complete());
+        // n - 1 responses, depth + O(1) rounds.
+        assert_eq!(eng.cost().p2p_messages, (n - 1) as u64);
+        assert!(out.rounds() <= n as u64 + 2);
+    }
+
+    #[test]
+    fn convergecast_min_on_star() {
+        let g = generators::star(8);
+        let values = [50u64, 3, 9, 1, 7, 30, 22, 4];
+        let mut eng = SyncEngine::new(&g, |id| {
+            let parent = if id.index() == 0 { None } else { Some(NodeId(0)) };
+            let children = if id.index() == 0 { 7 } else { 0 };
+            Convergecast::new(parent, children, values[id.index()], |a, b| *a.min(b))
+        });
+        let out = eng.run(100);
+        assert!(out.is_completed());
+        assert_eq!(*eng.node(NodeId(0)).result(), 1);
+        assert!(out.rounds() <= 4);
+    }
+
+    #[test]
+    fn tree_broadcast_reaches_everyone() {
+        let g = generators::path(7);
+        let n = g.node_count();
+        let mut eng = SyncEngine::new(&g, |id| {
+            let children = if id.index() + 1 < n {
+                vec![NodeId(id.index() + 1)]
+            } else {
+                vec![]
+            };
+            let value = if id.index() == 0 { Some(1234u64) } else { None };
+            TreeBroadcast::new(children, value)
+        });
+        let out = eng.run(100);
+        assert!(out.is_completed());
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).value(), Some(&1234));
+        }
+        assert_eq!(eng.cost().p2p_messages, (n - 1) as u64);
+    }
+}

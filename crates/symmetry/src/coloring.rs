@@ -1,0 +1,295 @@
+//! Deterministic 3-colouring of rooted forests in `O(log* n)` iterations.
+//!
+//! This is Step 3 of the paper's deterministic partition: the fragment forest
+//! `F` is 3-coloured with the parallel algorithm of Goldberg, Plotkin and
+//! Shannon (1987), which is itself built on the *deterministic coin tossing*
+//! colour-reduction technique of Cole and Vishkin (1986).
+//!
+//! Each vertex starts with its unique id as its colour (`O(log n)` bits).  In
+//! every Cole–Vishkin iteration a vertex compares its colour with its
+//! parent's colour, finds the lowest bit position `i` where they differ, and
+//! adopts the new colour `2·i + bit_i(own colour)`; roots behave as if their
+//! parent had a colour differing in bit 0.  After `O(log* n)` iterations the
+//! number of colours is at most six; three shift-down/recolour steps then
+//! reduce six colours to three.
+//!
+//! The functions report how many parent–child communication rounds the
+//! procedure used, which is what the partition algorithm charges for
+//! (`O(2^i · log* n)` time in phase `i`).
+
+use crate::forest::RootedForest;
+
+/// Result of the 3-colouring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coloring {
+    /// `colors[v] ∈ {0, 1, 2}` after completion.
+    pub colors: Vec<u8>,
+    /// Cole–Vishkin colour-reduction iterations performed (the `O(log* n)` part).
+    pub cv_iterations: u32,
+    /// Total parent–child communication rounds, including the constant number
+    /// of shift-down/recolour steps.
+    pub rounds: u32,
+}
+
+/// Number of bits needed to write `x` (at least 1).
+fn bit_len(x: u64) -> u32 {
+    (64 - x.leading_zeros()).max(1)
+}
+
+/// One Cole–Vishkin step for a single vertex: given own and parent colour
+/// (guaranteed different), produce the reduced colour `2·i + bit`.
+fn cv_step(own: u64, parent: u64) -> u64 {
+    debug_assert_ne!(own, parent);
+    let diff = own ^ parent;
+    let i = diff.trailing_zeros() as u64;
+    2 * i + ((own >> i) & 1)
+}
+
+/// Colours the forest with colours `{0, 1, 2}` using ids as initial colours.
+///
+/// `ids[v]` must be distinct (the paper's processor ids).  Vertices only ever
+/// exchange colours with their forest parent/children, so the procedure maps
+/// directly onto the fragment-level message exchanges of the partition
+/// algorithm.
+///
+/// # Panics
+///
+/// Panics if `ids.len() != forest.len()` or if two **adjacent** vertices
+/// share an id (distinctness between neighbours is all the algorithm needs).
+pub fn three_color(forest: &RootedForest, ids: &[u64]) -> Coloring {
+    assert_eq!(
+        ids.len(),
+        forest.len(),
+        "one id per forest vertex is required"
+    );
+    let n = forest.len();
+    if n == 0 {
+        return Coloring {
+            colors: Vec::new(),
+            cv_iterations: 0,
+            rounds: 0,
+        };
+    }
+    for v in 0..n {
+        if let Some(p) = forest.parent(v) {
+            assert_ne!(ids[v], ids[p], "adjacent vertices must have distinct ids");
+        }
+    }
+
+    let mut colors: Vec<u64> = ids.to_vec();
+    let mut cv_iterations = 0u32;
+    let mut rounds = 0u32;
+
+    // --- Cole–Vishkin reduction to at most six colours -----------------
+    loop {
+        let max_color = colors.iter().copied().max().unwrap_or(0);
+        if max_color < 6 {
+            break;
+        }
+        let next: Vec<u64> = (0..n)
+            .map(|v| match forest.parent(v) {
+                Some(p) => cv_step(colors[v], colors[p]),
+                None => {
+                    // Roots pretend their parent differs in bit 0.
+                    let own_bit = colors[v] & 1;
+                    own_bit // = 2*0 + bit_0
+                }
+            })
+            .collect();
+        colors = next;
+        cv_iterations += 1;
+        rounds += 1;
+        // Defensive: the reduction provably terminates in < 2·log* range
+        // iterations; cap to avoid infinite loops on adversarial inputs.
+        if cv_iterations > 2 * bit_len(u64::MAX) {
+            break;
+        }
+    }
+
+    // --- Reduce six colours to three ------------------------------------
+    // For each colour c in {5, 4, 3}: shift down (children adopt parent's
+    // colour, roots pick a colour in {0,1,2} different from their children's
+    // new colour), then every vertex with colour c picks the smallest colour
+    // in {0,1,2} not used by its parent or children.
+    for drop_color in (3..6).rev() {
+        // Shift down.
+        let shifted: Vec<u64> = (0..n)
+            .map(|v| match forest.parent(v) {
+                Some(p) => colors[p],
+                None => {
+                    // After the shift all children of the root hold the
+                    // root's old colour; the root picks the smallest colour
+                    // in {0, 1, 2} different from that old colour.
+                    (0..3u64)
+                        .find(|&c| c != colors[v])
+                        .expect("three candidate colours, at most one forbidden")
+                }
+            })
+            .collect();
+        colors = shifted;
+        rounds += 1;
+        // Recolour vertices currently holding `drop_color`.
+        let next: Vec<u64> = (0..n)
+            .map(|v| {
+                if colors[v] != drop_color {
+                    return colors[v];
+                }
+                let mut forbidden = [false; 8];
+                if let Some(p) = forest.parent(v) {
+                    if colors[p] < 8 {
+                        forbidden[colors[p] as usize] = true;
+                    }
+                }
+                // After the shift-down every child of v holds v's old colour,
+                // but check all children anyway for robustness.
+                for &c in forest.children(v) {
+                    if colors[c] < 8 {
+                        forbidden[colors[c] as usize] = true;
+                    }
+                }
+                (0..3u64)
+                    .find(|&c| !forbidden[c as usize])
+                    .expect("a free colour among three always exists in a forest")
+            })
+            .collect();
+        colors = next;
+        rounds += 1;
+    }
+
+    let colors: Vec<u8> = colors.iter().map(|&c| c as u8).collect();
+    debug_assert!(is_proper_coloring(forest, &colors));
+    Coloring {
+        colors,
+        cv_iterations,
+        rounds,
+    }
+}
+
+/// Checks that no vertex shares a colour with its forest parent.
+pub fn is_proper_coloring(forest: &RootedForest, colors: &[u8]) -> bool {
+    if colors.len() != forest.len() {
+        return false;
+    }
+    (0..forest.len()).all(|v| match forest.parent(v) {
+        Some(p) => colors[v] != colors[p],
+        None => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_forest(n: usize) -> RootedForest {
+        RootedForest::new((0..n).map(|v| if v == 0 { None } else { Some(v - 1) }).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_forest() {
+        let f = RootedForest::new(vec![]).unwrap();
+        let c = three_color(&f, &[]);
+        assert!(c.colors.is_empty());
+        assert_eq!(c.rounds, 0);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let f = RootedForest::new(vec![None]).unwrap();
+        let c = three_color(&f, &[12345]);
+        assert!(c.colors[0] < 3 || c.colors.len() == 1);
+        assert!(is_proper_coloring(&f, &c.colors));
+    }
+
+    #[test]
+    fn path_coloring_is_proper_and_three_colors() {
+        let n = 200;
+        let f = path_forest(n);
+        let ids: Vec<u64> = (0..n as u64).map(|i| i * 7919 + 13).collect();
+        let c = three_color(&f, &ids);
+        assert!(is_proper_coloring(&f, &c.colors));
+        assert!(c.colors.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn iterations_are_log_star_like() {
+        // Even for large id spaces the Cole–Vishkin phase needs only a
+        // handful of iterations (log* of the id bit-length).
+        let n = 1000;
+        let f = path_forest(n);
+        let ids: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) | 1).collect();
+        // Ensure adjacent distinct (multiplication by odd constant is a bijection).
+        let c = three_color(&f, &ids);
+        assert!(is_proper_coloring(&f, &c.colors));
+        assert!(
+            c.cv_iterations <= 8,
+            "expected O(log* n) iterations, got {}",
+            c.cv_iterations
+        );
+        assert!(c.rounds <= c.cv_iterations + 6);
+    }
+
+    #[test]
+    fn star_forest_coloring() {
+        // Root 0 with many children.
+        let n = 64;
+        let parent: Vec<Option<usize>> = (0..n).map(|v| if v == 0 { None } else { Some(0) }).collect();
+        let f = RootedForest::new(parent).unwrap();
+        let ids: Vec<u64> = (0..n as u64).map(|i| i + 100).collect();
+        let c = three_color(&f, &ids);
+        assert!(is_proper_coloring(&f, &c.colors));
+        assert!(c.colors.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn binary_tree_coloring() {
+        let n = 255;
+        let parent: Vec<Option<usize>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some((v - 1) / 2) })
+            .collect();
+        let f = RootedForest::new(parent).unwrap();
+        let ids: Vec<u64> = (0..n as u64).map(|i| i ^ 0xabcdef).collect();
+        let c = three_color(&f, &ids);
+        assert!(is_proper_coloring(&f, &c.colors));
+        assert!(c.colors.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn multi_tree_forest() {
+        // Three separate paths.
+        let mut parent = Vec::new();
+        for t in 0..3 {
+            for i in 0..50 {
+                if i == 0 {
+                    parent.push(None);
+                } else {
+                    parent.push(Some(t * 50 + i - 1));
+                }
+            }
+        }
+        let f = RootedForest::new(parent).unwrap();
+        let ids: Vec<u64> = (0..150u64).map(|i| i * 31 + 5).collect();
+        let c = three_color(&f, &ids);
+        assert!(is_proper_coloring(&f, &c.colors));
+    }
+
+    #[test]
+    fn cv_step_produces_differing_colors_for_neighbors() {
+        // Local property behind the algorithm: if own != parent and
+        // grandparent != parent then cv(own,parent) != cv(parent,grandparent).
+        let triples = [(5u64, 9u64, 12u64), (100, 73, 22), (1, 2, 4)];
+        for (gp, p, own) in triples {
+            let a = cv_step(own, p);
+            let b = cv_step(p, gp);
+            assert_ne!(a, b, "CV step must keep neighbouring colours distinct");
+        }
+    }
+
+    #[test]
+    fn proper_coloring_rejects_bad_lengths_and_conflicts() {
+        let f = path_forest(3);
+        assert!(!is_proper_coloring(&f, &[0, 1]));
+        assert!(!is_proper_coloring(&f, &[1, 1, 2]));
+        assert!(is_proper_coloring(&f, &[0, 1, 0]));
+    }
+}

@@ -1,0 +1,46 @@
+//! # symmetry
+//!
+//! Deterministic symmetry breaking on rooted forests, as required by Steps
+//! 3–5 of the deterministic partitioning algorithm of *"The Power of
+//! Multimedia"* (Afek, Landau, Schieber, Yung):
+//!
+//! * [`RootedForest`] — the *fragment forest* built in every phase of the
+//!   partition (one vertex per fragment, parent = fragment on the other side
+//!   of the chosen minimum-weight outgoing link);
+//! * [`three_color`] — the Goldberg–Plotkin–Shannon 3-colouring built on
+//!   Cole–Vishkin deterministic coin tossing, `O(log* n)` iterations
+//!   (Step 3);
+//! * [`mis_with_roots`] — the root-priority recolouring and promotion that
+//!   turns the 3-colouring into a maximal independent set containing every
+//!   root (Steps 4–5).
+//!
+//! The crate is purely combinatorial (no simulator dependency); the
+//! `multimedia` crate charges communication costs for these computations when
+//! executing them over fragment trees.
+//!
+//! # Example
+//!
+//! ```
+//! use symmetry::{RootedForest, three_color, mis_with_roots, is_maximal_independent};
+//!
+//! // A path of 6 fragments rooted at vertex 0.
+//! let forest = RootedForest::new(
+//!     (0..6).map(|v| if v == 0 { None } else { Some(v - 1) }).collect(),
+//! ).unwrap();
+//! let ids = [40u64, 17, 93, 5, 61, 28];
+//! let coloring = three_color(&forest, &ids);
+//! let mis = mis_with_roots(&forest, &coloring.colors);
+//! assert!(mis.in_mis[0]);
+//! assert!(is_maximal_independent(&forest, &mis.in_mis));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coloring;
+mod forest;
+mod mis;
+
+pub use coloring::{is_proper_coloring, three_color, Coloring};
+pub use forest::{RootedForest, RootedForestError};
+pub use mis::{is_independent, is_maximal_independent, mis_with_roots, MisResult, BLUE, GREEN, RED};

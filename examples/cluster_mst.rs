@@ -1,0 +1,54 @@
+//! Building a minimum spanning tree of a weighted cluster interconnect.
+//!
+//! The point-to-point links carry distinct costs (latency measurements); the
+//! shared bus (collision channel) lets fragment cores announce their merge
+//! decisions globally.  The example verifies the distributed MST against the
+//! sequential Kruskal reference and compares its cost with a point-to-point
+//! Borůvka baseline.
+//!
+//! Run with: `cargo run --example cluster_mst`
+
+use multimedia_net::baselines::p2p;
+use multimedia_net::graph::{generators, mst as refmst};
+use multimedia_net::multimedia::{mst, MultimediaNetwork};
+
+fn main() {
+    let n = 600;
+    let graph = generators::Family::RandomConnected.generate(n, 23);
+    println!(
+        "cluster interconnect: n = {}, m = {} weighted links",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let net = MultimediaNetwork::new(graph.clone());
+    let run = mst::minimum_spanning_tree(&net);
+    let reference = refmst::kruskal(&graph);
+    assert!(refmst::is_minimum_spanning_tree(&graph, &run.edges));
+    assert_eq!(
+        refmst::weight_of(&graph, &run.edges),
+        refmst::weight_of(&graph, &reference)
+    );
+
+    let baseline = p2p::boruvka_mst(&graph);
+    assert!(refmst::is_minimum_spanning_tree(&graph, &baseline.edges));
+
+    println!(
+        "multimedia MST: weight {}, {} initial fragments, {} merge phases",
+        refmst::weight_of(&graph, &run.edges),
+        run.initial_fragments,
+        run.phases
+    );
+    println!(
+        "  time {} rounds, {} messages (partition {} + schedule {} + merge {})",
+        run.total_cost().rounds,
+        run.total_cost().p2p_messages,
+        run.partition_cost.rounds,
+        run.schedule_cost.rounds,
+        run.merge_cost.rounds
+    );
+    println!(
+        "point-to-point Boruvka baseline: time {} rounds, {} messages, {} phases",
+        baseline.cost.rounds, baseline.cost.p2p_messages, baseline.phases
+    );
+}

@@ -1,0 +1,35 @@
+//! How many stations are on the bus?  (Sections 7.3 and 7.4.)
+//!
+//! The deterministic procedure computes n exactly by growing fragments and
+//! repeatedly trying to schedule their cores on the channel; the randomized
+//! Greenberg-Ladner procedure estimates n within a constant factor in
+//! O(log n) slots.
+//!
+//! Run with: `cargo run --example size_estimation`
+
+use multimedia_net::graph::generators;
+use multimedia_net::multimedia::{size, MultimediaNetwork};
+
+fn main() {
+    let n = 777;
+    let graph = generators::Family::RandomConnected.generate(n, 3);
+    let real_n = graph.node_count();
+    let net = MultimediaNetwork::new(graph);
+
+    let exact = size::deterministic_count(&net);
+    assert_eq!(exact.n, real_n);
+    println!(
+        "deterministic count: n = {} (exact), level {}, {} rounds, {} messages",
+        exact.n, exact.level, exact.cost.rounds, exact.cost.p2p_messages
+    );
+
+    println!("\nrandomized Greenberg-Ladner estimates (true n = {real_n}):");
+    println!("{:<8}{:>12}{:>10}{:>8}", "seed", "estimate", "ratio", "slots");
+    for seed in 0..8 {
+        let e = size::randomized_estimate(&net, seed);
+        println!(
+            "{:<8}{:>12}{:>10.2}{:>8}",
+            seed, e.estimate, e.ratio, e.cost.rounds
+        );
+    }
+}

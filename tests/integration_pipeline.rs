@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the full pipelines of the paper, exercised
+//! end to end through the facade crate.
+
+use multimedia_net::baselines::{broadcast_only, p2p};
+use multimedia_net::graph::{generators, mst as refmst, partition_quality, traversal, NodeId};
+use multimedia_net::multimedia::{
+    global_fn::{self, Min, Sum, Xor},
+    lower_bounds, mst,
+    partition::{deterministic, randomized},
+    size, MultimediaNetwork,
+};
+
+#[test]
+fn full_pipeline_on_every_family() {
+    for fam in generators::Family::ALL {
+        let g = fam.generate(80, 31);
+        let n = g.node_count();
+        let net = MultimediaNetwork::new(g.clone());
+
+        // Partition invariants.
+        let det = deterministic::partition(&net);
+        assert!(det.forest.is_mst_subforest(&g), "{fam}: not an MST subforest");
+        let q = partition_quality(&det.forest);
+        assert!(q.max_radius as f64 <= 8.0 * (n as f64).sqrt() + 8.0, "{fam}");
+
+        // Global function agrees with a sequential reference.
+        let inputs: Vec<Sum> = (0..n as u64).map(|i| Sum(i + 1)).collect();
+        let expected: u64 = (1..=n as u64).sum();
+        let run = global_fn::compute_deterministic(&net, &inputs);
+        assert_eq!(run.value.0, expected, "{fam}");
+
+        // MST agrees with Kruskal.
+        let tree = mst::minimum_spanning_tree(&net);
+        assert!(refmst::is_minimum_spanning_tree(&g, &tree.edges), "{fam}");
+    }
+}
+
+#[test]
+fn multimedia_scaling_beats_single_media_scaling_on_ring() {
+    // The headline separation: on rings (diameter n/2) the multimedia time
+    // grows like O~(sqrt n) while both single-medium costs grow linearly in n.
+    // At unit-test sizes the constants still favour the baselines, so the
+    // test checks the *growth rates* (the crossover itself is exhibited by
+    // experiment E4 at larger n); correctness is checked against both
+    // baselines at the smaller size.
+    let sizes = [1024usize, 4096];
+    let mut mm_times = Vec::new();
+    let mut p2p_bounds = Vec::new();
+    for &n in &sizes {
+        let g = generators::Family::Ring.generate(n, 5);
+        let net = MultimediaNetwork::new(g.clone());
+        let inputs: Vec<Min> = (0..n as u64)
+            .map(|i| Min((i * 2654435761) % 100_000))
+            .collect();
+        let expected = inputs.iter().map(|m| m.0).min().unwrap();
+        let mm = global_fn::compute_deterministic(&net, &inputs);
+        assert_eq!(mm.value.0, expected);
+        mm_times.push(mm.total_cost().rounds as f64);
+        let d = traversal::diameter_radius(&g).0;
+        p2p_bounds.push(lower_bounds::point_to_point_bound(d) as f64);
+
+        if n == 1024 {
+            // Baseline correctness and lower-bound conformance at the small size.
+            let raw: Vec<u64> = inputs.iter().map(|m| m.0).collect();
+            let p2p_run = p2p::global_function(&g, NodeId(0), &raw, |a, b| *a.min(b));
+            assert_eq!(p2p_run.value, expected);
+            assert!(p2p_run.total_cost().rounds >= lower_bounds::point_to_point_bound(d));
+            let bc_run = broadcast_only::global_function_tdma(&raw, |a, b| *a.min(b));
+            assert_eq!(bc_run.value, expected);
+            assert!(bc_run.cost.rounds >= lower_bounds::broadcast_bound(n));
+        }
+    }
+    // Quadrupling n doubles sqrt(n): the multimedia time should grow by about
+    // 2x (allow up to 3.2x for the log* and scheduling terms), while the
+    // point-to-point bound grows by exactly 4x.
+    let mm_growth = mm_times[1] / mm_times[0];
+    let p2p_growth = p2p_bounds[1] / p2p_bounds[0];
+    assert!(
+        mm_growth < 3.2,
+        "multimedia time grew by {mm_growth:.2}x when n quadrupled; expected ~2x (sqrt n scaling)"
+    );
+    assert!(
+        mm_growth < p2p_growth,
+        "multimedia growth {mm_growth:.2}x must be below the point-to-point growth {p2p_growth:.2}x"
+    );
+}
+
+#[test]
+fn ray_graph_tracks_min_d_sqrt_n() {
+    // Experiment E4's key shape: on ray graphs the multimedia time follows
+    // min{d, sqrt n} (up to polylog factors), not d and not n.
+    let n = 1025;
+    let short = lower_bounds::ray_network(n, 8, 3); // d << sqrt(n)
+    let long = lower_bounds::ray_network(n, 256, 3); // d >> sqrt(n)
+    let mk_inputs = |net: &MultimediaNetwork| -> Vec<Sum> {
+        (0..net.node_count() as u64).map(Sum).collect()
+    };
+    let short_run = global_fn::compute_randomized(&short, &mk_inputs(&short), 1);
+    let long_run = global_fn::compute_randomized(&long, &mk_inputs(&long), 1);
+    // Larger diameter should not translate into proportionally larger time:
+    // both are governed by sqrt(n) once d exceeds it.
+    let ratio = long_run.total_cost().rounds as f64 / short_run.total_cost().rounds.max(1) as f64;
+    assert!(
+        ratio < 16.0,
+        "time should not scale with d beyond sqrt(n); ratio {ratio}"
+    );
+}
+
+#[test]
+fn randomized_partition_statistics() {
+    let n = 800;
+    let g = generators::Family::RandomConnected.generate(n, 13);
+    let net = MultimediaNetwork::new(g);
+    let mut trees = Vec::new();
+    for seed in 0..10 {
+        let out = randomized::partition(&net, seed);
+        assert!(out.outcome.forest.max_radius() as f64 <= 4.0 * (n as f64).sqrt());
+        trees.push(out.outcome.forest.tree_count());
+    }
+    let avg = trees.iter().sum::<usize>() as f64 / trees.len() as f64;
+    assert!(avg <= 6.0 * (n as f64).sqrt());
+}
+
+#[test]
+fn size_procedures_agree() {
+    let g = generators::Family::Grid.generate(529, 9);
+    let real_n = g.node_count();
+    let net = MultimediaNetwork::new(g);
+    assert_eq!(size::deterministic_count(&net).n, real_n);
+    let est = size::randomized_estimate(&net, 4);
+    assert!(est.estimate >= 1);
+}
+
+#[test]
+fn xor_and_sum_over_same_partition() {
+    let g = generators::Family::Torus.generate(256, 17);
+    let n = g.node_count();
+    let net = MultimediaNetwork::new(g);
+    let part = deterministic::partition(&net);
+    let xs: Vec<Xor> = (0..n as u64).map(Xor).collect();
+    let expected_xor = (0..n as u64).fold(0, |a, b| a ^ b);
+    let run = global_fn::compute_with_partition_deterministic(&net, &part, &xs);
+    assert_eq!(run.value.0, expected_xor);
+}

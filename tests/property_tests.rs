@@ -1,0 +1,125 @@
+//! Property-based tests (proptest) on the core invariants of the paper's
+//! data structures and algorithms, over randomly generated connected graphs.
+
+use multimedia_net::graph::{generators, mst as refmst, GraphBuilder, NodeId, UnionFind};
+use multimedia_net::multimedia::{
+    global_fn::{self, Min, Sum},
+    mst,
+    partition::{deterministic, randomized},
+    MultimediaNetwork,
+};
+use multimedia_net::symmetry::{
+    is_maximal_independent, is_proper_coloring, mis_with_roots, three_color, RootedForest,
+};
+use proptest::prelude::*;
+
+/// Strategy: a connected random graph of 2..=60 nodes with distinct weights.
+fn connected_graph() -> impl Strategy<Value = multimedia_net::graph::Graph> {
+    (2usize..=60, 0u64..1000, 0.0f64..0.3).prop_map(|(n, seed, p)| {
+        generators::assign_random_weights(&generators::random_connected(n, p, seed), seed ^ 0xabc)
+    })
+}
+
+/// Strategy: a rooted forest of 1..=80 vertices given by random attachment.
+fn rooted_forest() -> impl Strategy<Value = (RootedForest, Vec<u64>)> {
+    (1usize..=80, 0u64..1_000).prop_map(|(k, seed)| {
+        let mut parent = Vec::with_capacity(k);
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        for v in 0..k {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if v == 0 || state % 5 == 0 {
+                parent.push(None);
+            } else {
+                parent.push(Some((state as usize) % v));
+            }
+        }
+        let ids: Vec<u64> = (0..k as u64).map(|i| i.wrapping_mul(2654435761) ^ seed).collect();
+        (RootedForest::new(parent).unwrap(), ids)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn deterministic_partition_invariants(g in connected_graph()) {
+        let n = g.node_count();
+        let net = MultimediaNetwork::new(g.clone());
+        let out = deterministic::partition(&net);
+        // Spanning, MST-subforest, radius bound.
+        prop_assert_eq!(out.forest.node_count(), n);
+        prop_assert!(out.forest.is_mst_subforest(&g));
+        let bound = 8.0 * (n as f64).sqrt() + 8.0;
+        prop_assert!((out.forest.max_radius() as f64) <= bound);
+        // If more than one tree remains, every tree has at least sqrt(n) nodes.
+        if out.forest.tree_count() > 1 {
+            prop_assert!(out.forest.min_tree_size() as f64 >= (n as f64).sqrt().floor());
+        }
+    }
+
+    #[test]
+    fn randomized_partition_invariants(g in connected_graph(), seed in 0u64..500) {
+        let n = g.node_count();
+        let net = MultimediaNetwork::new(g);
+        let out = randomized::partition(&net, seed);
+        prop_assert_eq!(out.outcome.forest.node_count(), n);
+        prop_assert!((out.outcome.forest.max_radius() as f64) <= 4.0 * (n as f64).sqrt() + 1.0);
+    }
+
+    #[test]
+    fn global_functions_match_sequential_reference(g in connected_graph(), seed in 0u64..100) {
+        let n = g.node_count();
+        let net = MultimediaNetwork::new(g);
+        let sums: Vec<Sum> = (0..n as u64).map(|i| Sum(i.wrapping_mul(97) % 1000)).collect();
+        let expected: u64 = sums.iter().map(|s| s.0).sum();
+        let det = global_fn::compute_deterministic(&net, &sums);
+        prop_assert_eq!(det.value.0, expected);
+        let mins: Vec<Min> = (0..n as u64).map(|i| Min(5000 - (i * 13) % 4000)).collect();
+        let expected_min = mins.iter().map(|m| m.0).min().unwrap();
+        let rnd = global_fn::compute_randomized(&net, &mins, seed);
+        prop_assert_eq!(rnd.value.0, expected_min);
+    }
+
+    #[test]
+    fn distributed_mst_equals_kruskal(g in connected_graph()) {
+        let net = MultimediaNetwork::new(g.clone());
+        let run = mst::minimum_spanning_tree(&net);
+        prop_assert!(refmst::is_minimum_spanning_tree(&g, &run.edges));
+    }
+
+    #[test]
+    fn coloring_and_mis_invariants((forest, ids) in rooted_forest()) {
+        let coloring = three_color(&forest, &ids);
+        prop_assert!(is_proper_coloring(&forest, &coloring.colors));
+        prop_assert!(coloring.colors.iter().all(|&c| c < 3));
+        prop_assert!(coloring.cv_iterations <= 10);
+        let mis = mis_with_roots(&forest, &coloring.colors);
+        prop_assert!(is_maximal_independent(&forest, &mis.in_mis));
+        for r in forest.roots() {
+            prop_assert!(mis.in_mis[r]);
+        }
+    }
+
+    #[test]
+    fn union_find_counts_components(edges in proptest::collection::vec((0usize..30, 0usize..30), 0..80)) {
+        let mut uf = UnionFind::new(30);
+        let mut builder = GraphBuilder::new(30);
+        for (a, b) in &edges {
+            if a != b {
+                uf.union(*a, *b);
+                let _ = builder.try_add_edge(NodeId(*a), NodeId(*b), 1);
+            }
+        }
+        let g = builder.build();
+        let comps = multimedia_net::graph::traversal::connected_components(&g);
+        prop_assert_eq!(comps.len(), uf.set_count());
+    }
+
+    #[test]
+    fn kruskal_and_prim_agree(g in connected_graph()) {
+        let k = refmst::kruskal(&g);
+        let p = refmst::prim(&g, NodeId(0));
+        prop_assert_eq!(refmst::weight_of(&g, &k), refmst::weight_of(&g, &p));
+        prop_assert!(refmst::is_spanning_tree(&g, &k));
+    }
+}
