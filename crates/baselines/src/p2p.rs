@@ -62,7 +62,10 @@ where
     // Stage 1: BFS spanning tree.
     let mut bfs = SyncEngine::new(graph, |id| BfsBuild::new(id, root));
     let outcome = bfs.run(4 * n as u64 + 16);
-    assert!(outcome.is_completed(), "BFS must terminate on a connected graph");
+    assert!(
+        outcome.is_completed(),
+        "BFS must terminate on a connected graph"
+    );
     let parents: Vec<Option<NodeId>> = graph.nodes().map(|v| bfs.node(v).parent()).collect();
     let tree_depth = graph
         .nodes()
@@ -70,8 +73,8 @@ where
         .max()
         .unwrap_or(0);
     let tree_cost = *bfs.cost();
-    let forest = SpanningForest::from_parents(graph, parents)
-        .expect("BFS parents form a spanning tree");
+    let forest =
+        SpanningForest::from_parents(graph, parents).expect("BFS parents form a spanning tree");
     assert_eq!(forest.tree_count(), 1, "graph must be connected");
 
     // Stage 2: convergecast to the root.

@@ -8,7 +8,10 @@ use std::time::Duration;
 
 fn bench_det_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_det_partition");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
     for n in [256usize, 1024, 4096] {
         for fam in [Family::Grid, Family::Ring] {
             let net = workload(fam, n, 42);

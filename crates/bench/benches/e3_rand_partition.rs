@@ -8,7 +8,10 @@ use std::time::Duration;
 
 fn bench_rand_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_rand_partition");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
     for n in [256usize, 1024, 4096] {
         let net = workload(Family::RandomConnected, n, 7);
         group.bench_with_input(BenchmarkId::new("random", n), &net, |b, net| {

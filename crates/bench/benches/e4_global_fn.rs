@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_global_fn(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_global_fn");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
     for n in [256usize, 1024] {
         let net = workload(Family::Ring, n, 9);
         let inputs: Vec<Sum> = (0..net.node_count() as u64).map(Sum).collect();

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_mst(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_mst");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
     for n in [256usize, 1024] {
         let net = workload(Family::RandomConnected, n, 77);
         group.bench_with_input(BenchmarkId::new("multimedia", n), &net, |b, net| {

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_size");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
     for n in [1024usize, 4096] {
         let net = workload(Family::Grid, n, 6);
         group.bench_with_input(BenchmarkId::new("greenberg_ladner", n), &net, |b, net| {
@@ -20,9 +23,11 @@ fn bench_size(c: &mut Criterion) {
             })
         });
         if n <= 1024 {
-            group.bench_with_input(BenchmarkId::new("deterministic_count", n), &net, |b, net| {
-                b.iter(|| criterion::black_box(size::deterministic_count(net).n))
-            });
+            group.bench_with_input(
+                BenchmarkId::new("deterministic_count", n),
+                &net,
+                |b, net| b.iter(|| criterion::black_box(size::deterministic_count(net).n)),
+            );
         }
     }
     group.finish();

@@ -7,20 +7,27 @@ use std::time::Duration;
 
 fn bench_channel(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_channel");
-    group.sample_size(10).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
     for k in [64u64, 512] {
         let contenders: Vec<Contender> = (0..k).map(|i| Contender::new(i * 131 + 7)).collect();
         let ids: Vec<u64> = contenders.iter().map(|c| c.id).collect();
         group.bench_with_input(BenchmarkId::new("capetanakis", k), &contenders, |b, cs| {
             b.iter(|| criterion::black_box(capetanakis::resolve(cs, 1 << 18).slots()))
         });
-        group.bench_with_input(BenchmarkId::new("metcalfe_boggs", k), &contenders, |b, cs| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                criterion::black_box(backoff::resolve_known_count(cs, seed).unwrap().slots())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("metcalfe_boggs", k),
+            &contenders,
+            |b, cs| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    criterion::black_box(backoff::resolve_known_count(cs, seed).unwrap().slots())
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("willard_election", k), &ids, |b, ids| {
             let mut seed = 0;
             b.iter(|| {

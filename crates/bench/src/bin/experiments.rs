@@ -1,13 +1,20 @@
-//! Experiment driver: regenerates the measured tables of `EXPERIMENTS.md`.
+//! Experiment driver: regenerates the measured tables of `EXPERIMENTS.md`
+//! and the round-engine performance baseline `BENCH_engine.json`.
 //!
 //! Usage:
 //!   cargo run -p bench --bin experiments --release            # all experiments
 //!   cargo run -p bench --bin experiments --release -- --exp e1 e4
 //!   cargo run -p bench --bin experiments --release -- --quick # smaller sweeps
 //!   cargo run -p bench --bin experiments --release -- --json out.json
+//!   cargo run -p bench --bin experiments --release -- --engine
+//!       # round-engine bench (flat vs reference) -> BENCH_engine.json
+//!   cargo run -p bench --bin experiments --release -- --engine --engine-json path.json
 
 use baselines::{broadcast_only, p2p};
-use bench::{diameter_of, fit_exponent, print_table, to_json, workload, Record};
+use bench::{
+    diameter_of, engine_bench, fit_exponent, json_escape, json_f64, print_table, to_json, workload,
+    Record,
+};
 use channel_access::{backoff, capetanakis, election, Contender};
 use multimedia::{
     global_fn::{self, Sum},
@@ -15,23 +22,115 @@ use multimedia::{
     partition::{deterministic, randomized},
     size, synchronizer,
 };
-use netsim_graph::{generators::Family, log_star, NodeId};
+use netsim_graph::{generators, generators::Family, log_star, NodeId};
 use netsim_sim::{protocols::BfsBuild, AsyncConfig, SyncEngine};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------------
+// Counting allocator: allocation count / bytes / peak-live bytes, used as the
+// engine bench's peak-RSS proxy.  Lives in the binary so the library crates
+// can keep `#![forbid(unsafe_code)]`.
+// ---------------------------------------------------------------------------
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+fn on_alloc(bytes: usize) {
+    ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(bytes: usize) {
+    LIVE_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed);
+}
+
+// SAFETY: delegates directly to `System`; counter updates do not affect
+// allocation behaviour.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        on_dealloc(layout.size());
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        on_alloc(new_size);
+        on_dealloc(layout.size());
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Snapshot of the allocator counters.
+#[derive(Clone, Copy)]
+struct AllocSnapshot {
+    count: u64,
+    bytes: u64,
+}
+
+fn alloc_snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        count: ALLOC_COUNT.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the peak tracker to the current live size so a following
+/// measurement reports its own high-water mark.
+fn reset_peak() -> u64 {
+    let live = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(live, Ordering::Relaxed);
+    live
+}
+
+fn peak_delta(baseline_live: u64) -> u64 {
+    PEAK_BYTES
+        .load(Ordering::Relaxed)
+        .saturating_sub(baseline_live)
+}
 
 struct Opts {
     quick: bool,
     exps: Vec<String>,
     json: Option<String>,
+    engine: bool,
+    engine_json: String,
 }
 
 fn parse_args() -> Opts {
     let mut quick = false;
     let mut exps = Vec::new();
     let mut json = None;
+    let mut engine = false;
+    let mut engine_json = "BENCH_engine.json".to_string();
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--engine" => engine = true,
+            "--engine-json" => {
+                if let Some(p) = args.next() {
+                    engine_json = p;
+                }
+            }
             "--exp" => {
                 while let Some(e) = args.peek() {
                     if e.starts_with("--") {
@@ -44,7 +143,13 @@ fn parse_args() -> Opts {
             other => eprintln!("ignoring unknown argument {other}"),
         }
     }
-    Opts { quick, exps, json }
+    Opts {
+        quick,
+        exps,
+        json,
+        engine,
+        engine_json,
+    }
 }
 
 fn wanted(opts: &Opts, id: &str) -> bool {
@@ -60,11 +165,19 @@ fn sweep(quick: bool) -> Vec<usize> {
 }
 
 fn families() -> [Family; 4] {
-    [Family::Ring, Family::Grid, Family::RandomConnected, Family::Ray]
+    [
+        Family::Ring,
+        Family::Grid,
+        Family::RandomConnected,
+        Family::Ray,
+    ]
 }
 
 fn report_exponent(label: &str, pts: &[(f64, f64)]) {
-    println!("   fitted growth exponent for {label}: {:.2}", fit_exponent(pts));
+    println!(
+        "   fitted growth exponent for {label}: {:.2}",
+        fit_exponent(pts)
+    );
 }
 
 /// E1 + E2: deterministic partition quality, time and messages.
@@ -76,28 +189,39 @@ fn e1_e2(opts: &Opts, all: &mut Vec<Record>) {
             let net = workload(fam, n, 42);
             let out = deterministic::partition(&net);
             let q = out.quality();
-            let r = Record::new("E1", fam.name(), net.node_count(), net.edge_count(), "det-partition", &out.cost)
-                .with("trees", q.trees as f64)
-                .with("max_radius", f64::from(q.max_radius))
-                .with("min_size", q.min_size as f64)
-                .with("radius/sqrt_n", q.radius_over_sqrt_n)
-                .with("rounds/(sqrt_n·log*)", {
-                    let nn = net.node_count() as f64;
-                    out.cost.rounds as f64 / (nn.sqrt() * f64::from(log_star(net.node_count() as u64).max(1)))
-                })
-                .with("msgs/bound", {
-                    let nn = net.node_count() as f64;
-                    out.cost.p2p_messages as f64
-                        / (net.edge_count() as f64
-                            + nn * nn.log2() * f64::from(log_star(net.node_count() as u64).max(1)))
-                });
+            let r = Record::new(
+                "E1",
+                fam.name(),
+                net.node_count(),
+                net.edge_count(),
+                "det-partition",
+                &out.cost,
+            )
+            .with("trees", q.trees as f64)
+            .with("max_radius", f64::from(q.max_radius))
+            .with("min_size", q.min_size as f64)
+            .with("radius/sqrt_n", q.radius_over_sqrt_n)
+            .with("rounds/(sqrt_n·log*)", {
+                let nn = net.node_count() as f64;
+                out.cost.rounds as f64
+                    / (nn.sqrt() * f64::from(log_star(net.node_count() as u64).max(1)))
+            })
+            .with("msgs/bound", {
+                let nn = net.node_count() as f64;
+                out.cost.p2p_messages as f64
+                    / (net.edge_count() as f64
+                        + nn * nn.log2() * f64::from(log_star(net.node_count() as u64).max(1)))
+            });
             if fam == Family::Grid {
                 time_pts.push((net.node_count() as f64, out.cost.rounds as f64));
             }
             records.push(r);
         }
     }
-    print_table("E1/E2 — deterministic partition (Section 3): quality, time, messages", &records);
+    print_table(
+        "E1/E2 — deterministic partition (Section 3): quality, time, messages",
+        &records,
+    );
     report_exponent("rounds vs n (grid; √n bound predicts 0.5)", &time_pts);
     all.extend(records);
 }
@@ -124,15 +248,25 @@ fn e3(opts: &Opts, all: &mut Vec<Record>) {
                 ..Default::default()
             };
             let nn = net.node_count() as f64;
-            let r = Record::new("E3", fam.name(), net.node_count(), net.edge_count(), "rand-partition(avg)", &avg_cost)
-                .with("avg_trees", trees / seeds as f64)
-                .with("trees/sqrt_n", trees / seeds as f64 / nn.sqrt())
-                .with("max_radius", radius)
-                .with("radius/sqrt_n", radius / nn.sqrt());
+            let r = Record::new(
+                "E3",
+                fam.name(),
+                net.node_count(),
+                net.edge_count(),
+                "rand-partition(avg)",
+                &avg_cost,
+            )
+            .with("avg_trees", trees / seeds as f64)
+            .with("trees/sqrt_n", trees / seeds as f64 / nn.sqrt())
+            .with("max_radius", radius)
+            .with("radius/sqrt_n", radius / nn.sqrt());
             records.push(r);
         }
     }
-    print_table("E3 — randomized partition (Section 4, Theorem 1): E[trees] = O(√n), radius ≤ 4√n", &records);
+    print_table(
+        "E3 — randomized partition (Section 4, Theorem 1): E[trees] = O(√n), radius ≤ 4√n",
+        &records,
+    );
     all.extend(records);
 }
 
@@ -150,12 +284,26 @@ fn e4(opts: &Opts, all: &mut Vec<Record>) {
             let det = global_fn::compute_deterministic(&net, &inputs);
             let rnd = global_fn::compute_randomized(&net, &inputs, 5);
             records.push(
-                Record::new("E4", fam.name(), nn, net.edge_count(), "multimedia-det", &det.total_cost())
-                    .with("cores", det.tree_count as f64),
+                Record::new(
+                    "E4",
+                    fam.name(),
+                    nn,
+                    net.edge_count(),
+                    "multimedia-det",
+                    &det.total_cost(),
+                )
+                .with("cores", det.tree_count as f64),
             );
             records.push(
-                Record::new("E4", fam.name(), nn, net.edge_count(), "multimedia-rand", &rnd.total_cost())
-                    .with("cores", rnd.tree_count as f64),
+                Record::new(
+                    "E4",
+                    fam.name(),
+                    nn,
+                    net.edge_count(),
+                    "multimedia-rand",
+                    &rnd.total_cost(),
+                )
+                .with("cores", rnd.tree_count as f64),
             );
             if fam == Family::Ring {
                 mm_pts.push((nn as f64, det.total_cost().rounds as f64));
@@ -166,20 +314,43 @@ fn e4(opts: &Opts, all: &mut Vec<Record>) {
             let raw: Vec<u64> = (0..nn as u64).collect();
             if nn <= 4096 {
                 let p = p2p::global_function(net.graph(), NodeId(0), &raw, |a, b| a + b);
-                let rec = Record::new("E4", fam.name(), nn, net.edge_count(), "p2p-only", &p.total_cost())
-                    .with("diameter", f64::from(diameter_of(&net)));
+                let rec = Record::new(
+                    "E4",
+                    fam.name(),
+                    nn,
+                    net.edge_count(),
+                    "p2p-only",
+                    &p.total_cost(),
+                )
+                .with("diameter", f64::from(diameter_of(&net)));
                 if fam == Family::Ring {
                     p2p_pts.push((nn as f64, p.total_cost().rounds as f64));
                 }
                 records.push(rec);
             }
             let b = broadcast_only::global_function_tdma(&raw, |a, b| a + b);
-            records.push(Record::new("E4", fam.name(), nn, net.edge_count(), "broadcast-only", &b.cost));
+            records.push(Record::new(
+                "E4",
+                fam.name(),
+                nn,
+                net.edge_count(),
+                "broadcast-only",
+                &b.cost,
+            ));
         }
     }
-    print_table("E4 — global sensitive functions (Section 5): multimedia vs single media", &records);
-    report_exponent("multimedia rounds vs n (ring; bound predicts ~0.5)", &mm_pts);
-    report_exponent("point-to-point rounds vs n (ring; Ω(d) predicts 1.0)", &p2p_pts);
+    print_table(
+        "E4 — global sensitive functions (Section 5): multimedia vs single media",
+        &records,
+    );
+    report_exponent(
+        "multimedia rounds vs n (ring; bound predicts ~0.5)",
+        &mm_pts,
+    );
+    report_exponent(
+        "point-to-point rounds vs n (ring; Ω(d) predicts 1.0)",
+        &p2p_pts,
+    );
     all.extend(records.clone());
 
     // Ray-graph diameter sweep (Theorem 2 / Claim 4 shape).
@@ -192,13 +363,23 @@ fn e4(opts: &Opts, all: &mut Vec<Record>) {
         let run = global_fn::compute_deterministic(&net, &inputs);
         let b = lower_bounds::bounds_for(nn, d as u32);
         ray_records.push(
-            Record::new("E4r", "ray", nn, net.edge_count(), &format!("multimedia-det d={d}"), &run.total_cost())
-                .with("lb_multimedia", b.multimedia as f64)
-                .with("lb_p2p", b.point_to_point as f64)
-                .with("lb_broadcast", b.broadcast as f64),
+            Record::new(
+                "E4r",
+                "ray",
+                nn,
+                net.edge_count(),
+                &format!("multimedia-det d={d}"),
+                &run.total_cost(),
+            )
+            .with("lb_multimedia", b.multimedia as f64)
+            .with("lb_p2p", b.point_to_point as f64)
+            .with("lb_broadcast", b.broadcast as f64),
         );
     }
-    print_table("E4 (ray graphs) — measured time vs Ω(min{d,√n}) as diameter grows", &ray_records);
+    print_table(
+        "E4 (ray graphs) — measured time vs Ω(min{d,√n}) as diameter grows",
+        &ray_records,
+    );
     all.extend(ray_records);
 }
 
@@ -216,33 +397,60 @@ fn e5(opts: &Opts, all: &mut Vec<Record>) {
             let run = mst::minimum_spanning_tree(&net);
             let nn = net.node_count();
             records.push(
-                Record::new("E5", fam.name(), nn, net.edge_count(), "multimedia-mst", &run.total_cost())
-                    .with("fragments", run.initial_fragments as f64)
-                    .with("phases", f64::from(run.phases)),
+                Record::new(
+                    "E5",
+                    fam.name(),
+                    nn,
+                    net.edge_count(),
+                    "multimedia-mst",
+                    &run.total_cost(),
+                )
+                .with("fragments", run.initial_fragments as f64)
+                .with("phases", f64::from(run.phases)),
             );
             if fam == Family::Ring {
                 mm_pts.push((nn as f64, run.total_cost().rounds as f64));
             }
             let base = p2p::boruvka_mst(net.graph());
             records.push(
-                Record::new("E5", fam.name(), nn, net.edge_count(), "p2p-boruvka", &base.cost)
-                    .with("phases", f64::from(base.phases)),
+                Record::new(
+                    "E5",
+                    fam.name(),
+                    nn,
+                    net.edge_count(),
+                    "p2p-boruvka",
+                    &base.cost,
+                )
+                .with("phases", f64::from(base.phases)),
             );
             if fam == Family::Ring {
                 base_pts.push((nn as f64, base.cost.rounds as f64));
             }
         }
     }
-    print_table("E5 — minimum spanning tree (Section 6): multimedia vs point-to-point only", &records);
-    report_exponent("multimedia MST rounds vs n (ring; √n·log n predicts ~0.5-0.6)", &mm_pts);
-    report_exponent("p2p Borůvka rounds vs n (ring; Θ(n log n) predicts ~1.0+)", &base_pts);
+    print_table(
+        "E5 — minimum spanning tree (Section 6): multimedia vs point-to-point only",
+        &records,
+    );
+    report_exponent(
+        "multimedia MST rounds vs n (ring; √n·log n predicts ~0.5-0.6)",
+        &mm_pts,
+    );
+    report_exponent(
+        "p2p Borůvka rounds vs n (ring; Θ(n log n) predicts ~1.0+)",
+        &base_pts,
+    );
     all.extend(records);
 }
 
 /// E6: the channel synchronizer (Section 7.1) — overhead vs the synchronous run.
 fn e6(opts: &Opts, all: &mut Vec<Record>) {
     let mut records = Vec::new();
-    let ns = if opts.quick { vec![64usize, 144] } else { vec![64usize, 144, 256] };
+    let ns = if opts.quick {
+        vec![64usize, 144]
+    } else {
+        vec![64usize, 144, 256]
+    };
     for &n in &ns {
         let net = workload(Family::Grid, n, 4);
         let root = NodeId(0);
@@ -250,19 +458,47 @@ fn e6(opts: &Opts, all: &mut Vec<Record>) {
         let mut sync_engine = SyncEngine::new(net.graph(), |id| BfsBuild::new(id, root));
         sync_engine.run(100_000);
         let sync_cost = *sync_engine.cost();
-        records.push(Record::new("E6", "grid", net.node_count(), net.edge_count(), "sync-engine-bfs", &sync_cost));
+        records.push(Record::new(
+            "E6",
+            "grid",
+            net.node_count(),
+            net.edge_count(),
+            "sync-engine-bfs",
+            &sync_cost,
+        ));
         // Asynchronous run under the channel synchronizer.
-        let cfg = AsyncConfig { slot_ticks: 4, max_delay_ticks: 4, seed: 11 };
-        let run = synchronizer::run_synchronized(&net, cfg, 50_000_000, |id| BfsBuild::new(id, root))
-            .expect("synchronized run terminates");
+        let cfg = AsyncConfig {
+            slot_ticks: 4,
+            max_delay_ticks: 4,
+            seed: 11,
+        };
+        let run =
+            synchronizer::run_synchronized(&net, cfg, 50_000_000, |id| BfsBuild::new(id, root))
+                .expect("synchronized run terminates");
         records.push(
-            Record::new("E6", "grid", net.node_count(), net.edge_count(), "async+synchronizer-bfs", &run.cost)
-                .with("payload_msgs", run.payload_messages as f64)
-                .with("msg_overhead", run.cost.p2p_messages as f64 / run.payload_messages.max(1) as f64)
-                .with("slots_per_round", run.slots as f64 / run.rounds.max(1) as f64),
+            Record::new(
+                "E6",
+                "grid",
+                net.node_count(),
+                net.edge_count(),
+                "async+synchronizer-bfs",
+                &run.cost,
+            )
+            .with("payload_msgs", run.payload_messages as f64)
+            .with(
+                "msg_overhead",
+                run.cost.p2p_messages as f64 / run.payload_messages.max(1) as f64,
+            )
+            .with(
+                "slots_per_round",
+                run.slots as f64 / run.rounds.max(1) as f64,
+            ),
         );
     }
-    print_table("E6 — channel synchronizer (Section 7.1): ≤2× messages, O(1) slots per round", &records);
+    print_table(
+        "E6 — channel synchronizer (Section 7.1): ≤2× messages, O(1) slots per round",
+        &records,
+    );
     all.extend(records);
 }
 
@@ -273,29 +509,52 @@ fn e7_e8(opts: &Opts, all: &mut Vec<Record>) {
         let net = workload(Family::RandomConnected, n, 6);
         let exact = size::deterministic_count(&net);
         records.push(
-            Record::new("E7", "random", net.node_count(), net.edge_count(), "det-count", &exact.cost)
-                .with("counted_n", exact.n as f64)
-                .with("level", f64::from(exact.level)),
+            Record::new(
+                "E7",
+                "random",
+                net.node_count(),
+                net.edge_count(),
+                "det-count",
+                &exact.cost,
+            )
+            .with("counted_n", exact.n as f64)
+            .with("level", f64::from(exact.level)),
         );
         let reps = if opts.quick { 11 } else { 31 };
-        let mut ratios: Vec<f64> = (0..reps).map(|s| size::randomized_estimate(&net, s).ratio).collect();
+        let mut ratios: Vec<f64> = (0..reps)
+            .map(|s| size::randomized_estimate(&net, s).ratio)
+            .collect();
         ratios.sort_by(f64::total_cmp);
         let est = size::randomized_estimate(&net, 0);
         records.push(
-            Record::new("E8", "random", net.node_count(), net.edge_count(), "greenberg-ladner", &est.cost)
-                .with("median_ratio", ratios[ratios.len() / 2])
-                .with("min_ratio", ratios[0])
-                .with("max_ratio", *ratios.last().unwrap()),
+            Record::new(
+                "E8",
+                "random",
+                net.node_count(),
+                net.edge_count(),
+                "greenberg-ladner",
+                &est.cost,
+            )
+            .with("median_ratio", ratios[ratios.len() / 2])
+            .with("min_ratio", ratios[0])
+            .with("max_ratio", *ratios.last().unwrap()),
         );
     }
-    print_table("E7/E8 — network size: deterministic count (7.3) and randomized estimate (7.4)", &records);
+    print_table(
+        "E7/E8 — network size: deterministic count (7.3) and randomized estimate (7.4)",
+        &records,
+    );
     all.extend(records);
 }
 
 /// E9: channel-access substrate calibration.
 fn e9(opts: &Opts, all: &mut Vec<Record>) {
     let mut records = Vec::new();
-    let ks = if opts.quick { vec![16u64, 64, 256] } else { vec![16u64, 64, 256, 1024] };
+    let ks = if opts.quick {
+        vec![16u64, 64, 256]
+    } else {
+        vec![16u64, 64, 256, 1024]
+    };
     for &k in &ks {
         let id_space = 1u64 << 18;
         let contenders: Vec<Contender> = (0..k).map(|i| Contender::new(i * 131 + 7)).collect();
@@ -311,18 +570,225 @@ fn e9(opts: &Opts, all: &mut Vec<Record>) {
         );
         let ids: Vec<u64> = contenders.iter().map(|c| c.id).collect();
         let det = election::bitwise_election(&ids, 18);
-        records.push(Record::new("E9", "-", k as usize, 0, "bitwise-election", &det.cost));
+        records.push(Record::new(
+            "E9",
+            "-",
+            k as usize,
+            0,
+            "bitwise-election",
+            &det.cost,
+        ));
         let wil = election::willard_election(&ids, 18, 5);
-        records.push(Record::new("E9", "-", k as usize, 0, "willard-election", &wil.cost));
+        records.push(Record::new(
+            "E9",
+            "-",
+            k as usize,
+            0,
+            "willard-election",
+            &wil.cost,
+        ));
     }
-    print_table("E9 — channel-access substrate: slots vs number of contenders k", &records);
+    print_table(
+        "E9 — channel-access substrate: slots vs number of contenders k",
+        &records,
+    );
     all.extend(records);
+}
+
+/// One measured engine-bench configuration, for `BENCH_engine.json`.
+struct EngineBenchRow {
+    topology: &'static str,
+    n: usize,
+    m: usize,
+    engine: &'static str,
+    threads: usize,
+    stats: engine_bench::RunStats,
+    allocations: u64,
+    allocated_bytes: u64,
+    peak_live_bytes: u64,
+}
+
+impl EngineBenchRow {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"topology\": \"{}\", \"n\": {}, \"m\": {}, \"engine\": \"{}\", \
+             \"threads\": {}, \"rounds\": {}, \"messages\": {}, \"seconds\": {}, \
+             \"rounds_per_sec\": {}, \"messages_per_sec\": {}, \"allocations\": {}, \
+             \"allocated_bytes\": {}, \"peak_live_bytes\": {}, \"checksum\": \"{:016x}\"}}",
+            json_escape(self.topology),
+            self.n,
+            self.m,
+            json_escape(self.engine),
+            self.threads,
+            self.stats.rounds,
+            self.stats.messages,
+            json_f64(self.stats.seconds),
+            json_f64(self.stats.rounds_per_sec()),
+            json_f64(self.stats.messages_per_sec()),
+            self.allocations,
+            self.allocated_bytes,
+            self.peak_live_bytes,
+            self.stats.checksum,
+        )
+    }
+}
+
+/// Measures `run` with allocator accounting around it.
+fn measured<F: FnOnce() -> engine_bench::RunStats>(
+    run: F,
+) -> (engine_bench::RunStats, u64, u64, u64) {
+    let live = reset_peak();
+    let before = alloc_snapshot();
+    let stats = run();
+    let after = alloc_snapshot();
+    (
+        stats,
+        after.count - before.count,
+        after.bytes - before.bytes,
+        peak_delta(live),
+    )
+}
+
+/// Round-engine bench: flat (and, when compiled in, parallel) vs reference
+/// on the global-sum gossip workload; writes `BENCH_engine.json`.
+fn engine(opts: &Opts) {
+    let ns: &[usize] = if opts.quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let families = [Family::Grid, Family::Ring, Family::RandomConnected];
+    let mut rows: Vec<EngineBenchRow> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    println!("\n== ENGINE — flat zero-allocation engine vs reference (global-sum gossip) ==");
+    println!(
+        "{:<10}{:>9}{:>10}  {:<12}{:>8}{:>12}{:>14}{:>12}{:>14}",
+        "topology", "n", "m", "engine", "rounds", "rounds/s", "messages/s", "allocs", "peak_bytes"
+    );
+    for fam in families {
+        for &n in ns {
+            // The dense rejection sampler behind `Family::RandomConnected` is
+            // O(n²); at bench scale use the sparse generator (same Θ(n) edge
+            // count, average degree ~8).
+            let g = if fam == Family::RandomConnected {
+                generators::random_connected_sparse(n, 3 * n, 42)
+            } else {
+                fam.generate(n, 42)
+            };
+            let rounds = engine_bench::workload_rounds(&g);
+            let mut record = |name: &'static str,
+                              threads: usize,
+                              (stats, allocations, allocated_bytes, peak_live_bytes): (
+                engine_bench::RunStats,
+                u64,
+                u64,
+                u64,
+            )| {
+                println!(
+                    "{:<10}{:>9}{:>10}  {:<12}{:>8}{:>12.0}{:>14.0}{:>12}{:>14}",
+                    fam.name(),
+                    g.node_count(),
+                    g.edge_count(),
+                    name,
+                    stats.rounds,
+                    stats.rounds_per_sec(),
+                    stats.messages_per_sec(),
+                    allocations,
+                    peak_live_bytes
+                );
+                rows.push(EngineBenchRow {
+                    topology: fam.name(),
+                    n: g.node_count(),
+                    m: g.edge_count(),
+                    engine: name,
+                    threads,
+                    stats,
+                    allocations,
+                    allocated_bytes,
+                    peak_live_bytes,
+                });
+                stats
+            };
+            let reference = record(
+                "reference",
+                1,
+                measured(|| engine_bench::run_reference(&g, rounds)),
+            );
+            let flat = record("flat", 1, measured(|| engine_bench::run_flat(&g, rounds)));
+            #[cfg(feature = "parallel")]
+            {
+                let threads = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(4)
+                    .min(8);
+                let par = record(
+                    "flat-parallel",
+                    threads,
+                    measured(|| engine_bench::run_flat_parallel(&g, rounds, threads)),
+                );
+                assert_eq!(
+                    par.checksum,
+                    flat.checksum,
+                    "parallel run diverged from sequential on {} n={}",
+                    fam.name(),
+                    n
+                );
+            }
+            assert_eq!(
+                flat.checksum,
+                reference.checksum,
+                "flat and reference engines diverged on {} n={}",
+                fam.name(),
+                n
+            );
+            let speedup = flat.rounds_per_sec() / reference.rounds_per_sec();
+            println!(
+                "   -> speedup flat/reference: {speedup:.2}x ({} rounds of {} msgs)",
+                flat.rounds, flat.messages
+            );
+            speedups.push((format!("{}/{}", fam.name(), g.node_count()), speedup));
+        }
+    }
+
+    let row_json: Vec<String> = rows.iter().map(EngineBenchRow::to_json).collect();
+    let speedup_json: Vec<String> = speedups
+        .iter()
+        .map(|(key, s)| {
+            format!(
+                "    {{\"config\": \"{}\", \"speedup\": {}}}",
+                json_escape(key),
+                json_f64(*s)
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n\"schema\": \"bench-engine/v1\",\n\"workload\": \"global-sum gossip \
+         (constant-traffic heartbeat aggregation; see bench::engine_bench)\",\n\
+         \"quick\": {},\n\"results\": [\n{}\n],\n\"speedups_flat_over_reference\": [\n{}\n]\n}}\n",
+        opts.quick,
+        row_json.join(",\n"),
+        speedup_json.join(",\n")
+    );
+    std::fs::write(&opts.engine_json, doc).expect("write BENCH_engine.json");
+    println!(
+        "\nwrote {} engine-bench rows to {}",
+        rows.len(),
+        opts.engine_json
+    );
 }
 
 fn main() {
     let opts = parse_args();
     let mut all = Vec::new();
     println!("multimedia-net experiment harness (quick = {})", opts.quick);
+    if opts.engine || opts.exps.iter().any(|e| e == "engine") {
+        engine(&opts);
+        if opts.exps.is_empty() {
+            // A bare `--engine` run is complete on its own; combine with
+            // `--exp` to also run paper experiments.
+            return;
+        }
+    }
     if wanted(&opts, "e1") || wanted(&opts, "e2") {
         e1_e2(&opts, &mut all);
     }

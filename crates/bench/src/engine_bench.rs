@@ -1,0 +1,169 @@
+//! The round-engine benchmark: a constant-traffic global-sum gossip workload
+//! measured on both the flat zero-allocation [`SyncEngine`] and the
+//! allocation-per-round [`ReferenceEngine`] baseline.
+//!
+//! The `experiments` binary drives this over grid/ring/random topologies at
+//! n ∈ {1k, 10k, 100k} and records the results (plus allocator statistics)
+//! in `BENCH_engine.json`, giving every future PR a perf trajectory to
+//! compare against.
+
+use netsim_graph::{Graph, NodeId};
+use netsim_sim::{Protocol, ReferenceEngine, RoundIo, SyncEngine};
+use std::time::Instant;
+
+/// Global-sum gossip: every node starts with a value and, for a fixed number
+/// of rounds, broadcasts its running partial sum to all neighbours each
+/// round while folding everything it hears into that partial.  Constant
+/// traffic (sum of degrees messages per round), `Copy` state, no protocol
+/// allocations — everything measured belongs to the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlobalSumGossip {
+    /// Running partial sum (wrapping; used as the result checksum).
+    pub partial: u64,
+    /// Remaining broadcasting rounds.
+    pub rounds_left: u32,
+}
+
+impl GlobalSumGossip {
+    /// Initial state for node `v` with `rounds` broadcasting rounds.
+    pub fn new(v: NodeId, rounds: u32) -> Self {
+        GlobalSumGossip {
+            partial: (v.index() as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1,
+            rounds_left: rounds,
+        }
+    }
+}
+
+impl Protocol for GlobalSumGossip {
+    type Msg = u64;
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for &(_, v) in io.inbox() {
+            self.partial = self.partial.wrapping_add(v);
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            io.send_all(self.partial);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+/// Outcome of one measured engine run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Point-to-point messages delivered.
+    pub messages: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Fold of all final node states; equal across engines iff the engines
+    /// executed identically.
+    pub checksum: u64,
+}
+
+impl RunStats {
+    /// Rounds per wall-clock second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.seconds.max(1e-12)
+    }
+
+    /// Messages per wall-clock second.
+    pub fn messages_per_sec(&self) -> f64 {
+        self.messages as f64 / self.seconds.max(1e-12)
+    }
+}
+
+fn checksum(nodes: &[GlobalSumGossip]) -> u64 {
+    nodes
+        .iter()
+        .fold(0u64, |acc, n| acc.rotate_left(7) ^ n.partial)
+}
+
+/// Picks the broadcasting-round count so every configuration moves roughly
+/// the same number of messages (~8M), clamped to keep tiny and huge graphs
+/// measurable.
+pub fn workload_rounds(g: &Graph) -> u32 {
+    let per_round = (2 * g.edge_count()).max(1) as u64;
+    (8_000_000 / per_round).clamp(48, 2_048) as u32
+}
+
+/// Runs the workload on the flat zero-allocation engine.
+pub fn run_flat(g: &Graph, rounds: u32) -> RunStats {
+    let mut engine = SyncEngine::new(g, |v| GlobalSumGossip::new(v, rounds));
+    let start = Instant::now();
+    let outcome = engine.run(u64::from(rounds) + 8);
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(outcome.is_completed(), "gossip quiesces after `rounds` + 1");
+    let (nodes, cost) = engine.into_parts();
+    RunStats {
+        rounds: cost.rounds,
+        messages: cost.p2p_messages,
+        seconds,
+        checksum: checksum(&nodes),
+    }
+}
+
+/// Runs the workload on the parallel stepping path of the flat engine.
+#[cfg(feature = "parallel")]
+pub fn run_flat_parallel(g: &Graph, rounds: u32, threads: usize) -> RunStats {
+    let mut engine = SyncEngine::new(g, |v| GlobalSumGossip::new(v, rounds));
+    let start = Instant::now();
+    let outcome = engine.run_parallel(u64::from(rounds) + 8, threads);
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(outcome.is_completed(), "gossip quiesces after `rounds` + 1");
+    let (nodes, cost) = engine.into_parts();
+    RunStats {
+        rounds: cost.rounds,
+        messages: cost.p2p_messages,
+        seconds,
+        checksum: checksum(&nodes),
+    }
+}
+
+/// Runs the workload on the allocation-per-round reference engine.
+pub fn run_reference(g: &Graph, rounds: u32) -> RunStats {
+    let mut engine = ReferenceEngine::new(g, |v| GlobalSumGossip::new(v, rounds));
+    let start = Instant::now();
+    let outcome = engine.run(u64::from(rounds) + 8);
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(outcome.is_completed(), "gossip quiesces after `rounds` + 1");
+    let (nodes, cost) = engine.into_parts();
+    RunStats {
+        rounds: cost.rounds,
+        messages: cost.p2p_messages,
+        seconds,
+        checksum: checksum(&nodes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_graph::generators::Family;
+
+    #[test]
+    fn engines_agree_on_the_bench_workload() {
+        let g = Family::Grid.generate(400, 5);
+        let rounds = 40;
+        let flat = run_flat(&g, rounds);
+        let reference = run_reference(&g, rounds);
+        assert_eq!(flat.checksum, reference.checksum);
+        assert_eq!(flat.rounds, reference.rounds);
+        assert_eq!(flat.messages, reference.messages);
+        assert!(flat.messages > 0);
+        assert!(flat.rounds_per_sec() > 0.0);
+        assert!(flat.messages_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn workload_rounds_is_clamped() {
+        let tiny = Family::Ring.generate(8, 1);
+        assert_eq!(workload_rounds(&tiny), 2_048);
+        let big = Family::Grid.generate(100_000, 1);
+        let r = workload_rounds(&big);
+        assert!((48..=2_048).contains(&r));
+    }
+}

@@ -15,10 +15,11 @@
 use multimedia::MultimediaNetwork;
 use netsim_graph::{generators::Family, log_star, traversal};
 use netsim_sim::CostAccount;
-use serde::Serialize;
+
+pub mod engine_bench;
 
 /// One measured data point of an experiment sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Record {
     /// Experiment id, e.g. "E1".
     pub experiment: String,
@@ -84,15 +85,11 @@ impl Record {
 pub fn print_table(title: &str, records: &[Record]) {
     println!("\n== {title} ==");
     println!(
-        "{:<6}{:<10}{:>8}{:>9}  {:<28}{:>10}{:>12}  {}",
-        "exp", "family", "n", "m", "algorithm", "rounds", "messages", "extras"
+        "{:<6}{:<10}{:>8}{:>9}  {:<28}{:>10}{:>12}  extras",
+        "exp", "family", "n", "m", "algorithm", "rounds", "messages"
     );
     for r in records {
-        let extras: Vec<String> = r
-            .extra
-            .iter()
-            .map(|(k, v)| format!("{k}={v:.2}"))
-            .collect();
+        let extras: Vec<String> = r.extra.iter().map(|(k, v)| format!("{k}={v:.2}")).collect();
         println!(
             "{:<6}{:<10}{:>8}{:>9}  {:<28}{:>10}{:>12}  {}",
             r.experiment,
@@ -107,9 +104,58 @@ pub fn print_table(title: &str, records: &[Record]) {
     }
 }
 
-/// Serialises records to JSON (one array).
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; map to null).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialises records to JSON (one array), hand-rolled: the offline build
+/// environment cannot fetch serde, and the schema is small and flat.
 pub fn to_json(records: &[Record]) -> String {
-    serde_json::to_string_pretty(records).expect("records serialise")
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let extras: Vec<String> = r
+            .extra
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", json_escape(k), json_f64(*v)))
+            .collect();
+        out.push_str(&format!(
+            "  {{\"experiment\": \"{}\", \"family\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"algorithm\": \"{}\", \"rounds\": {}, \"messages\": {}, \"extra\": {{{}}}}}",
+            json_escape(&r.experiment),
+            json_escape(&r.family),
+            r.n,
+            r.m,
+            json_escape(&r.algorithm),
+            r.rounds,
+            r.messages,
+            extras.join(", ")
+        ));
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
 }
 
 /// Standard node-count sweep used by the experiments.

@@ -34,7 +34,11 @@ pub fn resolve(contenders: &[Contender], id_space: u64) -> ScheduleResult {
     assert!(id_space > 0, "id space must be non-empty");
     let mut seen = std::collections::HashSet::new();
     for c in contenders {
-        assert!(c.id < id_space, "contender id {} outside id space {id_space}", c.id);
+        assert!(
+            c.id < id_space,
+            "contender id {} outside id space {id_space}",
+            c.id
+        );
         assert!(seen.insert(c.id), "duplicate contender id {}", c.id);
     }
 

@@ -70,7 +70,9 @@ pub fn estimate_station_count_median(active: u64, repeats: usize, seed: u64) -> 
 pub fn random_ids(count: usize, bits: u32, seed: u64) -> Vec<u64> {
     assert!(bits > 0 && bits <= 63, "bits must be in 1..=63");
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|_| rng.gen_range(0..(1u64 << bits))).collect()
+    (0..count)
+        .map(|_| rng.gen_range(0..(1u64 << bits)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -110,7 +112,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(estimate_station_count(100, 9), estimate_station_count(100, 9));
+        assert_eq!(
+            estimate_station_count(100, 9),
+            estimate_station_count(100, 9)
+        );
     }
 
     #[test]

@@ -73,17 +73,17 @@ pub fn minimum_spanning_tree_from_partition(
     let cores: Vec<NodeId> = forest.roots().to_vec();
     let core_index: HashMap<NodeId, usize> =
         cores.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-    let init_of: Vec<usize> = g
-        .nodes()
-        .map(|v| core_index[&forest.root_of(v)])
-        .collect();
+    let init_of: Vec<usize> = g.nodes().map(|v| core_index[&forest.root_of(v)]).collect();
 
     // The MST starts with the tree edges of the initial fragments
     // (they are MST edges by property (1) of the partition).
     let mut mst_edges: Vec<EdgeId> = forest.tree_edges(g);
 
     // ---- Stage 2: schedule the cores on the channel. ----------------------
-    let contenders: Vec<Contender> = cores.iter().map(|&c| Contender::new(net.id_of(c))).collect();
+    let contenders: Vec<Contender> = cores
+        .iter()
+        .map(|&c| Contender::new(net.id_of(c)))
+        .collect();
     let schedule = capetanakis::resolve(&contenders, net.id_space());
     let schedule_cost = schedule.cost;
 

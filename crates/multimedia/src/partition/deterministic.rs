@@ -13,8 +13,8 @@
 //! 2. every active fragment finds its minimum-weight outgoing link;
 //! 3. the chosen links define the *fragment forest* `F`, which is
 //!    3-coloured in `O(log* n)` fragment-level rounds;
-//! 4. + 5. the colouring is turned into a maximal independent set of `F`
-//!    containing every root;
+//! 4. (and 5.) the colouring is turned into a maximal independent set of
+//!    `F` containing every root;
 //! 6. `F` is cut below every red internal vertex into subtrees of radius at
 //!    most four, and the fragments of each subtree merge into one new
 //!    fragment.
@@ -99,11 +99,7 @@ pub fn partition_to_level(net: &MultimediaNetwork, target_level: u32) -> Partiti
             phases += 1;
             continue;
         }
-        let max_active_radius = active
-            .iter()
-            .map(|&c| frags.radius(c))
-            .max()
-            .unwrap_or(0);
+        let max_active_radius = active.iter().map(|&c| frags.radius(c)).max().unwrap_or(0);
 
         // ---- Step 2: minimum-weight outgoing link of every active fragment.
         let mut chosen: HashMap<NodeId, EdgeId> = HashMap::new();
@@ -184,9 +180,7 @@ pub fn partition_to_level(net: &MultimediaNetwork, target_level: u32) -> Partiti
         // ---- Step 6: cut below red internal vertices and merge subtrees. --
         // Subtree root of an F-vertex = nearest ancestor (inclusive) that is
         // either a red internal vertex or an F-root.
-        let is_cut = |x: usize| {
-            (mis.in_mis[x] && !forest_f.is_leaf(x)) || forest_f.is_root(x)
-        };
+        let is_cut = |x: usize| (mis.in_mis[x] && !forest_f.is_leaf(x)) || forest_f.is_root(x);
         let subtree_root_of = |mut x: usize| {
             while !is_cut(x) {
                 x = forest_f.parent(x).expect("non-root has a parent");

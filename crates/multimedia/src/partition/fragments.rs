@@ -88,7 +88,7 @@ impl Fragments {
     /// Level of the fragment rooted at `core`: `⌊log₂ size⌋`.
     pub(crate) fn level(&self, core: NodeId) -> u32 {
         let s = self.size(core).max(1) as u64;
-        63 - s.leading_zeros() as u32 + if s.is_power_of_two() { 0 } else { 0 }
+        63 - s.leading_zeros()
     }
 
     /// Radius of the fragment rooted at `core`.
@@ -176,8 +176,8 @@ mod tests {
         let g = generators::path(9);
         let mut parent = vec![None; 9];
         let mut core = vec![NodeId(0); 9];
-        for i in 1..9 {
-            parent[i] = Some(NodeId(i - 1));
+        for (i, p) in parent.iter_mut().enumerate().skip(1) {
+            *p = Some(NodeId(i - 1));
         }
         for c in core.iter_mut() {
             *c = NodeId(0);

@@ -121,7 +121,9 @@ pub fn partition(net: &MultimediaNetwork, seed: u64) -> RandomizedOutcome {
                         candidate < cur
                             || (candidate == cur
                                 && root[v.index()]
-                                    .map(|r| net.id_of(root[u.index()].expect("labelled")) < net.id_of(r))
+                                    .map(|r| {
+                                        net.id_of(root[u.index()].expect("labelled")) < net.id_of(r)
+                                    })
                                     .unwrap_or(true))
                     }
                 };
@@ -177,8 +179,8 @@ pub fn partition(net: &MultimediaNetwork, seed: u64) -> RandomizedOutcome {
         }
     }
 
-    let forest = SpanningForest::from_parents(g, parent)
-        .expect("BFS parents form a valid spanning forest");
+    let forest =
+        SpanningForest::from_parents(g, parent).expect("BFS parents form a valid spanning forest");
     RandomizedOutcome {
         outcome: PartitionOutcome {
             forest,
@@ -227,11 +229,8 @@ pub fn partition_las_vegas(net: &MultimediaNetwork, seed: u64) -> LasVegasOutcom
             .iter()
             .map(|&r| Contender::new(net.id_of(r)))
             .collect();
-        let sched = backoff::resolve_with_estimate(
-            &roots,
-            root_budget as u64,
-            attempt_seed ^ 0xabcd,
-        );
+        let sched =
+            backoff::resolve_with_estimate(&roots, root_budget as u64, attempt_seed ^ 0xabcd);
         let accepted = match sched {
             Some(s) if s.slots() <= slot_budget && roots.len() <= root_budget => {
                 total_cost.absorb(&s.cost);

@@ -51,8 +51,10 @@ pub fn deterministic_count(net: &MultimediaNetwork) -> SizeCount {
         // rounds, each of log|id| slots (the paper's budget).
         let budget = (1u64 << level) * id_bits.max(1);
         let cores = partition.forest.roots().to_vec();
-        let contenders: Vec<Contender> =
-            cores.iter().map(|&c| Contender::new(net.id_of(c))).collect();
+        let contenders: Vec<Contender> = cores
+            .iter()
+            .map(|&c| Contender::new(net.id_of(c)))
+            .collect();
         let schedule = capetanakis::resolve(&contenders, net.id_space());
         if schedule.slots() <= budget {
             // All cores heard: each slot carried the fragment size, so every

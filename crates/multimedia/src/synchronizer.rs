@@ -16,7 +16,8 @@
 use crate::model::MultimediaNetwork;
 use netsim_graph::NodeId;
 use netsim_sim::{
-    AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol, CostAccount, Protocol, RoundIo, SlotOutcome,
+    AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol, CostAccount, OutboxBuffer, Protocol,
+    RoundIo, SlotOutcome,
 };
 use std::collections::HashMap;
 
@@ -45,6 +46,9 @@ pub struct ChannelSynchronizer<P: Protocol> {
     pending_acks: usize,
     /// Messages buffered per simulated round, delivered at the next pulse.
     buffered: HashMap<u64, Vec<(NodeId, P::Msg)>>,
+    /// Pooled staging buffer for the wrapped protocol's sends, reused across
+    /// simulated rounds.
+    outbox: OutboxBuffer<P::Msg>,
     /// Count of algorithm (payload) messages sent by this node.
     payload_messages: u64,
     started: bool,
@@ -58,6 +62,7 @@ impl<P: Protocol> ChannelSynchronizer<P> {
             round: 0,
             pending_acks: 0,
             buffered: HashMap::new(),
+            outbox: OutboxBuffer::new(),
             payload_messages: 0,
             started: false,
         }
@@ -78,24 +83,26 @@ impl<P: Protocol> ChannelSynchronizer<P> {
         self.payload_messages
     }
 
-    fn step_inner(&mut self, inbox: Vec<(NodeId, P::Msg)>, ctx: &mut AsyncCtx<'_, SyncMsg<P::Msg>>) {
+    fn step_inner(&mut self, inbox: &[(NodeId, P::Msg)], ctx: &mut AsyncCtx<'_, SyncMsg<P::Msg>>) {
         let prev_slot: SlotOutcome<P::Msg> = SlotOutcome::Idle;
-        let mut io = RoundIo::detached(ctx.id(), self.round, ctx.neighbors(), &inbox, &prev_slot);
+        let mut io = RoundIo::detached(
+            ctx.id(),
+            self.round,
+            ctx.neighbors(),
+            inbox,
+            &prev_slot,
+            &mut self.outbox,
+        );
         self.inner.step(&mut io);
-        let (sends, channel_write) = io.into_outputs();
+        let channel_write = io.finish();
         debug_assert!(
             channel_write.is_none(),
             "the channel synchronizer is for point-to-point algorithms; the \
              channel is occupied by busy tones"
         );
-        for (to, msg) in sends {
-            ctx.send(
-                to,
-                SyncMsg::Payload {
-                    round: self.round,
-                    msg,
-                },
-            );
+        let round = self.round;
+        for (to, msg) in self.outbox.drain_sends() {
+            ctx.send(to, SyncMsg::Payload { round, msg });
             self.pending_acks += 1;
             self.payload_messages += 1;
         }
@@ -110,7 +117,7 @@ impl<P: Protocol> AsyncProtocol for ChannelSynchronizer<P> {
 
     fn on_start(&mut self, ctx: &mut AsyncCtx<'_, Self::Msg>) {
         self.started = true;
-        self.step_inner(Vec::new(), ctx);
+        self.step_inner(&[], ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut AsyncCtx<'_, Self::Msg>) {
@@ -136,7 +143,7 @@ impl<P: Protocol> AsyncProtocol for ChannelSynchronizer<P> {
             let inbox = self.buffered.remove(&self.round).unwrap_or_default();
             self.round += 1;
             if !self.inner.is_done() || !inbox.is_empty() {
-                self.step_inner(inbox, ctx);
+                self.step_inner(&inbox, ctx);
             }
         } else if self.pending_acks > 0 {
             ctx.write_channel(SyncMsg::Busy);

@@ -76,10 +76,7 @@ impl SpanningForest {
     ///
     /// Returns a [`ForestError`] if the vector length is wrong, a parent is
     /// not a graph neighbour, or the parent pointers contain a cycle.
-    pub fn from_parents(
-        g: &Graph,
-        parent: Vec<Option<NodeId>>,
-    ) -> Result<Self, ForestError> {
+    pub fn from_parents(g: &Graph, parent: Vec<Option<NodeId>>) -> Result<Self, ForestError> {
         let n = g.node_count();
         if parent.len() != n {
             return Err(ForestError::WrongLength {
@@ -226,7 +223,11 @@ impl SpanningForest {
 
     /// Maximum radius over all trees of the forest.
     pub fn max_radius(&self) -> u32 {
-        self.roots.iter().map(|&r| self.radius_of(r)).max().unwrap_or(0)
+        self.roots
+            .iter()
+            .map(|&r| self.radius_of(r))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum tree size over all trees of the forest.
@@ -351,7 +352,10 @@ mod tests {
         assert_eq!(f.root_of(NodeId(3)), NodeId(4));
         assert!(f.same_tree(NodeId(3), NodeId(5)));
         assert!(!f.same_tree(NodeId(0), NodeId(5)));
-        assert_eq!(f.tree_members(NodeId(0)), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            f.tree_members(NodeId(0)),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
         assert_eq!(f.children(NodeId(4)), &[NodeId(3), NodeId(5)]);
         assert_eq!(f.tree_edges(&g).len(), 4);
         // A path's edges are all MST edges.
@@ -365,18 +369,22 @@ mod tests {
     fn from_parents_rejects_wrong_length() {
         let g = path(3);
         let err = SpanningForest::from_parents(&g, vec![None, None]).unwrap_err();
-        assert!(matches!(err, ForestError::WrongLength { expected: 3, got: 2 }));
+        assert!(matches!(
+            err,
+            ForestError::WrongLength {
+                expected: 3,
+                got: 2
+            }
+        ));
         assert!(err.to_string().contains("expected 3"));
     }
 
     #[test]
     fn from_parents_rejects_non_neighbor_parent() {
         let g = path(4);
-        let err = SpanningForest::from_parents(
-            &g,
-            vec![None, Some(NodeId(0)), Some(NodeId(0)), None],
-        )
-        .unwrap_err();
+        let err =
+            SpanningForest::from_parents(&g, vec![None, Some(NodeId(0)), Some(NodeId(0)), None])
+                .unwrap_err();
         assert_eq!(err, ForestError::ParentNotNeighbor(NodeId(2)));
     }
 

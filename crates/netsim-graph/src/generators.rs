@@ -438,7 +438,10 @@ mod tests {
     fn family_generate_all_connected() {
         for fam in Family::ALL {
             let g = fam.generate(40, 11);
-            assert!(is_connected(&g), "family {fam} must generate connected graphs");
+            assert!(
+                is_connected(&g),
+                "family {fam} must generate connected graphs"
+            );
             assert!(g.node_count() > 1, "family {fam} produced a trivial graph");
             let names: HashSet<&str> = Family::ALL.iter().map(|f| f.name()).collect();
             assert_eq!(names.len(), Family::ALL.len());

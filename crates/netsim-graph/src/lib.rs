@@ -33,12 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod graph;
+mod forest;
 pub mod generators;
+mod graph;
 pub mod mst;
 pub mod traversal;
 mod union_find;
-mod forest;
 
 pub use forest::{partition_quality, ForestError, PartitionQuality, SpanningForest, TreeStats};
 pub use graph::{Edge, EdgeId, Graph, GraphBuilder, NodeId, Weight};

@@ -37,8 +37,9 @@ pub fn prim(g: &Graph, root: NodeId) -> Vec<EdgeId> {
     let n = g.node_count();
     let mut in_tree = vec![false; n];
     let mut tree = Vec::new();
-    // Max-heap on Reverse(key).
-    let mut heap: BinaryHeap<std::cmp::Reverse<((u64, usize), EdgeId, NodeId)>> = BinaryHeap::new();
+    // Min-heap on the edge key via Reverse.
+    type PrimEntry = std::cmp::Reverse<((u64, usize), EdgeId, NodeId)>;
+    let mut heap: BinaryHeap<PrimEntry> = BinaryHeap::new();
     in_tree[root.index()] = true;
     for &(v, e) in g.neighbors(root) {
         heap.push(std::cmp::Reverse((g.edge_key(e), e, v)));

@@ -132,8 +132,14 @@ pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
 ///
 /// Panics if the graph is empty or disconnected (the metric is undefined there).
 pub fn diameter_radius(g: &Graph) -> (u32, u32) {
-    assert!(g.node_count() > 0, "diameter of the empty graph is undefined");
-    assert!(is_connected(g), "diameter of a disconnected graph is undefined");
+    assert!(
+        g.node_count() > 0,
+        "diameter of the empty graph is undefined"
+    );
+    assert!(
+        is_connected(g),
+        "diameter of a disconnected graph is undefined"
+    );
     let mut diameter = 0;
     let mut radius = u32::MAX;
     for v in g.nodes() {
@@ -251,9 +257,9 @@ mod tests {
     fn all_pairs_matches_bfs() {
         let g = path(6);
         let ap = all_pairs_distances(&g);
-        for u in 0..6 {
-            for v in 0..6 {
-                assert_eq!(ap[u][v], Some((u as i64 - v as i64).unsigned_abs() as u32));
+        for (u, row) in ap.iter().enumerate() {
+            for (v, d) in row.iter().enumerate() {
+                assert_eq!(*d, Some((u as i64 - v as i64).unsigned_abs() as u32));
             }
         }
     }

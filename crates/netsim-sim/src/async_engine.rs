@@ -13,6 +13,11 @@
 //! [`AsyncConfig::max_delay_ticks`].  With `max_delay_ticks <= slot_ticks`
 //! this matches the paper's normalisation ("the message delay and the slot
 //! length are of the same order of magnitude").
+//!
+//! Like the synchronous engine, the hot path is allocation-free in steady
+//! state: payloads live in a slab with a free list (keyed by the event-queue
+//! entries), callback send buffers are pooled, channel writes are tracked
+//! through a writers list, and quiescence is O(1) via a done-node counter.
 
 use crate::channel::{resolve_slot, SlotOutcome};
 use crate::metrics::CostAccount;
@@ -59,16 +64,22 @@ pub trait AsyncProtocol {
     fn on_slot(&mut self, outcome: &SlotOutcome<Self::Msg>, ctx: &mut AsyncCtx<'_, Self::Msg>);
 
     /// Local termination flag.
+    ///
+    /// As for the synchronous engine's O(1) quiescence tracking, the value
+    /// must only change as a result of one of the callbacks above.
     fn is_done(&self) -> bool;
 }
 
 /// Output collector handed to the [`AsyncProtocol`] callbacks.
+///
+/// The send buffer is pooled by the engine and drained after every callback,
+/// so callbacks do not allocate in steady state.
 #[derive(Debug)]
 pub struct AsyncCtx<'a, M> {
     node: NodeId,
     tick: u64,
     neighbors: &'a [(NodeId, netsim_graph::EdgeId)],
-    sends: Vec<(NodeId, M)>,
+    sends: &'a mut Vec<(NodeId, M)>,
     channel_write: Option<M>,
 }
 
@@ -105,9 +116,12 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
 
     /// Sends a message to every neighbour.
     pub fn send_all(&mut self, msg: M) {
-        let targets: Vec<NodeId> = self.neighbors.iter().map(|&(v, _)| v).collect();
-        for t in targets {
-            self.sends.push((t, msg.clone()));
+        let neighbors = self.neighbors;
+        if let Some((&(last, _), rest)) = neighbors.split_last() {
+            for &(v, _) in rest {
+                self.sends.push((v, msg.clone()));
+            }
+            self.sends.push((last, msg));
         }
     }
 
@@ -118,41 +132,66 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
     }
 }
 
+/// One queued delivery: `(delivery tick, sequence, to, from, payload slot)`,
+/// wrapped in `Reverse` so the `BinaryHeap` pops the earliest `(tick,
+/// sequence)` first; the sequence keeps delivery order deterministic.
+type FlightEvent = Reverse<(u64, u64, usize, usize, usize)>;
+
 /// The asynchronous executor.
 pub struct AsyncEngine<'g, P: AsyncProtocol> {
     graph: &'g Graph,
     nodes: Vec<P>,
     config: AsyncConfig,
     rng: StdRng,
-    /// (delivery tick, sequence, to, from); payload kept alongside.
-    in_flight: BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
-    payloads: std::collections::HashMap<u64, P::Msg>,
+    /// Min-heap of in-flight messages, ordered by `(tick, sequence)`.
+    in_flight: BinaryHeap<FlightEvent>,
+    /// Slab of in-flight payloads, indexed by the events' payload slots.
+    payloads: Vec<Option<P::Msg>>,
+    /// Free payload slots available for reuse.
+    free_slots: Vec<usize>,
     seq: u64,
-    /// Channel writes queued for the current slot: one slot-write per node at most.
+    /// Channel writes queued for the current slot: at most one per node.
     slot_writes: Vec<Option<P::Msg>>,
+    /// Nodes with a queued write this slot, in request order.
+    writers: Vec<NodeId>,
+    /// Pooled callback send buffer.
+    send_scratch: Vec<(NodeId, P::Msg)>,
+    /// Pooled slot-resolution buffer.
+    writes_scratch: Vec<(NodeId, P::Msg)>,
     tick: u64,
     cost: CostAccount,
     started: bool,
+    /// Nodes currently reporting [`AsyncProtocol::is_done`].
+    done_count: usize,
 }
 
 impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
     /// Creates an engine over `graph` with per-node protocol states from `init`.
     pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, config: AsyncConfig, mut init: F) -> Self {
         assert!(config.slot_ticks >= 1, "slot_ticks must be at least 1");
-        assert!(config.max_delay_ticks >= 1, "max_delay_ticks must be at least 1");
-        let nodes = graph.nodes().map(&mut init).collect();
+        assert!(
+            config.max_delay_ticks >= 1,
+            "max_delay_ticks must be at least 1"
+        );
+        let nodes: Vec<P> = graph.nodes().map(&mut init).collect();
+        let done_count = nodes.iter().filter(|p| p.is_done()).count();
         AsyncEngine {
             graph,
             nodes,
             config,
             rng: StdRng::seed_from_u64(config.seed),
             in_flight: BinaryHeap::new(),
-            payloads: std::collections::HashMap::new(),
+            payloads: Vec::new(),
+            free_slots: Vec::new(),
             seq: 0,
             slot_writes: vec![None; graph.node_count()],
+            writers: Vec::new(),
+            send_scratch: Vec::new(),
+            writes_scratch: Vec::new(),
             tick: 0,
             cost: CostAccount::new(),
             started: false,
+            done_count,
         }
     }
 
@@ -186,74 +225,96 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         (self.nodes, self.cost)
     }
 
-    fn collect_ctx(&mut self, node: NodeId, ctx: AsyncCtx<'_, P::Msg>) {
-        let AsyncCtx {
-            sends,
-            channel_write,
-            ..
-        } = ctx;
-        for (to, msg) in sends {
+    /// Runs one protocol callback on node `v` with a pooled context, then
+    /// folds its outputs (sends, channel write, done transition) back into
+    /// the engine.
+    fn dispatch<F>(&mut self, v: NodeId, f: F)
+    where
+        F: FnOnce(&mut P, &mut AsyncCtx<'_, P::Msg>),
+    {
+        let mut sends = std::mem::take(&mut self.send_scratch);
+        let node = &mut self.nodes[v.index()];
+        let was_done = node.is_done();
+        let mut ctx = AsyncCtx {
+            node: v,
+            tick: self.tick,
+            neighbors: self.graph.neighbors(v),
+            sends: &mut sends,
+            channel_write: None,
+        };
+        f(node, &mut ctx);
+        let channel_write = ctx.channel_write.take();
+        drop(ctx);
+        let now_done = node.is_done();
+        self.done_count = self
+            .done_count
+            .checked_add_signed(isize::from(now_done) - isize::from(was_done))
+            .expect("done count balances");
+
+        for (to, msg) in sends.drain(..) {
             let delay = self.rng.gen_range(1..=self.config.max_delay_ticks);
             let when = self.tick + delay;
             self.seq += 1;
-            self.payloads.insert(self.seq, msg);
+            let slot = match self.free_slots.pop() {
+                Some(slot) => {
+                    self.payloads[slot] = Some(msg);
+                    slot
+                }
+                None => {
+                    self.payloads.push(Some(msg));
+                    self.payloads.len() - 1
+                }
+            };
             self.in_flight
-                .push(Reverse((when, self.seq, to.index(), node.index())));
+                .push(Reverse((when, self.seq, to.index(), v.index(), slot)));
             self.cost.add_messages(1);
         }
-        if let Some(msg) = channel_write {
-            self.slot_writes[node.index()] = Some(msg);
-        }
-    }
+        self.send_scratch = sends;
 
-    fn make_ctx(&self, node: NodeId) -> AsyncCtx<'g, P::Msg> {
-        AsyncCtx {
-            node,
-            tick: self.tick,
-            neighbors: self.graph.neighbors(node),
-            sends: Vec::new(),
-            channel_write: None,
+        if let Some(msg) = channel_write {
+            let queued = &mut self.slot_writes[v.index()];
+            if queued.is_none() {
+                self.writers.push(v);
+            }
+            *queued = Some(msg);
         }
     }
 
     /// Returns `true` when every node is done, nothing is in flight, and no
-    /// channel write is pending.
+    /// channel write is pending.  O(1).
     pub fn is_quiescent(&self) -> bool {
-        self.nodes.iter().all(P::is_done)
-            && self.in_flight.is_empty()
-            && self.slot_writes.iter().all(Option::is_none)
+        self.done_count == self.nodes.len() && self.in_flight.is_empty() && self.writers.is_empty()
     }
 
     fn deliver_due(&mut self) {
-        loop {
-            match self.in_flight.peek() {
-                Some(&Reverse((when, _, _, _))) if when <= self.tick => {}
-                _ => break,
+        while let Some(&Reverse((when, _, _, _, _))) = self.in_flight.peek() {
+            if when > self.tick {
+                break;
             }
-            let Reverse((_, seq, to, from)) = self.in_flight.pop().expect("peeked");
-            let msg = self.payloads.remove(&seq).expect("payload stored");
-            let mut ctx = self.make_ctx(NodeId(to));
-            self.nodes[to].on_message(NodeId(from), msg, &mut ctx);
-            self.collect_ctx(NodeId(to), ctx);
+            let Reverse((_, _, to, from, slot)) = self.in_flight.pop().expect("peeked");
+            let msg = self.payloads[slot].take().expect("payload stored");
+            self.free_slots.push(slot);
+            self.dispatch(NodeId(to), |node, ctx| {
+                node.on_message(NodeId(from), msg, ctx)
+            });
         }
     }
 
     fn resolve_slot_boundary(&mut self) {
-        let writes: Vec<(NodeId, P::Msg)> = self
-            .slot_writes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, w)| w.clone().map(|m| (NodeId(i), m)))
-            .collect();
-        for w in &mut self.slot_writes {
-            *w = None;
+        let mut writes = std::mem::take(&mut self.writes_scratch);
+        debug_assert!(writes.is_empty());
+        for i in 0..self.writers.len() {
+            let v = self.writers[i];
+            let msg = self.slot_writes[v.index()].take().expect("queued write");
+            writes.push((v, msg));
         }
+        self.writers.clear();
         let outcome = resolve_slot(&writes);
         self.cost.add_slot(writes.len() as u64);
+        writes.clear();
+        self.writes_scratch = writes;
         for v in self.graph.nodes() {
-            let mut ctx = self.make_ctx(v);
-            self.nodes[v.index()].on_slot(&outcome, &mut ctx);
-            self.collect_ctx(v, ctx);
+            self.dispatch(v, |node, ctx| node.on_slot(&outcome, ctx));
         }
     }
 
@@ -263,9 +324,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         if !self.started {
             self.started = true;
             for v in self.graph.nodes() {
-                let mut ctx = self.make_ctx(v);
-                self.nodes[v.index()].on_start(&mut ctx);
-                self.collect_ctx(v, ctx);
+                self.dispatch(v, |node, ctx| node.on_start(ctx));
             }
         }
         while self.tick < max_ticks {
@@ -274,7 +333,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             }
             self.tick += 1;
             self.deliver_due();
-            if self.tick % self.config.slot_ticks == 0 {
+            if self.tick.is_multiple_of(self.config.slot_ticks) {
                 self.resolve_slot_boundary();
             }
         }
@@ -390,6 +449,53 @@ mod tests {
             (eng.tick(), eng.cost().p2p_messages)
         };
         assert_eq!(run(cfg), run(cfg));
+    }
+
+    /// A write in every slot and steady message churn: exercises the payload
+    /// slab free list and the writers list over many slots.
+    struct Chatter {
+        id: NodeId,
+        slots_seen: u32,
+        target: u32,
+    }
+    impl AsyncProtocol for Chatter {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut AsyncCtx<'_, u64>) {
+            ctx.send_all(0);
+            if self.id == NodeId(0) {
+                ctx.write_channel(0);
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, hops: u64, ctx: &mut AsyncCtx<'_, u64>) {
+            if hops < 50 {
+                ctx.send(ctx.neighbors()[0].0, hops + 1);
+            }
+        }
+        fn on_slot(&mut self, _o: &SlotOutcome<u64>, ctx: &mut AsyncCtx<'_, u64>) {
+            self.slots_seen += 1;
+            if self.id == NodeId(0) && self.slots_seen < self.target {
+                ctx.write_channel(u64::from(self.slots_seen));
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.slots_seen >= self.target
+        }
+    }
+
+    #[test]
+    fn slab_and_writers_recycle_across_slots() {
+        let g = generators::ring(6);
+        let mut eng = AsyncEngine::new(&g, AsyncConfig::default(), |id| Chatter {
+            id,
+            slots_seen: 0,
+            target: 20,
+        });
+        assert!(eng.run(1_000_000));
+        assert!(eng.cost().slots_success >= 19);
+        assert!(eng.is_quiescent());
+        // Every payload slot must have been recycled back to the free list.
+        assert_eq!(eng.free_slots.len(), eng.payloads.len());
+        assert!(eng.payloads.iter().all(Option::is_none));
     }
 
     #[test]

@@ -6,11 +6,45 @@
 //! point-to-point messages are put in flight for delivery at the next round
 //! and the channel slot is resolved.  Costs are tallied in a
 //! [`CostAccount`](crate::CostAccount).
+//!
+//! # Zero-allocation message plumbing
+//!
+//! The per-round hot path is allocation-free in steady state.  Message
+//! delivery is double-buffered through two flat buffers that swap roles each
+//! round:
+//!
+//! * the **inbox arena** — a CSR-style layout: one flat
+//!   `Vec<(from, msg)>` plus an `offsets` index such that node `v`'s inbox
+//!   for the current round is `arena[offsets[v]..offsets[v + 1]]`;
+//! * the **staging buffer** — sends of the current round, appended in
+//!   sender order as `(to, from, msg)` triples through the pooled
+//!   [`OutboxBuffer`].
+//!
+//! After all nodes have stepped, the staging buffer is bucketed by receiver
+//! into the (cleared, capacity-retaining) arena using per-receiver chains —
+//! an O(n + k) stable counting bucket, no sorting, no per-node `Vec`s.  All
+//! auxiliary buffers (chain heads, links, channel writes) are pooled across
+//! rounds, so once capacities have grown to the workload's high-water mark,
+//! `step_round` performs **zero heap allocations** (verified by the
+//! `alloc_steady_state` integration test).
+//!
+//! # Determinism contract
+//!
+//! Each node's inbox is ordered by the **sender's node index** (and, per
+//! sender, by send order within the round).  Quiescence is tracked in O(1)
+//! with a done-node counter and the in-flight arena length.  With the
+//! `parallel` feature, [`SyncEngine::step_round_parallel`] steps nodes in
+//! contiguous index chunks on scoped threads and merges the per-thread
+//! shards in node-index order, so parallel runs are bit-for-bit identical to
+//! sequential ones.
 
 use crate::channel::{resolve_slot, SlotOutcome};
 use crate::metrics::CostAccount;
-use crate::node::{Protocol, RoundIo};
+use crate::node::{OutboxBuffer, Protocol, RoundIo};
 use netsim_graph::{Graph, NodeId};
+
+/// Chain terminator for the receiver-bucketing pass.
+const NIL: u32 = u32::MAX;
 
 /// Why a run stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +72,63 @@ impl RunOutcome {
     /// `true` when the run completed (rather than hitting the limit).
     pub fn is_completed(&self) -> bool {
         matches!(self, RunOutcome::Completed { .. })
+    }
+}
+
+/// Per-worker staging state: sends and channel writes produced by a
+/// contiguous chunk of nodes, plus the chunk's done-transition balance.
+/// The sequential engine uses exactly one shard; the `parallel` feature
+/// gives each worker thread its own and merges them in node-index order.
+#[derive(Debug)]
+struct Shard<M> {
+    outbox: OutboxBuffer<M>,
+    writes: Vec<(NodeId, M)>,
+    done_delta: isize,
+}
+
+impl<M> Default for Shard<M> {
+    fn default() -> Self {
+        Shard {
+            outbox: OutboxBuffer::new(),
+            writes: Vec::new(),
+            done_delta: 0,
+        }
+    }
+}
+
+/// Steps every node of `chunk` (node indices `base..base + chunk.len()`)
+/// once, staging outputs into `shard`.  Free function so the sequential and
+/// parallel paths share it and the borrows stay disjoint.
+#[allow(clippy::too_many_arguments)]
+fn step_chunk<P: Protocol>(
+    graph: &Graph,
+    chunk: &mut [P],
+    base: usize,
+    arena: &[(NodeId, P::Msg)],
+    offsets: &[usize],
+    prev_slot: &SlotOutcome<P::Msg>,
+    round: u64,
+    shard: &mut Shard<P::Msg>,
+) {
+    for (i, node) in chunk.iter_mut().enumerate() {
+        let v = NodeId(base + i);
+        let was_done = node.is_done();
+        let mut io = RoundIo {
+            node: v,
+            round,
+            neighbors: graph.neighbors(v),
+            inbox: &arena[offsets[v.index()]..offsets[v.index() + 1]],
+            prev_slot,
+            outbox: &mut shard.outbox,
+            channel_write: None,
+        };
+        node.step(&mut io);
+        let channel_write = io.channel_write.take();
+        drop(io);
+        if let Some(msg) = channel_write {
+            shard.writes.push((v, msg));
+        }
+        shard.done_delta += isize::from(node.is_done()) - isize::from(was_done);
     }
 }
 
@@ -71,25 +162,48 @@ impl RunOutcome {
 pub struct SyncEngine<'g, P: Protocol> {
     graph: &'g Graph,
     nodes: Vec<P>,
-    /// Messages to deliver at the start of the next round: `pending[v] = (from, msg)*`.
-    pending: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Flat inbox arena for the current round: node `v` receives
+    /// `arena[offsets[v]..offsets[v + 1]]`, ordered by sender index.
+    arena: Vec<(NodeId, P::Msg)>,
+    /// CSR index into `arena`; length `n + 1`.
+    offsets: Vec<usize>,
+    /// Pooled staging state (one shard sequentially; one per worker with the
+    /// `parallel` feature).
+    shards: Vec<Shard<P::Msg>>,
+    /// Pooled merged channel writes of the current round.
+    writes: Vec<(NodeId, P::Msg)>,
+    /// Pooled per-receiver chain heads for the bucketing pass; length `n`.
+    heads: Vec<u32>,
+    /// Pooled chain links, parallel to the staging buffer.
+    links: Vec<u32>,
     prev_slot: SlotOutcome<P::Msg>,
     cost: CostAccount,
     round: u64,
+    /// Number of nodes currently reporting [`Protocol::is_done`]; maintained
+    /// incrementally so quiescence is O(1).
+    done_count: usize,
 }
 
 impl<'g, P: Protocol> SyncEngine<'g, P> {
     /// Creates an engine over `graph`, instantiating each node's protocol
     /// with `init(node_id)`.
     pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, mut init: F) -> Self {
-        let nodes = graph.nodes().map(&mut init).collect();
+        let nodes: Vec<P> = graph.nodes().map(&mut init).collect();
+        let n = graph.node_count();
+        let done_count = nodes.iter().filter(|p| p.is_done()).count();
         SyncEngine {
             graph,
             nodes,
-            pending: vec![Vec::new(); graph.node_count()],
+            arena: Vec::new(),
+            offsets: vec![0; n + 1],
+            shards: vec![Shard::default()],
+            writes: Vec::new(),
+            heads: vec![NIL; n],
+            links: Vec::new(),
             prev_slot: SlotOutcome::Idle,
             cost: CostAccount::new(),
             round: 0,
+            done_count,
         }
     }
 
@@ -123,50 +237,111 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         &self.prev_slot
     }
 
+    /// Number of point-to-point messages currently in flight (sent last
+    /// round, delivered at the next step).
+    pub fn in_flight(&self) -> usize {
+        self.arena.len()
+    }
+
     /// Returns `true` when every node is done and no message is in flight.
+    ///
+    /// O(1): the engine tracks done-state transitions across steps and the
+    /// in-flight count is the arena length.
     pub fn is_quiescent(&self) -> bool {
-        self.nodes.iter().all(Protocol::is_done)
-            && self.pending.iter().all(Vec::is_empty)
+        self.done_count == self.nodes.len() && self.arena.is_empty()
     }
 
     /// Executes one round for every node and resolves the channel slot.
     pub fn step_round(&mut self) {
-        let n = self.graph.node_count();
-        let mut new_pending: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-        let mut writes: Vec<(NodeId, P::Msg)> = Vec::new();
-        let mut messages_sent: u64 = 0;
+        let SyncEngine {
+            graph,
+            nodes,
+            arena,
+            offsets,
+            shards,
+            prev_slot,
+            round,
+            ..
+        } = self;
+        step_chunk(
+            graph,
+            nodes,
+            0,
+            arena,
+            offsets,
+            prev_slot,
+            *round,
+            &mut shards[0],
+        );
+        self.finish_round();
+    }
 
-        for v in self.graph.nodes() {
-            let inbox = std::mem::take(&mut self.pending[v.index()]);
-            let mut io = RoundIo {
-                node: v,
-                round: self.round,
-                neighbors: self.graph.neighbors(v),
-                inbox: &inbox,
-                prev_slot: &self.prev_slot,
-                outbox: Vec::new(),
-                channel_write: None,
-            };
-            self.nodes[v.index()].step(&mut io);
-            let RoundIo {
-                outbox,
-                channel_write,
-                ..
-            } = io;
-            messages_sent += outbox.len() as u64;
-            for (to, msg) in outbox {
-                new_pending[to.index()].push((v, msg));
-            }
-            if let Some(msg) = channel_write {
-                writes.push((v, msg));
+    /// Post-step bookkeeping shared by the sequential and parallel paths:
+    /// fold shard deltas, rebuild the inbox arena for the next round, resolve
+    /// the channel slot, and advance the clock.
+    fn finish_round(&mut self) {
+        let mut delta = 0isize;
+        for shard in &mut self.shards {
+            delta += std::mem::take(&mut shard.done_delta);
+        }
+        self.done_count = self
+            .done_count
+            .checked_add_signed(delta)
+            .expect("done count balances");
+
+        let messages = self.rebuild_arena();
+        self.cost.add_messages(messages);
+
+        self.writes.clear();
+        for shard in &mut self.shards {
+            self.writes.append(&mut shard.writes);
+        }
+        self.prev_slot = resolve_slot(&self.writes);
+        self.cost.add_slot(self.writes.len() as u64);
+        self.round += 1;
+    }
+
+    /// Buckets the staged sends by receiver into the inbox arena (CSR form)
+    /// and returns how many messages were staged.
+    ///
+    /// Stable counting bucket via per-receiver chains: iterating the staging
+    /// buffer in reverse while prepending to each receiver's chain leaves
+    /// every chain in forward (sender-index) order; walking receivers
+    /// `0..n` then yields the arena already grouped and ordered, using only
+    /// pooled buffers.
+    fn rebuild_arena(&mut self) -> u64 {
+        // Merge worker shards in node-index order (no-op sequentially).
+        let (first, rest) = self.shards.split_at_mut(1);
+        let stage = &mut first[0].outbox.entries;
+        for shard in rest {
+            stage.append(&mut shard.outbox.entries);
+        }
+        let k = stage.len();
+        assert!(k < NIL as usize, "more than 2^32 - 1 messages in one round");
+
+        self.arena.clear();
+        self.heads.fill(NIL);
+        self.links.clear();
+        self.links.resize(k, NIL);
+        for i in (0..k).rev() {
+            let to = stage[i].0.index();
+            self.links[i] = self.heads[to];
+            self.heads[to] = i as u32;
+        }
+        self.arena.reserve(k);
+        for v in 0..self.heads.len() {
+            self.offsets[v] = self.arena.len();
+            let mut i = self.heads[v];
+            while i != NIL {
+                let (_, from, msg) = &mut stage[i as usize];
+                self.arena
+                    .push((*from, msg.take().expect("staged message taken twice")));
+                i = self.links[i as usize];
             }
         }
-
-        self.prev_slot = resolve_slot(&writes);
-        self.cost.add_messages(messages_sent);
-        self.cost.add_slot(writes.len() as u64);
-        self.pending = new_pending;
-        self.round += 1;
+        self.offsets[self.heads.len()] = self.arena.len();
+        stage.clear();
+        k as u64
     }
 
     /// Runs until quiescence or until `max_rounds` rounds have elapsed in total.
@@ -186,6 +361,10 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
 
     /// Runs until `predicate` over the node states becomes true, quiescence,
     /// or the round limit; returns the outcome as for [`SyncEngine::run`].
+    ///
+    /// Like [`SyncEngine::run`], the condition is re-checked after the final
+    /// permitted round, so a predicate satisfied exactly on the last budgeted
+    /// round reports [`RunOutcome::Completed`].
     pub fn run_until<F: FnMut(&[P]) -> bool>(
         &mut self,
         max_rounds: u64,
@@ -197,12 +376,94 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             }
             self.step_round();
         }
-        RunOutcome::RoundLimit { rounds: self.round }
+        if predicate(&self.nodes) || self.is_quiescent() {
+            RunOutcome::Completed { rounds: self.round }
+        } else {
+            RunOutcome::RoundLimit { rounds: self.round }
+        }
     }
 
     /// Consumes the engine, returning the node states and the cost account.
     pub fn into_parts(self) -> (Vec<P>, CostAccount) {
         (self.nodes, self.cost)
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl<'g, P> SyncEngine<'g, P>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+{
+    /// Executes one round stepping nodes on up to `threads` scoped threads.
+    ///
+    /// Within a round every node only reads previous-round state (the inbox
+    /// arena and the previous slot outcome), so intra-round stepping is
+    /// embarrassingly parallel.  Nodes are split into contiguous index
+    /// chunks, each with a private staging shard; the shards are merged in
+    /// node-index order afterwards, so the result — node states, message
+    /// order, slot outcomes, and [`CostAccount`] — is bit-for-bit identical
+    /// to [`SyncEngine::step_round`].
+    pub fn step_round_parallel(&mut self, threads: usize) {
+        let n = self.nodes.len();
+        let workers = threads.clamp(1, n.max(1));
+        if workers <= 1 {
+            return self.step_round();
+        }
+        while self.shards.len() < workers {
+            self.shards.push(Shard::default());
+        }
+        let chunk_len = n.div_ceil(workers);
+        let SyncEngine {
+            graph,
+            nodes,
+            arena,
+            offsets,
+            shards,
+            prev_slot,
+            round,
+            ..
+        } = self;
+        let (graph, arena, offsets, prev_slot, round) =
+            (&**graph, &*arena, &*offsets, &*prev_slot, *round);
+        std::thread::scope(|scope| {
+            for (ci, (chunk, shard)) in nodes
+                .chunks_mut(chunk_len)
+                .zip(shards.iter_mut())
+                .enumerate()
+            {
+                scope.spawn(move || {
+                    step_chunk(
+                        graph,
+                        chunk,
+                        ci * chunk_len,
+                        arena,
+                        offsets,
+                        prev_slot,
+                        round,
+                        shard,
+                    );
+                });
+            }
+        });
+        self.finish_round();
+    }
+
+    /// [`SyncEngine::run`], but stepping each round with
+    /// [`SyncEngine::step_round_parallel`].  Deterministic: produces exactly
+    /// the same outcome as the sequential run.
+    pub fn run_parallel(&mut self, max_rounds: u64, threads: usize) -> RunOutcome {
+        while self.round < max_rounds {
+            if self.is_quiescent() {
+                return RunOutcome::Completed { rounds: self.round };
+            }
+            self.step_round_parallel(threads);
+        }
+        if self.is_quiescent() {
+            RunOutcome::Completed { rounds: self.round }
+        } else {
+            RunOutcome::RoundLimit { rounds: self.round }
+        }
     }
 }
 
@@ -357,5 +618,106 @@ mod tests {
         let (nodes, cost) = eng.into_parts();
         assert_eq!(nodes.len(), 5);
         assert!(cost.rounds >= 2);
+    }
+
+    #[test]
+    fn run_until_predicate_met_on_last_budgeted_round() {
+        // On a path, the flood reaches a third node during the third step
+        // (round index 2); a budget of exactly 3 rounds must still report
+        // completion via the post-loop re-check.
+        let g = generators::path(5);
+        let mut eng = SyncEngine::new(&g, |id| Flood {
+            have: id == NodeId(0),
+            sent: false,
+        });
+        let out = eng.run_until(3, |nodes| nodes.iter().filter(|n| n.have).count() >= 3);
+        assert!(out.is_completed());
+        assert_eq!(out.rounds(), 3);
+    }
+
+    /// Every node sends a distinct tag to every neighbour each round; the
+    /// inbox must arrive ordered by sender index.
+    struct OrderCheck {
+        rounds_left: u32,
+        ok: bool,
+    }
+    impl Protocol for OrderCheck {
+        type Msg = u64;
+        fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+            let senders: Vec<usize> = io.inbox().iter().map(|&(from, _)| from.index()).collect();
+            let mut sorted = senders.clone();
+            sorted.sort_unstable();
+            if senders != sorted {
+                self.ok = false;
+            }
+            for &(msg_from, tag) in io.inbox() {
+                if tag != msg_from.index() as u64 {
+                    self.ok = false;
+                }
+            }
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                let me = io.id().index() as u64;
+                io.send_all(me);
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.rounds_left == 0
+        }
+    }
+
+    #[test]
+    fn inbox_ordered_by_sender_index() {
+        let g = generators::complete(7);
+        let mut eng = SyncEngine::new(&g, |_| OrderCheck {
+            rounds_left: 5,
+            ok: true,
+        });
+        let out = eng.run(50);
+        assert!(out.is_completed());
+        for v in g.nodes() {
+            assert!(eng.node(v).ok, "inbox of {v:?} out of sender order");
+        }
+    }
+
+    #[test]
+    fn in_flight_and_quiescence_tracking() {
+        let g = generators::path(4);
+        let mut eng = SyncEngine::new(&g, |id| Flood {
+            have: id == NodeId(0),
+            sent: false,
+        });
+        assert!(!eng.is_quiescent());
+        assert_eq!(eng.in_flight(), 0);
+        eng.step_round(); // node 0 floods to node 1
+        assert_eq!(eng.in_flight(), 1);
+        let out = eng.run(100);
+        assert!(out.is_completed());
+        assert!(eng.is_quiescent());
+        assert_eq!(eng.in_flight(), 0);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let g = generators::Family::Grid.generate(100, 3);
+        let mut seq = SyncEngine::new(&g, |id| Flood {
+            have: id == NodeId(0),
+            sent: false,
+        });
+        let seq_out = seq.run(1000);
+        for threads in [2usize, 3, 8] {
+            let mut par = SyncEngine::new(&g, |id| Flood {
+                have: id == NodeId(0),
+                sent: false,
+            });
+            let par_out = par.run_parallel(1000, threads);
+            assert_eq!(seq_out, par_out);
+            assert_eq!(seq.cost(), par.cost());
+            for v in g.nodes() {
+                assert_eq!(seq.node(v).have, par.node(v).have);
+                assert_eq!(seq.node(v).sent, par.node(v).sent);
+            }
+        }
     }
 }

@@ -23,7 +23,35 @@
 //! * [`protocols`] — reusable building blocks (BFS tree construction,
 //!   convergecast / "broadcast and respond", tree broadcast);
 //! * [`CostAccount`] — the paper's cost measures (rounds, point-to-point
-//!   messages, channel-slot statistics).
+//!   messages, channel-slot statistics);
+//! * [`reference`] — the straightforward pre-optimisation engine, kept for
+//!   equivalence testing and as the benchmark baseline.
+//!
+//! # Performance architecture
+//!
+//! Both engines are **zero-allocation in steady state** (verified by the
+//! `alloc_steady_state` integration test with a counting global allocator):
+//!
+//! * `SyncEngine` double-buffers messages through a flat CSR-style inbox
+//!   arena plus a pooled staging buffer, bucketed per receiver with an
+//!   O(n + k) stable counting pass — no per-round `Vec`s (see the
+//!   [`engine`](SyncEngine) module docs for the layout);
+//! * `AsyncEngine` keeps in-flight payloads in a slab with a free list and
+//!   pools its callback buffers;
+//! * quiescence checks are O(1) in both engines (incremental done-node
+//!   counter + in-flight counters) instead of O(n) rescans per round/tick.
+//!
+//! **Determinism contract:** each node's inbox is ordered by the sender's
+//! node index (then send order); with the opt-in `parallel` feature,
+//! intra-round stepping fans out over scoped threads with per-thread shards
+//! merged in node-index order, so runs stay bit-for-bit reproducible.
+//! `Protocol::is_done` must only change during `step` — which is the only
+//! mutable access the engines expose.
+//!
+//! Measured on the `BENCH_engine.json` global-sum gossip workload (single
+//! core), the flat engine is **2.8–6.3× faster** than the reference engine
+//! (2.78× on the 100k-node grid; ring 100k: 3.5×) with ~20 allocations per
+//! *run* against the reference's ~10⁷ (thousands per round).
 //!
 //! # Example
 //!
@@ -47,9 +75,11 @@ mod engine;
 mod metrics;
 mod node;
 pub mod protocols;
+pub mod reference;
 
 pub use async_engine::{AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol};
 pub use channel::{fdma_slot_lengths, resolve_slot, SlotOutcome, SlotState};
 pub use engine::{RunOutcome, SyncEngine};
 pub use metrics::CostAccount;
-pub use node::{Protocol, RoundIo};
+pub use node::{OutboxBuffer, Protocol, RoundIo};
+pub use reference::ReferenceEngine;

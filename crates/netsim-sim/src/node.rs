@@ -6,6 +6,11 @@
 //! the previous round) and the outcome of the previous channel slot, and
 //! decides which point-to-point messages to send and whether to write to the
 //! channel in the current slot.  This is the model of Section 2 of the paper.
+//!
+//! Message plumbing is pooled: a step writes its sends into a borrowed
+//! [`OutboxBuffer`] owned by the engine (or by the simulation wrapper when
+//! using [`RoundIo::detached`]), so steady-state rounds perform no heap
+//! allocation.
 
 use crate::channel::SlotOutcome;
 use netsim_graph::{EdgeId, NodeId};
@@ -28,8 +33,66 @@ pub trait Protocol {
 
     /// Returns `true` once this node has terminated locally.
     ///
-    /// The engine stops when every node is done and no messages are in flight.
+    /// The engine stops when every node is done and no messages are in
+    /// flight.  For the engine's O(1) quiescence tracking to be sound, the
+    /// value returned must only change as a result of [`Protocol::step`]
+    /// (which is the only way engine users can reach `&mut self` anyway).
     fn is_done(&self) -> bool;
+}
+
+/// A staged point-to-point message: `(to, from, payload)`.
+///
+/// The payload is held in an `Option` so the engine can move messages out of
+/// the staging buffer into the delivery arena without cloning or unsafe code;
+/// entries reachable through the public API always carry `Some`.
+pub(crate) type Staged<M> = (NodeId, NodeId, Option<M>);
+
+/// A reusable buffer of staged sends, pooled across rounds by the engine.
+///
+/// Protocol steps append to it through [`RoundIo::send`] /
+/// [`RoundIo::send_all`]; the engine (or a simulation wrapper using
+/// [`RoundIo::detached`]) drains it afterwards.  Clearing keeps the backing
+/// capacity, which is what makes steady-state rounds allocation-free.
+#[derive(Debug)]
+pub struct OutboxBuffer<M> {
+    pub(crate) entries: Vec<Staged<M>>,
+}
+
+impl<M> OutboxBuffer<M> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        OutboxBuffer {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of staged sends.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no sends are staged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all staged sends, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drains the staged sends as `(to, msg)` pairs, keeping the allocation.
+    pub fn drain_sends(&mut self) -> impl Iterator<Item = (NodeId, M)> + '_ {
+        self.entries
+            .drain(..)
+            .map(|(to, _, msg)| (to, msg.expect("staged message already taken")))
+    }
+}
+
+impl<M> Default for OutboxBuffer<M> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Per-round input/output window handed to [`Protocol::step`].
@@ -40,7 +103,7 @@ pub struct RoundIo<'a, M> {
     pub(crate) neighbors: &'a [(NodeId, EdgeId)],
     pub(crate) inbox: &'a [(NodeId, M)],
     pub(crate) prev_slot: &'a SlotOutcome<M>,
-    pub(crate) outbox: Vec<(NodeId, M)>,
+    pub(crate) outbox: &'a mut OutboxBuffer<M>,
     pub(crate) channel_write: Option<M>,
 }
 
@@ -51,14 +114,17 @@ impl<'a, M: Clone> RoundIo<'a, M> {
     /// synchronizer of the paper's Section 7.1: the wrapper drives an
     /// existing synchronous [`Protocol`] round by round on a different
     /// substrate (e.g. an asynchronous engine) by constructing the round
-    /// window itself and collecting the outputs with
-    /// [`RoundIo::into_outputs`].
+    /// window itself and collecting the outputs.  The sends of the step land
+    /// in `outbox` (drain them with [`OutboxBuffer::drain_sends`]); the
+    /// channel write is returned by [`RoundIo::finish`].  Reusing one
+    /// `OutboxBuffer` across rounds keeps the wrapper allocation-free too.
     pub fn detached(
         node: NodeId,
         round: u64,
         neighbors: &'a [(NodeId, EdgeId)],
         inbox: &'a [(NodeId, M)],
         prev_slot: &'a SlotOutcome<M>,
+        outbox: &'a mut OutboxBuffer<M>,
     ) -> Self {
         RoundIo {
             node,
@@ -66,15 +132,16 @@ impl<'a, M: Clone> RoundIo<'a, M> {
             neighbors,
             inbox,
             prev_slot,
-            outbox: Vec::new(),
+            outbox,
             channel_write: None,
         }
     }
 
-    /// Consumes the window, returning the link sends and the channel write
-    /// requested during the step.
-    pub fn into_outputs(self) -> (Vec<(NodeId, M)>, Option<M>) {
-        (self.outbox, self.channel_write)
+    /// Consumes the window, returning the channel write requested during the
+    /// step (the link sends are in the `OutboxBuffer` the window was built
+    /// over).
+    pub fn finish(self) -> Option<M> {
+        self.channel_write
     }
 
     /// The identity of the executing node.
@@ -98,7 +165,8 @@ impl<'a, M: Clone> RoundIo<'a, M> {
         self.neighbors.len()
     }
 
-    /// Messages delivered this round (sent by neighbours in the previous round).
+    /// Messages delivered this round (sent by neighbours in the previous
+    /// round), ordered by the sender's node index.
     pub fn inbox(&self) -> &[(NodeId, M)] {
         self.inbox
     }
@@ -124,14 +192,17 @@ impl<'a, M: Clone> RoundIo<'a, M> {
             self.node,
             to
         );
-        self.outbox.push((to, msg));
+        self.outbox.entries.push((to, self.node, Some(msg)));
     }
 
     /// Sends `msg` to every neighbour.
     pub fn send_all(&mut self, msg: M) {
-        let targets: Vec<NodeId> = self.neighbors.iter().map(|&(v, _)| v).collect();
-        for v in targets {
-            self.outbox.push((v, msg.clone()));
+        let neighbors = self.neighbors;
+        if let Some((&(last, _), rest)) = neighbors.split_last() {
+            for &(v, _) in rest {
+                self.outbox.entries.push((v, self.node, Some(msg.clone())));
+            }
+            self.outbox.entries.push((last, self.node, Some(msg)));
         }
     }
 
@@ -158,16 +229,9 @@ mod tests {
         neighbors: &'a [(NodeId, EdgeId)],
         inbox: &'a [(NodeId, u32)],
         prev: &'a SlotOutcome<u32>,
+        outbox: &'a mut OutboxBuffer<u32>,
     ) -> RoundIo<'a, u32> {
-        RoundIo {
-            node: NodeId(0),
-            round: 3,
-            neighbors,
-            inbox,
-            prev_slot: prev,
-            outbox: Vec::new(),
-            channel_write: None,
-        }
+        RoundIo::detached(NodeId(0), 3, neighbors, inbox, prev, outbox)
     }
 
     #[test]
@@ -175,27 +239,47 @@ mod tests {
         let neighbors = [(NodeId(1), EdgeId(0)), (NodeId(2), EdgeId(1))];
         let inbox = [(NodeId(1), 9u32)];
         let prev = SlotOutcome::Idle;
-        let io = make_io(&neighbors, &inbox, &prev);
+        let mut outbox = OutboxBuffer::new();
+        let io = make_io(&neighbors, &inbox, &prev, &mut outbox);
         assert_eq!(io.id(), NodeId(0));
         assert_eq!(io.round(), 3);
         assert_eq!(io.degree(), 2);
         assert_eq!(io.inbox().len(), 1);
         assert!(io.prev_slot().is_idle());
         assert!(!io.will_write_channel());
+        assert!(io.finish().is_none());
     }
 
     #[test]
     fn send_and_broadcast() {
         let neighbors = [(NodeId(1), EdgeId(0)), (NodeId(2), EdgeId(1))];
         let prev = SlotOutcome::Idle;
-        let mut io = make_io(&neighbors, &[], &prev);
+        let mut outbox = OutboxBuffer::new();
+        let mut io = make_io(&neighbors, &[], &prev, &mut outbox);
         io.send(NodeId(2), 5);
         io.send_all(7);
-        assert_eq!(io.outbox.len(), 3);
         io.write_channel(1);
         io.write_channel(2);
-        assert_eq!(io.channel_write, Some(2));
         assert!(io.will_write_channel());
+        assert_eq!(io.finish(), Some(2));
+        assert_eq!(outbox.len(), 3);
+        let sends: Vec<(NodeId, u32)> = outbox.drain_sends().collect();
+        assert_eq!(sends, vec![(NodeId(2), 5), (NodeId(1), 7), (NodeId(2), 7)]);
+        assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn outbox_is_reusable_across_rounds() {
+        let neighbors = [(NodeId(1), EdgeId(0))];
+        let prev = SlotOutcome::Idle;
+        let mut outbox = OutboxBuffer::new();
+        for round in 0..3u64 {
+            let mut io = RoundIo::detached(NodeId(0), round, &neighbors, &[], &prev, &mut outbox);
+            io.send(NodeId(1), round as u32);
+            assert!(io.finish().is_none());
+            let sends: Vec<(NodeId, u32)> = outbox.drain_sends().collect();
+            assert_eq!(sends, vec![(NodeId(1), round as u32)]);
+        }
     }
 
     #[test]
@@ -203,7 +287,8 @@ mod tests {
     fn send_to_non_neighbor_panics() {
         let neighbors = [(NodeId(1), EdgeId(0))];
         let prev = SlotOutcome::Idle;
-        let mut io = make_io(&neighbors, &[], &prev);
+        let mut outbox = OutboxBuffer::new();
+        let mut io = make_io(&neighbors, &[], &prev, &mut outbox);
         io.send(NodeId(9), 1);
     }
 }

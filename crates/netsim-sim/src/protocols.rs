@@ -296,7 +296,11 @@ mod tests {
         let g = generators::star(8);
         let values = [50u64, 3, 9, 1, 7, 30, 22, 4];
         let mut eng = SyncEngine::new(&g, |id| {
-            let parent = if id.index() == 0 { None } else { Some(NodeId(0)) };
+            let parent = if id.index() == 0 {
+                None
+            } else {
+                Some(NodeId(0))
+            };
             let children = if id.index() == 0 { 7 } else { 0 };
             Convergecast::new(parent, children, values[id.index()], |a, b| *a.min(b))
         });

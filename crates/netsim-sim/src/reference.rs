@@ -1,0 +1,203 @@
+//! Straightforward reference implementation of the synchronous round engine.
+//!
+//! [`ReferenceEngine`] is the pre-optimisation engine kept verbatim in
+//! spirit: per round it allocates one fresh inbox `Vec` per node, a fresh
+//! outbox per stepping node, and a fresh channel-writes buffer, and its
+//! quiescence check re-scans every node and every pending queue.  It exists
+//! for two reasons:
+//!
+//! * **equivalence testing** — the property tests assert that the
+//!   zero-allocation [`SyncEngine`](crate::SyncEngine) produces identical
+//!   per-node final states, [`RunOutcome`], and
+//!   [`CostAccount`] on random protocols and topologies;
+//! * **benchmarking** — the engine benchmark (`experiments --engine`)
+//!   measures the flat engine's speedup against this baseline and records it
+//!   in `BENCH_engine.json`.
+//!
+//! Do not use it for experiments; it is deliberately allocator-bound.
+
+use crate::channel::{resolve_slot, SlotOutcome};
+use crate::engine::RunOutcome;
+use crate::metrics::CostAccount;
+use crate::node::{OutboxBuffer, Protocol, RoundIo};
+use netsim_graph::{Graph, NodeId};
+
+/// Allocation-per-round reference executor; see the module docs.
+#[derive(Debug)]
+pub struct ReferenceEngine<'g, P: Protocol> {
+    graph: &'g Graph,
+    nodes: Vec<P>,
+    /// Messages to deliver at the start of the next round: `pending[v] = (from, msg)*`.
+    pending: Vec<Vec<(NodeId, P::Msg)>>,
+    prev_slot: SlotOutcome<P::Msg>,
+    cost: CostAccount,
+    round: u64,
+}
+
+impl<'g, P: Protocol> ReferenceEngine<'g, P> {
+    /// Creates an engine over `graph`, instantiating each node's protocol
+    /// with `init(node_id)`.
+    pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, mut init: F) -> Self {
+        let nodes = graph.nodes().map(&mut init).collect();
+        ReferenceEngine {
+            graph,
+            nodes,
+            pending: vec![Vec::new(); graph.node_count()],
+            prev_slot: SlotOutcome::Idle,
+            cost: CostAccount::new(),
+            round: 0,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, v: NodeId) -> &P {
+        &self.nodes[v.index()]
+    }
+
+    /// Immutable access to all protocol states, indexed by node id.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// The cost account accumulated so far.
+    pub fn cost(&self) -> &CostAccount {
+        &self.cost
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Outcome of the most recently resolved channel slot.
+    pub fn last_slot(&self) -> &SlotOutcome<P::Msg> {
+        &self.prev_slot
+    }
+
+    /// Returns `true` when every node is done and no message is in flight.
+    /// O(n): full rescan, as in the original implementation.
+    pub fn is_quiescent(&self) -> bool {
+        self.nodes.iter().all(Protocol::is_done) && self.pending.iter().all(Vec::is_empty)
+    }
+
+    /// Executes one round for every node and resolves the channel slot.
+    pub fn step_round(&mut self) {
+        let n = self.graph.node_count();
+        let mut new_pending: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut writes: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut messages_sent: u64 = 0;
+
+        for v in self.graph.nodes() {
+            let inbox = std::mem::take(&mut self.pending[v.index()]);
+            let mut outbox = OutboxBuffer::new();
+            let mut io = RoundIo {
+                node: v,
+                round: self.round,
+                neighbors: self.graph.neighbors(v),
+                inbox: &inbox,
+                prev_slot: &self.prev_slot,
+                outbox: &mut outbox,
+                channel_write: None,
+            };
+            self.nodes[v.index()].step(&mut io);
+            let channel_write = io.finish();
+            messages_sent += outbox.len() as u64;
+            for (to, msg) in outbox.drain_sends() {
+                new_pending[to.index()].push((v, msg));
+            }
+            if let Some(msg) = channel_write {
+                writes.push((v, msg));
+            }
+        }
+
+        self.prev_slot = resolve_slot(&writes);
+        self.cost.add_messages(messages_sent);
+        self.cost.add_slot(writes.len() as u64);
+        self.pending = new_pending;
+        self.round += 1;
+    }
+
+    /// Runs until quiescence or until `max_rounds` rounds have elapsed in total.
+    pub fn run(&mut self, max_rounds: u64) -> RunOutcome {
+        while self.round < max_rounds {
+            if self.is_quiescent() {
+                return RunOutcome::Completed { rounds: self.round };
+            }
+            self.step_round();
+        }
+        if self.is_quiescent() {
+            RunOutcome::Completed { rounds: self.round }
+        } else {
+            RunOutcome::RoundLimit { rounds: self.round }
+        }
+    }
+
+    /// Consumes the engine, returning the node states and the cost account.
+    pub fn into_parts(self) -> (Vec<P>, CostAccount) {
+        (self.nodes, self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncEngine;
+    use netsim_graph::generators;
+
+    /// Gossip-max: every node floods the largest id it has seen until nothing
+    /// new arrives; exercises inboxes, outboxes, and quiescence together.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct GossipMax {
+        best: u64,
+        started: bool,
+    }
+
+    impl Protocol for GossipMax {
+        type Msg = u64;
+        fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+            let mut learned = !self.started;
+            self.started = true;
+            for &(_, v) in io.inbox() {
+                if v > self.best {
+                    self.best = v;
+                    learned = true;
+                }
+            }
+            if learned {
+                io.send_all(self.best);
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.started
+        }
+    }
+
+    #[test]
+    fn reference_and_flat_engines_agree() {
+        for (g, limit) in [
+            (generators::ring(17), 64),
+            (generators::Family::Grid.generate(36, 1), 64),
+            (generators::random_connected(40, 0.1, 9), 64),
+        ] {
+            let init = |id: NodeId| GossipMax {
+                best: (id.index() as u64).wrapping_mul(2654435761) % 1000,
+                started: false,
+            };
+            let mut fast = SyncEngine::new(&g, init);
+            let mut slow = ReferenceEngine::new(&g, init);
+            let fast_out = fast.run(limit);
+            let slow_out = slow.run(limit);
+            assert_eq!(fast_out, slow_out);
+            assert!(fast_out.is_completed());
+            let (fast_nodes, fast_cost) = fast.into_parts();
+            let (slow_nodes, slow_cost) = slow.into_parts();
+            assert_eq!(fast_nodes, slow_nodes);
+            assert_eq!(fast_cost, slow_cost);
+        }
+    }
+}

@@ -89,11 +89,8 @@ pub fn three_color(forest: &RootedForest, ids: &[u64]) -> Coloring {
         let next: Vec<u64> = (0..n)
             .map(|v| match forest.parent(v) {
                 Some(p) => cv_step(colors[v], colors[p]),
-                None => {
-                    // Roots pretend their parent differs in bit 0.
-                    let own_bit = colors[v] & 1;
-                    own_bit // = 2*0 + bit_0
-                }
+                // Roots pretend their parent differs in bit 0: 2*0 + bit_0.
+                None => colors[v] & 1,
             })
             .collect();
         colors = next;
@@ -181,8 +178,12 @@ mod tests {
     use super::*;
 
     fn path_forest(n: usize) -> RootedForest {
-        RootedForest::new((0..n).map(|v| if v == 0 { None } else { Some(v - 1) }).collect())
-            .unwrap()
+        RootedForest::new(
+            (0..n)
+                .map(|v| if v == 0 { None } else { Some(v - 1) })
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -217,7 +218,9 @@ mod tests {
         // handful of iterations (log* of the id bit-length).
         let n = 1000;
         let f = path_forest(n);
-        let ids: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) | 1).collect();
+        let ids: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+            .collect();
         // Ensure adjacent distinct (multiplication by odd constant is a bijection).
         let c = three_color(&f, &ids);
         assert!(is_proper_coloring(&f, &c.colors));
@@ -233,7 +236,9 @@ mod tests {
     fn star_forest_coloring() {
         // Root 0 with many children.
         let n = 64;
-        let parent: Vec<Option<usize>> = (0..n).map(|v| if v == 0 { None } else { Some(0) }).collect();
+        let parent: Vec<Option<usize>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some(0) })
+            .collect();
         let f = RootedForest::new(parent).unwrap();
         let ids: Vec<u64> = (0..n as u64).map(|i| i + 100).collect();
         let c = three_color(&f, &ids);

@@ -257,7 +257,9 @@ mod tests {
     #[test]
     fn long_path_depth() {
         let n = 500;
-        let parent: Vec<Option<usize>> = (0..n).map(|v| if v == 0 { None } else { Some(v - 1) }).collect();
+        let parent: Vec<Option<usize>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some(v - 1) })
+            .collect();
         let f = RootedForest::new(parent).unwrap();
         assert_eq!(f.height(), n - 1);
         assert_eq!(f.root_of(n - 1), 0);

@@ -43,4 +43,6 @@ mod mis;
 
 pub use coloring::{is_proper_coloring, three_color, Coloring};
 pub use forest::{RootedForest, RootedForestError};
-pub use mis::{is_independent, is_maximal_independent, mis_with_roots, MisResult, BLUE, GREEN, RED};
+pub use mis::{
+    is_independent, is_maximal_independent, mis_with_roots, MisResult, BLUE, GREEN, RED,
+};

@@ -102,10 +102,7 @@ pub fn mis_with_roots(forest: &RootedForest, coloring: &[u8]) -> MisResult {
         let snapshot = colors.clone();
         for v in 0..n {
             if snapshot[v] == promote {
-                let has_red_neighbor = forest
-                    .neighbors(v)
-                    .iter()
-                    .any(|&u| snapshot[u] == RED);
+                let has_red_neighbor = forest.neighbors(v).iter().any(|&u| snapshot[u] == RED);
                 if !has_red_neighbor {
                     colors[v] = RED;
                 }
@@ -135,9 +132,7 @@ pub fn is_independent(forest: &RootedForest, in_mis: &[bool]) -> bool {
 /// every non-member has a member neighbour.
 pub fn is_maximal_independent(forest: &RootedForest, in_mis: &[bool]) -> bool {
     is_independent(forest, in_mis)
-        && (0..forest.len()).all(|v| {
-            in_mis[v] || forest.neighbors(v).iter().any(|&u| in_mis[u])
-        })
+        && (0..forest.len()).all(|v| in_mis[v] || forest.neighbors(v).iter().any(|&u| in_mis[u]))
 }
 
 #[cfg(test)]
@@ -146,8 +141,12 @@ mod tests {
     use crate::coloring::three_color;
 
     fn path_forest(n: usize) -> RootedForest {
-        RootedForest::new((0..n).map(|v| if v == 0 { None } else { Some(v - 1) }).collect())
-            .unwrap()
+        RootedForest::new(
+            (0..n)
+                .map(|v| if v == 0 { None } else { Some(v - 1) })
+                .collect(),
+        )
+        .unwrap()
     }
 
     fn check_all(forest: &RootedForest, ids: &[u64]) -> MisResult {
@@ -182,7 +181,9 @@ mod tests {
     #[test]
     fn star_mis_is_root_only() {
         let n = 20;
-        let parent: Vec<Option<usize>> = (0..n).map(|v| if v == 0 { None } else { Some(0) }).collect();
+        let parent: Vec<Option<usize>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some(0) })
+            .collect();
         let f = RootedForest::new(parent).unwrap();
         let ids: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
         let mis = check_all(&f, &ids);
@@ -211,9 +212,11 @@ mod tests {
             }
         }
         let f = RootedForest::new(parent).unwrap();
-        let ids: Vec<u64> = (0..100u64).map(|i| i.wrapping_mul(2654435761) | 1).collect();
+        let ids: Vec<u64> = (0..100u64)
+            .map(|i| i.wrapping_mul(2654435761) | 1)
+            .collect();
         let mis = check_all(&f, &ids);
-        assert_eq!(mis.in_mis.iter().filter(|&&b| b).count() >= 5, true);
+        assert!(mis.in_mis.iter().filter(|&&b| b).count() >= 5);
     }
 
     #[test]

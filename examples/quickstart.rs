@@ -43,14 +43,14 @@ fn main() {
     let total = run.total_cost();
     println!(
         "global minimum = {} (found by {} cores), time {} rounds, {} messages",
-        run.value.0,
-        run.tree_count,
-        total.rounds,
-        total.p2p_messages
+        run.value.0, run.tree_count, total.rounds, total.p2p_messages
     );
     println!(
         "for comparison: a point-to-point-only network needs at least diameter = {} rounds,",
         2 * (32 - 1)
     );
-    println!("and a broadcast-only network needs at least n/2 = {} slots.", n / 2);
+    println!(
+        "and a broadcast-only network needs at least n/2 = {} slots.",
+        n / 2
+    );
 }

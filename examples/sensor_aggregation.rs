@@ -38,10 +38,16 @@ fn main() {
     let bc = broadcast_only::global_function_tdma(&readings, |a, b| a + b);
     assert_eq!(bc.value, expected);
 
-    println!("sensor grid: n = {}, diameter = {diameter}", net.node_count());
+    println!(
+        "sensor grid: n = {}, diameter = {diameter}",
+        net.node_count()
+    );
     println!("global sum of readings = {expected}");
     println!();
-    println!("{:<28}{:>12}{:>14}", "method", "time (rounds)", "p2p messages");
+    println!(
+        "{:<28}{:>12}{:>14}",
+        "method", "time (rounds)", "p2p messages"
+    );
     println!(
         "{:<28}{:>12}{:>14}",
         "multimedia (randomized)",
@@ -56,8 +62,6 @@ fn main() {
     );
     println!(
         "{:<28}{:>12}{:>14}",
-        "broadcast channel only",
-        bc.cost.rounds,
-        0
+        "broadcast channel only", bc.cost.rounds, 0
     );
 }

@@ -24,7 +24,10 @@ fn main() {
     );
 
     println!("\nrandomized Greenberg-Ladner estimates (true n = {real_n}):");
-    println!("{:<8}{:>12}{:>10}{:>8}", "seed", "estimate", "ratio", "slots");
+    println!(
+        "{:<8}{:>12}{:>10}{:>8}",
+        "seed", "estimate", "ratio", "slots"
+    );
     for seed in 0..8 {
         let e = size::randomized_estimate(&net, seed);
         println!(

@@ -19,9 +19,15 @@ fn full_pipeline_on_every_family() {
 
         // Partition invariants.
         let det = deterministic::partition(&net);
-        assert!(det.forest.is_mst_subforest(&g), "{fam}: not an MST subforest");
+        assert!(
+            det.forest.is_mst_subforest(&g),
+            "{fam}: not an MST subforest"
+        );
         let q = partition_quality(&det.forest);
-        assert!(q.max_radius as f64 <= 8.0 * (n as f64).sqrt() + 8.0, "{fam}");
+        assert!(
+            q.max_radius as f64 <= 8.0 * (n as f64).sqrt() + 8.0,
+            "{fam}"
+        );
 
         // Global function agrees with a sequential reference.
         let inputs: Vec<Sum> = (0..n as u64).map(|i| Sum(i + 1)).collect();
@@ -92,9 +98,8 @@ fn ray_graph_tracks_min_d_sqrt_n() {
     let n = 1025;
     let short = lower_bounds::ray_network(n, 8, 3); // d << sqrt(n)
     let long = lower_bounds::ray_network(n, 256, 3); // d >> sqrt(n)
-    let mk_inputs = |net: &MultimediaNetwork| -> Vec<Sum> {
-        (0..net.node_count() as u64).map(Sum).collect()
-    };
+    let mk_inputs =
+        |net: &MultimediaNetwork| -> Vec<Sum> { (0..net.node_count() as u64).map(Sum).collect() };
     let short_run = global_fn::compute_randomized(&short, &mk_inputs(&short), 1);
     let long_run = global_fn::compute_randomized(&long, &mk_inputs(&long), 1);
     // Larger diameter should not translate into proportionally larger time:

@@ -8,10 +8,62 @@ use multimedia_net::multimedia::{
     partition::{deterministic, randomized},
     MultimediaNetwork,
 };
+use multimedia_net::sim::{Protocol, ReferenceEngine, RoundIo, SlotOutcome, SyncEngine};
 use multimedia_net::symmetry::{
     is_maximal_independent, is_proper_coloring, mis_with_roots, three_color, RootedForest,
 };
 use proptest::prelude::*;
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^ (z >> 31)
+}
+
+/// Pseudo-random protocol for engine-equivalence testing: folds every
+/// observation (inbox contents **in delivery order**, slot outcomes) into a
+/// running hash, and derives its sends / channel writes from that hash.  Any
+/// divergence in message ordering, slot resolution, or termination between
+/// two engines cascades into different final states.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Chaos {
+    id: u64,
+    seed: u64,
+    state: u64,
+    rounds_active: u32,
+}
+
+impl Protocol for Chaos {
+    type Msg = u64;
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for &(from, m) in io.inbox() {
+            self.state = mix(self.state, mix(from.index() as u64, m));
+        }
+        match io.prev_slot() {
+            SlotOutcome::Idle => {}
+            SlotOutcome::Success { from, msg } => {
+                self.state = mix(self.state, mix(from.index() as u64, *msg))
+            }
+            SlotOutcome::Collision => self.state = mix(self.state, 0xc0111),
+        }
+        if self.rounds_active > 0 {
+            self.rounds_active -= 1;
+            let r = mix(self.seed, mix(self.id, io.round()));
+            for i in 0..io.degree() {
+                let v = io.neighbors()[i].0;
+                if !mix(r, i as u64).is_multiple_of(3) {
+                    io.send(v, mix(self.state, i as u64));
+                }
+            }
+            if mix(r, 0x5107).is_multiple_of(7) {
+                io.write_channel(self.state);
+            }
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+}
 
 /// Strategy: a connected random graph of 2..=60 nodes with distinct weights.
 fn connected_graph() -> impl Strategy<Value = multimedia_net::graph::Graph> {
@@ -26,14 +78,18 @@ fn rooted_forest() -> impl Strategy<Value = (RootedForest, Vec<u64>)> {
         let mut parent = Vec::with_capacity(k);
         let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
         for v in 0..k {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if v == 0 || state % 5 == 0 {
                 parent.push(None);
             } else {
                 parent.push(Some((state as usize) % v));
             }
         }
-        let ids: Vec<u64> = (0..k as u64).map(|i| i.wrapping_mul(2654435761) ^ seed).collect();
+        let ids: Vec<u64> = (0..k as u64)
+            .map(|i| i.wrapping_mul(2654435761) ^ seed)
+            .collect();
         (RootedForest::new(parent).unwrap(), ids)
     })
 }
@@ -113,6 +169,67 @@ proptest! {
         let g = builder.build();
         let comps = multimedia_net::graph::traversal::connected_components(&g);
         prop_assert_eq!(comps.len(), uf.set_count());
+    }
+
+    #[test]
+    fn flat_engine_matches_reference_engine(g in connected_graph(), seed in 0u64..1000, active in 1u32..24) {
+        let init = |v: NodeId| Chaos {
+            id: v.index() as u64,
+            seed,
+            state: mix(seed, v.index() as u64),
+            rounds_active: active + (v.index() as u32 % 5),
+        };
+        let mut flat = SyncEngine::new(&g, init);
+        let mut reference = ReferenceEngine::new(&g, init);
+        let flat_out = flat.run(400);
+        let ref_out = reference.run(400);
+        prop_assert_eq!(flat_out, ref_out);
+        prop_assert_eq!(flat.last_slot(), reference.last_slot());
+        let (flat_nodes, flat_cost) = flat.into_parts();
+        let (ref_nodes, ref_cost) = reference.into_parts();
+        prop_assert_eq!(flat_cost, ref_cost);
+        prop_assert_eq!(flat_nodes, ref_nodes);
+    }
+
+    #[test]
+    fn engine_is_deterministic_across_runs(g in connected_graph(), seed in 0u64..1000) {
+        let init = |v: NodeId| Chaos {
+            id: v.index() as u64,
+            seed,
+            state: mix(seed, v.index() as u64),
+            rounds_active: 12,
+        };
+        let run = || {
+            let mut eng = SyncEngine::new(&g, init);
+            let out = eng.run(300);
+            let (nodes, cost) = eng.into_parts();
+            (out, nodes, cost)
+        };
+        let (a_out, a_nodes, a_cost) = run();
+        let (b_out, b_nodes, b_cost) = run();
+        prop_assert_eq!(a_out, b_out);
+        prop_assert_eq!(a_cost, b_cost);
+        prop_assert_eq!(a_nodes, b_nodes);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_engine_matches_sequential(g in connected_graph(), seed in 0u64..500, threads in 2usize..9) {
+        let init = |v: NodeId| Chaos {
+            id: v.index() as u64,
+            seed,
+            state: mix(seed, v.index() as u64),
+            rounds_active: 10 + (v.index() as u32 % 7),
+        };
+        let mut seq = SyncEngine::new(&g, init);
+        let mut par = SyncEngine::new(&g, init);
+        let seq_out = seq.run(400);
+        let par_out = par.run_parallel(400, threads);
+        prop_assert_eq!(seq_out, par_out);
+        let (seq_nodes, seq_cost) = seq.into_parts();
+        let (par_nodes, par_cost) = par.into_parts();
+        prop_assert_eq!(seq_cost, par_cost);
+        prop_assert_eq!(seq_nodes, par_nodes);
     }
 
     #[test]
