@@ -595,6 +595,40 @@ fn e9(opts: &Opts, all: &mut Vec<Record>) {
     all.extend(records);
 }
 
+/// One measured graph-construction configuration, for the
+/// `graph_construction` section of `BENCH_engine.json`.
+///
+/// `generate` covers the whole topology generator (builder inserts included);
+/// `rebuild` re-runs only the CSR finalisation over the existing edge list
+/// (`Graph::map_weights` with the identity), whose allocation count must stay
+/// O(1) — the invariant the `graph_alloc` test enforces.
+struct GraphBuildRow {
+    topology: &'static str,
+    n: usize,
+    m: usize,
+    generate_seconds: f64,
+    generate_allocations: u64,
+    rebuild_seconds: f64,
+    rebuild_allocations: u64,
+}
+
+impl GraphBuildRow {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"topology\": \"{}\", \"n\": {}, \"m\": {}, \"generate_seconds\": {}, \
+             \"generate_allocations\": {}, \"rebuild_seconds\": {}, \
+             \"rebuild_allocations\": {}}}",
+            json_escape(self.topology),
+            self.n,
+            self.m,
+            json_f64(self.generate_seconds),
+            self.generate_allocations,
+            json_f64(self.rebuild_seconds),
+            self.rebuild_allocations,
+        )
+    }
+}
+
 /// One measured engine-bench configuration, for `BENCH_engine.json`.
 struct EngineBenchRow {
     topology: &'static str,
@@ -657,16 +691,30 @@ fn engine(opts: &Opts) {
     } else {
         &[1_000, 10_000, 100_000]
     };
-    let families = [Family::Grid, Family::Ring, Family::RandomConnected];
+    // The classic trio plus the structured topologies of
+    // `netsim_graph::topologies`, which stress the CSR layout and the radix
+    // scatter differently (clustered, spatial, heavy-tailed, expander).
+    let families = [
+        Family::Grid,
+        Family::Ring,
+        Family::RandomConnected,
+        Family::RingOfCliques,
+        Family::Geometric,
+        Family::PreferentialAttachment,
+        Family::Expander,
+    ];
     let mut rows: Vec<EngineBenchRow> = Vec::new();
+    let mut build_rows: Vec<GraphBuildRow> = Vec::new();
     let mut speedups: Vec<(String, f64)> = Vec::new();
     println!("\n== ENGINE — flat zero-allocation engine vs reference (global-sum gossip) ==");
     println!(
-        "{:<10}{:>9}{:>10}  {:<12}{:>8}{:>12}{:>14}{:>12}{:>14}",
+        "{:<12}{:>9}{:>10}  {:<12}{:>8}{:>12}{:>14}{:>12}{:>14}",
         "topology", "n", "m", "engine", "rounds", "rounds/s", "messages/s", "allocs", "peak_bytes"
     );
     for fam in families {
         for &n in ns {
+            let build_start = std::time::Instant::now();
+            let build_before = alloc_snapshot();
             // The dense rejection sampler behind `Family::RandomConnected` is
             // O(n²); at bench scale use the sparse generator (same Θ(n) edge
             // count, average degree ~8).
@@ -675,6 +723,24 @@ fn engine(opts: &Opts) {
             } else {
                 fam.generate(n, 42)
             };
+            let generate_seconds = build_start.elapsed().as_secs_f64();
+            let generate_allocations = alloc_snapshot().count - build_before.count;
+            // CSR refinalisation over the existing edge list: O(1) allocs.
+            let rebuild_start = std::time::Instant::now();
+            let rebuild_before = alloc_snapshot();
+            let rebuilt = g.map_weights(|_, w| w);
+            let rebuild_seconds = rebuild_start.elapsed().as_secs_f64();
+            let rebuild_allocations = alloc_snapshot().count - rebuild_before.count;
+            drop(rebuilt);
+            build_rows.push(GraphBuildRow {
+                topology: fam.name(),
+                n: g.node_count(),
+                m: g.edge_count(),
+                generate_seconds,
+                generate_allocations,
+                rebuild_seconds,
+                rebuild_allocations,
+            });
             let rounds = engine_bench::workload_rounds(&g);
             let mut record = |name: &'static str,
                               threads: usize,
@@ -685,7 +751,7 @@ fn engine(opts: &Opts) {
                 u64,
             )| {
                 println!(
-                    "{:<10}{:>9}{:>10}  {:<12}{:>8}{:>12.0}{:>14.0}{:>12}{:>14}",
+                    "{:<12}{:>9}{:>10}  {:<12}{:>8}{:>12.0}{:>14.0}{:>12}{:>14}",
                     fam.name(),
                     g.node_count(),
                     g.edge_count(),
@@ -751,6 +817,7 @@ fn engine(opts: &Opts) {
     }
 
     let row_json: Vec<String> = rows.iter().map(EngineBenchRow::to_json).collect();
+    let build_json: Vec<String> = build_rows.iter().map(GraphBuildRow::to_json).collect();
     let speedup_json: Vec<String> = speedups
         .iter()
         .map(|(key, s)| {
@@ -762,11 +829,13 @@ fn engine(opts: &Opts) {
         })
         .collect();
     let doc = format!(
-        "{{\n\"schema\": \"bench-engine/v1\",\n\"workload\": \"global-sum gossip \
+        "{{\n\"schema\": \"bench-engine/v2\",\n\"workload\": \"global-sum gossip \
          (constant-traffic heartbeat aggregation; see bench::engine_bench)\",\n\
-         \"quick\": {},\n\"results\": [\n{}\n],\n\"speedups_flat_over_reference\": [\n{}\n]\n}}\n",
+         \"quick\": {},\n\"results\": [\n{}\n],\n\"graph_construction\": [\n{}\n],\n\
+         \"speedups_flat_over_reference\": [\n{}\n]\n}}\n",
         opts.quick,
         row_json.join(",\n"),
+        build_json.join(",\n"),
         speedup_json.join(",\n")
     );
     std::fs::write(&opts.engine_json, doc).expect("write BENCH_engine.json");

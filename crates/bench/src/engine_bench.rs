@@ -2,10 +2,12 @@
 //! measured on both the flat zero-allocation [`SyncEngine`] and the
 //! allocation-per-round [`ReferenceEngine`] baseline.
 //!
-//! The `experiments` binary drives this over grid/ring/random topologies at
-//! n ∈ {1k, 10k, 100k} and records the results (plus allocator statistics)
-//! in `BENCH_engine.json`, giving every future PR a perf trajectory to
-//! compare against.
+//! The `experiments` binary drives this over the topology matrix — grid,
+//! ring, random plus the structured `netsim_graph::topologies` families
+//! (ring-of-cliques, geometric, preferential-attachment, expander) — at
+//! n ∈ {1k, 10k, 100k} and records the results (plus allocator statistics
+//! and graph-construction cost) in `BENCH_engine.json`, giving every future
+//! PR a perf trajectory to compare against.
 
 use netsim_graph::{Graph, NodeId};
 use netsim_sim::{Protocol, ReferenceEngine, RoundIo, SyncEngine};

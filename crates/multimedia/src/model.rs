@@ -41,9 +41,12 @@ impl MultimediaNetwork {
     /// distinct.
     pub fn with_ids(graph: Graph, ids: Vec<u64>) -> Self {
         assert_eq!(ids.len(), graph.node_count(), "one id per node");
-        let mut seen = std::collections::HashSet::new();
-        for &id in &ids {
-            assert!(seen.insert(id), "duplicate processor id {id}");
+        // Sort-based duplicate detection over a scratch copy: one allocation
+        // and an in-place sort, instead of a hash set with per-id inserts.
+        let mut scratch = ids.clone();
+        scratch.sort_unstable();
+        if let Some(pair) = scratch.windows(2).find(|pair| pair[0] == pair[1]) {
+            panic!("duplicate processor id {}", pair[0]);
         }
         let max_id = ids.iter().copied().max().unwrap_or(1);
         let id_bits = ceil_log2(max_id + 1).max(1);

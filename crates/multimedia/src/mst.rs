@@ -21,7 +21,6 @@ use crate::partition::{deterministic, PartitionOutcome};
 use channel_access::{capetanakis, Contender};
 use netsim_graph::{EdgeId, NodeId, UnionFind};
 use netsim_sim::CostAccount;
-use std::collections::HashMap;
 
 /// Result of the distributed MST construction.
 #[derive(Clone, Debug)]
@@ -71,9 +70,16 @@ pub fn minimum_spanning_tree_from_partition(
     assert!(n > 0, "MST of an empty graph is undefined");
     let forest = &partition.forest;
     let cores: Vec<NodeId> = forest.roots().to_vec();
-    let core_index: HashMap<NodeId, usize> =
-        cores.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-    let init_of: Vec<usize> = g.nodes().map(|v| core_index[&forest.root_of(v)]).collect();
+    // Dense initial-fragment index, scattered flat by core node (cores are a
+    // subset of nodes, so a plain vector replaces the former hash map).
+    let mut core_index = vec![u32::MAX; n];
+    for (i, &c) in cores.iter().enumerate() {
+        core_index[c.index()] = i as u32;
+    }
+    let init_of: Vec<usize> = g
+        .nodes()
+        .map(|v| core_index[forest.root_of(v).index()] as usize)
+        .collect();
 
     // The MST starts with the tree edges of the initial fragments
     // (they are MST edges by property (1) of the partition).
@@ -112,7 +118,7 @@ pub fn minimum_spanning_tree_from_partition(
         for v in g.nodes() {
             let init_v = init_of[v.index()];
             let cur_v = current.find(init_v);
-            for &(w, e) in g.neighbors(v) {
+            for (w, e) in g.neighbors(v) {
                 if current.find(init_of[w.index()]) == cur_v {
                     continue;
                 }
@@ -135,24 +141,25 @@ pub fn minimum_spanning_tree_from_partition(
         }
 
         // Every node locally computes the minimum outgoing link of every
-        // current fragment, adds it to the MST and merges.
-        let mut best_of_current: HashMap<usize, EdgeId> = HashMap::new();
+        // current fragment, adds it to the MST and merges.  The per-current-
+        // fragment minima live in a flat vector indexed by union-find
+        // representative, so the merge order is deterministic (ascending
+        // representative) rather than hash-map order.
+        let mut best_of_current: Vec<Option<EdgeId>> = vec![None; cores.len()];
+        let mut any_candidate = false;
         for (init, cand) in candidate_of_init.iter().enumerate() {
             let Some(e) = cand else { continue };
             let cur = current.find(init);
-            best_of_current
-                .entry(cur)
-                .and_modify(|b| {
-                    if g.edge_key(*e) < g.edge_key(*b) {
-                        *b = *e;
-                    }
-                })
-                .or_insert(*e);
+            any_candidate = true;
+            best_of_current[cur] = match best_of_current[cur] {
+                Some(b) if g.edge_key(b) <= g.edge_key(*e) => Some(b),
+                _ => Some(*e),
+            };
         }
-        if best_of_current.is_empty() {
+        if !any_candidate {
             break; // disconnected remainder (cannot happen on connected graphs)
         }
-        for (_, e) in best_of_current {
+        for e in best_of_current.into_iter().flatten() {
             let edge = g.edge(e);
             let a = current.find(init_of[edge.u.index()]);
             let b = current.find(init_of[edge.v.index()]);

@@ -29,7 +29,6 @@ use super::PartitionOutcome;
 use crate::model::MultimediaNetwork;
 use netsim_graph::{traversal, EdgeId, NodeId, SpanningForest};
 use netsim_sim::CostAccount;
-use std::collections::HashMap;
 use symmetry::{mis_with_roots, three_color, RootedForest};
 
 /// Runs the partition until every fragment has level at least
@@ -88,28 +87,27 @@ pub fn partition_to_level(net: &MultimediaNetwork, target_level: u32) -> Partiti
         cost.add_messages(2 * (n as u64 - frags.count() as u64));
         cost.add_idle_rounds(2 * u64::from(frags.max_radius()) + 1);
 
-        let active: Vec<NodeId> = frags
-            .cores
-            .iter()
-            .copied()
-            .filter(|&c| frags.level(c) == level)
+        let active: Vec<usize> = (0..frags.count())
+            .filter(|&f| frags.level(f) == level)
             .collect();
         if active.is_empty() {
             // Every fragment is already past this level; nothing to do.
             phases += 1;
             continue;
         }
-        let max_active_radius = active.iter().map(|&c| frags.radius(c)).max().unwrap_or(0);
+        let max_active_radius = active.iter().map(|&f| frags.radius(f)).max().unwrap_or(0);
 
         // ---- Step 2: minimum-weight outgoing link of every active fragment.
-        let mut chosen: HashMap<NodeId, EdgeId> = HashMap::new();
-        for &c in &active {
-            let members = &frags.members[&c];
+        // Indexed flat by fragment, like everything else in the phase.
+        let mut chosen: Vec<Option<EdgeId>> = vec![None; frags.count()];
+        let mut chosen_count = 0u64;
+        for &f in &active {
+            let members = frags.members_of(f);
             // Broadcast "active" + convergecast of the minimum: 2(size-1) msgs.
             cost.add_messages(2 * (members.len() as u64 - 1));
             let mut best: Option<EdgeId> = None;
             for &u in members {
-                for &(v, e) in g.neighbors(u) {
+                for (v, e) in g.neighbors(u) {
                     if rejected[e.index()] {
                         continue;
                     }
@@ -129,11 +127,12 @@ pub fn partition_to_level(net: &MultimediaNetwork, target_level: u32) -> Partiti
                 }
             }
             if let Some(e) = best {
-                chosen.insert(c, e);
+                chosen[f] = Some(e);
+                chosen_count += 1;
             }
         }
         cost.add_idle_rounds(2 * u64::from(max_active_radius) + 2);
-        if chosen.is_empty() {
+        if chosen_count == 0 {
             // No active fragment has an outgoing link: each spans a whole
             // connected component (for a connected graph, the whole graph).
             break;
@@ -141,10 +140,10 @@ pub fn partition_to_level(net: &MultimediaNetwork, target_level: u32) -> Partiti
 
         // ---- Step 3 (setup): build the fragment forest F. ------------------
         let cores = &frags.cores;
-        let f_index: HashMap<NodeId, usize> =
-            cores.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         let mut parent_f: Vec<Option<usize>> = vec![None; cores.len()];
-        for (&c, &e) in &chosen {
+        for (a, cand) in chosen.iter().enumerate() {
+            let Some(e) = *cand else { continue };
+            let c = cores[a];
             let edge = g.edge(e);
             let (u, v) = if core[edge.u.index()] == c {
                 (edge.u, edge.v)
@@ -153,11 +152,10 @@ pub fn partition_to_level(net: &MultimediaNetwork, target_level: u32) -> Partiti
             };
             debug_assert_eq!(core[u.index()], c);
             let target_core = core[v.index()];
-            let a = f_index[&c];
-            let b = f_index[&target_core];
+            let b = frags.frag_of(v);
             // Two fragments may choose the same link (case (iii) of the
             // paper): root the pair at the higher-id core and drop its edge.
-            let reciprocal = chosen.get(&target_core) == Some(&e);
+            let reciprocal = chosen[b] == Some(e);
             if reciprocal && net.id_of(c) > net.id_of(target_core) {
                 continue; // `c` becomes the root of this component of F
             }
@@ -174,8 +172,8 @@ pub fn partition_to_level(net: &MultimediaNetwork, target_level: u32) -> Partiti
         // Every fragment-level exchange travels through the fragment trees:
         // O(radius) time and O(total fragment size) messages per exchange.
         cost.add_idle_rounds(comm_rounds * 2 * (u64::from(frags.max_radius()) + 1));
-        let active_size: u64 = active.iter().map(|&c| frags.size(c) as u64).sum();
-        cost.add_messages(comm_rounds * (active_size + chosen.len() as u64));
+        let active_size: u64 = active.iter().map(|&f| frags.size(f) as u64).sum();
+        cost.add_messages(comm_rounds * (active_size + chosen_count));
 
         // ---- Step 6: cut below red internal vertices and merge subtrees. --
         // Subtree root of an F-vertex = nearest ancestor (inclusive) that is
@@ -194,8 +192,9 @@ pub fn partition_to_level(net: &MultimediaNetwork, target_level: u32) -> Partiti
                 continue;
             }
             // Keep the edge fidx -> parent_f[fidx]: merge fragment `c` into
-            // its parent fragment through the chosen graph link.
-            let e = chosen[&c];
+            // its parent fragment through the chosen graph link.  (Non-cut
+            // vertices have a parent in F, hence a chosen link.)
+            let e = chosen[fidx].expect("non-cut fragment chose an outgoing link");
             let edge = g.edge(e);
             let (u, v) = if core[edge.u.index()] == c {
                 (edge.u, edge.v)
@@ -215,8 +214,7 @@ pub fn partition_to_level(net: &MultimediaNetwork, target_level: u32) -> Partiti
             new_core_of_fragment.push(cores[subtree_root_of(fidx)]);
         }
         for vtx in g.nodes() {
-            let old = core[vtx.index()];
-            core[vtx.index()] = new_core_of_fragment[f_index[&old]];
+            core[vtx.index()] = new_core_of_fragment[frags.frag_of(vtx)];
         }
         let _ = merges;
         cost.add_messages(n as u64);

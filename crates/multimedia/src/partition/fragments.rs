@@ -6,22 +6,34 @@
 //! core of the fragment it currently belongs to; this module derives the
 //! per-fragment views (members, sizes, depths, radii) needed for cost
 //! accounting and for the algorithms' own decisions.
+//!
+//! Everything is stored index-flat, mirroring the CSR graph substrate:
+//! fragments get dense indices `0..count` (by ascending core id), member
+//! lists live in one `(offsets, members)` pair, and per-node / per-fragment
+//! attributes are plain vectors — no hash maps on the partition hot path.
 
 use netsim_graph::{Graph, NodeId};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
-/// A snapshot of the current fragment structure.
+/// A snapshot of the current fragment structure, in flat CSR-style form.
+///
+/// Fragments are indexed densely `0..count` in ascending core order.
 #[derive(Clone, Debug)]
 pub(crate) struct Fragments {
-    /// Cores, in ascending node order (one per fragment).
+    /// Cores, in ascending node order (one per fragment; `cores[f]` is the
+    /// core of fragment `f`).
     pub cores: Vec<NodeId>,
-    /// `members[core]` = nodes of that fragment (ascending).
-    pub members: HashMap<NodeId, Vec<NodeId>>,
+    /// Dense fragment index of every node's fragment.
+    frag_of: Vec<u32>,
+    /// CSR member index: fragment `f`'s members are
+    /// `members[member_offsets[f]..member_offsets[f + 1]]`, ascending.
+    member_offsets: Vec<u32>,
+    members: Vec<NodeId>,
     /// Depth of every node below its core.
     #[allow(dead_code)] // read by the verification tests and future consumers
     pub depth: Vec<u32>,
-    /// Radius (maximum member depth) per core.
-    pub radius: HashMap<NodeId, u32>,
+    /// Radius (maximum member depth) per fragment index.
+    radius: Vec<u32>,
 }
 
 impl Fragments {
@@ -35,40 +47,85 @@ impl Fragments {
         debug_assert_eq!(parent.len(), n);
         debug_assert_eq!(core.len(), n);
 
-        let mut members: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        // Dense fragment indices by ascending core id: a core's rank among
+        // all cores.  (`core_rank[c]` is meaningful only at core positions.)
+        let mut is_core = vec![false; n];
         for v in g.nodes() {
-            members.entry(core[v.index()]).or_default().push(v);
+            is_core[core[v.index()].index()] = true;
         }
-        let mut cores: Vec<NodeId> = members.keys().copied().collect();
-        cores.sort();
-
-        // Children adjacency for depth computation.
-        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for v in g.nodes() {
-            if let Some(p) = parent[v.index()] {
-                debug_assert_eq!(core[p.index()], core[v.index()], "parents stay in-fragment");
-                children[p.index()].push(v);
-            } else {
-                debug_assert_eq!(core[v.index()], v, "roots are their own core");
+        let mut core_rank = vec![0u32; n];
+        let mut cores = Vec::new();
+        for c in 0..n {
+            if is_core[c] {
+                core_rank[c] = cores.len() as u32;
+                cores.push(NodeId(c));
             }
         }
+        let frag_of: Vec<u32> = (0..n).map(|v| core_rank[core[v].index()]).collect();
+
+        // Member CSR via a counting pass; nodes ascend, so each member slice
+        // comes out ascending.
+        let f = cores.len();
+        let mut member_offsets = vec![0u32; f + 1];
+        for &fi in &frag_of {
+            member_offsets[fi as usize + 1] += 1;
+        }
+        for i in 1..=f {
+            member_offsets[i] += member_offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = member_offsets[..f].to_vec();
+        let mut members = vec![NodeId(0); n];
+        for v in g.nodes() {
+            let fi = frag_of[v.index()] as usize;
+            members[cursor[fi] as usize] = v;
+            cursor[fi] += 1;
+        }
+
+        // Children CSR over the fragment trees, for the depth sweep.
+        let mut child_offsets = vec![0u32; n + 1];
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                debug_assert_eq!(core[p.index()], core[v], "parents stay in-fragment");
+                child_offsets[p.index() + 1] += 1;
+            } else {
+                debug_assert_eq!(core[v], NodeId(v), "roots are their own core");
+            }
+        }
+        for i in 1..=n {
+            child_offsets[i] += child_offsets[i - 1];
+        }
+        let mut child_cursor: Vec<u32> = child_offsets[..n].to_vec();
+        let mut child_list = vec![NodeId(0); child_offsets[n] as usize];
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                child_list[child_cursor[p.index()] as usize] = NodeId(v);
+                child_cursor[p.index()] += 1;
+            }
+        }
+
         let mut depth = vec![0u32; n];
-        let mut radius: HashMap<NodeId, u32> = HashMap::new();
-        for &c in &cores {
-            let mut queue = std::collections::VecDeque::new();
+        let mut radius = vec![0u32; f];
+        let mut queue = VecDeque::new();
+        for (fi, &c) in cores.iter().enumerate() {
             queue.push_back((c, 0u32));
             let mut r = 0;
             while let Some((v, d)) = queue.pop_front() {
                 depth[v.index()] = d;
                 r = r.max(d);
-                for &ch in &children[v.index()] {
+                let (a, b) = (
+                    child_offsets[v.index()] as usize,
+                    child_offsets[v.index() + 1] as usize,
+                );
+                for &ch in &child_list[a..b] {
                     queue.push_back((ch, d + 1));
                 }
             }
-            radius.insert(c, r);
+            radius[fi] = r;
         }
         Fragments {
             cores,
+            frag_of,
+            member_offsets,
             members,
             depth,
             radius,
@@ -80,25 +137,35 @@ impl Fragments {
         self.cores.len()
     }
 
-    /// Size of the fragment rooted at `core`.
-    pub(crate) fn size(&self, core: NodeId) -> usize {
-        self.members.get(&core).map_or(0, Vec::len)
+    /// Dense index of the fragment containing node `v`.
+    pub(crate) fn frag_of(&self, v: NodeId) -> usize {
+        self.frag_of[v.index()] as usize
     }
 
-    /// Level of the fragment rooted at `core`: `⌊log₂ size⌋`.
-    pub(crate) fn level(&self, core: NodeId) -> u32 {
-        let s = self.size(core).max(1) as u64;
+    /// Members of fragment `f`, ascending.
+    pub(crate) fn members_of(&self, f: usize) -> &[NodeId] {
+        &self.members[self.member_offsets[f] as usize..self.member_offsets[f + 1] as usize]
+    }
+
+    /// Size of fragment `f`.
+    pub(crate) fn size(&self, f: usize) -> usize {
+        (self.member_offsets[f + 1] - self.member_offsets[f]) as usize
+    }
+
+    /// Level of fragment `f`: `⌊log₂ size⌋`.
+    pub(crate) fn level(&self, f: usize) -> u32 {
+        let s = self.size(f).max(1) as u64;
         63 - s.leading_zeros()
     }
 
-    /// Radius of the fragment rooted at `core`.
-    pub(crate) fn radius(&self, core: NodeId) -> u32 {
-        self.radius.get(&core).copied().unwrap_or(0)
+    /// Radius of fragment `f`.
+    pub(crate) fn radius(&self, f: usize) -> u32 {
+        self.radius[f]
     }
 
     /// Maximum radius over all fragments (0 if there are none).
     pub(crate) fn max_radius(&self) -> u32 {
-        self.radius.values().copied().max().unwrap_or(0)
+        self.radius.iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -135,8 +202,11 @@ mod tests {
         assert_eq!(f.count(), 5);
         assert_eq!(f.max_radius(), 0);
         for v in g.nodes() {
-            assert_eq!(f.size(v), 1);
-            assert_eq!(f.level(v), 0);
+            let fi = f.frag_of(v);
+            assert_eq!(f.cores[fi], v);
+            assert_eq!(f.size(fi), 1);
+            assert_eq!(f.level(fi), 0);
+            assert_eq!(f.members_of(fi), &[v]);
         }
     }
 
@@ -163,10 +233,13 @@ mod tests {
         let f = Fragments::gather(&g, &parent, &core);
         assert_eq!(f.count(), 2);
         assert_eq!(f.cores, vec![NodeId(0), NodeId(5)]);
-        assert_eq!(f.size(NodeId(0)), 3);
-        assert_eq!(f.radius(NodeId(0)), 2);
-        assert_eq!(f.radius(NodeId(5)), 2);
-        assert_eq!(f.level(NodeId(0)), 1);
+        assert_eq!(f.frag_of(NodeId(1)), 0);
+        assert_eq!(f.frag_of(NodeId(3)), 1);
+        assert_eq!(f.size(0), 3);
+        assert_eq!(f.radius(0), 2);
+        assert_eq!(f.radius(1), 2);
+        assert_eq!(f.level(0), 1);
+        assert_eq!(f.members_of(1), &[NodeId(3), NodeId(4), NodeId(5)]);
         assert_eq!(f.depth[2], 2);
         assert_eq!(f.max_radius(), 2);
     }
@@ -183,7 +256,7 @@ mod tests {
             *c = NodeId(0);
         }
         let f = Fragments::gather(&g, &parent, &core);
-        assert_eq!(f.level(NodeId(0)), 3); // floor(log2 9) = 3
+        assert_eq!(f.level(0), 3); // floor(log2 9) = 3
     }
 
     #[test]

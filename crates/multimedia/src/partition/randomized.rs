@@ -108,7 +108,7 @@ pub fn partition(net: &MultimediaNetwork, seed: u64) -> RandomizedOutcome {
             if du >= max_depth {
                 continue;
             }
-            for &(v, e) in g.neighbors(u) {
+            for (v, e) in g.neighbors(u) {
                 if removed[e.index()] {
                     continue;
                 }
@@ -148,21 +148,21 @@ pub fn partition(net: &MultimediaNetwork, seed: u64) -> RandomizedOutcome {
         // (one exchange per link plus a broadcast-and-respond on each tree).
         cost.add_idle_rounds(2 * u64::from(max_depth) + 2);
         cost.add_messages(2 * n as u64);
-        let mut tree_has_unlabeled_link: std::collections::HashMap<NodeId, bool> =
-            std::collections::HashMap::new();
+        // Flat per-root flag (roots are nodes, so a vector indexed by node id
+        // replaces the former hash map).
+        let mut tree_has_unlabeled_link = vec![false; n];
         for u in g.nodes() {
             if let Some(r) = root[u.index()] {
                 let touches_unlabeled = g
-                    .neighbors(u)
+                    .neighbor_targets(u)
                     .iter()
-                    .any(|&(v, _)| label[v.index()].is_none());
-                *tree_has_unlabeled_link.entry(r).or_insert(false) |= touches_unlabeled;
+                    .any(|&v| label[v.index()].is_none());
+                tree_has_unlabeled_link[r.index()] |= touches_unlabeled;
             }
         }
         for u in g.nodes() {
             if let (Some(r), Some(d)) = (root[u.index()], label[u.index()]) {
-                let open = tree_has_unlabeled_link.get(&r).copied().unwrap_or(false);
-                if !open || d <= unfree_depth {
+                if !tree_has_unlabeled_link[r.index()] || d <= unfree_depth {
                     free[u.index()] = false;
                 }
             }

@@ -32,7 +32,34 @@ pub struct SpanningForest {
     parent: Vec<Option<NodeId>>,
     root_of: Vec<NodeId>,
     roots: Vec<NodeId>,
-    children: Vec<Vec<NodeId>>,
+    /// CSR children index: node `v`'s children are
+    /// `child_list[child_offsets[v]..child_offsets[v + 1]]`, ascending.
+    child_offsets: Vec<u32>,
+    child_list: Vec<NodeId>,
+}
+
+/// Builds the flat CSR children triple from parent pointers with a counting
+/// pass (no per-node `Vec`s): node order is ascending, so each child slice
+/// comes out in ascending node order.
+fn children_csr(parent: &[Option<NodeId>]) -> (Vec<u32>, Vec<NodeId>) {
+    let n = parent.len();
+    let mut offsets = vec![0u32; n + 1];
+    for p in parent.iter().flatten() {
+        offsets[p.index() + 1] += 1;
+    }
+    for i in 1..=n {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut list = vec![NodeId(0); offsets[n] as usize];
+    for (v, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            let pos = cursor[p.index()] as usize;
+            cursor[p.index()] += 1;
+            list[pos] = NodeId(v);
+        }
+    }
+    (offsets, list)
 }
 
 /// Error returned when a parent vector does not describe a valid rooted
@@ -119,17 +146,13 @@ impl SpanningForest {
         let root_of: Vec<NodeId> = root_of.into_iter().map(|r| r.expect("resolved")).collect();
         let mut roots: Vec<NodeId> = g.nodes().filter(|v| parent[v.index()].is_none()).collect();
         roots.sort();
-        let mut children = vec![Vec::new(); n];
-        for v in g.nodes() {
-            if let Some(p) = parent[v.index()] {
-                children[p.index()].push(v);
-            }
-        }
+        let (child_offsets, child_list) = children_csr(&parent);
         Ok(SpanningForest {
             parent,
             root_of,
             roots,
-            children,
+            child_offsets,
+            child_list,
         })
     }
 
@@ -139,7 +162,8 @@ impl SpanningForest {
             parent: vec![None; g.node_count()],
             root_of: g.nodes().collect(),
             roots: g.nodes().collect(),
-            children: vec![Vec::new(); g.node_count()],
+            child_offsets: vec![0; g.node_count() + 1],
+            child_list: Vec::new(),
         }
     }
 
@@ -163,9 +187,14 @@ impl SpanningForest {
         self.parent[v.index()]
     }
 
-    /// Children of `v` in the forest.
+    /// Children of `v` in the forest (a slice of the flat CSR child array),
+    /// in ascending node order.
     pub fn children(&self, v: NodeId) -> &[NodeId] {
-        &self.children[v.index()]
+        let (a, b) = (
+            self.child_offsets[v.index()] as usize,
+            self.child_offsets[v.index() + 1] as usize,
+        );
+        &self.child_list[a..b]
     }
 
     /// Root (core) of the tree containing `v`.
@@ -214,7 +243,7 @@ impl SpanningForest {
         queue.push_back((root, 0u32));
         while let Some((v, d)) = queue.pop_front() {
             best = best.max(d);
-            for &c in &self.children[v.index()] {
+            for &c in self.children(v) {
                 queue.push_back((c, d + 1));
             }
         }

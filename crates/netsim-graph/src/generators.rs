@@ -34,11 +34,23 @@ pub enum Family {
     Ray,
     /// A star: one hub adjacent to all other nodes; diameter 2.
     Star,
+    /// Dense clusters joined in a sparse ring
+    /// ([`topologies::ring_of_cliques`](crate::topologies::ring_of_cliques)).
+    RingOfCliques,
+    /// Random geometric (unit-disk) graph
+    /// ([`topologies::random_geometric`](crate::topologies::random_geometric)).
+    Geometric,
+    /// Scale-free preferential-attachment graph
+    /// ([`topologies::preferential_attachment`](crate::topologies::preferential_attachment)).
+    PreferentialAttachment,
+    /// Degree-bounded random expander
+    /// ([`topologies::degree_bounded_expander`](crate::topologies::degree_bounded_expander)).
+    Expander,
 }
 
 impl Family {
     /// All families, for exhaustive sweeps.
-    pub const ALL: [Family; 9] = [
+    pub const ALL: [Family; 13] = [
         Family::Path,
         Family::Ring,
         Family::Grid,
@@ -48,6 +60,10 @@ impl Family {
         Family::RandomTree,
         Family::Ray,
         Family::Star,
+        Family::RingOfCliques,
+        Family::Geometric,
+        Family::PreferentialAttachment,
+        Family::Expander,
     ];
 
     /// Short machine-friendly name used in reports.
@@ -62,6 +78,10 @@ impl Family {
             Family::RandomTree => "tree",
             Family::Ray => "ray",
             Family::Star => "star",
+            Family::RingOfCliques => "cliquering",
+            Family::Geometric => "geometric",
+            Family::PreferentialAttachment => "prefattach",
+            Family::Expander => "expander",
         }
     }
 
@@ -96,6 +116,21 @@ impl Family {
                 ray_graph(n, d.max(2))
             }
             Family::Star => star(n),
+            Family::RingOfCliques => {
+                // Clusters of 8 (a typical LAN-segment size); at least one.
+                let s = 8.min(n.max(1));
+                crate::topologies::ring_of_cliques((n / s).max(1), s)
+            }
+            Family::Geometric => {
+                // 1.2× the percolation threshold: connected with margin,
+                // average degree Θ(log n).
+                let r = crate::topologies::geometric_threshold_radius(n) * 1.2;
+                crate::topologies::random_geometric(n, r, seed)
+            }
+            Family::PreferentialAttachment => {
+                crate::topologies::preferential_attachment(n, 3, seed)
+            }
+            Family::Expander => crate::topologies::degree_bounded_expander(n, 6, seed),
         };
         assign_random_weights(&g, seed ^ 0x9e37_79b9_7f4a_7c15)
     }

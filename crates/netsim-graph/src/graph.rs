@@ -5,6 +5,27 @@
 //! `n = |V|` processors and `m = |E|` bidirectional links.  Links may carry
 //! distinct weights (required by the minimum-spanning-tree algorithms of the
 //! paper, Sections 3 and 6).
+//!
+//! # CSR adjacency layout
+//!
+//! Adjacency is stored in **compressed sparse row** (CSR) form: a flat
+//! `(offsets, targets, edge_ids)` triple where node `v`'s incident links are
+//! the parallel slices `targets[offsets[v]..offsets[v + 1]]` and
+//! `edge_ids[offsets[v]..offsets[v + 1]]`.  Compared to the previous
+//! `Vec<Vec<(NodeId, EdgeId)>>` this
+//!
+//! * performs **O(1) heap allocations** in [`GraphBuilder::build`] regardless
+//!   of `n` and `m` (enforced by the `graph_alloc` integration test), and
+//! * keeps every traversal cache-friendly: the hot BFS/scatter loops read
+//!   only the 8-byte `targets` entries instead of pulling the interleaved
+//!   `(NodeId, EdgeId)` pairs through the cache.
+//!
+//! Each CSR row is ordered by ascending **edge key** `(weight, edge id)`, the
+//! globally consistent total order every algorithm in the workspace observes
+//! ("scan the ordered list of links and choose the first outgoing one", Step 2
+//! of the deterministic partition).  The order is a pure function of the edge
+//! list, so rebuilding a graph from the same edges always reproduces the same
+//! neighbour iteration order.
 
 use std::fmt;
 
@@ -126,11 +147,157 @@ impl Edge {
     }
 }
 
-/// An undirected graph with weighted edges and adjacency lists.
+/// Borrowed view of one node's CSR adjacency row: the parallel `targets` /
+/// `edge_ids` slices of its incident links, in ascending edge-key order.
 ///
-/// The structure is immutable once built (see [`GraphBuilder`](crate::GraphBuilder));
-/// all algorithm state lives outside the graph, which lets many simulated
+/// The view is `Copy` and iterates as `(NodeId, EdgeId)` pairs, so the common
+/// loop reads naturally:
+///
+/// ```
+/// use netsim_graph::{generators, NodeId};
+/// let g = generators::ring(5);
+/// for (neighbor, edge) in g.neighbors(NodeId(0)) {
+///     assert!(g.edge(edge).touches(neighbor));
+/// }
+/// ```
+///
+/// Hot paths that only need the neighbour nodes should use
+/// [`Neighbors::targets`] (or [`Graph::neighbor_targets`]) to stream the flat
+/// `NodeId` slice without touching the edge-id array at all.
+#[derive(Clone, Copy, Debug)]
+pub struct Neighbors<'a> {
+    targets: &'a [NodeId],
+    edge_ids: &'a [EdgeId],
+}
+
+impl<'a> Neighbors<'a> {
+    /// Builds a view over externally owned parallel slices (used by detached
+    /// simulator windows and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn new(targets: &'a [NodeId], edge_ids: &'a [EdgeId]) -> Self {
+        assert_eq!(
+            targets.len(),
+            edge_ids.len(),
+            "parallel CSR slices must have equal length"
+        );
+        Neighbors { targets, edge_ids }
+    }
+
+    /// The empty adjacency row.
+    pub fn empty() -> Self {
+        Neighbors {
+            targets: &[],
+            edge_ids: &[],
+        }
+    }
+
+    /// Number of incident links.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `true` when the node has no incident links.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The neighbour nodes, as a flat slice.
+    #[inline]
+    pub fn targets(&self) -> &'a [NodeId] {
+        self.targets
+    }
+
+    /// The incident edge ids, parallel to [`Neighbors::targets`].
+    #[inline]
+    pub fn edge_ids(&self) -> &'a [EdgeId] {
+        self.edge_ids
+    }
+
+    /// The `i`-th `(neighbour, edge id)` pair, if in range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<(NodeId, EdgeId)> {
+        Some((*self.targets.get(i)?, *self.edge_ids.get(i)?))
+    }
+
+    /// The `i`-th neighbour node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn target(&self, i: usize) -> NodeId {
+        self.targets[i]
+    }
+
+    /// Returns `true` when `v` is among the neighbours.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.targets.contains(&v)
+    }
+
+    /// Iterator over `(neighbour, edge id)` pairs.
+    pub fn iter(&self) -> NeighborsIter<'a> {
+        NeighborsIter {
+            targets: self.targets.iter(),
+            edge_ids: self.edge_ids.iter(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for Neighbors<'a> {
+    type Item = (NodeId, EdgeId);
+    type IntoIter = NeighborsIter<'a>;
+    fn into_iter(self) -> NeighborsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the `(NodeId, EdgeId)` pairs of a [`Neighbors`] view.
+#[derive(Clone, Debug)]
+pub struct NeighborsIter<'a> {
+    targets: std::slice::Iter<'a, NodeId>,
+    edge_ids: std::slice::Iter<'a, EdgeId>,
+}
+
+impl Iterator for NeighborsIter<'_> {
+    type Item = (NodeId, EdgeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<(NodeId, EdgeId)> {
+        Some((*self.targets.next()?, *self.edge_ids.next()?))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.targets.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NeighborsIter<'_> {}
+
+impl DoubleEndedIterator for NeighborsIter<'_> {
+    #[inline]
+    fn next_back(&mut self) -> Option<(NodeId, EdgeId)> {
+        Some((*self.targets.next_back()?, *self.edge_ids.next_back()?))
+    }
+}
+
+/// An undirected graph with weighted edges and flat CSR adjacency.
+///
+/// The structure is immutable once built (see [`GraphBuilder`]); all
+/// algorithm state lives outside the graph, which lets many simulated
 /// processors share one `&Graph`.
+///
+/// Adjacency is a flat `(offsets, targets, edge_ids)` compressed-sparse-row
+/// triple: node `v`'s incident links are the parallel slices
+/// `targets[offsets[v]..offsets[v + 1]]` / `edge_ids[offsets[v]..offsets[v + 1]]`,
+/// each row in ascending `(weight, edge id)` key order.  [`Graph::neighbors`]
+/// hands out a [`Neighbors`] view over a row; [`Graph::csr`] exposes the raw
+/// triple for bulk consumers.
 ///
 /// # Examples
 ///
@@ -145,42 +312,77 @@ impl Edge {
 /// assert_eq!(g.edge_count(), 2);
 /// assert_eq!(g.degree(NodeId(1)), 2);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Graph {
     edges: Vec<Edge>,
-    /// adjacency[v] = list of (neighbor, edge id), sorted by ascending edge
-    /// key so that "scan the ordered list of links and choose the first
-    /// outgoing one" (Step 2 of the deterministic partition) is a simple
-    /// linear scan.
-    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+    /// CSR row index: node `v`'s incident links live at positions
+    /// `offsets[v]..offsets[v + 1]` of `targets` / `edge_ids`; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Flat neighbour array (length `2m`), rows ordered by ascending edge key.
+    targets: Vec<NodeId>,
+    /// Flat incident-edge array, parallel to `targets`.
+    edge_ids: Vec<EdgeId>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::from_parts(0, Vec::new())
+    }
 }
 
 impl Graph {
+    /// Builds the CSR triple from an edge list with a stable two-pass
+    /// counting sort: edges are first ordered by the global edge key, then
+    /// scattered into per-node rows, so every row comes out key-sorted
+    /// without any per-row sorting or per-node allocation.  Performs O(1)
+    /// heap allocations total (five vectors, none per node or per edge).
     pub(crate) fn from_parts(n: usize, edges: Vec<Edge>) -> Self {
-        let mut adjacency = vec![Vec::new(); n];
-        for (i, e) in edges.iter().enumerate() {
-            adjacency[e.u.index()].push((e.v, EdgeId(i)));
-            adjacency[e.v.index()].push((e.u, EdgeId(i)));
+        let half_edges = edges.len() * 2;
+        assert!(
+            half_edges < u32::MAX as usize && n < u32::MAX as usize,
+            "CSR offsets are 32-bit; graph too large"
+        );
+        // Pass 0: global edge-key order (in-place unstable sort: no allocs).
+        let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| (edges[i as usize].weight, i));
+        // Pass 1: degree counting into the row index.
+        let mut offsets = vec![0u32; n + 1];
+        for e in &edges {
+            offsets[e.u.index() + 1] += 1;
+            offsets[e.v.index() + 1] += 1;
         }
-        let mut g = Graph { edges, adjacency };
-        // Sort each adjacency list by the globally consistent edge key so that
-        // all algorithms observe the same (weight, id) order.
-        let keys: Vec<(Weight, usize)> = g
-            .edges
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.weight, i))
-            .collect();
-        for list in &mut g.adjacency {
-            list.sort_by_key(|&(_, eid)| keys[eid.index()]);
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
         }
-        g
+        // Pass 2: scatter in edge-key order; each row fills in ascending key
+        // order because the scatter preserves the visit order per row.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![NodeId(0); half_edges];
+        let mut edge_ids = vec![EdgeId(0); half_edges];
+        for &i in &order {
+            let e = &edges[i as usize];
+            let id = EdgeId(i as usize);
+            let pu = cursor[e.u.index()] as usize;
+            cursor[e.u.index()] += 1;
+            targets[pu] = e.v;
+            edge_ids[pu] = id;
+            let pv = cursor[e.v.index()] as usize;
+            cursor[e.v.index()] += 1;
+            targets[pv] = e.u;
+            edge_ids[pv] = id;
+        }
+        Graph {
+            edges,
+            offsets,
+            targets,
+            edge_ids,
+        }
     }
 
     /// Number of nodes `n`.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges `m`.
@@ -192,7 +394,7 @@ impl Graph {
     /// Returns `true` when the graph has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.adjacency.is_empty()
+        self.node_count() == 0
     }
 
     /// Iterator over all node ids `0..n`.
@@ -242,29 +444,60 @@ impl Graph {
         (self.edges[e.index()].weight, e.index())
     }
 
+    /// The CSR range of node `v`'s adjacency row.
+    #[inline]
+    fn row(&self, v: NodeId) -> (usize, usize) {
+        (
+            self.offsets[v.index()] as usize,
+            self.offsets[v.index() + 1] as usize,
+        )
+    }
+
     /// Degree (number of incident links) of node `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adjacency[v.index()].len()
+        let (a, b) = self.row(v);
+        b - a
     }
 
-    /// Neighbours of `v` with the connecting edge id, in ascending edge-key order.
+    /// Neighbours of `v` with the connecting edge ids, in ascending edge-key
+    /// order, as a [`Neighbors`] view over the flat CSR arrays.
     #[inline]
-    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adjacency[v.index()]
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        let (a, b) = self.row(v);
+        Neighbors {
+            targets: &self.targets[a..b],
+            edge_ids: &self.edge_ids[a..b],
+        }
+    }
+
+    /// Neighbour nodes of `v` only (no edge ids), in ascending edge-key
+    /// order.  The cache-minimal view for traversals.
+    #[inline]
+    pub fn neighbor_targets(&self, v: NodeId) -> &[NodeId] {
+        let (a, b) = self.row(v);
+        &self.targets[a..b]
+    }
+
+    /// The raw CSR triple `(offsets, targets, edge_ids)`.
+    ///
+    /// Exposed for bulk consumers (benchmarks, serialisers) that want to walk
+    /// the flat arrays directly; everyone else should go through
+    /// [`Graph::neighbors`].
+    pub fn csr(&self) -> (&[u32], &[NodeId], &[EdgeId]) {
+        (&self.offsets, &self.targets, &self.edge_ids)
     }
 
     /// Looks up the edge between `u` and `v`, if any.
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        self.adjacency[u.index()]
-            .iter()
-            .find(|&&(w, _)| w == v)
-            .map(|&(_, e)| e)
+        let nbrs = self.neighbors(u);
+        let i = nbrs.targets().iter().position(|&w| w == v)?;
+        Some(nbrs.edge_ids()[i])
     }
 
     /// Returns `true` when `u` and `v` are adjacent.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.find_edge(u, v).is_some()
+        self.neighbor_targets(u).contains(&v)
     }
 
     /// Sum of all edge weights.
@@ -274,7 +507,11 @@ impl Graph {
 
     /// Maximum degree Δ of the graph (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns a copy of the graph with every weight replaced by the given
@@ -300,6 +537,15 @@ impl Graph {
 ///
 /// Parallel edges and self loops are rejected, matching the communication
 /// graph model of the paper (at most one link between any pair of nodes).
+///
+/// [`GraphBuilder::build`] finalises the accumulated edge list into the flat
+/// CSR `(offsets, targets, edge_ids)` triple described on [`Graph`].  The
+/// finalisation is a two-pass counting sort over one globally
+/// edge-key-sorted permutation, so it performs a **constant number of heap
+/// allocations** (five vectors) however large the graph is, and the
+/// resulting neighbour order is a deterministic function of the edge list:
+/// rebuilding from the same `add_edge` calls always yields byte-identical
+/// adjacency.
 ///
 /// # Examples
 ///
@@ -370,7 +616,8 @@ impl GraphBuilder {
         self.seen.contains(&key)
     }
 
-    /// Finalises the builder into an immutable [`Graph`].
+    /// Finalises the builder into an immutable [`Graph`] (CSR form; O(1)
+    /// allocations — see the type-level docs).
     pub fn build(self) -> Graph {
         Graph::from_parts(self.n, self.edges)
     }
@@ -404,16 +651,68 @@ mod tests {
         assert!(g.is_empty());
         assert_eq!(g.max_degree(), 0);
         assert_eq!(g.total_weight(), 0);
+        let d = Graph::default();
+        assert!(d.is_empty());
+        assert_eq!(d.node_count(), 0);
     }
 
     #[test]
     fn adjacency_sorted_by_weight() {
         let g = triangle();
         // Node 0 is incident to weight-3 (edge 0) and weight-2 (edge 2) links;
-        // the lighter link must come first in the ordered adjacency list.
+        // the lighter link must come first in the ordered adjacency row.
         let nbrs = g.neighbors(NodeId(0));
-        assert_eq!(g.weight(nbrs[0].1), 2);
-        assert_eq!(g.weight(nbrs[1].1), 3);
+        assert_eq!(g.weight(nbrs.edge_ids()[0]), 2);
+        assert_eq!(g.weight(nbrs.edge_ids()[1]), 3);
+    }
+
+    #[test]
+    fn csr_rows_are_consistent() {
+        let g = triangle();
+        let (offsets, targets, edge_ids) = g.csr();
+        assert_eq!(offsets.len(), 4);
+        assert_eq!(targets.len(), 6);
+        assert_eq!(edge_ids.len(), 6);
+        assert_eq!(offsets[3] as usize, targets.len());
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            assert_eq!(nbrs.len(), g.degree(v));
+            assert_eq!(nbrs.targets(), g.neighbor_targets(v));
+            for (i, (w, e)) in nbrs.iter().enumerate() {
+                assert_eq!(g.edge(e).other(v), w);
+                assert_eq!(nbrs.get(i), Some((w, e)));
+                assert_eq!(nbrs.target(i), w);
+            }
+            assert_eq!(nbrs.get(nbrs.len()), None);
+        }
+    }
+
+    #[test]
+    fn neighbors_view_helpers() {
+        let g = triangle();
+        let nbrs = g.neighbors(NodeId(1));
+        assert!(!nbrs.is_empty());
+        assert!(nbrs.contains(NodeId(0)));
+        assert!(!nbrs.contains(NodeId(1)));
+        let pairs: Vec<(NodeId, EdgeId)> = nbrs.into_iter().collect();
+        assert_eq!(pairs.len(), 2);
+        let back: Vec<(NodeId, EdgeId)> = nbrs.iter().rev().collect();
+        assert_eq!(back.first(), pairs.last());
+        assert_eq!(nbrs.iter().len(), 2);
+        let empty = Neighbors::empty();
+        assert!(empty.is_empty());
+        let t = [NodeId(5)];
+        let e = [EdgeId(9)];
+        let one = Neighbors::new(&t, &e);
+        assert_eq!(one.get(0), Some((NodeId(5), EdgeId(9))));
+    }
+
+    #[test]
+    #[should_panic]
+    fn neighbors_new_rejects_length_mismatch() {
+        let t = [NodeId(1), NodeId(2)];
+        let e = [EdgeId(0)];
+        let _ = Neighbors::new(&t, &e);
     }
 
     #[test]
@@ -426,6 +725,7 @@ mod tests {
         assert!(g.has_edge(NodeId(2), NodeId(0)));
         let e = g.find_edge(NodeId(1), NodeId(2)).unwrap();
         assert_eq!(g.weight(e), 1);
+        assert!(g.find_edge(NodeId(0), NodeId(0)).is_none());
     }
 
     #[test]
@@ -463,6 +763,8 @@ mod tests {
         b.add_edge(NodeId(1), NodeId(2), 5);
         let g = b.build();
         assert!(g.edge_key(EdgeId(0)) < g.edge_key(EdgeId(1)));
+        // Equal weights: node 1's row must list edge 0 before edge 1.
+        assert_eq!(g.neighbors(NodeId(1)).edge_ids(), &[EdgeId(0), EdgeId(1)]);
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! provides:
 //!
 //! * topology [`generators`] for the experiment workloads, including the
-//!   paper's lower-bound *ray graph*;
-//! * [`traversal`] (BFS, connectivity, diameter/radius);
+//!   paper's lower-bound *ray graph*, plus the structured [`topologies`]
+//!   (ring-of-cliques, unit-disk, preferential attachment, expander) that
+//!   stress the CSR layout in different ways;
+//! * [`traversal`] (BFS, connectivity, diameter/radius) with flat
+//!   [`ComponentSet`] / [`DistanceMatrix`] results;
 //! * reference sequential [`mst`] algorithms (Kruskal, Prim) used as ground
 //!   truth for the distributed MST of Section 6;
 //! * rooted [`SpanningForest`]s — the output type of the partitioning
@@ -37,11 +40,13 @@ mod forest;
 pub mod generators;
 mod graph;
 pub mod mst;
+pub mod topologies;
 pub mod traversal;
 mod union_find;
 
 pub use forest::{partition_quality, ForestError, PartitionQuality, SpanningForest, TreeStats};
-pub use graph::{Edge, EdgeId, Graph, GraphBuilder, NodeId, Weight};
+pub use graph::{Edge, EdgeId, Graph, GraphBuilder, Neighbors, NeighborsIter, NodeId, Weight};
+pub use traversal::{ComponentSet, DistanceMatrix};
 pub use union_find::UnionFind;
 
 /// Computes `log* x`: the number of times `log2` must be iterated, starting

@@ -41,7 +41,7 @@ pub fn prim(g: &Graph, root: NodeId) -> Vec<EdgeId> {
     type PrimEntry = std::cmp::Reverse<((u64, usize), EdgeId, NodeId)>;
     let mut heap: BinaryHeap<PrimEntry> = BinaryHeap::new();
     in_tree[root.index()] = true;
-    for &(v, e) in g.neighbors(root) {
+    for (v, e) in g.neighbors(root) {
         heap.push(std::cmp::Reverse((g.edge_key(e), e, v)));
     }
     while let Some(std::cmp::Reverse((_, e, v))) = heap.pop() {
@@ -50,7 +50,7 @@ pub fn prim(g: &Graph, root: NodeId) -> Vec<EdgeId> {
         }
         in_tree[v.index()] = true;
         tree.push(e);
-        for &(w, e2) in g.neighbors(v) {
+        for (w, e2) in g.neighbors(v) {
             if !in_tree[w.index()] {
                 heap.push(std::cmp::Reverse((g.edge_key(e2), e2, w)));
             }
@@ -182,7 +182,7 @@ mod tests {
         let lightest = g
             .neighbors(NodeId(0))
             .iter()
-            .map(|&(_, e)| g.edge_key(e))
+            .map(|(_, e)| g.edge_key(e))
             .min()
             .unwrap();
         assert_eq!(g.edge_key(e), lightest);

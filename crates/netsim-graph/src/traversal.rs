@@ -1,5 +1,10 @@
 //! Breadth-first traversal, distances, connectivity and metric properties
 //! (eccentricity, diameter, radius) of the point-to-point graph.
+//!
+//! Aggregate results use the same index-flat discipline as the CSR graph
+//! itself: [`connected_components`] returns a [`ComponentSet`] (one `offsets`
+//! index over one flat node array) and [`all_pairs_distances`] returns a
+//! dense row-major [`DistanceMatrix`], instead of nested `Vec<Vec<_>>`s.
 
 use crate::graph::{Graph, NodeId};
 use std::collections::VecDeque;
@@ -67,7 +72,7 @@ pub fn bfs(g: &Graph, source: NodeId) -> BfsTree {
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()].expect("queued node has a distance");
-        for &(v, _) in g.neighbors(u) {
+        for &v in g.neighbor_targets(u) {
             if dist[v.index()].is_none() {
                 dist[v.index()] = Some(du + 1);
                 parent[v.index()] = Some(u);
@@ -82,33 +87,102 @@ pub fn bfs(g: &Graph, source: NodeId) -> BfsTree {
     }
 }
 
-/// Returns the connected components of `g` as lists of nodes.
-/// Component order and the order of nodes inside a component are deterministic.
-pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+/// The connected components of a graph, in flat `(offsets, nodes)` form.
+///
+/// Component `i` is the slice `nodes[offsets[i]..offsets[i + 1]]`; component
+/// order (by smallest member) and the order of nodes inside a component
+/// (BFS discovery order from that member) are deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentSet {
+    /// Flat index: component `i` spans `nodes[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<usize>,
+    /// Concatenated component memberships.
+    nodes: Vec<NodeId>,
+    /// Component index of every node.
+    comp_of: Vec<usize>,
+}
+
+impl ComponentSet {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` when the underlying graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Members of component `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count()`.
+    pub fn component(&self, i: usize) -> &[NodeId] {
+        &self.nodes[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Index of the component containing `v`.
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.comp_of[v.index()]
+    }
+
+    /// Returns `true` when `u` and `v` are in the same component.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.component_of(u) == self.component_of(v)
+    }
+
+    /// Iterator over the component slices, in component order.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.count()).map(|i| self.component(i))
+    }
+
+    /// The flat `(offsets, nodes)` pair backing the set.
+    pub fn as_flat(&self) -> (&[usize], &[NodeId]) {
+        (&self.offsets, &self.nodes)
+    }
+
+    /// Size of the largest component (0 when there are none).
+    pub fn max_size(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Returns the connected components of `g` as a flat [`ComponentSet`].
+pub fn connected_components(g: &Graph) -> ComponentSet {
     let n = g.node_count();
-    let mut comp: Vec<Option<usize>> = vec![None; n];
-    let mut components = Vec::new();
+    let mut comp_of: Vec<usize> = vec![usize::MAX; n];
+    let mut offsets = Vec::with_capacity(8);
+    let mut nodes = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    offsets.push(0);
     for start in g.nodes() {
-        if comp[start.index()].is_some() {
+        if comp_of[start.index()] != usize::MAX {
             continue;
         }
-        let idx = components.len();
-        let mut members = Vec::new();
-        let mut queue = VecDeque::new();
-        comp[start.index()] = Some(idx);
+        let idx = offsets.len() - 1;
+        comp_of[start.index()] = idx;
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
-            members.push(u);
-            for &(v, _) in g.neighbors(u) {
-                if comp[v.index()].is_none() {
-                    comp[v.index()] = Some(idx);
+            nodes.push(u);
+            for &v in g.neighbor_targets(u) {
+                if comp_of[v.index()] == usize::MAX {
+                    comp_of[v.index()] = idx;
                     queue.push_back(v);
                 }
             }
         }
-        components.push(members);
+        offsets.push(nodes.len());
     }
-    components
+    ComponentSet {
+        offsets,
+        nodes,
+        comp_of,
+    }
 }
 
 /// Returns `true` when the graph is connected (the empty graph counts as connected).
@@ -175,11 +249,48 @@ pub fn diameter_lower_bound(g: &Graph) -> u32 {
     bfs(g, far).max_distance()
 }
 
-/// All-pairs shortest hop distances (dense `n × n` matrix of `Option<u32>`).
+/// Dense all-pairs hop-distance matrix in one flat row-major array.
+///
+/// Row `u` is `data[u·n..(u + 1)·n]`; entry `(u, v)` is `None` when `v` is
+/// unreachable from `u`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<Option<u32>>,
+}
+
+impl DistanceMatrix {
+    /// Number of nodes (the matrix is `n × n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The distances from `u` to every node, as a flat row.
+    pub fn row(&self, u: NodeId) -> &[Option<u32>] {
+        &self.data[u.index() * self.n..(u.index() + 1) * self.n]
+    }
+
+    /// Hop distance from `u` to `v`, if reachable.
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        self.data[u.index() * self.n + v.index()]
+    }
+
+    /// The whole matrix as one flat row-major slice of length `n²`.
+    pub fn as_flat(&self) -> &[Option<u32>] {
+        &self.data
+    }
+}
+
+/// All-pairs shortest hop distances as a flat [`DistanceMatrix`].
 ///
 /// Intended for test-sized graphs; cost is `O(n·(n + m))`.
-pub fn all_pairs_distances(g: &Graph) -> Vec<Vec<Option<u32>>> {
-    g.nodes().map(|v| bfs(g, v).dist).collect()
+pub fn all_pairs_distances(g: &Graph) -> DistanceMatrix {
+    let n = g.node_count();
+    let mut data = Vec::with_capacity(n * n);
+    for v in g.nodes() {
+        data.extend(bfs(g, v).dist);
+    }
+    DistanceMatrix { n, data }
 }
 
 #[cfg(test)]
@@ -227,13 +338,32 @@ mod tests {
         let g = b.build();
         assert!(!is_connected(&g));
         let comps = connected_components(&g);
-        assert_eq!(comps.len(), 3);
-        assert_eq!(comps[0], vec![NodeId(0), NodeId(1)]);
-        assert_eq!(comps[1], vec![NodeId(2), NodeId(3)]);
-        assert_eq!(comps[2], vec![NodeId(4)]);
+        assert_eq!(comps.count(), 3);
+        assert!(!comps.is_empty());
+        assert_eq!(comps.component(0), &[NodeId(0), NodeId(1)]);
+        assert_eq!(comps.component(1), &[NodeId(2), NodeId(3)]);
+        assert_eq!(comps.component(2), &[NodeId(4)]);
+        assert_eq!(comps.component_of(NodeId(3)), 1);
+        assert!(comps.same_component(NodeId(2), NodeId(3)));
+        assert!(!comps.same_component(NodeId(0), NodeId(4)));
+        assert_eq!(comps.max_size(), 2);
+        let sizes: Vec<usize> = comps.iter().map(<[NodeId]>::len).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+        let (offsets, nodes) = comps.as_flat();
+        assert_eq!(offsets, &[0, 2, 4, 5]);
+        assert_eq!(nodes.len(), 5);
         let t = bfs(&g, NodeId(0));
         assert_eq!(t.distance(NodeId(4)), None);
         assert!(t.path_to(NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        let comps = connected_components(&GraphBuilder::new(0).build());
+        assert_eq!(comps.count(), 0);
+        assert!(comps.is_empty());
+        assert_eq!(comps.max_size(), 0);
+        assert_eq!(comps.iter().count(), 0);
     }
 
     #[test]
@@ -257,9 +387,14 @@ mod tests {
     fn all_pairs_matches_bfs() {
         let g = path(6);
         let ap = all_pairs_distances(&g);
-        for (u, row) in ap.iter().enumerate() {
-            for (v, d) in row.iter().enumerate() {
-                assert_eq!(*d, Some((u as i64 - v as i64).unsigned_abs() as u32));
+        assert_eq!(ap.n(), 6);
+        assert_eq!(ap.as_flat().len(), 36);
+        for u in g.nodes() {
+            let row = ap.row(u);
+            for v in g.nodes() {
+                let expect = Some((u.index() as i64 - v.index() as i64).unsigned_abs() as u32);
+                assert_eq!(row[v.index()], expect);
+                assert_eq!(ap.get(u, v), expect);
             }
         }
     }

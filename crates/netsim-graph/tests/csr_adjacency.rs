@@ -1,0 +1,95 @@
+//! Property tests pinning the CSR adjacency to the semantics of the old
+//! `Vec<Vec<(NodeId, EdgeId)>>` builder it replaced:
+//!
+//! * per node, the CSR row is **permutation-equal** to the naive per-node
+//!   list (same multiset of `(neighbour, edge id)` pairs) — and, stronger,
+//!   exactly equal once the naive list is sorted by the global edge key,
+//!   which is the order the old builder guaranteed;
+//! * rebuilding a graph from the same edge list reproduces the identical
+//!   neighbour iteration order (the order is a pure function of the edges,
+//!   never of allocator or hash state).
+
+use netsim_graph::{generators, EdgeId, Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// The pre-CSR reference construction: per-node `Vec`s in insertion order,
+/// then each list sorted by the `(weight, edge id)` key.
+fn naive_adjacency(g: &Graph) -> Vec<Vec<(NodeId, EdgeId)>> {
+    let mut adjacency = vec![Vec::new(); g.node_count()];
+    for (i, e) in g.edges().enumerate() {
+        adjacency[e.u.index()].push((e.v, EdgeId(i)));
+        adjacency[e.v.index()].push((e.u, EdgeId(i)));
+    }
+    for list in &mut adjacency {
+        list.sort_by_key(|&(_, eid)| g.edge_key(eid));
+    }
+    adjacency
+}
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=80, 0u64..1000, 0.0f64..0.4).prop_map(|(n, seed, p)| {
+        generators::assign_random_weights(&generators::random_connected(n, p, seed), seed ^ 0x5a)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_rows_equal_naive_builder_output(g in random_graph()) {
+        let naive = naive_adjacency(&g);
+        for v in g.nodes() {
+            let row: Vec<(NodeId, EdgeId)> = g.neighbors(v).iter().collect();
+            // Permutation equality (order-insensitive)…
+            let mut row_sorted = row.clone();
+            let mut naive_sorted = naive[v.index()].clone();
+            row_sorted.sort();
+            naive_sorted.sort();
+            prop_assert_eq!(&row_sorted, &naive_sorted, "row multiset of {} differs", v);
+            // …and exact equality in the documented edge-key order.
+            prop_assert_eq!(&row, &naive[v.index()], "row order of {} differs", v);
+            prop_assert_eq!(g.degree(v), naive[v.index()].len());
+        }
+    }
+
+    #[test]
+    fn rebuild_reproduces_identical_iteration_order(g in random_graph()) {
+        // Rebuild via the public builder from the same edge list.
+        let mut b = GraphBuilder::new(g.node_count());
+        for e in g.edges() {
+            b.add_edge(e.u, e.v, e.weight);
+        }
+        let rebuilt = b.build();
+        // And again via map_weights (the internal from_parts path).
+        let remapped = g.map_weights(|_, w| w);
+        for v in g.nodes() {
+            let row: Vec<(NodeId, EdgeId)> = g.neighbors(v).iter().collect();
+            let row2: Vec<(NodeId, EdgeId)> = rebuilt.neighbors(v).iter().collect();
+            let row3: Vec<(NodeId, EdgeId)> = remapped.neighbors(v).iter().collect();
+            prop_assert_eq!(&row, &row2);
+            prop_assert_eq!(&row, &row3);
+        }
+        let (offsets, targets, edge_ids) = g.csr();
+        let (offsets2, targets2, edge_ids2) = rebuilt.csr();
+        prop_assert_eq!(offsets, offsets2);
+        prop_assert_eq!(targets, targets2);
+        prop_assert_eq!(edge_ids, edge_ids2);
+    }
+
+    #[test]
+    fn csr_invariants_hold(g in random_graph()) {
+        let (offsets, targets, edge_ids) = g.csr();
+        prop_assert_eq!(offsets.len(), g.node_count() + 1);
+        prop_assert_eq!(targets.len(), 2 * g.edge_count());
+        prop_assert_eq!(edge_ids.len(), targets.len());
+        prop_assert_eq!(offsets[0], 0);
+        prop_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(offsets[g.node_count()] as usize, targets.len());
+        // Every half-edge is consistent with its edge record.
+        for v in g.nodes() {
+            for (w, e) in g.neighbors(v) {
+                prop_assert_eq!(g.edge(e).other(v), w);
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Verifies the CSR builder's O(1)-allocation guarantee with a counting
+//! global allocator: however large the edge list, `GraphBuilder::build`
+//! (and the internal `from_parts` path used by `map_weights`) performs a
+//! constant number of heap allocations.
+//!
+//! Mirrors the engine's `alloc_steady_state` test; the whole check lives in
+//! one `#[test]` so no concurrent test perturbs the counters.
+
+use netsim_graph::{generators, GraphBuilder, NodeId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+/// Counts every allocation entry point on the current thread and delegates
+/// to the system allocator.
+struct CountingAllocator;
+
+// SAFETY: delegates directly to `System`, which upholds the `GlobalAlloc`
+// contract; the counter updates have no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+/// `build()` may allocate the five CSR vectors (edge order, offsets, cursor,
+/// targets, edge ids) and nothing that scales with `n` or `m`.
+const BUILD_ALLOC_BUDGET: u64 = 8;
+
+#[test]
+fn csr_finalisation_allocates_o1() {
+    // Large enough that any per-node or per-edge allocation pattern would
+    // blow the budget by four orders of magnitude.
+    let n = 50_000;
+    let mut builder = GraphBuilder::new(n);
+    for i in 1..n {
+        let parent = (i.wrapping_mul(0x9e37_79b9) ^ (i >> 3)) % i;
+        builder.add_edge(NodeId(i), NodeId(parent), i as u64);
+    }
+    for i in 0..n {
+        let _ = builder.try_add_edge(NodeId(i), NodeId((i + n / 2) % n), (n + i) as u64);
+    }
+    let m = builder.edge_count();
+    assert!(m > n, "workload sanity: tree plus extra chords");
+
+    let before = allocs();
+    let g = builder.build();
+    let build_allocs = allocs() - before;
+    assert_eq!(g.node_count(), n);
+    assert_eq!(g.edge_count(), m);
+    assert!(
+        build_allocs <= BUILD_ALLOC_BUDGET,
+        "GraphBuilder::build allocated {build_allocs} times on n={n}, m={m} \
+         (budget {BUILD_ALLOC_BUDGET}); the CSR finalisation must be O(1)"
+    );
+
+    // The map_weights rebuild path re-runs from_parts plus one edge-list
+    // collect: still O(1).
+    let before = allocs();
+    let g2 = g.map_weights(|_, w| w + 1);
+    let rebuild_allocs = allocs() - before;
+    assert_eq!(g2.edge_count(), m);
+    assert!(
+        rebuild_allocs <= BUILD_ALLOC_BUDGET + 2,
+        "map_weights allocated {rebuild_allocs} times; the CSR rebuild must be O(1)"
+    );
+
+    // Sanity: the result is a real graph (adjacency reachable and sorted).
+    let nbrs = g.neighbors(NodeId(0));
+    assert!(!nbrs.is_empty());
+    let keys: Vec<(u64, usize)> = nbrs.iter().map(|(_, e)| g.edge_key(e)).collect();
+    assert!(keys.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn generators_build_through_csr() {
+    // A smoke pass over a generator family to make sure the O(1) build is
+    // what production graphs actually go through.
+    let before = allocs();
+    let g = generators::ring(10_000);
+    let ring_allocs = allocs() - before;
+    assert_eq!(g.edge_count(), 10_000);
+    // Builder pushes (edge vec + hash set growth) are amortised-logarithmic;
+    // the CSR finalisation adds its constant five.  A full ring build must
+    // stay far below one allocation per node.
+    assert!(
+        ring_allocs < 100,
+        "ring(10k) allocated {ring_allocs} times; expected ~O(log n) total"
+    );
+}

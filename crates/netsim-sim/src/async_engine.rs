@@ -78,7 +78,7 @@ pub trait AsyncProtocol {
 pub struct AsyncCtx<'a, M> {
     node: NodeId,
     tick: u64,
-    neighbors: &'a [(NodeId, netsim_graph::EdgeId)],
+    neighbors: netsim_graph::Neighbors<'a>,
     sends: &'a mut Vec<(NodeId, M)>,
     channel_write: Option<M>,
 }
@@ -94,8 +94,8 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
         self.tick
     }
 
-    /// Incident links.
-    pub fn neighbors(&self) -> &[(NodeId, netsim_graph::EdgeId)] {
+    /// Incident links, as a CSR [`netsim_graph::Neighbors`] view.
+    pub fn neighbors(&self) -> netsim_graph::Neighbors<'a> {
         self.neighbors
     }
 
@@ -106,7 +106,7 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
     /// Panics if `to` is not a neighbour.
     pub fn send(&mut self, to: NodeId, msg: M) {
         assert!(
-            self.neighbors.iter().any(|&(v, _)| v == to),
+            self.neighbors.contains(to),
             "{:?} attempted to send to non-neighbour {:?}",
             self.node,
             to
@@ -116,9 +116,8 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
 
     /// Sends a message to every neighbour.
     pub fn send_all(&mut self, msg: M) {
-        let neighbors = self.neighbors;
-        if let Some((&(last, _), rest)) = neighbors.split_last() {
-            for &(v, _) in rest {
+        if let Some((&last, rest)) = self.neighbors.targets().split_last() {
+            for &v in rest {
                 self.sends.push((v, msg.clone()));
             }
             self.sends.push((last, msg));
@@ -468,7 +467,7 @@ mod tests {
         }
         fn on_message(&mut self, _f: NodeId, hops: u64, ctx: &mut AsyncCtx<'_, u64>) {
             if hops < 50 {
-                ctx.send(ctx.neighbors()[0].0, hops + 1);
+                ctx.send(ctx.neighbors().target(0), hops + 1);
             }
         }
         fn on_slot(&mut self, _o: &SlotOutcome<u64>, ctx: &mut AsyncCtx<'_, u64>) {

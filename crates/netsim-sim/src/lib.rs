@@ -24,8 +24,9 @@
 //!   convergecast / "broadcast and respond", tree broadcast);
 //! * [`CostAccount`] — the paper's cost measures (rounds, point-to-point
 //!   messages, channel-slot statistics);
-//! * [`reference`] — the straightforward pre-optimisation engine, kept for
-//!   equivalence testing and as the benchmark baseline.
+//! * [`ReferenceEngine`] (module `reference`) — the straightforward
+//!   pre-optimisation engine, kept for equivalence testing and as the
+//!   benchmark baseline.
 //!
 //! # Performance architecture
 //!
@@ -49,9 +50,12 @@
 //! mutable access the engines expose.
 //!
 //! Measured on the `BENCH_engine.json` global-sum gossip workload (single
-//! core), the flat engine is **2.8–6.3× faster** than the reference engine
-//! (2.78× on the 100k-node grid; ring 100k: 3.5×) with ~20 allocations per
-//! *run* against the reference's ~10⁷ (thousands per round).
+//! core), the flat engine is **1.4–4.8× faster** than the (itself
+//! pooled-pending) reference engine across the topology matrix; on the
+//! 100k-node random graph — the ROADMAP's named cache-miss target — the
+//! radix scatter raised the flat engine's absolute throughput ~2.4× over
+//! the PR 1 recording, with ~25 allocations per *run* against the
+//! reference's ~10⁷ (thousands per round).
 //!
 //! # Example
 //!

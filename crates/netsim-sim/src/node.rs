@@ -13,7 +13,7 @@
 //! allocation.
 
 use crate::channel::SlotOutcome;
-use netsim_graph::{EdgeId, NodeId};
+use netsim_graph::{Neighbors, NodeId};
 
 /// A distributed algorithm, as executed by one processor.
 pub trait Protocol {
@@ -100,7 +100,7 @@ impl<M> Default for OutboxBuffer<M> {
 pub struct RoundIo<'a, M> {
     pub(crate) node: NodeId,
     pub(crate) round: u64,
-    pub(crate) neighbors: &'a [(NodeId, EdgeId)],
+    pub(crate) neighbors: Neighbors<'a>,
     pub(crate) inbox: &'a [(NodeId, M)],
     pub(crate) prev_slot: &'a SlotOutcome<M>,
     pub(crate) outbox: &'a mut OutboxBuffer<M>,
@@ -121,7 +121,7 @@ impl<'a, M: Clone> RoundIo<'a, M> {
     pub fn detached(
         node: NodeId,
         round: u64,
-        neighbors: &'a [(NodeId, EdgeId)],
+        neighbors: Neighbors<'a>,
         inbox: &'a [(NodeId, M)],
         prev_slot: &'a SlotOutcome<M>,
         outbox: &'a mut OutboxBuffer<M>,
@@ -154,9 +154,10 @@ impl<'a, M: Clone> RoundIo<'a, M> {
         self.round
     }
 
-    /// The node's incident links as `(neighbour, edge id)` pairs, in the
-    /// graph's ascending edge-weight order.
-    pub fn neighbors(&self) -> &[(NodeId, EdgeId)] {
+    /// The node's incident links as a CSR [`Neighbors`] view (iterates
+    /// `(neighbour, edge id)` pairs), in the graph's ascending
+    /// edge-weight order.
+    pub fn neighbors(&self) -> Neighbors<'a> {
         self.neighbors
     }
 
@@ -187,7 +188,7 @@ impl<'a, M: Clone> RoundIo<'a, M> {
     /// medium only connects adjacent processors.
     pub fn send(&mut self, to: NodeId, msg: M) {
         assert!(
-            self.neighbors.iter().any(|&(v, _)| v == to),
+            self.neighbors.contains(to),
             "{:?} attempted to send to non-neighbour {:?}",
             self.node,
             to
@@ -197,9 +198,8 @@ impl<'a, M: Clone> RoundIo<'a, M> {
 
     /// Sends `msg` to every neighbour.
     pub fn send_all(&mut self, msg: M) {
-        let neighbors = self.neighbors;
-        if let Some((&(last, _), rest)) = neighbors.split_last() {
-            for &(v, _) in rest {
+        if let Some((&last, rest)) = self.neighbors.targets().split_last() {
+            for &v in rest {
                 self.outbox.entries.push((v, self.node, Some(msg.clone())));
             }
             self.outbox.entries.push((last, self.node, Some(msg)));
@@ -224,9 +224,13 @@ impl<'a, M: Clone> RoundIo<'a, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim_graph::EdgeId;
+
+    const TARGETS: [NodeId; 2] = [NodeId(1), NodeId(2)];
+    const EDGES: [EdgeId; 2] = [EdgeId(0), EdgeId(1)];
 
     fn make_io<'a>(
-        neighbors: &'a [(NodeId, EdgeId)],
+        neighbors: Neighbors<'a>,
         inbox: &'a [(NodeId, u32)],
         prev: &'a SlotOutcome<u32>,
         outbox: &'a mut OutboxBuffer<u32>,
@@ -236,11 +240,10 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let neighbors = [(NodeId(1), EdgeId(0)), (NodeId(2), EdgeId(1))];
         let inbox = [(NodeId(1), 9u32)];
         let prev = SlotOutcome::Idle;
         let mut outbox = OutboxBuffer::new();
-        let io = make_io(&neighbors, &inbox, &prev, &mut outbox);
+        let io = make_io(Neighbors::new(&TARGETS, &EDGES), &inbox, &prev, &mut outbox);
         assert_eq!(io.id(), NodeId(0));
         assert_eq!(io.round(), 3);
         assert_eq!(io.degree(), 2);
@@ -252,10 +255,9 @@ mod tests {
 
     #[test]
     fn send_and_broadcast() {
-        let neighbors = [(NodeId(1), EdgeId(0)), (NodeId(2), EdgeId(1))];
         let prev = SlotOutcome::Idle;
         let mut outbox = OutboxBuffer::new();
-        let mut io = make_io(&neighbors, &[], &prev, &mut outbox);
+        let mut io = make_io(Neighbors::new(&TARGETS, &EDGES), &[], &prev, &mut outbox);
         io.send(NodeId(2), 5);
         io.send_all(7);
         io.write_channel(1);
@@ -270,11 +272,19 @@ mod tests {
 
     #[test]
     fn outbox_is_reusable_across_rounds() {
-        let neighbors = [(NodeId(1), EdgeId(0))];
+        let targets = [NodeId(1)];
+        let edges = [EdgeId(0)];
         let prev = SlotOutcome::Idle;
         let mut outbox = OutboxBuffer::new();
         for round in 0..3u64 {
-            let mut io = RoundIo::detached(NodeId(0), round, &neighbors, &[], &prev, &mut outbox);
+            let mut io = RoundIo::detached(
+                NodeId(0),
+                round,
+                Neighbors::new(&targets, &edges),
+                &[],
+                &prev,
+                &mut outbox,
+            );
             io.send(NodeId(1), round as u32);
             assert!(io.finish().is_none());
             let sends: Vec<(NodeId, u32)> = outbox.drain_sends().collect();
@@ -285,10 +295,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn send_to_non_neighbor_panics() {
-        let neighbors = [(NodeId(1), EdgeId(0))];
         let prev = SlotOutcome::Idle;
         let mut outbox = OutboxBuffer::new();
-        let mut io = make_io(&neighbors, &[], &prev, &mut outbox);
+        let mut io = make_io(Neighbors::new(&TARGETS, &EDGES), &[], &prev, &mut outbox);
         io.send(NodeId(9), 1);
     }
 }

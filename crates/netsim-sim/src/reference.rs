@@ -1,10 +1,14 @@
 //! Straightforward reference implementation of the synchronous round engine.
 //!
 //! [`ReferenceEngine`] is the pre-optimisation engine kept verbatim in
-//! spirit: per round it allocates one fresh inbox `Vec` per node, a fresh
-//! outbox per stepping node, and a fresh channel-writes buffer, and its
-//! quiescence check re-scans every node and every pending queue.  It exists
-//! for two reasons:
+//! spirit: per round it allocates a fresh outbox per stepping node and a
+//! fresh channel-writes buffer, and its quiescence check re-scans every node
+//! and every pending queue.  (One concession to practicality: the per-node
+//! pending queues are double-buffered and reused across rounds instead of
+//! being reallocated with `vec![Vec::new(); n]` every round — the engine
+//! bench and the at-scale equivalence tests drive this engine at 10k–100k
+//! nodes, where that one allocation pattern dominated wall-clock without
+//! being the behaviour under comparison.)  It exists for two reasons:
 //!
 //! * **equivalence testing** — the property tests assert that the
 //!   zero-allocation [`SyncEngine`](crate::SyncEngine) produces identical
@@ -29,6 +33,9 @@ pub struct ReferenceEngine<'g, P: Protocol> {
     nodes: Vec<P>,
     /// Messages to deliver at the start of the next round: `pending[v] = (from, msg)*`.
     pending: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Pooled next-round queues, swapped with `pending` after every round
+    /// (cleared but capacity-retaining).
+    next_pending: Vec<Vec<(NodeId, P::Msg)>>,
     prev_slot: SlotOutcome<P::Msg>,
     cost: CostAccount,
     round: u64,
@@ -43,6 +50,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             graph,
             nodes,
             pending: vec![Vec::new(); graph.node_count()],
+            next_pending: vec![Vec::new(); graph.node_count()],
             prev_slot: SlotOutcome::Idle,
             cost: CostAccount::new(),
             round: 0,
@@ -87,28 +95,37 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
 
     /// Executes one round for every node and resolves the channel slot.
     pub fn step_round(&mut self) {
-        let n = self.graph.node_count();
-        let mut new_pending: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        for queue in &mut self.next_pending {
+            queue.clear(); // keep capacity: the pooled half of the buffer pair
+        }
         let mut writes: Vec<(NodeId, P::Msg)> = Vec::new();
         let mut messages_sent: u64 = 0;
 
-        for v in self.graph.nodes() {
-            let inbox = std::mem::take(&mut self.pending[v.index()]);
+        let ReferenceEngine {
+            graph,
+            nodes,
+            pending,
+            next_pending,
+            prev_slot,
+            round,
+            ..
+        } = self;
+        for v in graph.nodes() {
             let mut outbox = OutboxBuffer::new();
             let mut io = RoundIo {
                 node: v,
-                round: self.round,
-                neighbors: self.graph.neighbors(v),
-                inbox: &inbox,
-                prev_slot: &self.prev_slot,
+                round: *round,
+                neighbors: graph.neighbors(v),
+                inbox: &pending[v.index()],
+                prev_slot,
                 outbox: &mut outbox,
                 channel_write: None,
             };
-            self.nodes[v.index()].step(&mut io);
+            nodes[v.index()].step(&mut io);
             let channel_write = io.finish();
             messages_sent += outbox.len() as u64;
             for (to, msg) in outbox.drain_sends() {
-                new_pending[to.index()].push((v, msg));
+                next_pending[to.index()].push((v, msg));
             }
             if let Some(msg) = channel_write {
                 writes.push((v, msg));
@@ -118,7 +135,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
         self.prev_slot = resolve_slot(&writes);
         self.cost.add_messages(messages_sent);
         self.cost.add_slot(writes.len() as u64);
-        self.pending = new_pending;
+        std::mem::swap(&mut self.pending, &mut self.next_pending);
         self.round += 1;
     }
 

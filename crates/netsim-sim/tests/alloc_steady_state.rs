@@ -110,7 +110,7 @@ impl AsyncProtocol for AsyncHeartbeat {
     fn on_message(&mut self, _from: NodeId, v: u64, ctx: &mut AsyncCtx<'_, u64>) {
         if self.hops_left > 0 {
             self.hops_left -= 1;
-            let next = ctx.neighbors()[(v as usize) % ctx.neighbors().len()].0;
+            let next = ctx.neighbors().target((v as usize) % ctx.neighbors().len());
             ctx.send(next, v.wrapping_mul(31).wrapping_add(1));
         }
     }
@@ -148,6 +148,28 @@ fn engines_meet_their_allocation_contracts() {
     // The workload really did run: messages flowed every round.
     assert!(engine.cost().p2p_messages > 0);
     assert!(engine.in_flight() > 0);
+
+    // Phase 1b: the radix-partitioned scatter (n ≥ 16384 with index-random
+    // adjacency) is also allocation-free once the partition scratch has
+    // reached its high-water mark.
+    let big = netsim_graph::topologies::degree_bounded_expander(1 << 14, 4, 11);
+    let mut radix_engine = SyncEngine::new(&big, |_| Heartbeat {
+        acc: 1,
+        rounds_left: 16,
+    });
+    for _ in 0..4 {
+        radix_engine.step_round();
+    }
+    let before = allocs();
+    for _ in 0..10 {
+        radix_engine.step_round();
+    }
+    let radix_allocs = allocs() - before;
+    assert_eq!(
+        radix_allocs, 0,
+        "radix-path step_round allocated {radix_allocs} times over 10 steady-state rounds"
+    );
+    assert!(radix_engine.in_flight() > 0);
 
     // Phase 2: the reference engine allocates every round.
     let mut reference = ReferenceEngine::new(&g, |_| Heartbeat {

@@ -8,10 +8,17 @@
 //! independently of the underlying communication graph.
 
 /// A rooted forest on vertices `0..len`, given by parent pointers.
+///
+/// Children are stored in flat CSR form (one `offsets` index over one child
+/// array), matching the graph substrate's layout discipline; the per-vertex
+/// [`RootedForest::children`] slice API is unchanged.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RootedForest {
     parent: Vec<Option<usize>>,
-    children: Vec<Vec<usize>>,
+    /// CSR index: vertex `v`'s children are
+    /// `child_list[child_offsets[v]..child_offsets[v + 1]]`, ascending.
+    child_offsets: Vec<u32>,
+    child_list: Vec<usize>,
 }
 
 /// Error returned when parent pointers do not form a forest (contain a cycle
@@ -98,13 +105,28 @@ impl RootedForest {
                 state[v] = 2;
             }
         }
-        let mut children = vec![Vec::new(); n];
+        // Flat CSR children via a counting pass (vertices ascend, so each
+        // child slice is ascending).
+        let mut child_offsets = vec![0u32; n + 1];
+        for p in parent.iter().flatten() {
+            child_offsets[p + 1] += 1;
+        }
+        for i in 1..=n {
+            child_offsets[i] += child_offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = child_offsets[..n].to_vec();
+        let mut child_list = vec![0usize; child_offsets[n] as usize];
         for (v, p) in parent.iter().enumerate() {
             if let Some(p) = p {
-                children[*p].push(v);
+                child_list[cursor[*p] as usize] = v;
+                cursor[*p] += 1;
             }
         }
-        Ok(RootedForest { parent, children })
+        Ok(RootedForest {
+            parent,
+            child_offsets,
+            child_list,
+        })
     }
 
     /// Number of vertices.
@@ -122,9 +144,9 @@ impl RootedForest {
         self.parent[v]
     }
 
-    /// Children of `v`.
+    /// Children of `v` (a slice of the flat CSR child array), ascending.
     pub fn children(&self, v: usize) -> &[usize] {
-        &self.children[v]
+        &self.child_list[self.child_offsets[v] as usize..self.child_offsets[v + 1] as usize]
     }
 
     /// Returns `true` when `v` is a root.
@@ -134,7 +156,7 @@ impl RootedForest {
 
     /// Returns `true` when `v` is a leaf (has no children).
     pub fn is_leaf(&self, v: usize) -> bool {
-        self.children[v].is_empty()
+        self.child_offsets[v] == self.child_offsets[v + 1]
     }
 
     /// All roots, ascending.
@@ -170,11 +192,12 @@ impl RootedForest {
     /// Neighbours of `v` in the (undirected view of the) forest: its parent
     /// and children.
     pub fn neighbors(&self, v: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(self.children[v].len() + 1);
+        let children = self.children(v);
+        let mut out = Vec::with_capacity(children.len() + 1);
         if let Some(p) = self.parent[v] {
             out.push(p);
         }
-        out.extend_from_slice(&self.children[v]);
+        out.extend_from_slice(children);
         out
     }
 
@@ -184,7 +207,7 @@ impl RootedForest {
         let mut queue: std::collections::VecDeque<usize> = self.roots().into();
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            for &c in &self.children[v] {
+            for &c in self.children(v) {
                 queue.push_back(c);
             }
         }
