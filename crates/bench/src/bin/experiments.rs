@@ -7,7 +7,9 @@
 //!   cargo run -p bench --bin experiments --release -- --quick # smaller sweeps
 //!   cargo run -p bench --bin experiments --release -- --json out.json
 //!   cargo run -p bench --bin experiments --release -- --engine
-//!       # round-engine bench (flat vs reference) -> BENCH_engine.json
+//!       # round-engine bench (flat vs reference) -> BENCH_engine.json,
+//!       # including the `Vec<u8>` payload dimension (0 B / 64 B / 4 KB frames)
+//!   cargo run -p bench --bin experiments --release -- --engine --payload 0,64,4096
 //!   cargo run -p bench --bin experiments --release -- --engine --engine-json path.json
 
 use baselines::{broadcast_only, p2p};
@@ -113,6 +115,8 @@ struct Opts {
     json: Option<String>,
     engine: bool,
     engine_json: String,
+    /// Frame sizes (bytes) of the engine bench's payload dimension.
+    payload_sizes: Vec<usize>,
 }
 
 fn parse_args() -> Opts {
@@ -121,6 +125,7 @@ fn parse_args() -> Opts {
     let mut json = None;
     let mut engine = false;
     let mut engine_json = "BENCH_engine.json".to_string();
+    let mut payload_sizes = vec![0usize, 64, 4096];
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -129,6 +134,14 @@ fn parse_args() -> Opts {
             "--engine-json" => {
                 if let Some(p) = args.next() {
                     engine_json = p;
+                }
+            }
+            "--payload" => {
+                if let Some(sizes) = args.next() {
+                    payload_sizes = sizes
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--payload takes bytes,bytes,..."))
+                        .collect();
                 }
             }
             "--exp" => {
@@ -149,6 +162,7 @@ fn parse_args() -> Opts {
         json,
         engine,
         engine_json,
+        payload_sizes,
     }
 }
 
@@ -667,6 +681,47 @@ impl EngineBenchRow {
     }
 }
 
+/// One measured payload-dimension configuration (`Vec<u8>` frame gossip),
+/// for the `payloads` section of `BENCH_engine.json`.
+struct PayloadBenchRow {
+    topology: &'static str,
+    n: usize,
+    m: usize,
+    engine: &'static str,
+    frame_bytes: usize,
+    stats: engine_bench::RunStats,
+    allocations: u64,
+    allocated_bytes: u64,
+    peak_live_bytes: u64,
+}
+
+impl PayloadBenchRow {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"topology\": \"{}\", \"n\": {}, \"m\": {}, \"engine\": \"{}\", \
+             \"frame_bytes\": {}, \"rounds\": {}, \"messages\": {}, \"seconds\": {}, \
+             \"rounds_per_sec\": {}, \"messages_per_sec\": {}, \"payload_mb_per_sec\": {}, \
+             \"allocations\": {}, \"allocated_bytes\": {}, \"peak_live_bytes\": {}, \
+             \"checksum\": \"{:016x}\"}}",
+            json_escape(self.topology),
+            self.n,
+            self.m,
+            json_escape(self.engine),
+            self.frame_bytes,
+            self.stats.rounds,
+            self.stats.messages,
+            json_f64(self.stats.seconds),
+            json_f64(self.stats.rounds_per_sec()),
+            json_f64(self.stats.messages_per_sec()),
+            json_f64(self.stats.messages_per_sec() * self.frame_bytes as f64 / (1024.0 * 1024.0)),
+            self.allocations,
+            self.allocated_bytes,
+            self.peak_live_bytes,
+            self.stats.checksum,
+        )
+    }
+}
+
 /// Measures `run` with allocator accounting around it.
 fn measured<F: FnOnce() -> engine_bench::RunStats>(
     run: F,
@@ -816,6 +871,83 @@ fn engine(opts: &Opts) {
         }
     }
 
+    // ---- Payload dimension: Vec<u8> frame gossip, arena vs clone path. ----
+    // One local (grid) and one index-random (expander) family suffice to
+    // bracket the delivery patterns; the frame sizes are the interesting
+    // axis (0 B = pure plumbing, 64 B = small frames, 4 KB = media frames).
+    let payload_families = [Family::Grid, Family::Expander];
+    let payload_ns: &[usize] = if opts.quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000]
+    };
+    let mut payload_rows: Vec<PayloadBenchRow> = Vec::new();
+    println!("\n== ENGINE payloads — Vec<u8> frame gossip: arena (flat) vs clone (reference) ==");
+    println!(
+        "{:<12}{:>9}{:>8}  {:<12}{:>8}{:>12}{:>14}{:>12}{:>12}",
+        "topology", "n", "bytes", "engine", "rounds", "rounds/s", "messages/s", "MB/s", "allocs"
+    );
+    for fam in payload_families {
+        for &n in payload_ns {
+            let g = fam.generate(n, 42);
+            for &frame_bytes in &opts.payload_sizes {
+                let rounds = engine_bench::payload_workload_rounds(&g, frame_bytes);
+                let mut record = |name: &'static str,
+                                  (stats, allocations, allocated_bytes, peak_live_bytes): (
+                    engine_bench::RunStats,
+                    u64,
+                    u64,
+                    u64,
+                )| {
+                    println!(
+                        "{:<12}{:>9}{:>8}  {:<12}{:>8}{:>12.0}{:>14.0}{:>12.1}{:>12}",
+                        fam.name(),
+                        g.node_count(),
+                        frame_bytes,
+                        name,
+                        stats.rounds,
+                        stats.rounds_per_sec(),
+                        stats.messages_per_sec(),
+                        stats.messages_per_sec() * frame_bytes as f64 / (1024.0 * 1024.0),
+                        allocations,
+                    );
+                    payload_rows.push(PayloadBenchRow {
+                        topology: fam.name(),
+                        n: g.node_count(),
+                        m: g.edge_count(),
+                        engine: name,
+                        frame_bytes,
+                        stats,
+                        allocations,
+                        allocated_bytes,
+                        peak_live_bytes,
+                    });
+                    stats
+                };
+                let reference = record(
+                    "reference",
+                    measured(|| engine_bench::run_reference_payload(&g, rounds, frame_bytes)),
+                );
+                let flat = record(
+                    "flat",
+                    measured(|| engine_bench::run_flat_payload(&g, rounds, frame_bytes)),
+                );
+                assert_eq!(
+                    flat.checksum,
+                    reference.checksum,
+                    "payload engines diverged on {} n={} frame={}",
+                    fam.name(),
+                    n,
+                    frame_bytes
+                );
+                println!(
+                    "   -> speedup flat/reference at {frame_bytes} B: {:.2}x",
+                    flat.rounds_per_sec() / reference.rounds_per_sec()
+                );
+            }
+        }
+    }
+
     let row_json: Vec<String> = rows.iter().map(EngineBenchRow::to_json).collect();
     let build_json: Vec<String> = build_rows.iter().map(GraphBuildRow::to_json).collect();
     let speedup_json: Vec<String> = speedups
@@ -828,13 +960,18 @@ fn engine(opts: &Opts) {
             )
         })
         .collect();
+    let payload_json: Vec<String> = payload_rows.iter().map(PayloadBenchRow::to_json).collect();
     let doc = format!(
-        "{{\n\"schema\": \"bench-engine/v2\",\n\"workload\": \"global-sum gossip \
+        "{{\n\"schema\": \"bench-engine/v3\",\n\"workload\": \"global-sum gossip \
          (constant-traffic heartbeat aggregation; see bench::engine_bench)\",\n\
-         \"quick\": {},\n\"results\": [\n{}\n],\n\"graph_construction\": [\n{}\n],\n\
+         \"payload_workload\": \"Vec<u8> frame gossip (intern-on-broadcast arena vs \
+         clone-per-delivery reference; see bench::engine_bench::FrameGossip)\",\n\
+         \"quick\": {},\n\"results\": [\n{}\n],\n\"payloads\": [\n{}\n],\n\
+         \"graph_construction\": [\n{}\n],\n\
          \"speedups_flat_over_reference\": [\n{}\n]\n}}\n",
         opts.quick,
         row_json.join(",\n"),
+        payload_json.join(",\n"),
         build_json.join(",\n"),
         speedup_json.join(",\n")
     );

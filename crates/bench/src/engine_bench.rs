@@ -8,6 +8,13 @@
 //! n ∈ {1k, 10k, 100k} and records the results (plus allocator statistics
 //! and graph-construction cost) in `BENCH_engine.json`, giving every future
 //! PR a perf trajectory to compare against.
+//!
+//! The **payload dimension** ([`FrameGossip`], driven by `--engine`'s
+//! `payloads` section) repeats the gossip with `Vec<u8>` frames of 0 B /
+//! 64 B / 4 KB: on the flat engine a broadcast interns one frame into the
+//! [`PayloadArena`](netsim_sim::PayloadArena) and recycles it next round,
+//! while the reference engine clones every frame per delivery — the
+//! workload the arena path exists for.
 
 use netsim_graph::{Graph, NodeId};
 use netsim_sim::{Protocol, ReferenceEngine, RoundIo, SyncEngine};
@@ -39,7 +46,7 @@ impl GlobalSumGossip {
 impl Protocol for GlobalSumGossip {
     type Msg = u64;
     fn step(&mut self, io: &mut RoundIo<'_, u64>) {
-        for &(_, v) in io.inbox() {
+        for (_, &v) in io.inbox() {
             self.partial = self.partial.wrapping_add(v);
         }
         if self.rounds_left > 0 {
@@ -84,6 +91,30 @@ fn checksum(nodes: &[GlobalSumGossip]) -> u64 {
         .fold(0u64, |acc, n| acc.rotate_left(7) ^ n.partial)
 }
 
+/// Shared measurement harness for every engine runner: times `run` (which
+/// must drive its engine for at most `rounds + 8` rounds and return
+/// `(completed, final states, cost)`), asserts completion, and folds the
+/// final states through `fold`.  Keeping the round margin, the quiescence
+/// assert, and the stat extraction in one place means a change to the
+/// measurement protocol cannot skew one engine's numbers but not the
+/// other's.
+fn timed<N>(
+    rounds: u32,
+    fold: impl FnOnce(&[N]) -> u64,
+    run: impl FnOnce(u64) -> (bool, Vec<N>, netsim_sim::CostAccount),
+) -> RunStats {
+    let start = Instant::now();
+    let (completed, nodes, cost) = run(u64::from(rounds) + 8);
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(completed, "workload quiesces within `rounds` + 8");
+    RunStats {
+        rounds: cost.rounds,
+        messages: cost.p2p_messages,
+        seconds,
+        checksum: fold(&nodes),
+    }
+}
+
 /// Picks the broadcasting-round count so every configuration moves roughly
 /// the same number of messages (~8M), clamped to keep tiny and huge graphs
 /// measurable.
@@ -95,50 +126,122 @@ pub fn workload_rounds(g: &Graph) -> u32 {
 /// Runs the workload on the flat zero-allocation engine.
 pub fn run_flat(g: &Graph, rounds: u32) -> RunStats {
     let mut engine = SyncEngine::new(g, |v| GlobalSumGossip::new(v, rounds));
-    let start = Instant::now();
-    let outcome = engine.run(u64::from(rounds) + 8);
-    let seconds = start.elapsed().as_secs_f64();
-    assert!(outcome.is_completed(), "gossip quiesces after `rounds` + 1");
-    let (nodes, cost) = engine.into_parts();
-    RunStats {
-        rounds: cost.rounds,
-        messages: cost.p2p_messages,
-        seconds,
-        checksum: checksum(&nodes),
-    }
+    timed(rounds, checksum, move |limit| {
+        let completed = engine.run(limit).is_completed();
+        let (nodes, cost) = engine.into_parts();
+        (completed, nodes, cost)
+    })
 }
 
 /// Runs the workload on the parallel stepping path of the flat engine.
 #[cfg(feature = "parallel")]
 pub fn run_flat_parallel(g: &Graph, rounds: u32, threads: usize) -> RunStats {
     let mut engine = SyncEngine::new(g, |v| GlobalSumGossip::new(v, rounds));
-    let start = Instant::now();
-    let outcome = engine.run_parallel(u64::from(rounds) + 8, threads);
-    let seconds = start.elapsed().as_secs_f64();
-    assert!(outcome.is_completed(), "gossip quiesces after `rounds` + 1");
-    let (nodes, cost) = engine.into_parts();
-    RunStats {
-        rounds: cost.rounds,
-        messages: cost.p2p_messages,
-        seconds,
-        checksum: checksum(&nodes),
+    timed(rounds, checksum, move |limit| {
+        let completed = engine.run_parallel(limit, threads).is_completed();
+        let (nodes, cost) = engine.into_parts();
+        (completed, nodes, cost)
+    })
+}
+
+/// Frame gossip: the payload-dimension workload.  Every node broadcasts a
+/// `frame_bytes`-sized `Vec<u8>` frame to all neighbours each round for a
+/// fixed number of rounds, folding the bytes it hears into a running
+/// accumulator (which also varies the frame contents round to round).  On
+/// the flat engine the frame buffer is recycled through the payload arena;
+/// the reference engine pays one clone per delivery.
+#[derive(Clone, Debug)]
+pub struct FrameGossip {
+    /// Running fold of received frame bytes (the result checksum).
+    pub acc: u64,
+    /// Remaining broadcasting rounds.
+    pub rounds_left: u32,
+    /// Frame size in bytes (0 measures pure plumbing overhead).
+    pub frame_bytes: usize,
+}
+
+impl FrameGossip {
+    /// Initial state for node `v` broadcasting `rounds` frames of
+    /// `frame_bytes` bytes.
+    pub fn new(v: NodeId, rounds: u32, frame_bytes: usize) -> Self {
+        FrameGossip {
+            acc: (v.index() as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1,
+            rounds_left: rounds,
+            frame_bytes,
+        }
     }
+}
+
+impl Protocol for FrameGossip {
+    type Msg = Vec<u8>;
+
+    fn step(&mut self, io: &mut RoundIo<'_, Vec<u8>>) {
+        for (from, frame) in io.inbox() {
+            let edge = u64::from(frame.first().copied().unwrap_or(0))
+                ^ u64::from(frame.last().copied().unwrap_or(0)).rotate_left(8);
+            self.acc = self
+                .acc
+                .wrapping_add(frame.len() as u64)
+                .wrapping_add(edge)
+                .wrapping_add(from.index() as u64);
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            let mut frame = io.recycle_payload().unwrap_or_default();
+            frame.clear();
+            frame.resize(self.frame_bytes, (self.acc & 0xff) as u8);
+            if let Some(last) = frame.last_mut() {
+                *last = (self.acc >> 8 & 0xff) as u8;
+            }
+            io.send_all(frame);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+fn frame_checksum(nodes: &[FrameGossip]) -> u64 {
+    nodes.iter().fold(0u64, |acc, n| acc.rotate_left(7) ^ n.acc)
+}
+
+/// Picks the broadcasting-round count of the payload workload so every
+/// configuration moves roughly the same number of payload *bytes* (~256 MB
+/// at 4 KB frames, proportionally fewer rounds), clamped to stay measurable.
+pub fn payload_workload_rounds(g: &Graph, frame_bytes: usize) -> u32 {
+    let per_round = (2 * g.edge_count()).max(1) as u64 * (frame_bytes.max(16) as u64);
+    (268_435_456 / per_round).clamp(24, 512) as u32
+}
+
+/// Runs the payload workload on the flat arena-backed engine.
+pub fn run_flat_payload(g: &Graph, rounds: u32, frame_bytes: usize) -> RunStats {
+    let mut engine = SyncEngine::new(g, |v| FrameGossip::new(v, rounds, frame_bytes));
+    timed(rounds, frame_checksum, move |limit| {
+        let completed = engine.run(limit).is_completed();
+        let (nodes, cost) = engine.into_parts();
+        (completed, nodes, cost)
+    })
+}
+
+/// Runs the payload workload on the clone-path reference engine.
+pub fn run_reference_payload(g: &Graph, rounds: u32, frame_bytes: usize) -> RunStats {
+    let mut engine = ReferenceEngine::new(g, |v| FrameGossip::new(v, rounds, frame_bytes));
+    timed(rounds, frame_checksum, move |limit| {
+        let completed = engine.run(limit).is_completed();
+        let (nodes, cost) = engine.into_parts();
+        (completed, nodes, cost)
+    })
 }
 
 /// Runs the workload on the allocation-per-round reference engine.
 pub fn run_reference(g: &Graph, rounds: u32) -> RunStats {
     let mut engine = ReferenceEngine::new(g, |v| GlobalSumGossip::new(v, rounds));
-    let start = Instant::now();
-    let outcome = engine.run(u64::from(rounds) + 8);
-    let seconds = start.elapsed().as_secs_f64();
-    assert!(outcome.is_completed(), "gossip quiesces after `rounds` + 1");
-    let (nodes, cost) = engine.into_parts();
-    RunStats {
-        rounds: cost.rounds,
-        messages: cost.p2p_messages,
-        seconds,
-        checksum: checksum(&nodes),
-    }
+    timed(rounds, checksum, move |limit| {
+        let completed = engine.run(limit).is_completed();
+        let (nodes, cost) = engine.into_parts();
+        (completed, nodes, cost)
+    })
 }
 
 #[cfg(test)]
@@ -158,6 +261,30 @@ mod tests {
         assert!(flat.messages > 0);
         assert!(flat.rounds_per_sec() > 0.0);
         assert!(flat.messages_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn engines_agree_on_the_payload_workload() {
+        let g = Family::Grid.generate(256, 9);
+        for frame_bytes in [0usize, 64, 4096] {
+            let rounds = 12;
+            let flat = run_flat_payload(&g, rounds, frame_bytes);
+            let reference = run_reference_payload(&g, rounds, frame_bytes);
+            assert_eq!(flat.checksum, reference.checksum, "at {frame_bytes} B");
+            assert_eq!(flat.rounds, reference.rounds);
+            assert_eq!(flat.messages, reference.messages);
+            assert!(flat.messages > 0);
+        }
+    }
+
+    #[test]
+    fn payload_rounds_scale_with_frame_size() {
+        let g = Family::Grid.generate(10_000, 2);
+        let small = payload_workload_rounds(&g, 0);
+        let big = payload_workload_rounds(&g, 4096);
+        assert!(small >= big);
+        assert!((24..=512).contains(&small));
+        assert!((24..=512).contains(&big));
     }
 
     #[test]

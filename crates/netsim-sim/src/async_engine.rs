@@ -15,9 +15,14 @@
 //! length are of the same order of magnitude").
 //!
 //! Like the synchronous engine, the hot path is allocation-free in steady
-//! state: payloads live in a slab with a free list (keyed by the event-queue
-//! entries), callback send buffers are pooled, channel writes are tracked
-//! through a writers list, and quiescence is O(1) via a done-node counter.
+//! state, for `Copy` **and** heap-carrying payloads: in-flight payloads live
+//! in a reference-counted slab with a free list, a broadcast interns its
+//! payload **once** (each in-flight copy is a slab handle, each delivery a
+//! reference-count decrement), deliveries hand the protocol a `&Msg` rather
+//! than a clone, and retired heap payloads are parked in a graveyard that
+//! [`AsyncCtx::recycle_payload`] hands back to senders.  Callback send
+//! buffers are pooled, channel writes are tracked through a writers list,
+//! and quiescence is O(1) via a done-node counter.
 
 use crate::channel::{resolve_slot, SlotOutcome};
 use crate::metrics::CostAccount;
@@ -58,7 +63,12 @@ pub trait AsyncProtocol {
     fn on_start(&mut self, ctx: &mut AsyncCtx<'_, Self::Msg>);
 
     /// Called when a point-to-point message arrives.
-    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut AsyncCtx<'_, Self::Msg>);
+    ///
+    /// The payload is borrowed from the engine's slab: a broadcast payload is
+    /// stored once and every receiver observes the same `&Msg`.  Handlers
+    /// that need ownership clone it (ideally into a buffer obtained from
+    /// [`AsyncCtx::recycle_payload`]).
+    fn on_message(&mut self, from: NodeId, msg: &Self::Msg, ctx: &mut AsyncCtx<'_, Self::Msg>);
 
     /// Called at every slot boundary with the slot outcome (all nodes hear it).
     fn on_slot(&mut self, outcome: &SlotOutcome<Self::Msg>, ctx: &mut AsyncCtx<'_, Self::Msg>);
@@ -70,6 +80,17 @@ pub trait AsyncProtocol {
     fn is_done(&self) -> bool;
 }
 
+/// A send staged by a callback, in request order: the interleaving of
+/// unicasts and broadcasts is preserved so delivery tie-breaks (event
+/// sequence numbers) match the order the protocol issued them in.
+#[derive(Debug)]
+enum StagedSend<M> {
+    /// `send(to, msg)`.
+    One(NodeId, M),
+    /// `send_all(msg)` — interned once, fanned out as slab handles.
+    All(M),
+}
+
 /// Output collector handed to the [`AsyncProtocol`] callbacks.
 ///
 /// The send buffer is pooled by the engine and drained after every callback,
@@ -79,7 +100,8 @@ pub struct AsyncCtx<'a, M> {
     node: NodeId,
     tick: u64,
     neighbors: netsim_graph::Neighbors<'a>,
-    sends: &'a mut Vec<(NodeId, M)>,
+    sends: &'a mut Vec<StagedSend<M>>,
+    graveyard: &'a mut Vec<M>,
     channel_write: Option<M>,
 }
 
@@ -99,6 +121,17 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
         self.neighbors
     }
 
+    /// Takes a retired payload (heap capacity intact) from the engine's
+    /// graveyard for reuse, if one is available.
+    ///
+    /// The asynchronous counterpart of
+    /// [`RoundIo::recycle_payload`](crate::RoundIo::recycle_payload): a
+    /// protocol that overwrites recycled buffers instead of constructing
+    /// fresh ones sends heap-carrying messages without allocating.
+    pub fn recycle_payload(&mut self) -> Option<M> {
+        self.graveyard.pop()
+    }
+
     /// Sends a message to a neighbour; it will arrive after an adversarial delay.
     ///
     /// # Panics
@@ -111,16 +144,17 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
             self.node,
             to
         );
-        self.sends.push((to, msg));
+        self.sends.push(StagedSend::One(to, msg));
     }
 
     /// Sends a message to every neighbour.
+    ///
+    /// Intern-on-broadcast: the payload is stored in the slab **once**, with
+    /// one reference per neighbour; no clones are made however large the
+    /// degree.
     pub fn send_all(&mut self, msg: M) {
-        if let Some((&last, rest)) = self.neighbors.targets().split_last() {
-            for &v in rest {
-                self.sends.push((v, msg.clone()));
-            }
-            self.sends.push((last, msg));
+        if !self.neighbors.targets().is_empty() {
+            self.sends.push(StagedSend::All(msg));
         }
     }
 
@@ -136,6 +170,73 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
 /// sequence)` first; the sequence keeps delivery order deterministic.
 type FlightEvent = Reverse<(u64, u64, usize, usize, usize)>;
 
+/// Reference-counted payload slab with a free list and a recycling
+/// graveyard — the asynchronous sibling of
+/// [`PayloadArena`](crate::PayloadArena).  Epochs make no sense here (each
+/// in-flight payload dies at its own delivery tick), so slots are freed
+/// individually when their reference count reaches zero.
+#[derive(Debug)]
+struct PayloadSlab<M> {
+    /// Payload slots; `None` while the slot is free (or its payload is
+    /// temporarily checked out for a delivery callback).
+    slots: Vec<Option<M>>,
+    /// Outstanding deliveries per slot, parallel to `slots`.
+    refs: Vec<u32>,
+    /// Free slots available for reuse.
+    free: Vec<usize>,
+    /// Retired heap payloads available to [`AsyncCtx::recycle_payload`];
+    /// capped at the slab size, always empty for types without drop glue.
+    graveyard: Vec<M>,
+}
+
+impl<M> PayloadSlab<M> {
+    fn new() -> Self {
+        PayloadSlab {
+            slots: Vec::new(),
+            refs: Vec::new(),
+            free: Vec::new(),
+            graveyard: Vec::new(),
+        }
+    }
+
+    /// Stores `payload` with `refs` outstanding deliveries; returns its slot.
+    fn intern(&mut self, payload: M, refs: u32) -> usize {
+        debug_assert!(refs > 0);
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(payload);
+                self.refs[slot] = refs;
+                slot
+            }
+            None => {
+                self.slots.push(Some(payload));
+                self.refs.push(refs);
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Checks the payload out for one delivery (decrementing its reference
+    /// count); [`PayloadSlab::check_in`] must follow.
+    fn check_out(&mut self, slot: usize) -> M {
+        self.refs[slot] -= 1;
+        self.slots[slot].take().expect("payload stored")
+    }
+
+    /// Returns a checked-out payload: back into its slot while deliveries
+    /// remain, to the free list + graveyard once the last one is done.
+    fn check_in(&mut self, slot: usize, payload: M) {
+        if self.refs[slot] > 0 {
+            self.slots[slot] = Some(payload);
+        } else {
+            self.free.push(slot);
+            if std::mem::needs_drop::<M>() && self.graveyard.len() < self.slots.len() {
+                self.graveyard.push(payload);
+            }
+        }
+    }
+}
+
 /// The asynchronous executor.
 pub struct AsyncEngine<'g, P: AsyncProtocol> {
     graph: &'g Graph,
@@ -145,16 +246,14 @@ pub struct AsyncEngine<'g, P: AsyncProtocol> {
     /// Min-heap of in-flight messages, ordered by `(tick, sequence)`.
     in_flight: BinaryHeap<FlightEvent>,
     /// Slab of in-flight payloads, indexed by the events' payload slots.
-    payloads: Vec<Option<P::Msg>>,
-    /// Free payload slots available for reuse.
-    free_slots: Vec<usize>,
+    slab: PayloadSlab<P::Msg>,
     seq: u64,
     /// Channel writes queued for the current slot: at most one per node.
     slot_writes: Vec<Option<P::Msg>>,
     /// Nodes with a queued write this slot, in request order.
     writers: Vec<NodeId>,
     /// Pooled callback send buffer.
-    send_scratch: Vec<(NodeId, P::Msg)>,
+    send_scratch: Vec<StagedSend<P::Msg>>,
     /// Pooled slot-resolution buffer.
     writes_scratch: Vec<(NodeId, P::Msg)>,
     tick: u64,
@@ -180,8 +279,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             config,
             rng: StdRng::seed_from_u64(config.seed),
             in_flight: BinaryHeap::new(),
-            payloads: Vec::new(),
-            free_slots: Vec::new(),
+            slab: PayloadSlab::new(),
             seq: 0,
             slot_writes: vec![None; graph.node_count()],
             writers: Vec::new(),
@@ -219,6 +317,12 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         &self.nodes
     }
 
+    /// Total payload slots ever grown by the in-flight slab (its high-water
+    /// mark); exposed so slab-reuse tests can assert boundedness.
+    pub fn payload_slab_capacity(&self) -> usize {
+        self.slab.slots.len()
+    }
+
     /// Consumes the engine, returning the node states and the cost account.
     pub fn into_parts(self) -> (Vec<P>, CostAccount) {
         (self.nodes, self.cost)
@@ -232,6 +336,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         F: FnOnce(&mut P, &mut AsyncCtx<'_, P::Msg>),
     {
         let mut sends = std::mem::take(&mut self.send_scratch);
+        let mut graveyard = std::mem::take(&mut self.slab.graveyard);
         let node = &mut self.nodes[v.index()];
         let was_done = node.is_done();
         let mut ctx = AsyncCtx {
@@ -239,34 +344,34 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             tick: self.tick,
             neighbors: self.graph.neighbors(v),
             sends: &mut sends,
+            graveyard: &mut graveyard,
             channel_write: None,
         };
         f(node, &mut ctx);
         let channel_write = ctx.channel_write.take();
         drop(ctx);
+        self.slab.graveyard = graveyard;
         let now_done = node.is_done();
         self.done_count = self
             .done_count
             .checked_add_signed(isize::from(now_done) - isize::from(was_done))
             .expect("done count balances");
 
-        for (to, msg) in sends.drain(..) {
-            let delay = self.rng.gen_range(1..=self.config.max_delay_ticks);
-            let when = self.tick + delay;
-            self.seq += 1;
-            let slot = match self.free_slots.pop() {
-                Some(slot) => {
-                    self.payloads[slot] = Some(msg);
-                    slot
+        for staged in sends.drain(..) {
+            match staged {
+                StagedSend::One(to, msg) => {
+                    let slot = self.slab.intern(msg, 1);
+                    self.schedule(v, to, slot);
                 }
-                None => {
-                    self.payloads.push(Some(msg));
-                    self.payloads.len() - 1
+                StagedSend::All(msg) => {
+                    let targets = self.graph.neighbors(v).targets();
+                    debug_assert!(!targets.is_empty());
+                    let slot = self.slab.intern(msg, targets.len() as u32);
+                    for &to in targets {
+                        self.schedule(v, to, slot);
+                    }
                 }
-            };
-            self.in_flight
-                .push(Reverse((when, self.seq, to.index(), v.index(), slot)));
-            self.cost.add_messages(1);
+            }
         }
         self.send_scratch = sends;
 
@@ -277,6 +382,17 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             }
             *queued = Some(msg);
         }
+    }
+
+    /// Queues one delivery of the payload in `slot` from `from` to `to`
+    /// after a freshly drawn adversarial delay.
+    fn schedule(&mut self, from: NodeId, to: NodeId, slot: usize) {
+        let delay = self.rng.gen_range(1..=self.config.max_delay_ticks);
+        let when = self.tick + delay;
+        self.seq += 1;
+        self.in_flight
+            .push(Reverse((when, self.seq, to.index(), from.index(), slot)));
+        self.cost.add_messages(1);
     }
 
     /// Returns `true` when every node is done, nothing is in flight, and no
@@ -291,11 +407,16 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                 break;
             }
             let Reverse((_, _, to, from, slot)) = self.in_flight.pop().expect("peeked");
-            let msg = self.payloads[slot].take().expect("payload stored");
-            self.free_slots.push(slot);
+            // Check the payload out of the slab for the duration of the
+            // callback (the callback may intern new payloads into the same
+            // slab), then check it back in: it stays in its slot while other
+            // deliveries of the same broadcast are outstanding and retires
+            // to the free list + graveyard after the last one.
+            let msg = self.slab.check_out(slot);
             self.dispatch(NodeId(to), |node, ctx| {
-                node.on_message(NodeId(from), msg, ctx)
+                node.on_message(NodeId(from), &msg, ctx)
             });
+            self.slab.check_in(slot, msg);
         }
     }
 
@@ -362,8 +483,8 @@ mod tests {
                 self.got = true;
             }
         }
-        fn on_message(&mut self, _from: NodeId, msg: u32, _ctx: &mut AsyncCtx<'_, u32>) {
-            assert_eq!(msg, 7);
+        fn on_message(&mut self, _from: NodeId, msg: &u32, _ctx: &mut AsyncCtx<'_, u32>) {
+            assert_eq!(*msg, 7);
             self.got = true;
         }
         fn on_slot(&mut self, _o: &SlotOutcome<u32>, _ctx: &mut AsyncCtx<'_, u32>) {}
@@ -391,6 +512,8 @@ mod tests {
         }
         assert_eq!(eng.cost().p2p_messages, 5);
         assert!(eng.tick() <= 3, "delays are bounded by max_delay_ticks");
+        // The broadcast was interned once, not five times.
+        assert_eq!(eng.payload_slab_capacity(), 1);
     }
 
     /// All nodes write once; the slot must resolve as a collision for n >= 2.
@@ -404,7 +527,7 @@ mod tests {
             ctx.write_channel(1);
             self.wrote = true;
         }
-        fn on_message(&mut self, _f: NodeId, _m: u8, _c: &mut AsyncCtx<'_, u8>) {}
+        fn on_message(&mut self, _f: NodeId, _m: &u8, _c: &mut AsyncCtx<'_, u8>) {}
         fn on_slot(&mut self, o: &SlotOutcome<u8>, _c: &mut AsyncCtx<'_, u8>) {
             if self.saw.is_none() {
                 self.saw = Some(o.is_collision());
@@ -465,9 +588,9 @@ mod tests {
                 ctx.write_channel(0);
             }
         }
-        fn on_message(&mut self, _f: NodeId, hops: u64, ctx: &mut AsyncCtx<'_, u64>) {
-            if hops < 50 {
-                ctx.send(ctx.neighbors().target(0), hops + 1);
+        fn on_message(&mut self, _f: NodeId, hops: &u64, ctx: &mut AsyncCtx<'_, u64>) {
+            if *hops < 50 {
+                ctx.send(ctx.neighbors().target(0), *hops + 1);
             }
         }
         fn on_slot(&mut self, _o: &SlotOutcome<u64>, ctx: &mut AsyncCtx<'_, u64>) {
@@ -493,8 +616,65 @@ mod tests {
         assert!(eng.cost().slots_success >= 19);
         assert!(eng.is_quiescent());
         // Every payload slot must have been recycled back to the free list.
-        assert_eq!(eng.free_slots.len(), eng.payloads.len());
-        assert!(eng.payloads.iter().all(Option::is_none));
+        assert_eq!(eng.slab.free.len(), eng.slab.slots.len());
+        assert!(eng.slab.slots.iter().all(Option::is_none));
+        assert!(eng.slab.refs.iter().all(|&r| r == 0));
+    }
+
+    /// Broadcast payloads are shared: every receiver must observe the same
+    /// value, the slab must hold one slot per *broadcast* (not per
+    /// delivery), and the slot must be freed only after the last delivery.
+    struct ShareCheck {
+        id: NodeId,
+        rounds: u64,
+        heard: u64,
+    }
+    impl AsyncProtocol for ShareCheck {
+        type Msg = Vec<u64>;
+        fn on_start(&mut self, ctx: &mut AsyncCtx<'_, Vec<u64>>) {
+            if self.id == NodeId(0) {
+                ctx.send_all(vec![0, 42]);
+                self.rounds = 1;
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, msg: &Vec<u64>, _c: &mut AsyncCtx<'_, Vec<u64>>) {
+            assert_eq!(msg[1], 42, "shared broadcast payload corrupted");
+            self.heard += 1;
+        }
+        fn on_slot(&mut self, _o: &SlotOutcome<Vec<u64>>, ctx: &mut AsyncCtx<'_, Vec<u64>>) {
+            if self.id == NodeId(0) && self.rounds < 9 {
+                let mut frame = ctx.recycle_payload().unwrap_or_default();
+                frame.clear();
+                frame.extend_from_slice(&[self.rounds, 42]);
+                ctx.send_all(frame);
+                self.rounds += 1;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.id != NodeId(0) || self.rounds >= 9
+        }
+    }
+
+    #[test]
+    fn broadcast_interns_once_and_recycles() {
+        let g = generators::complete(8);
+        let mut eng = AsyncEngine::new(&g, AsyncConfig::default(), |id| ShareCheck {
+            id,
+            rounds: 0,
+            heard: 0,
+        });
+        assert!(eng.run(100_000));
+        // 9 broadcasts of degree 7 = 63 deliveries, but the slab holds one
+        // slot per *broadcast*, and delays (≤ 1 slot) keep at most a couple
+        // of broadcasts in flight at once — far fewer slots than deliveries.
+        assert_eq!(eng.cost().p2p_messages, 9 * 7);
+        assert!(
+            eng.payload_slab_capacity() <= 4,
+            "slab grew one slot per delivery: {}",
+            eng.payload_slab_capacity()
+        );
+        let heard: u64 = g.nodes().map(|v| eng.node(v).heard).sum();
+        assert_eq!(heard, 9 * 7);
     }
 
     #[test]

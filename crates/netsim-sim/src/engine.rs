@@ -14,19 +14,29 @@
 //! round:
 //!
 //! * the **inbox arena** — a CSR-style layout: one flat
-//!   `Vec<(from, msg)>` plus an `offsets` index such that node `v`'s inbox
-//!   for the current round is `arena[offsets[v]..offsets[v + 1]]`;
+//!   `Vec<(from, handle)>` plus an `offsets` index such that node `v`'s
+//!   inbox for the current round is `arena[offsets[v]..offsets[v + 1]]`;
 //! * the **staging buffer** — sends of the current round, appended in
-//!   sender order as `(to, from, msg)` triples through the pooled
+//!   sender order as `(to, from, handle)` triples through the pooled
 //!   [`OutboxBuffer`].
+//!
+//! Payloads themselves never enter either buffer: a send interns its payload
+//! once into a [`PayloadArena`](crate::PayloadArena) and both buffers move
+//! 4-byte [`PayloadHandle`](crate::PayloadHandle)s — a broadcast over `d`
+//! links stores one payload, not `d` clones, so non-`Copy` message types
+//! (`Vec<u8>` frames, wrapper enums) ride the same zero-copy path as `u64`s.
+//! The engine keeps two payload arenas and swaps their roles each round
+//! (stage into one, deliver from the other), expiring the delivered epoch
+//! wholesale; see the [`payload`](crate::payload) module docs.
 //!
 //! After all nodes have stepped, the staging buffer is bucketed by receiver
 //! into the (cleared, capacity-retaining) arena using per-receiver chains —
 //! an O(n + k) stable counting bucket, no sorting, no per-node `Vec`s.  All
-//! auxiliary buffers (chain heads, links, channel writes) are pooled across
-//! rounds, so once capacities have grown to the workload's high-water mark,
-//! `step_round` performs **zero heap allocations** (verified by the
-//! `alloc_steady_state` integration test).
+//! auxiliary buffers (chain heads, links, channel writes, payload slabs) are
+//! pooled across rounds, so once capacities have grown to the workload's
+//! high-water mark, `step_round` performs **zero heap allocations** (verified
+//! by the `alloc_steady_state` integration test — for `Copy` *and* for
+//! heap-carrying payloads, the latter via payload recycling).
 //!
 //! # Cache-aware receiver bucketing
 //!
@@ -62,7 +72,8 @@
 
 use crate::channel::{resolve_slot, SlotOutcome};
 use crate::metrics::CostAccount;
-use crate::node::{OutboxBuffer, Protocol, RoundIo, Staged};
+use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo, Staged};
+use crate::payload::{PayloadArena, PayloadHandle};
 use netsim_graph::{Graph, NodeId};
 
 /// Chain terminator for the receiver-bucketing pass.
@@ -135,7 +146,8 @@ fn step_chunk<P: Protocol>(
     graph: &Graph,
     chunk: &mut [P],
     base: usize,
-    arena: &[(NodeId, P::Msg)],
+    arena: &[(NodeId, PayloadHandle)],
+    payloads: &PayloadArena<P::Msg>,
     offsets: &[usize],
     prev_slot: &SlotOutcome<P::Msg>,
     round: u64,
@@ -148,7 +160,7 @@ fn step_chunk<P: Protocol>(
             node: v,
             round,
             neighbors: graph.neighbors(v),
-            inbox: &arena[offsets[v.index()]..offsets[v.index() + 1]],
+            inbox: Inbox::arena(&arena[offsets[v.index()]..offsets[v.index() + 1]], payloads),
             prev_slot,
             outbox: &mut shard.outbox,
             channel_write: None,
@@ -194,8 +206,12 @@ pub struct SyncEngine<'g, P: Protocol> {
     graph: &'g Graph,
     nodes: Vec<P>,
     /// Flat inbox arena for the current round: node `v` receives
-    /// `arena[offsets[v]..offsets[v + 1]]`, ordered by sender index.
-    arena: Vec<(NodeId, P::Msg)>,
+    /// `arena[offsets[v]..offsets[v + 1]]`, ordered by sender index.  Each
+    /// entry is `(from, payload handle)`; the payload lives in `payloads`.
+    arena: Vec<(NodeId, PayloadHandle)>,
+    /// Delivery-side payload arena: resolves the handles in `arena`.  Swaps
+    /// roles with the staging arena(s) inside the shards every round.
+    payloads: PayloadArena<P::Msg>,
     /// CSR index into `arena`; length `n + 1`.
     offsets: Vec<usize>,
     /// Pooled staging state (one shard sequentially; one per worker with the
@@ -209,7 +225,7 @@ pub struct SyncEngine<'g, P: Protocol> {
     links: Vec<u32>,
     /// Pooled radix-partitioned copy of the staging buffer (large graphs
     /// only; empty below [`RADIX_MIN_NODES`]).
-    scratch: Vec<Staged<P::Msg>>,
+    scratch: Vec<Staged>,
     /// Pooled per-block write cursors of the radix pass; length `blocks + 1`.
     block_cursors: Vec<u32>,
     prev_slot: SlotOutcome<P::Msg>,
@@ -231,6 +247,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             graph,
             nodes,
             arena: Vec::new(),
+            payloads: PayloadArena::new(),
             offsets: vec![0; n + 1],
             shards: vec![Shard::default()],
             writes: Vec::new(),
@@ -281,12 +298,40 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         self.arena.len()
     }
 
-    /// Returns `true` when every node is done and no message is in flight.
+    /// The delivery-side [`PayloadArena`]: the payloads that will be (or
+    /// were just) handed to the nodes' inboxes this round.  Exposed for
+    /// introspection — slab-reuse tests assert that its capacity and
+    /// high-water mark stay bounded over long runs.
+    pub fn payload_arena(&self) -> &PayloadArena<P::Msg> {
+        &self.payloads
+    }
+
+    /// Total payload slots across the delivery arena and every staging
+    /// arena — the engine's whole payload-slab footprint, which must stop
+    /// growing once per-round traffic reaches its high-water mark.
+    pub fn payload_slab_capacity(&self) -> usize {
+        self.payloads.capacity()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.outbox.arena.capacity())
+                .sum::<usize>()
+    }
+
+    /// Returns `true` when every node is done, no message is in flight, and
+    /// the last channel slot was idle.
+    ///
+    /// The slot condition makes quiescence consistent across substrates: a
+    /// write resolved in the final round produces feedback that *every* node
+    /// hears (the paper's channel model), so the engine executes one more
+    /// round to deliver it instead of dropping it — exactly as the
+    /// asynchronous engine, which cannot quiesce with a write pending, and
+    /// as the reference engine (pinned by the `engine_conformance` suite).
     ///
     /// O(1): the engine tracks done-state transitions across steps and the
     /// in-flight count is the arena length.
     pub fn is_quiescent(&self) -> bool {
-        self.done_count == self.nodes.len() && self.arena.is_empty()
+        self.done_count == self.nodes.len() && self.arena.is_empty() && self.prev_slot.is_idle()
     }
 
     /// Executes one round for every node and resolves the channel slot.
@@ -295,6 +340,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             graph,
             nodes,
             arena,
+            payloads,
             offsets,
             shards,
             prev_slot,
@@ -306,6 +352,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             nodes,
             0,
             arena,
+            payloads,
             offsets,
             prev_slot,
             *round,
@@ -342,6 +389,12 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
     /// Buckets the staged sends by receiver into the inbox arena (CSR form)
     /// and returns how many messages were staged.
     ///
+    /// First rotates the payload epoch: the payloads delivered this round
+    /// expire (heap payloads move to the graveyard for recycling) and the
+    /// staging arena becomes the delivery arena for the next round — a
+    /// wholesale swap sequentially, a worker-order merge with handle
+    /// rebasing under the `parallel` feature.
+    ///
     /// Stable counting bucket via per-receiver chains: iterating a staging
     /// slice in reverse while prepending to each receiver's chain leaves
     /// every chain in forward (sender-index) order; walking receivers in
@@ -350,6 +403,35 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
     /// staging buffer into contiguous receiver blocks so the chain pass
     /// works on cache-resident slices (see the module docs).
     fn rebuild_arena(&mut self) -> u64 {
+        // ---- Payload epoch rotation. ---------------------------------------
+        self.payloads.expire();
+        if self.shards.len() == 1 {
+            // Sequential: the staging arena (with this round's payloads)
+            // becomes the delivery arena; the expired delivery arena — its
+            // graveyard now holding the recyclable payloads — becomes the
+            // staging arena of the next round.
+            std::mem::swap(&mut self.payloads, &mut self.shards[0].outbox.arena);
+        } else {
+            // Parallel: hand the expired heap payloads back to the staging
+            // arenas senders actually intern into, then merge the per-worker
+            // staging arenas into the delivery arena in worker order,
+            // rebasing each worker's handles by its merge offset.
+            let workers = self.shards.len();
+            let mut next = 0usize;
+            while let Some(p) = self.payloads.recycle() {
+                self.shards[next % workers].outbox.arena.donate(p);
+                next += 1;
+            }
+            for shard in &mut self.shards {
+                let offset = shard.outbox.arena.drain_live_into(&mut self.payloads);
+                if offset != 0 {
+                    for entry in &mut shard.outbox.entries {
+                        entry.2 = PayloadHandle(entry.2 .0 + offset);
+                    }
+                }
+            }
+        }
+
         // Merge worker shards in node-index order (no-op sequentially).
         let (first, rest) = self.shards.split_at_mut(1);
         let stage = &mut first[0].outbox.entries;
@@ -394,13 +476,14 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 self.block_cursors[b] += self.block_cursors[b - 1];
             }
             if self.scratch.len() < k {
-                self.scratch.resize_with(k, || (NodeId(0), NodeId(0), None));
+                self.scratch
+                    .resize(k, (NodeId(0), NodeId(0), PayloadHandle::DANGLING));
             }
-            for entry in stage.iter_mut() {
+            for entry in stage.iter() {
                 let b = entry.0.index() >> BLOCK_SHIFT;
                 let pos = self.block_cursors[b] as usize;
                 self.block_cursors[b] += 1;
-                self.scratch[pos] = (entry.0, entry.1, entry.2.take());
+                self.scratch[pos] = *entry;
             }
             // After the scatter, `block_cursors[b]` is the end of block `b`
             // (and hence the start of block `b + 1`).
@@ -425,9 +508,8 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                     self.offsets[v] = self.arena.len();
                     let mut i = self.heads[v];
                     while i != NIL {
-                        let (_, from, msg) = &mut self.scratch[i as usize];
-                        self.arena
-                            .push((*from, msg.take().expect("staged message taken twice")));
+                        let (_, from, handle) = self.scratch[i as usize];
+                        self.arena.push((from, handle));
                         i = self.links[i as usize];
                     }
                 }
@@ -444,9 +526,8 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 self.offsets[v] = self.arena.len();
                 let mut i = self.heads[v];
                 while i != NIL {
-                    let (_, from, msg) = &mut stage[i as usize];
-                    self.arena
-                        .push((*from, msg.take().expect("staged message taken twice")));
+                    let (_, from, handle) = stage[i as usize];
+                    self.arena.push((from, handle));
                     i = self.links[i as usize];
                 }
             }
@@ -530,14 +611,21 @@ where
             graph,
             nodes,
             arena,
+            payloads,
             offsets,
             shards,
             prev_slot,
             round,
             ..
         } = self;
-        let (graph, arena, offsets, prev_slot, round) =
-            (&**graph, &*arena, &*offsets, &*prev_slot, *round);
+        let (graph, arena, payloads, offsets, prev_slot, round) = (
+            &**graph,
+            &*arena,
+            &*payloads,
+            &*offsets,
+            &*prev_slot,
+            *round,
+        );
         std::thread::scope(|scope| {
             for (ci, (chunk, shard)) in nodes
                 .chunks_mut(chunk_len)
@@ -550,6 +638,7 @@ where
                         chunk,
                         ci * chunk_len,
                         arena,
+                        payloads,
                         offsets,
                         prev_slot,
                         round,
@@ -748,21 +837,40 @@ mod tests {
     }
 
     /// Every node sends a distinct tag to every neighbour each round; the
-    /// inbox must arrive ordered by sender index.
+    /// inbox must arrive ordered by sender index.  The sortedness check
+    /// copies the senders into a **pooled** scratch vector (reused across
+    /// rounds), so the checker itself is allocation-free in steady state and
+    /// can run inside the alloc-counting tests.
     struct OrderCheck {
         rounds_left: u32,
         ok: bool,
+        scratch: Vec<usize>,
+    }
+    impl OrderCheck {
+        fn new(rounds_left: u32) -> Self {
+            OrderCheck {
+                rounds_left,
+                ok: true,
+                scratch: Vec::new(),
+            }
+        }
     }
     impl Protocol for OrderCheck {
         type Msg = u64;
         fn step(&mut self, io: &mut RoundIo<'_, u64>) {
-            let senders: Vec<usize> = io.inbox().iter().map(|&(from, _)| from.index()).collect();
-            let mut sorted = senders.clone();
-            sorted.sort_unstable();
-            if senders != sorted {
+            self.scratch.clear();
+            self.scratch
+                .extend(io.inbox().iter().map(|(from, _)| from.index()));
+            self.scratch.sort_unstable();
+            let in_order = io
+                .inbox()
+                .iter()
+                .zip(self.scratch.iter())
+                .all(|((from, _), &sorted)| from.index() == sorted);
+            if !in_order {
                 self.ok = false;
             }
-            for &(msg_from, tag) in io.inbox() {
+            for (msg_from, &tag) in io.inbox() {
                 if tag != msg_from.index() as u64 {
                     self.ok = false;
                 }
@@ -781,10 +889,7 @@ mod tests {
     #[test]
     fn inbox_ordered_by_sender_index() {
         let g = generators::complete(7);
-        let mut eng = SyncEngine::new(&g, |_| OrderCheck {
-            rounds_left: 5,
-            ok: true,
-        });
+        let mut eng = SyncEngine::new(&g, |_| OrderCheck::new(5));
         let out = eng.run(50);
         assert!(out.is_completed());
         for v in g.nodes() {
@@ -803,10 +908,7 @@ mod tests {
         let n = RADIX_MIN_NODES; // boundary value: radix path active
         let g = netsim_graph::topologies::degree_bounded_expander(n, 4, 9);
 
-        let mut eng = SyncEngine::new(&g, |_| OrderCheck {
-            rounds_left: 3,
-            ok: true,
-        });
+        let mut eng = SyncEngine::new(&g, |_| OrderCheck::new(3));
         let out = eng.run(20);
         assert!(out.is_completed());
         for v in g.nodes() {

@@ -31,16 +31,34 @@
 //! # Performance architecture
 //!
 //! Both engines are **zero-allocation in steady state** (verified by the
-//! `alloc_steady_state` integration test with a counting global allocator):
+//! `alloc_steady_state` integration test with a counting global allocator),
+//! for `Copy` *and* for heap-carrying payloads:
 //!
+//! * message payloads are **arena-backed**: a send interns its payload once
+//!   into a [`PayloadArena`] (sync: epoch slab swapped every round) or a
+//!   refcounted slab (async), and everything downstream — staging,
+//!   bucketing, delivery — moves 4-byte handles.  A broadcast over `d`
+//!   links stores one payload, not `d` clones; retired heap payloads are
+//!   recycled back to senders ([`RoundIo::recycle_payload`] /
+//!   [`AsyncCtx::recycle_payload`]), so `Vec<u8>`-frame protocols run
+//!   allocation-free too (see the [`payload`] module docs).  One caveat:
+//!   the **channel** path still clones the winning message into
+//!   [`SlotOutcome::Success`] once per successful slot, so a protocol that
+//!   writes non-empty heap payloads to the channel pays one allocation per
+//!   success (a ROADMAP item; point-to-point traffic is unaffected);
 //! * `SyncEngine` double-buffers messages through a flat CSR-style inbox
 //!   arena plus a pooled staging buffer, bucketed per receiver with an
 //!   O(n + k) stable counting pass — no per-round `Vec`s (see the
 //!   [`engine`](SyncEngine) module docs for the layout);
-//! * `AsyncEngine` keeps in-flight payloads in a slab with a free list and
-//!   pools its callback buffers;
+//! * `AsyncEngine` keeps in-flight payloads in the refcounted slab with a
+//!   free list and pools its callback buffers;
 //! * quiescence checks are O(1) in both engines (incremental done-node
 //!   counter + in-flight counters) instead of O(n) rescans per round/tick.
+//!
+//! Delivery semantics across all three engines (flat sync, async, reference)
+//! are pinned by the `engine_conformance` integration suite: identical
+//! delivery traces and final states over the full topology matrix, whether
+//! payloads travel as arena handles or as reference-engine clones.
 //!
 //! **Determinism contract:** each node's inbox is ordered by the sender's
 //! node index (then send order); with the opt-in `parallel` feature,
@@ -50,12 +68,13 @@
 //! mutable access the engines expose.
 //!
 //! Measured on the `BENCH_engine.json` global-sum gossip workload (single
-//! core), the flat engine is **1.4–4.8× faster** than the (itself
-//! pooled-pending) reference engine across the topology matrix; on the
-//! 100k-node random graph — the ROADMAP's named cache-miss target — the
-//! radix scatter raised the flat engine's absolute throughput ~2.4× over
-//! the PR 1 recording, with ~25 allocations per *run* against the
-//! reference's ~10⁷ (thousands per round).
+//! core), the flat engine is **1.6–5.7× faster** than the (itself
+//! pooled-pending) reference engine across the topology matrix with ~60
+//! allocations per *run* against the reference's ~10⁷; on the `Vec<u8>`
+//! frame-gossip payload workload the arena path is **4–29× faster** than
+//! the clone path (`payloads` section of `BENCH_engine.json`), because a
+//! broadcast interns one frame instead of cloning per neighbour and
+//! recycles it the round after.
 //!
 //! # Example
 //!
@@ -78,6 +97,7 @@ mod channel;
 mod engine;
 mod metrics;
 mod node;
+pub mod payload;
 pub mod protocols;
 pub mod reference;
 
@@ -85,5 +105,6 @@ pub use async_engine::{AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol};
 pub use channel::{fdma_slot_lengths, resolve_slot, SlotOutcome, SlotState};
 pub use engine::{RunOutcome, SyncEngine};
 pub use metrics::CostAccount;
-pub use node::{OutboxBuffer, Protocol, RoundIo};
+pub use node::{DrainSends, Inbox, InboxIter, OutboxBuffer, Protocol, RoundIo};
+pub use payload::{PayloadArena, PayloadHandle};
 pub use reference::ReferenceEngine;

@@ -7,12 +7,20 @@
 //! decides which point-to-point messages to send and whether to write to the
 //! channel in the current slot.  This is the model of Section 2 of the paper.
 //!
-//! Message plumbing is pooled: a step writes its sends into a borrowed
-//! [`OutboxBuffer`] owned by the engine (or by the simulation wrapper when
-//! using [`RoundIo::detached`]), so steady-state rounds perform no heap
-//! allocation.
+//! Message plumbing is pooled **and arena-backed**: a step writes its sends
+//! into a borrowed [`OutboxBuffer`] owned by the engine (or by the
+//! simulation wrapper when using [`RoundIo::detached`]).  The buffer interns
+//! each payload once into its [`PayloadArena`] and stages 4-byte
+//! [`PayloadHandle`]s — a broadcast stores one payload however many
+//! neighbours it reaches — so steady-state rounds perform no heap
+//! allocation even for non-`Copy` message types (see the
+//! [`payload`](crate::payload) module docs for the epoch discipline).
+//! Deliveries are read back through the [`Inbox`] view, which yields
+//! `(sender, &payload)` pairs whether the engine stores materialised
+//! messages (the reference clone path) or arena handles (the flat engines).
 
 use crate::channel::SlotOutcome;
+use crate::payload::{PayloadArena, PayloadHandle};
 use netsim_graph::{Neighbors, NodeId};
 
 /// A distributed algorithm, as executed by one processor.
@@ -22,7 +30,8 @@ pub trait Protocol {
     /// The paper assumes messages of `O(log n)` bits plus one data element;
     /// protocol implementations should keep their messages within that spirit
     /// (ids, counters, one weight/value), but the engine does not enforce a
-    /// bit bound.
+    /// bit bound — variable-length multimedia frames (`Vec<u8>` and friends)
+    /// are first-class citizens of the arena-backed delivery path.
     type Msg: Clone;
 
     /// Executes one round.
@@ -40,22 +49,25 @@ pub trait Protocol {
     fn is_done(&self) -> bool;
 }
 
-/// A staged point-to-point message: `(to, from, payload)`.
+/// A staged point-to-point message: `(to, from, payload handle)`.
 ///
-/// The payload is held in an `Option` so the engine can move messages out of
-/// the staging buffer into the delivery arena without cloning or unsafe code;
-/// entries reachable through the public API always carry `Some`.
-pub(crate) type Staged<M> = (NodeId, NodeId, Option<M>);
+/// The payload itself lives in the staging [`PayloadArena`]; the triple is
+/// `Copy`, so the engine's bucketing passes move 20-byte records regardless
+/// of the message type.
+pub(crate) type Staged = (NodeId, NodeId, PayloadHandle);
 
-/// A reusable buffer of staged sends, pooled across rounds by the engine.
+/// A reusable buffer of staged sends plus the arena their payloads are
+/// interned in, pooled across rounds by the engine.
 ///
 /// Protocol steps append to it through [`RoundIo::send`] /
 /// [`RoundIo::send_all`]; the engine (or a simulation wrapper using
 /// [`RoundIo::detached`]) drains it afterwards.  Clearing keeps the backing
-/// capacity, which is what makes steady-state rounds allocation-free.
+/// capacity — of the entry vector and of the payload slab — which is what
+/// makes steady-state rounds allocation-free.
 #[derive(Debug)]
 pub struct OutboxBuffer<M> {
-    pub(crate) entries: Vec<Staged<M>>,
+    pub(crate) entries: Vec<Staged>,
+    pub(crate) arena: PayloadArena<M>,
 }
 
 impl<M> OutboxBuffer<M> {
@@ -63,6 +75,7 @@ impl<M> OutboxBuffer<M> {
     pub fn new() -> Self {
         OutboxBuffer {
             entries: Vec::new(),
+            arena: PayloadArena::new(),
         }
     }
 
@@ -76,16 +89,53 @@ impl<M> OutboxBuffer<M> {
         self.entries.is_empty()
     }
 
-    /// Removes all staged sends, keeping the allocation.
+    /// Removes all staged sends and expires their payload epoch, keeping
+    /// every allocation.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.arena.expire();
     }
 
-    /// Drains the staged sends as `(to, msg)` pairs, keeping the allocation.
-    pub fn drain_sends(&mut self) -> impl Iterator<Item = (NodeId, M)> + '_ {
-        self.entries
-            .drain(..)
-            .map(|(to, _, msg)| (to, msg.expect("staged message already taken")))
+    /// The staging payload arena (interned payloads of the current epoch).
+    pub fn arena(&self) -> &PayloadArena<M> {
+        &self.arena
+    }
+
+    /// Drains the staged sends as owned `(to, msg)` pairs, reproducing the
+    /// seed's pre-arena clone path exactly: a payload is **cloned** while
+    /// later entries still share its handle and **moved** out of the arena
+    /// on its last use — so a unicast costs no clone and a degree-`d`
+    /// broadcast costs `d - 1`, just as when the seed cloned in `send_all`
+    /// and moved through the staging buffer.  The
+    /// [`ReferenceEngine`](crate::ReferenceEngine) and detached simulation
+    /// wrappers use this; the flat engines move handles instead and never
+    /// clone.  When the iterator is dropped the payload epoch expires, so
+    /// the buffer is immediately reusable (and heap payloads become
+    /// recyclable).
+    pub fn drain_sends(&mut self) -> DrainSends<'_, M>
+    where
+        M: Clone,
+    {
+        let OutboxBuffer { entries, arena } = self;
+        DrainSends {
+            entries: entries.drain(..),
+            arena,
+        }
+    }
+
+    /// Visits the staged sends as `(to, &payload)` pairs in send order
+    /// **without cloning**, then clears the buffer and retires the payload
+    /// epoch (heap payloads become recyclable).
+    ///
+    /// Simulation wrappers that re-wrap payloads into their own message type
+    /// use this to clone into *recycled* storage instead of paying a fresh
+    /// allocation per send (see the channel synchronizer).
+    pub fn drain_sends_by_ref(&mut self, mut f: impl FnMut(NodeId, &M)) {
+        let OutboxBuffer { entries, arena } = self;
+        for (to, _, h) in entries.drain(..) {
+            f(to, arena.get(h));
+        }
+        arena.expire();
     }
 }
 
@@ -95,13 +145,210 @@ impl<M> Default for OutboxBuffer<M> {
     }
 }
 
+/// Draining iterator returned by [`OutboxBuffer::drain_sends`].
+#[derive(Debug)]
+pub struct DrainSends<'a, M> {
+    entries: std::vec::Drain<'a, Staged>,
+    arena: &'a mut PayloadArena<M>,
+}
+
+impl<'a, M: Clone> Iterator for DrainSends<'a, M> {
+    type Item = (NodeId, M);
+
+    fn next(&mut self) -> Option<(NodeId, M)> {
+        let (to, _, h) = self.entries.next()?;
+        // A handle's staged entries are contiguous (one `send` / `send_all`
+        // call at a time appends them), so this entry is the payload's last
+        // use exactly when the next entry carries a different handle — clone
+        // for shared earlier uses, move on the last.
+        let shared_ahead = self
+            .entries
+            .as_slice()
+            .first()
+            .is_some_and(|&(_, _, ahead)| ahead == h);
+        let msg = if shared_ahead {
+            self.arena.get(h).clone()
+        } else {
+            self.arena.take(h)
+        };
+        Some((to, msg))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.entries.size_hint()
+    }
+}
+
+impl<'a, M> Drop for DrainSends<'a, M> {
+    fn drop(&mut self) {
+        // End of the staging epoch: undrained entries are discarded by the
+        // inner `Drain`, and every payload is retired (heap payloads move to
+        // the graveyard for recycling).
+        self.arena.expire();
+    }
+}
+
+/// Read-only view of one node's deliveries for the current round, yielding
+/// `(sender, &payload)` pairs ordered by the sender's node index.
+///
+/// The two variants correspond to the two delivery substrates: materialised
+/// `(from, msg)` pairs (reference engine, detached wrappers) and arena
+/// handles resolved against a [`PayloadArena`] (the flat engines).  Protocol
+/// code cannot tell them apart — which is precisely what the
+/// `engine_conformance` suite checks.
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
+    entries: InboxEntries<'a, M>,
+}
+
+#[derive(Debug)]
+enum InboxEntries<'a, M> {
+    /// Materialised messages (one owned `M` per delivery).
+    Direct(&'a [(NodeId, M)]),
+    /// Arena handles (one interned `M` per *send*, shared by broadcasts).
+    Arena {
+        entries: &'a [(NodeId, PayloadHandle)],
+        payloads: &'a PayloadArena<M>,
+    },
+}
+
+impl<'a, M> Clone for Inbox<'a, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, M> Copy for Inbox<'a, M> {}
+impl<'a, M> Clone for InboxEntries<'a, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, M> Copy for InboxEntries<'a, M> {}
+
+impl<'a, M> Inbox<'a, M> {
+    /// A view over materialised `(sender, message)` pairs; the constructor
+    /// used by detached simulation wrappers and the reference engine.
+    pub fn direct(entries: &'a [(NodeId, M)]) -> Self {
+        Inbox {
+            entries: InboxEntries::Direct(entries),
+        }
+    }
+
+    /// A view over arena handles; used by the flat engines.
+    pub(crate) fn arena(
+        entries: &'a [(NodeId, PayloadHandle)],
+        payloads: &'a PayloadArena<M>,
+    ) -> Self {
+        Inbox {
+            entries: InboxEntries::Arena { entries, payloads },
+        }
+    }
+
+    /// An empty inbox.
+    pub fn empty() -> Self {
+        Inbox {
+            entries: InboxEntries::Direct(&[]),
+        }
+    }
+
+    /// Number of messages delivered this round.
+    pub fn len(&self) -> usize {
+        match self.entries {
+            InboxEntries::Direct(s) => s.len(),
+            InboxEntries::Arena { entries, .. } => entries.len(),
+        }
+    }
+
+    /// `true` when nothing was delivered this round.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th delivery (senders ascending), if any.
+    pub fn get(&self, i: usize) -> Option<(NodeId, &'a M)> {
+        match self.entries {
+            InboxEntries::Direct(s) => s.get(i).map(|(from, m)| (*from, m)),
+            InboxEntries::Arena { entries, payloads } => {
+                entries.get(i).map(|&(from, h)| (from, payloads.get(h)))
+            }
+        }
+    }
+
+    /// The first delivery, if any.
+    pub fn first(&self) -> Option<(NodeId, &'a M)> {
+        self.get(0)
+    }
+
+    /// Iterates the deliveries as `(sender, &payload)` pairs, ordered by
+    /// sender node index (then send order within one sender).
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter {
+            entries: self.entries,
+            next: 0,
+        }
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = (NodeId, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &Inbox<'a, M> {
+    type Item = (NodeId, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`Inbox`], yielding `(sender, &payload)` pairs.
+#[derive(Clone, Debug)]
+pub struct InboxIter<'a, M> {
+    entries: InboxEntries<'a, M>,
+    next: usize,
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (NodeId, &'a M);
+
+    fn next(&mut self) -> Option<(NodeId, &'a M)> {
+        let i = self.next;
+        let item = match self.entries {
+            InboxEntries::Direct(s) => s.get(i).map(|(from, m)| (*from, m)),
+            InboxEntries::Arena { entries, payloads } => {
+                entries.get(i).map(|&(from, h)| (from, payloads.get(h)))
+            }
+        };
+        if item.is_some() {
+            self.next = i + 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match self.entries {
+            InboxEntries::Direct(s) => s.len().saturating_sub(self.next),
+            InboxEntries::Arena { entries, .. } => entries.len().saturating_sub(self.next),
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl<'a, M> ExactSizeIterator for InboxIter<'a, M> {}
+
 /// Per-round input/output window handed to [`Protocol::step`].
 #[derive(Debug)]
 pub struct RoundIo<'a, M> {
     pub(crate) node: NodeId,
     pub(crate) round: u64,
     pub(crate) neighbors: Neighbors<'a>,
-    pub(crate) inbox: &'a [(NodeId, M)],
+    pub(crate) inbox: Inbox<'a, M>,
     pub(crate) prev_slot: &'a SlotOutcome<M>,
     pub(crate) outbox: &'a mut OutboxBuffer<M>,
     pub(crate) channel_write: Option<M>,
@@ -122,7 +369,7 @@ impl<'a, M: Clone> RoundIo<'a, M> {
         node: NodeId,
         round: u64,
         neighbors: Neighbors<'a>,
-        inbox: &'a [(NodeId, M)],
+        inbox: Inbox<'a, M>,
         prev_slot: &'a SlotOutcome<M>,
         outbox: &'a mut OutboxBuffer<M>,
     ) -> Self {
@@ -167,8 +414,8 @@ impl<'a, M: Clone> RoundIo<'a, M> {
     }
 
     /// Messages delivered this round (sent by neighbours in the previous
-    /// round), ordered by the sender's node index.
-    pub fn inbox(&self) -> &[(NodeId, M)] {
+    /// round), as an [`Inbox`] view ordered by the sender's node index.
+    pub fn inbox(&self) -> Inbox<'a, M> {
         self.inbox
     }
 
@@ -179,8 +426,24 @@ impl<'a, M: Clone> RoundIo<'a, M> {
         self.prev_slot
     }
 
+    /// Takes a dead payload from the staging arena for reuse, if one is
+    /// available.
+    ///
+    /// Heap-carrying protocols (`Vec<u8>` frames and the like) overwrite the
+    /// returned value in place and pass it back to [`RoundIo::send`] /
+    /// [`RoundIo::send_all`], closing the allocation loop: after warm-up the
+    /// payload buffers of round `r` become the payload buffers of round
+    /// `r + 2` (the arena pair swaps roles every round).  Returns `None` for
+    /// payload types without heap storage and while the graveyard is empty.
+    pub fn recycle_payload(&mut self) -> Option<M> {
+        self.outbox.arena.recycle()
+    }
+
     /// Sends `msg` to the neighbour `to` (delivered at the start of the next
     /// round).
+    ///
+    /// The payload is interned into the staging arena and staged as a
+    /// handle; nothing is cloned.
     ///
     /// # Panics
     ///
@@ -193,16 +456,24 @@ impl<'a, M: Clone> RoundIo<'a, M> {
             self.node,
             to
         );
-        self.outbox.entries.push((to, self.node, Some(msg)));
+        let h = self.outbox.arena.intern(msg);
+        self.outbox.entries.push((to, self.node, h));
     }
 
     /// Sends `msg` to every neighbour.
+    ///
+    /// Intern-on-broadcast: the payload is stored **once** and every
+    /// neighbour's delivery entry shares the handle, so a degree-`d`
+    /// broadcast costs one payload move plus `d` staged 20-byte records —
+    /// not `d` clones.
     pub fn send_all(&mut self, msg: M) {
-        if let Some((&last, rest)) = self.neighbors.targets().split_last() {
-            for &v in rest {
-                self.outbox.entries.push((v, self.node, Some(msg.clone())));
-            }
-            self.outbox.entries.push((last, self.node, Some(msg)));
+        let targets = self.neighbors.targets();
+        if targets.is_empty() {
+            return;
+        }
+        let h = self.outbox.arena.intern(msg);
+        for &v in targets {
+            self.outbox.entries.push((v, self.node, h));
         }
     }
 
@@ -235,7 +506,7 @@ mod tests {
         prev: &'a SlotOutcome<u32>,
         outbox: &'a mut OutboxBuffer<u32>,
     ) -> RoundIo<'a, u32> {
-        RoundIo::detached(NodeId(0), 3, neighbors, inbox, prev, outbox)
+        RoundIo::detached(NodeId(0), 3, neighbors, Inbox::direct(inbox), prev, outbox)
     }
 
     #[test]
@@ -248,6 +519,7 @@ mod tests {
         assert_eq!(io.round(), 3);
         assert_eq!(io.degree(), 2);
         assert_eq!(io.inbox().len(), 1);
+        assert_eq!(io.inbox().first(), Some((NodeId(1), &9)));
         assert!(io.prev_slot().is_idle());
         assert!(!io.will_write_channel());
         assert!(io.finish().is_none());
@@ -265,9 +537,12 @@ mod tests {
         assert!(io.will_write_channel());
         assert_eq!(io.finish(), Some(2));
         assert_eq!(outbox.len(), 3);
+        // The broadcast interned one payload shared by both entries.
+        assert_eq!(outbox.arena().live(), 2);
         let sends: Vec<(NodeId, u32)> = outbox.drain_sends().collect();
         assert_eq!(sends, vec![(NodeId(2), 5), (NodeId(1), 7), (NodeId(2), 7)]);
         assert!(outbox.is_empty());
+        assert!(outbox.arena().is_empty());
     }
 
     #[test]
@@ -281,7 +556,7 @@ mod tests {
                 NodeId(0),
                 round,
                 Neighbors::new(&targets, &edges),
-                &[],
+                Inbox::empty(),
                 &prev,
                 &mut outbox,
             );
@@ -290,6 +565,98 @@ mod tests {
             let sends: Vec<(NodeId, u32)> = outbox.drain_sends().collect();
             assert_eq!(sends, vec![(NodeId(1), round as u32)]);
         }
+    }
+
+    #[test]
+    fn recycle_hands_back_heap_payloads() {
+        // `drain_sends_by_ref` leaves the interned payloads in the arena, so
+        // expiry parks them for `recycle_payload` (the synchronizer's loop);
+        // the moving `drain_sends` transfers ownership out instead — exactly
+        // the seed semantics — leaving nothing to recycle.
+        let targets = [NodeId(1)];
+        let edges = [EdgeId(0)];
+        let prev: SlotOutcome<Vec<u8>> = SlotOutcome::Idle;
+        let mut outbox: OutboxBuffer<Vec<u8>> = OutboxBuffer::new();
+        for round in 0..4u64 {
+            let mut io = RoundIo::detached(
+                NodeId(0),
+                round,
+                Neighbors::new(&targets, &edges),
+                Inbox::empty(),
+                &prev,
+                &mut outbox,
+            );
+            let mut frame = io.recycle_payload().unwrap_or_default();
+            if round >= 1 {
+                assert!(frame.capacity() >= 64, "capacity must be recycled");
+            }
+            frame.clear();
+            frame.resize(64, round as u8);
+            io.send(NodeId(1), frame);
+            drop(io);
+            let mut sends: Vec<(NodeId, Vec<u8>)> = Vec::new();
+            outbox.drain_sends_by_ref(|to, msg| sends.push((to, msg.clone())));
+            assert_eq!(sends.len(), 1);
+            assert_eq!(sends[0].1, vec![round as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn drain_sends_moves_on_last_use() {
+        // Seed clone-path parity: a unicast payload is moved (no clone), a
+        // degree-d broadcast is cloned d - 1 times with the interned
+        // original moved on its last entry — afterwards the arena holds
+        // nothing recyclable.
+        let prev: SlotOutcome<Vec<u8>> = SlotOutcome::Idle;
+        let mut outbox: OutboxBuffer<Vec<u8>> = OutboxBuffer::new();
+        let mut io = make_vec_io(&prev, &mut outbox);
+        io.send(NodeId(1), vec![7; 32]);
+        io.send_all(vec![8; 32]);
+        drop(io);
+        let sends: Vec<(NodeId, Vec<u8>)> = outbox.drain_sends().collect();
+        assert_eq!(sends.len(), 3);
+        assert_eq!(sends[0], (NodeId(1), vec![7; 32]));
+        assert_eq!(sends[1], (NodeId(1), vec![8; 32]));
+        assert_eq!(sends[2], (NodeId(2), vec![8; 32]));
+        let mut outbox2: OutboxBuffer<Vec<u8>> = OutboxBuffer::new();
+        std::mem::swap(&mut outbox, &mut outbox2);
+        assert_eq!(
+            outbox2.arena.recycle(),
+            None,
+            "moved-out payloads must not reach the graveyard"
+        );
+    }
+
+    fn make_vec_io<'a>(
+        prev: &'a SlotOutcome<Vec<u8>>,
+        outbox: &'a mut OutboxBuffer<Vec<u8>>,
+    ) -> RoundIo<'a, Vec<u8>> {
+        RoundIo::detached(
+            NodeId(0),
+            0,
+            Neighbors::new(&TARGETS, &EDGES),
+            Inbox::empty(),
+            prev,
+            outbox,
+        )
+    }
+
+    #[test]
+    fn inbox_views_are_equivalent() {
+        let direct = [(NodeId(1), 10u32), (NodeId(4), 20)];
+        let mut arena = PayloadArena::new();
+        let h1 = arena.intern(10u32);
+        let h2 = arena.intern(20u32);
+        let entries = [(NodeId(1), h1), (NodeId(4), h2)];
+        let a = Inbox::direct(&direct);
+        let b = Inbox::arena(&entries, &arena);
+        assert_eq!(a.len(), b.len());
+        let va: Vec<(NodeId, u32)> = a.iter().map(|(f, &m)| (f, m)).collect();
+        let vb: Vec<(NodeId, u32)> = b.iter().map(|(f, &m)| (f, m)).collect();
+        assert_eq!(va, vb);
+        assert_eq!(a.first().map(|(f, &m)| (f, m)), Some((NodeId(1), 10)));
+        assert_eq!(b.get(1).map(|(f, &m)| (f, m)), Some((NodeId(4), 20)));
+        assert!(Inbox::<u32>::empty().is_empty());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use netsim_graph::NodeId;
 // ---------------------------------------------------------------------------
 
 /// Message of the BFS builder: `Explore(distance_of_sender)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Explore(pub u32);
 
 /// Synchronous BFS spanning-tree construction from a single root.
@@ -31,7 +31,7 @@ pub struct Explore(pub u32);
 /// After the run, [`BfsBuild::parent`] / [`BfsBuild::depth`] describe the
 /// BFS tree; total time is `ecc(root) + O(1)` rounds and total messages are
 /// `2m` (each edge is crossed at most twice).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BfsBuild {
     id: NodeId,
     is_root: bool,
@@ -77,9 +77,9 @@ impl Protocol for BfsBuild {
             let best = io
                 .inbox()
                 .iter()
-                .min_by_key(|&&(from, Explore(d))| (d, from))
-                .copied();
-            if let Some((from, Explore(d))) = best {
+                .map(|(from, &Explore(d))| (from, d))
+                .min_by_key(|&(from, d)| (d, from));
+            if let Some((from, d)) = best {
                 self.parent = Some(from);
                 self.depth = Some(d + 1);
             }

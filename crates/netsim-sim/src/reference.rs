@@ -10,10 +10,15 @@
 //! nodes, where that one allocation pattern dominated wall-clock without
 //! being the behaviour under comparison.)  It exists for two reasons:
 //!
-//! * **equivalence testing** — the property tests assert that the
-//!   zero-allocation [`SyncEngine`](crate::SyncEngine) produces identical
-//!   per-node final states, [`RunOutcome`], and
-//!   [`CostAccount`] on random protocols and topologies;
+//! * **equivalence testing** — the property tests and the
+//!   `engine_conformance` suite assert that the zero-allocation, arena-backed
+//!   [`SyncEngine`](crate::SyncEngine) produces identical per-node final
+//!   states, delivery traces, [`RunOutcome`], and [`CostAccount`] on random
+//!   protocols and topologies.  This engine deliberately stays on the seed's
+//!   **clone path**: every staged payload is cloned out of the outbox
+//!   ([`OutboxBuffer::drain_sends`]) into per-node pending queues, one owned
+//!   message per delivery — the semantics the arena path must reproduce
+//!   bit-for-bit;
 //! * **benchmarking** — the engine benchmark (`experiments --engine`)
 //!   measures the flat engine's speedup against this baseline and records it
 //!   in `BENCH_engine.json`.
@@ -23,7 +28,7 @@
 use crate::channel::{resolve_slot, SlotOutcome};
 use crate::engine::RunOutcome;
 use crate::metrics::CostAccount;
-use crate::node::{OutboxBuffer, Protocol, RoundIo};
+use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo};
 use netsim_graph::{Graph, NodeId};
 
 /// Allocation-per-round reference executor; see the module docs.
@@ -87,10 +92,14 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
         &self.prev_slot
     }
 
-    /// Returns `true` when every node is done and no message is in flight.
+    /// Returns `true` when every node is done, no message is in flight, and
+    /// the last channel slot was idle (a non-idle outcome is feedback every
+    /// node still gets to hear — see [`SyncEngine::is_quiescent`](crate::SyncEngine::is_quiescent)).
     /// O(n): full rescan, as in the original implementation.
     pub fn is_quiescent(&self) -> bool {
-        self.nodes.iter().all(Protocol::is_done) && self.pending.iter().all(Vec::is_empty)
+        self.nodes.iter().all(Protocol::is_done)
+            && self.pending.iter().all(Vec::is_empty)
+            && self.prev_slot.is_idle()
     }
 
     /// Executes one round for every node and resolves the channel slot.
@@ -116,7 +125,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
                 node: v,
                 round: *round,
                 neighbors: graph.neighbors(v),
-                inbox: &pending[v.index()],
+                inbox: Inbox::direct(&pending[v.index()]),
                 prev_slot,
                 outbox: &mut outbox,
                 channel_write: None,
@@ -179,7 +188,7 @@ mod tests {
         fn step(&mut self, io: &mut RoundIo<'_, u64>) {
             let mut learned = !self.started;
             self.started = true;
-            for &(_, v) in io.inbox() {
+            for (_, &v) in io.inbox() {
                 if v > self.best {
                     self.best = v;
                     learned = true;

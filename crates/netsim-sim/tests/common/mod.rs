@@ -1,0 +1,361 @@
+//! Shared cross-engine protocol-conformance harness.
+//!
+//! The simulator has three execution substrates for the same [`Protocol`]
+//! semantics:
+//!
+//! 1. [`SyncEngine`] — the flat, arena-backed synchronous engine (payloads
+//!    travel as [`PayloadArena`](netsim_sim::PayloadArena) handles);
+//! 2. [`ReferenceEngine`] — the pre-arena **clone path**: every staged
+//!    payload is cloned into per-node pending queues, one owned message per
+//!    delivery, exactly as in the seed implementation;
+//! 3. [`AsyncEngine`] driven in **lockstep** (slot = 1 tick, every delay =
+//!    1 tick) through the [`Lockstep`] adapter, which replays the
+//!    synchronous round structure on the event-driven substrate — payloads
+//!    travel through the async engine's refcounted slab.
+//!
+//! The harness runs one protocol on all three and asserts **bit-for-bit
+//! identical delivery traces and final states**: every protocol instance is
+//! wrapped in [`Traced`], which records `(round, sender, payload digest)`
+//! for each delivery and `(round, outcome digest)` for each non-idle channel
+//! slot, and additionally asserts the engine's inbox-ordering contract
+//! (senders ascending) with a pooled scratch vector.
+//!
+//! Used by the `engine_conformance` integration test over the full topology
+//! matrix (grid, random, ring-of-cliques, geometric, preferential
+//! attachment, expander).
+
+use netsim_graph::{generators, topologies, Graph, NodeId};
+use netsim_sim::{
+    AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol, Inbox, OutboxBuffer, Protocol,
+    ReferenceEngine, RoundIo, SlotOutcome, SyncEngine,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Stable 64-bit digest of any hashable value (used to compare payloads and
+/// slot outcomes across engines without requiring `PartialEq` on messages).
+pub fn digest<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// One observable event of a protocol execution, as seen by a single node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A point-to-point delivery: `(round, sender, payload digest)`.
+    Delivery {
+        /// Round in which the message was observed.
+        round: u64,
+        /// Sending node.
+        from: NodeId,
+        /// Digest of the payload bits.
+        digest: u64,
+    },
+    /// A non-idle channel slot heard in `round`.
+    Slot {
+        /// Round in which the outcome was observed.
+        round: u64,
+        /// Digest of the outcome (collision, or success with writer + payload).
+        digest: u64,
+    },
+}
+
+/// Protocol wrapper that records the node's observable events and asserts
+/// the inbox-ordering contract every step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Traced<P: Protocol> {
+    inner: P,
+    trace: Vec<TraceEvent>,
+    /// Pooled scratch for the sortedness assertion — reused across rounds so
+    /// the wrapper itself adds no per-step allocation.
+    scratch: Vec<usize>,
+}
+
+impl<P: Protocol> Traced<P> {
+    /// Wraps a protocol instance.
+    pub fn new(inner: P) -> Self {
+        Traced {
+            inner,
+            trace: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Splits the wrapper into the inner protocol and its recorded trace.
+    pub fn into_parts(self) -> (P, Vec<TraceEvent>) {
+        (self.inner, self.trace)
+    }
+}
+
+impl<P: Protocol> Protocol for Traced<P>
+where
+    P::Msg: Hash,
+{
+    type Msg = P::Msg;
+
+    fn step(&mut self, io: &mut RoundIo<'_, Self::Msg>) {
+        // Ordering-stability assertion: the engine contract says inboxes
+        // arrive ordered by sender node index.  Copy the senders into the
+        // pooled scratch, sort, and require the original sequence to match.
+        self.scratch.clear();
+        self.scratch
+            .extend(io.inbox().iter().map(|(from, _)| from.index()));
+        self.scratch.sort_unstable();
+        assert!(
+            io.inbox()
+                .iter()
+                .zip(self.scratch.iter())
+                .all(|((from, _), &sorted)| from.index() == sorted),
+            "node {:?} round {}: inbox not in sender order",
+            io.id(),
+            io.round()
+        );
+
+        let round = io.round();
+        for (from, msg) in io.inbox() {
+            self.trace.push(TraceEvent::Delivery {
+                round,
+                from,
+                digest: digest(msg),
+            });
+        }
+        match io.prev_slot() {
+            SlotOutcome::Idle => {}
+            SlotOutcome::Success { from, msg } => self.trace.push(TraceEvent::Slot {
+                round,
+                digest: digest(&(1u8, from.index(), digest(msg))),
+            }),
+            SlotOutcome::Collision => self.trace.push(TraceEvent::Slot {
+                round,
+                digest: digest(&2u8),
+            }),
+        }
+        self.inner.step(io);
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+}
+
+/// Adapter that replays a synchronous [`Protocol`] on the [`AsyncEngine`]
+/// in lockstep: with `slot_ticks = 1` and `max_delay_ticks = 1` every
+/// message sent while round `r` executes arrives before the slot boundary
+/// that starts round `r + 1`, so the event-driven run is round-for-round
+/// equivalent to the synchronous engine.
+#[derive(Debug)]
+pub struct Lockstep<P: Protocol> {
+    inner: P,
+    /// Deliveries buffered for the current round, in arrival order; sorted
+    /// by sender index (stably — preserving per-sender send order) before
+    /// each step to reproduce the synchronous inbox contract.
+    inbox: Vec<(NodeId, P::Msg)>,
+    outbox: OutboxBuffer<P::Msg>,
+    round: u64,
+}
+
+impl<P: Protocol> Lockstep<P> {
+    /// Wraps a protocol instance.
+    pub fn new(inner: P) -> Self {
+        Lockstep {
+            inner,
+            inbox: Vec::new(),
+            outbox: OutboxBuffer::new(),
+            round: 0,
+        }
+    }
+
+    /// Consumes the adapter, returning the wrapped protocol.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    fn step_sync(&mut self, prev_slot: &SlotOutcome<P::Msg>, ctx: &mut AsyncCtx<'_, P::Msg>) {
+        self.inbox.sort_by_key(|&(from, _)| from.index());
+        let mut io = RoundIo::detached(
+            ctx.id(),
+            self.round,
+            ctx.neighbors(),
+            Inbox::direct(&self.inbox),
+            prev_slot,
+            &mut self.outbox,
+        );
+        self.inner.step(&mut io);
+        let write = io.finish();
+        self.round += 1;
+        self.inbox.clear();
+        for (to, msg) in self.outbox.drain_sends() {
+            ctx.send(to, msg);
+        }
+        if let Some(msg) = write {
+            ctx.write_channel(msg);
+        }
+    }
+}
+
+impl<P: Protocol> AsyncProtocol for Lockstep<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &mut AsyncCtx<'_, Self::Msg>) {
+        let idle = SlotOutcome::Idle;
+        self.step_sync(&idle, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &Self::Msg, _ctx: &mut AsyncCtx<'_, Self::Msg>) {
+        self.inbox.push((from, msg.clone()));
+    }
+
+    fn on_slot(&mut self, outcome: &SlotOutcome<Self::Msg>, ctx: &mut AsyncCtx<'_, Self::Msg>) {
+        self.step_sync(outcome, ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done() && self.inbox.is_empty()
+    }
+}
+
+/// Result of one engine execution: final inner states, per-node traces, and
+/// the aggregate message count.
+pub struct EngineRun<P> {
+    /// Final per-node protocol states (inner, unwrapped).
+    pub nodes: Vec<P>,
+    /// Per-node recorded event traces, indexed by node.
+    pub traces: Vec<Vec<TraceEvent>>,
+    /// Total point-to-point messages delivered.
+    pub p2p_messages: u64,
+}
+
+fn unzip_traced<P: Protocol>(wrappers: Vec<Traced<P>>) -> (Vec<P>, Vec<Vec<TraceEvent>>) {
+    wrappers.into_iter().map(Traced::into_parts).unzip()
+}
+
+/// Runs `init`-constructed protocols on the flat arena-backed [`SyncEngine`].
+pub fn run_sync<P, F>(g: &Graph, mut init: F, max_rounds: u64) -> EngineRun<P>
+where
+    P: Protocol,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    let mut eng = SyncEngine::new(g, |v| Traced::new(init(v)));
+    let out = eng.run(max_rounds);
+    assert!(out.is_completed(), "sync engine must quiesce");
+    let p2p_messages = eng.cost().p2p_messages;
+    let (wrappers, _) = eng.into_parts();
+    let (nodes, traces) = unzip_traced(wrappers);
+    EngineRun {
+        nodes,
+        traces,
+        p2p_messages,
+    }
+}
+
+/// Runs the same workload on the pre-arena clone-path [`ReferenceEngine`].
+pub fn run_reference<P, F>(g: &Graph, mut init: F, max_rounds: u64) -> EngineRun<P>
+where
+    P: Protocol,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    let mut eng = ReferenceEngine::new(g, |v| Traced::new(init(v)));
+    let out = eng.run(max_rounds);
+    assert!(out.is_completed(), "reference engine must quiesce");
+    let p2p_messages = eng.cost().p2p_messages;
+    let (wrappers, _) = eng.into_parts();
+    let (nodes, traces) = unzip_traced(wrappers);
+    EngineRun {
+        nodes,
+        traces,
+        p2p_messages,
+    }
+}
+
+/// Runs the same workload on the [`AsyncEngine`] in lockstep configuration.
+pub fn run_async_lockstep<P, F>(g: &Graph, mut init: F, max_rounds: u64) -> EngineRun<P>
+where
+    P: Protocol,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    let cfg = AsyncConfig {
+        slot_ticks: 1,
+        max_delay_ticks: 1,
+        seed: 0,
+    };
+    let mut eng = AsyncEngine::new(g, cfg, |v| Lockstep::new(Traced::new(init(v))));
+    assert!(
+        eng.run(max_rounds.saturating_mul(2).max(16)),
+        "async lockstep run must quiesce"
+    );
+    let p2p_messages = eng.cost().p2p_messages;
+    let (adapters, _) = eng.into_parts();
+    let (nodes, traces) = unzip_traced(adapters.into_iter().map(Lockstep::into_inner).collect());
+    EngineRun {
+        nodes,
+        traces,
+        p2p_messages,
+    }
+}
+
+/// The conformance topology matrix: every family named by the issue, at
+/// sizes small enough for the O(n)-dispatch-per-tick lockstep runs.
+pub fn topology_matrix(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("grid", generators::Family::Grid.generate(64, seed)),
+        ("random", generators::random_connected(48, 0.12, seed)),
+        ("ring_of_cliques", topologies::ring_of_cliques(8, 6)),
+        (
+            "geometric",
+            topologies::random_geometric(
+                60,
+                topologies::geometric_threshold_radius(60) * 1.4,
+                seed,
+            ),
+        ),
+        (
+            "preferential_attachment",
+            topologies::preferential_attachment(60, 3, seed),
+        ),
+        ("expander", topologies::degree_bounded_expander(64, 4, seed)),
+    ]
+}
+
+/// Runs `init` over all three engines on `g` and asserts bit-for-bit
+/// identical delivery traces, final states, and message counts.
+pub fn assert_conformant<P, F>(label: &str, g: &Graph, mut init: F, max_rounds: u64)
+where
+    P: Protocol + PartialEq + std::fmt::Debug,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    let sync = run_sync(g, &mut init, max_rounds);
+    let reference = run_reference(g, &mut init, max_rounds);
+    let lockstep = run_async_lockstep(g, &mut init, max_rounds);
+
+    assert_eq!(
+        sync.p2p_messages, reference.p2p_messages,
+        "[{label}] arena vs clone path: message counts diverged"
+    );
+    assert_eq!(
+        sync.p2p_messages, lockstep.p2p_messages,
+        "[{label}] sync vs async lockstep: message counts diverged"
+    );
+    for v in 0..g.node_count() {
+        assert_eq!(
+            sync.traces[v], reference.traces[v],
+            "[{label}] node {v}: arena-path trace diverged from the clone path"
+        );
+        assert_eq!(
+            sync.traces[v], lockstep.traces[v],
+            "[{label}] node {v}: async lockstep trace diverged"
+        );
+        assert_eq!(
+            sync.nodes[v], reference.nodes[v],
+            "[{label}] node {v}: final states diverged (sync vs reference)"
+        );
+        assert_eq!(
+            sync.nodes[v], lockstep.nodes[v],
+            "[{label}] node {v}: final states diverged (sync vs async)"
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Cross-engine protocol conformance suite.
+//!
+//! Runs each protocol on the three execution substrates — the arena-backed
+//! flat [`SyncEngine`](netsim_sim::SyncEngine), the pre-arena clone-path
+//! [`ReferenceEngine`](netsim_sim::ReferenceEngine), and the
+//! [`AsyncEngine`](netsim_sim::AsyncEngine) in lockstep configuration — over
+//! the full topology matrix (grid, random, ring-of-cliques, geometric,
+//! preferential attachment, expander) and asserts bit-for-bit identical
+//! delivery traces and final states.  See `tests/common/mod.rs` for the
+//! harness.
+//!
+//! The protocols are chosen to pin down every delivery feature:
+//!
+//! * [`MixGossip`] — `Copy` payloads, mixed unicast/broadcast traffic plus
+//!   channel writes (collisions and successes), chaos-style state folding so
+//!   any ordering or outcome divergence cascades;
+//! * [`FrameRelay`] — **non-`Copy`** `Vec<u8>` frames of varying length,
+//!   exercising the payload arena (intern-on-broadcast, handle fan-out,
+//!   recycling) against the reference clone path;
+//! * [`BfsBuild`] — a real algorithmic building block;
+//! * [`SlotDance`] — channel-only traffic, pinning slot resolution.
+
+mod common;
+
+use common::{assert_conformant, topology_matrix};
+use netsim_graph::NodeId;
+use netsim_sim::{protocols::BfsBuild, Protocol, RoundIo, SlotOutcome};
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// MixGossip: Copy payloads, unicast + broadcast + channel writes.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct MixGossip {
+    id: u64,
+    seed: u64,
+    state: u64,
+    rounds_active: u32,
+}
+
+impl Protocol for MixGossip {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for (from, &m) in io.inbox() {
+            self.state = mix(self.state, mix(from.index() as u64, m));
+        }
+        match io.prev_slot() {
+            SlotOutcome::Idle => {}
+            SlotOutcome::Success { from, msg } => {
+                self.state = mix(self.state, mix(from.index() as u64, *msg));
+            }
+            SlotOutcome::Collision => self.state = mix(self.state, 0xc0111),
+        }
+        if self.rounds_active > 0 {
+            self.rounds_active -= 1;
+            let r = mix(self.seed, mix(self.id, io.round()));
+            if r.is_multiple_of(4) {
+                // Broadcast: one interned payload fans out over the degree.
+                io.send_all(mix(self.state, 0xa11));
+            } else {
+                for i in 0..io.degree() {
+                    let v = io.neighbors().target(i);
+                    if !mix(r, i as u64).is_multiple_of(3) {
+                        io.send(v, mix(self.state, i as u64));
+                    }
+                }
+            }
+            if mix(r, 0x5107).is_multiple_of(7) {
+                io.write_channel(self.state);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+}
+
+#[test]
+fn mix_gossip_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(17) {
+        assert_conformant(
+            &format!("mix_gossip/{name}"),
+            &g,
+            |v: NodeId| MixGossip {
+                id: v.index() as u64,
+                seed: 0xfeed,
+                state: mix(0xfeed, v.index() as u64),
+                rounds_active: 10 + (v.index() as u32 % 5),
+            },
+            10_000,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FrameRelay: variable-length Vec<u8> frames through the payload arena.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FrameRelay {
+    id: u64,
+    state: u64,
+    rounds_active: u32,
+}
+
+impl FrameRelay {
+    /// Deterministically (re)fills `frame` from the node state; variable
+    /// length in `1..=40` bytes so slab slots see different sizes.
+    fn fill_frame(&self, frame: &mut Vec<u8>, tag: u64) {
+        frame.clear();
+        let r = mix(self.state, tag);
+        let len = (r % 40) as usize + 1;
+        frame.extend((0..len).map(|i| (r.rotate_left(i as u32 % 63) & 0xff) as u8));
+    }
+}
+
+impl Protocol for FrameRelay {
+    type Msg = Vec<u8>;
+
+    fn step(&mut self, io: &mut RoundIo<'_, Vec<u8>>) {
+        for (from, frame) in io.inbox() {
+            let folded = frame
+                .iter()
+                .fold(frame.len() as u64, |acc, &b| mix(acc, u64::from(b)));
+            self.state = mix(self.state, mix(from.index() as u64, folded));
+        }
+        if self.rounds_active > 0 {
+            self.rounds_active -= 1;
+            // Recycled buffers are fully overwritten, so runs conform whether
+            // the substrate hands capacity back (arena) or not (clone path).
+            let mut frame = io.recycle_payload().unwrap_or_default();
+            self.fill_frame(&mut frame, 0xb0a);
+            io.send_all(frame);
+            if mix(self.state, io.round()).is_multiple_of(3) && io.degree() > 0 {
+                let mut extra = io.recycle_payload().unwrap_or_default();
+                self.fill_frame(&mut extra, 0x1e);
+                let v = io.neighbors().target(self.state as usize % io.degree());
+                io.send(v, extra);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+}
+
+#[test]
+fn frame_relay_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(23) {
+        assert_conformant(
+            &format!("frame_relay/{name}"),
+            &g,
+            |v: NodeId| FrameRelay {
+                id: v.index() as u64,
+                state: mix(0xf00d, v.index() as u64),
+                rounds_active: 8 + (v.index() as u32 % 4),
+            },
+            10_000,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BfsBuild: a real building block over every topology.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bfs_build_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(31) {
+        assert_conformant(
+            &format!("bfs/{name}"),
+            &g,
+            |v: NodeId| BfsBuild::new(v, NodeId(0)),
+            10_000,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SlotDance: channel-only traffic (idle / success / collision sequences).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SlotDance {
+    id: u64,
+    state: u64,
+    rounds_active: u32,
+}
+
+impl Protocol for SlotDance {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        match io.prev_slot() {
+            SlotOutcome::Idle => self.state = mix(self.state, 1),
+            SlotOutcome::Success { from, msg } => {
+                self.state = mix(self.state, mix(from.index() as u64, *msg));
+            }
+            SlotOutcome::Collision => self.state = mix(self.state, 0xbad),
+        }
+        if self.rounds_active > 0 {
+            self.rounds_active -= 1;
+            // Round-varying writer sets: some rounds nobody writes (idle),
+            // some rounds exactly one node does (success), some rounds many
+            // collide.
+            let phase = io.round() % 5;
+            let writes = match phase {
+                0 => self.id == io.round() % 7,
+                1 => self.id.is_multiple_of(3),
+                2 => false,
+                _ => mix(self.id, io.round()).is_multiple_of(5),
+            };
+            if writes {
+                io.write_channel(mix(self.state, self.id));
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+}
+
+#[test]
+fn slot_dance_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(41) {
+        assert_conformant(
+            &format!("slot_dance/{name}"),
+            &g,
+            |v: NodeId| SlotDance {
+                id: v.index() as u64,
+                state: mix(0x510, v.index() as u64),
+                rounds_active: 12,
+            },
+            10_000,
+        );
+    }
+}

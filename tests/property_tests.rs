@@ -36,7 +36,7 @@ struct Chaos {
 impl Protocol for Chaos {
     type Msg = u64;
     fn step(&mut self, io: &mut RoundIo<'_, u64>) {
-        for &(from, m) in io.inbox() {
+        for (from, &m) in io.inbox() {
             self.state = mix(self.state, mix(from.index() as u64, m));
         }
         match io.prev_slot() {
