@@ -722,6 +722,44 @@ impl PayloadBenchRow {
     }
 }
 
+/// One measured channel-sharded configuration (K-channel global sum), for
+/// the `channels` section of `BENCH_engine.json`.
+struct ChannelBenchRow {
+    topology: &'static str,
+    n: usize,
+    m: usize,
+    k: u16,
+    engine: &'static str,
+    stats: engine_bench::RunStats,
+    allocations: u64,
+    allocated_bytes: u64,
+    peak_live_bytes: u64,
+}
+
+impl ChannelBenchRow {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"topology\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \"engine\": \"{}\", \
+             \"rounds\": {}, \"seconds\": {}, \"rounds_per_sec\": {}, \"slots_per_sec\": {}, \
+             \"allocations\": {}, \"allocated_bytes\": {}, \"peak_live_bytes\": {}, \
+             \"checksum\": \"{:016x}\"}}",
+            json_escape(self.topology),
+            self.n,
+            self.m,
+            self.k,
+            json_escape(self.engine),
+            self.stats.rounds,
+            json_f64(self.stats.seconds),
+            json_f64(self.stats.rounds_per_sec()),
+            json_f64(self.stats.rounds_per_sec() * f64::from(self.k)),
+            self.allocations,
+            self.allocated_bytes,
+            self.peak_live_bytes,
+            self.stats.checksum,
+        )
+    }
+}
+
 /// Measures `run` with allocator accounting around it.
 fn measured<F: FnOnce() -> engine_bench::RunStats>(
     run: F,
@@ -948,6 +986,70 @@ fn engine(opts: &Opts) {
         }
     }
 
+    // ---- Channel dimension: K-channel sharded global sum. -----------------
+    // The multi-channel scenario family: node v attached to channel v mod K,
+    // shard-local TDMA schedule, every slot a success, zero p2p traffic.
+    // K cuts the round count by a factor of K; the flat engine resolves each
+    // winner to an arena handle while the reference clones it per slot.
+    let channel_n = if opts.quick { 512 } else { 8_192 };
+    let channel_ks: [u16; 3] = [1, 4, 16];
+    let mut channel_rows: Vec<ChannelBenchRow> = Vec::new();
+    println!("\n== ENGINE channels — K-channel sharded global sum (flat vs reference) ==");
+    println!(
+        "{:<12}{:>9}{:>6}  {:<12}{:>8}{:>12}{:>14}{:>12}",
+        "topology", "n", "K", "engine", "rounds", "rounds/s", "slots/s", "allocs"
+    );
+    {
+        let g = Family::Ring.generate(channel_n, 42);
+        for &k in &channel_ks {
+            let mut record = |name: &'static str,
+                              (stats, allocations, allocated_bytes, peak_live_bytes): (
+                engine_bench::RunStats,
+                u64,
+                u64,
+                u64,
+            )| {
+                println!(
+                    "{:<12}{:>9}{:>6}  {:<12}{:>8}{:>12.0}{:>14.0}{:>12}",
+                    Family::Ring.name(),
+                    g.node_count(),
+                    k,
+                    name,
+                    stats.rounds,
+                    stats.rounds_per_sec(),
+                    stats.rounds_per_sec() * f64::from(k),
+                    allocations,
+                );
+                channel_rows.push(ChannelBenchRow {
+                    topology: Family::Ring.name(),
+                    n: g.node_count(),
+                    m: g.edge_count(),
+                    k,
+                    engine: name,
+                    stats,
+                    allocations,
+                    allocated_bytes,
+                    peak_live_bytes,
+                });
+                stats
+            };
+            let reference = record(
+                "reference",
+                measured(|| engine_bench::run_reference_channels(&g, k)),
+            );
+            let flat = record("flat", measured(|| engine_bench::run_flat_channels(&g, k)));
+            assert_eq!(
+                flat.checksum, reference.checksum,
+                "channel engines diverged at K={k}"
+            );
+            println!(
+                "   -> K={k}: {} rounds, speedup flat/reference {:.2}x",
+                flat.rounds,
+                flat.rounds_per_sec() / reference.rounds_per_sec()
+            );
+        }
+    }
+
     let row_json: Vec<String> = rows.iter().map(EngineBenchRow::to_json).collect();
     let build_json: Vec<String> = build_rows.iter().map(GraphBuildRow::to_json).collect();
     let speedup_json: Vec<String> = speedups
@@ -961,17 +1063,23 @@ fn engine(opts: &Opts) {
         })
         .collect();
     let payload_json: Vec<String> = payload_rows.iter().map(PayloadBenchRow::to_json).collect();
+    let channel_json: Vec<String> = channel_rows.iter().map(ChannelBenchRow::to_json).collect();
     let doc = format!(
-        "{{\n\"schema\": \"bench-engine/v3\",\n\"workload\": \"global-sum gossip \
+        "{{\n\"schema\": \"bench-engine/v4\",\n\"workload\": \"global-sum gossip \
          (constant-traffic heartbeat aggregation; see bench::engine_bench)\",\n\
          \"payload_workload\": \"Vec<u8> frame gossip (intern-on-broadcast arena vs \
          clone-per-delivery reference; see bench::engine_bench::FrameGossip)\",\n\
+         \"channel_workload\": \"K-channel sharded global sum (per-node attachment, \
+         TDMA shard schedule, handle-based slot winners; see \
+         netsim_sim::protocols::ChannelShardedSum)\",\n\
          \"quick\": {},\n\"results\": [\n{}\n],\n\"payloads\": [\n{}\n],\n\
+         \"channels\": [\n{}\n],\n\
          \"graph_construction\": [\n{}\n],\n\
          \"speedups_flat_over_reference\": [\n{}\n]\n}}\n",
         opts.quick,
         row_json.join(",\n"),
         payload_json.join(",\n"),
+        channel_json.join(",\n"),
         build_json.join(",\n"),
         speedup_json.join(",\n")
     );

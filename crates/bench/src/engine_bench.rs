@@ -17,7 +17,7 @@
 //! workload the arena path exists for.
 
 use netsim_graph::{Graph, NodeId};
-use netsim_sim::{Protocol, ReferenceEngine, RoundIo, SyncEngine};
+use netsim_sim::{protocols::ChannelShardedSum, Protocol, ReferenceEngine, RoundIo, SyncEngine};
 use std::time::Instant;
 
 /// Global-sum gossip: every node starts with a value and, for a fixed number
@@ -234,6 +234,71 @@ pub fn run_reference_payload(g: &Graph, rounds: u32, frame_bytes: usize) -> RunS
     })
 }
 
+// ---------------------------------------------------------------------------
+// Channel-sharded global sum: the multi-channel scenario family.
+// ---------------------------------------------------------------------------
+
+fn sharded_value(v: NodeId) -> u64 {
+    (v.index() as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1
+}
+
+fn sharded_checksum(nodes: &[ChannelShardedSum]) -> u64 {
+    // Position-dependent fold: all members of a shard hold the *same* sum,
+    // and a plain rotate-XOR cancels to zero whenever each rotation amount
+    // occurs an even number of times (any n divisible by 64) — mixing the
+    // node index in keeps the checksum sensitive to every node's value.
+    nodes.iter().enumerate().fold(0u64, |acc, (i, n)| {
+        acc.rotate_left(7)
+            ^ n.sum()
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+    })
+}
+
+/// Rounds the channel-sharded global sum takes on a `k`-channel set: the
+/// shard-local TDMA schedule (`⌈n/k⌉` writing rounds) plus the observation
+/// round — `k` channels cut the wall-clock round count by a factor of `k`.
+pub fn channel_workload_rounds(n: usize, k: u16) -> u32 {
+    (n.div_ceil(k as usize) + 1) as u32
+}
+
+/// Runs the channel-sharded global sum ([`ChannelShardedSum`], node `v`
+/// attached to channel `v mod k`) on the flat engine, where the slot winner
+/// of every round is delivered by arena handle.
+pub fn run_flat_channels(g: &Graph, k: u16) -> RunStats {
+    let n = g.node_count();
+    let mut engine = SyncEngine::with_channels(g, ChannelShardedSum::channel_set(n, k), |v| {
+        ChannelShardedSum::new(v, n, k, sharded_value(v))
+    });
+    timed(
+        channel_workload_rounds(n, k),
+        sharded_checksum,
+        move |limit| {
+            let completed = engine.run(limit).is_completed();
+            let (nodes, cost) = engine.into_parts();
+            (completed, nodes, cost)
+        },
+    )
+}
+
+/// Runs the channel-sharded global sum on the clone-path reference engine
+/// (every slot winner cloned into its outcome).
+pub fn run_reference_channels(g: &Graph, k: u16) -> RunStats {
+    let n = g.node_count();
+    let mut engine = ReferenceEngine::with_channels(g, ChannelShardedSum::channel_set(n, k), |v| {
+        ChannelShardedSum::new(v, n, k, sharded_value(v))
+    });
+    timed(
+        channel_workload_rounds(n, k),
+        sharded_checksum,
+        move |limit| {
+            let completed = engine.run(limit).is_completed();
+            let (nodes, cost) = engine.into_parts();
+            (completed, nodes, cost)
+        },
+    )
+}
+
 /// Runs the workload on the allocation-per-round reference engine.
 pub fn run_reference(g: &Graph, rounds: u32) -> RunStats {
     let mut engine = ReferenceEngine::new(g, |v| GlobalSumGossip::new(v, rounds));
@@ -275,6 +340,25 @@ mod tests {
             assert_eq!(flat.messages, reference.messages);
             assert!(flat.messages > 0);
         }
+    }
+
+    #[test]
+    fn engines_agree_on_the_channel_workload() {
+        let g = Family::Ring.generate(200, 4);
+        for k in [1u16, 4, 16] {
+            let flat = run_flat_channels(&g, k);
+            let reference = run_reference_channels(&g, k);
+            assert_eq!(flat.checksum, reference.checksum, "k={k}");
+            assert_eq!(flat.rounds, reference.rounds);
+            assert_eq!(
+                flat.rounds,
+                u64::from(channel_workload_rounds(g.node_count(), k))
+            );
+            // Channel-only workload: no point-to-point traffic at all.
+            assert_eq!(flat.messages, 0);
+        }
+        // K channels cut the schedule by a factor of K.
+        assert!(run_flat_channels(&g, 16).rounds < run_flat_channels(&g, 1).rounds / 8);
     }
 
     #[test]

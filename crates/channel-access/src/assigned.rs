@@ -1,0 +1,398 @@
+//! Contention resolution **executed on the engine**, over an assigned
+//! channel of a [`ChannelSet`](netsim_sim::ChannelSet).
+//!
+//! The sibling modules ([`capetanakis`](crate::capetanakis),
+//! [`backoff`](crate::backoff), [`election`](crate::election)) simulate the
+//! channel abstractly: one function call resolves the whole conflict and
+//! reports a [`CostAccount`](netsim_sim::CostAccount).  This module provides
+//! the same schemes as per-node [`Protocol`] state machines, driven round by
+//! round by any of the engines, with the contention confined to an
+//! **assigned** [`ChannelId`] — the building block for multi-channel
+//! deployments where each traffic class (or partition fragment) resolves its
+//! conflicts on its own carrier while the rest of the `ChannelSet` carries
+//! unrelated traffic.
+//!
+//! Every state machine is *uniform*: contenders and mere listeners run the
+//! same code, tracking the public ternary feedback of the assigned channel,
+//! so at the end **every attached node** knows the outcome (the schedule or
+//! the leader) — exactly the property the paper's algorithms rely on when
+//! they schedule partition cores on the channel.
+//!
+//! The engine-executed runs are validated against the abstract resolvers:
+//! same schedule order, same per-outcome slot counts (on the assigned
+//! channel), one probe per round.
+
+use netsim_sim::{ChannelId, Protocol, RoundIo, SlotOutcome};
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Capetanakis tree splitting over an assigned channel
+// ---------------------------------------------------------------------------
+
+/// Engine-executed Capetanakis tree splitting (cf.
+/// [`capetanakis::resolve`](crate::capetanakis::resolve)) on an assigned
+/// channel: one interval probe per round, every attached node mirrors the
+/// shared interval stack from the public feedback alone.
+///
+/// Contender nodes pass `Some(station id)`; listeners pass `None`.  After
+/// the run, [`AssignedSplit::order`] on **any** node holds the schedule, in
+/// the same order as the abstract resolver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssignedSplit {
+    chan: ChannelId,
+    station: Option<u64>,
+    /// Interval stack still to probe, mirrored identically on every node.
+    stack: Vec<(u64, u64)>,
+    /// Interval probed in the previous round, whose feedback arrives this
+    /// round.
+    probing: Option<(u64, u64)>,
+    order: Vec<u64>,
+    done: bool,
+}
+
+impl AssignedSplit {
+    /// Per-node state: `station` is this node's contender id (`None` for a
+    /// pure listener), `id_space` the known id space, `chan` the assigned
+    /// channel.
+    pub fn new(station: Option<u64>, id_space: u64, chan: ChannelId) -> Self {
+        assert!(id_space > 0, "id space must be non-empty");
+        if let Some(id) = station {
+            assert!(id < id_space, "station id {id} outside id space {id_space}");
+        }
+        AssignedSplit {
+            chan,
+            station,
+            stack: vec![(0, id_space)],
+            probing: None,
+            order: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Station ids in the order their transmissions succeeded.
+    pub fn order(&self) -> &[u64] {
+        &self.order
+    }
+}
+
+impl Protocol for AssignedSplit {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        // Feedback of the previous probe drives the shared stack.
+        if let Some((lo, hi)) = self.probing.take() {
+            match io.prev_slot_on(self.chan) {
+                SlotOutcome::Idle => {}
+                SlotOutcome::Success { msg, .. } => self.order.push(*msg),
+                SlotOutcome::Collision => {
+                    let mid = lo + (hi - lo) / 2;
+                    // Probe the lower half first (push upper first).
+                    self.stack.push((mid, hi));
+                    self.stack.push((lo, mid));
+                }
+            }
+        }
+        // Next probe.
+        match self.stack.pop() {
+            Some((lo, hi)) => {
+                self.probing = Some((lo, hi));
+                if let Some(id) = self.station {
+                    if lo <= id && id < hi {
+                        io.write_channel_on(self.chan, id);
+                    }
+                }
+            }
+            None => self.done = true,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise election over an assigned channel
+// ---------------------------------------------------------------------------
+
+/// Engine-executed deterministic bitwise election (cf.
+/// [`election::bitwise_election`](crate::election::bitwise_election)) on an
+/// assigned channel: `bits` probe rounds from the most significant bit down
+/// (a busy slot knocks out the stations whose bit is 0), then the unique
+/// survivor announces its id in one final success slot — so every attached
+/// listener, contender or not, learns the leader.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssignedElection {
+    chan: ChannelId,
+    station: Option<u64>,
+    bits: u32,
+    /// Still in the running (always `false` for listeners).
+    active: bool,
+    leader: Option<u64>,
+    done: bool,
+}
+
+impl AssignedElection {
+    /// Per-node state: `station` is this node's id (`None` for listeners),
+    /// ids fit in `bits` bits, the election runs on `chan`.
+    pub fn new(station: Option<u64>, bits: u32, chan: ChannelId) -> Self {
+        assert!(bits > 0 && bits <= 63, "bits must be in 1..=63");
+        if let Some(id) = station {
+            assert!(id < (1u64 << bits), "id {id} does not fit in {bits} bits");
+        }
+        AssignedElection {
+            chan,
+            station,
+            bits,
+            active: station.is_some(),
+            leader: None,
+            done: false,
+        }
+    }
+
+    /// The elected leader, once announced.
+    pub fn leader(&self) -> Option<u64> {
+        self.leader
+    }
+}
+
+impl Protocol for AssignedElection {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        let round = io.round();
+        let bits = u64::from(self.bits);
+        // Feedback of probe round r - 1 (probing bit `bits - r`).
+        if round >= 1 && round <= bits {
+            let probed_bit = self.bits - round as u32;
+            let busy = !io.prev_slot_on(self.chan).is_idle();
+            if busy && self.active {
+                if let Some(id) = self.station {
+                    if (id >> probed_bit) & 1 == 0 {
+                        self.active = false;
+                    }
+                }
+            }
+        }
+        if round < bits {
+            // Probe round: active stations with the current bit set transmit.
+            if let Some(id) = self.station {
+                if self.active && (id >> (self.bits - 1 - round as u32)) & 1 == 1 {
+                    io.write_channel_on(self.chan, id);
+                }
+            }
+        } else if round == bits {
+            // Announce slot: the unique survivor transmits its id.
+            if self.active {
+                if let Some(id) = self.station {
+                    io.write_channel_on(self.chan, id);
+                }
+            }
+        } else if let SlotOutcome::Success { msg, .. } = io.prev_slot_on(self.chan) {
+            self.leader = Some(*msg);
+            self.done = true;
+        } else {
+            // No contender ever announced (empty election): give up.
+            self.done = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized backoff over an assigned channel
+// ---------------------------------------------------------------------------
+
+/// Engine-executed Metcalfe–Boggs scheduling (cf.
+/// [`backoff::resolve_known_count`](crate::backoff::resolve_known_count)) on
+/// an assigned channel: with `remaining` unscheduled contenders known from
+/// the public success count, each remaining station transmits per slot with
+/// probability `1/remaining` — drawn from a deterministic per-`(seed, id,
+/// round)` coin so runs are reproducible and engine-independent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssignedBackoff {
+    chan: ChannelId,
+    station: Option<u64>,
+    seed: u64,
+    scheduled: bool,
+    remaining: u64,
+    order: Vec<u64>,
+    done: bool,
+}
+
+impl AssignedBackoff {
+    /// Per-node state: `station` is this node's contender id (`None` for
+    /// listeners), `count` the known number of contenders, `seed` the shared
+    /// randomness seed, `chan` the assigned channel.
+    pub fn new(station: Option<u64>, count: u64, seed: u64, chan: ChannelId) -> Self {
+        AssignedBackoff {
+            chan,
+            station,
+            seed,
+            scheduled: false,
+            remaining: count,
+            order: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Contender ids in the order their transmissions succeeded.
+    pub fn order(&self) -> &[u64] {
+        &self.order
+    }
+}
+
+impl Protocol for AssignedBackoff {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        if let SlotOutcome::Success { msg, .. } = io.prev_slot_on(self.chan) {
+            self.order.push(*msg);
+            self.remaining = self.remaining.saturating_sub(1);
+            if self.station == Some(*msg) {
+                self.scheduled = true;
+            }
+        }
+        if self.remaining == 0 {
+            self.done = true;
+            return;
+        }
+        if let Some(id) = self.station {
+            if !self.scheduled && mix(self.seed, mix(id, io.round())).is_multiple_of(self.remaining)
+            {
+                io.write_channel_on(self.chan, id);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::{is_valid_schedule, Contender, ScheduleResult};
+    use crate::{capetanakis, election};
+    use netsim_graph::generators;
+    use netsim_sim::{ChannelSet, CostAccount, ReferenceEngine, SyncEngine};
+
+    const CHAN: ChannelId = ChannelId(1);
+
+    fn contender_ids(n: usize) -> Vec<Option<u64>> {
+        // Every third node contends; ids sparse in a 2^10 space.
+        (0..n)
+            .map(|v| (v % 3 == 0).then(|| (v as u64) * 29 + 3))
+            .collect()
+    }
+
+    #[test]
+    fn assigned_split_matches_abstract_capetanakis() {
+        let g = generators::ring(24);
+        let n = g.node_count();
+        let stations = contender_ids(n);
+        let id_space = 1u64 << 10;
+        let mut eng = SyncEngine::with_channels(&g, ChannelSet::uniform(2), |v| {
+            AssignedSplit::new(stations[v.index()], id_space, CHAN)
+        });
+        let out = eng.run(10_000);
+        assert!(out.is_completed());
+
+        let contenders: Vec<Contender> = stations
+            .iter()
+            .flatten()
+            .map(|&id| Contender::new(id))
+            .collect();
+        let abstract_run = capetanakis::resolve(&contenders, id_space);
+        // Every node — contender or listener — learned the same schedule,
+        // in the abstract resolver's order.
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).order(), &abstract_run.order[..]);
+        }
+        // One probe per round on the assigned channel: the busy-slot counts
+        // match the abstract run exactly (idle differs only by the final
+        // quiescence round and the unprobed default channel).
+        assert_eq!(eng.cost().slots_success, abstract_run.cost.slots_success);
+        assert_eq!(
+            eng.cost().slots_collision,
+            abstract_run.cost.slots_collision
+        );
+        assert_eq!(eng.cost().rounds, abstract_run.cost.rounds + 1);
+        assert_eq!(eng.cost().channel_writes, abstract_run.cost.channel_writes);
+    }
+
+    #[test]
+    fn assigned_split_conforms_on_reference_engine() {
+        let g = generators::ring(18);
+        let n = g.node_count();
+        let stations = contender_ids(n);
+        let id_space = 1u64 << 9;
+        let init =
+            |v: netsim_graph::NodeId| AssignedSplit::new(stations[v.index()], id_space, CHAN);
+        let mut flat = SyncEngine::with_channels(&g, ChannelSet::uniform(2), init);
+        let mut reference = ReferenceEngine::with_channels(&g, ChannelSet::uniform(2), init);
+        assert!(flat.run(10_000).is_completed());
+        assert!(reference.run(10_000).is_completed());
+        assert_eq!(flat.cost(), reference.cost());
+        for v in g.nodes() {
+            assert_eq!(flat.node(v), reference.node(v));
+        }
+    }
+
+    #[test]
+    fn assigned_election_elects_max_id() {
+        let g = generators::ring(20);
+        let n = g.node_count();
+        let stations = contender_ids(n);
+        let bits = 10;
+        let mut eng = SyncEngine::with_channels(&g, ChannelSet::uniform(2), |v| {
+            AssignedElection::new(stations[v.index()], bits, CHAN)
+        });
+        let out = eng.run(10_000);
+        assert!(out.is_completed());
+        let ids: Vec<u64> = stations.iter().flatten().copied().collect();
+        let abstract_run = election::bitwise_election(&ids, bits);
+        assert_eq!(abstract_run.leader, ids.iter().copied().max().unwrap());
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).leader(), Some(abstract_run.leader));
+        }
+        // `bits` probe slots plus the announce slot, all on the assigned
+        // channel, plus the final observation round.
+        assert_eq!(eng.cost().rounds, u64::from(bits) + 2);
+    }
+
+    #[test]
+    fn assigned_backoff_schedules_everyone() {
+        let g = generators::ring(15);
+        let n = g.node_count();
+        let stations = contender_ids(n);
+        let count = stations.iter().flatten().count() as u64;
+        let mut eng = SyncEngine::with_channels(&g, ChannelSet::uniform(2), |v| {
+            AssignedBackoff::new(stations[v.index()], count, 7, CHAN)
+        });
+        let out = eng.run(100_000);
+        assert!(out.is_completed());
+        let contenders: Vec<Contender> = stations
+            .iter()
+            .flatten()
+            .map(|&id| Contender::new(id))
+            .collect();
+        for v in g.nodes() {
+            let result = ScheduleResult {
+                order: eng.node(v).order().to_vec(),
+                cost: CostAccount::new(),
+            };
+            assert!(is_valid_schedule(&contenders, &result));
+        }
+        assert_eq!(eng.cost().slots_success, count);
+    }
+}

@@ -13,7 +13,10 @@
 //!   active stations (Section 7.4);
 //! * [`election`] — deterministic `O(log n)` bitwise election, randomized
 //!   `O(log log n)` expected-time election (Willard 1984) and a naive TDMA
-//!   baseline (Section 2's discussion of what the channel alone can do).
+//!   baseline (Section 2's discussion of what the channel alone can do);
+//! * [`assigned`] — the same schemes as engine-executed
+//!   [`netsim_sim::Protocol`] state machines over an **assigned channel** of
+//!   a multi-channel [`netsim_sim::ChannelSet`].
 //!
 //! All protocols work purely from the ternary slot feedback
 //! (idle / success / collision) and report their slot usage in a
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assigned;
 pub mod backoff;
 pub mod capetanakis;
 mod contention;

@@ -23,8 +23,15 @@
 //! [`AsyncCtx::recycle_payload`] hands back to senders.  Callback send
 //! buffers are pooled, channel writes are tracked through a writers list,
 //! and quiescence is O(1) via a done-node counter.
+//!
+//! The multiaccess medium is a [`ChannelSet`]: each slot boundary resolves
+//! one slot per channel and delivers every outcome through
+//! [`AsyncProtocol::on_slot_on`] (default: route channel 0 to
+//! [`AsyncProtocol::on_slot`]).  A `Success` slot **moves** the winning
+//! message into its outcome — never cloned — and parks it in the graveyard
+//! afterwards, mirroring the synchronous engine's handle-based outcomes.
 
-use crate::channel::{resolve_slot, SlotOutcome};
+use crate::channel::{ChannelId, ChannelSet, SlotOutcome};
 use crate::metrics::CostAccount;
 use netsim_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -70,8 +77,34 @@ pub trait AsyncProtocol {
     /// [`AsyncCtx::recycle_payload`]).
     fn on_message(&mut self, from: NodeId, msg: &Self::Msg, ctx: &mut AsyncCtx<'_, Self::Msg>);
 
-    /// Called at every slot boundary with the slot outcome (all nodes hear it).
-    fn on_slot(&mut self, outcome: &SlotOutcome<Self::Msg>, ctx: &mut AsyncCtx<'_, Self::Msg>);
+    /// Called at every slot boundary with the slot outcome of the
+    /// **default** channel (all attached nodes hear it).
+    ///
+    /// Defaults to ignoring the outcome, so protocols that listen per
+    /// channel through [`AsyncProtocol::on_slot_on`] (or do not use the
+    /// channel at all) need no dead stub.
+    fn on_slot(&mut self, outcome: &SlotOutcome<Self::Msg>, ctx: &mut AsyncCtx<'_, Self::Msg>) {
+        let _ = (outcome, ctx);
+    }
+
+    /// Called at every slot boundary once **per channel** of the engine's
+    /// [`ChannelSet`], in ascending channel order (a node not attached to a
+    /// channel observes [`SlotOutcome::Idle`] on it).
+    ///
+    /// The default implementation routes the default channel's outcome to
+    /// [`AsyncProtocol::on_slot`] and ignores the rest, so single-channel
+    /// protocols run unchanged on any channel set; multi-channel protocols
+    /// override this method instead.
+    fn on_slot_on(
+        &mut self,
+        chan: ChannelId,
+        outcome: &SlotOutcome<Self::Msg>,
+        ctx: &mut AsyncCtx<'_, Self::Msg>,
+    ) {
+        if chan == ChannelId::DEFAULT {
+            self.on_slot(outcome, ctx);
+        }
+    }
 
     /// Local termination flag.
     ///
@@ -102,7 +135,12 @@ pub struct AsyncCtx<'a, M> {
     neighbors: netsim_graph::Neighbors<'a>,
     sends: &'a mut Vec<StagedSend<M>>,
     graveyard: &'a mut Vec<M>,
-    channel_write: Option<M>,
+    /// Channel writes staged by this callback (pooled engine scratch).
+    chan_writes: &'a mut Vec<(ChannelId, M)>,
+    /// Channel count of the engine's [`ChannelSet`].
+    k: u16,
+    /// Attachment bitmask of this node.
+    attached: u64,
 }
 
 impl<'a, M: Clone> AsyncCtx<'a, M> {
@@ -158,10 +196,43 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
         }
     }
 
-    /// Requests a channel write in the **current** slot (the one whose
-    /// boundary has not yet passed).  Only the last request per slot counts.
+    /// Requests a write on the **default** channel in the current slot (the
+    /// one whose boundary has not yet passed); sugar for
+    /// [`AsyncCtx::write_channel_on`].
     pub fn write_channel(&mut self, msg: M) {
-        self.channel_write = Some(msg);
+        self.write_channel_on(ChannelId::DEFAULT, msg);
+    }
+
+    /// Requests a write on channel `chan` in the current slot.  Only the
+    /// last request per channel per slot counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is not a channel of the engine's
+    /// [`ChannelSet`] or this node is not attached to it.
+    pub fn write_channel_on(&mut self, chan: ChannelId, msg: M) {
+        assert!(
+            chan.0 < self.k,
+            "{:?} wrote to {chan:?} of a {}-channel set",
+            self.node,
+            self.k
+        );
+        assert!(
+            self.attached & (1 << chan.0) != 0,
+            "{:?} attempted to write to unattached {chan:?}",
+            self.node
+        );
+        self.chan_writes.push((chan, msg));
+    }
+
+    /// Number of channels `K` of the engine's [`ChannelSet`].
+    pub fn channels(&self) -> u16 {
+        self.k
+    }
+
+    /// Returns `true` when this node is attached to channel `chan`.
+    pub fn is_attached(&self, chan: ChannelId) -> bool {
+        chan.0 < self.k && self.attached & (1 << chan.0) != 0
     }
 }
 
@@ -230,9 +301,17 @@ impl<M> PayloadSlab<M> {
             self.slots[slot] = Some(payload);
         } else {
             self.free.push(slot);
-            if std::mem::needs_drop::<M>() && self.graveyard.len() < self.slots.len() {
-                self.graveyard.push(payload);
-            }
+            self.park(payload, 0);
+        }
+    }
+
+    /// Parks a retired payload in the graveyard for
+    /// [`AsyncCtx::recycle_payload`], capped at `max(slab size, min_cap)`
+    /// entries — channel-only workloads (empty slab) pass the channel count
+    /// as `min_cap` so retired slot winners stay recyclable.
+    fn park(&mut self, payload: M, min_cap: usize) {
+        if std::mem::needs_drop::<M>() && self.graveyard.len() < self.slots.len().max(min_cap) {
+            self.graveyard.push(payload);
         }
     }
 }
@@ -242,20 +321,30 @@ pub struct AsyncEngine<'g, P: AsyncProtocol> {
     graph: &'g Graph,
     nodes: Vec<P>,
     config: AsyncConfig,
+    /// The multiaccess channel substrate: `K` channels + per-node attachment.
+    channels: ChannelSet,
     rng: StdRng,
     /// Min-heap of in-flight messages, ordered by `(tick, sequence)`.
     in_flight: BinaryHeap<FlightEvent>,
     /// Slab of in-flight payloads, indexed by the events' payload slots.
     slab: PayloadSlab<P::Msg>,
     seq: u64,
-    /// Channel writes queued for the current slot: at most one per node.
+    /// Channel writes queued for the current slot: at most one per node and
+    /// channel, at `slot_writes[v * K + c]`.
     slot_writes: Vec<Option<P::Msg>>,
-    /// Nodes with a queued write this slot, in request order.
-    writers: Vec<NodeId>,
+    /// `(node, channel)` pairs with a queued write this slot, in request order.
+    writers: Vec<(NodeId, ChannelId)>,
     /// Pooled callback send buffer.
     send_scratch: Vec<StagedSend<P::Msg>>,
-    /// Pooled slot-resolution buffer.
-    writes_scratch: Vec<(NodeId, P::Msg)>,
+    /// Pooled callback channel-write buffer.
+    chan_write_scratch: Vec<(ChannelId, P::Msg)>,
+    /// Pooled per-boundary slot outcomes, one per channel.  The winners are
+    /// **moved** in from `slot_writes` (never cloned) and parked in the slab
+    /// graveyard after the boundary's callbacks, so heap payloads written to
+    /// a channel are recycled like any delivered message.
+    outcome_scratch: Vec<SlotOutcome<P::Msg>>,
+    /// Pooled per-channel writer counters; length `K`.
+    chan_counts: Vec<u32>,
     tick: u64,
     cost: CostAccount,
     started: bool,
@@ -264,15 +353,42 @@ pub struct AsyncEngine<'g, P: AsyncProtocol> {
 }
 
 impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
-    /// Creates an engine over `graph` with per-node protocol states from `init`.
-    pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, config: AsyncConfig, mut init: F) -> Self {
+    /// Creates an engine over `graph` with the paper's single-channel model
+    /// and per-node protocol states from `init`.
+    pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, config: AsyncConfig, init: F) -> Self {
+        AsyncEngine::with_channels(graph, config, ChannelSet::single(), init)
+    }
+
+    /// Creates an engine over `graph` and an explicit multiaccess
+    /// [`ChannelSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate or the channel set's
+    /// per-node attachment table does not cover exactly the graph's node
+    /// count.
+    pub fn with_channels<F: FnMut(NodeId) -> P>(
+        graph: &'g Graph,
+        config: AsyncConfig,
+        channels: ChannelSet,
+        mut init: F,
+    ) -> Self {
         assert!(config.slot_ticks >= 1, "slot_ticks must be at least 1");
         assert!(
             config.max_delay_ticks >= 1,
             "max_delay_ticks must be at least 1"
         );
+        if let Some(len) = channels.table_len() {
+            assert_eq!(
+                len,
+                graph.node_count(),
+                "channel attachment table covers {len} nodes, graph has {}",
+                graph.node_count()
+            );
+        }
         let nodes: Vec<P> = graph.nodes().map(&mut init).collect();
         let done_count = nodes.iter().filter(|p| p.is_done()).count();
+        let k = channels.channels() as usize;
         AsyncEngine {
             graph,
             nodes,
@@ -281,15 +397,25 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             in_flight: BinaryHeap::new(),
             slab: PayloadSlab::new(),
             seq: 0,
-            slot_writes: vec![None; graph.node_count()],
+            slot_writes: std::iter::repeat_with(|| None)
+                .take(graph.node_count() * k)
+                .collect(),
             writers: Vec::new(),
             send_scratch: Vec::new(),
-            writes_scratch: Vec::new(),
+            chan_write_scratch: Vec::new(),
+            outcome_scratch: (0..k).map(|_| SlotOutcome::Idle).collect(),
+            chan_counts: vec![0; k],
+            channels,
             tick: 0,
             cost: CostAccount::new(),
             started: false,
             done_count,
         }
+    }
+
+    /// The multiaccess channel substrate.
+    pub fn channels(&self) -> &ChannelSet {
+        &self.channels
     }
 
     /// Cost account (rounds = slots elapsed).
@@ -336,7 +462,9 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         F: FnOnce(&mut P, &mut AsyncCtx<'_, P::Msg>),
     {
         let mut sends = std::mem::take(&mut self.send_scratch);
+        let mut chan_writes = std::mem::take(&mut self.chan_write_scratch);
         let mut graveyard = std::mem::take(&mut self.slab.graveyard);
+        let k = self.channels.channels();
         let node = &mut self.nodes[v.index()];
         let was_done = node.is_done();
         let mut ctx = AsyncCtx {
@@ -345,11 +473,11 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             neighbors: self.graph.neighbors(v),
             sends: &mut sends,
             graveyard: &mut graveyard,
-            channel_write: None,
+            chan_writes: &mut chan_writes,
+            k,
+            attached: self.channels.mask(v),
         };
         f(node, &mut ctx);
-        let channel_write = ctx.channel_write.take();
-        drop(ctx);
         self.slab.graveyard = graveyard;
         let now_done = node.is_done();
         self.done_count = self
@@ -375,13 +503,18 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         }
         self.send_scratch = sends;
 
-        if let Some(msg) = channel_write {
-            let queued = &mut self.slot_writes[v.index()];
-            if queued.is_none() {
-                self.writers.push(v);
+        // Fold the staged channel writes into the per-(node, channel) queue;
+        // only the last request per channel per slot counts, a replaced
+        // payload retires to the graveyard for recycling.
+        let k = k as usize;
+        for (chan, msg) in chan_writes.drain(..) {
+            let queued = &mut self.slot_writes[v.index() * k + chan.index()];
+            match queued.replace(msg) {
+                Some(old) => self.slab.park(old, k),
+                None => self.writers.push((v, chan)),
             }
-            *queued = Some(msg);
         }
+        self.chan_write_scratch = chan_writes;
     }
 
     /// Queues one delivery of the payload in `slot` from `from` to `to`
@@ -421,21 +554,63 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
     }
 
     fn resolve_slot_boundary(&mut self) {
-        let mut writes = std::mem::take(&mut self.writes_scratch);
-        debug_assert!(writes.is_empty());
+        // Resolve every channel's slot from the queued writes.  The winner
+        // of a `Success` slot is **moved** into the outcome (the flat-engine
+        // counterpart delivers a handle); colliding payloads retire straight
+        // to the graveyard.  Everything here is pooled.
+        let k = self.channels.channels() as usize;
+        let mut outcomes = std::mem::take(&mut self.outcome_scratch);
+        debug_assert!(outcomes.iter().all(SlotOutcome::is_idle));
+        self.chan_counts.fill(0);
         for i in 0..self.writers.len() {
-            let v = self.writers[i];
-            let msg = self.slot_writes[v.index()].take().expect("queued write");
-            writes.push((v, msg));
+            let (v, chan) = self.writers[i];
+            let c = chan.index();
+            let msg = self.slot_writes[v.index() * k + c]
+                .take()
+                .expect("queued write");
+            self.chan_counts[c] += 1;
+            match std::mem::replace(&mut outcomes[c], SlotOutcome::Collision) {
+                SlotOutcome::Idle => outcomes[c] = SlotOutcome::Success { from: v, msg },
+                SlotOutcome::Success { msg: prev, .. } => {
+                    self.slab.park(prev, k);
+                    self.slab.park(msg, k);
+                }
+                SlotOutcome::Collision => self.slab.park(msg, k),
+            }
         }
         self.writers.clear();
-        let outcome = resolve_slot(&writes);
-        self.cost.add_slot(writes.len() as u64);
-        writes.clear();
-        self.writes_scratch = writes;
-        for v in self.graph.nodes() {
-            self.dispatch(v, |node, ctx| node.on_slot(&outcome, ctx));
+        self.cost.add_round();
+        for &count in &self.chan_counts {
+            self.cost.add_channel_slot(u64::from(count));
         }
+
+        // Every node hears every channel it is attached to, in ascending
+        // channel order (unattached channels observe `Idle`) — one dispatch
+        // per node, so the per-callback bookkeeping (buffer swaps, done
+        // tracking, send draining) is not multiplied by K.
+        let idle = SlotOutcome::Idle;
+        for v in self.graph.nodes() {
+            let attached = self.channels.mask(v);
+            self.dispatch(v, |node, ctx| {
+                for (c, outcome) in outcomes.iter().enumerate() {
+                    let heard = if attached & (1 << c) != 0 {
+                        outcome
+                    } else {
+                        &idle
+                    };
+                    node.on_slot_on(ChannelId(c as u16), heard, ctx);
+                }
+            });
+        }
+
+        // Retire the boundary's winning payloads for recycling.
+        for outcome in &mut outcomes {
+            if let SlotOutcome::Success { msg, .. } = std::mem::replace(outcome, SlotOutcome::Idle)
+            {
+                self.slab.park(msg, k);
+            }
+        }
+        self.outcome_scratch = outcomes;
     }
 
     /// Runs until quiescence or until `max_ticks` ticks have elapsed.

@@ -1,13 +1,205 @@
-//! The multiaccess (collision) channel.
+//! The multiaccess (collision) channel substrate.
 //!
-//! Every node of the network can write to, and read from, each slot of the
-//! channel.  A slot is **idle** when no node writes, a **success** when
-//! exactly one node writes (its message is then heard by every node), and a
-//! **collision** when two or more nodes write; collisions are detected by all
-//! nodes but the colliding messages are lost.  This is exactly the model of
-//! Section 2 of the paper.
+//! Every node of the network can write to, and read from, each slot of a
+//! channel it is attached to.  A slot is **idle** when no attached node
+//! writes, a **success** when exactly one node writes (its message is then
+//! heard by every attached node), and a **collision** when two or more nodes
+//! write; collisions are detected by all attached nodes but the colliding
+//! messages are lost.  With a single channel to which every node is attached
+//! this is exactly the model of Section 2 of the paper.
+//!
+//! # Multiple channels
+//!
+//! Real multi-access deployments multiplex several channels (traffic-class
+//! FDMA carriers, per-group multicast channels).  A [`ChannelSet`] describes
+//! `K` independent slotted collision channels plus a per-node *attachment*:
+//! each round, every channel resolves its own slot among the writes of its
+//! attached nodes, and only attached nodes hear the outcome (an unattached
+//! node observes [`SlotOutcome::Idle`]).  [`ChannelId(0)`](ChannelId) is the
+//! *default* channel: the single-channel API
+//! ([`RoundIo::write_channel`](crate::RoundIo::write_channel) /
+//! [`RoundIo::prev_slot`](crate::RoundIo::prev_slot)) is sugar for it, so
+//! protocols written against the paper's one-channel model run unchanged on
+//! any `ChannelSet` whose channel 0 they are attached to.
 
+use crate::payload::PayloadHandle;
 use netsim_graph::NodeId;
+
+/// Identifier of one channel of a [`ChannelSet`].
+///
+/// Channel 0 ([`ChannelId::DEFAULT`]) is the paper's single multiaccess
+/// channel; higher ids address the additional carriers of a multi-channel
+/// deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub u16);
+
+impl ChannelId {
+    /// The default channel, used by the single-channel convenience API.
+    pub const DEFAULT: ChannelId = ChannelId(0);
+
+    /// The channel's index within its [`ChannelSet`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Maximum number of channels in a [`ChannelSet`] (attachment is stored as a
+/// per-node `u64` bitmask).
+pub const MAX_CHANNELS: u16 = 64;
+
+/// A set of `K` slotted collision channels with per-node attachment.
+///
+/// The engines resolve one slot per channel per round.  Attachment governs
+/// both directions: a node may only write to channels it is attached to
+/// (writing elsewhere panics, like sending to a non-neighbour), and it
+/// observes [`SlotOutcome::Idle`] on channels it is not attached to.
+///
+/// `K` is capped at [`MAX_CHANNELS`] (64) so an attachment fits in one
+/// machine word per node — the engines test a single bit on the hot path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelSet {
+    /// Number of channels.
+    k: u16,
+    /// Per-node attachment bitmasks (`masks[v] & (1 << c)` set iff node `v`
+    /// is attached to channel `c`); `None` means every node is attached to
+    /// every channel.
+    masks: Option<Vec<u64>>,
+}
+
+impl ChannelSet {
+    /// The paper's model: one channel, every node attached.
+    pub fn single() -> Self {
+        ChannelSet::uniform(1)
+    }
+
+    /// `k` channels, every node attached to all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= MAX_CHANNELS`.
+    pub fn uniform(k: u16) -> Self {
+        assert!(
+            (1..=MAX_CHANNELS).contains(&k),
+            "channel count {k} outside 1..={MAX_CHANNELS}"
+        );
+        ChannelSet { k, masks: None }
+    }
+
+    /// `k` channels with explicit per-node attachment bitmasks (one `u64`
+    /// per node, bit `c` = attached to channel `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= MAX_CHANNELS`, or if a mask has a bit set at
+    /// or above `k`.
+    pub fn from_masks(k: u16, masks: Vec<u64>) -> Self {
+        assert!(
+            (1..=MAX_CHANNELS).contains(&k),
+            "channel count {k} outside 1..={MAX_CHANNELS}"
+        );
+        let all = Self::full_mask(k);
+        for (v, &m) in masks.iter().enumerate() {
+            assert!(
+                m & !all == 0,
+                "node {v} attachment mask {m:#x} addresses channels >= {k}"
+            );
+        }
+        ChannelSet {
+            k,
+            masks: Some(masks),
+        }
+    }
+
+    /// `k` channels with each of `n` nodes attached to exactly the one
+    /// channel `assign(v)` returns — the *sharded* layout used by the
+    /// channel-sharded global-function scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= MAX_CHANNELS`, or if `assign` returns a
+    /// channel `>= k`.
+    pub fn sharded<F: FnMut(NodeId) -> ChannelId>(k: u16, n: usize, mut assign: F) -> Self {
+        assert!(
+            (1..=MAX_CHANNELS).contains(&k),
+            "channel count {k} outside 1..={MAX_CHANNELS}"
+        );
+        let masks = (0..n)
+            .map(|v| {
+                let c = assign(NodeId(v));
+                assert!(
+                    c.0 < k,
+                    "node {v} assigned to channel {} of a {k}-channel set",
+                    c.0
+                );
+                1u64 << c.0
+            })
+            .collect();
+        ChannelSet {
+            k,
+            masks: Some(masks),
+        }
+    }
+
+    /// Number of channels `K`.
+    pub fn channels(&self) -> u16 {
+        self.k
+    }
+
+    /// Attachment bitmask of node `v` (bit `c` set iff attached to channel `c`).
+    pub fn mask(&self, v: NodeId) -> u64 {
+        match &self.masks {
+            None => Self::full_mask(self.k),
+            Some(masks) => masks[v.index()],
+        }
+    }
+
+    /// Returns `true` when node `v` is attached to channel `chan`.
+    pub fn is_attached(&self, v: NodeId, chan: ChannelId) -> bool {
+        chan.0 < self.k && self.mask(v) & (1 << chan.0) != 0
+    }
+
+    /// Number of nodes the attachment table covers (`None` for uniform sets,
+    /// which cover any node count).
+    pub(crate) fn table_len(&self) -> Option<usize> {
+        self.masks.as_ref().map(Vec::len)
+    }
+
+    /// Attachment bitmask covering every channel of a `k`-channel set; the
+    /// single source of the shift-overflow-sensitive expression (also used
+    /// by the detached [`RoundIo`](crate::RoundIo) constructors).
+    pub(crate) fn full_mask(k: u16) -> u64 {
+        if k as u32 >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+}
+
+impl Default for ChannelSet {
+    fn default() -> Self {
+        ChannelSet::single()
+    }
+}
+
+/// Handle-based slot outcome used inside the flat engines: the winning
+/// message lives in the round's delivery [`PayloadArena`](crate::PayloadArena)
+/// and the outcome carries only its handle, so resolving a slot never clones
+/// the winner (see [`RoundIo::prev_slot_on`](crate::RoundIo::prev_slot_on)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ChannelOutcome {
+    /// Nobody wrote.
+    Idle,
+    /// Exactly one node wrote; the payload is interned in the delivery arena.
+    Success {
+        /// The node whose write succeeded.
+        from: NodeId,
+        /// Handle of the winning payload in the round's delivery arena.
+        handle: PayloadHandle,
+    },
+    /// Two or more nodes wrote.
+    Collision,
+}
 
 /// Outcome of one channel slot, as observed by **every** node.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,6 +266,36 @@ pub fn resolve_slot<M: Clone>(writes: &[(NodeId, M)]) -> SlotOutcome<M> {
     }
 }
 
+/// Resolves every channel of a `k`-channel set from the flat list of
+/// `(channel, writer, message)` attempts, cloning each winning message into
+/// its outcome — the **clone path** used by the
+/// [`ReferenceEngine`](crate::ReferenceEngine) (the flat engines resolve to
+/// arena handles instead).  Attempts on the same channel may appear anywhere
+/// in the list; the outcome of every channel is independent of the order of
+/// `writes` (property-tested in `tests/channel_properties.rs`).
+///
+/// # Panics
+///
+/// Panics if a write addresses a channel at or beyond `k`.
+pub fn resolve_slots<M: Clone>(k: u16, writes: &[(ChannelId, NodeId, M)]) -> Vec<SlotOutcome<M>> {
+    let mut out: Vec<SlotOutcome<M>> = (0..k).map(|_| SlotOutcome::Idle).collect();
+    for (chan, from, msg) in writes {
+        assert!(
+            chan.0 < k,
+            "{from:?} wrote to {chan:?} of a {k}-channel set"
+        );
+        let slot = &mut out[chan.index()];
+        *slot = match slot {
+            SlotOutcome::Idle => SlotOutcome::Success {
+                from: *from,
+                msg: msg.clone(),
+            },
+            _ => SlotOutcome::Collision,
+        };
+    }
+    out
+}
+
 /// Ternary channel feedback without message content, used where only the
 /// slot state (idle / success / collision) matters — e.g. the busy-tone
 /// synchronizer of Section 7.1 and the slotting construction of Section 7.2.
@@ -94,6 +316,12 @@ impl<M> From<&SlotOutcome<M>> for SlotState {
             SlotOutcome::Success { .. } => SlotState::Success,
             SlotOutcome::Collision => SlotState::Collision,
         }
+    }
+}
+
+impl<M> From<SlotOutcome<M>> for SlotState {
+    fn from(o: SlotOutcome<M>) -> Self {
+        SlotState::from(&o)
     }
 }
 
@@ -158,5 +386,66 @@ mod tests {
     fn fdma_slots_adapt_to_slowest_writer() {
         let lens = fdma_slot_lengths(&[vec![3, 1, 2], vec![], vec![5]]);
         assert_eq!(lens, vec![4, 1, 6]);
+    }
+
+    #[test]
+    fn resolve_slots_is_per_channel() {
+        let writes = vec![
+            (ChannelId(1), NodeId(0), 10u32),
+            (ChannelId(0), NodeId(1), 20),
+            (ChannelId(1), NodeId(2), 30),
+            (ChannelId(3), NodeId(3), 40),
+        ];
+        let out = resolve_slots(4, &writes);
+        assert!(out[0].is_success());
+        assert_eq!(out[0].sender(), Some(NodeId(1)));
+        assert!(out[1].is_collision());
+        assert!(out[2].is_idle());
+        assert_eq!(out[3].message(), Some(&40));
+    }
+
+    #[test]
+    fn channel_set_attachment() {
+        let all = ChannelSet::uniform(3);
+        assert_eq!(all.channels(), 3);
+        assert!(all.is_attached(NodeId(7), ChannelId(2)));
+        assert!(!all.is_attached(NodeId(7), ChannelId(3)));
+        assert_eq!(all.mask(NodeId(7)), 0b111);
+        assert_eq!(all.table_len(), None);
+
+        let sharded = ChannelSet::sharded(4, 8, |v| ChannelId((v.index() % 4) as u16));
+        assert!(sharded.is_attached(NodeId(6), ChannelId(2)));
+        assert!(!sharded.is_attached(NodeId(6), ChannelId(0)));
+        assert_eq!(sharded.table_len(), Some(8));
+
+        let masks = ChannelSet::from_masks(2, vec![0b01, 0b11]);
+        assert!(!masks.is_attached(NodeId(0), ChannelId(1)));
+        assert!(masks.is_attached(NodeId(1), ChannelId(1)));
+        assert_eq!(ChannelSet::default(), ChannelSet::single());
+    }
+
+    #[test]
+    fn channel_set_full_width_mask() {
+        let wide = ChannelSet::uniform(MAX_CHANNELS);
+        assert_eq!(wide.mask(NodeId(0)), u64::MAX);
+        assert!(wide.is_attached(NodeId(0), ChannelId(63)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=")]
+    fn zero_channels_rejected() {
+        let _ = ChannelSet::uniform(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to channel")]
+    fn sharded_out_of_range_rejected() {
+        let _ = ChannelSet::sharded(2, 3, |_| ChannelId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "addresses channels")]
+    fn mask_out_of_range_rejected() {
+        let _ = ChannelSet::from_masks(2, vec![0b100]);
     }
 }

@@ -2,10 +2,11 @@
 //!
 //! The engine owns one [`Protocol`] instance per node and advances the whole
 //! multimedia network one round at a time: in each round every node takes a
-//! step (observing last round's deliveries and last slot's outcome), then all
-//! point-to-point messages are put in flight for delivery at the next round
-//! and the channel slot is resolved.  Costs are tallied in a
-//! [`CostAccount`](crate::CostAccount).
+//! step (observing last round's deliveries and the previous slot outcome of
+//! every channel it is attached to), then all point-to-point messages are put
+//! in flight for delivery at the next round and one slot is resolved **per
+//! channel** of the engine's [`ChannelSet`] (the paper's single channel is
+//! the default).  Costs are tallied in a [`CostAccount`](crate::CostAccount).
 //!
 //! # Zero-allocation message plumbing
 //!
@@ -28,6 +29,13 @@
 //! The engine keeps two payload arenas and swaps their roles each round
 //! (stage into one, deliver from the other), expiring the delivered epoch
 //! wholesale; see the [`payload`](crate::payload) module docs.
+//!
+//! **Channel writes ride the same plumbing**: a write is interned into the
+//! staging arena and staged as a `(channel, writer, handle)` triple; slot
+//! resolution produces handle-based outcomes resolved against the delivery
+//! arena ([`RoundIo::prev_slot_on`] borrows the winner in place), so
+//! resolving a slot never clones a message and the winner's buffer is
+//! recycled like any delivered payload.
 //!
 //! After all nodes have stepped, the staging buffer is bucketed by receiver
 //! into the (cleared, capacity-retaining) arena using per-receiver chains —
@@ -70,9 +78,9 @@
 //! shards in node-index order, so parallel runs are bit-for-bit identical to
 //! sequential ones.
 
-use crate::channel::{resolve_slot, SlotOutcome};
+use crate::channel::{ChannelId, ChannelOutcome, ChannelSet, SlotState};
 use crate::metrics::CostAccount;
-use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo, Staged};
+use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo, Slots, Staged};
 use crate::payload::{PayloadArena, PayloadHandle};
 use netsim_graph::{Graph, NodeId};
 
@@ -118,13 +126,14 @@ impl RunOutcome {
 }
 
 /// Per-worker staging state: sends and channel writes produced by a
-/// contiguous chunk of nodes, plus the chunk's done-transition balance.
-/// The sequential engine uses exactly one shard; the `parallel` feature
-/// gives each worker thread its own and merges them in node-index order.
+/// contiguous chunk of nodes (both staged inside the [`OutboxBuffer`], as
+/// handle triples over its payload arena), plus the chunk's done-transition
+/// balance.  The sequential engine uses exactly one shard; the `parallel`
+/// feature gives each worker thread its own and merges them in node-index
+/// order.
 #[derive(Debug)]
 struct Shard<M> {
     outbox: OutboxBuffer<M>,
-    writes: Vec<(NodeId, M)>,
     done_delta: isize,
 }
 
@@ -132,7 +141,6 @@ impl<M> Default for Shard<M> {
     fn default() -> Self {
         Shard {
             outbox: OutboxBuffer::new(),
-            writes: Vec::new(),
             done_delta: 0,
         }
     }
@@ -149,7 +157,8 @@ fn step_chunk<P: Protocol>(
     arena: &[(NodeId, PayloadHandle)],
     payloads: &PayloadArena<P::Msg>,
     offsets: &[usize],
-    prev_slot: &SlotOutcome<P::Msg>,
+    channels: &ChannelSet,
+    slot_outcomes: &[ChannelOutcome],
     round: u64,
     shard: &mut Shard<P::Msg>,
 ) {
@@ -161,16 +170,14 @@ fn step_chunk<P: Protocol>(
             round,
             neighbors: graph.neighbors(v),
             inbox: Inbox::arena(&arena[offsets[v.index()]..offsets[v.index() + 1]], payloads),
-            prev_slot,
+            slots: Slots::Arena {
+                outcomes: slot_outcomes,
+                payloads,
+            },
+            attached: channels.mask(v),
             outbox: &mut shard.outbox,
-            channel_write: None,
         };
         node.step(&mut io);
-        let channel_write = io.channel_write.take();
-        drop(io);
-        if let Some(msg) = channel_write {
-            shard.writes.push((v, msg));
-        }
         shard.done_delta += isize::from(node.is_done()) - isize::from(was_done);
     }
 }
@@ -205,20 +212,32 @@ fn step_chunk<P: Protocol>(
 pub struct SyncEngine<'g, P: Protocol> {
     graph: &'g Graph,
     nodes: Vec<P>,
+    /// The multiaccess channel substrate: `K` channels + per-node attachment.
+    channels: ChannelSet,
     /// Flat inbox arena for the current round: node `v` receives
     /// `arena[offsets[v]..offsets[v + 1]]`, ordered by sender index.  Each
     /// entry is `(from, payload handle)`; the payload lives in `payloads`.
     arena: Vec<(NodeId, PayloadHandle)>,
-    /// Delivery-side payload arena: resolves the handles in `arena`.  Swaps
-    /// roles with the staging arena(s) inside the shards every round.
+    /// Delivery-side payload arena: resolves the handles in `arena` **and**
+    /// the slot winners in `slot_outcomes`.  Swaps roles with the staging
+    /// arena(s) inside the shards every round.
     payloads: PayloadArena<P::Msg>,
     /// CSR index into `arena`; length `n + 1`.
     offsets: Vec<usize>,
     /// Pooled staging state (one shard sequentially; one per worker with the
     /// `parallel` feature).
     shards: Vec<Shard<P::Msg>>,
-    /// Pooled merged channel writes of the current round.
-    writes: Vec<(NodeId, P::Msg)>,
+    /// Per-channel outcome of the last resolved round, winners as handles
+    /// into `payloads`; length `K`.
+    slot_outcomes: Vec<ChannelOutcome>,
+    /// Pooled merged channel writes of the current round (handles into the
+    /// freshly rotated delivery arena).
+    chan_writes: Vec<(ChannelId, NodeId, PayloadHandle)>,
+    /// Pooled per-channel writer counters; length `K`.
+    chan_counts: Vec<u32>,
+    /// Channels of `slot_outcomes` that are currently non-idle; cached so
+    /// quiescence stays O(1).
+    nonidle_slots: usize,
     /// Pooled per-receiver chain heads for the bucketing pass; length `n`.
     heads: Vec<u32>,
     /// Pooled chain links, parallel to the staging buffer.
@@ -228,7 +247,6 @@ pub struct SyncEngine<'g, P: Protocol> {
     scratch: Vec<Staged>,
     /// Pooled per-block write cursors of the radix pass; length `blocks + 1`.
     block_cursors: Vec<u32>,
-    prev_slot: SlotOutcome<P::Msg>,
     cost: CostAccount,
     round: u64,
     /// Number of nodes currently reporting [`Protocol::is_done`]; maintained
@@ -237,25 +255,53 @@ pub struct SyncEngine<'g, P: Protocol> {
 }
 
 impl<'g, P: Protocol> SyncEngine<'g, P> {
-    /// Creates an engine over `graph`, instantiating each node's protocol
-    /// with `init(node_id)`.
-    pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, mut init: F) -> Self {
+    /// Creates an engine over `graph` with the paper's single-channel model
+    /// ([`ChannelSet::single`]), instantiating each node's protocol with
+    /// `init(node_id)`.
+    pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, init: F) -> Self {
+        SyncEngine::with_channels(graph, ChannelSet::single(), init)
+    }
+
+    /// Creates an engine over `graph` and an explicit multiaccess
+    /// [`ChannelSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel set's per-node attachment table does not cover
+    /// exactly the graph's node count.
+    pub fn with_channels<F: FnMut(NodeId) -> P>(
+        graph: &'g Graph,
+        channels: ChannelSet,
+        mut init: F,
+    ) -> Self {
+        if let Some(len) = channels.table_len() {
+            assert_eq!(
+                len,
+                graph.node_count(),
+                "channel attachment table covers {len} nodes, graph has {}",
+                graph.node_count()
+            );
+        }
         let nodes: Vec<P> = graph.nodes().map(&mut init).collect();
         let n = graph.node_count();
+        let k = channels.channels() as usize;
         let done_count = nodes.iter().filter(|p| p.is_done()).count();
         SyncEngine {
             graph,
             nodes,
+            channels,
             arena: Vec::new(),
             payloads: PayloadArena::new(),
             offsets: vec![0; n + 1],
             shards: vec![Shard::default()],
-            writes: Vec::new(),
+            slot_outcomes: vec![ChannelOutcome::Idle; k],
+            chan_writes: Vec::new(),
+            chan_counts: vec![0; k],
+            nonidle_slots: 0,
             heads: vec![NIL; n],
             links: Vec::new(),
             scratch: Vec::new(),
             block_cursors: Vec::new(),
-            prev_slot: SlotOutcome::Idle,
             cost: CostAccount::new(),
             round: 0,
             done_count,
@@ -265,6 +311,11 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         self.graph
+    }
+
+    /// The multiaccess channel substrate.
+    pub fn channels(&self) -> &ChannelSet {
+        &self.channels
     }
 
     /// Immutable access to a node's protocol state.
@@ -287,9 +338,20 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         self.round
     }
 
-    /// Outcome of the most recently resolved channel slot.
-    pub fn last_slot(&self) -> &SlotOutcome<P::Msg> {
-        &self.prev_slot
+    /// State (idle / success / collision) of channel `chan`'s most recently
+    /// resolved slot.  The winning *message* is only observable from inside
+    /// a step ([`RoundIo::prev_slot_on`]) — it lives in the round's delivery
+    /// arena, which is what makes slot resolution clone-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is not a channel of the engine's [`ChannelSet`].
+    pub fn last_slot_state(&self, chan: ChannelId) -> SlotState {
+        match self.slot_outcomes[chan.index()] {
+            ChannelOutcome::Idle => SlotState::Idle,
+            ChannelOutcome::Success { .. } => SlotState::Success,
+            ChannelOutcome::Collision => SlotState::Collision,
+        }
     }
 
     /// Number of point-to-point messages currently in flight (sent last
@@ -319,31 +381,34 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
     }
 
     /// Returns `true` when every node is done, no message is in flight, and
-    /// the last channel slot was idle.
+    /// every channel's last slot was idle.
     ///
     /// The slot condition makes quiescence consistent across substrates: a
-    /// write resolved in the final round produces feedback that *every* node
-    /// hears (the paper's channel model), so the engine executes one more
-    /// round to deliver it instead of dropping it — exactly as the
-    /// asynchronous engine, which cannot quiesce with a write pending, and
-    /// as the reference engine (pinned by the `engine_conformance` suite).
+    /// write resolved in the final round produces feedback that every
+    /// attached node hears (the paper's channel model), so the engine
+    /// executes one more round to deliver it instead of dropping it —
+    /// exactly as the asynchronous engine, which cannot quiesce with a write
+    /// pending, and as the reference engine (pinned by the
+    /// `engine_conformance` suite).
     ///
-    /// O(1): the engine tracks done-state transitions across steps and the
-    /// in-flight count is the arena length.
+    /// O(1): the engine tracks done-state transitions across steps, the
+    /// in-flight count is the arena length, and the non-idle channel count
+    /// is cached at slot resolution.
     pub fn is_quiescent(&self) -> bool {
-        self.done_count == self.nodes.len() && self.arena.is_empty() && self.prev_slot.is_idle()
+        self.done_count == self.nodes.len() && self.arena.is_empty() && self.nonidle_slots == 0
     }
 
-    /// Executes one round for every node and resolves the channel slot.
+    /// Executes one round for every node and resolves one slot per channel.
     pub fn step_round(&mut self) {
         let SyncEngine {
             graph,
             nodes,
+            channels,
             arena,
             payloads,
             offsets,
             shards,
-            prev_slot,
+            slot_outcomes,
             round,
             ..
         } = self;
@@ -354,7 +419,8 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             arena,
             payloads,
             offsets,
-            prev_slot,
+            channels,
+            slot_outcomes,
             *round,
             &mut shards[0],
         );
@@ -363,7 +429,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
 
     /// Post-step bookkeeping shared by the sequential and parallel paths:
     /// fold shard deltas, rebuild the inbox arena for the next round, resolve
-    /// the channel slot, and advance the clock.
+    /// every channel's slot, and advance the clock.
     fn finish_round(&mut self) {
         let mut delta = 0isize;
         for shard in &mut self.shards {
@@ -376,14 +442,41 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
 
         let messages = self.rebuild_arena();
         self.cost.add_messages(messages);
-
-        self.writes.clear();
-        for shard in &mut self.shards {
-            self.writes.append(&mut shard.writes);
-        }
-        self.prev_slot = resolve_slot(&self.writes);
-        self.cost.add_slot(self.writes.len() as u64);
+        self.resolve_channels();
         self.round += 1;
+    }
+
+    /// Resolves one slot per channel from the merged channel writes (staged
+    /// as handles into the freshly rotated delivery arena by
+    /// [`SyncEngine::rebuild_arena`]): the winner's outcome carries its
+    /// `PayloadHandle`, so no message is cloned — the handle resolves in the
+    /// next round's steps and the payload expires with its epoch like any
+    /// delivered send.  Pooled counters only; O(K + writes).
+    fn resolve_channels(&mut self) {
+        self.chan_counts.fill(0);
+        // First write per channel wins the `Success` slot; with more writers
+        // the outcome is a collision regardless, so tracking the first is
+        // order-independent (pinned by `tests/channel_properties.rs`).
+        for &(chan, from, handle) in &self.chan_writes {
+            let c = chan.index();
+            self.chan_counts[c] += 1;
+            if self.chan_counts[c] == 1 {
+                self.slot_outcomes[c] = ChannelOutcome::Success { from, handle };
+            } else {
+                self.slot_outcomes[c] = ChannelOutcome::Collision;
+            }
+        }
+        self.cost.add_round();
+        self.nonidle_slots = 0;
+        for (c, &count) in self.chan_counts.iter().enumerate() {
+            if count == 0 {
+                self.slot_outcomes[c] = ChannelOutcome::Idle;
+            } else {
+                self.nonidle_slots += 1;
+            }
+            self.cost.add_channel_slot(u64::from(count));
+        }
+        self.chan_writes.clear();
     }
 
     /// Buckets the staged sends by receiver into the inbox arena (CSR form)
@@ -428,8 +521,19 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                     for entry in &mut shard.outbox.entries {
                         entry.2 = PayloadHandle(entry.2 .0 + offset);
                     }
+                    for write in &mut shard.outbox.chan_writes {
+                        write.2 = PayloadHandle(write.2 .0 + offset);
+                    }
                 }
             }
+        }
+
+        // Merge the staged channel writes in shard (= node-index) order; the
+        // handles now resolve in the rotated delivery arena, ready for
+        // `resolve_channels`.
+        debug_assert!(self.chan_writes.is_empty());
+        for shard in &mut self.shards {
+            self.chan_writes.append(&mut shard.outbox.chan_writes);
         }
 
         // Merge worker shards in node-index order (no-op sequentially).
@@ -610,20 +714,22 @@ where
         let SyncEngine {
             graph,
             nodes,
+            channels,
             arena,
             payloads,
             offsets,
             shards,
-            prev_slot,
+            slot_outcomes,
             round,
             ..
         } = self;
-        let (graph, arena, payloads, offsets, prev_slot, round) = (
+        let (graph, channels, arena, payloads, offsets, slot_outcomes, round) = (
             &**graph,
+            &*channels,
             &*arena,
             &*payloads,
             &*offsets,
-            &*prev_slot,
+            &*slot_outcomes,
             *round,
         );
         std::thread::scope(|scope| {
@@ -640,7 +746,8 @@ where
                         arena,
                         payloads,
                         offsets,
-                        prev_slot,
+                        channels,
+                        slot_outcomes,
                         round,
                         shard,
                     );
@@ -671,6 +778,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::channel::SlotOutcome;
     use netsim_graph::generators;
 
     /// Node 0 writes to the channel every round; all others listen and record
@@ -748,6 +856,87 @@ mod tests {
         for v in g.nodes() {
             assert!(eng.node(v).saw_collision);
         }
+    }
+
+    /// Writes its tag on its assigned channel in round 0 and records what it
+    /// hears on every channel it can see.
+    struct ShardBeacon {
+        chan: ChannelId,
+        heard: Vec<(u16, u64)>,
+        rounds: u32,
+    }
+    impl Protocol for ShardBeacon {
+        type Msg = u64;
+        fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+            for c in 0..io.channels() {
+                if let SlotOutcome::Success { msg, .. } = io.prev_slot_on(ChannelId(c)) {
+                    self.heard.push((c, *msg));
+                }
+            }
+            if io.round() == 0 {
+                io.write_channel_on(self.chan, 100 + u64::from(self.chan.0));
+            }
+            self.rounds += 1;
+        }
+        fn is_done(&self) -> bool {
+            self.rounds >= 2
+        }
+    }
+
+    #[test]
+    fn channels_resolve_independently() {
+        // Four nodes, two channels, uniform attachment: two disjoint writer
+        // pairs would collide on one channel but succeed on two.
+        let g = generators::complete(4);
+        let mut eng = SyncEngine::with_channels(&g, ChannelSet::uniform(2), |id| ShardBeacon {
+            chan: ChannelId((id.index() % 2) as u16),
+            heard: Vec::new(),
+            rounds: 0,
+        });
+        let out = eng.run(10);
+        assert!(out.is_completed());
+        // Two writers per channel -> both channels collide; nobody hears a
+        // success.
+        assert_eq!(eng.cost().slots_collision, 2);
+        assert_eq!(eng.cost().channel_writes, 4);
+        for v in g.nodes() {
+            assert!(eng.node(v).heard.is_empty());
+        }
+        assert_eq!(eng.last_slot_state(ChannelId(0)), SlotState::Idle);
+
+        // Sharded attachment: each node only writes/hears its own channel,
+        // so each channel has exactly two writers again — but with four
+        // channels every write succeeds.
+        let sharded = ChannelSet::sharded(4, 4, |v| ChannelId(v.index() as u16));
+        let mut eng = SyncEngine::with_channels(&g, sharded, |id| ShardBeacon {
+            chan: ChannelId(id.index() as u16),
+            heard: Vec::new(),
+            rounds: 0,
+        });
+        let out = eng.run(10);
+        assert!(out.is_completed());
+        assert_eq!(eng.cost().slots_success, 4);
+        for v in g.nodes() {
+            // Attached to its own channel only: hears exactly its own beacon.
+            let c = v.index() as u16;
+            assert_eq!(eng.node(v).heard, vec![(c, 100 + u64::from(c))]);
+        }
+    }
+
+    #[test]
+    fn per_round_slot_accounting_covers_every_channel() {
+        let g = generators::ring(4);
+        let mut eng = SyncEngine::with_channels(&g, ChannelSet::uniform(3), |_| Collider {
+            saw_collision: false,
+        });
+        let out = eng.run(5);
+        assert!(out.is_completed());
+        // Every round resolves three slots; only channel 0 ever collides.
+        assert_eq!(
+            eng.cost().slots_idle + eng.cost().slots_success + eng.cost().slots_collision,
+            3 * eng.cost().rounds
+        );
+        assert_eq!(eng.cost().slots_collision, 1);
     }
 
     /// Flood a token from node 0 over the point-to-point network only.

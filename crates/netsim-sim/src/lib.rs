@@ -11,6 +11,13 @@
 //! 2. a slotted **multiaccess channel** with ternary feedback
 //!    (idle / success / collision).
 //!
+//! The simulator generalises the second medium to a [`ChannelSet`]: `K`
+//! independent slotted collision channels with per-node attachment, one slot
+//! each per round.  The paper's model is the `K = 1` default
+//! ([`ChannelSet::single`]), and the single-channel API
+//! ([`RoundIo::write_channel`] / [`RoundIo::prev_slot`]) is sugar for
+//! [`ChannelId::DEFAULT`], so existing protocols compile and run unchanged.
+//!
 //! This crate provides:
 //!
 //! * [`SyncEngine`] — a deterministic synchronous round engine: per round,
@@ -41,11 +48,11 @@
 //!   links stores one payload, not `d` clones; retired heap payloads are
 //!   recycled back to senders ([`RoundIo::recycle_payload`] /
 //!   [`AsyncCtx::recycle_payload`]), so `Vec<u8>`-frame protocols run
-//!   allocation-free too (see the [`payload`] module docs).  One caveat:
-//!   the **channel** path still clones the winning message into
-//!   [`SlotOutcome::Success`] once per successful slot, so a protocol that
-//!   writes non-empty heap payloads to the channel pays one allocation per
-//!   success (a ROADMAP item; point-to-point traffic is unaffected);
+//!   allocation-free too (see the [`payload`] module docs).  The **channel**
+//!   rides the same plumbing: a write is interned into the staging arena and
+//!   the flat engines resolve slots to *handle-based* outcomes
+//!   ([`RoundIo::prev_slot_on`] borrows the winner straight from the
+//!   delivery arena), so slot resolution never clones a message either;
 //! * `SyncEngine` double-buffers messages through a flat CSR-style inbox
 //!   arena plus a pooled staging buffer, bucketed per receiver with an
 //!   O(n + k) stable counting pass — no per-round `Vec`s (see the
@@ -102,7 +109,10 @@ pub mod protocols;
 pub mod reference;
 
 pub use async_engine::{AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol};
-pub use channel::{fdma_slot_lengths, resolve_slot, SlotOutcome, SlotState};
+pub use channel::{
+    fdma_slot_lengths, resolve_slot, resolve_slots, ChannelId, ChannelSet, SlotOutcome, SlotState,
+    MAX_CHANNELS,
+};
 pub use engine::{RunOutcome, SyncEngine};
 pub use metrics::CostAccount;
 pub use node::{DrainSends, Inbox, InboxIter, OutboxBuffer, Protocol, RoundIo};

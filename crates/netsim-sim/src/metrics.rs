@@ -66,7 +66,21 @@ impl CostAccount {
 
     /// Records a single slot with the given number of writers.
     pub fn add_slot(&mut self, writers: u64) {
+        self.add_round();
+        self.add_channel_slot(writers);
+    }
+
+    /// Records one elapsed round without any slot.  With a multi-channel
+    /// [`ChannelSet`](crate::ChannelSet) a round still advances time by one
+    /// unit while resolving one slot **per channel**: engines call this once
+    /// per round and [`CostAccount::add_channel_slot`] once per channel.
+    pub fn add_round(&mut self) {
         self.rounds += 1;
+    }
+
+    /// Records one channel slot (classification + write attempts) without
+    /// advancing the round clock; see [`CostAccount::add_round`].
+    pub fn add_channel_slot(&mut self, writers: u64) {
         self.channel_writes += writers;
         match writers {
             0 => self.slots_idle += 1,
@@ -122,6 +136,28 @@ mod tests {
         assert_eq!(c.slots_collision, 1);
         assert_eq!(c.channel_writes, 6);
         assert_eq!(c.slots_busy(), 2);
+    }
+
+    #[test]
+    fn multi_channel_round_accounting() {
+        // One round of a 3-channel set: rounds advance once, slots per channel.
+        let mut c = CostAccount::new();
+        c.add_round();
+        c.add_channel_slot(0);
+        c.add_channel_slot(1);
+        c.add_channel_slot(4);
+        assert_eq!(c.rounds, 1);
+        assert_eq!(c.channel_writes, 5);
+        assert_eq!(c.slots_idle, 1);
+        assert_eq!(c.slots_success, 1);
+        assert_eq!(c.slots_collision, 1);
+        // Single-channel sugar decomposes identically.
+        let mut d = CostAccount::new();
+        d.add_slot(1);
+        let mut e = CostAccount::new();
+        e.add_round();
+        e.add_channel_slot(1);
+        assert_eq!(d, e);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! `(sender, &payload)` pairs whether the engine stores materialised
 //! messages (the reference clone path) or arena handles (the flat engines).
 
-use crate::channel::SlotOutcome;
+use crate::channel::{ChannelId, ChannelOutcome, SlotOutcome};
 use crate::payload::{PayloadArena, PayloadHandle};
 use netsim_graph::{Neighbors, NodeId};
 
@@ -68,6 +68,11 @@ pub(crate) type Staged = (NodeId, NodeId, PayloadHandle);
 pub struct OutboxBuffer<M> {
     pub(crate) entries: Vec<Staged>,
     pub(crate) arena: PayloadArena<M>,
+    /// Channel writes staged this round as `(channel, writer, payload
+    /// handle)` triples; the payloads are interned in `arena` next to the
+    /// point-to-point ones, which is what lets the flat engines deliver slot
+    /// winners by handle instead of cloning them.
+    pub(crate) chan_writes: Vec<(ChannelId, NodeId, PayloadHandle)>,
 }
 
 impl<M> OutboxBuffer<M> {
@@ -76,6 +81,7 @@ impl<M> OutboxBuffer<M> {
         OutboxBuffer {
             entries: Vec::new(),
             arena: PayloadArena::new(),
+            chan_writes: Vec::new(),
         }
     }
 
@@ -89,11 +95,33 @@ impl<M> OutboxBuffer<M> {
         self.entries.is_empty()
     }
 
-    /// Removes all staged sends and expires their payload epoch, keeping
-    /// every allocation.
+    /// Removes all staged sends and channel writes and expires their payload
+    /// epoch, keeping every allocation.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.chan_writes.clear();
         self.arena.expire();
+    }
+
+    /// Returns `true` when at least one channel write is staged.
+    pub fn has_channel_writes(&self) -> bool {
+        !self.chan_writes.is_empty()
+    }
+
+    /// Moves every staged channel write out as `(channel, writer, message)`,
+    /// in staging order, leaving the point-to-point sends untouched.
+    ///
+    /// Simulation wrappers (the async lockstep adapter, the reference
+    /// engine) use this to forward writes onto their own substrate; it must
+    /// run **before** [`OutboxBuffer::drain_sends`], whose completion retires
+    /// the payload epoch the write handles point into.
+    pub fn take_channel_writes(&mut self, mut f: impl FnMut(ChannelId, NodeId, M)) {
+        let OutboxBuffer {
+            chan_writes, arena, ..
+        } = self;
+        for (chan, from, h) in chan_writes.drain(..) {
+            f(chan, from, arena.take(h));
+        }
     }
 
     /// The staging payload arena (interned payloads of the current epoch).
@@ -116,7 +144,13 @@ impl<M> OutboxBuffer<M> {
     where
         M: Clone,
     {
-        let OutboxBuffer { entries, arena } = self;
+        debug_assert!(
+            self.chan_writes.is_empty(),
+            "take_channel_writes must run before draining the sends: the \
+             drain retires the payload epoch the staged channel writes point \
+             into"
+        );
+        let OutboxBuffer { entries, arena, .. } = self;
         DrainSends {
             entries: entries.drain(..),
             arena,
@@ -131,7 +165,13 @@ impl<M> OutboxBuffer<M> {
     /// use this to clone into *recycled* storage instead of paying a fresh
     /// allocation per send (see the channel synchronizer).
     pub fn drain_sends_by_ref(&mut self, mut f: impl FnMut(NodeId, &M)) {
-        let OutboxBuffer { entries, arena } = self;
+        debug_assert!(
+            self.chan_writes.is_empty(),
+            "take_channel_writes must run before draining the sends: the \
+             drain retires the payload epoch the staged channel writes point \
+             into"
+        );
+        let OutboxBuffer { entries, arena, .. } = self;
         for (to, _, h) in entries.drain(..) {
             f(to, arena.get(h));
         }
@@ -342,6 +382,56 @@ impl<'a, M> Iterator for InboxIter<'a, M> {
 
 impl<'a, M> ExactSizeIterator for InboxIter<'a, M> {}
 
+/// Read-only view of the previous round's per-channel slot outcomes, the
+/// slot-side sibling of [`Inbox`]: materialised outcomes (reference engine,
+/// detached wrappers) or handle-based outcomes resolved against the delivery
+/// [`PayloadArena`] (the flat engines — where a slot winner is therefore
+/// delivered without ever being cloned).
+#[derive(Debug)]
+pub(crate) enum Slots<'a, M> {
+    /// One owned [`SlotOutcome`] per channel.
+    Direct(&'a [SlotOutcome<M>]),
+    /// One [`ChannelOutcome`] per channel, winners resolved in `payloads`.
+    Arena {
+        outcomes: &'a [ChannelOutcome],
+        payloads: &'a PayloadArena<M>,
+    },
+}
+
+impl<'a, M> Clone for Slots<'a, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, M> Copy for Slots<'a, M> {}
+
+impl<'a, M> Slots<'a, M> {
+    fn len(&self) -> usize {
+        match self {
+            Slots::Direct(s) => s.len(),
+            Slots::Arena { outcomes, .. } => outcomes.len(),
+        }
+    }
+
+    fn get(&self, c: usize) -> SlotOutcome<&'a M> {
+        match *self {
+            Slots::Direct(s) => match &s[c] {
+                SlotOutcome::Idle => SlotOutcome::Idle,
+                SlotOutcome::Success { from, msg } => SlotOutcome::Success { from: *from, msg },
+                SlotOutcome::Collision => SlotOutcome::Collision,
+            },
+            Slots::Arena { outcomes, payloads } => match outcomes[c] {
+                ChannelOutcome::Idle => SlotOutcome::Idle,
+                ChannelOutcome::Success { from, handle } => SlotOutcome::Success {
+                    from,
+                    msg: payloads.get(handle),
+                },
+                ChannelOutcome::Collision => SlotOutcome::Collision,
+            },
+        }
+    }
+}
+
 /// Per-round input/output window handed to [`Protocol::step`].
 #[derive(Debug)]
 pub struct RoundIo<'a, M> {
@@ -349,13 +439,16 @@ pub struct RoundIo<'a, M> {
     pub(crate) round: u64,
     pub(crate) neighbors: Neighbors<'a>,
     pub(crate) inbox: Inbox<'a, M>,
-    pub(crate) prev_slot: &'a SlotOutcome<M>,
+    /// Previous round's outcome of every channel of the set.
+    pub(crate) slots: Slots<'a, M>,
+    /// Bitmask of the channels this node is attached to.
+    pub(crate) attached: u64,
     pub(crate) outbox: &'a mut OutboxBuffer<M>,
-    pub(crate) channel_write: Option<M>,
 }
 
 impl<'a, M: Clone> RoundIo<'a, M> {
-    /// Builds a detached `RoundIo`, outside of a [`SyncEngine`](crate::SyncEngine) run.
+    /// Builds a detached single-channel `RoundIo`, outside of a
+    /// [`SyncEngine`](crate::SyncEngine) run.
     ///
     /// This is the hook used by *simulation wrappers* such as the channel
     /// synchronizer of the paper's Section 7.1: the wrapper drives an
@@ -365,6 +458,7 @@ impl<'a, M: Clone> RoundIo<'a, M> {
     /// in `outbox` (drain them with [`OutboxBuffer::drain_sends`]); the
     /// channel write is returned by [`RoundIo::finish`].  Reusing one
     /// `OutboxBuffer` across rounds keeps the wrapper allocation-free too.
+    /// Multi-channel wrappers use [`RoundIo::detached_multi`] instead.
     pub fn detached(
         node: NodeId,
         round: u64,
@@ -373,22 +467,78 @@ impl<'a, M: Clone> RoundIo<'a, M> {
         prev_slot: &'a SlotOutcome<M>,
         outbox: &'a mut OutboxBuffer<M>,
     ) -> Self {
+        RoundIo::detached_multi(
+            node,
+            round,
+            neighbors,
+            inbox,
+            std::slice::from_ref(prev_slot),
+            outbox,
+        )
+    }
+
+    /// Builds a detached `RoundIo` over a `K`-channel set, with one
+    /// materialised [`SlotOutcome`] per channel.  By default the node is
+    /// attached to every channel of the slice; chain
+    /// [`RoundIo::with_attachment`] to replay a sharded attachment.  Collect
+    /// the writes afterwards with [`OutboxBuffer::take_channel_writes`] —
+    /// before draining the sends.
+    pub fn detached_multi(
+        node: NodeId,
+        round: u64,
+        neighbors: Neighbors<'a>,
+        inbox: Inbox<'a, M>,
+        prev_slots: &'a [SlotOutcome<M>],
+        outbox: &'a mut OutboxBuffer<M>,
+    ) -> Self {
+        let k = prev_slots.len();
+        assert!(
+            (1..=crate::channel::MAX_CHANNELS as usize).contains(&k),
+            "detached RoundIo needs 1..=64 channel outcomes, got {k}"
+        );
         RoundIo {
             node,
             round,
             neighbors,
             inbox,
-            prev_slot,
+            slots: Slots::Direct(prev_slots),
+            attached: crate::channel::ChannelSet::full_mask(k as u16),
             outbox,
-            channel_write: None,
         }
     }
 
-    /// Consumes the window, returning the channel write requested during the
-    /// step (the link sends are in the `OutboxBuffer` the window was built
-    /// over).
+    /// Restricts a detached window to an explicit attachment bitmask, so
+    /// wrappers replaying a sharded [`ChannelSet`](crate::ChannelSet) gate
+    /// [`RoundIo::is_attached`] / [`RoundIo::write_channel_on`] exactly as
+    /// the engines do (the async lockstep conformance adapter uses this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask addresses a channel outside the window's slot
+    /// slice.
+    pub fn with_attachment(mut self, mask: u64) -> Self {
+        let k = self.slots.len();
+        let full = crate::channel::ChannelSet::full_mask(k as u16);
+        assert!(
+            mask & !full == 0,
+            "attachment mask {mask:#x} addresses channels >= {k}"
+        );
+        self.attached = mask;
+        self
+    }
+
+    /// Consumes the window, returning the write staged on the **default**
+    /// channel during the step (the link sends are in the `OutboxBuffer` the
+    /// window was built over; writes on other channels stay staged for
+    /// [`OutboxBuffer::take_channel_writes`]).
     pub fn finish(self) -> Option<M> {
-        self.channel_write
+        let pos = self
+            .outbox
+            .chan_writes
+            .iter()
+            .position(|&(chan, from, _)| chan == ChannelId::DEFAULT && from == self.node)?;
+        let (_, _, h) = self.outbox.chan_writes.remove(pos);
+        Some(self.outbox.arena.take(h))
     }
 
     /// The identity of the executing node.
@@ -419,11 +569,50 @@ impl<'a, M: Clone> RoundIo<'a, M> {
         self.inbox
     }
 
-    /// Outcome of the previous channel slot, as heard by every node.
+    /// Outcome of the previous slot of the **default** channel
+    /// ([`ChannelId::DEFAULT`]), as heard by every attached node; sugar for
+    /// [`RoundIo::prev_slot_on`].
     ///
     /// In round 0 this is [`SlotOutcome::Idle`].
-    pub fn prev_slot(&self) -> &SlotOutcome<M> {
-        self.prev_slot
+    pub fn prev_slot(&self) -> SlotOutcome<&'a M> {
+        self.prev_slot_on(ChannelId::DEFAULT)
+    }
+
+    /// Outcome of the previous slot of channel `chan`.
+    ///
+    /// The winning message is borrowed from wherever the substrate keeps it:
+    /// the round's delivery [`PayloadArena`] on the flat engines (the winner
+    /// is delivered *by handle*, never cloned) or a materialised outcome on
+    /// the clone-path reference engine and detached wrappers.  A node that
+    /// is not attached to `chan` observes [`SlotOutcome::Idle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is not a channel of the engine's
+    /// [`ChannelSet`](crate::ChannelSet).
+    pub fn prev_slot_on(&self, chan: ChannelId) -> SlotOutcome<&'a M> {
+        let c = chan.index();
+        assert!(
+            c < self.slots.len(),
+            "{:?} read {chan:?} of a {}-channel set",
+            self.node,
+            self.slots.len()
+        );
+        if self.attached & (1 << c) == 0 {
+            return SlotOutcome::Idle;
+        }
+        self.slots.get(c)
+    }
+
+    /// Number of channels `K` of the engine's [`ChannelSet`](crate::ChannelSet).
+    pub fn channels(&self) -> u16 {
+        self.slots.len() as u16
+    }
+
+    /// Returns `true` when this node is attached to channel `chan` (may both
+    /// write to it and hear its outcomes).
+    pub fn is_attached(&self, chan: ChannelId) -> bool {
+        chan.index() < self.slots.len() && self.attached & (1 << chan.index()) != 0
     }
 
     /// Takes a dead payload from the staging arena for reuse, if one is
@@ -477,18 +666,67 @@ impl<'a, M: Clone> RoundIo<'a, M> {
         }
     }
 
-    /// Writes `msg` to the multiaccess channel in the current slot.
-    ///
-    /// If more than one node writes in the same slot, every node observes a
-    /// collision in the next round.  Calling this twice in one round keeps
-    /// only the last message (a node owns a single transmitter).
+    /// Writes `msg` to the **default** channel ([`ChannelId::DEFAULT`]) in
+    /// the current slot; sugar for [`RoundIo::write_channel_on`].
     pub fn write_channel(&mut self, msg: M) {
-        self.channel_write = Some(msg);
+        self.write_channel_on(ChannelId::DEFAULT, msg);
     }
 
-    /// Returns `true` if a channel write has been requested this round.
+    /// Writes `msg` to channel `chan` in the current slot.
+    ///
+    /// If more than one attached node writes to the same channel in the same
+    /// slot, every attached node observes a collision on it in the next
+    /// round.  Writing twice to one channel in one round keeps only the last
+    /// message (a node owns a single transmitter per channel).  The payload
+    /// is interned into the staging arena — on the flat engines the winner
+    /// is later delivered by handle, without a clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is not a channel of the engine's
+    /// [`ChannelSet`](crate::ChannelSet) or this node is not attached to it:
+    /// a node can only key a transmitter it owns.
+    pub fn write_channel_on(&mut self, chan: ChannelId, msg: M) {
+        assert!(
+            chan.index() < self.slots.len(),
+            "{:?} wrote to {chan:?} of a {}-channel set",
+            self.node,
+            self.slots.len()
+        );
+        assert!(
+            self.attached & (1 << chan.index()) != 0,
+            "{:?} attempted to write to unattached {chan:?}",
+            self.node
+        );
+        let h = self.outbox.arena.intern(msg);
+        // Last-write-wins per channel: this node's staged writes are the
+        // contiguous tail of the buffer (one node steps at a time), so a
+        // short reverse scan finds an earlier write to the same channel.
+        // The replaced payload stays interned and simply expires with the
+        // epoch, exactly like an undelivered send.
+        let node = self.node;
+        let earlier = self
+            .outbox
+            .chan_writes
+            .iter_mut()
+            .rev()
+            .take_while(|&&mut (_, from, _)| from == node)
+            .find(|&&mut (c, _, _)| c == chan);
+        match earlier {
+            Some(entry) => entry.2 = h,
+            None => self.outbox.chan_writes.push((chan, node, h)),
+        }
+    }
+
+    /// Returns `true` if this node has staged a write on any channel this
+    /// round.
     pub fn will_write_channel(&self) -> bool {
-        self.channel_write.is_some()
+        // This node's writes are the contiguous tail of the staging buffer,
+        // so it wrote something iff the last entry is its own.
+        self.outbox
+            .chan_writes
+            .last()
+            .is_some_and(|&(_, from, _)| from == self.node)
     }
 }
 
@@ -536,9 +774,13 @@ mod tests {
         io.write_channel(2);
         assert!(io.will_write_channel());
         assert_eq!(io.finish(), Some(2));
+        assert!(!outbox.has_channel_writes(), "finish consumed the write");
         assert_eq!(outbox.len(), 3);
-        // The broadcast interned one payload shared by both entries.
-        assert_eq!(outbox.arena().live(), 2);
+        // The broadcast interned one payload shared by both entries; the two
+        // channel writes interned one payload each (the overwritten first
+        // write stays interned until the epoch expires, like the seed
+        // dropping a replaced `Option` write).
+        assert_eq!(outbox.arena().live(), 4);
         let sends: Vec<(NodeId, u32)> = outbox.drain_sends().collect();
         assert_eq!(sends, vec![(NodeId(2), 5), (NodeId(1), 7), (NodeId(2), 7)]);
         assert!(outbox.is_empty());
@@ -593,7 +835,6 @@ mod tests {
             frame.clear();
             frame.resize(64, round as u8);
             io.send(NodeId(1), frame);
-            drop(io);
             let mut sends: Vec<(NodeId, Vec<u8>)> = Vec::new();
             outbox.drain_sends_by_ref(|to, msg| sends.push((to, msg.clone())));
             assert_eq!(sends.len(), 1);
@@ -612,7 +853,6 @@ mod tests {
         let mut io = make_vec_io(&prev, &mut outbox);
         io.send(NodeId(1), vec![7; 32]);
         io.send_all(vec![8; 32]);
-        drop(io);
         let sends: Vec<(NodeId, Vec<u8>)> = outbox.drain_sends().collect();
         assert_eq!(sends.len(), 3);
         assert_eq!(sends[0], (NodeId(1), vec![7; 32]));
@@ -666,5 +906,100 @@ mod tests {
         let mut outbox = OutboxBuffer::new();
         let mut io = make_io(Neighbors::new(&TARGETS, &EDGES), &[], &prev, &mut outbox);
         io.send(NodeId(9), 1);
+    }
+
+    #[test]
+    fn multi_channel_slots_and_writes() {
+        let prev = [
+            SlotOutcome::Idle,
+            SlotOutcome::Success {
+                from: NodeId(4),
+                msg: 11u32,
+            },
+            SlotOutcome::Collision,
+        ];
+        let mut outbox = OutboxBuffer::new();
+        let mut io = RoundIo::detached_multi(
+            NodeId(0),
+            0,
+            Neighbors::new(&TARGETS, &EDGES),
+            Inbox::empty(),
+            &prev,
+            &mut outbox,
+        );
+        assert_eq!(io.channels(), 3);
+        assert!(io.is_attached(ChannelId(2)));
+        assert!(io.prev_slot().is_idle());
+        let s = io.prev_slot_on(ChannelId(1));
+        assert_eq!(s.sender(), Some(NodeId(4)));
+        assert!(matches!(s, SlotOutcome::Success { msg: &11, .. }));
+        assert!(io.prev_slot_on(ChannelId(2)).is_collision());
+
+        io.write_channel_on(ChannelId(2), 7);
+        io.write_channel_on(ChannelId(1), 5);
+        io.write_channel_on(ChannelId(2), 9); // overwrites the first write
+        assert!(io.will_write_channel());
+        assert!(io.finish().is_none(), "no default-channel write staged");
+        let mut writes = Vec::new();
+        outbox.take_channel_writes(|c, from, m| writes.push((c, from, m)));
+        assert_eq!(
+            writes,
+            vec![(ChannelId(2), NodeId(0), 9), (ChannelId(1), NodeId(0), 5)]
+        );
+        assert!(!outbox.has_channel_writes());
+    }
+
+    #[test]
+    fn detached_attachment_gates_reads_and_writes() {
+        let prev = [SlotOutcome::Collision, SlotOutcome::Collision];
+        let mut outbox: OutboxBuffer<u32> = OutboxBuffer::new();
+        let io = RoundIo::detached_multi(
+            NodeId(0),
+            0,
+            Neighbors::new(&TARGETS, &EDGES),
+            Inbox::empty(),
+            &prev,
+            &mut outbox,
+        )
+        .with_attachment(0b10);
+        assert!(!io.is_attached(ChannelId(0)));
+        assert!(io.is_attached(ChannelId(1)));
+        // Unattached channels read as idle even when the slot was busy.
+        assert!(io.prev_slot_on(ChannelId(0)).is_idle());
+        assert!(io.prev_slot_on(ChannelId(1)).is_collision());
+    }
+
+    #[test]
+    #[should_panic(expected = "attachment mask")]
+    fn detached_attachment_mask_must_fit() {
+        let prev = [SlotOutcome::<u32>::Idle];
+        let mut outbox = OutboxBuffer::new();
+        let _ = RoundIo::detached_multi(
+            NodeId(0),
+            0,
+            Neighbors::new(&TARGETS, &EDGES),
+            Inbox::empty(),
+            &prev,
+            &mut outbox,
+        )
+        .with_attachment(0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrote to")]
+    fn write_to_unknown_channel_panics() {
+        let prev = SlotOutcome::Idle;
+        let mut outbox = OutboxBuffer::new();
+        let mut io = make_io(Neighbors::new(&TARGETS, &EDGES), &[], &prev, &mut outbox);
+        io.write_channel_on(ChannelId(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read")]
+    fn read_unknown_channel_panics() {
+        let prev = SlotOutcome::Idle;
+        let mut outbox = OutboxBuffer::new();
+        let io = make_io(Neighbors::new(&TARGETS, &EDGES), &[], &prev, &mut outbox);
+        let _ = io.prev_slot_on(ChannelId(3));
     }
 }

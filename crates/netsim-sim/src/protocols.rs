@@ -11,8 +11,12 @@
 //!   Step 1 ("count the nodes of the fragment") and the local stage of the
 //!   global-sensitive-function algorithm (Section 5.1);
 //! * [`TreeBroadcast`] — dissemination of a value from the root down a known
-//!   rooted tree, the "feedback" direction of PIF.
+//!   rooted tree, the "feedback" direction of PIF;
+//! * [`ChannelShardedSum`] — global-sum aggregation sharded over the `K`
+//!   channels of a [`ChannelSet`], the multi-channel scenario family of the
+//!   engine benchmark.
 
+use crate::channel::{ChannelId, ChannelSet, SlotOutcome};
 use crate::node::{Protocol, RoundIo};
 use netsim_graph::NodeId;
 
@@ -217,9 +221,13 @@ impl<V: Clone> Protocol for TreeBroadcast<V> {
                 self.value = Some(v.clone());
             }
         }
-        if let Some(v) = self.value.clone() {
-            if !self.forwarded {
-                for c in self.children.clone() {
+        // Borrow the value and children in place: a step after the forward
+        // round touches no heap at all (previously every round cloned the
+        // value *and* the children list, even when `forwarded` was set), and
+        // the forward round itself clones only the per-child payloads.
+        if !self.forwarded {
+            if let Some(v) = &self.value {
+                for &c in &self.children {
                     io.send(c, v.clone());
                 }
                 self.forwarded = true;
@@ -229,6 +237,93 @@ impl<V: Clone> Protocol for TreeBroadcast<V> {
 
     fn is_done(&self) -> bool {
         self.forwarded
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channel-sharded global sum
+// ---------------------------------------------------------------------------
+
+/// Global sum over a `K`-channel [`ChannelSet`]: node `v` is attached to
+/// channel `v mod K` and, in round `v div K`, writes its value on that
+/// channel (a shard-local TDMA schedule, so every slot is a success); every
+/// shard member folds the successes it hears.  After `⌈n/K⌉` rounds each
+/// shard knows its shard sum — `K` channels compute `K` partial sums
+/// concurrently, cutting the round count by a factor of `K` against the
+/// paper's single-channel schedule.
+///
+/// This is the *channel-sharded scenario family* of the engine benchmark
+/// (`experiments --engine`, `channels` section of `BENCH_engine.json`); its
+/// delivery semantics are pinned across all three engines by the
+/// `engine_conformance` suite.  Build the matching attachment with
+/// [`ChannelShardedSum::channel_set`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelShardedSum {
+    chan: ChannelId,
+    /// This node's slot in the shard-local TDMA schedule (`v div K`).
+    rank: u64,
+    /// Rounds until every member of this node's shard has written.
+    shard_size: u64,
+    value: u64,
+    sum: u64,
+    done: bool,
+}
+
+impl ChannelShardedSum {
+    /// Per-node state for node `v` of `n` with `k` channels and local input
+    /// `value`.
+    pub fn new(v: NodeId, n: usize, k: u16, value: u64) -> Self {
+        let k = k as usize;
+        let chan = ChannelId((v.index() % k) as u16);
+        // Members of shard `c` are the nodes `c, c + k, c + 2k, ...`; the
+        // shard of node `v` has `ceil((n - c) / k)` members.
+        let shard_size = (n - chan.index()).div_ceil(k) as u64;
+        ChannelShardedSum {
+            chan,
+            rank: (v.index() / k) as u64,
+            shard_size,
+            value,
+            sum: 0,
+            done: false,
+        }
+    }
+
+    /// The sharded attachment this protocol expects: node `v` on channel
+    /// `v mod k`.
+    pub fn channel_set(n: usize, k: u16) -> ChannelSet {
+        ChannelSet::sharded(k, n, |v| ChannelId((v.index() % k as usize) as u16))
+    }
+
+    /// Sum of the values of this node's shard (meaningful once done).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The channel this node computes on.
+    pub fn channel(&self) -> ChannelId {
+        self.chan
+    }
+}
+
+impl Protocol for ChannelShardedSum {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        if let SlotOutcome::Success { msg, .. } = io.prev_slot_on(self.chan) {
+            self.sum = self.sum.wrapping_add(*msg);
+        }
+        if io.round() == self.rank {
+            io.write_channel_on(self.chan, self.value);
+        }
+        // The writer of round r is heard in round r + 1; the shard is done
+        // once its last writer (rank shard_size - 1) has been heard.
+        if io.round() >= self.shard_size {
+            self.done = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
     }
 }
 
@@ -308,6 +403,35 @@ mod tests {
         assert!(out.is_completed());
         assert_eq!(*eng.node(NodeId(0)).result(), 1);
         assert!(out.rounds() <= 4);
+    }
+
+    #[test]
+    fn channel_sharded_sum_computes_shard_sums() {
+        let n = 37;
+        let g = generators::ring(n);
+        let values: Vec<u64> = (0..n as u64).map(|i| i * 31 + 5).collect();
+        for k in [1u16, 4, 16] {
+            let mut eng =
+                SyncEngine::with_channels(&g, ChannelShardedSum::channel_set(n, k), |v| {
+                    ChannelShardedSum::new(v, n, k, values[v.index()])
+                });
+            let out = eng.run(1000);
+            assert!(out.is_completed(), "k={k}");
+            // K channels cut the schedule to ceil(n/K) writing rounds plus
+            // one observation round.
+            assert_eq!(out.rounds(), (n as u64).div_ceil(u64::from(k)) + 1, "k={k}");
+            // Every slot of the schedule succeeds: one writer per channel
+            // per round.
+            assert_eq!(eng.cost().slots_success, n as u64, "k={k}");
+            assert_eq!(eng.cost().slots_collision, 0, "k={k}");
+            for v in g.nodes() {
+                let expected: u64 = (0..n)
+                    .filter(|u| u % (k as usize) == v.index() % (k as usize))
+                    .map(|u| values[u])
+                    .sum();
+                assert_eq!(eng.node(v).sum(), expected, "k={k} node {v:?}");
+            }
+        }
     }
 
     #[test]

@@ -25,10 +25,10 @@
 //!
 //! Do not use it for experiments; it is deliberately allocator-bound.
 
-use crate::channel::{resolve_slot, SlotOutcome};
+use crate::channel::{resolve_slots, ChannelId, ChannelSet, SlotOutcome, SlotState};
 use crate::engine::RunOutcome;
 use crate::metrics::CostAccount;
-use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo};
+use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo, Slots};
 use netsim_graph::{Graph, NodeId};
 
 /// Allocation-per-round reference executor; see the module docs.
@@ -36,27 +36,56 @@ use netsim_graph::{Graph, NodeId};
 pub struct ReferenceEngine<'g, P: Protocol> {
     graph: &'g Graph,
     nodes: Vec<P>,
+    /// The multiaccess channel substrate: `K` channels + per-node attachment.
+    channels: ChannelSet,
     /// Messages to deliver at the start of the next round: `pending[v] = (from, msg)*`.
     pending: Vec<Vec<(NodeId, P::Msg)>>,
     /// Pooled next-round queues, swapped with `pending` after every round
     /// (cleared but capacity-retaining).
     next_pending: Vec<Vec<(NodeId, P::Msg)>>,
-    prev_slot: SlotOutcome<P::Msg>,
+    /// Per-channel outcome of the last resolved round, winners **cloned**
+    /// into place by [`resolve_slots`] — the seed's clone-path semantics.
+    prev_slots: Vec<SlotOutcome<P::Msg>>,
     cost: CostAccount,
     round: u64,
 }
 
 impl<'g, P: Protocol> ReferenceEngine<'g, P> {
-    /// Creates an engine over `graph`, instantiating each node's protocol
-    /// with `init(node_id)`.
-    pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, mut init: F) -> Self {
+    /// Creates an engine over `graph` with the paper's single-channel model,
+    /// instantiating each node's protocol with `init(node_id)`.
+    pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, init: F) -> Self {
+        ReferenceEngine::with_channels(graph, ChannelSet::single(), init)
+    }
+
+    /// Creates an engine over `graph` and an explicit multiaccess
+    /// [`ChannelSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel set's per-node attachment table does not cover
+    /// exactly the graph's node count.
+    pub fn with_channels<F: FnMut(NodeId) -> P>(
+        graph: &'g Graph,
+        channels: ChannelSet,
+        mut init: F,
+    ) -> Self {
+        if let Some(len) = channels.table_len() {
+            assert_eq!(
+                len,
+                graph.node_count(),
+                "channel attachment table covers {len} nodes, graph has {}",
+                graph.node_count()
+            );
+        }
         let nodes = graph.nodes().map(&mut init).collect();
+        let k = channels.channels();
         ReferenceEngine {
             graph,
             nodes,
+            channels,
             pending: vec![Vec::new(); graph.node_count()],
             next_pending: vec![Vec::new(); graph.node_count()],
-            prev_slot: SlotOutcome::Idle,
+            prev_slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
             cost: CostAccount::new(),
             round: 0,
         }
@@ -65,6 +94,11 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         self.graph
+    }
+
+    /// The multiaccess channel substrate.
+    pub fn channels(&self) -> &ChannelSet {
+        &self.channels
     }
 
     /// Immutable access to a node's protocol state.
@@ -87,35 +121,38 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
         self.round
     }
 
-    /// Outcome of the most recently resolved channel slot.
-    pub fn last_slot(&self) -> &SlotOutcome<P::Msg> {
-        &self.prev_slot
+    /// State (idle / success / collision) of channel `chan`'s most recently
+    /// resolved slot.
+    pub fn last_slot_state(&self, chan: ChannelId) -> SlotState {
+        SlotState::from(&self.prev_slots[chan.index()])
     }
 
     /// Returns `true` when every node is done, no message is in flight, and
-    /// the last channel slot was idle (a non-idle outcome is feedback every
-    /// node still gets to hear — see [`SyncEngine::is_quiescent`](crate::SyncEngine::is_quiescent)).
-    /// O(n): full rescan, as in the original implementation.
+    /// every channel's last slot was idle (a non-idle outcome is feedback
+    /// every attached node still gets to hear — see
+    /// [`SyncEngine::is_quiescent`](crate::SyncEngine::is_quiescent)).
+    /// O(n + K): full rescan, as in the original implementation.
     pub fn is_quiescent(&self) -> bool {
         self.nodes.iter().all(Protocol::is_done)
             && self.pending.iter().all(Vec::is_empty)
-            && self.prev_slot.is_idle()
+            && self.prev_slots.iter().all(SlotOutcome::is_idle)
     }
 
-    /// Executes one round for every node and resolves the channel slot.
+    /// Executes one round for every node and resolves one slot per channel.
     pub fn step_round(&mut self) {
         for queue in &mut self.next_pending {
             queue.clear(); // keep capacity: the pooled half of the buffer pair
         }
-        let mut writes: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut writes: Vec<(ChannelId, NodeId, P::Msg)> = Vec::new();
         let mut messages_sent: u64 = 0;
 
         let ReferenceEngine {
             graph,
             nodes,
+            channels,
             pending,
             next_pending,
-            prev_slot,
+            prev_slots,
             round,
             ..
         } = self;
@@ -126,24 +163,34 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
                 round: *round,
                 neighbors: graph.neighbors(v),
                 inbox: Inbox::direct(&pending[v.index()]),
-                prev_slot,
+                slots: Slots::Direct(prev_slots),
+                attached: channels.mask(v),
                 outbox: &mut outbox,
-                channel_write: None,
             };
             nodes[v.index()].step(&mut io);
-            let channel_write = io.finish();
             messages_sent += outbox.len() as u64;
+            // Channel writes move out of the staging arena first (owned, as
+            // when the seed staged them in an `Option<M>`), because draining
+            // the sends retires the payload epoch.
+            outbox.take_channel_writes(|chan, from, msg| writes.push((chan, from, msg)));
             for (to, msg) in outbox.drain_sends() {
                 next_pending[to.index()].push((v, msg));
             }
-            if let Some(msg) = channel_write {
-                writes.push((v, msg));
-            }
         }
 
-        self.prev_slot = resolve_slot(&writes);
+        // Clone-path slot resolution: each winner is cloned into its outcome,
+        // exactly as the seed's single-channel `resolve_slot`.
+        self.prev_slots = resolve_slots(self.channels.channels(), &writes);
         self.cost.add_messages(messages_sent);
-        self.cost.add_slot(writes.len() as u64);
+        self.cost.add_round();
+        let k = self.channels.channels() as usize;
+        let mut counts = vec![0u64; k];
+        for (chan, _, _) in &writes {
+            counts[chan.index()] += 1;
+        }
+        for count in counts {
+            self.cost.add_channel_slot(count);
+        }
         std::mem::swap(&mut self.pending, &mut self.next_pending);
         self.round += 1;
     }

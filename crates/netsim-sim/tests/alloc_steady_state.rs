@@ -22,8 +22,8 @@
 
 use netsim_graph::{generators, NodeId};
 use netsim_sim::{
-    AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol, Protocol, ReferenceEngine, RoundIo,
-    SlotOutcome, SyncEngine,
+    protocols::TreeBroadcast, AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol, ChannelId,
+    ChannelSet, Protocol, ReferenceEngine, RoundIo, SlotOutcome, SyncEngine,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -202,6 +202,92 @@ impl AsyncProtocol for AsyncFrameHeartbeat {
     }
 }
 
+/// Channel-frame heartbeat over a **non-default** channel of a two-channel
+/// set: the round-robin writer of the round rebuilds a 64-byte frame in a
+/// recycled arena buffer and keys channel 1; every node folds the winning
+/// frame it hears there.  The winner is delivered *by handle* out of the
+/// delivery arena — resolving the slot clones nothing — and its buffer
+/// expires into the graveyard for the next writer to recycle, so the whole
+/// loop is allocation-free in steady state.
+struct ChannelFrameHeartbeat {
+    id: NodeId,
+    n: usize,
+    acc: u64,
+    rounds_left: u32,
+}
+
+impl Protocol for ChannelFrameHeartbeat {
+    type Msg = Vec<u8>;
+    fn step(&mut self, io: &mut RoundIo<'_, Vec<u8>>) {
+        assert!(
+            io.prev_slot().is_idle(),
+            "nothing ever writes the default channel"
+        );
+        if let SlotOutcome::Success { from, msg } = io.prev_slot_on(ChannelId(1)) {
+            self.acc = self
+                .acc
+                .wrapping_add(from.index() as u64)
+                .wrapping_add(u64::from(msg[0]))
+                .wrapping_add(msg.len() as u64);
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            if io.round() % self.n as u64 == self.id.index() as u64 {
+                let mut frame = io.recycle_payload().unwrap_or_default();
+                frame.clear();
+                frame.resize(64, (self.acc & 0xff) as u8);
+                io.write_channel_on(ChannelId(1), frame);
+            }
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+/// Async counterpart: node 0 keys 64-byte frames on channel 1 of a
+/// two-channel set every slot, rebuilt from the slab graveyard (which the
+/// boundary resolution parks retired slot winners into).
+struct AsyncChannelFrameHeartbeat {
+    id: NodeId,
+    slots_left: u32,
+}
+
+impl AsyncProtocol for AsyncChannelFrameHeartbeat {
+    type Msg = Vec<u8>;
+    fn on_start(&mut self, ctx: &mut AsyncCtx<'_, Vec<u8>>) {
+        if self.id == NodeId(0) {
+            let mut frame = vec![0; 64];
+            frame[0] = 1;
+            ctx.write_channel_on(ChannelId(1), frame);
+        }
+    }
+    fn on_message(&mut self, _from: NodeId, _msg: &Vec<u8>, _ctx: &mut AsyncCtx<'_, Vec<u8>>) {}
+    fn on_slot_on(
+        &mut self,
+        chan: ChannelId,
+        outcome: &SlotOutcome<Vec<u8>>,
+        ctx: &mut AsyncCtx<'_, Vec<u8>>,
+    ) {
+        if chan != ChannelId(1) {
+            assert!(outcome.is_idle(), "only channel 1 is ever written");
+            return;
+        }
+        if self.slots_left > 0 {
+            self.slots_left -= 1;
+            if self.id == NodeId(0) && self.slots_left > 0 {
+                let mut frame = ctx.recycle_payload().unwrap_or_default();
+                frame.clear();
+                frame.resize(64, (self.slots_left & 0xff) as u8);
+                ctx.write_channel_on(ChannelId(1), frame);
+            }
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.slots_left == 0
+    }
+}
+
 #[test]
 fn engines_meet_their_allocation_contracts() {
     let g = generators::Family::Grid.generate(400, 7);
@@ -330,6 +416,95 @@ fn engines_meet_their_allocation_contracts() {
          Vec<u8>-payload ticks"
     );
     assert!(async_frames.cost().p2p_messages > 1000);
+
+    // Phase 6: heap payloads over a NON-DEFAULT channel on the flat engine —
+    // the slot winner is delivered by handle out of the delivery arena (no
+    // `resolve_slot` clone), expires into the graveyard, and is recycled by
+    // the next writer: 0 allocations/round.
+    let small = generators::Family::Grid.generate(64, 7);
+    let n = small.node_count();
+    let mut chan_frames =
+        SyncEngine::with_channels(&small, ChannelSet::uniform(2), |id| ChannelFrameHeartbeat {
+            id,
+            n,
+            acc: 1,
+            rounds_left: 64,
+        });
+    for _ in 0..8 {
+        chan_frames.step_round();
+    }
+    let before = allocs();
+    for _ in 0..40 {
+        chan_frames.step_round();
+    }
+    let chan_frame_allocs = allocs() - before;
+    assert_eq!(
+        chan_frame_allocs, 0,
+        "SyncEngine allocated {chan_frame_allocs} times over 40 steady-state \
+         non-default-channel Vec<u8> rounds"
+    );
+    assert!(chan_frames.cost().slots_success >= 40);
+    // Every node folded frames: the channel really carried traffic.
+    assert!(chan_frames.nodes().iter().all(|p| p.acc > 1));
+
+    // Phase 7: the same over the async engine — retired slot winners are
+    // parked in the slab graveyard and recycled by the next write.
+    let mut async_chan_frames =
+        AsyncEngine::with_channels(&ring, cfg, ChannelSet::uniform(2), |id| {
+            AsyncChannelFrameHeartbeat {
+                id,
+                slots_left: 2_000,
+            }
+        });
+    async_chan_frames.run(500);
+    let before = allocs();
+    async_chan_frames.run(6_000);
+    let async_chan_frame_allocs = allocs() - before;
+    assert_eq!(
+        async_chan_frame_allocs, 0,
+        "AsyncEngine allocated {async_chan_frame_allocs} times over steady-state \
+         non-default-channel Vec<u8> slots"
+    );
+    assert!(async_chan_frames.cost().slots_success > 100);
+}
+
+/// `TreeBroadcast` steady state: once a node has forwarded, its step must
+/// not touch the heap — the seed cloned the (possibly heap-carrying) value
+/// *and* the whole children list every round even after `forwarded` was set.
+#[test]
+fn tree_broadcast_steps_allocation_free_after_forwarding() {
+    // Path rooted at 0: parent i forwards to child i + 1.
+    let g = generators::path(64);
+    let n = g.node_count();
+    let mut eng = SyncEngine::new(&g, |id| {
+        let children = if id.index() + 1 < n {
+            vec![NodeId(id.index() + 1)]
+        } else {
+            vec![]
+        };
+        let value = if id.index() == 0 {
+            Some(vec![7u8; 256])
+        } else {
+            None
+        };
+        TreeBroadcast::new(children, value)
+    });
+    let out = eng.run(1000);
+    assert!(out.is_completed());
+    for v in g.nodes() {
+        assert_eq!(eng.node(v).value(), Some(&vec![7u8; 256]));
+    }
+    // Broadcast complete: every further round re-steps done nodes.  With the
+    // borrow-based step this touches no heap at all.
+    let before = allocs();
+    for _ in 0..20 {
+        eng.step_round();
+    }
+    let post_allocs = allocs() - before;
+    assert_eq!(
+        post_allocs, 0,
+        "TreeBroadcast allocated {post_allocs} times over 20 post-broadcast rounds"
+    );
 }
 
 /// Arena-reuse property: on a 1 000-round constant-traffic heap-payload run,

@@ -1,0 +1,186 @@
+//! Property tests of the multi-channel slot substrate.
+//!
+//! Two order-independence contracts:
+//!
+//! 1. **writer arrival order** — a channel's slot outcome (idle / success /
+//!    collision, winner identity *and* winner payload) is a function of the
+//!    *set* of writes, not of the order they arrive in: [`resolve_slots`]
+//!    must produce identical outcomes for any permutation of the write list,
+//!    and a scripted multi-channel protocol must observe identical outcomes
+//!    on the flat [`SyncEngine`] (which merges writes in node-index order)
+//!    and the [`ReferenceEngine`] (which collects them per node in step
+//!    order);
+//! 2. **shard merge order** — with the `parallel` feature, stepping the
+//!    nodes in 2, 3, or 8 worker shards and merging the per-shard channel
+//!    writes must leave every per-channel outcome (and hence every node
+//!    state and the whole [`CostAccount`](netsim_sim::CostAccount))
+//!    bit-for-bit identical to the sequential run.
+
+use netsim_graph::{generators, NodeId};
+use netsim_sim::{resolve_slots, ChannelId, ChannelSet, Protocol, RoundIo, SlotOutcome};
+use proptest::prelude::*;
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^ (z >> 31)
+}
+
+/// Deterministic Fisher–Yates permutation driven by a splitmix stream.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed | 1;
+    for i in (1..items.len()).rev() {
+        state = mix(state, i as u64);
+        items.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+}
+
+/// Scripted multi-channel traffic: every node deterministically picks, per
+/// round, a channel to write and a payload, both as pure functions of
+/// `(seed, id, round)` — so the *set* of writes per round is engine-
+/// independent while arrival order differs by substrate.  Every observed
+/// outcome folds into `state`, so any outcome divergence is visible in the
+/// final states.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ScriptedWriters {
+    id: u64,
+    seed: u64,
+    state: u64,
+    rounds_active: u32,
+}
+
+impl Protocol for ScriptedWriters {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for c in 0..io.channels() {
+            match io.prev_slot_on(ChannelId(c)) {
+                SlotOutcome::Idle => {}
+                SlotOutcome::Success { from, msg } => {
+                    self.state = mix(
+                        self.state,
+                        mix(u64::from(c), mix(from.index() as u64, *msg)),
+                    );
+                }
+                SlotOutcome::Collision => self.state = mix(self.state, 0xc0 + u64::from(c)),
+            }
+        }
+        if self.rounds_active > 0 {
+            self.rounds_active -= 1;
+            let r = mix(self.seed, mix(self.id, io.round()));
+            if !r.is_multiple_of(3) {
+                io.write_channel_on(ChannelId((r >> 16) as u16 % io.channels()), mix(r, 0xabc));
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Contract 1a: [`resolve_slots`] is invariant under any permutation of
+    /// the write list — per channel, the outcome class, the winner, and the
+    /// winner's payload all match.
+    #[test]
+    fn slot_outcomes_independent_of_writer_order(
+        k in 1u16..8,
+        writes_seed in 0u64..10_000,
+        writers in 0usize..24,
+        perm_seed in 0u64..10_000,
+    ) {
+        let writes: Vec<(ChannelId, NodeId, u64)> = (0..writers)
+            .map(|i| {
+                let r = mix(writes_seed, i as u64);
+                (
+                    ChannelId((r % u64::from(k)) as u16),
+                    NodeId(i),
+                    mix(r, 0xbeef),
+                )
+            })
+            .collect();
+        let mut permuted = writes.clone();
+        shuffle(&mut permuted, perm_seed);
+
+        let a = resolve_slots(k, &writes);
+        let b = resolve_slots(k, &permuted);
+        prop_assert_eq!(&a, &b, "outcomes depend on write order");
+        // Sanity: the per-channel classification matches the writer counts.
+        for (c, slot) in a.iter().enumerate() {
+            let count = writes.iter().filter(|w| w.0.index() == c).count();
+            match count {
+                0 => prop_assert!(slot.is_idle()),
+                1 => prop_assert!(slot.is_success()),
+                _ => prop_assert!(slot.is_collision()),
+            }
+        }
+    }
+
+    /// Contract 1b: the flat engine (writes merged in node-index order, slot
+    /// winners delivered by arena handle) and the reference engine (writes
+    /// collected per stepping node, winners cloned) observe identical
+    /// per-channel outcomes on random scripted traffic.
+    #[test]
+    fn engines_agree_on_scripted_multi_channel_traffic(
+        n in 4usize..40,
+        k in 1u16..6,
+        seed in 0u64..10_000,
+        active in 1u32..16,
+    ) {
+        let g = generators::random_connected(n, 0.15, seed);
+        let init = |v: NodeId| ScriptedWriters {
+            id: v.index() as u64,
+            seed,
+            state: mix(seed, v.index() as u64),
+            rounds_active: active + (v.index() as u32 % 3),
+        };
+        let channels = ChannelSet::uniform(k);
+        let mut flat = netsim_sim::SyncEngine::with_channels(&g, channels.clone(), init);
+        let mut reference = netsim_sim::ReferenceEngine::with_channels(&g, channels, init);
+        let flat_out = flat.run(1000);
+        let ref_out = reference.run(1000);
+        prop_assert_eq!(flat_out, ref_out);
+        prop_assert!(flat_out.is_completed());
+        let (flat_nodes, flat_cost) = flat.into_parts();
+        let (ref_nodes, ref_cost) = reference.into_parts();
+        prop_assert_eq!(flat_cost, ref_cost);
+        prop_assert_eq!(flat_nodes, ref_nodes);
+    }
+}
+
+/// Contract 2: per-channel slot outcomes are independent of the `parallel`
+/// feature's shard merge order — any worker count produces the sequential
+/// run bit-for-bit.
+#[cfg(feature = "parallel")]
+#[test]
+fn slot_outcomes_independent_of_shard_merge_order() {
+    for (n, k, seed) in [(40usize, 4u16, 3u64), (64, 6, 17), (33, 1, 99)] {
+        let g = generators::random_connected(n, 0.12, seed);
+        let init = |v: NodeId| ScriptedWriters {
+            id: v.index() as u64,
+            seed,
+            state: mix(seed, v.index() as u64),
+            rounds_active: 12 + (v.index() as u32 % 4),
+        };
+        let channels = ChannelSet::uniform(k);
+        let mut seq = netsim_sim::SyncEngine::with_channels(&g, channels.clone(), init);
+        let seq_out = seq.run(1000);
+        assert!(seq_out.is_completed());
+        for threads in [2usize, 3, 8] {
+            let mut par = netsim_sim::SyncEngine::with_channels(&g, channels.clone(), init);
+            let par_out = par.run_parallel(1000, threads);
+            assert_eq!(seq_out, par_out, "n={n} k={k} threads={threads}");
+            assert_eq!(seq.cost(), par.cost(), "n={n} k={k} threads={threads}");
+            for v in g.nodes() {
+                assert_eq!(
+                    seq.node(v),
+                    par.node(v),
+                    "n={n} k={k} threads={threads} node {v:?}"
+                );
+            }
+        }
+    }
+}

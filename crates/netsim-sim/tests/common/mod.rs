@@ -4,21 +4,39 @@
 //! semantics:
 //!
 //! 1. [`SyncEngine`] — the flat, arena-backed synchronous engine (payloads
-//!    travel as [`PayloadArena`](netsim_sim::PayloadArena) handles);
+//!    travel as [`PayloadArena`](netsim_sim::PayloadArena) handles, and slot
+//!    winners are delivered by handle too);
 //! 2. [`ReferenceEngine`] — the pre-arena **clone path**: every staged
 //!    payload is cloned into per-node pending queues, one owned message per
-//!    delivery, exactly as in the seed implementation;
+//!    delivery, and every slot winner is cloned into its outcome, exactly as
+//!    in the seed implementation;
 //! 3. [`AsyncEngine`] driven in **lockstep** (slot = 1 tick, every delay =
 //!    1 tick) through the [`Lockstep`] adapter, which replays the
 //!    synchronous round structure on the event-driven substrate — payloads
 //!    travel through the async engine's refcounted slab.
 //!
-//! The harness runs one protocol on all three and asserts **bit-for-bit
-//! identical delivery traces and final states**: every protocol instance is
-//! wrapped in [`Traced`], which records `(round, sender, payload digest)`
-//! for each delivery and `(round, outcome digest)` for each non-idle channel
-//! slot, and additionally asserts the engine's inbox-ordering contract
-//! (senders ascending) with a pooled scratch vector.
+//! The harness runs one protocol on all three — over any
+//! [`ChannelSet`](netsim_sim::ChannelSet), so multi-channel protocols are
+//! covered — and asserts **bit-for-bit identical delivery traces, final
+//! states, and cost accounts**: every protocol instance is wrapped in
+//! [`Traced`], which records `(round, sender, payload digest)` for each
+//! delivery and `(round, channel, outcome digest)` for each non-idle channel
+//! slot it observes, and additionally asserts the engine's inbox-ordering
+//! contract (senders ascending) with a pooled scratch vector.
+//!
+//! # Cost parity
+//!
+//! [`assert_conformant_on`] also pins the [`CostAccount`]s: `rounds`,
+//! `p2p_messages`, `channel_writes`, and the per-outcome slot counters must
+//! be bit-identical across all three engines.  One structural difference is
+//! reconciled in the harness: the synchronous engines count one slot per
+//! channel per executed round, so a completed run's **final** round resolves
+//! all-idle slots that no step ever observes, while the async engine's
+//! `on_start` round observes the axiomatic all-idle slots *preceding* time 0
+//! without counting them.  Both runs execute the same number of steps, so the
+//! lockstep cost is adjusted by exactly one all-idle round
+//! (`CostAccount::add_round` + `K` idle slots) — everything else must match
+//! without adjustment.
 //!
 //! Used by the `engine_conformance` integration test over the full topology
 //! matrix (grid, random, ring-of-cliques, geometric, preferential
@@ -26,8 +44,8 @@
 
 use netsim_graph::{generators, topologies, Graph, NodeId};
 use netsim_sim::{
-    AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol, Inbox, OutboxBuffer, Protocol,
-    ReferenceEngine, RoundIo, SlotOutcome, SyncEngine,
+    AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol, ChannelId, ChannelSet, CostAccount, Inbox,
+    OutboxBuffer, Protocol, ReferenceEngine, RoundIo, SlotOutcome, SyncEngine,
 };
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -52,10 +70,12 @@ pub enum TraceEvent {
         /// Digest of the payload bits.
         digest: u64,
     },
-    /// A non-idle channel slot heard in `round`.
+    /// A non-idle slot heard on one channel in `round`.
     Slot {
         /// Round in which the outcome was observed.
         round: u64,
+        /// Channel the outcome was heard on.
+        chan: ChannelId,
         /// Digest of the outcome (collision, or success with writer + payload).
         digest: u64,
     },
@@ -120,16 +140,21 @@ where
                 digest: digest(msg),
             });
         }
-        match io.prev_slot() {
-            SlotOutcome::Idle => {}
-            SlotOutcome::Success { from, msg } => self.trace.push(TraceEvent::Slot {
-                round,
-                digest: digest(&(1u8, from.index(), digest(msg))),
-            }),
-            SlotOutcome::Collision => self.trace.push(TraceEvent::Slot {
-                round,
-                digest: digest(&2u8),
-            }),
+        for c in 0..io.channels() {
+            let chan = ChannelId(c);
+            match io.prev_slot_on(chan) {
+                SlotOutcome::Idle => {}
+                SlotOutcome::Success { from, msg } => self.trace.push(TraceEvent::Slot {
+                    round,
+                    chan,
+                    digest: digest(&(1u8, from.index(), digest(msg))),
+                }),
+                SlotOutcome::Collision => self.trace.push(TraceEvent::Slot {
+                    round,
+                    chan,
+                    digest: digest(&2u8),
+                }),
+            }
         }
         self.inner.step(io);
     }
@@ -143,7 +168,9 @@ where
 /// in lockstep: with `slot_ticks = 1` and `max_delay_ticks = 1` every
 /// message sent while round `r` executes arrives before the slot boundary
 /// that starts round `r + 1`, so the event-driven run is round-for-round
-/// equivalent to the synchronous engine.
+/// equivalent to the synchronous engine.  The engine delivers every
+/// channel's outcome per boundary (ascending channel order, per node); the
+/// adapter buffers them and steps the inner protocol after the last one.
 #[derive(Debug)]
 pub struct Lockstep<P: Protocol> {
     inner: P,
@@ -151,16 +178,19 @@ pub struct Lockstep<P: Protocol> {
     /// by sender index (stably — preserving per-sender send order) before
     /// each step to reproduce the synchronous inbox contract.
     inbox: Vec<(NodeId, P::Msg)>,
+    /// Per-channel outcomes of the boundary being delivered.
+    slots: Vec<SlotOutcome<P::Msg>>,
     outbox: OutboxBuffer<P::Msg>,
     round: u64,
 }
 
 impl<P: Protocol> Lockstep<P> {
-    /// Wraps a protocol instance.
-    pub fn new(inner: P) -> Self {
+    /// Wraps a protocol instance for a `k`-channel engine.
+    pub fn new(inner: P, k: u16) -> Self {
         Lockstep {
             inner,
             inbox: Vec::new(),
+            slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
             outbox: OutboxBuffer::new(),
             round: 0,
         }
@@ -171,25 +201,32 @@ impl<P: Protocol> Lockstep<P> {
         self.inner
     }
 
-    fn step_sync(&mut self, prev_slot: &SlotOutcome<P::Msg>, ctx: &mut AsyncCtx<'_, P::Msg>) {
+    fn step_sync(&mut self, ctx: &mut AsyncCtx<'_, P::Msg>) {
         self.inbox.sort_by_key(|&(from, _)| from.index());
-        let mut io = RoundIo::detached(
+        // Replay the node's real attachment so is_attached / the
+        // write_channel_on gate behave exactly as on the synchronous
+        // engines, sharded channel sets included.
+        let attached = (0..ctx.channels())
+            .filter(|&c| ctx.is_attached(ChannelId(c)))
+            .fold(0u64, |mask, c| mask | 1 << c);
+        let mut io = RoundIo::detached_multi(
             ctx.id(),
             self.round,
             ctx.neighbors(),
             Inbox::direct(&self.inbox),
-            prev_slot,
+            &self.slots,
             &mut self.outbox,
-        );
+        )
+        .with_attachment(attached);
         self.inner.step(&mut io);
-        let write = io.finish();
         self.round += 1;
         self.inbox.clear();
+        // Channel writes move out before the sends: draining the sends
+        // retires the payload epoch the write handles point into.
+        self.outbox
+            .take_channel_writes(|chan, _, msg| ctx.write_channel_on(chan, msg));
         for (to, msg) in self.outbox.drain_sends() {
             ctx.send(to, msg);
-        }
-        if let Some(msg) = write {
-            ctx.write_channel(msg);
         }
     }
 }
@@ -198,16 +235,27 @@ impl<P: Protocol> AsyncProtocol for Lockstep<P> {
     type Msg = P::Msg;
 
     fn on_start(&mut self, ctx: &mut AsyncCtx<'_, Self::Msg>) {
-        let idle = SlotOutcome::Idle;
-        self.step_sync(&idle, ctx);
+        // Round 0 observes the axiomatic all-idle slots preceding time 0.
+        for slot in &mut self.slots {
+            *slot = SlotOutcome::Idle;
+        }
+        self.step_sync(ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: &Self::Msg, _ctx: &mut AsyncCtx<'_, Self::Msg>) {
         self.inbox.push((from, msg.clone()));
     }
 
-    fn on_slot(&mut self, outcome: &SlotOutcome<Self::Msg>, ctx: &mut AsyncCtx<'_, Self::Msg>) {
-        self.step_sync(outcome, ctx);
+    fn on_slot_on(
+        &mut self,
+        chan: ChannelId,
+        outcome: &SlotOutcome<Self::Msg>,
+        ctx: &mut AsyncCtx<'_, Self::Msg>,
+    ) {
+        self.slots[chan.index()] = outcome.clone();
+        if chan.index() + 1 == self.slots.len() {
+            self.step_sync(ctx);
+        }
     }
 
     fn is_done(&self) -> bool {
@@ -216,14 +264,15 @@ impl<P: Protocol> AsyncProtocol for Lockstep<P> {
 }
 
 /// Result of one engine execution: final inner states, per-node traces, and
-/// the aggregate message count.
+/// the full cost account.
 pub struct EngineRun<P> {
     /// Final per-node protocol states (inner, unwrapped).
     pub nodes: Vec<P>,
     /// Per-node recorded event traces, indexed by node.
     pub traces: Vec<Vec<TraceEvent>>,
-    /// Total point-to-point messages delivered.
-    pub p2p_messages: u64,
+    /// The engine's cost account (for the lockstep run: adjusted by the one
+    /// axiom idle round — see the module docs).
+    pub cost: CostAccount,
 }
 
 fn unzip_traced<P: Protocol>(wrappers: Vec<Traced<P>>) -> (Vec<P>, Vec<Vec<TraceEvent>>) {
@@ -231,47 +280,62 @@ fn unzip_traced<P: Protocol>(wrappers: Vec<Traced<P>>) -> (Vec<P>, Vec<Vec<Trace
 }
 
 /// Runs `init`-constructed protocols on the flat arena-backed [`SyncEngine`].
-pub fn run_sync<P, F>(g: &Graph, mut init: F, max_rounds: u64) -> EngineRun<P>
+pub fn run_sync<P, F>(
+    g: &Graph,
+    channels: &ChannelSet,
+    mut init: F,
+    max_rounds: u64,
+) -> EngineRun<P>
 where
     P: Protocol,
     P::Msg: Hash,
     F: FnMut(NodeId) -> P,
 {
-    let mut eng = SyncEngine::new(g, |v| Traced::new(init(v)));
+    let mut eng = SyncEngine::with_channels(g, channels.clone(), |v| Traced::new(init(v)));
     let out = eng.run(max_rounds);
     assert!(out.is_completed(), "sync engine must quiesce");
-    let p2p_messages = eng.cost().p2p_messages;
+    let cost = *eng.cost();
     let (wrappers, _) = eng.into_parts();
     let (nodes, traces) = unzip_traced(wrappers);
     EngineRun {
         nodes,
         traces,
-        p2p_messages,
+        cost,
     }
 }
 
 /// Runs the same workload on the pre-arena clone-path [`ReferenceEngine`].
-pub fn run_reference<P, F>(g: &Graph, mut init: F, max_rounds: u64) -> EngineRun<P>
+pub fn run_reference<P, F>(
+    g: &Graph,
+    channels: &ChannelSet,
+    mut init: F,
+    max_rounds: u64,
+) -> EngineRun<P>
 where
     P: Protocol,
     P::Msg: Hash,
     F: FnMut(NodeId) -> P,
 {
-    let mut eng = ReferenceEngine::new(g, |v| Traced::new(init(v)));
+    let mut eng = ReferenceEngine::with_channels(g, channels.clone(), |v| Traced::new(init(v)));
     let out = eng.run(max_rounds);
     assert!(out.is_completed(), "reference engine must quiesce");
-    let p2p_messages = eng.cost().p2p_messages;
+    let cost = *eng.cost();
     let (wrappers, _) = eng.into_parts();
     let (nodes, traces) = unzip_traced(wrappers);
     EngineRun {
         nodes,
         traces,
-        p2p_messages,
+        cost,
     }
 }
 
 /// Runs the same workload on the [`AsyncEngine`] in lockstep configuration.
-pub fn run_async_lockstep<P, F>(g: &Graph, mut init: F, max_rounds: u64) -> EngineRun<P>
+pub fn run_async_lockstep<P, F>(
+    g: &Graph,
+    channels: &ChannelSet,
+    mut init: F,
+    max_rounds: u64,
+) -> EngineRun<P>
 where
     P: Protocol,
     P::Msg: Hash,
@@ -282,18 +346,28 @@ where
         max_delay_ticks: 1,
         seed: 0,
     };
-    let mut eng = AsyncEngine::new(g, cfg, |v| Lockstep::new(Traced::new(init(v))));
+    let k = channels.channels();
+    let mut eng = AsyncEngine::with_channels(g, cfg, channels.clone(), |v| {
+        Lockstep::new(Traced::new(init(v)), k)
+    });
     assert!(
         eng.run(max_rounds.saturating_mul(2).max(16)),
         "async lockstep run must quiesce"
     );
-    let p2p_messages = eng.cost().p2p_messages;
+    let mut cost = *eng.cost();
+    // Reconcile the one structural accounting difference (module docs): the
+    // `on_start` round observed the axiom all-idle slots the synchronous
+    // engines account for as the final round's unobserved all-idle slots.
+    cost.add_round();
+    for _ in 0..k {
+        cost.add_channel_slot(0);
+    }
     let (adapters, _) = eng.into_parts();
     let (nodes, traces) = unzip_traced(adapters.into_iter().map(Lockstep::into_inner).collect());
     EngineRun {
         nodes,
         traces,
-        p2p_messages,
+        cost,
     }
 }
 
@@ -320,25 +394,44 @@ pub fn topology_matrix(seed: u64) -> Vec<(&'static str, Graph)> {
     ]
 }
 
-/// Runs `init` over all three engines on `g` and asserts bit-for-bit
-/// identical delivery traces, final states, and message counts.
-pub fn assert_conformant<P, F>(label: &str, g: &Graph, mut init: F, max_rounds: u64)
+/// Runs `init` over all three engines on `g` with the paper's single
+/// channel and asserts bit-for-bit identical delivery traces, final states,
+/// and cost accounts.
+pub fn assert_conformant<P, F>(label: &str, g: &Graph, init: F, max_rounds: u64)
 where
     P: Protocol + PartialEq + std::fmt::Debug,
     P::Msg: Hash,
     F: FnMut(NodeId) -> P,
 {
-    let sync = run_sync(g, &mut init, max_rounds);
-    let reference = run_reference(g, &mut init, max_rounds);
-    let lockstep = run_async_lockstep(g, &mut init, max_rounds);
+    assert_conformant_on(label, g, &ChannelSet::single(), init, max_rounds);
+}
 
+/// [`assert_conformant`] over an explicit [`ChannelSet`] — the channel
+/// dimension of the conformance matrix.
+pub fn assert_conformant_on<P, F>(
+    label: &str,
+    g: &Graph,
+    channels: &ChannelSet,
+    mut init: F,
+    max_rounds: u64,
+) where
+    P: Protocol + PartialEq + std::fmt::Debug,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    let sync = run_sync(g, channels, &mut init, max_rounds);
+    let reference = run_reference(g, channels, &mut init, max_rounds);
+    let lockstep = run_async_lockstep(g, channels, &mut init, max_rounds);
+
+    // Cost parity: rounds, messages, slot-writer counts, and per-outcome
+    // slot counters, bit-identical across the three substrates.
     assert_eq!(
-        sync.p2p_messages, reference.p2p_messages,
-        "[{label}] arena vs clone path: message counts diverged"
+        sync.cost, reference.cost,
+        "[{label}] arena vs clone path: cost accounts diverged"
     );
     assert_eq!(
-        sync.p2p_messages, lockstep.p2p_messages,
-        "[{label}] sync vs async lockstep: message counts diverged"
+        sync.cost, lockstep.cost,
+        "[{label}] sync vs async lockstep: cost accounts diverged"
     );
     for v in 0..g.node_count() {
         assert_eq!(

@@ -22,9 +22,12 @@
 
 mod common;
 
-use common::{assert_conformant, topology_matrix};
+use common::{assert_conformant, assert_conformant_on, topology_matrix};
 use netsim_graph::NodeId;
-use netsim_sim::{protocols::BfsBuild, Protocol, RoundIo, SlotOutcome};
+use netsim_sim::{
+    protocols::{BfsBuild, ChannelShardedSum},
+    ChannelId, ChannelSet, Protocol, RoundIo, SlotOutcome,
+};
 
 fn mix(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.wrapping_mul(0x9e3779b97f4a7c15);
@@ -243,5 +246,166 @@ fn slot_dance_conforms_across_engines_and_topologies() {
             },
             10_000,
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MultiChannelDance: chaotic traffic over a uniform 4-channel set — dynamic
+// channel picks, cross-channel collision/success/idle sequences, plus p2p
+// sends keyed off the per-channel outcomes so any divergence cascades.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct MultiChannelDance {
+    id: u64,
+    state: u64,
+    rounds_active: u32,
+}
+
+impl Protocol for MultiChannelDance {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for (from, &m) in io.inbox() {
+            self.state = mix(self.state, mix(from.index() as u64, m));
+        }
+        for c in 0..io.channels() {
+            match io.prev_slot_on(ChannelId(c)) {
+                SlotOutcome::Idle => {}
+                SlotOutcome::Success { from, msg } => {
+                    self.state = mix(
+                        self.state,
+                        mix(u64::from(c), mix(from.index() as u64, *msg)),
+                    );
+                }
+                SlotOutcome::Collision => self.state = mix(self.state, 0xbad0 + u64::from(c)),
+            }
+        }
+        if self.rounds_active > 0 {
+            self.rounds_active -= 1;
+            let r = mix(self.id, mix(self.state, io.round()));
+            if r.is_multiple_of(3) {
+                // Dynamic channel pick; overlapping picks collide.
+                io.write_channel_on(ChannelId((r >> 8) as u16 % io.channels()), self.state);
+            }
+            if r.is_multiple_of(5) && io.degree() > 0 {
+                let v = io.neighbors().target(r as usize % io.degree());
+                io.send(v, mix(self.state, 0x1e));
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+}
+
+#[test]
+fn multi_channel_dance_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(53) {
+        assert_conformant_on(
+            &format!("multi_channel_dance/{name}"),
+            &g,
+            &ChannelSet::uniform(4),
+            |v: NodeId| MultiChannelDance {
+                id: v.index() as u64,
+                state: mix(0xdace, v.index() as u64),
+                rounds_active: 12 + (v.index() as u32 % 5),
+            },
+            10_000,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AttachmentProbe: branches on `is_attached` under a sharded ChannelSet, so
+// any engine that misreports attachment (e.g. a lockstep adapter defaulting
+// to full attachment) diverges immediately.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct AttachmentProbe {
+    id: u64,
+    state: u64,
+    rounds_active: u32,
+}
+
+impl Protocol for AttachmentProbe {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for c in 0..io.channels() {
+            let chan = ChannelId(c);
+            if io.is_attached(chan) {
+                match io.prev_slot_on(chan) {
+                    SlotOutcome::Idle => {}
+                    SlotOutcome::Success { from, msg } => {
+                        self.state = mix(
+                            self.state,
+                            mix(u64::from(c), mix(from.index() as u64, *msg)),
+                        );
+                    }
+                    SlotOutcome::Collision => self.state = mix(self.state, 0xcc + u64::from(c)),
+                }
+                if self.rounds_active > 0
+                    && mix(self.id, mix(io.round(), u64::from(c))).is_multiple_of(4)
+                {
+                    io.write_channel_on(chan, self.state);
+                }
+            } else {
+                // The unattached branch folds too: a substrate reporting
+                // full attachment takes a visibly different path.
+                self.state = mix(self.state, 0xdead + u64::from(c));
+            }
+        }
+        self.rounds_active = self.rounds_active.saturating_sub(1);
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+}
+
+#[test]
+fn attachment_probe_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(71) {
+        let n = g.node_count();
+        // Each node attached to two of three channels: {v mod 3, v+1 mod 3}.
+        let masks = (0..n)
+            .map(|v| (1u64 << (v % 3)) | (1u64 << ((v + 1) % 3)))
+            .collect();
+        assert_conformant_on(
+            &format!("attachment_probe/{name}"),
+            &g,
+            &ChannelSet::from_masks(3, masks),
+            |v: NodeId| AttachmentProbe {
+                id: v.index() as u64,
+                state: mix(0xa77, v.index() as u64),
+                rounds_active: 10 + (v.index() as u32 % 4),
+            },
+            10_000,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChannelShardedSum: the benchmark's K-channel scenario family with sharded
+// per-node attachment — pinned across all three engines, as the channels
+// section of BENCH_engine.json claims.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn channel_sharded_sum_conforms_across_engines_and_topologies() {
+    for k in [1u16, 4, 16] {
+        for (name, g) in topology_matrix(61) {
+            let n = g.node_count();
+            assert_conformant_on(
+                &format!("sharded_sum_k{k}/{name}"),
+                &g,
+                &ChannelShardedSum::channel_set(n, k),
+                |v: NodeId| ChannelShardedSum::new(v, n, k, mix(0x5ade, v.index() as u64)),
+                10_000,
+            );
+        }
     }
 }

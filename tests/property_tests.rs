@@ -184,7 +184,10 @@ proptest! {
         let flat_out = flat.run(400);
         let ref_out = reference.run(400);
         prop_assert_eq!(flat_out, ref_out);
-        prop_assert_eq!(flat.last_slot(), reference.last_slot());
+        prop_assert_eq!(
+            flat.last_slot_state(netsim_sim::ChannelId::DEFAULT),
+            reference.last_slot_state(netsim_sim::ChannelId::DEFAULT)
+        );
         let (flat_nodes, flat_cost) = flat.into_parts();
         let (ref_nodes, ref_cost) = reference.into_parts();
         prop_assert_eq!(flat_cost, ref_cost);
