@@ -760,6 +760,51 @@ impl ChannelBenchRow {
     }
 }
 
+/// One measured channel-sharded MST configuration (per-fragment elections on
+/// per-fragment channels, dynamic re-attachment between merge phases), for
+/// the `mst_sharded` section of `BENCH_engine.json`.
+struct MstShardedRow {
+    topology: &'static str,
+    n: usize,
+    m: usize,
+    k: u16,
+    engine: &'static str,
+    phases: u32,
+    initial_fragments: usize,
+    /// Engine-executed election rounds (the number that drops with `K`).
+    rounds: u64,
+    seconds: f64,
+    allocations: u64,
+    allocated_bytes: u64,
+    peak_live_bytes: u64,
+    checksum: u64,
+}
+
+impl MstShardedRow {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"topology\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \"engine\": \"{}\", \
+             \"phases\": {}, \"initial_fragments\": {}, \"rounds\": {}, \"seconds\": {}, \
+             \"rounds_per_sec\": {}, \"allocations\": {}, \"allocated_bytes\": {}, \
+             \"peak_live_bytes\": {}, \"checksum\": \"{:016x}\"}}",
+            json_escape(self.topology),
+            self.n,
+            self.m,
+            self.k,
+            json_escape(self.engine),
+            self.phases,
+            self.initial_fragments,
+            self.rounds,
+            json_f64(self.seconds),
+            json_f64(self.rounds as f64 / self.seconds.max(1e-12)),
+            self.allocations,
+            self.allocated_bytes,
+            self.peak_live_bytes,
+            self.checksum,
+        )
+    }
+}
+
 /// Measures `run` with allocator accounting around it.
 fn measured<F: FnOnce() -> engine_bench::RunStats>(
     run: F,
@@ -1050,6 +1095,101 @@ fn engine(opts: &Opts) {
         }
     }
 
+    // ---- Sharded-MST dimension: per-fragment channels + re-attachment. ----
+    // The Section 5/6 algorithm-layer scenario: every current fragment runs
+    // its minimum-outgoing-link election on its own channel, merged
+    // fragments re-attach to the winner's channel between phases, and the
+    // engine-executed election round count drops with the shard factor K —
+    // pinned bit-for-bit across all three engine substrates.
+    let mst_n = if opts.quick { 512 } else { 2_048 };
+    let mst_families = [Family::RingOfCliques, Family::Geometric];
+    let mst_ks: [u16; 3] = [1, 4, 16];
+    let mut mst_rows: Vec<MstShardedRow> = Vec::new();
+    println!("\n== ENGINE mst_sharded — channel-sharded MST merge (K fragment channels) ==");
+    println!(
+        "{:<12}{:>9}{:>6}  {:<16}{:>8}{:>10}{:>12}{:>12}",
+        "topology", "n", "K", "engine", "phases", "rounds", "seconds", "allocs"
+    );
+    for fam in mst_families {
+        let net = workload(fam, mst_n, 42);
+        // Stage 1 depends only on the network, not on K or the engine:
+        // hoist it so each row's seconds/allocations measure the sharded
+        // merge the K-scaling claim is about.
+        let stage1 = deterministic::partition(&net);
+        let mut per_k_rounds: Vec<u64> = Vec::new();
+        for &k in &mst_ks {
+            let mut per_engine: Vec<(&'static str, mst::ShardedMstRun)> = Vec::new();
+            for (name, which) in [
+                ("flat", mst::MergeSubstrate::Flat),
+                ("reference", mst::MergeSubstrate::Reference),
+                ("async-lockstep", mst::MergeSubstrate::AsyncLockstep),
+            ] {
+                let live = reset_peak();
+                let before = alloc_snapshot();
+                let start = std::time::Instant::now();
+                let run = mst::sharded_mst_from_partition(&net, &stage1, k, which);
+                let seconds = start.elapsed().as_secs_f64();
+                let after = alloc_snapshot();
+                println!(
+                    "{:<12}{:>9}{:>6}  {:<16}{:>8}{:>10}{:>12.3}{:>12}",
+                    fam.name(),
+                    net.node_count(),
+                    k,
+                    name,
+                    run.phases,
+                    run.election_rounds(),
+                    seconds,
+                    after.count - before.count,
+                );
+                mst_rows.push(MstShardedRow {
+                    topology: fam.name(),
+                    n: net.node_count(),
+                    m: net.edge_count(),
+                    k,
+                    engine: name,
+                    phases: run.phases,
+                    initial_fragments: run.initial_fragments,
+                    rounds: run.election_rounds(),
+                    seconds,
+                    allocations: after.count - before.count,
+                    allocated_bytes: after.bytes - before.bytes,
+                    peak_live_bytes: peak_delta(live),
+                    checksum: run.checksum(),
+                });
+                per_engine.push((name, run));
+            }
+            let (_, flat) = &per_engine[0];
+            for (name, run) in &per_engine[1..] {
+                assert_eq!(
+                    flat.edges,
+                    run.edges,
+                    "sharded MST diverged on {} K={k} ({name})",
+                    fam.name()
+                );
+                assert_eq!(
+                    flat.election_cost,
+                    run.election_cost,
+                    "sharded MST election cost diverged on {} K={k} ({name})",
+                    fam.name()
+                );
+            }
+            per_k_rounds.push(flat.election_rounds());
+        }
+        assert!(
+            per_k_rounds.windows(2).all(|w| w[0] > w[1]),
+            "election rounds must drop with K on {}: {per_k_rounds:?}",
+            fam.name()
+        );
+        println!(
+            "   -> {}: rounds {} (K=1) -> {} (K=4) -> {} (K=16), {:.1}x shard win",
+            fam.name(),
+            per_k_rounds[0],
+            per_k_rounds[1],
+            per_k_rounds[2],
+            per_k_rounds[0] as f64 / per_k_rounds[2].max(1) as f64
+        );
+    }
+
     let row_json: Vec<String> = rows.iter().map(EngineBenchRow::to_json).collect();
     let build_json: Vec<String> = build_rows.iter().map(GraphBuildRow::to_json).collect();
     let speedup_json: Vec<String> = speedups
@@ -1064,22 +1204,28 @@ fn engine(opts: &Opts) {
         .collect();
     let payload_json: Vec<String> = payload_rows.iter().map(PayloadBenchRow::to_json).collect();
     let channel_json: Vec<String> = channel_rows.iter().map(ChannelBenchRow::to_json).collect();
+    let mst_json: Vec<String> = mst_rows.iter().map(MstShardedRow::to_json).collect();
     let doc = format!(
-        "{{\n\"schema\": \"bench-engine/v4\",\n\"workload\": \"global-sum gossip \
+        "{{\n\"schema\": \"bench-engine/v5\",\n\"workload\": \"global-sum gossip \
          (constant-traffic heartbeat aggregation; see bench::engine_bench)\",\n\
          \"payload_workload\": \"Vec<u8> frame gossip (intern-on-broadcast arena vs \
          clone-per-delivery reference; see bench::engine_bench::FrameGossip)\",\n\
          \"channel_workload\": \"K-channel sharded global sum (per-node attachment, \
          TDMA shard schedule, handle-based slot winners; see \
          netsim_sim::protocols::ChannelShardedSum)\",\n\
+         \"mst_sharded_workload\": \"channel-sharded MST merge (per-fragment \
+         bitwise elections on per-fragment channels, dynamic re-attachment to \
+         the winner's channel between phases; see multimedia::mst::sharded_mst)\",\n\
          \"quick\": {},\n\"results\": [\n{}\n],\n\"payloads\": [\n{}\n],\n\
          \"channels\": [\n{}\n],\n\
+         \"mst_sharded\": [\n{}\n],\n\
          \"graph_construction\": [\n{}\n],\n\
          \"speedups_flat_over_reference\": [\n{}\n]\n}}\n",
         opts.quick,
         row_json.join(",\n"),
         payload_json.join(",\n"),
         channel_json.join(",\n"),
+        mst_json.join(",\n"),
         build_json.join(",\n"),
         speedup_json.join(",\n")
     );

@@ -208,6 +208,155 @@ impl Protocol for AssignedElection {
 }
 
 // ---------------------------------------------------------------------------
+// Slot-scheduled series of bitwise elections over an assigned channel
+// ---------------------------------------------------------------------------
+
+/// A **series** of [`AssignedElection`]-style bitwise elections on one
+/// assigned channel, serialized in known slot order — the per-phase workhorse
+/// of the channel-sharded MST: each fragment scheduled on the channel gets
+/// one election slot, its members contend with their `bits`-bit station ids
+/// (max id wins), and **every** node attached to the channel learns every
+/// slot's winner.
+///
+/// As for every bitwise election, the station ids contending in one slot
+/// must be **distinct**: two contenders sharing an id would survive every
+/// probe together and collide in the announce slot, which the listeners
+/// cannot distinguish from an empty election
+/// ([`ElectionSeries::winners`] reports `None`).  The sharded MST satisfies
+/// this structurally — a fragment's stations are its members' distinct
+/// candidate edges.
+///
+/// Unlike [`AssignedElection`], the series counts rounds **locally** (from
+/// the step the state was seeded at) rather than from the engine's absolute
+/// round clock, so it can be re-armed between phases of a multi-phase
+/// pipeline via the engines' `update_nodes` + `reattach` hooks without any
+/// cross-engine round-offset bookkeeping.  Election `j` occupies local
+/// rounds `j·L .. (j+1)·L` with `L = bits + 2` (`bits` probe rounds, one
+/// announce slot, one observation round); a node stepped after its series
+/// finished (its channel hosted fewer elections than the engine's busiest
+/// one) is a no-op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElectionSeries {
+    chan: ChannelId,
+    bits: u32,
+    /// `(slot, station id)` this node contends in, `None` for pure listeners.
+    entry: Option<(u32, u64)>,
+    /// Number of election slots scheduled on this node's channel.
+    elections: u32,
+    /// Per-slot winner station ids (`None` for an empty election).
+    winners: Vec<Option<u64>>,
+    /// Still in the running for the current slot's election.
+    active: bool,
+    /// Local round counter since seeding.
+    round: u64,
+    done: bool,
+}
+
+impl ElectionSeries {
+    /// Per-node state: this node contends in election slot `entry.0` with
+    /// station id `entry.1` (`None` for a listener), `elections` slots run
+    /// on channel `chan`, ids fit in `bits` bits.  Station ids must be
+    /// distinct per slot (see the type docs) — a cross-node invariant the
+    /// constructor cannot check locally.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 63`, the entry's slot is within the
+    /// series, and its station id fits in `bits` bits.
+    pub fn new(entry: Option<(u32, u64)>, bits: u32, elections: u32, chan: ChannelId) -> Self {
+        assert!(bits > 0 && bits <= 63, "bits must be in 1..=63");
+        if let Some((slot, id)) = entry {
+            assert!(
+                slot < elections,
+                "slot {slot} outside {elections} elections"
+            );
+            assert!(id < (1u64 << bits), "id {id} does not fit in {bits} bits");
+        }
+        ElectionSeries {
+            chan,
+            bits,
+            entry,
+            elections,
+            winners: vec![None; elections as usize],
+            active: false,
+            round: 0,
+            done: elections == 0,
+        }
+    }
+
+    /// Rounds one election slot occupies: `bits` probes, the announce slot,
+    /// and the observation round.
+    pub fn slot_rounds(bits: u32) -> u64 {
+        u64::from(bits) + 2
+    }
+
+    /// Per-slot winner station ids, in slot order (`None` for a slot whose
+    /// election had no contender).  Identical on every node attached to the
+    /// channel once the series is done.
+    pub fn winners(&self) -> &[Option<u64>] {
+        &self.winners
+    }
+}
+
+impl Protocol for ElectionSeries {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        if self.done {
+            return; // the engine's busiest channel is still electing
+        }
+        let l = Self::slot_rounds(self.bits);
+        let j = (self.round / l) as u32;
+        let t = self.round % l;
+        let bits = self.bits;
+        let station = self.entry.and_then(|(slot, id)| (slot == j).then_some(id));
+        if t == 0 {
+            self.active = station.is_some();
+        }
+        // Feedback of probe t - 1 (bit `bits - t`) knocks out the stations
+        // whose bit was 0 while the slot was busy.
+        if (1..=u64::from(bits)).contains(&t)
+            && self.active
+            && !io.prev_slot_on(self.chan).is_idle()
+        {
+            if let Some(id) = station {
+                if (id >> (bits - t as u32)) & 1 == 0 {
+                    self.active = false;
+                }
+            }
+        }
+        if t < u64::from(bits) {
+            // Probe round: active stations with the current bit set transmit.
+            if let Some(id) = station {
+                if self.active && (id >> (bits - 1 - t as u32)) & 1 == 1 {
+                    io.write_channel_on(self.chan, id);
+                }
+            }
+        } else if t == u64::from(bits) {
+            // Announce slot: the unique survivor transmits its id.
+            if self.active {
+                if let Some(id) = station {
+                    io.write_channel_on(self.chan, id);
+                }
+            }
+        } else {
+            // Observation round: every attached node records the winner.
+            if let SlotOutcome::Success { msg, .. } = io.prev_slot_on(self.chan) {
+                self.winners[j as usize] = Some(*msg);
+            }
+            if j + 1 == self.elections {
+                self.done = true;
+            }
+        }
+        self.round += 1;
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Randomized backoff over an assigned channel
 // ---------------------------------------------------------------------------
 
@@ -368,6 +517,110 @@ mod tests {
         // `bits` probe slots plus the announce slot, all on the assigned
         // channel, plus the final observation round.
         assert_eq!(eng.cost().rounds, u64::from(bits) + 2);
+    }
+
+    #[test]
+    fn election_series_matches_abstract_election_per_slot() {
+        // Three election slots on channel 1 of a 2-channel set: nodes are
+        // partitioned into contender groups by `v mod 4` (group 3 and all of
+        // slot 2 are listeners — slot 2 must report an empty election).
+        let g = generators::ring(21);
+        let n = g.node_count();
+        let bits = 9;
+        let entry = |v: usize| -> Option<(u32, u64)> {
+            let group = v % 4;
+            (group < 2).then(|| (group as u32, (v as u64) * 23 + 1))
+        };
+        let mut eng = SyncEngine::with_channels(&g, ChannelSet::uniform(2), |v| {
+            ElectionSeries::new(entry(v.index()), bits, 3, CHAN)
+        });
+        let out = eng.run(10_000);
+        assert!(out.is_completed());
+        // The busiest channel runs 3 slots of bits + 2 rounds each; the last
+        // slot's observation round is the final step.
+        assert_eq!(out.rounds(), 3 * ElectionSeries::slot_rounds(bits));
+        for slot in 0..2u32 {
+            let ids: Vec<u64> = (0..n)
+                .filter_map(|v| entry(v).filter(|e| e.0 == slot).map(|e| e.1))
+                .collect();
+            let abstract_run = election::bitwise_election(&ids, bits);
+            for v in g.nodes() {
+                assert_eq!(
+                    eng.node(v).winners()[slot as usize],
+                    Some(abstract_run.leader),
+                    "slot {slot} winner wrong on {v:?}"
+                );
+            }
+        }
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).winners()[2], None, "empty slot must be None");
+        }
+    }
+
+    #[test]
+    fn election_series_conforms_on_reference_engine() {
+        let g = generators::ring(16);
+        let bits = 7;
+        let entry = |v: usize| -> Option<(u32, u64)> {
+            (v % 3 != 2).then(|| ((v % 3) as u32, (v as u64) * 7 + 2))
+        };
+        let init = |v: netsim_graph::NodeId| ElectionSeries::new(entry(v.index()), bits, 2, CHAN);
+        let mut flat = SyncEngine::with_channels(&g, ChannelSet::uniform(2), init);
+        let mut reference = ReferenceEngine::with_channels(&g, ChannelSet::uniform(2), init);
+        assert!(flat.run(10_000).is_completed());
+        assert!(reference.run(10_000).is_completed());
+        assert_eq!(flat.cost(), reference.cost());
+        for v in g.nodes() {
+            assert_eq!(flat.node(v), reference.node(v));
+        }
+    }
+
+    #[test]
+    fn election_series_tolerates_stragglers_and_reseeding() {
+        // Two channels with unequal series lengths: channel 1 runs one slot,
+        // channel 0 runs three — the early-finished nodes keep being stepped
+        // (no-ops) until the busiest channel quiesces.  Then the series is
+        // re-armed via `update_nodes` (the multi-phase pipeline hook) and
+        // runs again on the same engine.
+        let g = generators::ring(12);
+        let assign = |v: usize| -> (ChannelId, u32) {
+            if v.is_multiple_of(2) {
+                (ChannelId(0), 3)
+            } else {
+                (ChannelId(1), 1)
+            }
+        };
+        let bits = 5;
+        let mut eng = SyncEngine::with_channels(
+            &g,
+            ChannelSet::sharded(2, 12, |v| assign(v.index()).0),
+            |v| {
+                let (chan, elections) = assign(v.index());
+                let slot = (v.index() as u32 / 2) % elections;
+                ElectionSeries::new(Some((slot, v.index() as u64 + 1)), bits, elections, chan)
+            },
+        );
+        let out = eng.run(10_000);
+        assert!(out.is_completed());
+        assert_eq!(out.rounds(), 3 * ElectionSeries::slot_rounds(bits));
+        // Odd nodes all contend in their only slot: the max id (11 + 1) wins.
+        assert_eq!(eng.node(netsim_graph::NodeId(1)).winners(), &[Some(12)]);
+
+        // Re-arm: everyone now runs a single election on channel 0.
+        eng.reattach(&[0b01u64; 12]);
+        eng.update_nodes(|v, series| {
+            *series = ElectionSeries::new(Some((0, v.index() as u64 + 1)), bits, 1, ChannelId(0));
+        });
+        let rounds_before = eng.round();
+        let out = eng.run(100_000);
+        assert!(out.is_completed());
+        assert_eq!(
+            out.rounds() - rounds_before,
+            ElectionSeries::slot_rounds(bits)
+        );
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).winners(), &[Some(12)]);
+        }
     }
 
     #[test]

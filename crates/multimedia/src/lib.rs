@@ -19,7 +19,11 @@
 //!   xor, …) in `Õ(√n)` time (Section 5.1);
 //! * [`lower_bounds`] — the Ω(d) / Ω(n) / Ω(min{d, √n}) bounds and the
 //!   ray-graph adversary workload (Section 5.2);
-//! * [`mst`] — the `O(√n·log n)`-time minimum spanning tree (Section 6);
+//! * [`mst`] — the `O(√n·log n)`-time minimum spanning tree (Section 6),
+//!   plus its channel-sharded port ([`mst::sharded_mst`]) that runs each
+//!   fragment's minimum-edge election on the fragment's own channel of a
+//!   multi-channel [`netsim_sim::ChannelSet`], re-attaching merged
+//!   fragments between phases;
 //! * [`synchronizer`] — the channel-based synchronizer that removes the
 //!   synchrony assumption (Section 7.1);
 //! * [`size`] — deterministic computation and randomized estimation of `n`
@@ -51,5 +55,5 @@ pub mod partition;
 pub mod size;
 pub mod synchronizer;
 
-pub use model::MultimediaNetwork;
+pub use model::{EdgeRanks, MultimediaNetwork};
 pub use partition::PartitionOutcome;

@@ -1,7 +1,8 @@
 //! The multimedia network handle: the point-to-point graph plus the global
-//! parameters (processor ids, id width, √n) that the paper's algorithms use.
+//! parameters (processor ids, id width, √n, edge-weight ranks) that the
+//! paper's algorithms use.
 
-use netsim_graph::{ceil_log2, Graph, NodeId};
+use netsim_graph::{ceil_log2, EdgeId, Graph, NodeId};
 
 /// A multimedia network: `n` processors connected by an arbitrary-topology
 /// point-to-point graph **and** a shared slotted collision channel.
@@ -104,6 +105,67 @@ impl MultimediaNetwork {
     }
 }
 
+/// Dense rank of every edge in the graph's tie-broken weight order
+/// ([`Graph::edge_key`]) — the `O(log m)`-bit **station space** the
+/// channel-sharded MST's per-fragment elections contend in.
+///
+/// The paper assumes `O(log n)`-bit messages (one data element plus ids);
+/// electing on the dense weight *rank* instead of the raw `u64` weight
+/// realises that normalisation for arbitrary inputs: a fragment-local
+/// bitwise election over `bits()` probe rounds elects the fragment's
+/// **minimum-weight** outgoing link, because [`EdgeRanks::station_of`]
+/// inverts the rank order (lower weight ⇒ higher station, and the bitwise
+/// election elects the maximum station).
+#[derive(Clone, Debug)]
+pub struct EdgeRanks {
+    /// Edge ids sorted ascending by `edge_key`; `by_rank[r]` has rank `r`.
+    by_rank: Vec<EdgeId>,
+    /// Rank of each edge, indexed by edge id.
+    rank_of: Vec<u32>,
+    /// Station-space width: `⌈log₂ m⌉` bits (at least 1).
+    bits: u32,
+}
+
+impl EdgeRanks {
+    /// Ranks the edges of `g` by ascending [`Graph::edge_key`].
+    pub fn new(g: &Graph) -> Self {
+        let m = g.edge_count();
+        let mut by_rank: Vec<EdgeId> = (0..m).map(EdgeId).collect();
+        by_rank.sort_unstable_by_key(|&e| g.edge_key(e));
+        let mut rank_of = vec![0u32; m];
+        for (r, &e) in by_rank.iter().enumerate() {
+            rank_of[e.index()] = r as u32;
+        }
+        EdgeRanks {
+            by_rank,
+            rank_of,
+            bits: ceil_log2(m.max(2) as u64).max(1),
+        }
+    }
+
+    /// Bits a station id needs: `⌈log₂ m⌉`, the election's probe count.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Station id of edge `e`: the *inverted* weight rank, so the
+    /// maximum-station winner of a bitwise election is the minimum-weight
+    /// edge.
+    pub fn station_of(&self, e: EdgeId) -> u64 {
+        (self.by_rank.len() - 1 - self.rank_of[e.index()] as usize) as u64
+    }
+
+    /// The edge a winning station id denotes (inverse of
+    /// [`EdgeRanks::station_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `station` is outside the station space.
+    pub fn edge_of_station(&self, station: u64) -> EdgeId {
+        self.by_rank[self.by_rank.len() - 1 - station as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +198,28 @@ mod tests {
         let net = MultimediaNetwork::with_ids(g, vec![100, 5, 999, 42]);
         assert_eq!(net.id_of(NodeId(2)), 999);
         assert_eq!(net.id_bits(), 10);
+    }
+
+    #[test]
+    fn edge_ranks_invert_weight_order() {
+        let g = generators::assign_random_weights(&generators::ring(12), 7);
+        let ranks = EdgeRanks::new(&g);
+        assert_eq!(ranks.bits(), 4); // ⌈log₂ 12⌉
+        let mut stations: Vec<u64> = Vec::new();
+        for e in 0..g.edge_count() {
+            let e = EdgeId(e);
+            let s = ranks.station_of(e);
+            assert_eq!(ranks.edge_of_station(s), e);
+            stations.push(s);
+        }
+        stations.sort_unstable();
+        assert_eq!(stations, (0..12u64).collect::<Vec<_>>());
+        // The minimum-key edge owns the maximum station.
+        let min_edge = (0..g.edge_count())
+            .map(EdgeId)
+            .min_by_key(|&e| g.edge_key(e))
+            .unwrap();
+        assert_eq!(ranks.station_of(min_edge), 11);
     }
 
     #[test]

@@ -15,12 +15,47 @@
 //!    slot (using the Stage-2 schedule), after which **every** node knows the
 //!    minimum outgoing link of every current fragment, adds those links to
 //!    the MST and merges the current fragments locally.
+//!
+//! # Channel-sharded merging
+//!
+//! The single-channel pipeline serializes **all** fragments through one
+//! carrier, so each phase costs Θ(#fragments) slots however many channels a
+//! deployment has.  [`sharded_mst`] ports the merge pipeline to a
+//! `K`-channel [`ChannelSet`]: every current fragment contends on **its
+//! own** channel (fragments sharing a channel are serialized into election
+//! slots), the fragment-local minimum-edge election runs as an
+//! engine-executed bitwise election over the weight-rank station space
+//! ([`EdgeRanks`]), and a merged fragment re-attaches to its *winner's*
+//! channel between phases through the engines' dynamic-attachment
+//! snapshots ([`SyncEngine::reattach`]).  The busiest channel then hosts
+//! `⌈F/K⌉`-ish elections per phase instead of `F`, so the engine-measured
+//! round count drops by the shard factor (the `mst_sharded` section of
+//! `BENCH_engine.json`), while the elected tree stays the unique MST on all
+//! three engine substrates.
 
-use crate::model::MultimediaNetwork;
+use crate::model::{EdgeRanks, MultimediaNetwork};
 use crate::partition::{deterministic, PartitionOutcome};
+use channel_access::assigned::ElectionSeries;
 use channel_access::{capetanakis, Contender};
-use netsim_graph::{EdgeId, NodeId, UnionFind};
-use netsim_sim::CostAccount;
+use netsim_graph::{EdgeId, Graph, NodeId, SpanningForest, UnionFind};
+use netsim_sim::{
+    lockstep_config, AsyncEngine, ChannelId, ChannelSet, CostAccount, Lockstep, ReferenceEngine,
+    SyncEngine, MAX_CHANNELS,
+};
+
+/// Dense initial-fragment index per node: `init_of[v]` is the position of
+/// node `v`'s Stage-1 fragment in `cores` (the forest's root list).  Shared
+/// by the single-channel and the channel-sharded merge pipelines.
+fn initial_fragment_index(g: &Graph, forest: &SpanningForest, cores: &[NodeId]) -> Vec<usize> {
+    // Cores are a subset of nodes, so a plain scatter vector replaces a map.
+    let mut core_index = vec![u32::MAX; g.node_count()];
+    for (i, &c) in cores.iter().enumerate() {
+        core_index[c.index()] = i as u32;
+    }
+    g.nodes()
+        .map(|v| core_index[forest.root_of(v).index()] as usize)
+        .collect()
+}
 
 /// Result of the distributed MST construction.
 #[derive(Clone, Debug)]
@@ -70,16 +105,7 @@ pub fn minimum_spanning_tree_from_partition(
     assert!(n > 0, "MST of an empty graph is undefined");
     let forest = &partition.forest;
     let cores: Vec<NodeId> = forest.roots().to_vec();
-    // Dense initial-fragment index, scattered flat by core node (cores are a
-    // subset of nodes, so a plain vector replaces the former hash map).
-    let mut core_index = vec![u32::MAX; n];
-    for (i, &c) in cores.iter().enumerate() {
-        core_index[c.index()] = i as u32;
-    }
-    let init_of: Vec<usize> = g
-        .nodes()
-        .map(|v| core_index[forest.root_of(v).index()] as usize)
-        .collect();
+    let init_of = initial_fragment_index(g, forest, &cores);
 
     // The MST starts with the tree edges of the initial fragments
     // (they are MST edges by property (1) of the partition).
@@ -181,6 +207,384 @@ pub fn minimum_spanning_tree_from_partition(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Channel-sharded MST: per-fragment contention on per-fragment channels.
+// ---------------------------------------------------------------------------
+
+/// Which engine executes the sharded merge pipeline's channel elections.
+///
+/// All three substrates are round-for-round identical on this pipeline
+/// (same phase round counts, same elected edges) — the property the
+/// `mst_sharded` section of `BENCH_engine.json` is pinned on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeSubstrate {
+    /// The flat arena-backed [`SyncEngine`].
+    Flat,
+    /// The clone-path [`ReferenceEngine`].
+    Reference,
+    /// The [`AsyncEngine`] replaying rounds through the [`Lockstep`] adapter.
+    AsyncLockstep,
+}
+
+/// Result of the channel-sharded distributed MST construction.
+#[derive(Clone, Debug)]
+pub struct ShardedMstRun {
+    /// The MST edges (exactly `n − 1` for a connected graph).
+    pub edges: Vec<EdgeId>,
+    /// Number of fragment channels `K` the merge contended on.
+    pub k: u16,
+    /// Merge phases executed.
+    pub phases: u32,
+    /// Initial fragments produced by Stage 1.
+    pub initial_fragments: usize,
+    /// Cost of Stage 1 (the deterministic partition).
+    pub partition_cost: CostAccount,
+    /// Engine-measured cost of every per-fragment channel election, summed
+    /// over all phases (rounds, writes, per-outcome slot counts).  For the
+    /// lockstep substrate the one axiomatic idle round is already
+    /// reconciled, so this account is bit-identical across substrates.
+    pub election_cost: CostAccount,
+    /// Accounted point-to-point bookkeeping (fragment-label exchange, merge
+    /// handshakes over the elected links).
+    pub merge_cost: CostAccount,
+}
+
+impl ShardedMstRun {
+    /// Total cost over partition, elections, and merge bookkeeping.
+    pub fn total_cost(&self) -> CostAccount {
+        self.partition_cost + self.election_cost + self.merge_cost
+    }
+
+    /// Channel rounds the engine actually executed for the elections — the
+    /// headline number that drops with the shard factor `K`.
+    pub fn election_rounds(&self) -> u64 {
+        self.election_cost.rounds
+    }
+
+    /// Order-insensitive digest of the MST edge set; equal across engines
+    /// iff they elected identical edges.
+    pub fn checksum(&self) -> u64 {
+        self.edges.iter().fold(0x9e3779b97f4a7c15, |acc, e| {
+            acc.rotate_left(7) ^ (e.index() as u64).wrapping_mul(0xbf58476d1ce4e5b9)
+        })
+    }
+}
+
+/// One phase's schedule: attachment masks, per-node election entries, and
+/// the per-channel election counts.
+struct PhasePlan {
+    /// Per-node attachment snapshot (each node on its fragment's channel).
+    masks: Vec<u64>,
+    /// Per-node `(slot, station)` election entry (`None` where the node has
+    /// no outgoing candidate this phase).
+    entries: Vec<Option<(u32, u64)>>,
+    /// Per-node assigned channel (the node's current fragment's channel).
+    chans: Vec<u16>,
+    /// Election slots scheduled per channel.
+    elections: Vec<u32>,
+    /// Election slot of each current fragment, indexed by initial-fragment
+    /// index (valid at union-find representatives).
+    slot_of: Vec<u32>,
+    /// Rounds the busiest channel needs this phase.
+    rounds: u64,
+}
+
+/// Builds one phase's schedule: every current fragment gets one election
+/// slot on its channel (slots in ascending representative order), and every
+/// node's station is the inverted weight rank of its minimum outgoing link.
+fn plan_phase(
+    g: &Graph,
+    init_of: &[usize],
+    current: &mut UnionFind,
+    chan_of: &[u16],
+    k: u16,
+    ranks: &EdgeRanks,
+) -> PhasePlan {
+    let f = chan_of.len();
+    let mut slot_of = vec![u32::MAX; f];
+    let mut elections = vec![0u32; k as usize];
+    for i in 0..f {
+        if current.find(i) == i {
+            let c = chan_of[i] as usize;
+            slot_of[i] = elections[c];
+            elections[c] += 1;
+        }
+    }
+    let n = g.node_count();
+    let mut masks = Vec::with_capacity(n);
+    let mut entries = Vec::with_capacity(n);
+    let mut chans = Vec::with_capacity(n);
+    for v in g.nodes() {
+        let cur = current.find(init_of[v.index()]);
+        let c = chan_of[cur];
+        chans.push(c);
+        masks.push(1u64 << c);
+        // Adjacency is weight-sorted, so the first link leaving the current
+        // fragment is this node's minimum outgoing candidate.
+        let entry = g.neighbors(v).into_iter().find_map(|(w, e)| {
+            (current.find(init_of[w.index()]) != cur).then(|| (slot_of[cur], ranks.station_of(e)))
+        });
+        entries.push(entry);
+    }
+    let busiest = elections.iter().copied().max().unwrap_or(0);
+    PhasePlan {
+        masks,
+        entries,
+        chans,
+        elections,
+        slot_of,
+        rounds: u64::from(busiest) * ElectionSeries::slot_rounds(ranks.bits()),
+    }
+}
+
+/// The engine executing the election phases, dispatched over the three
+/// substrates (each phase: re-attach, re-arm the per-node series, run to
+/// quiescence).
+enum MergeEngine<'g> {
+    Flat(SyncEngine<'g, ElectionSeries>),
+    Reference(ReferenceEngine<'g, ElectionSeries>),
+    Lockstep(AsyncEngine<'g, Lockstep<ElectionSeries>>),
+}
+
+impl<'g> MergeEngine<'g> {
+    fn new<F: FnMut(NodeId) -> ElectionSeries>(
+        which: MergeSubstrate,
+        g: &'g Graph,
+        k: u16,
+        masks: &[u64],
+        mut init: F,
+    ) -> Self {
+        let channels = ChannelSet::from_masks(k, masks.to_vec());
+        match which {
+            MergeSubstrate::Flat => MergeEngine::Flat(SyncEngine::with_channels(g, channels, init)),
+            MergeSubstrate::Reference => {
+                MergeEngine::Reference(ReferenceEngine::with_channels(g, channels, init))
+            }
+            MergeSubstrate::AsyncLockstep => MergeEngine::Lockstep(AsyncEngine::with_channels(
+                g,
+                lockstep_config(),
+                channels,
+                |v| Lockstep::new(init(v), k),
+            )),
+        }
+    }
+
+    /// Applies the next phase's attachment snapshot between rounds and
+    /// re-arms every node's election series.
+    fn reseed<F: FnMut(NodeId) -> ElectionSeries>(&mut self, masks: &[u64], mut init: F) {
+        match self {
+            MergeEngine::Flat(e) => {
+                e.reattach(masks);
+                e.update_nodes(|v, series| *series = init(v));
+            }
+            MergeEngine::Reference(e) => {
+                e.reattach(masks);
+                e.update_nodes(|v, series| *series = init(v));
+            }
+            MergeEngine::Lockstep(e) => {
+                e.reattach(masks);
+                e.update_nodes(|v, adapter| *adapter.inner_mut() = init(v));
+            }
+        }
+    }
+
+    /// Runs the current phase to quiescence (`rounds` plus slack).
+    fn run_phase(&mut self, rounds: u64) {
+        let slack = rounds + 8;
+        let completed = match self {
+            MergeEngine::Flat(e) => {
+                let limit = e.round() + slack;
+                e.run(limit).is_completed()
+            }
+            MergeEngine::Reference(e) => {
+                let limit = e.round() + slack;
+                e.run(limit).is_completed()
+            }
+            MergeEngine::Lockstep(e) => {
+                let limit = e.tick() + slack;
+                e.run(limit)
+            }
+        };
+        assert!(completed, "election phase must quiesce within its schedule");
+    }
+
+    /// Per-slot winners as heard by node `v`.
+    fn winners(&self, v: NodeId, slot: u32) -> Option<u64> {
+        match self {
+            MergeEngine::Flat(e) => e.node(v).winners()[slot as usize],
+            MergeEngine::Reference(e) => e.node(v).winners()[slot as usize],
+            MergeEngine::Lockstep(e) => e.node(v).inner().winners()[slot as usize],
+        }
+    }
+
+    /// The engine's cost account, with the lockstep substrate's one
+    /// axiomatic idle round reconciled (see the [`netsim_sim::lockstep`]
+    /// module docs) so all three substrates report identical accounts.
+    fn cost(&self, k: u16) -> CostAccount {
+        match self {
+            MergeEngine::Flat(e) => *e.cost(),
+            MergeEngine::Reference(e) => *e.cost(),
+            MergeEngine::Lockstep(e) => netsim_sim::reconciled_cost(*e.cost(), k),
+        }
+    }
+}
+
+/// Builds the minimum spanning tree with per-fragment contention sharded
+/// over `k` channels, on the flat engine.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or not connected, or `k` is outside
+/// `1..=`[`MAX_CHANNELS`].
+pub fn sharded_mst(net: &MultimediaNetwork, k: u16) -> ShardedMstRun {
+    sharded_mst_on(net, k, MergeSubstrate::Flat)
+}
+
+/// [`sharded_mst`] on an explicit engine substrate.
+pub fn sharded_mst_on(net: &MultimediaNetwork, k: u16, which: MergeSubstrate) -> ShardedMstRun {
+    let partition = deterministic::partition(net);
+    sharded_mst_from_partition(net, &partition, k, which)
+}
+
+/// Stages 2–3 of the channel-sharded MST on a pre-computed Stage-1
+/// partition: `O(log n)` Borůvka phases in which every current fragment
+/// elects its minimum-weight outgoing link by a bitwise election **on its
+/// own channel** ([`ElectionSeries`]), fragments sharing a channel are
+/// serialized into election slots, and each merged fragment re-attaches to
+/// its *winner's* channel (the channel of the constituent whose elected
+/// link had the globally minimal key in the component) between phases via
+/// the engines' dynamic-attachment snapshots.
+///
+/// With `K` channels the busiest channel hosts `⌈F/K⌉`-ish elections per
+/// phase instead of all `F`, cutting the per-phase round count by the shard
+/// factor — the Section 5/6 win this pipeline exists to demonstrate.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or not connected, or `k` is outside
+/// `1..=`[`MAX_CHANNELS`].
+pub fn sharded_mst_from_partition(
+    net: &MultimediaNetwork,
+    partition: &PartitionOutcome,
+    k: u16,
+    which: MergeSubstrate,
+) -> ShardedMstRun {
+    let g = net.graph();
+    let n = g.node_count();
+    assert!(n > 0, "MST of an empty graph is undefined");
+    assert!(
+        (1..=MAX_CHANNELS).contains(&k),
+        "shard factor {k} outside 1..={MAX_CHANNELS}"
+    );
+    let forest = &partition.forest;
+    let cores: Vec<NodeId> = forest.roots().to_vec();
+    let f = cores.len();
+    let init_of = initial_fragment_index(g, forest, &cores);
+    let ranks = EdgeRanks::new(g);
+    let bits = ranks.bits();
+
+    let mut mst_edges: Vec<EdgeId> = forest.tree_edges(g);
+    let mut current = UnionFind::new(f);
+    // Fragment channels: initially round-robin over the shard factor; after
+    // each phase a merged component adopts its winner's channel.  Indexed by
+    // initial-fragment index, valid at union-find representatives.
+    let mut chan_of: Vec<u16> = (0..f).map(|i| (i % k as usize) as u16).collect();
+
+    let mut merge_cost = CostAccount::new();
+    // Stage 3, part 1: learn the initial fragment across every link.
+    merge_cost.add_messages(2 * g.edge_count() as u64);
+    merge_cost.add_idle_rounds(1);
+
+    let mut engine: Option<MergeEngine<'_>> = None;
+    let mut phases = 0u32;
+    // Scratch, reused across phases: per-new-representative winner tracking.
+    let mut best: Vec<Option<((u64, usize), u16)>> = vec![None; f];
+    let mut merges: Vec<(usize, EdgeId)> = Vec::new();
+
+    while current.set_count() > 1 {
+        phases += 1;
+        let plan = plan_phase(g, &init_of, &mut current, &chan_of, k, &ranks);
+        let init = |v: NodeId| {
+            let c = plan.chans[v.index()];
+            ElectionSeries::new(
+                plan.entries[v.index()],
+                bits,
+                plan.elections[c as usize],
+                ChannelId(c),
+            )
+        };
+        match &mut engine {
+            None => engine = Some(MergeEngine::new(which, g, k, &plan.masks, init)),
+            Some(e) => e.reseed(&plan.masks, init),
+        }
+        let eng = engine.as_mut().expect("engine constructed");
+        eng.run_phase(plan.rounds);
+
+        // Every member of a fragment (here: its Stage-1 core) heard its
+        // fragment's elected minimum outgoing link on the fragment channel.
+        merges.clear();
+        for (i, &core) in cores.iter().enumerate() {
+            if current.find(i) != i {
+                continue;
+            }
+            let station = eng
+                .winners(core, plan.slot_of[i])
+                .expect("MST of a disconnected graph is undefined");
+            merges.push((i, ranks.edge_of_station(station)));
+        }
+
+        // Merge along the elected links (ascending representative order) and
+        // account the cross-fragment handshake over those links.
+        for &(_, e) in &merges {
+            let edge = g.edge(e);
+            let a = current.find(init_of[edge.u.index()]);
+            let b = current.find(init_of[edge.v.index()]);
+            if current.union(a, b) {
+                mst_edges.push(e);
+            }
+        }
+        merge_cost.add_messages(2 * merges.len() as u64);
+        merge_cost.add_idle_rounds(1);
+
+        // Re-attachment rule: the merged component adopts the channel of the
+        // constituent whose elected link has the minimal key — the winner's
+        // channel.
+        for &(rep, e) in &merges {
+            let nr = current.find(rep);
+            let key = g.edge_key(e);
+            let better = match &best[nr] {
+                None => true,
+                Some((best_key, _)) => key < *best_key,
+            };
+            if better {
+                best[nr] = Some((key, chan_of[rep]));
+            }
+        }
+        for i in 0..f {
+            if current.find(i) == i {
+                if let Some((_, c)) = best[i].take() {
+                    chan_of[i] = c;
+                }
+            } else {
+                best[i] = None;
+            }
+        }
+    }
+
+    mst_edges.sort();
+    mst_edges.dedup();
+    let election_cost = engine.map(|e| e.cost(k)).unwrap_or_default();
+    ShardedMstRun {
+        edges: mst_edges,
+        k,
+        phases,
+        initial_fragments: f,
+        partition_cost: partition.cost,
+        election_cost,
+        merge_cost,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +679,129 @@ mod tests {
     fn empty_graph_rejected() {
         let net = MultimediaNetwork::new(netsim_graph::GraphBuilder::new(0).build());
         let _ = minimum_spanning_tree(&net);
+    }
+
+    // -----------------------------------------------------------------------
+    // Channel-sharded pipeline
+    // -----------------------------------------------------------------------
+
+    fn check_sharded(net: &MultimediaNetwork, run: &ShardedMstRun) {
+        let g = net.graph();
+        assert_eq!(run.edges.len(), g.node_count() - 1);
+        assert!(refmst::is_spanning_tree(g, &run.edges));
+        assert!(
+            refmst::is_minimum_spanning_tree(g, &run.edges),
+            "sharded MST must equal the unique reference MST (k={})",
+            run.k
+        );
+        assert!(run.initial_fragments >= 1);
+        assert!(run.election_rounds() > 0 || run.initial_fragments == 1);
+    }
+
+    #[test]
+    fn sharded_mst_matches_kruskal_on_families() {
+        for fam in [
+            generators::Family::Ring,
+            generators::Family::Grid,
+            generators::Family::RandomConnected,
+            generators::Family::Complete,
+            generators::Family::RandomTree,
+        ] {
+            let g = fam.generate(90, 21);
+            let net = MultimediaNetwork::new(g);
+            for k in [1u16, 4, 16] {
+                let run = sharded_mst(&net, k);
+                check_sharded(&net, &run);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_mst_on_many_random_seeds() {
+        for seed in 0..6 {
+            let g = generators::random_connected(60, 0.1, seed);
+            let g = generators::assign_random_weights(&g, seed + 500);
+            let net = MultimediaNetwork::new(g);
+            for k in [1u16, 4] {
+                let run = sharded_mst(&net, k);
+                check_sharded(&net, &run);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_rounds_drop_with_the_shard_factor() {
+        let g = netsim_graph::topologies::ring_of_cliques(24, 8);
+        let g = generators::assign_random_weights(&g, 9);
+        let net = MultimediaNetwork::new(g);
+        let rounds: Vec<u64> = [1u16, 4, 16]
+            .iter()
+            .map(|&k| {
+                let run = sharded_mst(&net, k);
+                check_sharded(&net, &run);
+                run.election_rounds()
+            })
+            .collect();
+        assert!(
+            rounds[0] > rounds[1] && rounds[1] > rounds[2],
+            "election rounds must drop with K: {rounds:?}"
+        );
+        // The busiest channel hosts ~F/K elections, so the first phase alone
+        // shrinks close to the shard factor; over all phases a 16-way shard
+        // must at least quarter the single-channel round count.
+        assert!(
+            rounds[2] * 4 <= rounds[0],
+            "16-way sharding saves less than 4x: {rounds:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_mst_is_pinned_across_all_three_engines() {
+        let g = netsim_graph::topologies::ring_of_cliques(10, 6);
+        let g = generators::assign_random_weights(&g, 3);
+        let net = MultimediaNetwork::new(g);
+        for k in [1u16, 4] {
+            let flat = sharded_mst_on(&net, k, MergeSubstrate::Flat);
+            let reference = sharded_mst_on(&net, k, MergeSubstrate::Reference);
+            let lockstep = sharded_mst_on(&net, k, MergeSubstrate::AsyncLockstep);
+            check_sharded(&net, &flat);
+            assert_eq!(flat.edges, reference.edges, "k={k}");
+            assert_eq!(flat.edges, lockstep.edges, "k={k}");
+            assert_eq!(flat.phases, reference.phases, "k={k}");
+            assert_eq!(flat.phases, lockstep.phases, "k={k}");
+            assert_eq!(flat.election_cost, reference.election_cost, "k={k}");
+            assert_eq!(flat.election_cost, lockstep.election_cost, "k={k}");
+            assert_eq!(flat.checksum(), lockstep.checksum(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_single_channel_pipeline_result() {
+        // Same Stage-1 partition, same MST: the sharded pipeline must elect
+        // exactly the edges the single-channel pipeline broadcasts.
+        let g = generators::Family::Grid.generate(100, 5);
+        let net = MultimediaNetwork::new(g);
+        let partition = deterministic::partition(&net);
+        let single = minimum_spanning_tree_from_partition(&net, &partition);
+        let sharded = sharded_mst_from_partition(&net, &partition, 8, MergeSubstrate::Flat);
+        assert_eq!(single.edges, sharded.edges);
+        assert_eq!(single.initial_fragments, sharded.initial_fragments);
+    }
+
+    #[test]
+    fn sharded_tiny_graphs() {
+        for n in 2..=5 {
+            let g = generators::path(n);
+            let net = MultimediaNetwork::new(g);
+            let run = sharded_mst(&net, 4);
+            assert_eq!(run.edges.len(), n - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard factor")]
+    fn sharded_zero_channels_rejected() {
+        let net = MultimediaNetwork::new(generators::path(3));
+        let _ = sharded_mst(&net, 0);
     }
 }

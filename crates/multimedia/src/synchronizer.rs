@@ -12,6 +12,13 @@
 //!
 //! [`ChannelSynchronizer`] wraps any synchronous [`Protocol`] and runs it on
 //! the asynchronous engine using exactly this mechanism.
+//!
+//! The synchronizer is the *realistic* bridge (arbitrary delays, busy-tone
+//! clocking, channel 0 occupied by the tones); for conformance testing and
+//! for multi-phase channel pipelines such as the channel-sharded MST, the
+//! idealised sibling is [`netsim_sim::Lockstep`], which replays rounds on
+//! the async engine with unit delays and leaves every channel free for the
+//! wrapped protocol.
 
 use crate::model::MultimediaNetwork;
 use netsim_graph::NodeId;

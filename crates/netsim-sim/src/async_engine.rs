@@ -418,6 +418,43 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         &self.channels
     }
 
+    /// Applies a dynamic attachment snapshot ([`ChannelSet::reattach`])
+    /// between slot boundaries.
+    ///
+    /// The next boundary's outcome delivery is gated by the **new** masks —
+    /// a newly attached node hears the boundary's outcome (including writes
+    /// queued under the old attachment, which still resolve), a detached
+    /// node observes idle — matching the synchronous engines' between-rounds
+    /// semantics ([`SyncEngine::reattach`](crate::SyncEngine::reattach));
+    /// the lockstep equivalence is pinned by the `engine_conformance`
+    /// re-attachment scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` does not cover exactly the graph's node count or a
+    /// mask addresses a channel beyond the set's `K`.
+    pub fn reattach(&mut self, masks: &[u64]) {
+        assert_eq!(
+            masks.len(),
+            self.graph.node_count(),
+            "re-attachment covers {} nodes, graph has {}",
+            masks.len(),
+            self.graph.node_count()
+        );
+        self.channels.reattach(masks);
+    }
+
+    /// Mutably visits every node's protocol state (call between slot
+    /// boundaries, e.g. at quiescence between phases of a multi-phase
+    /// pipeline), then recounts the done nodes so the O(1) quiescence
+    /// tracking stays sound.
+    pub fn update_nodes<F: FnMut(NodeId, &mut P)>(&mut self, mut f: F) {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            f(NodeId(i), node);
+        }
+        self.done_count = self.nodes.iter().filter(|p| p.is_done()).count();
+    }
+
     /// Cost account (rounds = slots elapsed).
     pub fn cost(&self) -> &CostAccount {
         &self.cost

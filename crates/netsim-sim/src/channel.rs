@@ -145,6 +145,54 @@ impl ChannelSet {
         self.k
     }
 
+    /// Replaces the per-node attachment with a new snapshot, one bitmask per
+    /// node (bit `c` = attached to channel `c`) — the **dynamic attachment**
+    /// primitive behind phase-boundary re-attachment (e.g. the channel-
+    /// sharded MST re-attaching a merged fragment to its winner's channel
+    /// between merge phases).
+    ///
+    /// # Determinism contract
+    ///
+    /// The new attachment is a pure *snapshot*: the resulting set is exactly
+    /// [`ChannelSet::from_masks`]`(k, masks)` regardless of the set's
+    /// history, so any sequence of re-attachments collapses to the last one
+    /// (pinned by the `channel_properties` proptests).  When an engine
+    /// applies the snapshot **between rounds** (see
+    /// [`SyncEngine::reattach`](crate::SyncEngine::reattach)), the next
+    /// round's steps observe the *previous* round's slot outcomes gated by
+    /// the **new** masks, and write gating uses the new masks too; writes
+    /// already staged under the old attachment still resolve.  The snapshot
+    /// never reallocates once a table exists (the masks are copied in
+    /// place), so phase boundaries stay off the allocation hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask addresses a channel at or beyond `K`, or if the set
+    /// already has an attachment table of a different node count.
+    pub fn reattach(&mut self, masks: &[u64]) {
+        let all = Self::full_mask(self.k);
+        for (v, &m) in masks.iter().enumerate() {
+            assert!(
+                m & !all == 0,
+                "node {v} attachment mask {m:#x} addresses channels >= {}",
+                self.k
+            );
+        }
+        match &mut self.masks {
+            Some(table) => {
+                assert_eq!(
+                    table.len(),
+                    masks.len(),
+                    "re-attachment covers {} nodes, table has {}",
+                    masks.len(),
+                    table.len()
+                );
+                table.copy_from_slice(masks);
+            }
+            None => self.masks = Some(masks.to_vec()),
+        }
+    }
+
     /// Attachment bitmask of node `v` (bit `c` set iff attached to channel `c`).
     pub fn mask(&self, v: NodeId) -> u64 {
         match &self.masks {
@@ -429,6 +477,35 @@ mod tests {
         let wide = ChannelSet::uniform(MAX_CHANNELS);
         assert_eq!(wide.mask(NodeId(0)), u64::MAX);
         assert!(wide.is_attached(NodeId(0), ChannelId(63)));
+    }
+
+    #[test]
+    fn reattach_is_a_pure_snapshot() {
+        // From a uniform set: reattaching materialises the table.
+        let mut set = ChannelSet::uniform(3);
+        set.reattach(&[0b001, 0b010, 0b100]);
+        assert_eq!(set, ChannelSet::from_masks(3, vec![0b001, 0b010, 0b100]));
+        // History collapses: only the last snapshot matters.
+        set.reattach(&[0b111, 0b111, 0b001]);
+        set.reattach(&[0b010, 0b001, 0b100]);
+        assert_eq!(set, ChannelSet::from_masks(3, vec![0b010, 0b001, 0b100]));
+        assert!(set.is_attached(NodeId(0), ChannelId(1)));
+        assert!(!set.is_attached(NodeId(0), ChannelId(0)));
+        assert_eq!(set.table_len(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "addresses channels")]
+    fn reattach_mask_out_of_range_rejected() {
+        let mut set = ChannelSet::uniform(2);
+        set.reattach(&[0b01, 0b100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-attachment covers")]
+    fn reattach_node_count_mismatch_rejected() {
+        let mut set = ChannelSet::from_masks(2, vec![0b01, 0b10]);
+        set.reattach(&[0b01]);
     }
 
     #[test]

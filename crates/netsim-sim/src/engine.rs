@@ -318,9 +318,50 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         &self.channels
     }
 
+    /// Applies a dynamic attachment snapshot ([`ChannelSet::reattach`]) to
+    /// the engine's channel set **between rounds**, one bitmask per node.
+    ///
+    /// # Determinism contract
+    ///
+    /// The snapshot takes effect for the next executed round: that round's
+    /// steps observe the previous round's slot outcomes gated by the **new**
+    /// masks ([`RoundIo::prev_slot_on`] reads `Idle` on a channel the node
+    /// just detached from, and a newly attached node hears the channel's
+    /// pending outcome), and channel writes are gated by the new masks.  The
+    /// result is a pure function of the call sequence — identical across the
+    /// flat, reference, and async-lockstep engines, pinned by the
+    /// `engine_conformance` re-attachment scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` does not cover exactly the graph's node count or a
+    /// mask addresses a channel beyond the set's `K`.
+    pub fn reattach(&mut self, masks: &[u64]) {
+        assert_eq!(
+            masks.len(),
+            self.graph.node_count(),
+            "re-attachment covers {} nodes, graph has {}",
+            masks.len(),
+            self.graph.node_count()
+        );
+        self.channels.reattach(masks);
+    }
+
     /// Immutable access to a node's protocol state.
     pub fn node(&self, v: NodeId) -> &P {
         &self.nodes[v.index()]
+    }
+
+    /// Mutably visits every node's protocol state **between rounds** — the
+    /// hook multi-phase pipelines use to seed the next phase (e.g. the
+    /// channel-sharded MST re-arming its per-fragment elections after a
+    /// re-attachment) — then recounts the done nodes so the O(1) quiescence
+    /// tracking stays sound.
+    pub fn update_nodes<F: FnMut(NodeId, &mut P)>(&mut self, mut f: F) {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            f(NodeId(i), node);
+        }
+        self.done_count = self.nodes.iter().filter(|p| p.is_done()).count();
     }
 
     /// Immutable access to all protocol states, indexed by node id.

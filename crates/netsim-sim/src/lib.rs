@@ -102,6 +102,7 @@
 mod async_engine;
 mod channel;
 mod engine;
+pub mod lockstep;
 mod metrics;
 mod node;
 pub mod payload;
@@ -114,6 +115,7 @@ pub use channel::{
     MAX_CHANNELS,
 };
 pub use engine::{RunOutcome, SyncEngine};
+pub use lockstep::{lockstep_config, reconciled_cost, Lockstep};
 pub use metrics::CostAccount;
 pub use node::{DrainSends, Inbox, InboxIter, OutboxBuffer, Protocol, RoundIo};
 pub use payload::{PayloadArena, PayloadHandle};

@@ -1,0 +1,209 @@
+//! Round-for-round replay of a synchronous [`Protocol`] on the
+//! [`AsyncEngine`](crate::AsyncEngine).
+//!
+//! With `slot_ticks = 1` and `max_delay_ticks = 1` every message sent while
+//! round `r` executes arrives before the slot boundary that starts round
+//! `r + 1`, so the event-driven run is round-for-round equivalent to the
+//! synchronous engines — the third substrate of the `engine_conformance`
+//! suite, and the adapter the channel-sharded MST uses to pin its phase
+//! round counts on the asynchronous engine.
+//!
+//! One structural accounting difference is inherent to the replay: the
+//! `on_start` round observes the axiomatic all-idle slots *preceding* time
+//! 0 without the engine counting them, while a synchronous run's final round
+//! resolves all-idle slots no step ever observes.  Both runs execute the
+//! same number of steps, so a lockstep [`CostAccount`](crate::CostAccount)
+//! matches the synchronous one after adding exactly one all-idle round
+//! ([`lockstep_config`] documents the configuration; the conformance harness
+//! applies the adjustment).
+
+use crate::async_engine::{AsyncConfig, AsyncCtx, AsyncProtocol};
+use crate::channel::{ChannelId, SlotOutcome};
+use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo};
+use netsim_graph::NodeId;
+
+/// The [`AsyncConfig`] under which [`Lockstep`] replays the synchronous
+/// round structure: one tick per slot, every delay one tick, seed 0 (the
+/// delay draw is degenerate, so the seed is irrelevant).
+pub fn lockstep_config() -> AsyncConfig {
+    AsyncConfig {
+        slot_ticks: 1,
+        max_delay_ticks: 1,
+        seed: 0,
+    }
+}
+
+/// Reconciles a lockstep run's [`CostAccount`](crate::CostAccount) with the
+/// synchronous engines' accounting by adding the one axiomatic all-idle
+/// round (plus its `k` idle slots) the `on_start` round observed without
+/// the engine counting it — see the module docs.  After this adjustment the
+/// account must be bit-identical to the synchronous run's.
+pub fn reconciled_cost(mut cost: crate::CostAccount, k: u16) -> crate::CostAccount {
+    cost.add_round();
+    for _ in 0..k {
+        cost.add_channel_slot(0);
+    }
+    cost
+}
+
+/// Adapter that replays a synchronous [`Protocol`] on the
+/// [`AsyncEngine`](crate::AsyncEngine) in lockstep (see the module docs).
+/// The engine delivers every channel's outcome per boundary (ascending
+/// channel order, per node); the adapter buffers them and steps the inner
+/// protocol after the last one.
+#[derive(Debug)]
+pub struct Lockstep<P: Protocol> {
+    inner: P,
+    /// Deliveries buffered for the current round, in arrival order; sorted
+    /// by sender index (stably — preserving per-sender send order) before
+    /// each step to reproduce the synchronous inbox contract.
+    inbox: Vec<(NodeId, P::Msg)>,
+    /// Per-channel outcomes of the boundary being delivered.
+    slots: Vec<SlotOutcome<P::Msg>>,
+    outbox: OutboxBuffer<P::Msg>,
+    round: u64,
+}
+
+impl<P: Protocol> Lockstep<P> {
+    /// Wraps a protocol instance for a `k`-channel engine.
+    pub fn new(inner: P, k: u16) -> Self {
+        Lockstep {
+            inner,
+            inbox: Vec::new(),
+            slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
+            outbox: OutboxBuffer::new(),
+            round: 0,
+        }
+    }
+
+    /// The wrapped protocol state.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped protocol state, for between-phase
+    /// reseeding through
+    /// [`AsyncEngine::update_nodes`](crate::AsyncEngine::update_nodes).
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Consumes the adapter, returning the wrapped protocol.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    fn step_sync(&mut self, ctx: &mut AsyncCtx<'_, P::Msg>) {
+        self.inbox.sort_by_key(|&(from, _)| from.index());
+        // Replay the node's real attachment so is_attached / the
+        // write_channel_on gate behave exactly as on the synchronous
+        // engines, sharded channel sets included.
+        let attached = (0..ctx.channels())
+            .filter(|&c| ctx.is_attached(ChannelId(c)))
+            .fold(0u64, |mask, c| mask | 1 << c);
+        let mut io = RoundIo::detached_multi(
+            ctx.id(),
+            self.round,
+            ctx.neighbors(),
+            Inbox::direct(&self.inbox),
+            &self.slots,
+            &mut self.outbox,
+        )
+        .with_attachment(attached);
+        self.inner.step(&mut io);
+        self.round += 1;
+        self.inbox.clear();
+        // Channel writes move out before the sends: draining the sends
+        // retires the payload epoch the write handles point into.
+        self.outbox
+            .take_channel_writes(|chan, _, msg| ctx.write_channel_on(chan, msg));
+        for (to, msg) in self.outbox.drain_sends() {
+            ctx.send(to, msg);
+        }
+    }
+}
+
+impl<P: Protocol> AsyncProtocol for Lockstep<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &mut AsyncCtx<'_, Self::Msg>) {
+        // Round 0 observes the axiomatic all-idle slots preceding time 0.
+        for slot in &mut self.slots {
+            *slot = SlotOutcome::Idle;
+        }
+        self.step_sync(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &Self::Msg, _ctx: &mut AsyncCtx<'_, Self::Msg>) {
+        self.inbox.push((from, msg.clone()));
+    }
+
+    fn on_slot_on(
+        &mut self,
+        chan: ChannelId,
+        outcome: &SlotOutcome<Self::Msg>,
+        ctx: &mut AsyncCtx<'_, Self::Msg>,
+    ) {
+        self.slots[chan.index()] = outcome.clone();
+        if chan.index() + 1 == self.slots.len() {
+            self.step_sync(ctx);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done() && self.inbox.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsyncEngine, ChannelSet, SyncEngine};
+    use netsim_graph::generators;
+
+    /// Each node broadcasts its id once and folds what it hears.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct OneShot {
+        id: u64,
+        heard: u64,
+        sent: bool,
+    }
+    impl Protocol for OneShot {
+        type Msg = u64;
+        fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+            for (_, &m) in io.inbox() {
+                self.heard = self.heard.wrapping_mul(31).wrapping_add(m);
+            }
+            if !self.sent {
+                io.send_all(self.id);
+                if self.id.is_multiple_of(3) {
+                    io.write_channel(self.id);
+                }
+                self.sent = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn lockstep_matches_sync_engine() {
+        let g = generators::ring(9);
+        let init = |v: NodeId| OneShot {
+            id: v.index() as u64,
+            heard: 0,
+            sent: false,
+        };
+        let mut sync = SyncEngine::with_channels(&g, ChannelSet::single(), init);
+        assert!(sync.run(100).is_completed());
+        let mut lock =
+            AsyncEngine::with_channels(&g, lockstep_config(), ChannelSet::single(), |v| {
+                Lockstep::new(init(v), 1)
+            });
+        assert!(lock.run(100));
+        for v in g.nodes() {
+            assert_eq!(sync.node(v), lock.node(v).inner());
+        }
+    }
+}

@@ -101,9 +101,39 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
         &self.channels
     }
 
+    /// Applies a dynamic attachment snapshot between rounds; identical
+    /// semantics to [`SyncEngine::reattach`](crate::SyncEngine::reattach)
+    /// (the next round observes pending slot outcomes and gates writes under
+    /// the new masks), pinned by the `engine_conformance` suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` does not cover exactly the graph's node count or a
+    /// mask addresses a channel beyond the set's `K`.
+    pub fn reattach(&mut self, masks: &[u64]) {
+        assert_eq!(
+            masks.len(),
+            self.graph.node_count(),
+            "re-attachment covers {} nodes, graph has {}",
+            masks.len(),
+            self.graph.node_count()
+        );
+        self.channels.reattach(masks);
+    }
+
     /// Immutable access to a node's protocol state.
     pub fn node(&self, v: NodeId) -> &P {
         &self.nodes[v.index()]
+    }
+
+    /// Mutably visits every node's protocol state between rounds; the
+    /// clone-path counterpart of
+    /// [`SyncEngine::update_nodes`](crate::SyncEngine::update_nodes) (this
+    /// engine rescans for quiescence, so no counter maintenance is needed).
+    pub fn update_nodes<F: FnMut(NodeId, &mut P)>(&mut self, mut f: F) {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            f(NodeId(i), node);
+        }
     }
 
     /// Immutable access to all protocol states, indexed by node id.

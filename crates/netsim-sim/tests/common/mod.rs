@@ -44,8 +44,8 @@
 
 use netsim_graph::{generators, topologies, Graph, NodeId};
 use netsim_sim::{
-    AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol, ChannelId, ChannelSet, CostAccount, Inbox,
-    OutboxBuffer, Protocol, ReferenceEngine, RoundIo, SlotOutcome, SyncEngine,
+    lockstep_config, AsyncEngine, ChannelId, ChannelSet, CostAccount, Lockstep, Protocol,
+    ReferenceEngine, RoundIo, SlotOutcome, SyncEngine,
 };
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -164,105 +164,6 @@ where
     }
 }
 
-/// Adapter that replays a synchronous [`Protocol`] on the [`AsyncEngine`]
-/// in lockstep: with `slot_ticks = 1` and `max_delay_ticks = 1` every
-/// message sent while round `r` executes arrives before the slot boundary
-/// that starts round `r + 1`, so the event-driven run is round-for-round
-/// equivalent to the synchronous engine.  The engine delivers every
-/// channel's outcome per boundary (ascending channel order, per node); the
-/// adapter buffers them and steps the inner protocol after the last one.
-#[derive(Debug)]
-pub struct Lockstep<P: Protocol> {
-    inner: P,
-    /// Deliveries buffered for the current round, in arrival order; sorted
-    /// by sender index (stably — preserving per-sender send order) before
-    /// each step to reproduce the synchronous inbox contract.
-    inbox: Vec<(NodeId, P::Msg)>,
-    /// Per-channel outcomes of the boundary being delivered.
-    slots: Vec<SlotOutcome<P::Msg>>,
-    outbox: OutboxBuffer<P::Msg>,
-    round: u64,
-}
-
-impl<P: Protocol> Lockstep<P> {
-    /// Wraps a protocol instance for a `k`-channel engine.
-    pub fn new(inner: P, k: u16) -> Self {
-        Lockstep {
-            inner,
-            inbox: Vec::new(),
-            slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
-            outbox: OutboxBuffer::new(),
-            round: 0,
-        }
-    }
-
-    /// Consumes the adapter, returning the wrapped protocol.
-    pub fn into_inner(self) -> P {
-        self.inner
-    }
-
-    fn step_sync(&mut self, ctx: &mut AsyncCtx<'_, P::Msg>) {
-        self.inbox.sort_by_key(|&(from, _)| from.index());
-        // Replay the node's real attachment so is_attached / the
-        // write_channel_on gate behave exactly as on the synchronous
-        // engines, sharded channel sets included.
-        let attached = (0..ctx.channels())
-            .filter(|&c| ctx.is_attached(ChannelId(c)))
-            .fold(0u64, |mask, c| mask | 1 << c);
-        let mut io = RoundIo::detached_multi(
-            ctx.id(),
-            self.round,
-            ctx.neighbors(),
-            Inbox::direct(&self.inbox),
-            &self.slots,
-            &mut self.outbox,
-        )
-        .with_attachment(attached);
-        self.inner.step(&mut io);
-        self.round += 1;
-        self.inbox.clear();
-        // Channel writes move out before the sends: draining the sends
-        // retires the payload epoch the write handles point into.
-        self.outbox
-            .take_channel_writes(|chan, _, msg| ctx.write_channel_on(chan, msg));
-        for (to, msg) in self.outbox.drain_sends() {
-            ctx.send(to, msg);
-        }
-    }
-}
-
-impl<P: Protocol> AsyncProtocol for Lockstep<P> {
-    type Msg = P::Msg;
-
-    fn on_start(&mut self, ctx: &mut AsyncCtx<'_, Self::Msg>) {
-        // Round 0 observes the axiomatic all-idle slots preceding time 0.
-        for slot in &mut self.slots {
-            *slot = SlotOutcome::Idle;
-        }
-        self.step_sync(ctx);
-    }
-
-    fn on_message(&mut self, from: NodeId, msg: &Self::Msg, _ctx: &mut AsyncCtx<'_, Self::Msg>) {
-        self.inbox.push((from, msg.clone()));
-    }
-
-    fn on_slot_on(
-        &mut self,
-        chan: ChannelId,
-        outcome: &SlotOutcome<Self::Msg>,
-        ctx: &mut AsyncCtx<'_, Self::Msg>,
-    ) {
-        self.slots[chan.index()] = outcome.clone();
-        if chan.index() + 1 == self.slots.len() {
-            self.step_sync(ctx);
-        }
-    }
-
-    fn is_done(&self) -> bool {
-        self.inner.is_done() && self.inbox.is_empty()
-    }
-}
-
 /// Result of one engine execution: final inner states, per-node traces, and
 /// the full cost account.
 pub struct EngineRun<P> {
@@ -341,11 +242,7 @@ where
     P::Msg: Hash,
     F: FnMut(NodeId) -> P,
 {
-    let cfg = AsyncConfig {
-        slot_ticks: 1,
-        max_delay_ticks: 1,
-        seed: 0,
-    };
+    let cfg = lockstep_config();
     let k = channels.channels();
     let mut eng = AsyncEngine::with_channels(g, cfg, channels.clone(), |v| {
         Lockstep::new(Traced::new(init(v)), k)
@@ -354,14 +251,10 @@ where
         eng.run(max_rounds.saturating_mul(2).max(16)),
         "async lockstep run must quiesce"
     );
-    let mut cost = *eng.cost();
-    // Reconcile the one structural accounting difference (module docs): the
-    // `on_start` round observed the axiom all-idle slots the synchronous
-    // engines account for as the final round's unobserved all-idle slots.
-    cost.add_round();
-    for _ in 0..k {
-        cost.add_channel_slot(0);
-    }
+    // Reconcile the one structural accounting difference: the `on_start`
+    // round observed the axiom all-idle slots the synchronous engines
+    // account for as the final round's unobserved all-idle slots.
+    let cost = netsim_sim::reconciled_cost(*eng.cost(), k);
     let (adapters, _) = eng.into_parts();
     let (nodes, traces) = unzip_traced(adapters.into_iter().map(Lockstep::into_inner).collect());
     EngineRun {
@@ -404,6 +297,166 @@ where
     F: FnMut(NodeId) -> P,
 {
     assert_conformant_on(label, g, &ChannelSet::single(), init, max_rounds);
+}
+
+/// A scripted re-attachment schedule: `(round, masks)` entries, ascending by
+/// round with every round `>= 1`, each applied **before** the named round is
+/// stepped (so round `r` observes round `r - 1`'s slot outcomes under the
+/// new masks — the engines' documented between-rounds semantics).  A
+/// round-0 snapshot is just the initial [`ChannelSet`]; pass it as the
+/// `channels` argument instead.
+pub type ReattachSchedule = Vec<(u64, Vec<u64>)>;
+
+/// Runs `init` over all three engines, replaying `schedule` through each
+/// engine's `reattach` between rounds, and asserts bit-for-bit identical
+/// delivery traces, final states, and cost accounts — the dynamic-attachment
+/// dimension of the conformance matrix.
+///
+/// The protocol must stay non-quiescent until the last schedule entry has
+/// been applied (the harness asserts the schedule was exhausted).
+pub fn assert_conformant_reattach<P, F>(
+    label: &str,
+    g: &Graph,
+    channels: &ChannelSet,
+    schedule: &ReattachSchedule,
+    mut init: F,
+    max_rounds: u64,
+) where
+    P: Protocol + PartialEq + std::fmt::Debug,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    assert!(
+        schedule.windows(2).all(|w| w[0].0 < w[1].0),
+        "[{label}] schedule rounds must be strictly ascending"
+    );
+    // The lockstep substrate replays round 0 inside `on_start`, before any
+    // snapshot can be applied, so a round-0 entry cannot be honoured there.
+    assert!(
+        schedule.first().is_none_or(|(r, _)| *r >= 1),
+        "[{label}] schedule entries start at round 1; fold a round-0 \
+         snapshot into the initial ChannelSet"
+    );
+
+    // ---- Flat sync engine, stepped round by round. ------------------------
+    let sync = {
+        let mut eng = SyncEngine::with_channels(g, channels.clone(), |v| Traced::new(init(v)));
+        let mut next = 0;
+        while !eng.is_quiescent() {
+            assert!(eng.round() < max_rounds, "[{label}] sync engine ran away");
+            if next < schedule.len() && schedule[next].0 == eng.round() {
+                eng.reattach(&schedule[next].1);
+                next += 1;
+            }
+            eng.step_round();
+        }
+        assert_eq!(next, schedule.len(), "[{label}] sync schedule unexhausted");
+        let cost = *eng.cost();
+        let (wrappers, _) = eng.into_parts();
+        let (nodes, traces) = unzip_traced(wrappers);
+        EngineRun {
+            nodes,
+            traces,
+            cost,
+        }
+    };
+
+    // ---- Clone-path reference engine, same driving loop. ------------------
+    let reference = {
+        let mut eng = ReferenceEngine::with_channels(g, channels.clone(), |v| Traced::new(init(v)));
+        let mut next = 0;
+        while !eng.is_quiescent() {
+            assert!(
+                eng.round() < max_rounds,
+                "[{label}] reference engine ran away"
+            );
+            if next < schedule.len() && schedule[next].0 == eng.round() {
+                eng.reattach(&schedule[next].1);
+                next += 1;
+            }
+            eng.step_round();
+        }
+        assert_eq!(
+            next,
+            schedule.len(),
+            "[{label}] reference schedule unexhausted"
+        );
+        let cost = *eng.cost();
+        let (wrappers, _) = eng.into_parts();
+        let (nodes, traces) = unzip_traced(wrappers);
+        EngineRun {
+            nodes,
+            traces,
+            cost,
+        }
+    };
+
+    // ---- Async engine in lockstep, advanced one slot boundary at a time. --
+    // With one tick per slot, step round r runs at the boundary of tick r
+    // (round 0 in `on_start` before tick 1), so a snapshot scheduled before
+    // round r is applied after tick r - 1 completes.
+    let lockstep = {
+        let k = channels.channels();
+        let mut eng = AsyncEngine::with_channels(g, lockstep_config(), channels.clone(), |v| {
+            Lockstep::new(Traced::new(init(v)), k)
+        });
+        let mut next = 0;
+        let mut tick = 0u64;
+        let mut quiescent = eng.run(0); // executes round 0 via on_start
+        loop {
+            if next < schedule.len() && schedule[next].0 == tick + 1 {
+                eng.reattach(&schedule[next].1);
+                next += 1;
+            } else if quiescent {
+                break;
+            }
+            assert!(tick < max_rounds, "[{label}] lockstep engine ran away");
+            tick += 1;
+            quiescent = eng.run(tick);
+        }
+        assert_eq!(
+            next,
+            schedule.len(),
+            "[{label}] lockstep schedule unexhausted"
+        );
+        // The axiom idle round, as in `run_async_lockstep`.
+        let cost = netsim_sim::reconciled_cost(*eng.cost(), k);
+        let (adapters, _) = eng.into_parts();
+        let (nodes, traces) =
+            unzip_traced(adapters.into_iter().map(Lockstep::into_inner).collect());
+        EngineRun {
+            nodes,
+            traces,
+            cost,
+        }
+    };
+
+    assert_eq!(
+        sync.cost, reference.cost,
+        "[{label}] reattach: arena vs clone path cost accounts diverged"
+    );
+    assert_eq!(
+        sync.cost, lockstep.cost,
+        "[{label}] reattach: sync vs async lockstep cost accounts diverged"
+    );
+    for v in 0..g.node_count() {
+        assert_eq!(
+            sync.traces[v], reference.traces[v],
+            "[{label}] node {v}: reattach trace diverged (sync vs reference)"
+        );
+        assert_eq!(
+            sync.traces[v], lockstep.traces[v],
+            "[{label}] node {v}: reattach trace diverged (sync vs lockstep)"
+        );
+        assert_eq!(
+            sync.nodes[v], reference.nodes[v],
+            "[{label}] node {v}: final states diverged (sync vs reference)"
+        );
+        assert_eq!(
+            sync.nodes[v], lockstep.nodes[v],
+            "[{label}] node {v}: final states diverged (sync vs async)"
+        );
+    }
 }
 
 /// [`assert_conformant`] over an explicit [`ChannelSet`] — the channel

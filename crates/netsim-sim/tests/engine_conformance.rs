@@ -22,7 +22,10 @@
 
 mod common;
 
-use common::{assert_conformant, assert_conformant_on, topology_matrix};
+use common::{
+    assert_conformant, assert_conformant_on, assert_conformant_reattach, topology_matrix,
+    ReattachSchedule,
+};
 use netsim_graph::NodeId;
 use netsim_sim::{
     protocols::{BfsBuild, ChannelShardedSum},
@@ -382,6 +385,109 @@ fn attachment_probe_conforms_across_engines_and_topologies() {
                 id: v.index() as u64,
                 state: mix(0xa77, v.index() as u64),
                 rounds_active: 10 + (v.index() as u32 % 4),
+            },
+            10_000,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReattachProbe: a scripted dynamic-attachment schedule over a sharded
+// 4-channel set.  The probe folds `is_attached` and every per-channel
+// outcome (both branches), and keeps writing on whatever channel it is
+// currently attached to — so an engine that applies a re-attachment snapshot
+// one round early or late, or gates a pending slot outcome with the old
+// masks, diverges immediately.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ReattachProbe {
+    id: u64,
+    state: u64,
+    rounds_active: u32,
+}
+
+impl Protocol for ReattachProbe {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for (from, &m) in io.inbox() {
+            self.state = mix(self.state, mix(from.index() as u64, m));
+        }
+        for c in 0..io.channels() {
+            let chan = ChannelId(c);
+            if io.is_attached(chan) {
+                match io.prev_slot_on(chan) {
+                    SlotOutcome::Idle => self.state = mix(self.state, u64::from(c)),
+                    SlotOutcome::Success { from, msg } => {
+                        self.state = mix(
+                            self.state,
+                            mix(u64::from(c), mix(from.index() as u64, *msg)),
+                        );
+                    }
+                    SlotOutcome::Collision => self.state = mix(self.state, 0xcc + u64::from(c)),
+                }
+            } else {
+                self.state = mix(self.state, 0xdead + u64::from(c));
+            }
+        }
+        if self.rounds_active > 0 {
+            self.rounds_active -= 1;
+            let r = mix(self.id, mix(self.state, io.round()));
+            for c in 0..io.channels() {
+                let chan = ChannelId(c);
+                if io.is_attached(chan) && mix(r, u64::from(c)).is_multiple_of(3) {
+                    io.write_channel_on(chan, mix(self.state, u64::from(c)));
+                }
+            }
+            if r.is_multiple_of(5) && io.degree() > 0 {
+                let v = io.neighbors().target(r as usize % io.degree());
+                io.send(v, mix(self.state, 0x5e));
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+}
+
+/// One attachment mask per node: shard `v` to channel `(v + rotation) % 4`,
+/// with every fourth node additionally listening on the next channel so the
+/// schedule also exercises multi-channel masks.
+fn rotated_masks(n: usize, rotation: usize) -> Vec<u64> {
+    (0..n)
+        .map(|v| {
+            let c = (v + rotation) % 4;
+            let mut mask = 1u64 << c;
+            if v % 4 == 0 {
+                mask |= 1 << ((c + 1) % 4);
+            }
+            mask
+        })
+        .collect()
+}
+
+#[test]
+fn scripted_reattach_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(83) {
+        let n = g.node_count();
+        // Three snapshots mid-run: rotate the shard assignment while slots
+        // are live, then collapse everyone onto two channels.
+        let schedule: ReattachSchedule = vec![
+            (3, rotated_masks(n, 1)),
+            (7, rotated_masks(n, 3)),
+            (11, (0..n).map(|v| 1u64 << (v % 2)).collect()),
+        ];
+        assert_conformant_reattach(
+            &format!("reattach_probe/{name}"),
+            &g,
+            &ChannelSet::from_masks(4, rotated_masks(n, 0)),
+            &schedule,
+            |v: NodeId| ReattachProbe {
+                id: v.index() as u64,
+                state: mix(0x2ea7, v.index() as u64),
+                rounds_active: 14 + (v.index() as u32 % 3),
             },
             10_000,
         );
