@@ -25,7 +25,7 @@ use multimedia::{
     size, synchronizer,
 };
 use netsim_graph::{generators, generators::Family, log_star, NodeId};
-use netsim_sim::{protocols::BfsBuild, AsyncConfig, SyncEngine};
+use netsim_sim::{protocols::BfsBuild, AsyncConfig, FaultEvent, FaultPlan, SyncEngine};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -805,6 +805,61 @@ impl MstShardedRow {
     }
 }
 
+/// One measured fault-dimension configuration (seeded erasures and scripted
+/// churn over the channel-sharded workloads), for the `faults` section of
+/// `BENCH_engine.json`.  `rounds` vs `fault_free_rounds` is the
+/// rounds-to-reconverge metric: how many extra engine rounds the plan cost.
+struct FaultBenchRow {
+    workload: &'static str,
+    topology: &'static str,
+    n: usize,
+    m: usize,
+    k: u16,
+    engine: &'static str,
+    plan: &'static str,
+    erase_p: f64,
+    churn_events: usize,
+    rounds: u64,
+    fault_free_rounds: u64,
+    erased_slots: u64,
+    dropped_messages: u64,
+    crashed_rounds: u64,
+    phases: u32,
+    seconds: f64,
+    checksum: u64,
+}
+
+impl FaultBenchRow {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"workload\": \"{}\", \"topology\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"k\": {}, \"engine\": \"{}\", \"plan\": \"{}\", \"erase_p\": {}, \
+             \"churn_events\": {}, \"rounds\": {}, \"fault_free_rounds\": {}, \
+             \"recovery_overhead\": {}, \"erased_slots\": {}, \"dropped_messages\": {}, \
+             \"crashed_rounds\": {}, \"phases\": {}, \"seconds\": {}, \
+             \"checksum\": \"{:016x}\"}}",
+            json_escape(self.workload),
+            json_escape(self.topology),
+            self.n,
+            self.m,
+            self.k,
+            json_escape(self.engine),
+            json_escape(self.plan),
+            json_f64(self.erase_p),
+            self.churn_events,
+            self.rounds,
+            self.fault_free_rounds,
+            json_f64(self.rounds as f64 / self.fault_free_rounds.max(1) as f64),
+            self.erased_slots,
+            self.dropped_messages,
+            self.crashed_rounds,
+            self.phases,
+            json_f64(self.seconds),
+            self.checksum,
+        )
+    }
+}
+
 /// Measures `run` with allocator accounting around it.
 fn measured<F: FnOnce() -> engine_bench::RunStats>(
     run: F,
@@ -1190,6 +1245,204 @@ fn engine(opts: &Opts) {
         );
     }
 
+    // ---- Fault dimension: seeded erasures and scripted churn. -------------
+    // Rounds-to-reconverge on both channel-sharded workloads: the TDMA
+    // global sum (erased slots cost retry rounds, crashed ranks time out
+    // after `ChannelShardedSum::TIMEOUT` strikes) and the sharded MST merge
+    // (erased or crash-corrupted elections cost retry phases; crashed nodes
+    // depart and the forest reconverges to the MST of the survivors).  Every
+    // row's result is verified: exact sums / never-crashed agreement for the
+    // global sum, cross-engine edge + cost equality and convergence for the
+    // MST.
+    let mut fault_rows: Vec<FaultBenchRow> = Vec::new();
+    println!("\n== ENGINE faults — seeded erasures & churn: rounds to reconverge ==");
+    println!(
+        "{:<14}{:>9}{:>5}  {:<12}{:<12}{:>8}{:>10}{:>10}{:>10}{:>9}",
+        "workload", "n", "K", "plan", "engine", "rounds", "overhead", "erased", "crashed", "phases"
+    );
+    let fault_k = 4u16;
+    {
+        let g = Family::Ring.generate(channel_n, 42);
+        let n = g.node_count();
+        let churn = vec![
+            FaultEvent::Crash {
+                round: 3,
+                node: NodeId(5),
+            },
+            FaultEvent::Crash {
+                round: 7,
+                node: NodeId(n / 2),
+            },
+            FaultEvent::Recover {
+                round: 25,
+                node: NodeId(5),
+            },
+        ];
+        let plans: [(&'static str, f64, Vec<FaultEvent>); 3] = [
+            ("erase-0.10", 0.10, Vec::new()),
+            ("erase-0.30", 0.30, Vec::new()),
+            ("churn", 0.10, churn),
+        ];
+        for (i, (label, erase_p, events)) in plans.into_iter().enumerate() {
+            let churn_events = events.len();
+            let plan = FaultPlan::from_rates(0xfa57 + i as u64, erase_p, 0.0, 0.0, 0.0)
+                .with_events(events);
+            let flat = engine_bench::run_flat_channels_faulted(&g, fault_k, &plan);
+            let reference = engine_bench::run_reference_channels_faulted(&g, fault_k, &plan);
+            assert_eq!(
+                flat.checksum, reference.checksum,
+                "faulted channel engines diverged under {label}"
+            );
+            assert_eq!(flat.rounds, reference.rounds);
+            assert_eq!(flat.erased_slots, reference.erased_slots);
+            assert_eq!(flat.crashed_rounds, reference.crashed_rounds);
+            assert!(
+                flat.erased_slots > 0,
+                "erasure rate {erase_p} never fired under {label}"
+            );
+            if churn_events > 0 {
+                assert!(flat.crashed_rounds > 0, "churn schedule never fired");
+            }
+            for (name, stats) in [("flat", flat), ("reference", reference)] {
+                println!(
+                    "{:<14}{:>9}{:>5}  {:<12}{:<12}{:>8}{:>10.2}{:>10}{:>10}{:>9}",
+                    "sharded_sum",
+                    n,
+                    fault_k,
+                    label,
+                    name,
+                    stats.rounds,
+                    stats.recovery_overhead(),
+                    stats.erased_slots,
+                    stats.crashed_rounds,
+                    0,
+                );
+                fault_rows.push(FaultBenchRow {
+                    workload: "sharded_sum",
+                    topology: Family::Ring.name(),
+                    n,
+                    m: g.edge_count(),
+                    k: fault_k,
+                    engine: name,
+                    plan: label,
+                    erase_p,
+                    churn_events,
+                    rounds: stats.rounds,
+                    fault_free_rounds: stats.fault_free_rounds,
+                    erased_slots: stats.erased_slots,
+                    dropped_messages: stats.dropped_messages,
+                    crashed_rounds: stats.crashed_rounds,
+                    phases: 0,
+                    seconds: stats.seconds,
+                    checksum: stats.checksum,
+                });
+            }
+        }
+    }
+    {
+        let fam = Family::RingOfCliques;
+        let net = workload(fam, mst_n, 42);
+        let n = net.node_count();
+        let stage1 = deterministic::partition(&net);
+        let baseline =
+            mst::sharded_mst_from_partition(&net, &stage1, fault_k, mst::MergeSubstrate::Flat);
+        let mut baseline_edges = baseline.edges.clone();
+        baseline_edges.sort_unstable();
+        let churn = vec![
+            FaultEvent::Crash {
+                round: 2,
+                node: NodeId(3),
+            },
+            FaultEvent::Crash {
+                round: 5,
+                node: NodeId(n / 3),
+            },
+            FaultEvent::Crash {
+                round: 9,
+                node: NodeId(2 * n / 3),
+            },
+        ];
+        let plans: [(&'static str, f64, Vec<FaultEvent>); 3] = [
+            ("erase-0.10", 0.10, Vec::new()),
+            ("erase-0.25", 0.25, Vec::new()),
+            ("churn", 0.10, churn),
+        ];
+        for (i, (label, erase_p, events)) in plans.into_iter().enumerate() {
+            let churn_events = events.len();
+            let plan = FaultPlan::from_rates(0x157f + i as u64, erase_p, 0.0, 0.0, 0.0)
+                .with_events(events);
+            let mut per_engine: Vec<(&'static str, mst::FaultedMstRun)> = Vec::new();
+            for (name, which) in [
+                ("flat", mst::MergeSubstrate::Flat),
+                ("reference", mst::MergeSubstrate::Reference),
+                ("async-lockstep", mst::MergeSubstrate::AsyncLockstep),
+            ] {
+                let start = std::time::Instant::now();
+                let run = mst::sharded_mst_faulted(&net, &stage1, fault_k, which, plan.clone(), 64);
+                let seconds = start.elapsed().as_secs_f64();
+                assert!(
+                    run.converged,
+                    "faulted sharded MST failed to reconverge under {label} ({name})"
+                );
+                if churn_events == 0 {
+                    // Erasure-only: every node survives, so the elected
+                    // forest is exactly the fault-free MST.
+                    let mut edges = run.edges.clone();
+                    edges.sort_unstable();
+                    assert_eq!(
+                        edges, baseline_edges,
+                        "erasures must cost rounds, not correctness ({label}, {name})"
+                    );
+                }
+                println!(
+                    "{:<14}{:>9}{:>5}  {:<12}{:<12}{:>8}{:>10.2}{:>10}{:>10}{:>9}",
+                    "sharded_mst",
+                    n,
+                    fault_k,
+                    label,
+                    name,
+                    run.election_rounds(),
+                    run.election_rounds() as f64 / baseline.election_rounds().max(1) as f64,
+                    run.election_cost.erased_slots,
+                    run.election_cost.crashed_rounds,
+                    run.phases,
+                );
+                fault_rows.push(FaultBenchRow {
+                    workload: "sharded_mst",
+                    topology: fam.name(),
+                    n,
+                    m: net.edge_count(),
+                    k: fault_k,
+                    engine: name,
+                    plan: label,
+                    erase_p,
+                    churn_events,
+                    rounds: run.election_rounds(),
+                    fault_free_rounds: baseline.election_rounds(),
+                    erased_slots: run.election_cost.erased_slots,
+                    dropped_messages: run.election_cost.dropped_messages,
+                    crashed_rounds: run.election_cost.crashed_rounds,
+                    phases: run.phases,
+                    seconds,
+                    checksum: run.checksum(),
+                });
+                per_engine.push((name, run));
+            }
+            let (_, flat) = &per_engine[0];
+            assert!(flat.election_cost.erased_slots > 0);
+            for (name, run) in &per_engine[1..] {
+                assert_eq!(
+                    flat.edges, run.edges,
+                    "faulted sharded MST diverged under {label} ({name})"
+                );
+                assert_eq!(
+                    flat.election_cost, run.election_cost,
+                    "faulted sharded MST election cost diverged under {label} ({name})"
+                );
+            }
+        }
+    }
+
     let row_json: Vec<String> = rows.iter().map(EngineBenchRow::to_json).collect();
     let build_json: Vec<String> = build_rows.iter().map(GraphBuildRow::to_json).collect();
     let speedup_json: Vec<String> = speedups
@@ -1205,8 +1458,9 @@ fn engine(opts: &Opts) {
     let payload_json: Vec<String> = payload_rows.iter().map(PayloadBenchRow::to_json).collect();
     let channel_json: Vec<String> = channel_rows.iter().map(ChannelBenchRow::to_json).collect();
     let mst_json: Vec<String> = mst_rows.iter().map(MstShardedRow::to_json).collect();
+    let fault_json: Vec<String> = fault_rows.iter().map(FaultBenchRow::to_json).collect();
     let doc = format!(
-        "{{\n\"schema\": \"bench-engine/v5\",\n\"workload\": \"global-sum gossip \
+        "{{\n\"schema\": \"bench-engine/v6\",\n\"workload\": \"global-sum gossip \
          (constant-traffic heartbeat aggregation; see bench::engine_bench)\",\n\
          \"payload_workload\": \"Vec<u8> frame gossip (intern-on-broadcast arena vs \
          clone-per-delivery reference; see bench::engine_bench::FrameGossip)\",\n\
@@ -1216,9 +1470,14 @@ fn engine(opts: &Opts) {
          \"mst_sharded_workload\": \"channel-sharded MST merge (per-fragment \
          bitwise elections on per-fragment channels, dynamic re-attachment to \
          the winner's channel between phases; see multimedia::mst::sharded_mst)\",\n\
+         \"faults_workload\": \"seeded erasures and scripted churn over the \
+         channel-sharded workloads: rounds to reconverge vs the fault-free \
+         schedule, every result verified (see netsim_sim::fault and \
+         multimedia::mst::sharded_mst_faulted)\",\n\
          \"quick\": {},\n\"results\": [\n{}\n],\n\"payloads\": [\n{}\n],\n\
          \"channels\": [\n{}\n],\n\
          \"mst_sharded\": [\n{}\n],\n\
+         \"faults\": [\n{}\n],\n\
          \"graph_construction\": [\n{}\n],\n\
          \"speedups_flat_over_reference\": [\n{}\n]\n}}\n",
         opts.quick,
@@ -1226,6 +1485,7 @@ fn engine(opts: &Opts) {
         payload_json.join(",\n"),
         channel_json.join(",\n"),
         mst_json.join(",\n"),
+        fault_json.join(",\n"),
         build_json.join(",\n"),
         speedup_json.join(",\n")
     );

@@ -299,6 +299,162 @@ pub fn run_reference_channels(g: &Graph, k: u16) -> RunStats {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Faulted channel-sharded global sum: the fault dimension of the bench.
+// ---------------------------------------------------------------------------
+
+/// Outcome of one measured *faulted* engine run: rounds-to-reconverge
+/// against the fault-free schedule, plus the engine's fault counters.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultRunStats {
+    /// Rounds the faulted run actually took.
+    pub rounds: u64,
+    /// Rounds the same workload takes fault-free (the TDMA schedule).
+    pub fault_free_rounds: u64,
+    /// Channel slots erased by the plan.
+    pub erased_slots: u64,
+    /// Point-to-point messages dropped by the plan.
+    pub dropped_messages: u64,
+    /// Node-rounds spent non-operational.
+    pub crashed_rounds: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Fold of the final node states (position-mixed shard sums).
+    pub checksum: u64,
+}
+
+impl FaultRunStats {
+    /// Rounds-to-reconverge ratio: faulted rounds over fault-free rounds
+    /// (1.0 = the plan cost nothing).
+    pub fn recovery_overhead(&self) -> f64 {
+        self.rounds as f64 / self.fault_free_rounds.max(1) as f64
+    }
+}
+
+/// Asserts the fault-tolerance contract of [`ChannelShardedSum`] on the
+/// final states of a faulted run:
+///
+/// * if the plan never took a node down (`crashed_rounds == 0`, i.e.
+///   erasures/drops only), every node holds the **exact** sum of its shard
+///   — erasures cost retry rounds, never correctness;
+/// * under churn, all never-crashed members of a shard (final lifecycle
+///   operational and not crashed out) agree on the shard sum, and every
+///   fully-surviving shard is exact.
+fn verify_sharded_fault_outcome(
+    g: &Graph,
+    k: u16,
+    crashed_rounds: u64,
+    nodes: &[ChannelShardedSum],
+    lifecycles: &[netsim_sim::NodeLifecycle],
+) {
+    let n = g.node_count();
+    let kk = k as usize;
+    let mut exact = vec![0u64; kk];
+    for v in 0..n {
+        exact[v % kk] = exact[v % kk].wrapping_add(sharded_value(NodeId(v)));
+    }
+    let mut agreed: Vec<Option<u64>> = vec![None; kk];
+    let mut shard_intact = vec![true; kk];
+    for v in 0..n {
+        let shard = v % kk;
+        let witness = lifecycles[v].is_operational() && !nodes[v].crashed_out();
+        if !witness {
+            shard_intact[shard] = false;
+            continue;
+        }
+        match agreed[shard] {
+            None => agreed[shard] = Some(nodes[v].sum()),
+            Some(s) => assert_eq!(
+                s,
+                nodes[v].sum(),
+                "never-crashed members of shard {shard} disagree"
+            ),
+        }
+    }
+    for shard in 0..kk {
+        if crashed_rounds == 0 || shard_intact[shard] {
+            assert_eq!(
+                agreed[shard],
+                Some(exact[shard]),
+                "fully-surviving shard {shard} must compute the exact sum"
+            );
+        }
+    }
+}
+
+fn timed_faulted(
+    g: &Graph,
+    k: u16,
+    run: impl FnOnce(
+        u64,
+    ) -> (
+        bool,
+        Vec<ChannelShardedSum>,
+        netsim_sim::CostAccount,
+        Vec<netsim_sim::NodeLifecycle>,
+    ),
+) -> FaultRunStats {
+    let fault_free_rounds = u64::from(channel_workload_rounds(g.node_count(), k));
+    let start = Instant::now();
+    let (completed, nodes, cost, lifecycles) = run(fault_free_rounds * 64 + 256);
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(completed, "faulted channel workload must quiesce");
+    verify_sharded_fault_outcome(g, k, cost.crashed_rounds, &nodes, &lifecycles);
+    FaultRunStats {
+        rounds: cost.rounds,
+        fault_free_rounds,
+        erased_slots: cost.erased_slots,
+        dropped_messages: cost.dropped_messages,
+        crashed_rounds: cost.crashed_rounds,
+        seconds,
+        checksum: sharded_checksum(&nodes),
+    }
+}
+
+/// Runs the channel-sharded global sum under `plan` on the flat engine and
+/// asserts the fault-tolerance contract on the result.
+pub fn run_flat_channels_faulted(g: &Graph, k: u16, plan: &netsim_sim::FaultPlan) -> FaultRunStats {
+    let n = g.node_count();
+    let mut engine = SyncEngine::with_channels(g, ChannelShardedSum::channel_set(n, k), |v| {
+        ChannelShardedSum::new(v, n, k, sharded_value(v))
+    });
+    engine.set_fault_plan(plan.clone());
+    timed_faulted(g, k, move |limit| {
+        let completed = engine.run(limit).is_completed();
+        let lifecycles = engine
+            .fault_session()
+            .expect("plan installed")
+            .lifecycles()
+            .to_vec();
+        let (nodes, cost) = engine.into_parts();
+        (completed, nodes, cost, lifecycles)
+    })
+}
+
+/// Runs the channel-sharded global sum under `plan` on the clone-path
+/// reference engine.
+pub fn run_reference_channels_faulted(
+    g: &Graph,
+    k: u16,
+    plan: &netsim_sim::FaultPlan,
+) -> FaultRunStats {
+    let n = g.node_count();
+    let mut engine = ReferenceEngine::with_channels(g, ChannelShardedSum::channel_set(n, k), |v| {
+        ChannelShardedSum::new(v, n, k, sharded_value(v))
+    });
+    engine.set_fault_plan(plan.clone());
+    timed_faulted(g, k, move |limit| {
+        let completed = engine.run(limit).is_completed();
+        let lifecycles = engine
+            .fault_session()
+            .expect("plan installed")
+            .lifecycles()
+            .to_vec();
+        let (nodes, cost) = engine.into_parts();
+        (completed, nodes, cost, lifecycles)
+    })
+}
+
 /// Runs the workload on the allocation-per-round reference engine.
 pub fn run_reference(g: &Graph, rounds: u32) -> RunStats {
     let mut engine = ReferenceEngine::new(g, |v| GlobalSumGossip::new(v, rounds));
@@ -359,6 +515,38 @@ mod tests {
         }
         // K channels cut the schedule by a factor of K.
         assert!(run_flat_channels(&g, 16).rounds < run_flat_channels(&g, 1).rounds / 8);
+    }
+
+    #[test]
+    fn engines_agree_on_the_faulted_channel_workload() {
+        use netsim_sim::{FaultEvent, FaultPlan};
+        let g = Family::Ring.generate(200, 4);
+        let k = 4u16;
+        // Erasure-only: exact sums, retry rounds only.
+        let erase = FaultPlan::from_rates(0xfa01, 0.25, 0.0, 0.0, 0.0);
+        let flat = run_flat_channels_faulted(&g, k, &erase);
+        let reference = run_reference_channels_faulted(&g, k, &erase);
+        assert_eq!(flat.checksum, reference.checksum);
+        assert_eq!(flat.rounds, reference.rounds);
+        assert_eq!(flat.erased_slots, reference.erased_slots);
+        assert!(flat.erased_slots > 0, "erasure rate 0.25 never fired");
+        assert!(flat.recovery_overhead() >= 1.0);
+        // Churn: a crash mid-schedule plus a late recovery.
+        let churn = FaultPlan::from_rates(0xfa02, 0.1, 0.0, 0.0, 0.0).with_events(vec![
+            FaultEvent::Crash {
+                round: 3,
+                node: NodeId(9),
+            },
+            FaultEvent::Recover {
+                round: 20,
+                node: NodeId(9),
+            },
+        ]);
+        let flat = run_flat_channels_faulted(&g, k, &churn);
+        let reference = run_reference_channels_faulted(&g, k, &churn);
+        assert_eq!(flat.checksum, reference.checksum);
+        assert_eq!(flat.crashed_rounds, reference.crashed_rounds);
+        assert!(flat.crashed_rounds > 0);
     }
 
     #[test]

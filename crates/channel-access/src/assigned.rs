@@ -95,6 +95,9 @@ impl Protocol for AssignedSplit {
                     self.stack.push((mid, hi));
                     self.stack.push((lo, mid));
                 }
+                // The probe's outcome was destroyed but its writer set is
+                // unchanged: re-probe the same interval next round.
+                SlotOutcome::Erased => self.stack.push((lo, hi)),
             }
         }
         // Next probe.
@@ -235,6 +238,28 @@ impl Protocol for AssignedElection {
 /// announce slot, one observation round); a node stepped after its series
 /// finished (its channel hosted fewer elections than the engine's busiest
 /// one) is a no-op.
+///
+/// # Fault semantics
+///
+/// Under a [`FaultPlan`](netsim_sim::FaultPlan) the series keeps its fixed
+/// horizon — faults degrade *results*, never *termination*:
+///
+/// * an **`Erased`** probe slot is treated as busy (like `Success` and
+///   `Collision`), which is *truthful*: a slot is only ever erased when at
+///   least one station transmitted, so the knockout it induces is exactly
+///   the one the un-erased outcome would have induced;
+/// * an **`Erased` announce slot** destroys the winner's id in flight: the
+///   slot's entry in [`ElectionSeries::winners`] stays `None`, which every
+///   listener observes identically — indistinguishable from an empty
+///   election, and handled the same way by drivers (the sharded MST simply
+///   retries the fragment in its next phase);
+/// * a **crashed contender** stops transmitting, so the slot may elect a
+///   different (still unique) survivor, or nobody.  Drivers that act on a
+///   winner must re-validate it against their own ground truth — see
+///   `multimedia::mst`'s phase driver.
+///
+/// Consequently, for any erasure-only schedule each reported winner is
+/// either `None` or the exact fault-free leader of its slot.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ElectionSeries {
     chan: ChannelId,
@@ -249,6 +274,10 @@ pub struct ElectionSeries {
     active: bool,
     /// Local round counter since seeding.
     round: u64,
+    /// Set on recovery from a crash: the local round counter is stale (the
+    /// node missed steps), so the series goes inert instead of desyncing
+    /// the shared slot schedule.
+    crashed_out: bool,
     done: bool,
 }
 
@@ -280,8 +309,17 @@ impl ElectionSeries {
             winners: vec![None; elections as usize],
             active: false,
             round: 0,
+            crashed_out: false,
             done: elections == 0,
         }
+    }
+
+    /// `true` once the node has crashed and recovered mid-series: its local
+    /// round counter is stale, so [`Protocol::on_recover`] retired it to an
+    /// inert (done, never-writing) state and its [`ElectionSeries::winners`]
+    /// are frozen mid-phase — drivers must not read them.
+    pub fn crashed_out(&self) -> bool {
+        self.crashed_out
     }
 
     /// Rounds one election slot occupies: `bits` probes, the announce slot,
@@ -353,6 +391,16 @@ impl Protocol for ElectionSeries {
 
     fn is_done(&self) -> bool {
         self.done
+    }
+
+    fn on_recover(&mut self) {
+        // The node missed steps while crashed, so its local round counter no
+        // longer tracks the shared slot schedule: writing again would corrupt
+        // other fragments' elections.  Retire to an inert, done state (the
+        // recorded winners are frozen and must not be read — see
+        // [`ElectionSeries::crashed_out`]).
+        self.crashed_out = true;
+        self.done = true;
     }
 }
 
@@ -620,6 +668,68 @@ mod tests {
         );
         for v in g.nodes() {
             assert_eq!(eng.node(v).winners(), &[Some(12)]);
+        }
+    }
+
+    #[test]
+    fn election_series_erased_announce_reports_none() {
+        // With every busy slot erased, probe feedback is still truthfully
+        // "busy" (the knockout sequence is unchanged), but the announce
+        // slot's id never reaches the listeners: the series runs its exact
+        // fault-free horizon and every slot reports an empty election.
+        let g = generators::ring(10);
+        let bits = 6;
+        let mut eng = SyncEngine::with_channels(&g, ChannelSet::uniform(2), |v| {
+            ElectionSeries::new(Some((0, v.index() as u64 + 1)), bits, 1, CHAN)
+        });
+        eng.set_fault_plan(netsim_sim::FaultPlan::from_rates(11, 1.0, 0.0, 0.0, 0.0));
+        let out = eng.run(10_000);
+        assert!(out.is_completed());
+        assert_eq!(out.rounds(), ElectionSeries::slot_rounds(bits));
+        assert!(eng.cost().erased_slots > 0);
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).winners(), &[None]);
+        }
+    }
+
+    #[test]
+    fn election_series_under_erasures_is_none_or_true_leader() {
+        // Partial erasures: every slot's reported winner is either None (its
+        // announce slot was erased) or the exact fault-free leader, and all
+        // listeners agree.
+        let g = generators::ring(21);
+        let n = g.node_count();
+        let bits = 9;
+        let entry = |v: usize| -> Option<(u32, u64)> {
+            let group = v % 4;
+            (group < 3).then(|| (group as u32, (v as u64) * 23 + 1))
+        };
+        for seed in [3u64, 17, 92] {
+            let mut eng = SyncEngine::with_channels(&g, ChannelSet::uniform(2), |v| {
+                ElectionSeries::new(entry(v.index()), bits, 3, CHAN)
+            });
+            eng.set_fault_plan(netsim_sim::FaultPlan::from_rates(seed, 0.35, 0.0, 0.0, 0.0));
+            let out = eng.run(10_000);
+            assert!(out.is_completed(), "seed {seed}");
+            assert_eq!(out.rounds(), 3 * ElectionSeries::slot_rounds(bits));
+            for slot in 0..3u32 {
+                let ids: Vec<u64> = (0..n)
+                    .filter_map(|v| entry(v).filter(|e| e.0 == slot).map(|e| e.1))
+                    .collect();
+                let leader = election::bitwise_election(&ids, bits).leader;
+                let reported = eng.node(netsim_graph::NodeId(0)).winners()[slot as usize];
+                assert!(
+                    reported.is_none() || reported == Some(leader),
+                    "seed {seed} slot {slot}: {reported:?} vs leader {leader}"
+                );
+                for v in g.nodes() {
+                    assert_eq!(
+                        eng.node(v).winners()[slot as usize],
+                        reported,
+                        "seed {seed} slot {slot}: listeners disagree on {v:?}"
+                    );
+                }
+            }
         }
     }
 

@@ -388,23 +388,59 @@ impl<'g> MergeEngine<'g> {
         }
     }
 
-    /// Runs the current phase to quiescence (`rounds` plus slack).
-    fn run_phase(&mut self, rounds: u64) {
-        let slack = rounds + 8;
-        let completed = match self {
+    /// Installs a fault plan; must be called before the first phase runs.
+    fn set_plan(&mut self, plan: netsim_sim::FaultPlan) {
+        match self {
+            MergeEngine::Flat(e) => e.set_fault_plan(plan),
+            MergeEngine::Reference(e) => e.set_fault_plan(plan),
+            MergeEngine::Lockstep(e) => e.set_fault_plan(plan),
+        }
+    }
+
+    /// Current lifecycle of node `v` (`Operational` when no plan is set).
+    fn lifecycle(&self, v: NodeId) -> netsim_sim::NodeLifecycle {
+        let session = match self {
+            MergeEngine::Flat(e) => e.fault_session(),
+            MergeEngine::Reference(e) => e.fault_session(),
+            MergeEngine::Lockstep(e) => e.fault_session(),
+        };
+        session.map_or(netsim_sim::NodeLifecycle::Operational, |s| s.lifecycle(v))
+    }
+
+    /// Did node `v`'s election series crash out (crash + recover) this phase?
+    fn node_crashed_out(&self, v: NodeId) -> bool {
+        match self {
+            MergeEngine::Flat(e) => e.node(v).crashed_out(),
+            MergeEngine::Reference(e) => e.node(v).crashed_out(),
+            MergeEngine::Lockstep(e) => e.node(v).inner().crashed_out(),
+        }
+    }
+
+    /// Runs the current phase to quiescence within `rounds` plus slack,
+    /// returning whether it quiesced — a faulted phase can legitimately
+    /// overrun its schedule (e.g. a node stuck `Booting` under adversarial
+    /// churn), which the faulted driver reports instead of panicking.
+    fn run_phase_budget(&mut self, rounds: u64, slack: u64) -> bool {
+        let budget = rounds + slack;
+        match self {
             MergeEngine::Flat(e) => {
-                let limit = e.round() + slack;
+                let limit = e.round() + budget;
                 e.run(limit).is_completed()
             }
             MergeEngine::Reference(e) => {
-                let limit = e.round() + slack;
+                let limit = e.round() + budget;
                 e.run(limit).is_completed()
             }
             MergeEngine::Lockstep(e) => {
-                let limit = e.tick() + slack;
+                let limit = e.tick() + budget;
                 e.run(limit)
             }
-        };
+        }
+    }
+
+    /// Runs the current phase to quiescence (`rounds` plus slack).
+    fn run_phase(&mut self, rounds: u64) {
+        let completed = self.run_phase_budget(rounds, 8);
         assert!(completed, "election phase must quiesce within its schedule");
     }
 
@@ -424,7 +460,10 @@ impl<'g> MergeEngine<'g> {
         match self {
             MergeEngine::Flat(e) => *e.cost(),
             MergeEngine::Reference(e) => *e.cost(),
-            MergeEngine::Lockstep(e) => netsim_sim::reconciled_cost(*e.cost(), k),
+            MergeEngine::Lockstep(e) => {
+                let crashed = e.fault_session().map_or(0, |s| s.non_operational_count());
+                netsim_sim::reconciled_cost_faulted(*e.cost(), k, crashed)
+            }
         }
     }
 }
@@ -582,6 +621,329 @@ pub fn sharded_mst_from_partition(
         partition_cost: partition.cost,
         election_cost,
         merge_cost,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant channel-sharded MST.
+// ---------------------------------------------------------------------------
+
+/// Result of the fault-tolerant channel-sharded MST construction
+/// ([`sharded_mst_faulted`]).
+#[derive(Clone, Debug)]
+pub struct FaultedMstRun {
+    /// The elected forest: for every connected component of the subgraph
+    /// induced by [`FaultedMstRun::survivors`], its minimum spanning tree —
+    /// provided churn ceased before the final phases (see
+    /// [`sharded_mst_faulted`]).
+    pub edges: Vec<EdgeId>,
+    /// Number of fragment channels `K` the merge contended on.
+    pub k: u16,
+    /// Merge phases executed (erased or crash-corrupted elections cost
+    /// retry phases on top of the fault-free `O(log n)`).
+    pub phases: u32,
+    /// `false` when the phase budget ran out (or a phase failed to quiesce)
+    /// before every surviving component was spanned.
+    pub converged: bool,
+    /// Nodes that stayed operational through the whole run; a node that
+    /// crashed even once is permanently departed, recovery notwithstanding.
+    pub survivors: Vec<NodeId>,
+    /// Initial fragments produced by Stage 1.
+    pub initial_fragments: usize,
+    /// Cost of Stage 1 (the deterministic partition).
+    pub partition_cost: CostAccount,
+    /// Engine-measured cost of every per-fragment channel election, summed
+    /// over all phases; faults included (`erased_slots`, `crashed_rounds`)
+    /// and reconciled across substrates.
+    pub election_cost: CostAccount,
+}
+
+impl FaultedMstRun {
+    /// Channel rounds the engine executed for the elections — the
+    /// rounds-to-reconverge headline of the `faults` benchmark section.
+    pub fn election_rounds(&self) -> u64 {
+        self.election_cost.rounds
+    }
+
+    /// Order-insensitive digest of the forest edge set.
+    pub fn checksum(&self) -> u64 {
+        self.edges.iter().fold(0x9e3779b97f4a7c15, |acc, e| {
+            acc.rotate_left(7) ^ (e.index() as u64).wrapping_mul(0xbf58476d1ce4e5b9)
+        })
+    }
+}
+
+/// [`sharded_mst_from_partition`] under a deterministic
+/// [`FaultPlan`](netsim_sim::FaultPlan): the election phases run on a
+/// faulted engine, and the merge driver is hardened against every fault
+/// class instead of assuming clean feedback.
+///
+/// * **Erased announce slots** leave a fragment's winner unknown; the
+///   fragment simply retries in the next phase.
+/// * **Crashed nodes are permanently departed**, even if the plan later
+///   recovers them: a mid-election crash strands the node's
+///   [`ElectionSeries`] at a stale local round, so recovery retires it to a
+///   crashed-out silent observer (it can never corrupt another fragment's
+///   slots), and the driver drops the node from the survivor set.  Current
+///   fragments are therefore recomputed every phase as the connected
+///   components of the *surviving* subgraph under the already-elected
+///   edges — a crash can split a Stage-1 fragment in two, and both halves
+///   then elect independently.
+/// * **Every reported winner is validated** against the recomputed
+///   minimum-weight outgoing survivor-to-survivor link of its fragment
+///   before it is merged; a winner corrupted by mid-election churn (a
+///   crashed contender's absence can elect a non-minimal link) is
+///   discarded and the fragment retries.  With distinct weights each
+///   accepted link satisfies the cut property on the surviving subgraph,
+///   so once churn ceases the elected forest converges to exactly the
+///   Kruskal forest of the surviving subgraph.
+///
+/// The run executes at most `max_phases` phases (faults make per-phase
+/// progress probabilistic, so the fault-free `O(log n)` bound no longer
+/// applies); [`FaultedMstRun::converged`] reports whether every surviving
+/// component was spanned within the budget.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or `k` is outside `1..=`[`MAX_CHANNELS`].
+pub fn sharded_mst_faulted(
+    net: &MultimediaNetwork,
+    partition: &PartitionOutcome,
+    k: u16,
+    which: MergeSubstrate,
+    plan: netsim_sim::FaultPlan,
+    max_phases: u32,
+) -> FaultedMstRun {
+    let g = net.graph();
+    let n = g.node_count();
+    assert!(n > 0, "MST of an empty graph is undefined");
+    assert!(
+        (1..=MAX_CHANNELS).contains(&k),
+        "shard factor {k} outside 1..={MAX_CHANNELS}"
+    );
+    let forest = &partition.forest;
+    let cores: Vec<NodeId> = forest.roots().to_vec();
+    let init_of = initial_fragment_index(g, forest, &cores);
+    let ranks = EdgeRanks::new(g);
+    let bits = ranks.bits();
+    let tree_edges: Vec<EdgeId> = forest.tree_edges(g);
+
+    // Permanently departed nodes (ever non-operational); initially-off nodes
+    // are departed from the start.
+    let mut departed = vec![false; n];
+    {
+        let probe = netsim_sim::FaultSession::new(plan.clone(), n);
+        for v in g.nodes() {
+            departed[v.index()] = !probe.is_operational(v);
+        }
+    }
+
+    let mut accepted: Vec<EdgeId> = Vec::new();
+    let mut engine: Option<MergeEngine<'_>> = None;
+    let mut phases = 0u32;
+    let mut converged = false;
+    // A fragment's channel: its representative's initial fragment, spread
+    // round-robin over the shard factor.  (The fault-free pipeline's
+    // adopt-the-winner's-channel refinement needs stable representatives,
+    // which the per-phase component rebuild below deliberately gives up.)
+    let chan_of_rep = |rep: usize| ChannelId((init_of[rep] % k as usize) as u16);
+
+    loop {
+        // Current fragments: connected components of the surviving subgraph
+        // under the surviving Stage-1 tree edges plus the accepted links.
+        // Rebuilt from scratch every phase because a crash can retroactively
+        // split what an earlier phase merged.
+        let mut comp = UnionFind::new(n);
+        for &e in tree_edges.iter().chain(accepted.iter()) {
+            let edge = g.edge(e);
+            if !departed[edge.u.index()] && !departed[edge.v.index()] {
+                comp.union(edge.u.index(), edge.v.index());
+            }
+        }
+
+        // Minimum outgoing survivor link per fragment (ground truth), and
+        // per-node candidate entries.  Adjacency is weight-sorted, so the
+        // first qualifying link per node is its minimum.
+        let mut candidate: Vec<Option<EdgeId>> = vec![None; n];
+        let mut best_of: Vec<Option<EdgeId>> = vec![None; n];
+        for v in g.nodes() {
+            if departed[v.index()] {
+                continue;
+            }
+            let cur = comp.find(v.index());
+            let cand = g.neighbors(v).into_iter().find_map(|(w, e)| {
+                (!departed[w.index()] && comp.find(w.index()) != cur).then_some(e)
+            });
+            candidate[v.index()] = cand;
+            if let Some(e) = cand {
+                let better = match best_of[cur] {
+                    None => true,
+                    Some(b) => g.edge_key(e) < g.edge_key(b),
+                };
+                if better {
+                    best_of[cur] = Some(e);
+                }
+            }
+        }
+        if best_of.iter().all(Option::is_none) {
+            converged = true; // every surviving component is spanned
+            break;
+        }
+        if phases == max_phases {
+            break;
+        }
+        phases += 1;
+
+        // Election slots: one per fragment with an outgoing link, ascending
+        // representative order on the fragment's channel.
+        let mut slot_of = vec![u32::MAX; n];
+        let mut elections = vec![0u32; k as usize];
+        for v in 0..n {
+            if best_of[v].is_some() && comp.find(v) == v {
+                let c = chan_of_rep(v).index();
+                slot_of[v] = elections[c];
+                elections[c] += 1;
+            }
+        }
+        let mut masks = Vec::with_capacity(n);
+        let mut chans = Vec::with_capacity(n);
+        let mut entries: Vec<Option<(u32, u64)>> = Vec::with_capacity(n);
+        for v in g.nodes() {
+            let rep = if departed[v.index()] {
+                v.index()
+            } else {
+                comp.find(v.index())
+            };
+            let c = chan_of_rep(rep);
+            chans.push(c.index() as u16);
+            masks.push(1u64 << c.index());
+            let entry = candidate[v.index()].and_then(|e| {
+                let slot = slot_of[comp.find(v.index())];
+                (slot != u32::MAX).then_some((slot, ranks.station_of(e)))
+            });
+            entries.push(entry);
+        }
+        let busiest = elections.iter().copied().max().unwrap_or(0);
+        let rounds = u64::from(busiest) * ElectionSeries::slot_rounds(bits);
+
+        let init = |v: NodeId| {
+            let c = chans[v.index()];
+            ElectionSeries::new(
+                entries[v.index()],
+                bits,
+                elections[c as usize],
+                ChannelId(c),
+            )
+        };
+        match &mut engine {
+            None => {
+                let mut e = MergeEngine::new(which, g, k, &masks, init);
+                e.set_plan(plan.clone());
+                engine = Some(e);
+            }
+            Some(e) => e.reseed(&masks, init),
+        }
+        let eng = engine.as_mut().expect("engine constructed");
+        // Slack beyond the schedule: churn can stall quiescence by a few
+        // rounds (a `Booting` node steps one round late), and a phase that
+        // still overruns is reported, not panicked on.
+        if !eng.run_phase_budget(rounds, 16) {
+            break;
+        }
+
+        // Post-phase census: a node seen non-operational at the boundary, or
+        // whose series crashed out mid-phase, is permanently departed.
+        for v in g.nodes() {
+            if !eng.lifecycle(v).is_operational() || eng.node_crashed_out(v) {
+                departed[v.index()] = true;
+            }
+        }
+
+        // Harvest: read each scheduled fragment's winner through a member
+        // that heard the entire phase, and validate it against the
+        // recomputed ground truth (post-census survivor set).  `comp` is the
+        // pre-phase component structure — exactly the one the elections were
+        // scheduled against — so all winners are harvested before any merge
+        // mutates it.
+        let mut merges: Vec<EdgeId> = Vec::new();
+        for (rep, &slot) in slot_of.iter().enumerate() {
+            if slot == u32::MAX {
+                continue;
+            }
+            let mut reader = None;
+            for v in (0..n).map(NodeId) {
+                if comp.find(v.index()) == rep
+                    && !departed[v.index()]
+                    && eng.lifecycle(v).is_operational()
+                    && !eng.node_crashed_out(v)
+                {
+                    reader = Some(v);
+                    break;
+                }
+            }
+            let Some(reader) = reader else {
+                continue; // the whole fragment departed mid-phase
+            };
+            let Some(station) = eng.winners(reader, slot) else {
+                continue; // empty or erased announce slot: retry next phase
+            };
+            let elected = ranks.edge_of_station(station);
+            // Ground truth after the census: the minimum-weight link from
+            // this fragment's survivors to other fragments' survivors.
+            let mut truth: Option<EdgeId> = None;
+            for u in 0..n {
+                if departed[u] || comp.find(u) != rep {
+                    continue;
+                }
+                let cand = g
+                    .neighbors(NodeId(u))
+                    .into_iter()
+                    .find(|&(w, _)| !departed[w.index()] && comp.find(w.index()) != rep);
+                if let Some((_, e)) = cand {
+                    let better = match truth {
+                        None => true,
+                        Some(b) => g.edge_key(e) < g.edge_key(b),
+                    };
+                    if better {
+                        truth = Some(e);
+                    }
+                }
+            }
+            if truth != Some(elected) {
+                continue; // corrupted by mid-election churn: retry
+            }
+            merges.push(elected);
+        }
+        for e in merges {
+            let edge = g.edge(e);
+            let (a, b) = (comp.find(edge.u.index()), comp.find(edge.v.index()));
+            if comp.union(a, b) {
+                accepted.push(e);
+            }
+        }
+    }
+
+    let alive = |v: NodeId| !departed[v.index()];
+    let mut edges: Vec<EdgeId> = tree_edges
+        .iter()
+        .chain(accepted.iter())
+        .copied()
+        .filter(|&e| {
+            let edge = g.edge(e);
+            alive(edge.u) && alive(edge.v)
+        })
+        .collect();
+    edges.sort();
+    edges.dedup();
+    FaultedMstRun {
+        edges,
+        k,
+        phases,
+        converged,
+        survivors: g.nodes().filter(|&v| alive(v)).collect(),
+        initial_fragments: cores.len(),
+        partition_cost: partition.cost,
+        election_cost: engine.map(|e| e.cost(k)).unwrap_or_default(),
     }
 }
 
@@ -803,5 +1165,158 @@ mod tests {
     fn sharded_zero_channels_rejected() {
         let net = MultimediaNetwork::new(generators::path(3));
         let _ = sharded_mst(&net, 0);
+    }
+
+    // -----------------------------------------------------------------------
+    // Fault-tolerant sharded pipeline
+    // -----------------------------------------------------------------------
+
+    /// Kruskal forest of the subgraph induced by the non-departed nodes.
+    fn kruskal_survivors(g: &netsim_graph::Graph, alive: &[bool]) -> Vec<EdgeId> {
+        let mut ids: Vec<EdgeId> = g
+            .edge_ids()
+            .filter(|&e| {
+                let edge = g.edge(e);
+                alive[edge.u.index()] && alive[edge.v.index()]
+            })
+            .collect();
+        ids.sort_by_key(|&e| g.edge_key(e));
+        let mut uf = UnionFind::new(g.node_count());
+        let mut out = Vec::new();
+        for e in ids {
+            let edge = g.edge(e);
+            let (a, b) = (uf.find(edge.u.index()), uf.find(edge.v.index()));
+            if uf.union(a, b) {
+                out.push(e);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn faulted_net() -> MultimediaNetwork {
+        let g = netsim_graph::topologies::ring_of_cliques(8, 6);
+        let g = generators::assign_random_weights(&g, 5);
+        MultimediaNetwork::new(g)
+    }
+
+    #[test]
+    fn faulted_sharded_mst_with_null_plan_matches_reference_mst() {
+        let net = faulted_net();
+        let partition = deterministic::partition(&net);
+        let run = sharded_mst_faulted(
+            &net,
+            &partition,
+            4,
+            MergeSubstrate::Flat,
+            netsim_sim::FaultPlan::none(),
+            64,
+        );
+        assert!(run.converged);
+        assert_eq!(run.survivors.len(), net.graph().node_count());
+        assert_eq!(run.edges.len(), net.graph().node_count() - 1);
+        assert!(refmst::is_minimum_spanning_tree(net.graph(), &run.edges));
+        assert_eq!(run.election_cost.crashed_rounds, 0);
+        assert_eq!(run.election_cost.erased_slots, 0);
+    }
+
+    #[test]
+    fn faulted_sharded_mst_is_exact_under_erasures() {
+        // Erasures destroy announce slots (the fragment retries next phase)
+        // but never corrupt a winner, so the run still converges to the
+        // exact full-graph MST — just in more phases.
+        let net = faulted_net();
+        let partition = deterministic::partition(&net);
+        let run = sharded_mst_faulted(
+            &net,
+            &partition,
+            4,
+            MergeSubstrate::Flat,
+            netsim_sim::FaultPlan::from_rates(0xF00D, 0.3, 0.0, 0.0, 0.0),
+            64,
+        );
+        assert!(run.converged);
+        assert_eq!(run.survivors.len(), net.graph().node_count());
+        assert!(refmst::is_minimum_spanning_tree(net.graph(), &run.edges));
+        assert!(run.election_cost.erased_slots > 0);
+    }
+
+    #[test]
+    fn leader_crash_mid_election_does_not_wedge_sharded_mst() {
+        // A fragment core crashes in the middle of the first phase's
+        // election series (and another node crashes and later recovers —
+        // recovery does not re-admit it).  The pipeline must neither wedge
+        // nor corrupt: the elected forest equals the Kruskal forest of the
+        // surviving subgraph.
+        let net = faulted_net();
+        let g = net.graph();
+        let partition = deterministic::partition(&net);
+        let leader = partition.forest.roots()[0];
+        let other = g
+            .nodes()
+            .find(|&v| v != leader && partition.forest.root_of(v) != leader)
+            .unwrap();
+        let plan = netsim_sim::FaultPlan::none().with_events(vec![
+            netsim_sim::FaultEvent::Crash {
+                round: 3,
+                node: leader,
+            },
+            netsim_sim::FaultEvent::Crash {
+                round: 1,
+                node: other,
+            },
+            netsim_sim::FaultEvent::Recover {
+                round: 9,
+                node: other,
+            },
+        ]);
+        let run = sharded_mst_faulted(&net, &partition, 4, MergeSubstrate::Flat, plan, 64);
+        assert!(run.converged, "crash mid-election must not wedge the merge");
+        let mut alive = vec![true; g.node_count()];
+        alive[leader.index()] = false;
+        alive[other.index()] = false;
+        let expected_survivors: Vec<NodeId> = g.nodes().filter(|v| alive[v.index()]).collect();
+        assert_eq!(run.survivors, expected_survivors);
+        assert_eq!(run.edges, kruskal_survivors(g, &alive));
+        assert!(run.election_cost.crashed_rounds > 0);
+    }
+
+    #[test]
+    fn faulted_sharded_mst_agrees_across_engines() {
+        // The same plan on all three substrates elects the same forest with
+        // the same phase count and a bit-identical election account.
+        let net = faulted_net();
+        let partition = deterministic::partition(&net);
+        let leader = partition.forest.roots()[0];
+        let plan = netsim_sim::FaultPlan::from_rates(0xBEEF, 0.2, 0.0, 0.0, 0.0).with_events(vec![
+            netsim_sim::FaultEvent::Crash {
+                round: 4,
+                node: leader,
+            },
+        ]);
+        let flat = sharded_mst_faulted(&net, &partition, 4, MergeSubstrate::Flat, plan.clone(), 64);
+        let reference = sharded_mst_faulted(
+            &net,
+            &partition,
+            4,
+            MergeSubstrate::Reference,
+            plan.clone(),
+            64,
+        );
+        let lockstep =
+            sharded_mst_faulted(&net, &partition, 4, MergeSubstrate::AsyncLockstep, plan, 64);
+        assert!(flat.converged);
+        assert_eq!(flat.edges, reference.edges);
+        assert_eq!(flat.edges, lockstep.edges);
+        assert_eq!(flat.phases, reference.phases);
+        assert_eq!(flat.phases, lockstep.phases);
+        assert_eq!(flat.survivors, reference.survivors);
+        assert_eq!(flat.survivors, lockstep.survivors);
+        assert_eq!(flat.election_cost, reference.election_cost);
+        assert_eq!(flat.election_cost, lockstep.election_cost);
+        // The crash fired, so the surviving subgraph's forest it is.
+        let mut alive = vec![true; net.graph().node_count()];
+        alive[leader.index()] = false;
+        assert_eq!(flat.edges, kruskal_survivors(net.graph(), &alive));
     }
 }

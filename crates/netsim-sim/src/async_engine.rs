@@ -32,6 +32,7 @@
 //! afterwards, mirroring the synchronous engine's handle-based outcomes.
 
 use crate::channel::{ChannelId, ChannelSet, SlotOutcome};
+use crate::fault::{FaultPlan, FaultSession, NodeLifecycle};
 use crate::metrics::CostAccount;
 use netsim_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -109,8 +110,16 @@ pub trait AsyncProtocol {
     /// Local termination flag.
     ///
     /// As for the synchronous engine's O(1) quiescence tracking, the value
-    /// must only change as a result of one of the callbacks above.
+    /// must only change as a result of one of the callbacks above (or of
+    /// [`AsyncProtocol::on_recover`]).
     fn is_done(&self) -> bool;
+
+    /// Called when this node transitions `Crashed → Booting` under an
+    /// installed [`FaultPlan`] — the hook re-initialises whatever state the
+    /// crash invalidated.  The node receives callbacks again from the next
+    /// tick on.  Defaults to doing nothing (crash-oblivious protocols keep
+    /// their state).
+    fn on_recover(&mut self) {}
 }
 
 /// A send staged by a callback, in request order: the interleaving of
@@ -350,6 +359,17 @@ pub struct AsyncEngine<'g, P: AsyncProtocol> {
     started: bool,
     /// Nodes currently reporting [`AsyncProtocol::is_done`].
     done_count: usize,
+    /// Injected-fault session, when [`AsyncEngine::set_fault_plan`]
+    /// installed one.  Fault *rounds* advance once per tick.
+    faults: Option<FaultSession>,
+    /// Nodes in an exempt lifecycle state (`Off` / `Crashed`) that are not
+    /// done; keeps the faulted quiescence check O(1).
+    undone_exempt: usize,
+    /// Non-operational node count captured at the top of the current tick
+    /// (before that tick's lifecycle transitions); the next slot boundary
+    /// charges it as that slot's churn, mirroring the synchronous engine's
+    /// per-round accounting under the lockstep mapping.
+    pending_crashed: u64,
 }
 
 impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
@@ -410,7 +430,81 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             cost: CostAccount::new(),
             started: false,
             done_count,
+            faults: None,
+            undone_exempt: 0,
+            pending_crashed: 0,
         }
+    }
+
+    /// Installs a deterministic [`FaultPlan`]; must be called before the
+    /// engine starts.  Fault rounds advance **once per tick** (under the
+    /// lockstep configuration a tick is a round, which is what the
+    /// `engine_conformance` fault dimension pins); message drops are keyed
+    /// by the sending tick and slot erasures by the slot's sending round
+    /// (boundary index − 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already started.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started && self.tick == 0,
+            "fault plan must be installed before the engine starts"
+        );
+        let session = FaultSession::new(plan, self.graph.node_count());
+        self.undone_exempt = session
+            .lifecycles()
+            .iter()
+            .zip(&self.nodes)
+            .filter(|(l, p)| l.is_exempt() && !p.is_done())
+            .count();
+        self.faults = Some(session);
+    }
+
+    /// The installed fault session, if any.
+    pub fn fault_session(&self) -> Option<&FaultSession> {
+        self.faults.as_ref()
+    }
+
+    /// Current lifecycle state of node `v` (`Operational` when no fault
+    /// plan is installed).
+    pub fn fault_lifecycle(&self, v: NodeId) -> NodeLifecycle {
+        self.faults
+            .as_ref()
+            .map_or(NodeLifecycle::Operational, |s| s.lifecycle(v))
+    }
+
+    /// Applies fault round `round`'s lifecycle transitions; no-op without a
+    /// fault plan.
+    fn apply_fault_round(&mut self, round: u64) {
+        let Some(session) = &mut self.faults else {
+            return;
+        };
+        self.pending_crashed = session.non_operational_count();
+        let nodes = &mut self.nodes;
+        let done_count = &mut self.done_count;
+        let undone_exempt = &mut self.undone_exempt;
+        session.apply_round(round, |v, _, to| match to {
+            NodeLifecycle::Crashed => {
+                *undone_exempt += usize::from(!nodes[v.index()].is_done());
+            }
+            NodeLifecycle::Booting => {
+                let node = &mut nodes[v.index()];
+                let was = node.is_done();
+                *undone_exempt -= usize::from(!was);
+                node.on_recover();
+                let now = node.is_done();
+                *done_count = done_count
+                    .checked_add_signed(isize::from(now) - isize::from(was))
+                    .expect("done count balances");
+            }
+            NodeLifecycle::Operational | NodeLifecycle::Off => {}
+        });
+    }
+
+    /// `true` when `v` currently receives callbacks (no plan ⇒ always).
+    fn is_node_operational(&self, v: NodeId) -> bool {
+        self.faults.as_ref().is_none_or(|s| s.is_operational(v))
     }
 
     /// The multiaccess channel substrate.
@@ -453,6 +547,15 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             f(NodeId(i), node);
         }
         self.done_count = self.nodes.iter().filter(|p| p.is_done()).count();
+        self.undone_exempt = match &self.faults {
+            Some(session) => session
+                .lifecycles()
+                .iter()
+                .zip(&self.nodes)
+                .filter(|(l, p)| l.is_exempt() && !p.is_done())
+                .count(),
+            None => 0,
+        };
     }
 
     /// Cost account (rounds = slots elapsed).
@@ -522,22 +625,65 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             .checked_add_signed(isize::from(now_done) - isize::from(was_done))
             .expect("done count balances");
 
+        // Message drops apply before a send ever enters the in-flight heap:
+        // a dropped copy is charged as sent (plus the drop counter) but
+        // never scheduled; a broadcast is interned with the *surviving*
+        // reference count only.  The drop coin is keyed by the sending tick
+        // and the directed edge — under the lockstep configuration the tick
+        // is the round, giving bit-identical drops to the round engines.
+        // (The session is moved out for the fold so the schedule calls can
+        // borrow `self` mutably; it is moved back right after.)
+        let faults = self.faults.take();
         for staged in sends.drain(..) {
             match staged {
                 StagedSend::One(to, msg) => {
-                    let slot = self.slab.intern(msg, 1);
-                    self.schedule(v, to, slot);
+                    if faults
+                        .as_ref()
+                        .is_some_and(|s| s.drops_message(self.tick, v, to))
+                    {
+                        self.cost.add_messages(1);
+                        self.cost.add_dropped_messages(1);
+                        let k = self.channels.channels() as usize;
+                        self.slab.park(msg, k);
+                    } else {
+                        let slot = self.slab.intern(msg, 1);
+                        self.schedule(v, to, slot);
+                    }
                 }
                 StagedSend::All(msg) => {
                     let targets = self.graph.neighbors(v).targets();
                     debug_assert!(!targets.is_empty());
-                    let slot = self.slab.intern(msg, targets.len() as u32);
-                    for &to in targets {
-                        self.schedule(v, to, slot);
+                    let surviving = match &faults {
+                        Some(s) => targets
+                            .iter()
+                            .filter(|&&to| !s.drops_message(self.tick, v, to))
+                            .count(),
+                        None => targets.len(),
+                    };
+                    let dropped = (targets.len() - surviving) as u64;
+                    if dropped > 0 {
+                        self.cost.add_messages(dropped);
+                        self.cost.add_dropped_messages(dropped);
+                    }
+                    if surviving == 0 {
+                        let k = self.channels.channels() as usize;
+                        self.slab.park(msg, k);
+                    } else {
+                        let slot = self.slab.intern(msg, surviving as u32);
+                        for &to in targets {
+                            if faults
+                                .as_ref()
+                                .is_some_and(|s| s.drops_message(self.tick, v, to))
+                            {
+                                continue;
+                            }
+                            self.schedule(v, to, slot);
+                        }
                     }
                 }
             }
         }
+        self.faults = faults;
         self.send_scratch = sends;
 
         // Fold the staged channel writes into the per-(node, channel) queue;
@@ -566,9 +712,13 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
     }
 
     /// Returns `true` when every node is done, nothing is in flight, and no
-    /// channel write is pending.  O(1).
+    /// channel write is pending.  O(1).  Under an installed fault plan,
+    /// nodes whose lifecycle is `Off` or `Crashed` count as settled — they
+    /// can never take another callback.
     pub fn is_quiescent(&self) -> bool {
-        self.done_count == self.nodes.len() && self.in_flight.is_empty() && self.writers.is_empty()
+        self.done_count + self.undone_exempt == self.nodes.len()
+            && self.in_flight.is_empty()
+            && self.writers.is_empty()
     }
 
     fn deliver_due(&mut self) {
@@ -583,9 +733,14 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             // deliveries of the same broadcast are outstanding and retires
             // to the free list + graveyard after the last one.
             let msg = self.slab.check_out(slot);
-            self.dispatch(NodeId(to), |node, ctx| {
-                node.on_message(NodeId(from), &msg, ctx)
-            });
+            // A message arriving at a non-operational node is silently lost
+            // (not a counted drop — it *was* delivered, there is just nobody
+            // there to read it); the slab reference is still released.
+            if self.is_node_operational(NodeId(to)) {
+                self.dispatch(NodeId(to), |node, ctx| {
+                    node.on_message(NodeId(from), &msg, ctx)
+                });
+            }
             self.slab.check_in(slot, msg);
         }
     }
@@ -613,20 +768,54 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                     self.slab.park(msg, k);
                 }
                 SlotOutcome::Collision => self.slab.park(msg, k),
+                // Erasure is applied only after this fold completes.
+                SlotOutcome::Erased => unreachable!("erasure happens post-fold"),
             }
         }
         self.writers.clear();
         self.cost.add_round();
-        for &count in &self.chan_counts {
-            self.cost.add_channel_slot(u64::from(count));
+        // Churn accounting: this boundary accounts the slot whose writes
+        // were staged up to the previous tick, so it is charged the
+        // non-operational count captured before this tick's transitions.
+        if self.pending_crashed > 0 {
+            self.cost.add_crashed_rounds(self.pending_crashed);
+        }
+        // Erasure at the resolve boundary, busy slots only.  The slot being
+        // resolved carries the writes of the *previous* round under the
+        // lockstep mapping, so the erasure coin is keyed by boundary
+        // index − 1 — bit-identical to the round engines' `(round, channel)`
+        // draw when `slot_ticks == 1`.
+        let erase_round = (self.tick / self.config.slot_ticks).saturating_sub(1);
+        for (c, &count) in self.chan_counts.iter().enumerate() {
+            if count > 0
+                && self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|s| s.erases_slot(erase_round, ChannelId(c as u16)))
+            {
+                // The winner's payload (if any) is discarded at the resolve
+                // boundary and recycled like any retired message.
+                if let SlotOutcome::Success { msg, .. } =
+                    std::mem::replace(&mut outcomes[c], SlotOutcome::Erased)
+                {
+                    self.slab.park(msg, k);
+                }
+                self.cost.add_erased_slot(u64::from(count));
+            } else {
+                self.cost.add_channel_slot(u64::from(count));
+            }
         }
 
         // Every node hears every channel it is attached to, in ascending
         // channel order (unattached channels observe `Idle`) — one dispatch
         // per node, so the per-callback bookkeeping (buffer swaps, done
-        // tracking, send draining) is not multiplied by K.
+        // tracking, send draining) is not multiplied by K.  Non-operational
+        // nodes hear nothing.
         let idle = SlotOutcome::Idle;
         for v in self.graph.nodes() {
+            if !self.is_node_operational(v) {
+                continue;
+            }
             let attached = self.channels.mask(v);
             self.dispatch(v, |node, ctx| {
                 for (c, outcome) in outcomes.iter().enumerate() {
@@ -652,11 +841,19 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
 
     /// Runs until quiescence or until `max_ticks` ticks have elapsed.
     /// Returns `true` when the run completed.
+    ///
+    /// With a fault plan installed, fault round `t` is applied at the top of
+    /// tick `t` (round 0 before the start callbacks): crashes take effect
+    /// before any of the tick's deliveries or boundary callbacks, exactly as
+    /// the round engines apply them before the round's steps.
     pub fn run(&mut self, max_ticks: u64) -> bool {
         if !self.started {
             self.started = true;
+            self.apply_fault_round(0);
             for v in self.graph.nodes() {
-                self.dispatch(v, |node, ctx| node.on_start(ctx));
+                if self.is_node_operational(v) {
+                    self.dispatch(v, |node, ctx| node.on_start(ctx));
+                }
             }
         }
         while self.tick < max_ticks {
@@ -664,6 +861,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                 return true;
             }
             self.tick += 1;
+            self.apply_fault_round(self.tick);
             self.deliver_due();
             if self.tick.is_multiple_of(self.config.slot_ticks) {
                 self.resolve_slot_boundary();
@@ -887,6 +1085,66 @@ mod tests {
         );
         let heard: u64 = g.nodes().map(|v| eng.node(v).heard).sum();
         assert_eq!(heard, 9 * 7);
+    }
+
+    #[test]
+    fn initially_off_node_is_silent_and_exempt() {
+        let g = generators::star(4);
+        let mut eng = AsyncEngine::new(&g, AsyncConfig::default(), |id| PingAll {
+            id,
+            got: false,
+            started: false,
+        });
+        eng.set_fault_plan(FaultPlan::none().with_initial_off(vec![NodeId(2)]));
+        assert!(eng.run(1000), "off node must be exempt from quiescence");
+        assert!(!eng.node(NodeId(2)).got, "off node took a callback");
+        assert_eq!(eng.fault_lifecycle(NodeId(2)), NodeLifecycle::Off);
+        for v in [NodeId(0), NodeId(1), NodeId(3)] {
+            assert!(eng.node(v).got);
+        }
+        // The hub still sent to all 3 leaves; the copy to the off node was
+        // delivered into the void, not dropped.
+        assert_eq!(eng.cost().p2p_messages, 3);
+        assert_eq!(eng.cost().dropped_messages, 0);
+    }
+
+    #[test]
+    fn certain_drops_never_deliver() {
+        let g = generators::star(4);
+        let mut eng = AsyncEngine::new(&g, AsyncConfig::default(), |id| PingAll {
+            id,
+            got: false,
+            started: false,
+        });
+        eng.set_fault_plan(FaultPlan::from_rates(3, 0.0, 1.0, 0.0, 0.0));
+        assert!(!eng.run(50), "leaves can never hear the token");
+        for v in [NodeId(1), NodeId(2), NodeId(3)] {
+            assert!(!eng.node(v).got);
+        }
+        assert_eq!(eng.cost().p2p_messages, 3);
+        assert_eq!(eng.cost().dropped_messages, 3);
+        assert!(!eng.is_quiescent());
+        // Nothing lingers in the slab: dropped broadcasts are parked whole.
+        assert_eq!(eng.slab.refs.iter().sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn erased_boundary_reaches_listeners() {
+        let g = generators::ring(5);
+        let mut eng = AsyncEngine::new(&g, AsyncConfig::default(), |_| WriteOnce {
+            wrote: false,
+            saw: None,
+        });
+        eng.set_fault_plan(FaultPlan::from_rates(8, 1.0, 0.0, 0.0, 0.0));
+        assert!(eng.run(100));
+        // Five simultaneous writers would collide, but the slot is erased:
+        // `saw` records `is_collision()`, which is false for `Erased`.
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).saw, Some(false));
+        }
+        assert_eq!(eng.cost().slots_collision, 0);
+        assert_eq!(eng.cost().erased_slots, 1);
+        assert_eq!(eng.cost().channel_writes, 5);
     }
 
     #[test]

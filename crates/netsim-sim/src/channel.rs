@@ -247,6 +247,10 @@ pub(crate) enum ChannelOutcome {
     },
     /// Two or more nodes wrote.
     Collision,
+    /// The slot carried at least one write but was erased by an injected
+    /// channel fault (see [`FaultPlan`](crate::FaultPlan)); the winner's
+    /// payload is discarded at the resolve boundary.
+    Erased,
 }
 
 /// Outcome of one channel slot, as observed by **every** node.
@@ -264,6 +268,17 @@ pub enum SlotOutcome<M> {
     /// Two or more nodes wrote; everyone detects the collision but no
     /// message content is delivered.
     Collision,
+    /// The slot carried at least one write but an injected channel fault
+    /// erased it: every attached node hears the distinguished erasure
+    /// feedback (the slot was audibly busy) but no message content and no
+    /// collision/success classification is delivered.
+    ///
+    /// Erasures are produced only by a [`FaultPlan`](crate::FaultPlan) and
+    /// only for slots with at least one writer — an idle slot stays
+    /// [`SlotOutcome::Idle`] even when scheduled for erasure, so a fault-free
+    /// execution can never observe this variant.  The exact application
+    /// point is pinned in the [`fault`](crate::fault) module docs.
+    Erased,
 }
 
 impl<M> SlotOutcome<M> {
@@ -280,6 +295,11 @@ impl<M> SlotOutcome<M> {
     /// Returns `true` for [`SlotOutcome::Collision`].
     pub fn is_collision(&self) -> bool {
         matches!(self, SlotOutcome::Collision)
+    }
+
+    /// Returns `true` for [`SlotOutcome::Erased`].
+    pub fn is_erased(&self) -> bool {
+        matches!(self, SlotOutcome::Erased)
     }
 
     /// The delivered message, when the slot was a success.
@@ -355,6 +375,8 @@ pub enum SlotState {
     Success,
     /// Two or more writers.
     Collision,
+    /// One or more writers, but the slot was erased by an injected fault.
+    Erased,
 }
 
 impl<M> From<&SlotOutcome<M>> for SlotState {
@@ -363,6 +385,7 @@ impl<M> From<&SlotOutcome<M>> for SlotState {
             SlotOutcome::Idle => SlotState::Idle,
             SlotOutcome::Success { .. } => SlotState::Success,
             SlotOutcome::Collision => SlotState::Collision,
+            SlotOutcome::Erased => SlotState::Erased,
         }
     }
 }
@@ -428,6 +451,12 @@ mod tests {
         assert_eq!(SlotState::from(&o), SlotState::Success);
         let o: SlotOutcome<u8> = SlotOutcome::Collision;
         assert_eq!(SlotState::from(&o), SlotState::Collision);
+        let o: SlotOutcome<u8> = SlotOutcome::Erased;
+        assert_eq!(SlotState::from(&o), SlotState::Erased);
+        assert!(o.is_erased());
+        assert!(!o.is_idle() && !o.is_success() && !o.is_collision());
+        assert_eq!(o.message(), None);
+        assert_eq!(o.sender(), None);
     }
 
     #[test]

@@ -79,6 +79,7 @@
 //! sequential ones.
 
 use crate::channel::{ChannelId, ChannelOutcome, ChannelSet, SlotState};
+use crate::fault::{FaultPlan, FaultSession, NodeLifecycle};
 use crate::metrics::CostAccount;
 use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo, Slots, Staged};
 use crate::payload::{PayloadArena, PayloadHandle};
@@ -147,8 +148,9 @@ impl<M> Default for Shard<M> {
 }
 
 /// Steps every node of `chunk` (node indices `base..base + chunk.len()`)
-/// once, staging outputs into `shard`.  Free function so the sequential and
-/// parallel paths share it and the borrows stay disjoint.
+/// once, staging outputs into `shard`.  Non-operational nodes (per the
+/// optional fault lifecycle slice) neither step nor stage.  Free function so
+/// the sequential and parallel paths share it and the borrows stay disjoint.
 #[allow(clippy::too_many_arguments)]
 fn step_chunk<P: Protocol>(
     graph: &Graph,
@@ -160,10 +162,14 @@ fn step_chunk<P: Protocol>(
     channels: &ChannelSet,
     slot_outcomes: &[ChannelOutcome],
     round: u64,
+    lifecycles: Option<&[NodeLifecycle]>,
     shard: &mut Shard<P::Msg>,
 ) {
     for (i, node) in chunk.iter_mut().enumerate() {
         let v = NodeId(base + i);
+        if lifecycles.is_some_and(|l| !l[v.index()].is_operational()) {
+            continue;
+        }
         let was_done = node.is_done();
         let mut io = RoundIo {
             node: v,
@@ -252,6 +258,13 @@ pub struct SyncEngine<'g, P: Protocol> {
     /// Number of nodes currently reporting [`Protocol::is_done`]; maintained
     /// incrementally so quiescence is O(1).
     done_count: usize,
+    /// Injected-fault session, when [`SyncEngine::set_fault_plan`] installed
+    /// one; `None` keeps every fault check off the hot path.
+    faults: Option<FaultSession>,
+    /// Number of nodes in a quiescence-exempt lifecycle state (`Off` /
+    /// `Crashed`) that are *not* done; maintained at lifecycle transitions so
+    /// the faulted quiescence check stays O(1).
+    undone_exempt: usize,
 }
 
 impl<'g, P: Protocol> SyncEngine<'g, P> {
@@ -305,7 +318,75 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             cost: CostAccount::new(),
             round: 0,
             done_count,
+            faults: None,
+            undone_exempt: 0,
         }
+    }
+
+    /// Installs a deterministic [`FaultPlan`]; must be called before the
+    /// first round executes.  See the [`fault`](crate::fault) module docs
+    /// for the pinned application-point contract (drops at the delivery
+    /// boundary, erasures at the resolve boundary, crashes at round start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds have already executed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(self.round, 0, "fault plan must be installed before round 0");
+        let session = FaultSession::new(plan, self.graph.node_count());
+        self.undone_exempt = session
+            .lifecycles()
+            .iter()
+            .zip(&self.nodes)
+            .filter(|(l, p)| l.is_exempt() && !p.is_done())
+            .count();
+        self.faults = Some(session);
+    }
+
+    /// The installed fault session, if any — exposes per-node
+    /// [`NodeLifecycle`] states and the churn count.
+    pub fn fault_session(&self) -> Option<&FaultSession> {
+        self.faults.as_ref()
+    }
+
+    /// Current lifecycle state of node `v` (`Operational` when no fault
+    /// plan is installed).
+    pub fn fault_lifecycle(&self, v: NodeId) -> NodeLifecycle {
+        self.faults
+            .as_ref()
+            .map_or(NodeLifecycle::Operational, |s| s.lifecycle(v))
+    }
+
+    /// Applies the current round's lifecycle transitions (crashes, recover
+    /// hooks, boot promotions) and charges the round's churn; no-op without
+    /// a fault plan.
+    fn apply_fault_round(&mut self) {
+        let Some(session) = &mut self.faults else {
+            return;
+        };
+        let nodes = &mut self.nodes;
+        let done_count = &mut self.done_count;
+        let undone_exempt = &mut self.undone_exempt;
+        session.apply_round(self.round, |v, _, to| match to {
+            // Entering an exempt state: always from Operational/Booting.
+            NodeLifecycle::Crashed => {
+                *undone_exempt += usize::from(!nodes[v.index()].is_done());
+            }
+            // Leaving an exempt state: the recover hook may re-initialise
+            // the node, so rebalance the done counter around it.
+            NodeLifecycle::Booting => {
+                let node = &mut nodes[v.index()];
+                let was = node.is_done();
+                *undone_exempt -= usize::from(!was);
+                node.on_recover();
+                let now = node.is_done();
+                *done_count = done_count
+                    .checked_add_signed(isize::from(now) - isize::from(was))
+                    .expect("done count balances");
+            }
+            NodeLifecycle::Operational | NodeLifecycle::Off => {}
+        });
+        session.charge_round(&mut self.cost);
     }
 
     /// The underlying graph.
@@ -362,6 +443,15 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             f(NodeId(i), node);
         }
         self.done_count = self.nodes.iter().filter(|p| p.is_done()).count();
+        self.undone_exempt = match &self.faults {
+            Some(session) => session
+                .lifecycles()
+                .iter()
+                .zip(&self.nodes)
+                .filter(|(l, p)| l.is_exempt() && !p.is_done())
+                .count(),
+            None => 0,
+        };
     }
 
     /// Immutable access to all protocol states, indexed by node id.
@@ -392,6 +482,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             ChannelOutcome::Idle => SlotState::Idle,
             ChannelOutcome::Success { .. } => SlotState::Success,
             ChannelOutcome::Collision => SlotState::Collision,
+            ChannelOutcome::Erased => SlotState::Erased,
         }
     }
 
@@ -435,12 +526,25 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
     /// O(1): the engine tracks done-state transitions across steps, the
     /// in-flight count is the arena length, and the non-idle channel count
     /// is cached at slot resolution.
+    ///
+    /// Under an installed fault plan, nodes whose lifecycle is `Off` or
+    /// `Crashed` are **exempt**: they count as settled whether or not their
+    /// protocol reports done (a crashed node can never step again to finish).
+    /// Tracked exactly as `done + undone-exempt == n`, maintained at
+    /// lifecycle transitions.
     pub fn is_quiescent(&self) -> bool {
-        self.done_count == self.nodes.len() && self.arena.is_empty() && self.nonidle_slots == 0
+        self.done_count + self.undone_exempt == self.nodes.len()
+            && self.arena.is_empty()
+            && self.nonidle_slots == 0
     }
 
     /// Executes one round for every node and resolves one slot per channel.
+    ///
+    /// With a fault plan installed the round's lifecycle transitions apply
+    /// **first** (crashes at round start), then only `Operational` nodes
+    /// step.
     pub fn step_round(&mut self) {
+        self.apply_fault_round();
         let SyncEngine {
             graph,
             nodes,
@@ -451,6 +555,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             shards,
             slot_outcomes,
             round,
+            faults,
             ..
         } = self;
         step_chunk(
@@ -463,6 +568,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             channels,
             slot_outcomes,
             *round,
+            faults.as_ref().map(|s| s.lifecycles()),
             &mut shards[0],
         );
         self.finish_round();
@@ -511,11 +617,26 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         self.nonidle_slots = 0;
         for (c, &count) in self.chan_counts.iter().enumerate() {
             if count == 0 {
+                // An idle slot can never be erased: erasure models the loss
+                // of a transmission, and nothing was transmitted.
                 self.slot_outcomes[c] = ChannelOutcome::Idle;
+                self.cost.add_channel_slot(0);
+            } else if self
+                .faults
+                .as_ref()
+                .is_some_and(|s| s.erases_slot(self.round, ChannelId(c as u16)))
+            {
+                // Erasure at the resolve boundary: the winner's payload (if
+                // any) is discarded — its handle simply expires with the
+                // delivery epoch — and every attached listener observes the
+                // distinguished `Erased` feedback next round.
+                self.slot_outcomes[c] = ChannelOutcome::Erased;
+                self.nonidle_slots += 1;
+                self.cost.add_erased_slot(u64::from(count));
             } else {
                 self.nonidle_slots += 1;
+                self.cost.add_channel_slot(u64::from(count));
             }
-            self.cost.add_channel_slot(u64::from(count));
         }
         self.chan_writes.clear();
     }
@@ -582,6 +703,21 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         let stage = &mut first[0].outbox.entries;
         for shard in rest {
             stage.append(&mut shard.outbox.entries);
+        }
+
+        // Message drops apply at the delivery boundary: a dropped message
+        // was *sent* (it is counted in `p2p_messages` via the pre-drop
+        // total) but never reaches the receiver's inbox arena.  The retained
+        // order is unchanged (`retain` is stable), and the dropped payloads
+        // expire with the staging epoch like any undelivered handle.
+        let staged = stage.len();
+        if let Some(session) = &self.faults {
+            let round = self.round;
+            stage.retain(|&(to, from, _)| !session.drops_message(round, from, to));
+            let dropped = staged - stage.len();
+            if dropped > 0 {
+                self.cost.add_dropped_messages(dropped as u64);
+            }
         }
         let k = stage.len();
         let n = self.heads.len();
@@ -679,7 +815,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         }
         self.offsets[n] = self.arena.len();
         stage.clear();
-        k as u64
+        staged as u64
     }
 
     /// Runs until quiescence or until `max_rounds` rounds have elapsed in total.
@@ -751,6 +887,7 @@ where
         while self.shards.len() < workers {
             self.shards.push(Shard::default());
         }
+        self.apply_fault_round();
         let chunk_len = n.div_ceil(workers);
         let SyncEngine {
             graph,
@@ -762,6 +899,7 @@ where
             shards,
             slot_outcomes,
             round,
+            faults,
             ..
         } = self;
         let (graph, channels, arena, payloads, offsets, slot_outcomes, round) = (
@@ -773,6 +911,7 @@ where
             &*slot_outcomes,
             *round,
         );
+        let lifecycles = faults.as_ref().map(|s| s.lifecycles());
         std::thread::scope(|scope| {
             for (ci, (chunk, shard)) in nodes
                 .chunks_mut(chunk_len)
@@ -790,6 +929,7 @@ where
                         channels,
                         slot_outcomes,
                         round,
+                        lifecycles,
                         shard,
                     );
                 });
@@ -1177,6 +1317,196 @@ mod tests {
         assert!(out.is_completed());
         assert!(eng.is_quiescent());
         assert_eq!(eng.in_flight(), 0);
+    }
+
+    /// Node 0 writes once in round 0; everyone records the feedback they
+    /// observe in round 1 and finishes.
+    struct ErasedProbe {
+        id: NodeId,
+        observed: Option<SlotState>,
+        done: bool,
+    }
+    impl Protocol for ErasedProbe {
+        type Msg = u64;
+        fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+            if io.round() == 0 && self.id == NodeId(0) {
+                io.write_channel(7);
+            }
+            if io.round() == 1 {
+                self.observed = Some(SlotState::from(io.prev_slot()));
+                self.done = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn certain_erasure_turns_success_into_erased_feedback() {
+        let g = generators::complete(4);
+        let mut eng = SyncEngine::new(&g, |id| ErasedProbe {
+            id,
+            observed: None,
+            done: false,
+        });
+        eng.set_fault_plan(FaultPlan::from_rates(11, 1.0, 0.0, 0.0, 0.0));
+        let out = eng.run(10);
+        assert!(out.is_completed());
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).observed, Some(SlotState::Erased));
+        }
+        // The write happened (and is charged), but the slot was erased —
+        // never a success — and idle slots are never erased.
+        assert_eq!(eng.cost().erased_slots, 1);
+        assert_eq!(eng.cost().channel_writes, 1);
+        assert_eq!(eng.cost().slots_success, 0);
+        assert_eq!(eng.cost().slots_idle, eng.cost().rounds - 1);
+        assert_eq!(eng.last_slot_state(ChannelId::DEFAULT), SlotState::Idle);
+    }
+
+    #[test]
+    fn certain_drops_sever_the_point_to_point_medium() {
+        let g = generators::path(4);
+        let mut eng = SyncEngine::new(&g, |id| Flood {
+            have: id == NodeId(0),
+            sent: false,
+        });
+        eng.set_fault_plan(FaultPlan::from_rates(5, 0.0, 1.0, 0.0, 0.0));
+        let out = eng.run(6);
+        // The token can never propagate: every copy is dropped at the
+        // delivery boundary.
+        assert!(!out.is_completed());
+        for v in g.nodes().skip(1) {
+            assert!(!eng.node(v).have);
+        }
+        // Sends are charged at the send point; drops are charged on top
+        // (node 0 has one neighbour on a path, so it sends one copy).
+        assert_eq!(eng.cost().p2p_messages, 1);
+        assert_eq!(eng.cost().dropped_messages, 1);
+        assert_eq!(eng.in_flight(), 0);
+    }
+
+    /// Counts its own steps; `on_recover` records that the hook fired.
+    struct Ticker {
+        steps: u64,
+        recovered: bool,
+        goal: u64,
+    }
+    impl Protocol for Ticker {
+        type Msg = ();
+        fn step(&mut self, _io: &mut RoundIo<'_, ()>) {
+            self.steps += 1;
+        }
+        fn is_done(&self) -> bool {
+            self.steps >= self.goal
+        }
+        fn on_recover(&mut self) {
+            self.recovered = true;
+        }
+    }
+
+    #[test]
+    fn scheduled_crash_skips_steps_and_recover_rejoins() {
+        use crate::fault::FaultEvent;
+        let g = generators::ring(3);
+        let mut eng = SyncEngine::new(&g, |_| Ticker {
+            steps: 0,
+            recovered: false,
+            goal: 8,
+        });
+        eng.set_fault_plan(FaultPlan::none().with_events(vec![
+            FaultEvent::Crash {
+                round: 2,
+                node: NodeId(1),
+            },
+            FaultEvent::Recover {
+                round: 5,
+                node: NodeId(1),
+            },
+        ]));
+        let out = eng.run(30);
+        assert!(out.is_completed());
+        // Node 1 misses rounds 2..=5 (crashed 2-4, booting 5), so it reaches
+        // its 8-step goal four rounds after the others: steps at 0,1,6..=11.
+        assert_eq!(out.rounds(), 12);
+        assert_eq!(eng.node(NodeId(1)).steps, 8);
+        assert!(eng.node(NodeId(1)).recovered);
+        assert!(!eng.node(NodeId(0)).recovered);
+        assert_eq!(eng.fault_lifecycle(NodeId(1)), NodeLifecycle::Operational);
+        // Churn accounting: one non-operational node for rounds 2..=5.
+        assert_eq!(eng.cost().crashed_rounds, 4);
+    }
+
+    #[test]
+    fn permanent_crash_is_exempt_from_quiescence() {
+        use crate::fault::FaultEvent;
+        let g = generators::ring(3);
+        let mut eng = SyncEngine::new(&g, |_| Ticker {
+            steps: 0,
+            recovered: false,
+            goal: 3,
+        });
+        eng.set_fault_plan(FaultPlan::none().with_events(vec![FaultEvent::Crash {
+            round: 1,
+            node: NodeId(2),
+        }]));
+        let out = eng.run(20);
+        // Node 2 can never report done, but a crashed node is exempt: the
+        // run completes once the survivors finish.
+        assert!(out.is_completed());
+        assert_eq!(eng.node(NodeId(2)).steps, 1);
+        assert!(!eng.node(NodeId(2)).is_done());
+        assert_eq!(eng.fault_lifecycle(NodeId(2)), NodeLifecycle::Crashed);
+    }
+
+    #[test]
+    fn null_and_zero_rate_plans_change_nothing() {
+        let g = generators::Family::RandomConnected.generate(40, 3);
+        let run = |plan: Option<FaultPlan>| {
+            let mut eng = SyncEngine::new(&g, |id| Flood {
+                have: id == NodeId(0),
+                sent: false,
+            });
+            if let Some(plan) = plan {
+                eng.set_fault_plan(plan);
+            }
+            let out = eng.run(200);
+            assert!(out.is_completed());
+            let states: Vec<(bool, bool)> = eng.nodes().iter().map(|n| (n.have, n.sent)).collect();
+            (out, *eng.cost(), states)
+        };
+        let bare = run(None);
+        assert_eq!(run(Some(FaultPlan::none())), bare);
+        assert_eq!(
+            run(Some(FaultPlan::from_rates(9, 0.0, 0.0, 0.0, 0.0))),
+            bare
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_faulted_run_matches_sequential() {
+        let g = generators::Family::RingOfCliques.generate(120, 7);
+        let plan = FaultPlan::from_rates(13, 0.1, 0.1, 0.02, 0.3);
+        let init = |id: NodeId| Flood {
+            have: id == NodeId(0),
+            sent: false,
+        };
+        let mut seq = SyncEngine::new(&g, init);
+        seq.set_fault_plan(plan.clone());
+        let seq_out = seq.run(400);
+        for threads in [2usize, 5] {
+            let mut par = SyncEngine::new(&g, init);
+            par.set_fault_plan(plan.clone());
+            let par_out = par.run_parallel(400, threads);
+            assert_eq!(seq_out, par_out);
+            assert_eq!(seq.cost(), par.cost());
+            for v in g.nodes() {
+                assert_eq!(seq.node(v).have, par.node(v).have);
+                assert_eq!(seq.fault_lifecycle(v), par.fault_lifecycle(v));
+            }
+        }
     }
 
     #[cfg(feature = "parallel")]

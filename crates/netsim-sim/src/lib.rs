@@ -102,6 +102,7 @@
 mod async_engine;
 mod channel;
 mod engine;
+pub mod fault;
 pub mod lockstep;
 mod metrics;
 mod node;
@@ -115,7 +116,8 @@ pub use channel::{
     MAX_CHANNELS,
 };
 pub use engine::{RunOutcome, SyncEngine};
-pub use lockstep::{lockstep_config, reconciled_cost, Lockstep};
+pub use fault::{FaultEvent, FaultPlan, FaultSession, NodeLifecycle};
+pub use lockstep::{lockstep_config, reconciled_cost, reconciled_cost_faulted, Lockstep};
 pub use metrics::CostAccount;
 pub use node::{DrainSends, Inbox, InboxIter, OutboxBuffer, Protocol, RoundIo};
 pub use payload::{PayloadArena, PayloadHandle};

@@ -46,6 +46,26 @@ pub fn reconciled_cost(mut cost: crate::CostAccount, k: u16) -> crate::CostAccou
     cost
 }
 
+/// [`reconciled_cost`] for runs with an installed
+/// [`FaultPlan`](crate::FaultPlan): the synchronous run's final all-idle
+/// round also charges that round's churn, which the lockstep run's last
+/// boundary never accounts.  `crashed_final` is the engine's final
+/// non-operational count
+/// ([`FaultSession::non_operational_count`](crate::FaultSession::non_operational_count)
+/// after the run) — both engines apply the same fault rounds, so the final
+/// lifecycle census is shared, and no faults can fire in the all-idle round
+/// itself (no writers to erase, no sends to drop, by the definition of
+/// quiescence).
+pub fn reconciled_cost_faulted(
+    cost: crate::CostAccount,
+    k: u16,
+    crashed_final: u64,
+) -> crate::CostAccount {
+    let mut cost = reconciled_cost(cost, k);
+    cost.add_crashed_rounds(crashed_final);
+    cost
+}
+
 /// Adapter that replays a synchronous [`Protocol`] on the
 /// [`AsyncEngine`](crate::AsyncEngine) in lockstep (see the module docs).
 /// The engine delivers every channel's outcome per boundary (ascending
@@ -61,7 +81,6 @@ pub struct Lockstep<P: Protocol> {
     /// Per-channel outcomes of the boundary being delivered.
     slots: Vec<SlotOutcome<P::Msg>>,
     outbox: OutboxBuffer<P::Msg>,
-    round: u64,
 }
 
 impl<P: Protocol> Lockstep<P> {
@@ -72,7 +91,6 @@ impl<P: Protocol> Lockstep<P> {
             inbox: Vec::new(),
             slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
             outbox: OutboxBuffer::new(),
-            round: 0,
         }
     }
 
@@ -101,9 +119,13 @@ impl<P: Protocol> Lockstep<P> {
         let attached = (0..ctx.channels())
             .filter(|&c| ctx.is_attached(ChannelId(c)))
             .fold(0u64, |mask, c| mask | 1 << c);
+        // The round index is the engine's tick, not a local counter: under
+        // the lockstep configuration boundary `t` steps round `t`, and a
+        // node that missed steps while crashed must resume at the *current*
+        // round, not where its own count left off.
         let mut io = RoundIo::detached_multi(
             ctx.id(),
-            self.round,
+            ctx.tick(),
             ctx.neighbors(),
             Inbox::direct(&self.inbox),
             &self.slots,
@@ -111,7 +133,6 @@ impl<P: Protocol> Lockstep<P> {
         )
         .with_attachment(attached);
         self.inner.step(&mut io);
-        self.round += 1;
         self.inbox.clear();
         // Channel writes move out before the sends: draining the sends
         // retires the payload epoch the write handles point into.
@@ -152,6 +173,15 @@ impl<P: Protocol> AsyncProtocol for Lockstep<P> {
 
     fn is_done(&self) -> bool {
         self.inner.is_done() && self.inbox.is_empty()
+    }
+
+    fn on_recover(&mut self) {
+        // Forward the lifecycle hook to the wrapped synchronous protocol.
+        // The adapter's own buffers need no reset: the inbox is always empty
+        // outside a tick (deliveries to a crashed node are gated by the
+        // engine), and every slot buffer entry is overwritten at the next
+        // boundary before the inner protocol steps again.
+        self.inner.on_recover();
     }
 }
 

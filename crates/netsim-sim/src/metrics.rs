@@ -25,6 +25,17 @@ pub struct CostAccount {
     pub slots_success: u64,
     /// Slots in which two or more nodes wrote (collision detected by all).
     pub slots_collision: u64,
+    /// Point-to-point messages erased in flight by an injected fault
+    /// ([`FaultPlan`](crate::FaultPlan) drop events).  Dropped messages are
+    /// *also* counted in `p2p_messages` — the send happened; the loss is at
+    /// the delivery boundary.
+    pub dropped_messages: u64,
+    /// Channel slots that carried at least one write but were erased by an
+    /// injected fault (not classified as success or collision).
+    pub erased_slots: u64,
+    /// Sum over executed rounds of the number of non-operational (off,
+    /// booting, or crashed) nodes in that round — the integral of churn.
+    pub crashed_rounds: u64,
 }
 
 impl CostAccount {
@@ -38,9 +49,10 @@ impl CostAccount {
         self.p2p_messages + self.rounds
     }
 
-    /// Total slots in which the channel was busy (success or collision).
+    /// Total slots in which the channel was busy (success, collision, or an
+    /// erased slot that carried writes).
     pub fn slots_busy(&self) -> u64 {
-        self.slots_success + self.slots_collision
+        self.slots_success + self.slots_collision + self.erased_slots
     }
 
     /// Adds another account to this one (e.g. to combine algorithm stages).
@@ -51,6 +63,9 @@ impl CostAccount {
         self.slots_idle += other.slots_idle;
         self.slots_success += other.slots_success;
         self.slots_collision += other.slots_collision;
+        self.dropped_messages += other.dropped_messages;
+        self.erased_slots += other.erased_slots;
+        self.crashed_rounds += other.crashed_rounds;
     }
 
     /// Records `count` point-to-point messages.
@@ -88,6 +103,28 @@ impl CostAccount {
             _ => self.slots_collision += 1,
         }
     }
+
+    /// Records one channel slot whose `writers >= 1` write attempts were
+    /// erased by an injected fault: the write attempts still count (they
+    /// happened on the air) but the slot is classified as erased rather than
+    /// success or collision.
+    pub fn add_erased_slot(&mut self, writers: u64) {
+        debug_assert!(writers >= 1, "an idle slot cannot be erased");
+        self.channel_writes += writers;
+        self.erased_slots += 1;
+    }
+
+    /// Records `count` dropped point-to-point messages (the sends were
+    /// already counted by [`CostAccount::add_messages`]).
+    pub fn add_dropped_messages(&mut self, count: u64) {
+        self.dropped_messages += count;
+    }
+
+    /// Records that `count` nodes were non-operational during one executed
+    /// round.
+    pub fn add_crashed_rounds(&mut self, count: u64) {
+        self.crashed_rounds += count;
+    }
 }
 
 impl std::ops::Add for CostAccount {
@@ -109,13 +146,16 @@ impl std::fmt::Display for CostAccount {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "rounds={} p2p_msgs={} writes={} slots(idle/succ/coll)={}/{}/{}",
+            "rounds={} p2p_msgs={} writes={} slots(idle/succ/coll/erased)={}/{}/{}/{} dropped={} crashed_rounds={}",
             self.rounds,
             self.p2p_messages,
             self.channel_writes,
             self.slots_idle,
             self.slots_success,
-            self.slots_collision
+            self.slots_collision,
+            self.erased_slots,
+            self.dropped_messages,
+            self.crashed_rounds
         )
     }
 }
@@ -158,6 +198,27 @@ mod tests {
         e.add_round();
         e.add_channel_slot(1);
         assert_eq!(d, e);
+    }
+
+    #[test]
+    fn fault_counters() {
+        let mut c = CostAccount::new();
+        c.add_round();
+        c.add_erased_slot(3);
+        c.add_dropped_messages(2);
+        c.add_crashed_rounds(4);
+        assert_eq!(c.erased_slots, 1);
+        assert_eq!(c.channel_writes, 3);
+        assert_eq!(c.slots_collision, 0);
+        assert_eq!(c.slots_success, 0);
+        assert_eq!(c.dropped_messages, 2);
+        assert_eq!(c.crashed_rounds, 4);
+        assert_eq!(c.slots_busy(), 1);
+        let mut d = CostAccount::new();
+        d.absorb(&c);
+        assert_eq!(d, c);
+        let s = format!("{c}");
+        assert!(s.contains("erased") && s.contains("dropped") && s.contains("crashed"));
     }
 
     #[test]

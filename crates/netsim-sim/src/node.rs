@@ -45,8 +45,20 @@ pub trait Protocol {
     /// The engine stops when every node is done and no messages are in
     /// flight.  For the engine's O(1) quiescence tracking to be sound, the
     /// value returned must only change as a result of [`Protocol::step`]
-    /// (which is the only way engine users can reach `&mut self` anyway).
+    /// (which is the only way engine users can reach `&mut self` anyway) —
+    /// or of [`Protocol::on_recover`], which the engines invoke themselves
+    /// and account for.
     fn is_done(&self) -> bool;
+
+    /// Re-initialisation hook fired when a crashed node starts recovering
+    /// (the `Crashed → Booting` transition of a
+    /// [`FaultPlan`](crate::FaultPlan)'s node lifecycle; see the
+    /// [`fault`](crate::fault) module docs).  The node steps again from the
+    /// *next* round on; whatever state the crash left behind is whatever
+    /// `step` last produced, and this hook is the node's one chance to
+    /// re-initialise before rejoining.  The default does nothing (the node
+    /// resumes with its pre-crash state).
+    fn on_recover(&mut self) {}
 }
 
 /// A staged point-to-point message: `(to, from, payload handle)`.
@@ -419,6 +431,7 @@ impl<'a, M> Slots<'a, M> {
                 SlotOutcome::Idle => SlotOutcome::Idle,
                 SlotOutcome::Success { from, msg } => SlotOutcome::Success { from: *from, msg },
                 SlotOutcome::Collision => SlotOutcome::Collision,
+                SlotOutcome::Erased => SlotOutcome::Erased,
             },
             Slots::Arena { outcomes, payloads } => match outcomes[c] {
                 ChannelOutcome::Idle => SlotOutcome::Idle,
@@ -427,6 +440,7 @@ impl<'a, M> Slots<'a, M> {
                     msg: payloads.get(handle),
                 },
                 ChannelOutcome::Collision => SlotOutcome::Collision,
+                ChannelOutcome::Erased => SlotOutcome::Erased,
             },
         }
     }

@@ -245,31 +245,67 @@ impl<V: Clone> Protocol for TreeBroadcast<V> {
 // ---------------------------------------------------------------------------
 
 /// Global sum over a `K`-channel [`ChannelSet`]: node `v` is attached to
-/// channel `v mod K` and, in round `v div K`, writes its value on that
-/// channel (a shard-local TDMA schedule, so every slot is a success); every
-/// shard member folds the successes it hears.  After `⌈n/K⌉` rounds each
-/// shard knows its shard sum — `K` channels compute `K` partial sums
-/// concurrently, cutting the round count by a factor of `K` against the
+/// channel `v mod K` and writes its value on that channel when the shard's
+/// *turn* reaches its rank (`v div K`); every shard member folds the
+/// successes it hears.  Fault-free the turn advances once per round (a
+/// shard-local TDMA schedule, so every slot is a success) and after `⌈n/K⌉`
+/// rounds each shard knows its shard sum — `K` channels compute `K` partial
+/// sums concurrently, cutting the round count by a factor of `K` against the
 /// paper's single-channel schedule.
 ///
+/// Under a [`FaultPlan`](crate::FaultPlan) the schedule is *dynamic*: the
+/// turn is driven by the shard's shared channel feedback, not by the round
+/// number.
+///
+/// * a **`Success`** folds the heard value and advances the turn (the next
+///   rank writes);
+/// * an **`Erased`** slot (or a `Collision`) holds the turn — the same
+///   writer, which saw the same feedback, retries next round;
+/// * an **`Idle`** slot while the turn points at an unwritten rank is a
+///   *strike*: after [`ChannelShardedSum::TIMEOUT`] consecutive strikes the
+///   shard concludes the rank's owner has crashed and skips it.
+///
+/// All never-crashed members of a shard observe the identical feedback
+/// sequence, so their turn/strike counters evolve in lockstep and at most
+/// one node writes per slot — collisions never arise from the protocol
+/// itself.  A node that crashes and later recovers rejoins *crashed out*
+/// ([`Protocol::on_recover`]): it keeps listening (so it terminates) but
+/// never writes again, since its slot may already have been skipped; its
+/// own sum is best-effort, and only never-crashed members are guaranteed
+/// the exact sum of the values the shard actually heard.
+///
 /// This is the *channel-sharded scenario family* of the engine benchmark
-/// (`experiments --engine`, `channels` section of `BENCH_engine.json`); its
-/// delivery semantics are pinned across all three engines by the
-/// `engine_conformance` suite.  Build the matching attachment with
-/// [`ChannelShardedSum::channel_set`].
+/// (`experiments --engine`, `channels` and `faults` sections of
+/// `BENCH_engine.json`); its delivery semantics are pinned across all three
+/// engines by the `engine_conformance` suite, fault schedules included.
+/// Build the matching attachment with [`ChannelShardedSum::channel_set`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChannelShardedSum {
     chan: ChannelId,
-    /// This node's slot in the shard-local TDMA schedule (`v div K`).
+    /// This node's slot in the shard-local schedule (`v div K`).
     rank: u64,
-    /// Rounds until every member of this node's shard has written.
+    /// Number of members (= ranks) of this node's shard.
     shard_size: u64,
     value: u64,
     sum: u64,
-    done: bool,
+    /// The rank whose write this node is currently waiting to hear.
+    turn: u64,
+    /// Consecutive idle slots observed while waiting on `turn`.
+    strikes: u32,
+    /// Set on recovery from a crash: the node keeps listening but never
+    /// writes again (its rank may already have been skipped).
+    crashed_out: bool,
 }
 
 impl ChannelShardedSum {
+    /// Consecutive idle slots after which the shard skips the current turn's
+    /// rank, concluding its owner has crashed.  An idle slot while a live
+    /// writer holds the turn is impossible (the writer retries every round
+    /// until its write succeeds), so one strike already implies a dead rank;
+    /// the second confirms it across a recovery boundary, where a node
+    /// promoted mid-slot has not written yet.
+    pub const TIMEOUT: u32 = 2;
+
     /// Per-node state for node `v` of `n` with `k` channels and local input
     /// `value`.
     pub fn new(v: NodeId, n: usize, k: u16, value: u64) -> Self {
@@ -284,7 +320,9 @@ impl ChannelShardedSum {
             shard_size,
             value,
             sum: 0,
-            done: false,
+            turn: 0,
+            strikes: 0,
+            crashed_out: false,
         }
     }
 
@@ -303,27 +341,53 @@ impl ChannelShardedSum {
     pub fn channel(&self) -> ChannelId {
         self.chan
     }
+
+    /// `true` once this node has crashed and recovered: it keeps listening
+    /// but never writes again, and its own sum is best-effort only.
+    pub fn crashed_out(&self) -> bool {
+        self.crashed_out
+    }
 }
 
 impl Protocol for ChannelShardedSum {
     type Msg = u64;
 
     fn step(&mut self, io: &mut RoundIo<'_, u64>) {
-        if let SlotOutcome::Success { msg, .. } = io.prev_slot_on(self.chan) {
-            self.sum = self.sum.wrapping_add(*msg);
+        if self.turn < self.shard_size {
+            match io.prev_slot_on(self.chan) {
+                SlotOutcome::Success { msg, .. } => {
+                    self.sum = self.sum.wrapping_add(*msg);
+                    self.turn += 1;
+                    self.strikes = 0;
+                }
+                // The writer saw the same feedback and retries: hold the
+                // turn, reset the crash suspicion.
+                SlotOutcome::Collision | SlotOutcome::Erased => self.strikes = 0,
+                SlotOutcome::Idle => {
+                    // Round 0 observes the axiomatic all-idle slots before
+                    // time 0 — no rank has had a chance to write yet.
+                    if io.round() > 0 {
+                        self.strikes += 1;
+                        if self.strikes >= Self::TIMEOUT {
+                            self.turn += 1;
+                            self.strikes = 0;
+                        }
+                    }
+                }
+            }
         }
-        if io.round() == self.rank {
+        if self.turn == self.rank && !self.crashed_out {
             io.write_channel_on(self.chan, self.value);
-        }
-        // The writer of round r is heard in round r + 1; the shard is done
-        // once its last writer (rank shard_size - 1) has been heard.
-        if io.round() >= self.shard_size {
-            self.done = true;
         }
     }
 
     fn is_done(&self) -> bool {
-        self.done
+        // Every rank has been heard or skipped.
+        self.turn >= self.shard_size
+    }
+
+    fn on_recover(&mut self) {
+        self.crashed_out = true;
     }
 }
 
@@ -331,6 +395,7 @@ impl Protocol for ChannelShardedSum {
 mod tests {
     use super::*;
     use crate::engine::SyncEngine;
+    use crate::fault::{FaultEvent, FaultPlan};
     use netsim_graph::{generators, traversal, SpanningForest};
 
     #[test]
@@ -432,6 +497,67 @@ mod tests {
                 assert_eq!(eng.node(v).sum(), expected, "k={k} node {v:?}");
             }
         }
+    }
+
+    #[test]
+    fn channel_sharded_sum_is_exact_under_erasures() {
+        // Erasures only delay the schedule (the blocked writer retries), so
+        // every shard still computes its exact sum.
+        let n = 37;
+        let g = generators::ring(n);
+        let values: Vec<u64> = (0..n as u64).map(|i| i * 31 + 5).collect();
+        let k = 4u16;
+        let mut eng = SyncEngine::with_channels(&g, ChannelShardedSum::channel_set(n, k), |v| {
+            ChannelShardedSum::new(v, n, k, values[v.index()])
+        });
+        eng.set_fault_plan(FaultPlan::from_rates(0xE5A5, 0.25, 0.0, 0.0, 0.0));
+        let out = eng.run(1000);
+        assert!(out.is_completed());
+        assert!(eng.cost().erased_slots > 0);
+        // Each erased slot costs the shard exactly one retry round.
+        assert!(out.rounds() > (n as u64).div_ceil(u64::from(k)) + 1);
+        for v in g.nodes() {
+            let expected: u64 = (0..n)
+                .filter(|u| u % (k as usize) == v.index() % (k as usize))
+                .map(|u| values[u])
+                .sum();
+            assert_eq!(eng.node(v).sum(), expected, "node {v:?}");
+        }
+    }
+
+    #[test]
+    fn channel_sharded_sum_skips_crashed_rank() {
+        // Single shard of 9; node 4 crashes before its turn and recovers
+        // late.  The survivors strike out its idle slot, skip the rank, and
+        // finish with the sum of every value the channel actually carried;
+        // the recovered node rejoins crashed-out and still terminates.
+        let n = 9;
+        let g = generators::ring(n);
+        let values: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+        let mut eng = SyncEngine::with_channels(&g, ChannelShardedSum::channel_set(n, 1), |v| {
+            ChannelShardedSum::new(v, n, 1, values[v.index()])
+        });
+        eng.set_fault_plan(FaultPlan::none().with_events(vec![
+            FaultEvent::Crash {
+                round: 2,
+                node: NodeId(4),
+            },
+            FaultEvent::Recover {
+                round: 8,
+                node: NodeId(4),
+            },
+        ]));
+        let out = eng.run(1000);
+        assert!(out.is_completed());
+        let heard: u64 = values.iter().sum::<u64>() - values[4];
+        for v in g.nodes().filter(|v| v.index() != 4) {
+            assert_eq!(eng.node(v).sum(), heard, "node {v:?}");
+        }
+        // The skipped rank costs TIMEOUT idle rounds on top of the
+        // fault-free schedule; the recovered node's late catch-up (strike
+        // out every rank it missed) dominates the tail.
+        assert!(eng.node(NodeId(4)).is_done());
+        assert!(eng.cost().slots_success == (n as u64) - 1);
     }
 
     #[test]

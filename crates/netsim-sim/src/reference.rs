@@ -27,6 +27,7 @@
 
 use crate::channel::{resolve_slots, ChannelId, ChannelSet, SlotOutcome, SlotState};
 use crate::engine::RunOutcome;
+use crate::fault::{FaultPlan, FaultSession, NodeLifecycle};
 use crate::metrics::CostAccount;
 use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo, Slots};
 use netsim_graph::{Graph, NodeId};
@@ -48,6 +49,9 @@ pub struct ReferenceEngine<'g, P: Protocol> {
     prev_slots: Vec<SlotOutcome<P::Msg>>,
     cost: CostAccount,
     round: u64,
+    /// Injected-fault session, when [`ReferenceEngine::set_fault_plan`]
+    /// installed one.
+    faults: Option<FaultSession>,
 }
 
 impl<'g, P: Protocol> ReferenceEngine<'g, P> {
@@ -88,7 +92,50 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             prev_slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
             cost: CostAccount::new(),
             round: 0,
+            faults: None,
         }
+    }
+
+    /// Installs a deterministic [`FaultPlan`]; must be called before the
+    /// first round executes.  Bit-identical semantics to
+    /// [`SyncEngine::set_fault_plan`](crate::SyncEngine::set_fault_plan) —
+    /// same application points, same seeded draws — pinned by the
+    /// `engine_conformance` fault dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds have already executed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(self.round, 0, "fault plan must be installed before round 0");
+        self.faults = Some(FaultSession::new(plan, self.graph.node_count()));
+    }
+
+    /// The installed fault session, if any.
+    pub fn fault_session(&self) -> Option<&FaultSession> {
+        self.faults.as_ref()
+    }
+
+    /// Current lifecycle state of node `v` (`Operational` when no fault
+    /// plan is installed).
+    pub fn fault_lifecycle(&self, v: NodeId) -> NodeLifecycle {
+        self.faults
+            .as_ref()
+            .map_or(NodeLifecycle::Operational, |s| s.lifecycle(v))
+    }
+
+    /// Applies the current round's lifecycle transitions and charges the
+    /// round's churn; no-op without a fault plan.
+    fn apply_fault_round(&mut self) {
+        let Some(session) = &mut self.faults else {
+            return;
+        };
+        let nodes = &mut self.nodes;
+        session.apply_round(self.round, |v, _, to| {
+            if to == NodeLifecycle::Booting {
+                nodes[v.index()].on_recover();
+            }
+        });
+        session.charge_round(&mut self.cost);
     }
 
     /// The underlying graph.
@@ -161,20 +208,35 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
     /// every channel's last slot was idle (a non-idle outcome is feedback
     /// every attached node still gets to hear — see
     /// [`SyncEngine::is_quiescent`](crate::SyncEngine::is_quiescent)).
-    /// O(n + K): full rescan, as in the original implementation.
+    /// O(n + K): full rescan, as in the original implementation.  Nodes in
+    /// an exempt lifecycle state (`Off` / `Crashed`) count as settled, as in
+    /// the flat engine.
     pub fn is_quiescent(&self) -> bool {
-        self.nodes.iter().all(Protocol::is_done)
-            && self.pending.iter().all(Vec::is_empty)
+        self.nodes.iter().enumerate().all(|(i, p)| {
+            p.is_done()
+                || self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|s| s.lifecycle(NodeId(i)).is_exempt())
+        }) && self.pending.iter().all(Vec::is_empty)
             && self.prev_slots.iter().all(SlotOutcome::is_idle)
     }
 
     /// Executes one round for every node and resolves one slot per channel.
+    ///
+    /// With a fault plan installed: lifecycle transitions apply first, only
+    /// `Operational` nodes step (a skipped node's pending queue is discarded
+    /// unread by the swap — inbound messages to a crashed node are lost
+    /// without being counted as drops), dropped sends never enter the
+    /// next-round queues, and erased slots overwrite the resolved outcome.
     pub fn step_round(&mut self) {
+        self.apply_fault_round();
         for queue in &mut self.next_pending {
             queue.clear(); // keep capacity: the pooled half of the buffer pair
         }
         let mut writes: Vec<(ChannelId, NodeId, P::Msg)> = Vec::new();
         let mut messages_sent: u64 = 0;
+        let mut dropped: u64 = 0;
 
         let ReferenceEngine {
             graph,
@@ -184,9 +246,13 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             next_pending,
             prev_slots,
             round,
+            faults,
             ..
         } = self;
         for v in graph.nodes() {
+            if faults.as_ref().is_some_and(|s| !s.is_operational(v)) {
+                continue;
+            }
             let mut outbox = OutboxBuffer::new();
             let mut io = RoundIo {
                 node: v,
@@ -204,6 +270,15 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             // the sends retires the payload epoch.
             outbox.take_channel_writes(|chan, from, msg| writes.push((chan, from, msg)));
             for (to, msg) in outbox.drain_sends() {
+                // Drop at the delivery boundary: sent (counted above), never
+                // queued for the receiver.
+                if faults
+                    .as_ref()
+                    .is_some_and(|s| s.drops_message(*round, v, to))
+                {
+                    dropped += 1;
+                    continue;
+                }
                 next_pending[to.index()].push((v, msg));
             }
         }
@@ -212,14 +287,30 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
         // exactly as the seed's single-channel `resolve_slot`.
         self.prev_slots = resolve_slots(self.channels.channels(), &writes);
         self.cost.add_messages(messages_sent);
+        if dropped > 0 {
+            self.cost.add_dropped_messages(dropped);
+        }
         self.cost.add_round();
         let k = self.channels.channels() as usize;
         let mut counts = vec![0u64; k];
         for (chan, _, _) in &writes {
             counts[chan.index()] += 1;
         }
-        for count in counts {
-            self.cost.add_channel_slot(count);
+        for (c, count) in counts.into_iter().enumerate() {
+            // Erasure at the resolve boundary, busy slots only: the cloned
+            // winner (if any) is discarded and replaced by the distinguished
+            // `Erased` feedback.
+            if count > 0
+                && self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|s| s.erases_slot(self.round, ChannelId(c as u16)))
+            {
+                self.prev_slots[c] = SlotOutcome::Erased;
+                self.cost.add_erased_slot(count);
+            } else {
+                self.cost.add_channel_slot(count);
+            }
         }
         std::mem::swap(&mut self.pending, &mut self.next_pending);
         self.round += 1;
@@ -301,6 +392,41 @@ mod tests {
             let (slow_nodes, slow_cost) = slow.into_parts();
             assert_eq!(fast_nodes, slow_nodes);
             assert_eq!(fast_cost, slow_cost);
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_faults() {
+        use crate::FaultPlan;
+        let plans = [
+            FaultPlan::from_rates(101, 0.3, 0.0, 0.0, 0.0),
+            FaultPlan::from_rates(102, 0.0, 0.3, 0.0, 0.0),
+            FaultPlan::from_rates(103, 0.1, 0.1, 0.05, 0.25),
+        ];
+        for (g, limit) in [
+            (generators::ring(17), 64),
+            (generators::random_connected(40, 0.1, 9), 64),
+        ] {
+            for plan in &plans {
+                let init = |id: NodeId| GossipMax {
+                    best: (id.index() as u64).wrapping_mul(2654435761) % 1000,
+                    started: false,
+                };
+                let mut fast = SyncEngine::new(&g, init);
+                let mut slow = ReferenceEngine::new(&g, init);
+                fast.set_fault_plan(plan.clone());
+                slow.set_fault_plan(plan.clone());
+                let fast_out = fast.run(limit);
+                let slow_out = slow.run(limit);
+                assert_eq!(fast_out, slow_out);
+                for v in g.nodes() {
+                    assert_eq!(fast.fault_lifecycle(v), slow.fault_lifecycle(v));
+                }
+                let (fast_nodes, fast_cost) = fast.into_parts();
+                let (slow_nodes, slow_cost) = slow.into_parts();
+                assert_eq!(fast_nodes, slow_nodes);
+                assert_eq!(fast_cost, slow_cost);
+            }
         }
     }
 }

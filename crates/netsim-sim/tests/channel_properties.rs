@@ -69,6 +69,7 @@ impl Protocol for ScriptedWriters {
                     );
                 }
                 SlotOutcome::Collision => self.state = mix(self.state, 0xc0 + u64::from(c)),
+                SlotOutcome::Erased => self.state = mix(self.state, 0xe0 + u64::from(c)),
             }
         }
         if self.rounds_active > 0 {
@@ -114,6 +115,7 @@ impl Protocol for AttachedWriters {
                     );
                 }
                 SlotOutcome::Collision => self.state = mix(self.state, 0xc0 + u64::from(c)),
+                SlotOutcome::Erased => self.state = mix(self.state, 0xe0 + u64::from(c)),
             }
         }
         if self.rounds_active > 0 {

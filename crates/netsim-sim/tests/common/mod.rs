@@ -44,8 +44,8 @@
 
 use netsim_graph::{generators, topologies, Graph, NodeId};
 use netsim_sim::{
-    lockstep_config, AsyncEngine, ChannelId, ChannelSet, CostAccount, Lockstep, Protocol,
-    ReferenceEngine, RoundIo, SlotOutcome, SyncEngine,
+    lockstep_config, AsyncEngine, ChannelId, ChannelSet, CostAccount, FaultPlan, Lockstep,
+    NodeLifecycle, Protocol, ReferenceEngine, RoundIo, SlotOutcome, SyncEngine,
 };
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -154,6 +154,11 @@ where
                     chan,
                     digest: digest(&2u8),
                 }),
+                SlotOutcome::Erased => self.trace.push(TraceEvent::Slot {
+                    round,
+                    chan,
+                    digest: digest(&3u8),
+                }),
             }
         }
         self.inner.step(io);
@@ -162,10 +167,14 @@ where
     fn is_done(&self) -> bool {
         self.inner.is_done()
     }
+
+    fn on_recover(&mut self) {
+        self.inner.on_recover();
+    }
 }
 
-/// Result of one engine execution: final inner states, per-node traces, and
-/// the full cost account.
+/// Result of one engine execution: final inner states, per-node traces, the
+/// full cost account, and the final fault lifecycles.
 pub struct EngineRun<P> {
     /// Final per-node protocol states (inner, unwrapped).
     pub nodes: Vec<P>,
@@ -174,16 +183,19 @@ pub struct EngineRun<P> {
     /// The engine's cost account (for the lockstep run: adjusted by the one
     /// axiom idle round — see the module docs).
     pub cost: CostAccount,
+    /// Final per-node lifecycles (all `Operational` when no fault plan was
+    /// installed).
+    pub lifecycles: Vec<NodeLifecycle>,
 }
 
 fn unzip_traced<P: Protocol>(wrappers: Vec<Traced<P>>) -> (Vec<P>, Vec<Vec<TraceEvent>>) {
     wrappers.into_iter().map(Traced::into_parts).unzip()
 }
 
-/// Runs `init`-constructed protocols on the flat arena-backed [`SyncEngine`].
-pub fn run_sync<P, F>(
+fn run_sync_impl<P, F>(
     g: &Graph,
     channels: &ChannelSet,
+    plan: Option<&FaultPlan>,
     mut init: F,
     max_rounds: u64,
 ) -> EngineRun<P>
@@ -193,22 +205,56 @@ where
     F: FnMut(NodeId) -> P,
 {
     let mut eng = SyncEngine::with_channels(g, channels.clone(), |v| Traced::new(init(v)));
+    if let Some(p) = plan {
+        eng.set_fault_plan(p.clone());
+    }
     let out = eng.run(max_rounds);
     assert!(out.is_completed(), "sync engine must quiesce");
     let cost = *eng.cost();
+    let lifecycles = eng.fault_session().map_or_else(
+        || vec![NodeLifecycle::Operational; g.node_count()],
+        |s| s.lifecycles().to_vec(),
+    );
     let (wrappers, _) = eng.into_parts();
     let (nodes, traces) = unzip_traced(wrappers);
     EngineRun {
         nodes,
         traces,
         cost,
+        lifecycles,
     }
 }
 
-/// Runs the same workload on the pre-arena clone-path [`ReferenceEngine`].
-pub fn run_reference<P, F>(
+/// Runs `init`-constructed protocols on the flat arena-backed [`SyncEngine`].
+pub fn run_sync<P, F>(g: &Graph, channels: &ChannelSet, init: F, max_rounds: u64) -> EngineRun<P>
+where
+    P: Protocol,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    run_sync_impl(g, channels, None, init, max_rounds)
+}
+
+/// [`run_sync`] under an installed [`FaultPlan`].
+pub fn run_sync_faulted<P, F>(
     g: &Graph,
     channels: &ChannelSet,
+    plan: &FaultPlan,
+    init: F,
+    max_rounds: u64,
+) -> EngineRun<P>
+where
+    P: Protocol,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    run_sync_impl(g, channels, Some(plan), init, max_rounds)
+}
+
+fn run_reference_impl<P, F>(
+    g: &Graph,
+    channels: &ChannelSet,
+    plan: Option<&FaultPlan>,
     mut init: F,
     max_rounds: u64,
 ) -> EngineRun<P>
@@ -218,22 +264,61 @@ where
     F: FnMut(NodeId) -> P,
 {
     let mut eng = ReferenceEngine::with_channels(g, channels.clone(), |v| Traced::new(init(v)));
+    if let Some(p) = plan {
+        eng.set_fault_plan(p.clone());
+    }
     let out = eng.run(max_rounds);
     assert!(out.is_completed(), "reference engine must quiesce");
     let cost = *eng.cost();
+    let lifecycles = eng.fault_session().map_or_else(
+        || vec![NodeLifecycle::Operational; g.node_count()],
+        |s| s.lifecycles().to_vec(),
+    );
     let (wrappers, _) = eng.into_parts();
     let (nodes, traces) = unzip_traced(wrappers);
     EngineRun {
         nodes,
         traces,
         cost,
+        lifecycles,
     }
 }
 
-/// Runs the same workload on the [`AsyncEngine`] in lockstep configuration.
-pub fn run_async_lockstep<P, F>(
+/// Runs the same workload on the pre-arena clone-path [`ReferenceEngine`].
+pub fn run_reference<P, F>(
     g: &Graph,
     channels: &ChannelSet,
+    init: F,
+    max_rounds: u64,
+) -> EngineRun<P>
+where
+    P: Protocol,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    run_reference_impl(g, channels, None, init, max_rounds)
+}
+
+/// [`run_reference`] under an installed [`FaultPlan`].
+pub fn run_reference_faulted<P, F>(
+    g: &Graph,
+    channels: &ChannelSet,
+    plan: &FaultPlan,
+    init: F,
+    max_rounds: u64,
+) -> EngineRun<P>
+where
+    P: Protocol,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    run_reference_impl(g, channels, Some(plan), init, max_rounds)
+}
+
+fn run_async_lockstep_impl<P, F>(
+    g: &Graph,
+    channels: &ChannelSet,
+    plan: Option<&FaultPlan>,
     mut init: F,
     max_rounds: u64,
 ) -> EngineRun<P>
@@ -247,21 +332,63 @@ where
     let mut eng = AsyncEngine::with_channels(g, cfg, channels.clone(), |v| {
         Lockstep::new(Traced::new(init(v)), k)
     });
+    if let Some(p) = plan {
+        eng.set_fault_plan(p.clone());
+    }
     assert!(
         eng.run(max_rounds.saturating_mul(2).max(16)),
         "async lockstep run must quiesce"
     );
-    // Reconcile the one structural accounting difference: the `on_start`
-    // round observed the axiom all-idle slots the synchronous engines
-    // account for as the final round's unobserved all-idle slots.
-    let cost = netsim_sim::reconciled_cost(*eng.cost(), k);
+    // Reconcile the structural accounting differences: the `on_start` round
+    // observed the axiom all-idle slots the synchronous engines account for
+    // as the final round's unobserved all-idle slots, and under a fault plan
+    // the synchronous engines also charge that final round's churn (see
+    // `reconciled_cost_faulted`).
+    let crashed_final = eng.fault_session().map_or(0, |s| s.non_operational_count());
+    let cost = netsim_sim::reconciled_cost_faulted(*eng.cost(), k, crashed_final);
+    let lifecycles = eng.fault_session().map_or_else(
+        || vec![NodeLifecycle::Operational; g.node_count()],
+        |s| s.lifecycles().to_vec(),
+    );
     let (adapters, _) = eng.into_parts();
     let (nodes, traces) = unzip_traced(adapters.into_iter().map(Lockstep::into_inner).collect());
     EngineRun {
         nodes,
         traces,
         cost,
+        lifecycles,
     }
+}
+
+/// Runs the same workload on the [`AsyncEngine`] in lockstep configuration.
+pub fn run_async_lockstep<P, F>(
+    g: &Graph,
+    channels: &ChannelSet,
+    init: F,
+    max_rounds: u64,
+) -> EngineRun<P>
+where
+    P: Protocol,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    run_async_lockstep_impl(g, channels, None, init, max_rounds)
+}
+
+/// [`run_async_lockstep`] under an installed [`FaultPlan`].
+pub fn run_async_lockstep_faulted<P, F>(
+    g: &Graph,
+    channels: &ChannelSet,
+    plan: &FaultPlan,
+    init: F,
+    max_rounds: u64,
+) -> EngineRun<P>
+where
+    P: Protocol,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    run_async_lockstep_impl(g, channels, Some(plan), init, max_rounds)
 }
 
 /// The conformance topology matrix: every family named by the issue, at
@@ -358,6 +485,7 @@ pub fn assert_conformant_reattach<P, F>(
             nodes,
             traces,
             cost,
+            lifecycles: vec![NodeLifecycle::Operational; g.node_count()],
         }
     };
 
@@ -388,6 +516,7 @@ pub fn assert_conformant_reattach<P, F>(
             nodes,
             traces,
             cost,
+            lifecycles: vec![NodeLifecycle::Operational; g.node_count()],
         }
     };
 
@@ -428,6 +557,7 @@ pub fn assert_conformant_reattach<P, F>(
             nodes,
             traces,
             cost,
+            lifecycles: vec![NodeLifecycle::Operational; g.node_count()],
         }
     };
 
@@ -502,6 +632,67 @@ pub fn assert_conformant_on<P, F>(
         assert_eq!(
             sync.nodes[v], lockstep.nodes[v],
             "[{label}] node {v}: final states diverged (sync vs async)"
+        );
+    }
+}
+
+/// Runs `init` over all three engines under the same seeded [`FaultPlan`]
+/// and asserts bit-for-bit identical delivery traces, final states, final
+/// lifecycles, and full cost accounts (messages sent **and dropped**, slots
+/// erased, crashed node-rounds) — the fault dimension of the conformance
+/// matrix.
+///
+/// The protocol must quiesce under the plan within `max_rounds` (crash-only
+/// or bounded-horizon protocols; an open-ended retry loop under a positive
+/// erasure rate may never drain).
+pub fn assert_conformant_faulted<P, F>(
+    label: &str,
+    g: &Graph,
+    channels: &ChannelSet,
+    plan: &FaultPlan,
+    mut init: F,
+    max_rounds: u64,
+) where
+    P: Protocol + PartialEq + std::fmt::Debug,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    let sync = run_sync_faulted(g, channels, plan, &mut init, max_rounds);
+    let reference = run_reference_faulted(g, channels, plan, &mut init, max_rounds);
+    let lockstep = run_async_lockstep_faulted(g, channels, plan, &mut init, max_rounds);
+
+    assert_eq!(
+        sync.cost, reference.cost,
+        "[{label}] faulted: arena vs clone path cost accounts diverged"
+    );
+    assert_eq!(
+        sync.cost, lockstep.cost,
+        "[{label}] faulted: sync vs async lockstep cost accounts diverged"
+    );
+    assert_eq!(
+        sync.lifecycles, reference.lifecycles,
+        "[{label}] faulted: final lifecycles diverged (sync vs reference)"
+    );
+    assert_eq!(
+        sync.lifecycles, lockstep.lifecycles,
+        "[{label}] faulted: final lifecycles diverged (sync vs lockstep)"
+    );
+    for v in 0..g.node_count() {
+        assert_eq!(
+            sync.traces[v], reference.traces[v],
+            "[{label}] node {v}: faulted trace diverged (sync vs reference)"
+        );
+        assert_eq!(
+            sync.traces[v], lockstep.traces[v],
+            "[{label}] node {v}: faulted trace diverged (sync vs lockstep)"
+        );
+        assert_eq!(
+            sync.nodes[v], reference.nodes[v],
+            "[{label}] node {v}: faulted final states diverged (sync vs reference)"
+        );
+        assert_eq!(
+            sync.nodes[v], lockstep.nodes[v],
+            "[{label}] node {v}: faulted final states diverged (sync vs async)"
         );
     }
 }

@@ -23,13 +23,13 @@
 mod common;
 
 use common::{
-    assert_conformant, assert_conformant_on, assert_conformant_reattach, topology_matrix,
-    ReattachSchedule,
+    assert_conformant, assert_conformant_faulted, assert_conformant_on, assert_conformant_reattach,
+    run_sync_faulted, topology_matrix, ReattachSchedule,
 };
 use netsim_graph::NodeId;
 use netsim_sim::{
     protocols::{BfsBuild, ChannelShardedSum},
-    ChannelId, ChannelSet, Protocol, RoundIo, SlotOutcome,
+    ChannelId, ChannelSet, FaultEvent, FaultPlan, Protocol, RoundIo, SlotOutcome,
 };
 
 fn mix(a: u64, b: u64) -> u64 {
@@ -63,6 +63,7 @@ impl Protocol for MixGossip {
                 self.state = mix(self.state, mix(from.index() as u64, *msg));
             }
             SlotOutcome::Collision => self.state = mix(self.state, 0xc0111),
+            SlotOutcome::Erased => self.state = mix(self.state, 0xe2a5ed),
         }
         if self.rounds_active > 0 {
             self.rounds_active -= 1;
@@ -212,6 +213,7 @@ impl Protocol for SlotDance {
                 self.state = mix(self.state, mix(from.index() as u64, *msg));
             }
             SlotOutcome::Collision => self.state = mix(self.state, 0xbad),
+            SlotOutcome::Erased => self.state = mix(self.state, 0xe2a),
         }
         if self.rounds_active > 0 {
             self.rounds_active -= 1;
@@ -282,6 +284,7 @@ impl Protocol for MultiChannelDance {
                     );
                 }
                 SlotOutcome::Collision => self.state = mix(self.state, 0xbad0 + u64::from(c)),
+                SlotOutcome::Erased => self.state = mix(self.state, 0xe2a0 + u64::from(c)),
             }
         }
         if self.rounds_active > 0 {
@@ -349,6 +352,7 @@ impl Protocol for AttachmentProbe {
                         );
                     }
                     SlotOutcome::Collision => self.state = mix(self.state, 0xcc + u64::from(c)),
+                    SlotOutcome::Erased => self.state = mix(self.state, 0xee + u64::from(c)),
                 }
                 if self.rounds_active > 0
                     && mix(self.id, mix(io.round(), u64::from(c))).is_multiple_of(4)
@@ -426,6 +430,7 @@ impl Protocol for ReattachProbe {
                         );
                     }
                     SlotOutcome::Collision => self.state = mix(self.state, 0xcc + u64::from(c)),
+                    SlotOutcome::Erased => self.state = mix(self.state, 0xef + u64::from(c)),
                 }
             } else {
                 self.state = mix(self.state, 0xdead + u64::from(c));
@@ -514,4 +519,170 @@ fn channel_sharded_sum_conforms_across_engines_and_topologies() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// ChurnProbe: the fault dimension of the conformance matrix.  A
+// fixed-horizon chaos probe — each operational round it folds the inbox and
+// every per-channel outcome (with a distinct fold constant for `Erased`),
+// sends pseudo-random p2p traffic, and writes pseudo-random channel slots;
+// `on_recover` folds a marker and counts.  The horizon only ticks on rounds
+// the node actually executes, so crashed nodes freeze; permanently-down
+// nodes are quiescence-exempt, which keeps every faulted run terminating.
+// Any divergence in drop coins, erasure coins, lifecycle transitions, or the
+// delivery-vs-resolve fault boundaries cascades into the folded state.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ChurnProbe {
+    id: u64,
+    state: u64,
+    rounds_active: u32,
+    recoveries: u32,
+}
+
+impl Protocol for ChurnProbe {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for (from, &m) in io.inbox() {
+            self.state = mix(self.state, mix(from.index() as u64, m));
+        }
+        for c in 0..io.channels() {
+            match io.prev_slot_on(ChannelId(c)) {
+                SlotOutcome::Idle => {}
+                SlotOutcome::Success { from, msg } => {
+                    self.state = mix(
+                        self.state,
+                        mix(u64::from(c), mix(from.index() as u64, *msg)),
+                    );
+                }
+                SlotOutcome::Collision => self.state = mix(self.state, 0xc0 + u64::from(c)),
+                SlotOutcome::Erased => self.state = mix(self.state, 0xe0 + u64::from(c)),
+            }
+        }
+        if self.rounds_active > 0 {
+            self.rounds_active -= 1;
+            let r = mix(self.id, mix(self.state, io.round()));
+            if r.is_multiple_of(2) {
+                io.write_channel_on(ChannelId((r >> 8) as u16 % io.channels()), self.state);
+            }
+            if r.is_multiple_of(3) && io.degree() > 0 {
+                let v = io.neighbors().target(r as usize % io.degree());
+                io.send(v, mix(self.state, 0xd0));
+            }
+            if r.is_multiple_of(7) {
+                io.send_all(mix(self.state, 0xb0));
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+
+    fn on_recover(&mut self) {
+        self.recoveries += 1;
+        self.state = mix(self.state, 0x12ec0);
+    }
+}
+
+fn churn_probe(v: NodeId) -> ChurnProbe {
+    ChurnProbe {
+        id: v.index() as u64,
+        state: mix(0xc4a05, v.index() as u64),
+        rounds_active: 14 + (v.index() as u32 % 5),
+        recoveries: 0,
+    }
+}
+
+/// Seeded rate-based plans (erasures + drops; then full churn with crashes
+/// and recoveries) over the whole topology matrix.
+#[test]
+fn churn_probe_conforms_under_seeded_fault_plans() {
+    let plans = [
+        (
+            "erase_drop",
+            FaultPlan::from_rates(0xabcd_0001, 0.25, 0.20, 0.0, 0.0),
+        ),
+        (
+            "full_churn",
+            FaultPlan::from_rates(0x5eed_0002, 0.15, 0.10, 0.04, 0.30),
+        ),
+    ];
+    for (pname, plan) in &plans {
+        for (name, g) in topology_matrix(97) {
+            assert_conformant_faulted(
+                &format!("churn_probe/{pname}/{name}"),
+                &g,
+                &ChannelSet::uniform(3),
+                plan,
+                churn_probe,
+                10_000,
+            );
+        }
+    }
+}
+
+/// Scripted crash/recover events plus an initially-off node — the
+/// deterministic-schedule path of the plan, pinned across engines.
+#[test]
+fn churn_probe_conforms_under_scripted_churn() {
+    for (name, g) in topology_matrix(89) {
+        let n = g.node_count();
+        let plan = FaultPlan::from_rates(0x0ff_0003, 0.10, 0.0, 0.0, 0.0)
+            .with_initial_off(vec![NodeId(0)])
+            .with_events(vec![
+                FaultEvent::Crash {
+                    round: 2,
+                    node: NodeId(1),
+                },
+                FaultEvent::Crash {
+                    round: 3,
+                    node: NodeId(n / 2),
+                },
+                FaultEvent::Recover {
+                    round: 5,
+                    node: NodeId(0),
+                },
+                FaultEvent::Recover {
+                    round: 6,
+                    node: NodeId(1),
+                },
+            ]);
+        assert_conformant_faulted(
+            &format!("churn_probe/scripted/{name}"),
+            &g,
+            &ChannelSet::uniform(2),
+            &plan,
+            churn_probe,
+            10_000,
+        );
+    }
+}
+
+/// The fault plans above must actually bite: a single faulted run records
+/// nonzero erased slots, dropped messages, and crashed node-rounds, and the
+/// recovered nodes observed their `on_recover` hook.
+#[test]
+fn fault_plans_actually_fire() {
+    let (name, g) = topology_matrix(97).into_iter().nth(2).expect("matrix");
+    let plan = FaultPlan::from_rates(0x5eed_0002, 0.15, 0.10, 0.04, 0.30);
+    let run = run_sync_faulted(&g, &ChannelSet::uniform(3), &plan, churn_probe, 10_000);
+    assert!(
+        run.cost.erased_slots > 0,
+        "[{name}] erasure rate 0.15 never erased a contended slot"
+    );
+    assert!(
+        run.cost.dropped_messages > 0,
+        "[{name}] drop rate 0.10 never dropped a message"
+    );
+    assert!(
+        run.cost.crashed_rounds > 0,
+        "[{name}] crash rate 0.04 never cost a node-round"
+    );
+    assert!(
+        run.nodes.iter().any(|p| p.recoveries > 0),
+        "[{name}] recover rate 0.30 never drove an on_recover"
+    );
 }

@@ -168,10 +168,63 @@ pub mod rngs {
     }
 }
 
-/// The usual glob-import surface: traits plus `StdRng`.
+/// A *splittable, stateless* seeded stream for deterministic fault
+/// injection: every draw is a pure hash of `(key, a, b)`, so the answer to a
+/// query depends only on the seed and the query coordinates — never on how
+/// many draws happened before or in what order.  This is what lets several
+/// engine implementations consult the same fault plan at different points of
+/// their round loops and still observe bit-identical faults.
+///
+/// Not a general-purpose RNG: use [`rngs::StdRng`] when sequential stream
+/// semantics are wanted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRng {
+    key: u64,
+}
+
+/// splitmix64 finaliser: a single well-mixed 64→64 permutation step.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl FaultRng {
+    /// Creates a stream rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultRng { key: mix(seed) }
+    }
+
+    /// Derives an independent sub-stream for `domain` (e.g. one per fault
+    /// kind).  Splitting is itself stateless: the same `(seed, domain)` pair
+    /// always yields the same sub-stream.
+    pub fn split(&self, domain: u64) -> FaultRng {
+        FaultRng {
+            key: mix(self.key ^ mix(domain)),
+        }
+    }
+
+    /// 64 uniform bits determined purely by `(stream, a, b)`.
+    pub fn draw(&self, a: u64, b: u64) -> u64 {
+        mix(mix(self.key ^ mix(a)) ^ mix(b))
+    }
+
+    /// Returns `true` with probability `p`, determined purely by
+    /// `(stream, a, b)`.  `p <= 0.0` is always `false` and `p >= 1.0` always
+    /// `true`.
+    pub fn chance(&self, a: u64, b: u64, p: f64) -> bool {
+        // 53 high bits give a uniform f64 in [0, 1); `u < p` is strictly
+        // false for p = 0.
+        let u = (self.draw(a, b) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// The usual glob-import surface: traits plus `StdRng` and `FaultRng`.
 pub mod prelude {
     pub use crate::rngs::StdRng;
-    pub use crate::{Rng, RngCore, SampleRange, SeedableRng, SliceRandom};
+    pub use crate::{FaultRng, Rng, RngCore, SampleRange, SeedableRng, SliceRandom};
 }
 
 #[cfg(test)]
@@ -210,6 +263,40 @@ mod tests {
         assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fault_rng_is_stateless_and_order_independent() {
+        let a = FaultRng::new(42);
+        let b = FaultRng::new(42);
+        // Same queries in a different order, interleaved with other queries:
+        // answers depend only on the coordinates.
+        let forward: Vec<u64> = (0..64).map(|i| a.draw(i, i * 3)).collect();
+        let mut backward: Vec<u64> = (0..64)
+            .rev()
+            .map(|i| {
+                let _ = b.draw(i + 1000, 7); // unrelated interleaved query
+                b.draw(i, i * 3)
+            })
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        // Split streams are reproducible and distinct from each other.
+        assert_eq!(a.split(3), b.split(3));
+        assert_ne!(a.split(3), a.split(4));
+        assert_ne!(a.split(3).draw(0, 0), a.split(4).draw(0, 0));
+        // Different seeds give different streams.
+        assert_ne!(FaultRng::new(1).draw(5, 5), FaultRng::new(2).draw(5, 5));
+    }
+
+    #[test]
+    fn fault_rng_chance_tracks_probability() {
+        let rng = FaultRng::new(9);
+        let hits = (0..100_000u64).filter(|&i| rng.chance(i, 1, 0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+        assert!(!rng.chance(1, 2, 0.0), "p = 0 must be strictly impossible");
+        assert!(rng.chance(1, 2, 1.0));
     }
 
     #[test]

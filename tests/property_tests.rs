@@ -45,6 +45,7 @@ impl Protocol for Chaos {
                 self.state = mix(self.state, mix(from.index() as u64, *msg))
             }
             SlotOutcome::Collision => self.state = mix(self.state, 0xc0111),
+            SlotOutcome::Erased => self.state = mix(self.state, 0xe2a5ed),
         }
         if self.rounds_active > 0 {
             self.rounds_active -= 1;
