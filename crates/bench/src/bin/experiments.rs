@@ -860,6 +860,49 @@ impl FaultBenchRow {
     }
 }
 
+/// One measured active-set configuration (million-node sparse token relay,
+/// dense stepping vs the frontier), for the `active_set` section of
+/// `BENCH_engine.json`.  `activity_fraction` is the measured fraction of
+/// node-rounds that actually stepped; the claim under test is that sparse
+/// rounds/sec degrades with the activity fraction, not with `n`.
+struct ActiveSetRow {
+    topology: &'static str,
+    n: usize,
+    m: usize,
+    engine: &'static str,
+    seeds: u64,
+    target_fraction: f64,
+    activity_fraction: f64,
+    rounds: u64,
+    stepped_nodes: u64,
+    seconds: f64,
+    rounds_per_sec: f64,
+    checksum: u64,
+}
+
+impl ActiveSetRow {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"topology\": \"{}\", \"n\": {}, \"m\": {}, \"engine\": \"{}\", \
+             \"seeds\": {}, \"target_fraction\": {}, \"activity_fraction\": {}, \
+             \"rounds\": {}, \"stepped_nodes\": {}, \"seconds\": {}, \
+             \"rounds_per_sec\": {}, \"checksum\": \"{:016x}\"}}",
+            json_escape(self.topology),
+            self.n,
+            self.m,
+            json_escape(self.engine),
+            self.seeds,
+            json_f64(self.target_fraction),
+            json_f64(self.activity_fraction),
+            self.rounds,
+            self.stepped_nodes,
+            json_f64(self.seconds),
+            json_f64(self.rounds_per_sec),
+            self.checksum,
+        )
+    }
+}
+
 /// Measures `run` with allocator accounting around it.
 fn measured<F: FnOnce() -> engine_bench::RunStats>(
     run: F,
@@ -1443,6 +1486,104 @@ fn engine(opts: &Opts) {
         }
     }
 
+    // ---- Active-set dimension: million-node graphs, almost all idle. ------
+    // The sparse token relay (`engine_bench::ActiveTokens`): `f · n` seed
+    // tokens hop between neighbours while the other nodes stay idle.  Dense
+    // stepping pays O(n) per round regardless; the frontier pays O(active).
+    // Rows pair dense and sparse at each activity fraction, with checksums
+    // asserted equal — the speedup is bought by skipping work, not by
+    // changing the computation.
+    let active_ns: &[usize] = if opts.quick {
+        &[1 << 20]
+    } else {
+        &[1 << 20, 1 << 23]
+    };
+    let active_fractions: &[f64] = &[0.001, 0.01];
+    let active_rounds: u32 = if opts.quick { 48 } else { 64 };
+    let mut active_rows: Vec<ActiveSetRow> = Vec::new();
+    println!("\n== ENGINE active_set — sparse frontier vs dense stepping on mostly-idle graphs ==");
+    println!(
+        "{:<14}{:>10}{:>10}  {:<12}{:>10}{:>12}{:>14}{:>12}",
+        "topology", "n", "m", "engine", "fraction", "rounds/s", "stepped", "seconds"
+    );
+    for &n in active_ns {
+        let builds: [(&'static str, netsim_graph::Graph); 2] = [
+            (
+                "geometric",
+                netsim_graph::topologies::random_geometric(
+                    n,
+                    netsim_graph::topologies::geometric_threshold_radius(n) * 1.1,
+                    42,
+                ),
+            ),
+            (
+                "pref-attach",
+                netsim_graph::topologies::preferential_attachment(n, 3, 42),
+            ),
+        ];
+        for (name, g) in &builds {
+            for &fraction in active_fractions {
+                let seeds = ((fraction * n as f64) as u64).max(1);
+                let mut record = |engine: &'static str, stats: engine_bench::ActiveSetStats| {
+                    println!(
+                        "{:<14}{:>10}{:>10}  {:<12}{:>10.4}{:>12.1}{:>14}{:>12.3}",
+                        name,
+                        g.node_count(),
+                        g.edge_count(),
+                        engine,
+                        stats.activity(g.node_count()),
+                        stats.rounds_per_sec(),
+                        stats.stepped,
+                        stats.seconds,
+                    );
+                    active_rows.push(ActiveSetRow {
+                        topology: name,
+                        n: g.node_count(),
+                        m: g.edge_count(),
+                        engine,
+                        seeds,
+                        target_fraction: fraction,
+                        activity_fraction: stats.activity(g.node_count()),
+                        rounds: stats.rounds,
+                        stepped_nodes: stats.stepped,
+                        seconds: stats.seconds,
+                        rounds_per_sec: stats.rounds_per_sec(),
+                        checksum: stats.checksum,
+                    });
+                    stats
+                };
+                let dense = record(
+                    "flat-dense",
+                    engine_bench::run_active_set(g, seeds, active_rounds, false),
+                );
+                let sparse = record(
+                    "flat-sparse",
+                    engine_bench::run_active_set(g, seeds, active_rounds, true),
+                );
+                assert_eq!(
+                    sparse.checksum, dense.checksum,
+                    "sparse stepping diverged from dense on {name} n={n} f={fraction}"
+                );
+                assert_eq!(
+                    dense.stepped,
+                    g.node_count() as u64 * u64::from(active_rounds),
+                    "dense stepping must visit every node every round"
+                );
+                assert!(
+                    sparse.stepped <= seeds * u64::from(active_rounds),
+                    "frontier stepped more nodes than there are live tokens"
+                );
+                println!(
+                    "   -> {name} n={n} f={fraction}: sparse/dense speedup {:.1}x \
+                     ({} of {} node-rounds active)",
+                    sparse.rounds_per_sec() / dense.rounds_per_sec(),
+                    sparse.stepped,
+                    dense.stepped,
+                );
+            }
+        }
+    }
+
     let row_json: Vec<String> = rows.iter().map(EngineBenchRow::to_json).collect();
     let build_json: Vec<String> = build_rows.iter().map(GraphBuildRow::to_json).collect();
     let speedup_json: Vec<String> = speedups
@@ -1459,8 +1600,13 @@ fn engine(opts: &Opts) {
     let channel_json: Vec<String> = channel_rows.iter().map(ChannelBenchRow::to_json).collect();
     let mst_json: Vec<String> = mst_rows.iter().map(MstShardedRow::to_json).collect();
     let fault_json: Vec<String> = fault_rows.iter().map(FaultBenchRow::to_json).collect();
+    let active_json: Vec<String> = active_rows.iter().map(ActiveSetRow::to_json).collect();
+    // Record the autotuned radix-scatter block shift so a perf shift between
+    // machines (or a probe change) is attributable from the JSON alone.
+    let block_shift = netsim_sim::tuned_block_shift();
     let doc = format!(
-        "{{\n\"schema\": \"bench-engine/v6\",\n\"workload\": \"global-sum gossip \
+        "{{\n\"schema\": \"bench-engine/v7\",\n\"block_shift\": {block_shift},\n\
+         \"workload\": \"global-sum gossip \
          (constant-traffic heartbeat aggregation; see bench::engine_bench)\",\n\
          \"payload_workload\": \"Vec<u8> frame gossip (intern-on-broadcast arena vs \
          clone-per-delivery reference; see bench::engine_bench::FrameGossip)\",\n\
@@ -1474,10 +1620,15 @@ fn engine(opts: &Opts) {
          channel-sharded workloads: rounds to reconverge vs the fault-free \
          schedule, every result verified (see netsim_sim::fault and \
          multimedia::mst::sharded_mst_faulted)\",\n\
+         \"active_set_workload\": \"sparse token relay on mostly-idle \
+         million-node graphs: f*n seed tokens hop between neighbours while \
+         everyone else idles; dense stepping vs the epoch-lazy frontier, \
+         checksums asserted equal (see bench::engine_bench::ActiveTokens)\",\n\
          \"quick\": {},\n\"results\": [\n{}\n],\n\"payloads\": [\n{}\n],\n\
          \"channels\": [\n{}\n],\n\
          \"mst_sharded\": [\n{}\n],\n\
          \"faults\": [\n{}\n],\n\
+         \"active_set\": [\n{}\n],\n\
          \"graph_construction\": [\n{}\n],\n\
          \"speedups_flat_over_reference\": [\n{}\n]\n}}\n",
         opts.quick,
@@ -1486,6 +1637,7 @@ fn engine(opts: &Opts) {
         channel_json.join(",\n"),
         mst_json.join(",\n"),
         fault_json.join(",\n"),
+        active_json.join(",\n"),
         build_json.join(",\n"),
         speedup_json.join(",\n")
     );

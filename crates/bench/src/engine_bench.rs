@@ -455,6 +455,133 @@ pub fn run_reference_channels_faulted(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Active-set dimension: million-node graphs where almost every node is idle.
+// ---------------------------------------------------------------------------
+
+/// Sparse token relay: the active-set workload.  The first `seeds` nodes
+/// inject a token at round 0; every token hops to a pseudo-randomly chosen
+/// neighbour each round until its hop budget runs out, and each receiver
+/// folds the token into its accumulator.  Per round only the O(seeds) token
+/// receivers have anything to do — the dense stepping path still visits all
+/// `n` nodes, the sparse frontier visits only the receivers.
+///
+/// The protocol is frontier-safe with no `wake_me`: it acts only on its
+/// inbox (plus the round-0 boot, which wakes everyone on both paths), so
+/// sparse and dense runs are bit-identical by the engine conformance
+/// contract.
+#[derive(Clone, Debug)]
+pub struct ActiveTokens {
+    /// Running fold of received tokens (the result checksum).
+    pub acc: u64,
+    id: u64,
+    seeds: u64,
+    ttl: u32,
+}
+
+impl ActiveTokens {
+    /// Initial state for node `v`; the first `seeds` nodes inject a token
+    /// with hop budget `ttl` at round 0.
+    pub fn new(v: NodeId, seeds: u64, ttl: u32) -> Self {
+        ActiveTokens {
+            acc: (v.index() as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1,
+            id: v.index() as u64,
+            seeds,
+            ttl,
+        }
+    }
+}
+
+impl Protocol for ActiveTokens {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for (from, &t) in io.inbox() {
+            let hops = t >> 32;
+            let x = (t as u32)
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add(from.index() as u32 | 1);
+            self.acc = self.acc.wrapping_add(u64::from(x)).rotate_left(1);
+            if hops > 0 && io.degree() > 0 {
+                let next = io.neighbors().target(x as usize % io.degree());
+                io.send(next, (hops - 1) << 32 | u64::from(x));
+            }
+        }
+        if io.round() == 0 && self.id < self.seeds && io.degree() > 0 {
+            let next = io.neighbors().target(self.id as usize % io.degree());
+            io.send(next, u64::from(self.ttl) << 32 | self.id);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+/// Outcome of one measured active-set run.
+#[derive(Clone, Copy, Debug)]
+pub struct ActiveSetStats {
+    /// Measured rounds (excluding the untimed round-0 boot).
+    pub rounds: u64,
+    /// Node-steps executed over the measured rounds (the work the engine
+    /// actually did; `n * rounds` under dense stepping, O(frontier) sparse).
+    pub stepped: u64,
+    /// Wall-clock seconds over the measured rounds.
+    pub seconds: f64,
+    /// Fold of all final accumulators; equal across dense and sparse runs
+    /// iff the runs executed identically.
+    pub checksum: u64,
+}
+
+impl ActiveSetStats {
+    /// Rounds per wall-clock second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.seconds.max(1e-12)
+    }
+
+    /// Fraction of node-rounds that actually stepped, `stepped / (n * rounds)`.
+    pub fn activity(&self, n: usize) -> f64 {
+        self.stepped as f64 / (n as f64 * self.rounds as f64).max(1.0)
+    }
+}
+
+/// Number of untimed warm-up rounds of [`run_active_set`]: the all-active
+/// round-0 boot plus enough steady rounds to fault in the engine's
+/// lazily-grown buffers — at 10M-node scale the first few rounds pay page
+/// faults worth several multiples of the steady per-round cost.
+pub const ACTIVE_SET_WARMUP: u32 = 8;
+
+/// Runs the active-set token relay for exactly `rounds` measured rounds on
+/// the flat engine, dense (`sparse = false`) or frontier-stepped
+/// (`sparse = true`).  [`ACTIVE_SET_WARMUP`] rounds (including the
+/// all-active round-0 boot) run outside the timer so the measurement
+/// captures steady-state per-round cost.
+pub fn run_active_set(g: &Graph, seeds: u64, rounds: u32, sparse: bool) -> ActiveSetStats {
+    let mut engine = SyncEngine::new(g, |v| {
+        ActiveTokens::new(v, seeds, rounds + ACTIVE_SET_WARMUP + 8)
+    });
+    if sparse {
+        engine.enable_sparse_stepping();
+    }
+    for _ in 0..ACTIVE_SET_WARMUP {
+        engine.step_round();
+    }
+    let boot_stepped = engine.total_stepped();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        engine.step_round();
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let stepped = engine.total_stepped() - boot_stepped;
+    let (nodes, _) = engine.into_parts();
+    ActiveSetStats {
+        rounds: u64::from(rounds),
+        stepped,
+        seconds,
+        checksum: nodes.iter().fold(0u64, |acc, n| acc.rotate_left(7) ^ n.acc),
+    }
+}
+
 /// Runs the workload on the allocation-per-round reference engine.
 pub fn run_reference(g: &Graph, rounds: u32) -> RunStats {
     let mut engine = ReferenceEngine::new(g, |v| GlobalSumGossip::new(v, rounds));
@@ -547,6 +674,24 @@ mod tests {
         assert_eq!(flat.checksum, reference.checksum);
         assert_eq!(flat.crashed_rounds, reference.crashed_rounds);
         assert!(flat.crashed_rounds > 0);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_the_active_set_workload() {
+        let g = netsim_graph::topologies::degree_bounded_expander(4_096, 4, 17);
+        let seeds = 8u64;
+        let rounds = 24u32;
+        let dense = run_active_set(&g, seeds, rounds, false);
+        let sparse = run_active_set(&g, seeds, rounds, true);
+        assert_eq!(dense.checksum, sparse.checksum);
+        assert_eq!(dense.rounds, sparse.rounds);
+        // Dense stepping visits every node every round; the frontier visits
+        // only the O(seeds) token receivers.
+        assert_eq!(dense.stepped, 4_096 * u64::from(rounds));
+        assert!(sparse.stepped > 0);
+        assert!(sparse.stepped <= u64::from(rounds) * seeds);
+        assert!(sparse.activity(4_096) < 0.01);
+        assert!((dense.activity(4_096) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -387,6 +387,12 @@ impl Protocol for ElectionSeries {
             }
         }
         self.round += 1;
+        // Phase arming: the probe/announce schedule runs off the local round
+        // counter, and idle probe slots never wake a node under sparse
+        // stepping — an unfinished series schedules its own next round.
+        if !self.done {
+            io.wake_me();
+        }
     }
 
     fn is_done(&self) -> bool {

@@ -286,6 +286,40 @@ impl DoubleEndedIterator for NeighborsIter<'_> {
     }
 }
 
+/// Iterator over the CSR adjacency rows of a frontier — see
+/// [`Graph::frontier_rows`].
+#[derive(Clone, Debug)]
+pub struct FrontierRows<'a> {
+    offsets: &'a [u32],
+    targets: &'a [NodeId],
+    edge_ids: &'a [EdgeId],
+    members: std::slice::Iter<'a, u32>,
+}
+
+impl<'a> Iterator for FrontierRows<'a> {
+    type Item = (NodeId, Neighbors<'a>);
+
+    #[inline]
+    fn next(&mut self) -> Option<(NodeId, Neighbors<'a>)> {
+        let vi = *self.members.next()? as usize;
+        let a = self.offsets[vi] as usize;
+        let b = self.offsets[vi + 1] as usize;
+        Some((
+            NodeId(vi),
+            Neighbors {
+                targets: &self.targets[a..b],
+                edge_ids: &self.edge_ids[a..b],
+            },
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.members.size_hint()
+    }
+}
+
+impl ExactSizeIterator for FrontierRows<'_> {}
+
 /// An undirected graph with weighted edges and flat CSR adjacency.
 ///
 /// The structure is immutable once built (see [`GraphBuilder`]); all
@@ -486,6 +520,35 @@ impl Graph {
     /// [`Graph::neighbors`].
     pub fn csr(&self) -> (&[u32], &[NodeId], &[EdgeId]) {
         (&self.offsets, &self.targets, &self.edge_ids)
+    }
+
+    /// CSR adjacency rows of a *frontier*: yields `(v, neighbors(v))` for
+    /// each member of a strictly ascending node-index list, in list order.
+    ///
+    /// This is the neighbour-iteration shape of active-set stepping (see the
+    /// simulator's sparse engines): the iterator borrows the three flat CSR
+    /// arrays once up front and streams rows for exactly the member set, so
+    /// a round that steps `|F|` frontier nodes performs `O(|F|)` offset reads
+    /// and touches no adjacency data of idle nodes.  The ascending-order
+    /// contract (checked in debug builds) matches the engines' determinism
+    /// contract — frontier members are always stepped in ascending node
+    /// index — and makes the offset walk monotone in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `members` is not strictly ascending, and
+    /// in all builds if a member index is `>= n`.
+    pub fn frontier_rows<'a>(&'a self, members: &'a [u32]) -> FrontierRows<'a> {
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "frontier member list must be strictly ascending"
+        );
+        FrontierRows {
+            offsets: &self.offsets,
+            targets: &self.targets,
+            edge_ids: &self.edge_ids,
+            members: members.iter(),
+        }
     }
 
     /// Looks up the edge between `u` and `v`, if any.
@@ -705,6 +768,27 @@ mod tests {
         let e = [EdgeId(9)];
         let one = Neighbors::new(&t, &e);
         assert_eq!(one.get(0), Some((NodeId(5), EdgeId(9))));
+    }
+
+    #[test]
+    fn frontier_rows_match_per_node_views() {
+        let g = triangle();
+        let members = [0u32, 2];
+        let rows: Vec<(NodeId, Neighbors<'_>)> = g.frontier_rows(&members).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(g.frontier_rows(&members).len(), 2);
+        for (v, nbrs) in rows {
+            assert_eq!(nbrs.targets(), g.neighbors(v).targets());
+            assert_eq!(nbrs.edge_ids(), g.neighbors(v).edge_ids());
+        }
+        assert_eq!(g.frontier_rows(&[]).count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn frontier_rows_reject_unsorted_members() {
+        let g = triangle();
+        let _ = g.frontier_rows(&[2, 0]).count();
     }
 
     #[test]

@@ -150,6 +150,9 @@ pub struct AsyncCtx<'a, M> {
     k: u16,
     /// Attachment bitmask of this node.
     attached: u64,
+    /// Set by [`AsyncCtx::wake_me`]; the engine folds it into the sparse
+    /// boundary-dispatch set (ignored under dense dispatch).
+    woken: &'a mut bool,
 }
 
 impl<'a, M: Clone> AsyncCtx<'a, M> {
@@ -232,6 +235,23 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
             self.node
         );
         self.chan_writes.push((chan, msg));
+    }
+
+    /// Schedules this node for dispatch at the **next slot boundary**.
+    ///
+    /// The asynchronous counterpart of
+    /// [`RoundIo::wake_me`](crate::RoundIo::wake_me): under sparse boundary
+    /// dispatch ([`AsyncEngine::enable_sparse_boundaries`]) a node receives
+    /// the boundary's `on_slot_on` callbacks only if it heard a non-idle
+    /// outcome on an attached channel, received a message since the last
+    /// boundary, had a lifecycle transition, or called `wake_me`.  A
+    /// protocol that advances timers on all-idle boundaries must therefore
+    /// re-arm itself with `wake_me` while unfinished.  Wakeup requests are
+    /// part of the determinism tuple, and `wake_me` does not prevent
+    /// quiescence — exactly as for the synchronous engines.  No-op under
+    /// dense dispatch.
+    pub fn wake_me(&mut self) {
+        *self.woken = true;
     }
 
     /// Number of channels `K` of the engine's [`ChannelSet`].
@@ -370,6 +390,28 @@ pub struct AsyncEngine<'g, P: AsyncProtocol> {
     /// charges it as that slot's churn, mirroring the synchronous engine's
     /// per-round accounting under the lockstep mapping.
     pending_crashed: u64,
+    /// Opt-in sparse boundary dispatch; `false` dispatches every node at
+    /// every slot boundary.
+    sparse: bool,
+    /// Dense bitset over nodes marked for the next boundary dispatch
+    /// (dedup for `wake_list`); sparse mode only.
+    wake_bits: Vec<u64>,
+    /// Overflow list of the marked nodes (unordered while accumulating).
+    wake_list: Vec<u32>,
+    /// The next boundary dispatches every node (re-attachment,
+    /// `update_nodes`, a non-idle outcome under uniform attachment).
+    wake_all: bool,
+}
+
+/// Marks node `v` in the sparse boundary-dispatch set (bitset-deduped);
+/// free function so fault-session closures can call it with the engine
+/// partially borrowed.
+fn mark_wake(bits: &mut [u64], list: &mut Vec<u32>, v: usize) {
+    let (word, bit) = (v >> 6, 1u64 << (v & 63));
+    if bits[word] & bit == 0 {
+        bits[word] |= bit;
+        list.push(v as u32);
+    }
 }
 
 impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
@@ -433,6 +475,50 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             faults: None,
             undone_exempt: 0,
             pending_crashed: 0,
+            sparse: false,
+            wake_bits: Vec::new(),
+            wake_list: Vec::new(),
+            wake_all: false,
+        }
+    }
+
+    /// Switches the engine to **sparse boundary dispatch**: a slot boundary
+    /// dispatches `on_slot_on` callbacks only to nodes that heard a
+    /// non-idle outcome on an attached channel, received a message since
+    /// the previous boundary, were promoted to `Operational`, or requested
+    /// a wakeup via [`AsyncCtx::wake_me`] — instead of to all `n` nodes.
+    ///
+    /// The asynchronous counterpart of
+    /// [`SyncEngine::enable_sparse_stepping`](crate::SyncEngine::enable_sparse_stepping),
+    /// with the matching contract: an all-idle boundary callback must be a
+    /// pure no-op unless the node re-armed itself with `wake_me`.  For such
+    /// protocols sparse dispatch is bit-identical to dense dispatch —
+    /// including the RNG stream, because skipped callbacks stage no sends
+    /// and therefore draw no delays.  Start callbacks still reach every
+    /// operational node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already started.
+    pub fn enable_sparse_boundaries(&mut self) {
+        assert!(
+            !self.started && self.tick == 0,
+            "sparse boundaries must be enabled before the engine starts"
+        );
+        self.sparse = true;
+        self.wake_bits = vec![0; self.graph.node_count().div_ceil(64)];
+    }
+
+    /// `true` when sparse boundary dispatch is enabled.
+    pub fn sparse_boundaries(&self) -> bool {
+        self.sparse
+    }
+
+    /// Marks `v` for the next boundary dispatch; no-op under dense dispatch
+    /// or when a dispatch-all boundary is already pending.
+    fn wake_for_boundary(&mut self, v: usize) {
+        if self.sparse && !self.wake_all {
+            mark_wake(&mut self.wake_bits, &mut self.wake_list, v);
         }
     }
 
@@ -484,6 +570,9 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         let nodes = &mut self.nodes;
         let done_count = &mut self.done_count;
         let undone_exempt = &mut self.undone_exempt;
+        let sparse = self.sparse && !self.wake_all;
+        let wake_bits = &mut self.wake_bits;
+        let wake_list = &mut self.wake_list;
         session.apply_round(round, |v, _, to| match to {
             NodeLifecycle::Crashed => {
                 *undone_exempt += usize::from(!nodes[v.index()].is_done());
@@ -498,7 +587,13 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                     .checked_add_signed(isize::from(now) - isize::from(was))
                     .expect("done count balances");
             }
-            NodeLifecycle::Operational | NodeLifecycle::Off => {}
+            // Lifecycle wakeup: the rejoining node hears the next boundary.
+            NodeLifecycle::Operational => {
+                if sparse {
+                    mark_wake(wake_bits, wake_list, v.index());
+                }
+            }
+            NodeLifecycle::Off => {}
         });
     }
 
@@ -536,6 +631,10 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             self.graph.node_count()
         );
         self.channels.reattach(masks);
+        // Attachment changes what every node hears at the next boundary.
+        if self.sparse {
+            self.wake_all = true;
+        }
     }
 
     /// Mutably visits every node's protocol state (call between slot
@@ -556,6 +655,10 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                 .count(),
             None => 0,
         };
+        // Arbitrary state edits invalidate any sparsity assumption.
+        if self.sparse {
+            self.wake_all = true;
+        }
     }
 
     /// Cost account (rounds = slots elapsed).
@@ -607,6 +710,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         let k = self.channels.channels();
         let node = &mut self.nodes[v.index()];
         let was_done = node.is_done();
+        let mut woken = false;
         let mut ctx = AsyncCtx {
             node: v,
             tick: self.tick,
@@ -616,6 +720,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             chan_writes: &mut chan_writes,
             k,
             attached: self.channels.mask(v),
+            woken: &mut woken,
         };
         f(node, &mut ctx);
         self.slab.graveyard = graveyard;
@@ -624,6 +729,9 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             .done_count
             .checked_add_signed(isize::from(now_done) - isize::from(was_done))
             .expect("done count balances");
+        if woken {
+            self.wake_for_boundary(v.index());
+        }
 
         // Message drops apply before a send ever enters the in-flight heap:
         // a dropped copy is charged as sent (plus the drop counter) but
@@ -740,6 +848,10 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                 self.dispatch(NodeId(to), |node, ctx| {
                     node.on_message(NodeId(from), &msg, ctx)
                 });
+                // A delivery is boundary work: the receiver may have state
+                // to surface at the next `on_slot_on` round (the lockstep
+                // adapter steps on buffered inboxes, for one).
+                self.wake_for_boundary(to);
             }
             self.slab.check_in(slot, msg);
         }
@@ -806,27 +918,96 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             }
         }
 
-        // Every node hears every channel it is attached to, in ascending
-        // channel order (unattached channels observe `Idle`) — one dispatch
-        // per node, so the per-callback bookkeeping (buffer swaps, done
-        // tracking, send draining) is not multiplied by K.  Non-operational
-        // nodes hear nothing.
-        let idle = SlotOutcome::Idle;
-        for v in self.graph.nodes() {
-            if !self.is_node_operational(v) {
-                continue;
-            }
-            let attached = self.channels.mask(v);
-            self.dispatch(v, |node, ctx| {
-                for (c, outcome) in outcomes.iter().enumerate() {
-                    let heard = if attached & (1 << c) != 0 {
-                        outcome
-                    } else {
-                        &idle
-                    };
-                    node.on_slot_on(ChannelId(c as u16), heard, ctx);
+        // A non-idle outcome is feedback every *attached* node hears, so
+        // under sparse dispatch those nodes join the boundary's wake set
+        // (uniform attachment short-circuits to a dispatch-all boundary).
+        if self.sparse {
+            let mut nonidle_mask = 0u64;
+            for (c, outcome) in outcomes.iter().enumerate() {
+                if !outcome.is_idle() {
+                    nonidle_mask |= 1 << c;
                 }
-            });
+            }
+            if nonidle_mask != 0 {
+                match self.channels.masks_table() {
+                    None => self.wake_all = true,
+                    Some(masks) => {
+                        if !self.wake_all {
+                            for (v, &mask) in masks.iter().enumerate() {
+                                if mask & nonidle_mask != 0 {
+                                    mark_wake(&mut self.wake_bits, &mut self.wake_list, v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Dispatch the boundary.  Dense (or a dispatch-all wake): every node
+        // hears every channel it is attached to, in ascending channel order
+        // (unattached channels observe `Idle`) — one dispatch per node, so
+        // the per-callback bookkeeping (buffer swaps, done tracking, send
+        // draining) is not multiplied by K.  Non-operational nodes hear
+        // nothing.  Sparse: only the marked nodes, in ascending node index —
+        // identical to dense for boundary-safe protocols, because a skipped
+        // callback would have observed only idle outcomes and staged
+        // nothing (in particular, no RNG draws are skipped).
+        let idle = SlotOutcome::Idle;
+        if self.sparse && !self.wake_all {
+            // Wakes raised *during* these callbacks are self-wakes of the
+            // node being dispatched (its bit is already cleared below), so
+            // they accumulate cleanly for the next boundary.
+            let wake_list = std::mem::take(&mut self.wake_list);
+            let mut list = wake_list;
+            list.sort_unstable();
+            for &vi in &list {
+                let v = vi as usize;
+                self.wake_bits[v >> 6] &= !(1u64 << (v & 63));
+                let v = NodeId(v);
+                if !self.is_node_operational(v) {
+                    continue;
+                }
+                let attached = self.channels.mask(v);
+                self.dispatch(v, |node, ctx| {
+                    for (c, outcome) in outcomes.iter().enumerate() {
+                        let heard = if attached & (1 << c) != 0 {
+                            outcome
+                        } else {
+                            &idle
+                        };
+                        node.on_slot_on(ChannelId(c as u16), heard, ctx);
+                    }
+                });
+            }
+            // Hand the (drained) buffer back without clobbering wakes the
+            // callbacks just accumulated into `self.wake_list`.
+            list.clear();
+            list.append(&mut self.wake_list);
+            self.wake_list = list;
+        } else {
+            if self.sparse {
+                // Dispatch-all boundary consumes the accumulated wake state.
+                self.wake_all = false;
+                self.wake_bits.fill(0);
+                self.wake_list.clear();
+            }
+            for v in self.graph.nodes() {
+                if !self.is_node_operational(v) {
+                    continue;
+                }
+                let attached = self.channels.mask(v);
+                self.dispatch(v, |node, ctx| {
+                    for (c, outcome) in outcomes.iter().enumerate() {
+                        let heard = if attached & (1 << c) != 0 {
+                            outcome
+                        } else {
+                            &idle
+                        };
+                        node.on_slot_on(ChannelId(c as u16), heard, ctx);
+                    }
+                });
+            }
         }
 
         // Retire the boundary's winning payloads for recycling.

@@ -212,6 +212,13 @@ impl ChannelSet {
         self.masks.as_ref().map(Vec::len)
     }
 
+    /// The per-node attachment table, or `None` for uniform sets (every node
+    /// attached to every channel). Sparse stepping uses this to wake exactly
+    /// the nodes that will observe a non-idle slot outcome next round.
+    pub(crate) fn masks_table(&self) -> Option<&[u64]> {
+        self.masks.as_deref()
+    }
+
     /// Attachment bitmask covering every channel of a `k`-channel set; the
     /// single source of the shift-overflow-sensitive expression (also used
     /// by the detached [`RoundIo`](crate::RoundIo) constructors).

@@ -83,19 +83,61 @@ use crate::fault::{FaultPlan, FaultSession, NodeLifecycle};
 use crate::metrics::CostAccount;
 use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo, Slots, Staged};
 use crate::payload::{PayloadArena, PayloadHandle};
-use netsim_graph::{Graph, NodeId};
+use netsim_graph::{Graph, Neighbors, NodeId};
 
 /// Chain terminator for the receiver-bucketing pass.
 const NIL: u32 = u32::MAX;
 
-/// Log₂ of the receiver-block width of the radix scatter: each block covers
-/// `2^BLOCK_SHIFT = 2048` consecutive node indices, sized so one block's
-/// chain heads, links, and staged messages stay cache-resident.
-const BLOCK_SHIFT: u32 = 11;
+/// Fallback log₂ of the receiver-block width of the radix scatter when the
+/// cache probe fails: each block covers `2^11 = 2048` consecutive node
+/// indices, sized so one block's chain heads, links, and staged messages
+/// stay cache-resident on a typical 512 KiB–1 MiB L2.
+const DEFAULT_BLOCK_SHIFT: u32 = 11;
+
+/// Bounds on the tuned block shift: 512-node blocks are the smallest worth
+/// the partition pass, 8192-node blocks the largest that plausibly fit any
+/// per-core cache.
+const BLOCK_SHIFT_RANGE: (u32, u32) = (9, 13);
 
 /// Node count below which the radix pass is skipped: the whole chain-head
 /// array already fits in cache, so one pass beats two.
 const RADIX_MIN_NODES: usize = 1 << 14;
+
+/// The radix block shift used by every engine constructed in this process:
+/// probed once from the CPU's reported L2 cache size and cached.
+///
+/// A block's working set during the chain-bucket pass is roughly 128 bytes
+/// per node index (chain head + link + a handful of staged `(to, from,
+/// handle)` triples at typical degree), so the block is sized to half the
+/// L2: `2^shift ≈ L2 / 2 / 128`, clamped to `[9, 13]`.  When the probe
+/// fails (non-Linux, masked sysfs), the hard-coded default of 11 (2048-node
+/// blocks) is kept.  The chosen shift is recorded in the bench metadata so
+/// regressions are attributable to tuning changes.
+pub fn tuned_block_shift() -> u32 {
+    static SHIFT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *SHIFT.get_or_init(|| probe_block_shift().unwrap_or(DEFAULT_BLOCK_SHIFT))
+}
+
+/// Reads the L2 data-cache size from sysfs and derives the block shift; see
+/// [`tuned_block_shift`].  Returns `None` when the probe cannot run.
+fn probe_block_shift() -> Option<u32> {
+    let text = std::fs::read_to_string("/sys/devices/system/cpu/cpu0/cache/index2/size").ok()?;
+    let text = text.trim();
+    let (digits, multiplier) = if let Some(d) = text.strip_suffix(['K', 'k']) {
+        (d, 1024u64)
+    } else if let Some(d) = text.strip_suffix(['M', 'm']) {
+        (d, 1024 * 1024)
+    } else {
+        (text, 1)
+    };
+    let bytes = digits.parse::<u64>().ok()?.checked_mul(multiplier)?;
+    let nodes_per_block = (bytes / 2 / 128).max(1);
+    Some(
+        nodes_per_block
+            .ilog2()
+            .clamp(BLOCK_SHIFT_RANGE.0, BLOCK_SHIFT_RANGE.1),
+    )
+}
 
 /// Why a run stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,6 +168,74 @@ impl RunOutcome {
     }
 }
 
+/// The activity frontier of the sparse stepping mode: the set of nodes that
+/// must step next round, double-buffered so wakeups raised *during* a round
+/// (message receivers, `wake_me` requests, slot listeners) land in the next
+/// round's set while the current round consumes a frozen, sorted one.
+///
+/// Membership is a dense bitset (`bits`, one bit per node, for O(1) dedup)
+/// plus an overflow list (`members`, the actual members, unordered while
+/// accumulating).  [`Frontier::advance`] rotates the accumulator into the
+/// active set and sorts it ascending — stepping members in ascending node
+/// index is what keeps each receiver's inbox ordered by sender index, the
+/// engine's determinism contract.
+#[derive(Debug, Default)]
+struct Frontier {
+    /// Dense membership bitset over node indices (dedup for `members`).
+    bits: Vec<u64>,
+    /// Accumulating members of the **next** round's frontier (unordered).
+    members: Vec<u32>,
+    /// Next round must step every node (round 0, re-attachment,
+    /// `update_nodes`, a non-idle slot under uniform attachment).
+    all: bool,
+    /// Sorted members consumed by the **current** round's sparse step.
+    active: Vec<u32>,
+    /// The current round stepped every node.
+    active_all: bool,
+}
+
+impl Frontier {
+    fn new(n: usize) -> Self {
+        Frontier {
+            bits: vec![0; n.div_ceil(64)],
+            members: Vec::new(),
+            all: true,
+            active: Vec::new(),
+            active_all: false,
+        }
+    }
+
+    /// Schedules node `v` onto the next round's frontier (idempotent).
+    #[inline]
+    fn wake(&mut self, v: usize) {
+        if self.all {
+            return;
+        }
+        let (word, bit) = (v >> 6, 1u64 << (v & 63));
+        if self.bits[word] & bit == 0 {
+            self.bits[word] |= bit;
+            self.members.push(v as u32);
+        }
+    }
+
+    /// Schedules every node onto the next round's frontier.
+    fn wake_all(&mut self) {
+        self.all = true;
+    }
+
+    /// Rotates the accumulated wakeups into the active set (sorted
+    /// ascending) and resets the accumulator; pooled buffers only.
+    fn advance(&mut self) {
+        self.active.clear();
+        std::mem::swap(&mut self.active, &mut self.members);
+        self.active_all = std::mem::take(&mut self.all);
+        for &v in &self.active {
+            self.bits[(v as usize) >> 6] &= !(1u64 << (v & 63));
+        }
+        self.active.sort_unstable();
+    }
+}
+
 /// Per-worker staging state: sends and channel writes produced by a
 /// contiguous chunk of nodes (both staged inside the [`OutboxBuffer`], as
 /// handle triples over its payload arena), plus the chunk's done-transition
@@ -136,6 +246,11 @@ impl RunOutcome {
 struct Shard<M> {
     outbox: OutboxBuffer<M>,
     done_delta: isize,
+    /// Nodes actually stepped by this shard this round.
+    stepped: u64,
+    /// Node indices stepped by this shard this round, in step order; only
+    /// recorded under sparse stepping (pooled, drained by `finish_round`).
+    stepped_list: Vec<u32>,
 }
 
 impl<M> Default for Shard<M> {
@@ -143,6 +258,8 @@ impl<M> Default for Shard<M> {
         Shard {
             outbox: OutboxBuffer::new(),
             done_delta: 0,
+            stepped: 0,
+            stepped_list: Vec::new(),
         }
     }
 }
@@ -185,6 +302,96 @@ fn step_chunk<P: Protocol>(
         };
         node.step(&mut io);
         shard.done_delta += isize::from(node.is_done()) - isize::from(was_done);
+        shard.stepped += 1;
+    }
+}
+
+/// Shared immutable context of a sparse stepping pass; bundles the borrows
+/// so the sequential and parallel sparse paths share [`step_sparse`].
+struct SparseCtx<'a, M> {
+    graph: &'a Graph,
+    arena: &'a [(NodeId, PayloadHandle)],
+    payloads: &'a PayloadArena<M>,
+    /// Per-node epoch stamps: node `v`'s inbox range is valid only when
+    /// `inbox_epoch[v] == arena_epoch`; anything staler is an empty inbox.
+    inbox_epoch: &'a [u64],
+    /// Per-node `(start, len)` ranges into `arena`, epoch-gated.
+    inbox_ranges: &'a [(u32, u32)],
+    arena_epoch: u64,
+    channels: &'a ChannelSet,
+    slot_outcomes: &'a [ChannelOutcome],
+    round: u64,
+    lifecycles: Option<&'a [NodeLifecycle]>,
+}
+
+impl<M> Clone for SparseCtx<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for SparseCtx<'_, M> {}
+
+/// Steps the frontier members that fall inside `chunk` (node indices
+/// `base..base + chunk.len()`), staging outputs into `shard`.  `members` is
+/// the sorted slice of this chunk's frontier indices; `None` steps every
+/// node of the chunk (an all-active round).  Idle nodes are never touched:
+/// their inbox is resolved lazily through the epoch stamp, so no per-node
+/// state is read, cloned, or iterated for nodes off the frontier.
+fn step_sparse<P: Protocol>(
+    ctx: SparseCtx<'_, P::Msg>,
+    chunk: &mut [P],
+    base: usize,
+    members: Option<&[u32]>,
+    shard: &mut Shard<P::Msg>,
+) {
+    let step_one = |vi: usize, nbrs: Neighbors<'_>, node: &mut P, shard: &mut Shard<P::Msg>| {
+        if ctx.lifecycles.is_some_and(|l| !l[vi].is_operational()) {
+            // A node that crashed while on the frontier is skipped exactly
+            // like the dense path skips it: no step, no done-delta, and its
+            // frontier slot simply expires with this round.
+            return;
+        }
+        let v = NodeId(vi);
+        let was_done = node.is_done();
+        let entries = if ctx.inbox_epoch[vi] == ctx.arena_epoch {
+            let (start, len) = ctx.inbox_ranges[vi];
+            &ctx.arena[start as usize..(start + len) as usize]
+        } else {
+            &[]
+        };
+        let mut io = RoundIo {
+            node: v,
+            round: ctx.round,
+            neighbors: nbrs,
+            inbox: Inbox::arena(entries, ctx.payloads),
+            slots: Slots::Arena {
+                outcomes: ctx.slot_outcomes,
+                payloads: ctx.payloads,
+            },
+            attached: ctx.channels.mask(v),
+            outbox: &mut shard.outbox,
+        };
+        node.step(&mut io);
+        shard.done_delta += isize::from(node.is_done()) - isize::from(was_done);
+        shard.stepped += 1;
+        shard.stepped_list.push(vi as u32);
+    };
+    match members {
+        Some(list) => {
+            // Frontier-shaped CSR iteration: O(|members|) offset reads, no
+            // adjacency data of idle nodes is touched.
+            for (v, nbrs) in ctx.graph.frontier_rows(list) {
+                let vi = v.index();
+                let node = &mut chunk[vi - base];
+                step_one(vi, nbrs, node, shard);
+            }
+        }
+        None => {
+            for (i, node) in chunk.iter_mut().enumerate() {
+                let vi = base + i;
+                step_one(vi, ctx.graph.neighbors(NodeId(vi)), node, shard);
+            }
+        }
     }
 }
 
@@ -265,6 +472,31 @@ pub struct SyncEngine<'g, P: Protocol> {
     /// `Crashed`) that are *not* done; maintained at lifecycle transitions so
     /// the faulted quiescence check stays O(1).
     undone_exempt: usize,
+    /// Activity frontier of the opt-in sparse stepping mode; `None` runs
+    /// dense (every node steps every round).
+    frontier: Option<Frontier>,
+    /// Per-node inbox epoch stamps of the sparse CSR (see
+    /// [`SyncEngine::enable_sparse_stepping`]); length `n` under sparse
+    /// stepping, empty when dense.
+    inbox_epoch: Vec<u64>,
+    /// Per-node `(start, len)` inbox ranges into `arena`, valid only when
+    /// the node's epoch stamp is current; length `n` under sparse stepping.
+    inbox_ranges: Vec<(u32, u32)>,
+    /// Current arena epoch, bumped by every sparse rebuild.
+    arena_epoch: u64,
+    /// Pooled list of receivers touched by the current sparse rebuild.
+    touched: Vec<u32>,
+    /// Node indices stepped in the last executed round, ascending; recorded
+    /// only under sparse stepping (pooled).
+    last_stepped: Vec<u32>,
+    /// Nodes stepped in the last executed round (dense: the operational
+    /// count; sparse: the frontier members actually stepped).
+    stepped_last_round: u64,
+    /// Cumulative nodes stepped across all rounds.
+    total_stepped: u64,
+    /// Radix block shift used by the dense receiver bucketing; probed once
+    /// per process from the cache hierarchy ([`tuned_block_shift`]).
+    block_shift: u32,
 }
 
 impl<'g, P: Protocol> SyncEngine<'g, P> {
@@ -320,7 +552,90 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             done_count,
             faults: None,
             undone_exempt: 0,
+            frontier: None,
+            inbox_epoch: Vec::new(),
+            inbox_ranges: Vec::new(),
+            arena_epoch: 0,
+            touched: Vec::new(),
+            last_stepped: Vec::new(),
+            stepped_last_round: 0,
+            total_stepped: 0,
+            block_shift: tuned_block_shift(),
         }
+    }
+
+    /// Switches the engine to **sparse (active-set) stepping**: each round
+    /// steps only the nodes on the activity frontier — nodes with a
+    /// non-empty inbox, a non-idle outcome on an attached channel, a
+    /// lifecycle transition this round, or a pending [`RoundIo::wake_me`]
+    /// request — instead of all `n`.  Idle nodes are never touched, cloned,
+    /// or iterated, so per-round cost is O(active), not O(n).
+    ///
+    /// # Epoch-lazy state rules
+    ///
+    /// Idle nodes are skipped *lazily*: the sparse inbox index is a per-node
+    /// `(start, len)` range stamped with the epoch of the rebuild that wrote
+    /// it, and only the receivers of the round's messages are re-stamped.  A
+    /// stale stamp **is** the empty inbox — no per-node clearing pass ever
+    /// runs, which is what makes a fully idle round O(1) in `n`.
+    ///
+    /// # Frontier-safety contract
+    ///
+    /// The protocol must be **frontier-safe**: a step observing an empty
+    /// inbox, only `Idle` outcomes on its attached channels, and no
+    /// lifecycle transition must be a pure no-op (no sends, no channel
+    /// writes, no state or done-flag change) — *unless* the node re-armed
+    /// itself with [`RoundIo::wake_me`], which keeps it on the frontier.
+    /// Protocols that advance timers on idle observations satisfy the
+    /// contract by calling `wake_me` while unfinished.  For a frontier-safe
+    /// protocol, sparse runs are bit-for-bit identical to dense runs —
+    /// states, traces, costs, and lifecycles (pinned by the
+    /// `engine_conformance` suite and the `frontier_properties` proptests).
+    ///
+    /// Quiescence detection is unchanged (and `wake_me` does not prevent
+    /// it); see [`SyncEngine::is_quiescent`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds have already executed: the sparse inbox index
+    /// cannot adopt a dense engine's in-flight state mid-run.
+    pub fn enable_sparse_stepping(&mut self) {
+        assert_eq!(
+            self.round, 0,
+            "sparse stepping must be enabled before round 0"
+        );
+        let n = self.graph.node_count();
+        self.frontier = Some(Frontier::new(n));
+        self.inbox_epoch = vec![0; n];
+        self.inbox_ranges = vec![(0, 0); n];
+        // Epoch 0 stamps must all read stale until the first sparse rebuild.
+        self.arena_epoch = 1;
+    }
+
+    /// `true` when sparse (active-set) stepping is enabled.
+    pub fn sparse_stepping(&self) -> bool {
+        self.frontier.is_some()
+    }
+
+    /// Nodes stepped in the last executed round: under sparse stepping the
+    /// frontier members actually stepped, under dense stepping the
+    /// operational node count.
+    pub fn stepped_last_round(&self) -> u64 {
+        self.stepped_last_round
+    }
+
+    /// Cumulative nodes stepped across all executed rounds; divided by
+    /// `rounds * n` this is the run's *activity fraction*.
+    pub fn total_stepped(&self) -> u64 {
+        self.total_stepped
+    }
+
+    /// Node indices stepped in the last executed round, ascending; `None`
+    /// under dense stepping (where it would always be the operational set).
+    /// The `frontier_properties` proptests compare this against the
+    /// reference engine's brute-force active set.
+    pub fn last_stepped(&self) -> Option<&[u32]> {
+        self.frontier.as_ref().map(|_| self.last_stepped.as_slice())
     }
 
     /// Installs a deterministic [`FaultPlan`]; must be called before the
@@ -367,6 +682,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         let nodes = &mut self.nodes;
         let done_count = &mut self.done_count;
         let undone_exempt = &mut self.undone_exempt;
+        let frontier = &mut self.frontier;
         session.apply_round(self.round, |v, _, to| match to {
             // Entering an exempt state: always from Operational/Booting.
             NodeLifecycle::Crashed => {
@@ -384,7 +700,16 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                     .checked_add_signed(isize::from(now) - isize::from(was))
                     .expect("done count balances");
             }
-            NodeLifecycle::Operational | NodeLifecycle::Off => {}
+            // A boot promotion is a lifecycle wakeup: the rejoining node
+            // steps this very round, exactly as under dense stepping.  The
+            // frontier bitset dedups against a wake it may already hold
+            // (e.g. as a message receiver).
+            NodeLifecycle::Operational => {
+                if let Some(f) = frontier {
+                    f.wake(v.index());
+                }
+            }
+            NodeLifecycle::Off => {}
         });
         session.charge_round(&mut self.cost);
     }
@@ -426,6 +751,11 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             self.graph.node_count()
         );
         self.channels.reattach(masks);
+        // Attachment changes what every node hears next round; re-seed the
+        // frontier conservatively rather than re-deriving audibility.
+        if let Some(f) = &mut self.frontier {
+            f.wake_all();
+        }
     }
 
     /// Immutable access to a node's protocol state.
@@ -452,6 +782,11 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 .count(),
             None => 0,
         };
+        // Arbitrary state edits invalidate any sparsity assumption: every
+        // node may now have work, so the next round steps all of them.
+        if let Some(f) = &mut self.frontier {
+            f.wake_all();
+        }
     }
 
     /// Immutable access to all protocol states, indexed by node id.
@@ -545,33 +880,79 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
     /// step.
     pub fn step_round(&mut self) {
         self.apply_fault_round();
+        if self.frontier.is_some() {
+            self.step_frontier_sequential();
+        } else {
+            let SyncEngine {
+                graph,
+                nodes,
+                channels,
+                arena,
+                payloads,
+                offsets,
+                shards,
+                slot_outcomes,
+                round,
+                faults,
+                ..
+            } = self;
+            step_chunk(
+                graph,
+                nodes,
+                0,
+                arena,
+                payloads,
+                offsets,
+                channels,
+                slot_outcomes,
+                *round,
+                faults.as_ref().map(|s| s.lifecycles()),
+                &mut shards[0],
+            );
+        }
+        self.finish_round();
+    }
+
+    /// Sequential sparse step: rotates the frontier (this round's lifecycle
+    /// wakeups included — [`SyncEngine::apply_fault_round`] has already run)
+    /// and steps exactly the active members in ascending node index.
+    fn step_frontier_sequential(&mut self) {
         let SyncEngine {
             graph,
             nodes,
             channels,
             arena,
             payloads,
-            offsets,
             shards,
             slot_outcomes,
             round,
             faults,
+            frontier,
+            inbox_epoch,
+            inbox_ranges,
+            arena_epoch,
             ..
         } = self;
-        step_chunk(
+        let frontier = frontier.as_mut().expect("sparse mode");
+        frontier.advance();
+        let ctx = SparseCtx {
             graph,
-            nodes,
-            0,
-            arena,
-            payloads,
-            offsets,
-            channels,
-            slot_outcomes,
-            *round,
-            faults.as_ref().map(|s| s.lifecycles()),
-            &mut shards[0],
-        );
-        self.finish_round();
+            arena: arena.as_slice(),
+            payloads: &*payloads,
+            inbox_epoch: inbox_epoch.as_slice(),
+            inbox_ranges: inbox_ranges.as_slice(),
+            arena_epoch: *arena_epoch,
+            channels: &*channels,
+            slot_outcomes: slot_outcomes.as_slice(),
+            round: *round,
+            lifecycles: faults.as_ref().map(|s| s.lifecycles()),
+        };
+        let members = if frontier.active_all {
+            None
+        } else {
+            Some(frontier.active.as_slice())
+        };
+        step_sparse(ctx, nodes, 0, members, &mut shards[0]);
     }
 
     /// Post-step bookkeeping shared by the sequential and parallel paths:
@@ -579,17 +960,69 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
     /// every channel's slot, and advance the clock.
     fn finish_round(&mut self) {
         let mut delta = 0isize;
+        let mut stepped = 0u64;
         for shard in &mut self.shards {
             delta += std::mem::take(&mut shard.done_delta);
+            stepped += std::mem::take(&mut shard.stepped);
         }
         self.done_count = self
             .done_count
             .checked_add_signed(delta)
             .expect("done count balances");
+        self.stepped_last_round = stepped;
+        self.total_stepped += stepped;
 
-        let messages = self.rebuild_arena();
+        match &mut self.frontier {
+            Some(frontier) => {
+                // Record which nodes stepped (shards hold contiguous index
+                // ranges, so shard order is ascending) and fold the round's
+                // `wake_me` requests into the next frontier.
+                self.last_stepped.clear();
+                for shard in &mut self.shards {
+                    self.last_stepped.append(&mut shard.stepped_list);
+                    for v in shard.outbox.wakes.drain(..) {
+                        frontier.wake(v.index());
+                    }
+                }
+            }
+            None => {
+                for shard in &mut self.shards {
+                    shard.stepped_list.clear();
+                    shard.outbox.wakes.clear();
+                }
+            }
+        }
+
+        let messages = if self.frontier.is_some() {
+            self.rebuild_arena_sparse()
+        } else {
+            self.rebuild_arena()
+        };
         self.cost.add_messages(messages);
         self.resolve_channels();
+        // Slot wakeups: a non-idle outcome is channel feedback that every
+        // *attached* node observes next round, so those nodes must step.
+        if self.nonidle_slots > 0 {
+            if let Some(frontier) = &mut self.frontier {
+                let mut nonidle_mask = 0u64;
+                for (c, outcome) in self.slot_outcomes.iter().enumerate() {
+                    if !matches!(outcome, ChannelOutcome::Idle) {
+                        nonidle_mask |= 1 << c;
+                    }
+                }
+                match self.channels.masks_table() {
+                    // Uniform attachment: everyone hears the feedback.
+                    None => frontier.wake_all(),
+                    Some(masks) => {
+                        for (v, &mask) in masks.iter().enumerate() {
+                            if mask & nonidle_mask != 0 {
+                                frontier.wake(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
         self.round += 1;
     }
 
@@ -641,23 +1074,16 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         self.chan_writes.clear();
     }
 
-    /// Buckets the staged sends by receiver into the inbox arena (CSR form)
-    /// and returns how many messages were staged.
-    ///
-    /// First rotates the payload epoch: the payloads delivered this round
-    /// expire (heap payloads move to the graveyard for recycling) and the
-    /// staging arena becomes the delivery arena for the next round — a
-    /// wholesale swap sequentially, a worker-order merge with handle
-    /// rebasing under the `parallel` feature.
-    ///
-    /// Stable counting bucket via per-receiver chains: iterating a staging
-    /// slice in reverse while prepending to each receiver's chain leaves
-    /// every chain in forward (sender-index) order; walking receivers in
-    /// ascending order then yields the arena already grouped and ordered,
-    /// using only pooled buffers.  Large graphs first radix-partition the
-    /// staging buffer into contiguous receiver blocks so the chain pass
-    /// works on cache-resident slices (see the module docs).
-    fn rebuild_arena(&mut self) -> u64 {
+    /// Shared prologue of the dense and sparse arena rebuilds: rotates the
+    /// payload epoch — the payloads delivered this round expire (heap
+    /// payloads move to the graveyard for recycling) and the staging arena
+    /// becomes the delivery arena for the next round, a wholesale swap
+    /// sequentially, a worker-order merge with handle rebasing under the
+    /// `parallel` feature — then merges the worker shards' channel writes
+    /// and staged sends in node-index order (into `shards[0]`) and applies
+    /// message drops at the delivery boundary.  Returns the pre-drop staged
+    /// count.
+    fn rotate_and_merge(&mut self) -> u64 {
         // ---- Payload epoch rotation. ---------------------------------------
         self.payloads.expire();
         if self.shards.len() == 1 {
@@ -719,9 +1145,26 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 self.cost.add_dropped_messages(dropped as u64);
             }
         }
+        staged as u64
+    }
+
+    /// Buckets the staged sends by receiver into the inbox arena (CSR form)
+    /// and returns how many messages were staged.
+    ///
+    /// Stable counting bucket via per-receiver chains: iterating a staging
+    /// slice in reverse while prepending to each receiver's chain leaves
+    /// every chain in forward (sender-index) order; walking receivers in
+    /// ascending order then yields the arena already grouped and ordered,
+    /// using only pooled buffers.  Large graphs first radix-partition the
+    /// staging buffer into contiguous receiver blocks so the chain pass
+    /// works on cache-resident slices (see the module docs).
+    fn rebuild_arena(&mut self) -> u64 {
+        let staged = self.rotate_and_merge();
+        let stage = &mut self.shards[0].outbox.entries;
         let k = stage.len();
         let n = self.heads.len();
         assert!(k < NIL as usize, "more than 2^32 - 1 messages in one round");
+        let shift = self.block_shift;
 
         self.arena.clear();
         self.arena.reserve(k);
@@ -738,7 +1181,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             let mut jumps = 0usize;
             let mut prev_block = 0usize;
             for entry in stage.iter() {
-                let b = entry.0.index() >> BLOCK_SHIFT;
+                let b = entry.0.index() >> shift;
                 jumps += usize::from(b < prev_block);
                 prev_block = b;
             }
@@ -747,11 +1190,11 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
 
         if disordered {
             // ---- Pass 1: stable scatter into receiver blocks. -------------
-            let blocks = n.div_ceil(1 << BLOCK_SHIFT);
+            let blocks = n.div_ceil(1 << shift);
             self.block_cursors.clear();
             self.block_cursors.resize(blocks + 1, 0);
             for entry in stage.iter() {
-                self.block_cursors[(entry.0.index() >> BLOCK_SHIFT) + 1] += 1;
+                self.block_cursors[(entry.0.index() >> shift) + 1] += 1;
             }
             for b in 1..=blocks {
                 self.block_cursors[b] += self.block_cursors[b - 1];
@@ -761,7 +1204,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                     .resize(k, (NodeId(0), NodeId(0), PayloadHandle::DANGLING));
             }
             for entry in stage.iter() {
-                let b = entry.0.index() >> BLOCK_SHIFT;
+                let b = entry.0.index() >> shift;
                 let pos = self.block_cursors[b] as usize;
                 self.block_cursors[b] += 1;
                 self.scratch[pos] = *entry;
@@ -777,8 +1220,8 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                     self.block_cursors[b - 1] as usize
                 };
                 let end = self.block_cursors[b] as usize;
-                let lo = b << BLOCK_SHIFT;
-                let hi = (lo + (1 << BLOCK_SHIFT)).min(n);
+                let lo = b << shift;
+                let hi = (lo + (1 << shift)).min(n);
                 self.heads[lo..hi].fill(NIL);
                 for i in (start..end).rev() {
                     let to = self.scratch[i].0.index();
@@ -815,7 +1258,77 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         }
         self.offsets[n] = self.arena.len();
         stage.clear();
-        staged as u64
+        staged
+    }
+
+    /// Sparse counterpart of [`SyncEngine::rebuild_arena`]: O(messages), not
+    /// O(n).  Instead of rewriting the full `offsets` index, only the
+    /// receivers actually touched this round get a fresh `(start, len)`
+    /// range stamped with the new arena epoch — every other node's stale
+    /// stamp *is* its empty inbox, so idle nodes are never iterated.  Each
+    /// touched receiver is also woken onto the next frontier.
+    ///
+    /// Relies on (and restores) the all-`NIL` chain-head invariant: the
+    /// dense paths re-fill `heads` wholesale, which a sparse round cannot
+    /// afford.
+    fn rebuild_arena_sparse(&mut self) -> u64 {
+        let staged = self.rotate_and_merge();
+        let SyncEngine {
+            shards,
+            arena,
+            links,
+            heads,
+            touched,
+            inbox_epoch,
+            inbox_ranges,
+            arena_epoch,
+            frontier,
+            ..
+        } = self;
+        let stage = &mut shards[0].outbox.entries;
+        let k = stage.len();
+        assert!(k < NIL as usize, "more than 2^32 - 1 messages in one round");
+
+        arena.clear();
+        arena.reserve(k);
+        links.clear();
+        links.resize(k, NIL);
+        *arena_epoch += 1;
+        touched.clear();
+
+        // Reverse chain build, as in the dense bucket; the first prepend to
+        // an empty chain is what discovers a touched receiver, so the pass
+        // is O(messages) with no per-node scan.
+        for i in (0..k).rev() {
+            let to = stage[i].0.index();
+            if heads[to] == NIL {
+                touched.push(to as u32);
+            }
+            links[i] = heads[to];
+            heads[to] = i as u32;
+        }
+
+        // Walk each touched receiver's chain (forward = sender-index order,
+        // because sparse stepping visits senders ascending).  Receiver walk
+        // order is irrelevant: the ranges are independent and the frontier
+        // dedups through its bitset.
+        let frontier = frontier.as_mut().expect("sparse mode");
+        for &t in touched.iter() {
+            let to = t as usize;
+            let start = arena.len() as u32;
+            let mut i = heads[to];
+            while i != NIL {
+                let (_, from, handle) = stage[i as usize];
+                arena.push((from, handle));
+                i = links[i as usize];
+            }
+            inbox_ranges[to] = (start, arena.len() as u32 - start);
+            inbox_epoch[to] = *arena_epoch;
+            heads[to] = NIL;
+            frontier.wake(to);
+        }
+        stage.clear();
+        staged
     }
 
     /// Runs until quiescence or until `max_rounds` rounds have elapsed in total.
@@ -888,6 +1401,10 @@ where
             self.shards.push(Shard::default());
         }
         self.apply_fault_round();
+        if self.frontier.is_some() {
+            self.step_frontier_parallel(workers);
+            return self.finish_round();
+        }
         let chunk_len = n.div_ceil(workers);
         let SyncEngine {
             graph,
@@ -936,6 +1453,86 @@ where
             }
         });
         self.finish_round();
+    }
+
+    /// Parallel sparse step: shards the **frontier** (not the node range)
+    /// across the workers.  The active list is sorted ascending, so equal
+    /// contiguous slices of it cover disjoint, increasing node-index
+    /// intervals — each worker gets the `nodes` sub-slice spanning its
+    /// frontier slice, and merging the shards in worker order reproduces the
+    /// sequential ascending step order bit-for-bit.
+    fn step_frontier_parallel(&mut self, workers: usize) {
+        let n = self.nodes.len();
+        let SyncEngine {
+            graph,
+            nodes,
+            channels,
+            arena,
+            payloads,
+            shards,
+            slot_outcomes,
+            round,
+            faults,
+            frontier,
+            inbox_epoch,
+            inbox_ranges,
+            arena_epoch,
+            ..
+        } = self;
+        let frontier = frontier.as_mut().expect("sparse mode");
+        frontier.advance();
+        let ctx = SparseCtx {
+            graph,
+            arena: arena.as_slice(),
+            payloads: &*payloads,
+            inbox_epoch: inbox_epoch.as_slice(),
+            inbox_ranges: inbox_ranges.as_slice(),
+            arena_epoch: *arena_epoch,
+            channels: &*channels,
+            slot_outcomes: slot_outcomes.as_slice(),
+            round: *round,
+            lifecycles: faults.as_ref().map(|s| s.lifecycles()),
+        };
+        if frontier.active_all {
+            // All-active round: plain contiguous node chunks, but stepped
+            // through the sparse (epoch-lazy) inbox view.
+            let chunk_len = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (ci, (chunk, shard)) in nodes
+                    .chunks_mut(chunk_len)
+                    .zip(shards.iter_mut())
+                    .enumerate()
+                {
+                    scope.spawn(move || {
+                        step_sparse(ctx, chunk, ci * chunk_len, None, shard);
+                    });
+                }
+            });
+            return;
+        }
+        let members = frontier.active.as_slice();
+        if members.is_empty() {
+            return;
+        }
+        let chunk_len = members.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            // Carve each worker's node sub-slice off the front of the
+            // remainder: frontier slices are ascending and disjoint, so the
+            // spanned node intervals never overlap.
+            let mut rest = &mut nodes[..];
+            let mut base = 0usize;
+            for (slice, shard) in members.chunks(chunk_len).zip(shards.iter_mut()) {
+                let lo = slice[0] as usize;
+                let hi = slice[slice.len() - 1] as usize;
+                let (_, tail) = rest.split_at_mut(lo - base);
+                let (mine, tail) = tail.split_at_mut(hi - lo + 1);
+                rest = tail;
+                base = hi + 1;
+                scope.spawn(move || {
+                    step_sparse(ctx, mine, lo, Some(slice), shard);
+                });
+            }
+        });
     }
 
     /// [`SyncEngine::run`], but stepping each round with
@@ -1458,6 +2055,124 @@ mod tests {
         assert_eq!(eng.node(NodeId(2)).steps, 1);
         assert!(!eng.node(NodeId(2)).is_done());
         assert_eq!(eng.fault_lifecycle(NodeId(2)), NodeLifecycle::Crashed);
+    }
+
+    /// A `wake_me`-adopting [`Ticker`]: arms itself every round until done,
+    /// so it is frontier-safe under active-set stepping.
+    struct ArmedTicker {
+        steps: u64,
+        recovered: bool,
+        goal: u64,
+    }
+    impl Protocol for ArmedTicker {
+        type Msg = ();
+        fn step(&mut self, io: &mut RoundIo<'_, ()>) {
+            self.steps += 1;
+            if !self.is_done() {
+                io.wake_me();
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.steps >= self.goal
+        }
+        fn on_recover(&mut self) {
+            self.recovered = true;
+        }
+    }
+
+    #[test]
+    fn sparse_crash_on_frontier_leaks_no_done_count() {
+        use crate::fault::FaultEvent;
+        // Node 1 arms itself every round, so it is *on the frontier* when the
+        // crash lands: the sparse step must skip it with no done-count delta
+        // (its frontier slot simply expires), quiescence accounting must stay
+        // sound, and the recovery boot promotion must re-add it — replaying
+        // the dense `scheduled_crash_skips_steps_and_recover_rejoins` run
+        // round for round.
+        let g = generators::ring(3);
+        let mut eng = SyncEngine::new(&g, |_| ArmedTicker {
+            steps: 0,
+            recovered: false,
+            goal: 8,
+        });
+        eng.enable_sparse_stepping();
+        eng.set_fault_plan(FaultPlan::none().with_events(vec![
+            FaultEvent::Crash {
+                round: 2,
+                node: NodeId(1),
+            },
+            FaultEvent::Recover {
+                round: 5,
+                node: NodeId(1),
+            },
+        ]));
+        let out = eng.run(30);
+        assert!(out.is_completed());
+        assert_eq!(out.rounds(), 12);
+        assert_eq!(eng.node(NodeId(1)).steps, 8);
+        assert!(eng.node(NodeId(1)).recovered);
+        assert!(!eng.node(NodeId(0)).recovered);
+        assert_eq!(eng.fault_lifecycle(NodeId(1)), NodeLifecycle::Operational);
+        assert_eq!(eng.cost().crashed_rounds, 4);
+        // The crashed rounds stepped two nodes, not three.
+        assert_eq!(eng.total_stepped(), 3 * 8);
+    }
+
+    #[test]
+    fn sparse_permanent_crash_stays_exempt_and_completes() {
+        use crate::fault::FaultEvent;
+        let g = generators::ring(3);
+        let mut eng = SyncEngine::new(&g, |_| ArmedTicker {
+            steps: 0,
+            recovered: false,
+            goal: 3,
+        });
+        eng.enable_sparse_stepping();
+        eng.set_fault_plan(FaultPlan::none().with_events(vec![FaultEvent::Crash {
+            round: 1,
+            node: NodeId(2),
+        }]));
+        let out = eng.run(20);
+        // Node 2 crashes while armed and can never report done; the
+        // exemption must still let the sparse run quiesce.
+        assert!(out.is_completed());
+        assert_eq!(eng.node(NodeId(2)).steps, 1);
+        assert!(!eng.node(NodeId(2)).is_done());
+        assert_eq!(eng.fault_lifecycle(NodeId(2)), NodeLifecycle::Crashed);
+    }
+
+    #[test]
+    fn sparse_stepping_actually_skips_idle_nodes() {
+        use crate::protocols::BfsBuild;
+        // BFS wave on a 64-ring: dense stepping pays n steps per round for
+        // ~34 rounds; active-set stepping pays for the all-active round 0
+        // plus O(wave frontier) per round.  The bound below fails by an
+        // order of magnitude if the frontier ever degenerates to wake-all.
+        let g = generators::ring(64);
+        let mut dense = SyncEngine::new(&g, |v| BfsBuild::new(v, NodeId(0)));
+        assert!(dense.run(100).is_completed());
+        let mut eng = SyncEngine::new(&g, |v| BfsBuild::new(v, NodeId(0)));
+        eng.enable_sparse_stepping();
+        assert!(eng.sparse_stepping());
+        let out = eng.run(100);
+        assert!(out.is_completed());
+        assert_eq!(out.rounds(), dense.round());
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).depth(), dense.node(v).depth());
+        }
+        assert!(
+            eng.total_stepped() < dense.total_stepped() / 4,
+            "sparse run stepped {} nodes vs dense {}",
+            eng.total_stepped(),
+            dense.total_stepped()
+        );
+        // The final round steps only the last deliveries' receivers (the
+        // two nodes where the wave fronts met), not the whole ring.
+        assert!(eng.stepped_last_round() <= 4);
+        assert_eq!(
+            eng.last_stepped().map(<[u32]>::len),
+            Some(eng.stepped_last_round() as usize)
+        );
     }
 
     #[test]

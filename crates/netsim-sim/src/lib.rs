@@ -60,7 +60,19 @@
 //! * `AsyncEngine` keeps in-flight payloads in the refcounted slab with a
 //!   free list and pools its callback buffers;
 //! * quiescence checks are O(1) in both engines (incremental done-node
-//!   counter + in-flight counters) instead of O(n) rescans per round/tick.
+//!   counter + in-flight counters) instead of O(n) rescans per round/tick;
+//! * **active-set stepping** (opt-in: [`SyncEngine::enable_sparse_stepping`],
+//!   [`AsyncEngine::enable_sparse_boundaries`],
+//!   [`ReferenceEngine::enable_sparse_stepping`]) makes per-round cost
+//!   proportional to the *active* node set, not `n`: the engine maintains a
+//!   frontier — nodes with a non-empty inbox, a non-idle outcome on an
+//!   attached channel, a lifecycle transition, or an explicit
+//!   [`RoundIo::wake_me`] / [`AsyncCtx::wake_me`] self-wakeup — and steps
+//!   only its members, with epoch-versioned inbox ranges so idle nodes are
+//!   never touched, cloned, or iterated.  Sparse runs are bit-identical to
+//!   dense runs for *frontier-safe* protocols (see the [`RoundIo::wake_me`]
+//!   contract); a run on a million-node graph with a thousand active nodes
+//!   pays for a thousand steps per round.
 //!
 //! Delivery semantics across all three engines (flat sync, async, reference)
 //! are pinned by the `engine_conformance` integration suite: identical
@@ -115,7 +127,7 @@ pub use channel::{
     fdma_slot_lengths, resolve_slot, resolve_slots, ChannelId, ChannelSet, SlotOutcome, SlotState,
     MAX_CHANNELS,
 };
-pub use engine::{RunOutcome, SyncEngine};
+pub use engine::{tuned_block_shift, RunOutcome, SyncEngine};
 pub use fault::{FaultEvent, FaultPlan, FaultSession, NodeLifecycle};
 pub use lockstep::{lockstep_config, reconciled_cost, reconciled_cost_faulted, Lockstep};
 pub use metrics::CostAccount;

@@ -134,6 +134,14 @@ impl<P: Protocol> Lockstep<P> {
         .with_attachment(attached);
         self.inner.step(&mut io);
         self.inbox.clear();
+        // Forward the inner protocol's wakeup requests onto the engine's
+        // boundary-wake substrate, so a `wake_me`-adopting protocol keeps
+        // its self-arming semantics under sparse boundary dispatch.
+        let mut woken = false;
+        self.outbox.take_wakes(|_| woken = true);
+        if woken {
+            ctx.wake_me();
+        }
         // Channel writes move out before the sends: draining the sends
         // retires the payload epoch the write handles point into.
         self.outbox

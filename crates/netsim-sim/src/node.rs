@@ -85,6 +85,11 @@ pub struct OutboxBuffer<M> {
     /// point-to-point ones, which is what lets the flat engines deliver slot
     /// winners by handle instead of cloning them.
     pub(crate) chan_writes: Vec<(ChannelId, NodeId, PayloadHandle)>,
+    /// Self-scheduled wakeups requested through [`RoundIo::wake_me`]: nodes
+    /// asking to be on the next round's activity frontier.  Engines running
+    /// dense ignore (and clear) them; the sparse stepping mode folds them
+    /// into the frontier.
+    pub(crate) wakes: Vec<NodeId>,
 }
 
 impl<M> OutboxBuffer<M> {
@@ -94,6 +99,7 @@ impl<M> OutboxBuffer<M> {
             entries: Vec::new(),
             arena: PayloadArena::new(),
             chan_writes: Vec::new(),
+            wakes: Vec::new(),
         }
     }
 
@@ -112,7 +118,17 @@ impl<M> OutboxBuffer<M> {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.chan_writes.clear();
+        self.wakes.clear();
         self.arena.expire();
+    }
+
+    /// Moves every wakeup requested through [`RoundIo::wake_me`] out of the
+    /// buffer, in request order. Simulation wrappers (the async lockstep
+    /// adapter) forward these onto their own wakeup substrate.
+    pub fn take_wakes(&mut self, mut f: impl FnMut(NodeId)) {
+        for v in self.wakes.drain(..) {
+            f(v);
+        }
     }
 
     /// Returns `true` when at least one channel write is staged.
@@ -730,6 +746,44 @@ impl<'a, M: Clone> RoundIo<'a, M> {
             Some(entry) => entry.2 = h,
             None => self.outbox.chan_writes.push((chan, node, h)),
         }
+    }
+
+    /// Schedules this node onto the **next round's activity frontier**.
+    ///
+    /// Under dense stepping every node steps every round and this is a no-op.
+    /// Under sparse (active-set) stepping an idle node — empty inbox, every
+    /// attached slot `Idle`, no lifecycle transition — is *not stepped at
+    /// all*, so a protocol that advances internal timers on idle observations
+    /// (idle-strike counters, phase arming) must call `wake_me` before
+    /// returning from [`Protocol::step`] whenever it still wants to run next
+    /// round. The canonical adoption pattern is:
+    ///
+    /// ```ignore
+    /// fn step(&mut self, io: &mut RoundIo<'_, Msg>) {
+    ///     // ... protocol logic ...
+    ///     if !self.is_done() {
+    ///         io.wake_me();
+    ///     }
+    /// }
+    /// ```
+    ///
+    /// # Determinism contract
+    ///
+    /// Wakeup rounds are part of the determinism tuple: the set of rounds in
+    /// which a node steps is `(messages received, non-idle attached slots,
+    /// lifecycle transitions, wake_me requests)`, and two runs agree
+    /// bit-for-bit only if the protocol requests the same wakeups in the
+    /// same rounds. `wake_me` must therefore be a pure function of the
+    /// node's observable state, like every other [`Protocol::step`] output.
+    ///
+    /// # Quiescence
+    ///
+    /// `wake_me` does **not** prevent quiescence. The engine's termination
+    /// check is unchanged by sparse stepping (all nodes done or exempt, no
+    /// messages in flight, all slots idle); a node that needs more rounds
+    /// must report `!is_done()`, not merely keep waking itself.
+    pub fn wake_me(&mut self) {
+        self.outbox.wakes.push(self.node);
     }
 
     /// Returns `true` if this node has staged a write on any channel this

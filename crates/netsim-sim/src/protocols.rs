@@ -379,6 +379,12 @@ impl Protocol for ChannelShardedSum {
         if self.turn == self.rank && !self.crashed_out {
             io.write_channel_on(self.chan, self.value);
         }
+        // The idle-strike timer advances on *idle* slots, which never wake a
+        // node under sparse stepping — so an unfinished node arms its own
+        // next round explicitly.
+        if !self.is_done() {
+            io.wake_me();
+        }
     }
 
     fn is_done(&self) -> bool {

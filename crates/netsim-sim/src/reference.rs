@@ -52,6 +52,22 @@ pub struct ReferenceEngine<'g, P: Protocol> {
     /// Injected-fault session, when [`ReferenceEngine::set_fault_plan`]
     /// installed one.
     faults: Option<FaultSession>,
+    /// Opt-in sparse stepping: recompute the active set from full state
+    /// every round (brute force, O(n)) and step only its members.  This is
+    /// the executable specification of the flat engine's frontier.
+    sparse: bool,
+    /// Nodes woken for the current round (`wake_me` last round, or a boot
+    /// promotion this round); sparse mode only.
+    woken: Vec<bool>,
+    /// `wake_me` requests raised during the current round; swapped into
+    /// `woken` at the next round's start.
+    next_woken: Vec<bool>,
+    /// The next round must step every node (round 0, re-attachment,
+    /// `update_nodes`); sparse mode only.
+    step_all: bool,
+    /// Node indices stepped in the last executed round, ascending; sparse
+    /// mode only.
+    last_stepped: Vec<u32>,
 }
 
 impl<'g, P: Protocol> ReferenceEngine<'g, P> {
@@ -93,7 +109,50 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             cost: CostAccount::new(),
             round: 0,
             faults: None,
+            sparse: false,
+            woken: Vec::new(),
+            next_woken: Vec::new(),
+            step_all: false,
+            last_stepped: Vec::new(),
         }
+    }
+
+    /// Switches the engine to sparse (active-set) stepping; the brute-force
+    /// counterpart of
+    /// [`SyncEngine::enable_sparse_stepping`](crate::SyncEngine::enable_sparse_stepping),
+    /// with the same frontier-safety contract on the protocol.  Instead of
+    /// maintaining a frontier incrementally, every round recomputes the
+    /// active set from full state — a node steps iff it is operational and
+    /// has a non-empty pending queue, hears a non-idle outcome on an
+    /// attached channel, was promoted to `Operational` this round, asked
+    /// for a wakeup via [`RoundIo::wake_me`] last round, or a step-all
+    /// event (round 0, re-attachment, `update_nodes`) is pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds have already executed.
+    pub fn enable_sparse_stepping(&mut self) {
+        assert_eq!(
+            self.round, 0,
+            "sparse stepping must be enabled before round 0"
+        );
+        let n = self.graph.node_count();
+        self.sparse = true;
+        self.step_all = true;
+        self.woken = vec![false; n];
+        self.next_woken = vec![false; n];
+    }
+
+    /// `true` when sparse (active-set) stepping is enabled.
+    pub fn sparse_stepping(&self) -> bool {
+        self.sparse
+    }
+
+    /// Node indices stepped in the last executed round, ascending; `None`
+    /// under dense stepping.  The `frontier_properties` proptests compare
+    /// this brute-force set against the flat engine's incremental frontier.
+    pub fn last_stepped(&self) -> Option<&[u32]> {
+        self.sparse.then_some(self.last_stepped.as_slice())
     }
 
     /// Installs a deterministic [`FaultPlan`]; must be called before the
@@ -130,9 +189,16 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             return;
         };
         let nodes = &mut self.nodes;
+        let sparse = self.sparse;
+        let woken = &mut self.woken;
         session.apply_round(self.round, |v, _, to| {
             if to == NodeLifecycle::Booting {
                 nodes[v.index()].on_recover();
+            }
+            // A boot promotion is a lifecycle wakeup: the node steps this
+            // very round (mirrors the flat engine's frontier wake).
+            if sparse && to == NodeLifecycle::Operational {
+                woken[v.index()] = true;
             }
         });
         session.charge_round(&mut self.cost);
@@ -166,6 +232,10 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             self.graph.node_count()
         );
         self.channels.reattach(masks);
+        // Attachment changes what every node hears next round.
+        if self.sparse {
+            self.step_all = true;
+        }
     }
 
     /// Immutable access to a node's protocol state.
@@ -180,6 +250,10 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
     pub fn update_nodes<F: FnMut(NodeId, &mut P)>(&mut self, mut f: F) {
         for (i, node) in self.nodes.iter_mut().enumerate() {
             f(NodeId(i), node);
+        }
+        // Arbitrary state edits invalidate any sparsity assumption.
+        if self.sparse {
+            self.step_all = true;
         }
     }
 
@@ -230,6 +304,14 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
     /// without being counted as drops), dropped sends never enter the
     /// next-round queues, and erased slots overwrite the resolved outcome.
     pub fn step_round(&mut self) {
+        if self.sparse {
+            // Rotate the wakeup buffers: last round's `wake_me` requests
+            // become this round's wakes, and boot promotions applied below
+            // join them.
+            std::mem::swap(&mut self.woken, &mut self.next_woken);
+            self.next_woken.fill(false);
+            self.last_stepped.clear();
+        }
         self.apply_fault_round();
         for queue in &mut self.next_pending {
             queue.clear(); // keep capacity: the pooled half of the buffer pair
@@ -247,11 +329,33 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             prev_slots,
             round,
             faults,
+            sparse,
+            woken,
+            next_woken,
+            step_all,
+            last_stepped,
             ..
         } = self;
+        let step_all = std::mem::take(step_all);
         for v in graph.nodes() {
             if faults.as_ref().is_some_and(|s| !s.is_operational(v)) {
                 continue;
+            }
+            if *sparse {
+                // Brute-force active-set membership, recomputed from full
+                // state: this is the specification the flat engine's
+                // incremental frontier must match.
+                let mask = channels.mask(v);
+                let hears_slot = prev_slots
+                    .iter()
+                    .enumerate()
+                    .any(|(c, o)| mask & (1 << c) != 0 && !o.is_idle());
+                let active =
+                    step_all || !pending[v.index()].is_empty() || woken[v.index()] || hears_slot;
+                if !active {
+                    continue;
+                }
+                last_stepped.push(v.index() as u32);
             }
             let mut outbox = OutboxBuffer::new();
             let mut io = RoundIo {
@@ -265,6 +369,9 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             };
             nodes[v.index()].step(&mut io);
             messages_sent += outbox.len() as u64;
+            if *sparse {
+                outbox.take_wakes(|w| next_woken[w.index()] = true);
+            }
             // Channel writes move out of the staging arena first (owned, as
             // when the seed staged them in an `Option<M>`), because draining
             // the sends retires the payload epoch.

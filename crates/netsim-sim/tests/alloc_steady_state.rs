@@ -540,3 +540,104 @@ fn payload_slab_high_water_is_bounded_over_1k_rounds() {
     // The graveyard is bounded too: at most one epoch parked for recycling.
     assert!(engine.payload_arena().recyclable() <= n);
 }
+
+/// Sparse token relay for the active-set contract: every node is done from
+/// the start; tokens carry a hop budget in their high 32 bits and bounce
+/// between neighbours until it runs out.  Only token receivers ever act, so
+/// the frontier is O(live tokens) while the graph holds a million idle
+/// nodes.
+#[cfg(not(debug_assertions))]
+struct SparseToken {
+    id: NodeId,
+}
+
+#[cfg(not(debug_assertions))]
+const TOKEN_SEEDS: usize = 64;
+
+#[cfg(not(debug_assertions))]
+impl Protocol for SparseToken {
+    type Msg = u64;
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for (_, &t) in io.inbox() {
+            let hops = t >> 32;
+            if hops > 0 && io.degree() > 0 {
+                let x = (t as u32).wrapping_mul(0x9e37_79b9).wrapping_add(1);
+                let next = io.neighbors().target(x as usize % io.degree());
+                io.send(next, (hops - 1) << 32 | u64::from(x));
+            }
+        }
+        if io.round() == 0 && self.id.index() < TOKEN_SEEDS {
+            io.send(
+                io.neighbors().target(0),
+                48u64 << 32 | self.id.index() as u64,
+            );
+        }
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+/// Active-set stepping contract on a **million-node** graph (release builds
+/// only — the graph build and the all-active round 0 are debug-prohibitive):
+/// once warm, a round with `F` frontier members steps exactly those members
+/// with **zero** heap allocations, and a fully idle round steps nobody —
+/// per-round cost is O(frontier), not O(n).
+#[cfg(not(debug_assertions))]
+#[test]
+fn sparse_million_node_idle_rounds_are_allocation_free_and_o_frontier() {
+    let n = 1usize << 20;
+    let g = netsim_graph::topologies::degree_bounded_expander(n, 4, 11);
+    let mut eng = SyncEngine::new(&g, |id| SparseToken { id });
+    eng.enable_sparse_stepping();
+    // Warm up: round 0 is the all-active boot round; a few more rounds take
+    // every pooled buffer (frontier member list, touched list, staging,
+    // arena) to its constant-traffic high-water mark.
+    for _ in 0..8 {
+        eng.step_round();
+    }
+    let warm_total = eng.total_stepped();
+
+    // Phase 1: active sparse rounds — tokens still alive.  Zero allocations,
+    // and each round touches only the O(TOKEN_SEEDS) token receivers.
+    let before = allocs();
+    for _ in 0..20 {
+        eng.step_round();
+        assert!(
+            eng.stepped_last_round() <= TOKEN_SEEDS as u64,
+            "sparse round stepped {} nodes for {} live tokens",
+            eng.stepped_last_round(),
+            TOKEN_SEEDS
+        );
+    }
+    let active_allocs = allocs() - before;
+    assert_eq!(
+        active_allocs, 0,
+        "sparse active rounds allocated {active_allocs} times over 20 rounds"
+    );
+    // The 20 rounds together stepped O(frontier), nowhere near n.
+    let stepped = eng.total_stepped() - warm_total;
+    assert!(stepped > 0, "tokens died during warm-up");
+    assert!(
+        stepped <= (20 * TOKEN_SEEDS) as u64,
+        "20 sparse rounds stepped {stepped} nodes on a {n}-node graph"
+    );
+
+    // Phase 2: run the hop budgets out, then measure fully idle rounds —
+    // nobody steps, nothing allocates, the engine only advances the clock.
+    for _ in 0..44 {
+        eng.step_round();
+    }
+    let before = allocs();
+    for _ in 0..10 {
+        eng.step_round();
+        assert_eq!(eng.stepped_last_round(), 0, "idle round stepped a node");
+        assert_eq!(eng.last_stepped(), Some(&[][..]));
+    }
+    let idle_allocs = allocs() - before;
+    assert_eq!(
+        idle_allocs, 0,
+        "sparse idle rounds allocated {idle_allocs} times over 10 rounds"
+    );
+    assert!(eng.is_quiescent());
+}

@@ -196,6 +196,7 @@ fn run_sync_impl<P, F>(
     g: &Graph,
     channels: &ChannelSet,
     plan: Option<&FaultPlan>,
+    sparse: bool,
     mut init: F,
     max_rounds: u64,
 ) -> EngineRun<P>
@@ -205,6 +206,9 @@ where
     F: FnMut(NodeId) -> P,
 {
     let mut eng = SyncEngine::with_channels(g, channels.clone(), |v| Traced::new(init(v)));
+    if sparse {
+        eng.enable_sparse_stepping();
+    }
     if let Some(p) = plan {
         eng.set_fault_plan(p.clone());
     }
@@ -232,7 +236,7 @@ where
     P::Msg: Hash,
     F: FnMut(NodeId) -> P,
 {
-    run_sync_impl(g, channels, None, init, max_rounds)
+    run_sync_impl(g, channels, None, false, init, max_rounds)
 }
 
 /// [`run_sync`] under an installed [`FaultPlan`].
@@ -248,13 +252,14 @@ where
     P::Msg: Hash,
     F: FnMut(NodeId) -> P,
 {
-    run_sync_impl(g, channels, Some(plan), init, max_rounds)
+    run_sync_impl(g, channels, Some(plan), false, init, max_rounds)
 }
 
 fn run_reference_impl<P, F>(
     g: &Graph,
     channels: &ChannelSet,
     plan: Option<&FaultPlan>,
+    sparse: bool,
     mut init: F,
     max_rounds: u64,
 ) -> EngineRun<P>
@@ -264,6 +269,9 @@ where
     F: FnMut(NodeId) -> P,
 {
     let mut eng = ReferenceEngine::with_channels(g, channels.clone(), |v| Traced::new(init(v)));
+    if sparse {
+        eng.enable_sparse_stepping();
+    }
     if let Some(p) = plan {
         eng.set_fault_plan(p.clone());
     }
@@ -296,7 +304,7 @@ where
     P::Msg: Hash,
     F: FnMut(NodeId) -> P,
 {
-    run_reference_impl(g, channels, None, init, max_rounds)
+    run_reference_impl(g, channels, None, false, init, max_rounds)
 }
 
 /// [`run_reference`] under an installed [`FaultPlan`].
@@ -312,13 +320,14 @@ where
     P::Msg: Hash,
     F: FnMut(NodeId) -> P,
 {
-    run_reference_impl(g, channels, Some(plan), init, max_rounds)
+    run_reference_impl(g, channels, Some(plan), false, init, max_rounds)
 }
 
 fn run_async_lockstep_impl<P, F>(
     g: &Graph,
     channels: &ChannelSet,
     plan: Option<&FaultPlan>,
+    sparse: bool,
     mut init: F,
     max_rounds: u64,
 ) -> EngineRun<P>
@@ -332,6 +341,9 @@ where
     let mut eng = AsyncEngine::with_channels(g, cfg, channels.clone(), |v| {
         Lockstep::new(Traced::new(init(v)), k)
     });
+    if sparse {
+        eng.enable_sparse_boundaries();
+    }
     if let Some(p) = plan {
         eng.set_fault_plan(p.clone());
     }
@@ -372,7 +384,7 @@ where
     P::Msg: Hash,
     F: FnMut(NodeId) -> P,
 {
-    run_async_lockstep_impl(g, channels, None, init, max_rounds)
+    run_async_lockstep_impl(g, channels, None, false, init, max_rounds)
 }
 
 /// [`run_async_lockstep`] under an installed [`FaultPlan`].
@@ -388,7 +400,7 @@ where
     P::Msg: Hash,
     F: FnMut(NodeId) -> P,
 {
-    run_async_lockstep_impl(g, channels, Some(plan), init, max_rounds)
+    run_async_lockstep_impl(g, channels, Some(plan), false, init, max_rounds)
 }
 
 /// The conformance topology matrix: every family named by the issue, at
@@ -695,4 +707,140 @@ pub fn assert_conformant_faulted<P, F>(
             "[{label}] node {v}: faulted final states diverged (sync vs async)"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Active-set (sparse) stepping dimension
+// ---------------------------------------------------------------------------
+
+/// Asserts two [`EngineRun`]s are bit-identical in every observable
+/// dimension: final states, per-node traces, cost account, and final
+/// lifecycles.
+pub fn assert_runs_identical<P>(label: &str, what: &str, a: &EngineRun<P>, b: &EngineRun<P>)
+where
+    P: PartialEq + std::fmt::Debug,
+{
+    assert_eq!(a.cost, b.cost, "[{label}] {what}: cost accounts diverged");
+    assert_eq!(
+        a.lifecycles, b.lifecycles,
+        "[{label}] {what}: final lifecycles diverged"
+    );
+    assert_eq!(a.nodes.len(), b.nodes.len());
+    for v in 0..a.nodes.len() {
+        assert_eq!(
+            a.traces[v], b.traces[v],
+            "[{label}] node {v}: {what}: traces diverged"
+        );
+        assert_eq!(
+            a.nodes[v], b.nodes[v],
+            "[{label}] node {v}: {what}: final states diverged"
+        );
+    }
+}
+
+fn assert_sparse_conformant_impl<P, F>(
+    label: &str,
+    g: &Graph,
+    channels: &ChannelSet,
+    plan: Option<&FaultPlan>,
+    mut init: F,
+    max_rounds: u64,
+) where
+    P: Protocol + PartialEq + std::fmt::Debug,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    let dense_sync = run_sync_impl(g, channels, plan, false, &mut init, max_rounds);
+    let sparse_sync = run_sync_impl(g, channels, plan, true, &mut init, max_rounds);
+    assert_runs_identical(
+        label,
+        "sparse vs dense SyncEngine",
+        &dense_sync,
+        &sparse_sync,
+    );
+
+    let dense_ref = run_reference_impl(g, channels, plan, false, &mut init, max_rounds);
+    let sparse_ref = run_reference_impl(g, channels, plan, true, &mut init, max_rounds);
+    assert_runs_identical(
+        label,
+        "sparse vs dense ReferenceEngine",
+        &dense_ref,
+        &sparse_ref,
+    );
+
+    let dense_lock = run_async_lockstep_impl(g, channels, plan, false, &mut init, max_rounds);
+    let sparse_lock = run_async_lockstep_impl(g, channels, plan, true, &mut init, max_rounds);
+    assert_runs_identical(
+        label,
+        "sparse vs dense AsyncEngine lockstep",
+        &dense_lock,
+        &sparse_lock,
+    );
+
+    // Cross-substrate closure: one sparse run against the dense run of a
+    // *different* engine, so the sparse dimension is pinned to the same
+    // shared semantics the dense conformance matrix pins.
+    assert_runs_identical(
+        label,
+        "sparse SyncEngine vs dense ReferenceEngine",
+        &sparse_sync,
+        &dense_ref,
+    );
+    assert_runs_identical(
+        label,
+        "sparse AsyncEngine lockstep vs dense SyncEngine",
+        &dense_sync,
+        &sparse_lock,
+    );
+}
+
+/// Runs `init` on all three engines **dense and sparse** (active-set
+/// stepping) and asserts every sparse run bit-identical — final states,
+/// delivery traces, cost accounts, lifecycles — to its dense counterpart,
+/// plus cross-substrate closure (sparse sync vs dense reference, sparse
+/// lockstep vs dense sync).
+///
+/// The protocol must be *frontier-safe* (see the `RoundIo::wake_me`
+/// contract): a step with no observable input and no pending self-wakeup
+/// must be a pure no-op.
+pub fn assert_sparse_conformant_on<P, F>(
+    label: &str,
+    g: &Graph,
+    channels: &ChannelSet,
+    init: F,
+    max_rounds: u64,
+) where
+    P: Protocol + PartialEq + std::fmt::Debug,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    assert_sparse_conformant_impl(label, g, channels, None, init, max_rounds);
+}
+
+/// [`assert_sparse_conformant_on`] with the paper's single channel.
+pub fn assert_sparse_conformant<P, F>(label: &str, g: &Graph, init: F, max_rounds: u64)
+where
+    P: Protocol + PartialEq + std::fmt::Debug,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    assert_sparse_conformant_impl(label, g, &ChannelSet::single(), None, init, max_rounds);
+}
+
+/// [`assert_sparse_conformant_on`] under an installed [`FaultPlan`] — the
+/// sparse × fault corner of the conformance matrix (crashes remove frontier
+/// members, boots re-add them, erasures perturb the channel wake source).
+pub fn assert_sparse_conformant_faulted<P, F>(
+    label: &str,
+    g: &Graph,
+    channels: &ChannelSet,
+    plan: &FaultPlan,
+    init: F,
+    max_rounds: u64,
+) where
+    P: Protocol + PartialEq + std::fmt::Debug,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    assert_sparse_conformant_impl(label, g, channels, Some(plan), init, max_rounds);
 }

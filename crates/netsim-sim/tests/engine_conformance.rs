@@ -686,3 +686,201 @@ fn fault_plans_actually_fire() {
         "[{name}] recover rate 0.30 never drove an on_recover"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Active-set (sparse) stepping dimension: every frontier-safe protocol of
+// the matrix, run dense AND sparse on all three substrates, bit-identical.
+// ---------------------------------------------------------------------------
+
+use common::{
+    assert_sparse_conformant, assert_sparse_conformant_faulted, assert_sparse_conformant_on,
+};
+
+/// Generic frontier-safety adapter: the canonical `wake_me` adoption pattern
+/// (`if !done { io.wake_me() }`) wrapped around any protocol, making a
+/// round-driven protocol steppable under active-set stepping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Armed<P>(P);
+
+impl<P: Protocol> Protocol for Armed<P> {
+    type Msg = P::Msg;
+
+    fn step(&mut self, io: &mut RoundIo<'_, Self::Msg>) {
+        self.0.step(io);
+        if !self.0.is_done() {
+            io.wake_me();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    fn on_recover(&mut self) {
+        self.0.on_recover();
+    }
+}
+
+/// BfsBuild is frontier-safe with no adapter: a step with an empty inbox is
+/// a pure no-op until the wave arrives, and the root acts in round 0 (the
+/// engines' initial all-active frontier).
+#[test]
+fn bfs_build_sparse_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(31) {
+        assert_sparse_conformant(
+            &format!("sparse/bfs/{name}"),
+            &g,
+            |v: NodeId| BfsBuild::new(v, NodeId(0)),
+            10_000,
+        );
+    }
+}
+
+/// Round-driven chaos traffic under the `Armed` adapter: Copy payloads,
+/// unicast + broadcast + single-channel writes (the uniform-attachment
+/// wake-all fast path of the channel wake source).
+#[test]
+fn mix_gossip_sparse_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(17) {
+        assert_sparse_conformant(
+            &format!("sparse/mix_gossip/{name}"),
+            &g,
+            |v: NodeId| {
+                Armed(MixGossip {
+                    id: v.index() as u64,
+                    seed: 0xfeed,
+                    state: mix(0xfeed, v.index() as u64),
+                    rounds_active: 10 + (v.index() as u32 % 5),
+                })
+            },
+            10_000,
+        );
+    }
+}
+
+/// Non-`Copy` `Vec<u8>` frames through the epoch-lazy sparse inbox arena.
+#[test]
+fn frame_relay_sparse_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(23) {
+        assert_sparse_conformant(
+            &format!("sparse/frame_relay/{name}"),
+            &g,
+            |v: NodeId| {
+                Armed(FrameRelay {
+                    id: v.index() as u64,
+                    state: mix(0xf00d, v.index() as u64),
+                    rounds_active: 8 + (v.index() as u32 % 4),
+                })
+            },
+            10_000,
+        );
+    }
+}
+
+/// Uniform 4-channel chaos under `Armed`: multi-channel slot outcomes as a
+/// wake source, dynamic channel picks.
+#[test]
+fn multi_channel_dance_sparse_conforms_across_engines_and_topologies() {
+    for (name, g) in topology_matrix(53) {
+        assert_sparse_conformant_on(
+            &format!("sparse/multi_channel_dance/{name}"),
+            &g,
+            &ChannelSet::uniform(4),
+            |v: NodeId| {
+                Armed(MultiChannelDance {
+                    id: v.index() as u64,
+                    state: mix(0xdace, v.index() as u64),
+                    rounds_active: 12 + (v.index() as u32 % 5),
+                })
+            },
+            10_000,
+        );
+    }
+}
+
+/// ChannelShardedSum adopts `wake_me` natively (its idle-strike timer runs
+/// on idle slots, which never wake a node) — the sharded-attachment wake
+/// source: only the members of a channel's shard wake on its non-idle
+/// outcomes.
+#[test]
+fn channel_sharded_sum_sparse_conforms_across_engines_and_topologies() {
+    for k in [1u16, 4] {
+        for (name, g) in topology_matrix(61) {
+            let n = g.node_count();
+            assert_sparse_conformant_on(
+                &format!("sparse/sharded_sum_k{k}/{name}"),
+                &g,
+                &ChannelShardedSum::channel_set(n, k),
+                |v: NodeId| ChannelShardedSum::new(v, n, k, mix(0x5ade, v.index() as u64)),
+                10_000,
+            );
+        }
+    }
+}
+
+/// The sparse × fault corner: crashes remove frontier members mid-flight,
+/// recoveries re-add them through the boot-promotion wake source, erasures
+/// perturb the channel wake source, drops remove message wakes.
+#[test]
+fn churn_probe_sparse_conforms_under_seeded_fault_plans() {
+    let plans = [
+        (
+            "erase_drop",
+            FaultPlan::from_rates(0xabcd_0001, 0.25, 0.20, 0.0, 0.0),
+        ),
+        (
+            "full_churn",
+            FaultPlan::from_rates(0x5eed_0002, 0.15, 0.10, 0.04, 0.30),
+        ),
+    ];
+    for (pname, plan) in &plans {
+        for (name, g) in topology_matrix(97) {
+            assert_sparse_conformant_faulted(
+                &format!("sparse/churn_probe/{pname}/{name}"),
+                &g,
+                &ChannelSet::uniform(3),
+                plan,
+                |v| Armed(churn_probe(v)),
+                10_000,
+            );
+        }
+    }
+}
+
+/// Scripted churn (initially-off boot, crashes, recoveries) under sparse
+/// stepping — the deterministic-schedule path of the fault × frontier
+/// interaction.
+#[test]
+fn churn_probe_sparse_conforms_under_scripted_churn() {
+    for (name, g) in topology_matrix(89) {
+        let n = g.node_count();
+        let plan = FaultPlan::from_rates(0x0ff_0003, 0.10, 0.0, 0.0, 0.0)
+            .with_initial_off(vec![NodeId(0)])
+            .with_events(vec![
+                FaultEvent::Crash {
+                    round: 2,
+                    node: NodeId(1),
+                },
+                FaultEvent::Crash {
+                    round: 3,
+                    node: NodeId(n / 2),
+                },
+                FaultEvent::Recover {
+                    round: 5,
+                    node: NodeId(0),
+                },
+                FaultEvent::Recover {
+                    round: 6,
+                    node: NodeId(1),
+                },
+            ]);
+        assert_sparse_conformant_faulted(
+            &format!("sparse/churn_probe/scripted/{name}"),
+            &g,
+            &ChannelSet::uniform(2),
+            &plan,
+            |v| Armed(churn_probe(v)),
+            10_000,
+        );
+    }
+}
