@@ -760,6 +760,49 @@ impl ChannelBenchRow {
     }
 }
 
+/// One measured wire-backend configuration (the channel-sharded sum driven
+/// over loopback UDP by `netsim-io`'s [`WireNet`](netsim_io::WireNet)),
+/// paired with the in-process flat run of the identical workload, for the
+/// `wire` section of `BENCH_engine.json`.
+struct WireBenchRow {
+    topology: &'static str,
+    n: usize,
+    m: usize,
+    k: u16,
+    hosts: u16,
+    wire: engine_bench::RunStats,
+    flat: engine_bench::RunStats,
+    bytes_total: u64,
+}
+
+impl WireBenchRow {
+    fn bytes_per_round(&self) -> f64 {
+        self.bytes_total as f64 / self.wire.rounds.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"topology\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \"hosts\": {}, \
+             \"rounds\": {}, \"seconds\": {}, \"rounds_per_sec\": {}, \
+             \"flat_rounds_per_sec\": {}, \"slowdown_vs_flat\": {}, \
+             \"bytes_total\": {}, \"bytes_per_round\": {}, \"checksum\": \"{:016x}\"}}",
+            json_escape(self.topology),
+            self.n,
+            self.m,
+            self.k,
+            self.hosts,
+            self.wire.rounds,
+            json_f64(self.wire.seconds),
+            json_f64(self.wire.rounds_per_sec()),
+            json_f64(self.flat.rounds_per_sec()),
+            json_f64(self.flat.rounds_per_sec() / self.wire.rounds_per_sec().max(1e-12)),
+            self.bytes_total,
+            json_f64(self.bytes_per_round()),
+            self.wire.checksum,
+        )
+    }
+}
+
 /// One measured channel-sharded MST configuration (per-fragment elections on
 /// per-fragment channels, dynamic re-attachment between merge phases), for
 /// the `mst_sharded` section of `BENCH_engine.json`.
@@ -1193,6 +1236,61 @@ fn engine(opts: &Opts) {
         }
     }
 
+    // ---- Wire dimension: the sharded sum over real loopback sockets. ------
+    // The same K-channel workload driven by netsim-io's WireNet: two
+    // in-process hosts exchanging wire frames over loopback UDP, checksum
+    // and round count asserted bit-identical to the flat run (the
+    // wire_conformance suite pins states, slots, and CostAccount too).  The
+    // slowdown against flat is pure transport: frame codec, syscalls, and
+    // per-round barrier latency.
+    let wire_n = if opts.quick { 256 } else { 512 };
+    let wire_ks: [u16; 2] = [1, 4];
+    let wire_hosts: u16 = 2;
+    let mut wire_rows: Vec<WireBenchRow> = Vec::new();
+    println!("\n== ENGINE wire — sharded sum over loopback UDP (netsim-io) vs in-process flat ==");
+    println!(
+        "{:<12}{:>9}{:>6}{:>7}{:>8}{:>12}{:>14}{:>14}{:>12}",
+        "topology", "n", "K", "hosts", "rounds", "rounds/s", "flat rd/s", "bytes/round", "slowdown"
+    );
+    {
+        let g = Family::Ring.generate(wire_n, 42);
+        for &k in &wire_ks {
+            let flat = engine_bench::run_flat_channels(&g, k);
+            let (wire, bytes_total) = engine_bench::run_wire_channels(&g, k, wire_hosts);
+            assert_eq!(
+                flat.checksum, wire.checksum,
+                "wire backend diverged from flat at K={k}"
+            );
+            assert_eq!(
+                flat.rounds, wire.rounds,
+                "wire round count diverged from flat at K={k}"
+            );
+            let row = WireBenchRow {
+                topology: Family::Ring.name(),
+                n: g.node_count(),
+                m: g.edge_count(),
+                k,
+                hosts: wire_hosts,
+                wire,
+                flat,
+                bytes_total,
+            };
+            println!(
+                "{:<12}{:>9}{:>6}{:>7}{:>8}{:>12.0}{:>14.0}{:>14.1}{:>11.1}x",
+                row.topology,
+                row.n,
+                k,
+                wire_hosts,
+                wire.rounds,
+                wire.rounds_per_sec(),
+                flat.rounds_per_sec(),
+                row.bytes_per_round(),
+                flat.rounds_per_sec() / wire.rounds_per_sec().max(1e-12),
+            );
+            wire_rows.push(row);
+        }
+    }
+
     // ---- Sharded-MST dimension: per-fragment channels + re-attachment. ----
     // The Section 5/6 algorithm-layer scenario: every current fragment runs
     // its minimum-outgoing-link election on its own channel, merged
@@ -1598,6 +1696,7 @@ fn engine(opts: &Opts) {
         .collect();
     let payload_json: Vec<String> = payload_rows.iter().map(PayloadBenchRow::to_json).collect();
     let channel_json: Vec<String> = channel_rows.iter().map(ChannelBenchRow::to_json).collect();
+    let wire_json: Vec<String> = wire_rows.iter().map(WireBenchRow::to_json).collect();
     let mst_json: Vec<String> = mst_rows.iter().map(MstShardedRow::to_json).collect();
     let fault_json: Vec<String> = fault_rows.iter().map(FaultBenchRow::to_json).collect();
     let active_json: Vec<String> = active_rows.iter().map(ActiveSetRow::to_json).collect();
@@ -1605,7 +1704,7 @@ fn engine(opts: &Opts) {
     // machines (or a probe change) is attributable from the JSON alone.
     let block_shift = netsim_sim::tuned_block_shift();
     let doc = format!(
-        "{{\n\"schema\": \"bench-engine/v7\",\n\"block_shift\": {block_shift},\n\
+        "{{\n\"schema\": \"bench-engine/v8\",\n\"block_shift\": {block_shift},\n\
          \"workload\": \"global-sum gossip \
          (constant-traffic heartbeat aggregation; see bench::engine_bench)\",\n\
          \"payload_workload\": \"Vec<u8> frame gossip (intern-on-broadcast arena vs \
@@ -1624,8 +1723,13 @@ fn engine(opts: &Opts) {
          million-node graphs: f*n seed tokens hop between neighbours while \
          everyone else idles; dense stepping vs the epoch-lazy frontier, \
          checksums asserted equal (see bench::engine_bench::ActiveTokens)\",\n\
+         \"wire_workload\": \"channel-sharded sum over loopback UDP: netsim-io \
+         WireNet hosts exchanging versioned wire frames (p2p, slot, barrier), \
+         checksum and round count asserted identical to the in-process flat \
+         run; see bench::engine_bench::run_wire_channels\",\n\
          \"quick\": {},\n\"results\": [\n{}\n],\n\"payloads\": [\n{}\n],\n\
          \"channels\": [\n{}\n],\n\
+         \"wire\": [\n{}\n],\n\
          \"mst_sharded\": [\n{}\n],\n\
          \"faults\": [\n{}\n],\n\
          \"active_set\": [\n{}\n],\n\
@@ -1635,6 +1739,7 @@ fn engine(opts: &Opts) {
         row_json.join(",\n"),
         payload_json.join(",\n"),
         channel_json.join(",\n"),
+        wire_json.join(",\n"),
         mst_json.join(",\n"),
         fault_json.join(",\n"),
         active_json.join(",\n"),

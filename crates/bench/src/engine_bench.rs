@@ -300,6 +300,33 @@ pub fn run_reference_channels(g: &Graph, k: u16) -> RunStats {
 }
 
 // ---------------------------------------------------------------------------
+// Wire backend: the same channel-sharded sum over loopback UDP sockets.
+// ---------------------------------------------------------------------------
+
+/// Runs the channel-sharded global sum on the `netsim-io` wire backend —
+/// `hosts` in-process [`WireHost`](netsim_io::WireHost)s exchanging wire
+/// frames over loopback UDP — and reports the usual [`RunStats`] plus the
+/// total bytes put on the wire.  The checksum and [`CostAccount`](netsim_sim::CostAccount) are the
+/// flat engine's bit-for-bit (pinned by `netsim-io`'s `wire_conformance`
+/// suite), so the delta against [`run_flat_channels`] is pure transport
+/// cost: frame encode/decode, syscalls, and barrier latency.
+pub fn run_wire_channels(g: &Graph, k: u16, hosts: u16) -> (RunStats, u64) {
+    let n = g.node_count();
+    let mut engine =
+        netsim_io::WireNet::with_channels(g, ChannelShardedSum::channel_set(n, k), hosts, |v| {
+            ChannelShardedSum::new(v, n, k, sharded_value(v))
+        });
+    let bytes = std::cell::Cell::new(0u64);
+    let stats = timed(channel_workload_rounds(n, k), sharded_checksum, |limit| {
+        let completed = engine.run(limit).is_completed();
+        bytes.set(engine.bytes_sent());
+        let cost = *engine.cost();
+        (completed, engine.into_nodes(), cost)
+    });
+    (stats, bytes.get())
+}
+
+// ---------------------------------------------------------------------------
 // Faulted channel-sharded global sum: the fault dimension of the bench.
 // ---------------------------------------------------------------------------
 

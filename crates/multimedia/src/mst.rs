@@ -38,6 +38,7 @@ use crate::partition::{deterministic, PartitionOutcome};
 use channel_access::assigned::ElectionSeries;
 use channel_access::{capetanakis, Contender};
 use netsim_graph::{EdgeId, Graph, NodeId, SpanningForest, UnionFind};
+use netsim_io::WireNet;
 use netsim_sim::{
     lockstep_config, AsyncEngine, ChannelId, ChannelSet, CostAccount, Lockstep, ReferenceEngine,
     SyncEngine, MAX_CHANNELS,
@@ -224,6 +225,11 @@ pub enum MergeSubstrate {
     Reference,
     /// The [`AsyncEngine`] replaying rounds through the [`Lockstep`] adapter.
     AsyncLockstep,
+    /// The `netsim-io` [`WireNet`] backend: two loopback-UDP hosts exchange
+    /// every election write and merge message as real wire frames.  Pinned
+    /// bit-identical to the in-process substrates (including the election
+    /// cost account) by the `sharded_mst` conformance tests.
+    Wire,
 }
 
 /// Result of the channel-sharded distributed MST construction.
@@ -344,7 +350,12 @@ enum MergeEngine<'g> {
     Flat(SyncEngine<'g, ElectionSeries>),
     Reference(ReferenceEngine<'g, ElectionSeries>),
     Lockstep(AsyncEngine<'g, Lockstep<ElectionSeries>>),
+    Wire(WireNet<'g, ElectionSeries>),
 }
+
+/// Hosts the [`MergeSubstrate::Wire`] substrate partitions the node set
+/// across (each a loopback UDP socket).
+const WIRE_MERGE_HOSTS: u16 = 2;
 
 impl<'g> MergeEngine<'g> {
     fn new<F: FnMut(NodeId) -> ElectionSeries>(
@@ -366,6 +377,9 @@ impl<'g> MergeEngine<'g> {
                 channels,
                 |v| Lockstep::new(init(v), k),
             )),
+            MergeSubstrate::Wire => {
+                MergeEngine::Wire(WireNet::with_channels(g, channels, WIRE_MERGE_HOSTS, init))
+            }
         }
     }
 
@@ -385,6 +399,10 @@ impl<'g> MergeEngine<'g> {
                 e.reattach(masks);
                 e.update_nodes(|v, adapter| *adapter.inner_mut() = init(v));
             }
+            MergeEngine::Wire(e) => {
+                e.reattach(masks);
+                e.update_nodes(|v, series| *series = init(v));
+            }
         }
     }
 
@@ -394,6 +412,7 @@ impl<'g> MergeEngine<'g> {
             MergeEngine::Flat(e) => e.set_fault_plan(plan),
             MergeEngine::Reference(e) => e.set_fault_plan(plan),
             MergeEngine::Lockstep(e) => e.set_fault_plan(plan),
+            MergeEngine::Wire(e) => e.set_fault_plan(plan),
         }
     }
 
@@ -403,6 +422,7 @@ impl<'g> MergeEngine<'g> {
             MergeEngine::Flat(e) => e.fault_session(),
             MergeEngine::Reference(e) => e.fault_session(),
             MergeEngine::Lockstep(e) => e.fault_session(),
+            MergeEngine::Wire(e) => e.fault_session(),
         };
         session.map_or(netsim_sim::NodeLifecycle::Operational, |s| s.lifecycle(v))
     }
@@ -413,6 +433,7 @@ impl<'g> MergeEngine<'g> {
             MergeEngine::Flat(e) => e.node(v).crashed_out(),
             MergeEngine::Reference(e) => e.node(v).crashed_out(),
             MergeEngine::Lockstep(e) => e.node(v).inner().crashed_out(),
+            MergeEngine::Wire(e) => e.node(v).crashed_out(),
         }
     }
 
@@ -435,6 +456,10 @@ impl<'g> MergeEngine<'g> {
                 let limit = e.tick() + budget;
                 e.run(limit)
             }
+            MergeEngine::Wire(e) => {
+                let limit = e.round() + budget;
+                e.run(limit).is_completed()
+            }
         }
     }
 
@@ -450,6 +475,7 @@ impl<'g> MergeEngine<'g> {
             MergeEngine::Flat(e) => e.node(v).winners()[slot as usize],
             MergeEngine::Reference(e) => e.node(v).winners()[slot as usize],
             MergeEngine::Lockstep(e) => e.node(v).inner().winners()[slot as usize],
+            MergeEngine::Wire(e) => e.node(v).winners()[slot as usize],
         }
     }
 
@@ -464,6 +490,7 @@ impl<'g> MergeEngine<'g> {
                 let crashed = e.fault_session().map_or(0, |s| s.non_operational_count());
                 netsim_sim::reconciled_cost_faulted(*e.cost(), k, crashed)
             }
+            MergeEngine::Wire(e) => *e.cost(),
         }
     }
 }
@@ -1118,7 +1145,7 @@ mod tests {
     }
 
     #[test]
-    fn sharded_mst_is_pinned_across_all_three_engines() {
+    fn sharded_mst_is_pinned_across_all_four_substrates() {
         let g = netsim_graph::topologies::ring_of_cliques(10, 6);
         let g = generators::assign_random_weights(&g, 3);
         let net = MultimediaNetwork::new(g);
@@ -1126,14 +1153,19 @@ mod tests {
             let flat = sharded_mst_on(&net, k, MergeSubstrate::Flat);
             let reference = sharded_mst_on(&net, k, MergeSubstrate::Reference);
             let lockstep = sharded_mst_on(&net, k, MergeSubstrate::AsyncLockstep);
+            let wire = sharded_mst_on(&net, k, MergeSubstrate::Wire);
             check_sharded(&net, &flat);
             assert_eq!(flat.edges, reference.edges, "k={k}");
             assert_eq!(flat.edges, lockstep.edges, "k={k}");
+            assert_eq!(flat.edges, wire.edges, "k={k}");
             assert_eq!(flat.phases, reference.phases, "k={k}");
             assert_eq!(flat.phases, lockstep.phases, "k={k}");
+            assert_eq!(flat.phases, wire.phases, "k={k}");
             assert_eq!(flat.election_cost, reference.election_cost, "k={k}");
             assert_eq!(flat.election_cost, lockstep.election_cost, "k={k}");
+            assert_eq!(flat.election_cost, wire.election_cost, "k={k}");
             assert_eq!(flat.checksum(), lockstep.checksum(), "k={k}");
+            assert_eq!(flat.checksum(), wire.checksum(), "k={k}");
         }
     }
 
@@ -1303,17 +1335,28 @@ mod tests {
             plan.clone(),
             64,
         );
-        let lockstep =
-            sharded_mst_faulted(&net, &partition, 4, MergeSubstrate::AsyncLockstep, plan, 64);
+        let lockstep = sharded_mst_faulted(
+            &net,
+            &partition,
+            4,
+            MergeSubstrate::AsyncLockstep,
+            plan.clone(),
+            64,
+        );
+        let wire = sharded_mst_faulted(&net, &partition, 4, MergeSubstrate::Wire, plan, 64);
         assert!(flat.converged);
         assert_eq!(flat.edges, reference.edges);
         assert_eq!(flat.edges, lockstep.edges);
+        assert_eq!(flat.edges, wire.edges);
         assert_eq!(flat.phases, reference.phases);
         assert_eq!(flat.phases, lockstep.phases);
+        assert_eq!(flat.phases, wire.phases);
         assert_eq!(flat.survivors, reference.survivors);
         assert_eq!(flat.survivors, lockstep.survivors);
+        assert_eq!(flat.survivors, wire.survivors);
         assert_eq!(flat.election_cost, reference.election_cost);
         assert_eq!(flat.election_cost, lockstep.election_cost);
+        assert_eq!(flat.election_cost, wire.election_cost);
         // The crash fired, so the surviving subgraph's forest it is.
         let mut alive = vec![true; net.graph().node_count()];
         alive[leader.index()] = false;

@@ -1,0 +1,110 @@
+//! Two-process wire demo: each OS process hosts half the nodes of a ring
+//! and they compute [`ChannelShardedSum`] over real UDP sockets.
+//!
+//! Run in two terminals:
+//!
+//! ```text
+//! cargo run -p netsim-io --bin wire_demo -- 0 127.0.0.1:7070 127.0.0.1:7071
+//! cargo run -p netsim-io --bin wire_demo -- 1 127.0.0.1:7070 127.0.0.1:7071
+//! ```
+//!
+//! The first argument is this process's host index; the remaining
+//! arguments are the bind addresses of *all* hosts, in host order.  Both
+//! processes print identical per-shard sums and an identical global
+//! [`CostAccount`](netsim_sim::CostAccount) — the same numbers `SyncEngine` produces in-process,
+//! which is exactly what the `wire_conformance` suite pins.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use netsim_graph::generators;
+use netsim_io::WireHost;
+use netsim_sim::protocols::ChannelShardedSum;
+
+const NODES: usize = 40;
+const K: u16 = 4;
+const MAX_ROUNDS: u64 = 10_000;
+const HANDSHAKE: Duration = Duration::from_secs(30);
+const ROUND_WAIT: Duration = Duration::from_secs(30);
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: wire_demo <host-index> <addr0> <addr1> [...]";
+    let host: u16 = args.next().expect(usage).parse().expect(usage);
+    let peers: Vec<SocketAddr> = args.map(|a| a.parse().expect(usage)).collect();
+    assert!(!peers.is_empty(), "{usage}");
+    let hosts = peers.len() as u16;
+    assert!(host < hosts, "host index {host} out of range 0..{hosts}");
+
+    let graph = generators::ring(NODES);
+    let channels = ChannelShardedSum::channel_set(NODES, K);
+    let mut h: WireHost<'_, ChannelShardedSum> =
+        WireHost::bind(&graph, channels, host, hosts, peers[host as usize], |v| {
+            ChannelShardedSum::new(v, NODES, K, v.index() as u64 + 1)
+        })
+        .expect("bind");
+    h.connect(peers);
+    println!(
+        "host {host}/{hosts}: {} local nodes on {}",
+        h.local_ids().len(),
+        h.local_addr().expect("local addr")
+    );
+
+    // Handshake: announce ourselves until every peer has announced back.
+    // Hellos are idempotent, so over-sending is harmless; peers that come
+    // up late miss our early bursts and are covered by the resends.
+    let deadline = Instant::now() + HANDSHAKE;
+    while !h.ready() {
+        h.send_hello().expect("hello");
+        h.poll().expect("poll");
+        assert!(Instant::now() < deadline, "handshake timed out");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!("host {host}: all {hosts} hosts present, starting rounds");
+
+    // Lockstep round loop — the same control flow as `WireNet::run`, with
+    // the in-process pump replaced by poll + sleep against our socket.
+    let completed = loop {
+        if h.is_quiescent() {
+            break true;
+        }
+        if h.round() >= MAX_ROUNDS {
+            break false;
+        }
+        h.begin_round().expect("begin round");
+        let deadline = Instant::now() + ROUND_WAIT;
+        while !h.round_complete() {
+            h.poll().expect("poll");
+            assert!(
+                Instant::now() < deadline,
+                "round {} timed out waiting for peers",
+                h.round()
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        h.finish_round();
+    };
+
+    println!(
+        "host {host}: {} after {} rounds, {} bytes on the wire",
+        if completed {
+            "completed"
+        } else {
+            "round limit"
+        },
+        h.round(),
+        h.bytes_sent()
+    );
+    let mut shard_sums: Vec<(u16, u64)> = h
+        .local_ids()
+        .iter()
+        .filter_map(|&v| h.node_local(v))
+        .map(|p| (p.channel().0, p.sum()))
+        .collect();
+    shard_sums.sort_unstable();
+    shard_sums.dedup();
+    for (chan, sum) in shard_sums {
+        println!("host {host}: shard {chan} sum = {sum}");
+    }
+    println!("host {host}: global cost = {:?}", h.cost());
+}

@@ -1,0 +1,1019 @@
+//! # netsim-io
+//!
+//! The **real-socket backend**: runs the exact same [`Protocol`]
+//! implementations the simulator runs, but over loopback UDP with the
+//! [`netsim_sim::wire`] frame codec — point-to-point messages as unicast
+//! frames between host sockets, each of the K collision channels as a
+//! broadcast bus (every slot write is fanned out to every host, and each
+//! host resolves idle/success/collision/erasure locally from the set of
+//! writes it heard).
+//!
+//! The node set is partitioned across `H` *hosts* (one UDP socket each;
+//! node `v` lives on host `v % H`).  Rounds are framed by
+//! [`Frame::Barrier`] control frames carrying per-destination frame
+//! counts, so a round is *self-delimiting*: a host knows round `r` is
+//! complete exactly when it holds all `H` barriers plus every p2p and slot
+//! frame the barriers promised — no timing assumptions, no ACKs.  This is
+//! the same round-framing/quiescence-detection idiom as the in-process
+//! [`lockstep`](netsim_sim::lockstep) adapter, lifted onto sockets.
+//!
+//! ## Determinism contract
+//!
+//! A wire run is **bit-identical** to the flat [`SyncEngine`](netsim_sim::SyncEngine) on the same
+//! graph/channels/protocol/fault plan — states, per-round slot outcomes,
+//! inbox orders, and the full [`CostAccount`] (pinned by the
+//! `wire_conformance` integration suite).  The mechanisms:
+//!
+//! * inbox order: the simulator orders each inbox by sender index, then
+//!   send order.  P2p frames carry a per-(host, round) staging sequence
+//!   number and receivers sort arrivals by `(from, seq)`, which
+//!   reconstructs exactly that order no matter how UDP reorders datagrams;
+//! * slot resolution is order-independent (writer counts per channel), so
+//!   each host resolves its own copy of every channel from the broadcast
+//!   writes;
+//! * faults: [`FaultPlan`] draws are pure functions of (seed, round, key),
+//!   so every host runs a private full-size [`FaultSession`] replica and
+//!   sees identical lifecycles, erasures, and drop coins with zero
+//!   coordination traffic.  Message drops are applied at the sender (the
+//!   frame is never transmitted) — the same set of messages the simulator
+//!   would drop at its delivery boundary;
+//! * cost: barriers carry staged/dropped counts, so every host reproduces
+//!   the engine's *global* `CostAccount`, not a per-host shard of it.
+//!
+//! What is *not* deterministic: wall-clock timing, datagram order on the
+//! wire, and `bytes_sent` if the frame layout changes between versions.
+//!
+//! [`WireNet`] drives `H` in-process hosts from one thread (the loopback
+//! analogue of `SyncEngine::run`, used by conformance and bench);
+//! [`WireHost`] is the per-process building block the two-process
+//! `wire_demo` binary uses directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::{Duration, Instant};
+
+use netsim_graph::{Graph, NodeId};
+use netsim_sim::wire::{Frame, WireMsg, HEADER_LEN, TRAILER_LEN};
+use netsim_sim::{
+    ChannelId, ChannelSet, CostAccount, FaultPlan, FaultSession, Inbox, NodeLifecycle,
+    OutboxBuffer, Protocol, RoundIo, RunOutcome, SlotOutcome,
+};
+
+/// Flush threshold for per-destination frame batches; comfortably under the
+/// 65507-byte loopback datagram ceiling.
+const FLUSH_BYTES: usize = 60_000;
+
+/// How long [`WireHost::send_frames`] retries a `WouldBlock` send before
+/// giving up.
+const SEND_RETRY: Duration = Duration::from_secs(5);
+
+/// The host that owns node `v` when the node set is partitioned across
+/// `hosts` sockets: `v % hosts`.  Round-robin keeps every topology family's
+/// per-host load balanced without knowing the graph.
+pub fn owner_of(hosts: u16, v: NodeId) -> u16 {
+    (v.index() % hosts as usize) as u16
+}
+
+/// Per-peer barrier bookkeeping for the round being collected.
+#[derive(Clone, Debug)]
+struct BarrierInfo {
+    staged: u32,
+    dropped: u32,
+    slot_frames: u32,
+    sent_to: Vec<u32>,
+}
+
+/// One socket's worth of a wire run: the nodes owned by this host, their
+/// protocol states, and the stream machinery that keeps the host in
+/// lockstep with its peers.  See the crate docs for the round protocol.
+///
+/// Most users want [`WireNet`]; `WireHost` is the per-process API for
+/// genuinely multi-process runs (see the `wire_demo` binary).
+pub struct WireHost<'g, P: Protocol>
+where
+    P::Msg: WireMsg,
+{
+    graph: &'g Graph,
+    host: u16,
+    hosts: u16,
+    socket: UdpSocket,
+    peers: Vec<SocketAddr>,
+    channels: ChannelSet,
+    /// Owned node ids, ascending; `nodes` is parallel.
+    local: Vec<NodeId>,
+    nodes: Vec<P>,
+    session: Option<FaultSession>,
+    outbox: OutboxBuffer<P::Msg>,
+    round: u64,
+    cost: CostAccount,
+    prev_slots: Vec<SlotOutcome<P::Msg>>,
+    /// Per local node: messages delivered to the *next* step, sorted by
+    /// (sender index, sequence) at `finish_round`.
+    inbox_now: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Per local node: raw arrivals for the round being collected.
+    inbox_next: Vec<Vec<(NodeId, u32, P::Msg)>>,
+    /// Slot writes heard this round (the broadcast bus contents).
+    slot_writes: Vec<(ChannelId, NodeId, P::Msg)>,
+    barriers: Vec<Option<BarrierInfo>>,
+    got_p2p: u32,
+    got_slots: u32,
+    /// Frames that belong to a round we have not finished collecting yet.
+    pending: Vec<Frame<P::Msg>>,
+    hello_seen: Vec<bool>,
+    /// Latest known settled (done or fault-exempt) count per host.
+    settled_remote: Vec<u32>,
+    /// Once a barrier from host `h` has been heard, late `Hello` resends
+    /// from `h` may no longer regress `settled_remote[h]`.
+    settled_from_barrier: Vec<bool>,
+    /// Whether `begin_round` has run for the current round (collection in
+    /// progress).
+    in_round: bool,
+    /// Global in-flight message count after the last finished round.
+    q_inflight: u64,
+    /// Non-idle slots resolved in the last finished round.
+    q_nonidle: u32,
+    bytes_sent: u64,
+    tx: Vec<Vec<u8>>,
+    recv_buf: Box<[u8]>,
+}
+
+impl<'g, P: Protocol> WireHost<'g, P>
+where
+    P::Msg: WireMsg,
+{
+    /// Binds a host at `bind_addr` (use `"127.0.0.1:0"` for an ephemeral
+    /// in-process port) owning every node `v` of `graph` with
+    /// `v % hosts == host`.  `init` is called for owned nodes in ascending
+    /// id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host >= hosts`, `hosts == 0`, or the channel set's
+    /// attachment table does not cover the graph.
+    pub fn bind<A: ToSocketAddrs, F: FnMut(NodeId) -> P>(
+        graph: &'g Graph,
+        channels: ChannelSet,
+        host: u16,
+        hosts: u16,
+        bind_addr: A,
+        mut init: F,
+    ) -> io::Result<Self> {
+        assert!(hosts > 0, "at least one host required");
+        assert!(host < hosts, "host index {host} out of range 0..{hosts}");
+        if let Some(len) = channels.table_len() {
+            assert_eq!(
+                len,
+                graph.node_count(),
+                "channel attachment table covers {len} nodes, graph has {}",
+                graph.node_count()
+            );
+        }
+        let socket = UdpSocket::bind(bind_addr)?;
+        socket.set_nonblocking(true)?;
+        let local: Vec<NodeId> = graph
+            .nodes()
+            .filter(|&v| owner_of(hosts, v) == host)
+            .collect();
+        let nodes: Vec<P> = local.iter().map(|&v| init(v)).collect();
+        let k = channels.channels() as usize;
+        Ok(WireHost {
+            graph,
+            host,
+            hosts,
+            socket,
+            peers: Vec::new(),
+            channels,
+            inbox_now: vec![Vec::new(); local.len()],
+            inbox_next: vec![Vec::new(); local.len()],
+            local,
+            nodes,
+            session: None,
+            outbox: OutboxBuffer::new(),
+            round: 0,
+            cost: CostAccount::default(),
+            prev_slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
+            slot_writes: Vec::new(),
+            barriers: vec![None; hosts as usize],
+            got_p2p: 0,
+            got_slots: 0,
+            pending: Vec::new(),
+            hello_seen: vec![false; hosts as usize],
+            settled_remote: vec![0; hosts as usize],
+            settled_from_barrier: vec![false; hosts as usize],
+            in_round: false,
+            q_inflight: 0,
+            q_nonidle: 0,
+            bytes_sent: 0,
+            tx: vec![Vec::new(); hosts as usize],
+            recv_buf: vec![0u8; 65536].into_boxed_slice(),
+        })
+    }
+
+    /// The socket address this host is listening on.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Installs the full peer address table, indexed by host id (this
+    /// host's own address included).  Must be called before any traffic.
+    pub fn connect(&mut self, peers: Vec<SocketAddr>) {
+        assert_eq!(
+            peers.len(),
+            self.hosts as usize,
+            "peer table must cover all {} hosts",
+            self.hosts
+        );
+        self.peers = peers;
+    }
+
+    /// Installs a deterministic [`FaultPlan`]; every host of a run must
+    /// install the same plan (it is replicated, not coordinated).  Must be
+    /// called before round 0.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(self.round, 0, "fault plan must be installed before round 0");
+        self.session = Some(FaultSession::new(plan, self.graph.node_count()));
+    }
+
+    /// The live fault session, when a plan is installed.
+    pub fn fault_session(&self) -> Option<&FaultSession> {
+        self.session.as_ref()
+    }
+
+    /// Number of owned nodes that are done or fault-exempt right now — this
+    /// host's contribution to the distributed quiescence condition.
+    pub fn local_settled(&self) -> u32 {
+        self.local
+            .iter()
+            .zip(&self.nodes)
+            .filter(|&(&v, node)| {
+                node.is_done()
+                    || self
+                        .session
+                        .as_ref()
+                        .is_some_and(|s| s.lifecycle(v).is_exempt())
+            })
+            .count() as u32
+    }
+
+    /// Broadcasts a [`Frame::Hello`] to every peer (self included).
+    /// Resend until [`ready`](Self::ready); late duplicates are harmless.
+    pub fn send_hello(&mut self) -> io::Result<()> {
+        let hello: Frame<P::Msg> = Frame::Hello {
+            host: self.host,
+            hosts: self.hosts,
+            nodes: self.graph.node_count() as u32,
+            k: self.channels.channels(),
+            settled: self.local_settled(),
+        };
+        for dest in 0..self.hosts as usize {
+            hello.encode(&mut self.tx[dest]);
+        }
+        self.flush_all()
+    }
+
+    /// `true` once a `Hello` from every host (self included) has been
+    /// heard, i.e. the pre-round-0 handshake is complete.
+    pub fn ready(&self) -> bool {
+        self.hello_seen.iter().all(|&b| b)
+    }
+
+    /// Drains the socket, decoding and dispatching every received frame.
+    /// Non-blocking: returns once the socket would block.
+    pub fn poll(&mut self) -> io::Result<()> {
+        loop {
+            let len = match self.socket.recv_from(&mut self.recv_buf) {
+                Ok((len, _src)) => len,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            let mut off = 0;
+            while off < len {
+                let remaining = len - off;
+                if remaining < HEADER_LEN + TRAILER_LEN {
+                    return Err(bad_frame("datagram tail shorter than a frame header"));
+                }
+                let body = u32::from_le_bytes(self.recv_buf[off + 4..off + 8].try_into().unwrap())
+                    as usize;
+                let frame_len = HEADER_LEN + body + TRAILER_LEN;
+                if frame_len > remaining {
+                    return Err(bad_frame("frame length exceeds datagram"));
+                }
+                let frame = Frame::decode(&self.recv_buf[off..off + frame_len])
+                    .map_err(|e| bad_frame(&format!("undecodable frame: {e}")))?;
+                off += frame_len;
+                self.dispatch(frame)?;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, frame: Frame<P::Msg>) -> io::Result<()> {
+        match frame {
+            Frame::Hello {
+                host,
+                hosts,
+                nodes,
+                k,
+                settled,
+            } => {
+                if hosts != self.hosts
+                    || nodes as usize != self.graph.node_count()
+                    || k != self.channels.channels()
+                    || host >= self.hosts
+                {
+                    return Err(bad_frame("hello does not match this run's shape"));
+                }
+                self.hello_seen[host as usize] = true;
+                if !self.settled_from_barrier[host as usize] {
+                    self.settled_remote[host as usize] = settled;
+                }
+                Ok(())
+            }
+            Frame::Barrier { round, host, .. } if host >= self.hosts => {
+                let _ = round;
+                Err(bad_frame("barrier from out-of-range host"))
+            }
+            frame => {
+                let round = frame.round();
+                if round > self.round {
+                    self.pending.push(frame);
+                    return Ok(());
+                }
+                if round < self.round {
+                    return Err(bad_frame("stale frame for an already-finished round"));
+                }
+                match frame {
+                    Frame::P2p {
+                        from,
+                        to,
+                        seq,
+                        payload,
+                        ..
+                    } => {
+                        if owner_of(self.hosts, to) != self.host
+                            || to.index() >= self.graph.node_count()
+                            || from.index() >= self.graph.node_count()
+                        {
+                            return Err(bad_frame("p2p frame misrouted"));
+                        }
+                        let slot = to.index() / self.hosts as usize;
+                        self.inbox_next[slot].push((from, seq, payload));
+                        self.got_p2p += 1;
+                    }
+                    Frame::Slot {
+                        chan,
+                        from,
+                        payload,
+                        ..
+                    } => {
+                        if chan.0 >= self.channels.channels()
+                            || from.index() >= self.graph.node_count()
+                        {
+                            return Err(bad_frame("slot frame out of range"));
+                        }
+                        self.slot_writes.push((chan, from, payload));
+                        self.got_slots += 1;
+                    }
+                    Frame::Barrier {
+                        host,
+                        settled,
+                        staged,
+                        dropped,
+                        slot_frames,
+                        sent_to,
+                        ..
+                    } => {
+                        if sent_to.len() != self.hosts as usize {
+                            return Err(bad_frame("barrier sent_to table has wrong width"));
+                        }
+                        self.settled_remote[host as usize] = settled;
+                        self.settled_from_barrier[host as usize] = true;
+                        self.barriers[host as usize] = Some(BarrierInfo {
+                            staged,
+                            dropped,
+                            slot_frames,
+                            sent_to,
+                        });
+                    }
+                    Frame::Hello { .. } => unreachable!("handled above"),
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Executes the *step* half of the current round: applies the fault
+    /// plan's lifecycle transitions, steps every operational owned node
+    /// against last round's delivered inbox and slot outcomes, and
+    /// transmits the round's p2p, slot, and barrier frames.
+    ///
+    /// Afterwards, [`poll`](Self::poll) until
+    /// [`round_complete`](Self::round_complete), then
+    /// [`finish_round`](Self::finish_round).
+    pub fn begin_round(&mut self) -> io::Result<()> {
+        assert!(
+            !self.in_round,
+            "begin_round called twice without finish_round"
+        );
+        assert!(
+            !self.peers.is_empty(),
+            "connect() must install the peer table first"
+        );
+        let round = self.round;
+        let hosts = self.hosts as usize;
+
+        // 1. Lifecycle transitions + crashed-round charge, exactly as the
+        //    engine's apply_fault_round: recovery hooks fire on the way to
+        //    Booting, and the charge uses post-transition lifecycles.
+        if let Some(session) = self.session.as_mut() {
+            let nodes = &mut self.nodes;
+            let (host, n_hosts) = (self.host, self.hosts);
+            session.apply_round(round, |v, _was, now| {
+                if now == NodeLifecycle::Booting && owner_of(n_hosts, v) == host {
+                    nodes[v.index() / n_hosts as usize].on_recover();
+                }
+            });
+            session.charge_round(&mut self.cost);
+        }
+
+        // 2. Step owned operational nodes in ascending id order.
+        let mut staged: u32 = 0;
+        let mut dropped: u32 = 0;
+        let mut slot_frames: u32 = 0;
+        let mut sent_to = vec![0u32; hosts];
+        let mut seq: u32 = 0;
+        for slot in 0..self.local.len() {
+            let v = self.local[slot];
+            let operational = self.session.as_ref().is_none_or(|s| s.is_operational(v));
+            if !operational {
+                // The simulator delivers into downed inboxes too, but the
+                // payloads are dropped unread when the next round's arena is
+                // rebuilt; clearing here is the same observable behavior.
+                self.inbox_now[slot].clear();
+                continue;
+            }
+            {
+                let io = RoundIo::detached_multi(
+                    v,
+                    round,
+                    self.graph.neighbors(v),
+                    Inbox::direct(&self.inbox_now[slot]),
+                    &self.prev_slots,
+                    &mut self.outbox,
+                )
+                .with_attachment(self.channels.mask(v));
+                let mut io = io;
+                self.nodes[slot].step(&mut io);
+            }
+            // Channel writes must drain before the sends (payload-epoch
+            // contract); each becomes a Slot frame on the broadcast bus.
+            let (tx, socket, peers, bytes) = (
+                &mut self.tx,
+                &self.socket,
+                &self.peers,
+                &mut self.bytes_sent,
+            );
+            let mut chan_err = Ok(());
+            self.outbox.take_channel_writes(|chan, from, payload| {
+                let frame = Frame::Slot {
+                    round,
+                    chan,
+                    from,
+                    payload,
+                };
+                slot_frames += 1;
+                for dest in 0..hosts {
+                    frame.encode(&mut tx[dest]);
+                    if tx[dest].len() >= FLUSH_BYTES {
+                        if let Err(e) = flush_one(socket, peers, tx, dest, bytes) {
+                            chan_err = Err(e);
+                        }
+                    }
+                }
+            });
+            chan_err?;
+            for (to, payload) in self.outbox.drain_sends() {
+                staged += 1;
+                let this_seq = seq;
+                seq += 1;
+                if self
+                    .session
+                    .as_ref()
+                    .is_some_and(|s| s.drops_message(round, v, to))
+                {
+                    dropped += 1;
+                    continue;
+                }
+                let dest = owner_of(self.hosts, to) as usize;
+                sent_to[dest] += 1;
+                let frame = Frame::P2p {
+                    round,
+                    from: v,
+                    to,
+                    seq: this_seq,
+                    payload,
+                };
+                frame.encode(&mut self.tx[dest]);
+                if self.tx[dest].len() >= FLUSH_BYTES {
+                    flush_one(
+                        &self.socket,
+                        &self.peers,
+                        &mut self.tx,
+                        dest,
+                        &mut self.bytes_sent,
+                    )?;
+                }
+            }
+            // The wire backend always steps dense; explicit wakeups are a
+            // sparse-frontier hint and carry no cost, so they are dropped.
+            self.outbox.take_wakes(|_| {});
+            self.outbox.clear();
+        }
+
+        // 3. Close the round with a barrier to every host (self included).
+        let barrier: Frame<P::Msg> = Frame::Barrier {
+            round,
+            host: self.host,
+            settled: self.local_settled(),
+            staged,
+            dropped,
+            slot_frames,
+            sent_to,
+        };
+        for dest in 0..hosts {
+            barrier.encode(&mut self.tx[dest]);
+        }
+        self.flush_all()?;
+        self.in_round = true;
+        Ok(())
+    }
+
+    /// `true` once every frame of the current round has been received: all
+    /// `hosts` barriers, plus every p2p frame addressed to this host and
+    /// every broadcast slot frame the barriers promised.
+    pub fn round_complete(&self) -> bool {
+        if !self.in_round || self.barriers.iter().any(|b| b.is_none()) {
+            return false;
+        }
+        let mut want_p2p = 0u32;
+        let mut want_slots = 0u32;
+        for b in self.barriers.iter().flatten() {
+            want_p2p += b.sent_to[self.host as usize];
+            want_slots += b.slot_frames;
+        }
+        self.got_p2p == want_p2p && self.got_slots == want_slots
+    }
+
+    /// Resolves the round from the collected frames: channel outcomes (with
+    /// the fault plan's erasures), global cost accounting, next-round inbox
+    /// construction, and the quiescence snapshot.  Advances the round
+    /// counter and re-dispatches any frames that arrived early for the next
+    /// round.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`round_complete`](Self::round_complete).
+    pub fn finish_round(&mut self) {
+        assert!(
+            self.round_complete(),
+            "finish_round before round completeness"
+        );
+        let round = self.round;
+        let k = self.channels.channels() as usize;
+
+        // Global cost: every host applies the same totals, so each local
+        // CostAccount equals the engine's global one.
+        let mut staged = 0u64;
+        let mut dropped = 0u64;
+        let mut inflight = 0u64;
+        for b in self.barriers.iter().flatten() {
+            staged += b.staged as u64;
+            dropped += b.dropped as u64;
+            inflight += b.sent_to.iter().map(|&s| s as u64).sum::<u64>();
+        }
+        self.cost.add_messages(staged);
+        if dropped > 0 {
+            self.cost.add_dropped_messages(dropped);
+        }
+        self.cost.add_round();
+
+        // Slot resolution: writer counts per channel decide the outcome
+        // (order-independent), erasure coin keyed on the executed round.
+        let mut counts = vec![0u32; k];
+        for &(chan, _, _) in &self.slot_writes {
+            counts[chan.index()] += 1;
+        }
+        for outcome in self.prev_slots.iter_mut() {
+            *outcome = SlotOutcome::Idle;
+        }
+        let mut nonidle = 0u32;
+        for (chan, from, payload) in self.slot_writes.drain(..) {
+            let c = chan.index();
+            if counts[c] == 1 {
+                self.prev_slots[c] = SlotOutcome::Success { from, msg: payload };
+            }
+        }
+        for (c, &count) in counts.iter().enumerate().take(k) {
+            let writers = u64::from(count);
+            if writers == 0 {
+                self.cost.add_channel_slot(0);
+                continue;
+            }
+            nonidle += 1;
+            let erased = self
+                .session
+                .as_ref()
+                .is_some_and(|s| s.erases_slot(round, ChannelId(c as u16)));
+            if erased {
+                self.prev_slots[c] = SlotOutcome::Erased;
+                self.cost.add_erased_slot(writers);
+            } else {
+                if writers >= 2 {
+                    self.prev_slots[c] = SlotOutcome::Collision;
+                }
+                self.cost.add_channel_slot(writers);
+            }
+        }
+
+        // Deliver: sort each inbox by (sender index, staging sequence) —
+        // the simulator's inbox order, independent of datagram order.
+        for slot in 0..self.local.len() {
+            self.inbox_now[slot].clear();
+            self.inbox_next[slot].sort_unstable_by_key(|&(from, seq, _)| (from.index(), seq));
+            self.inbox_now[slot].extend(
+                self.inbox_next[slot]
+                    .drain(..)
+                    .map(|(from, _, m)| (from, m)),
+            );
+        }
+
+        // Quiescence snapshot for the boundary before the next round.
+        self.q_inflight = inflight;
+        self.q_nonidle = nonidle;
+
+        // Reset collection state and admit early arrivals for round + 1.
+        for b in self.barriers.iter_mut() {
+            *b = None;
+        }
+        self.got_p2p = 0;
+        self.got_slots = 0;
+        self.round += 1;
+        self.in_round = false;
+        let pending = std::mem::take(&mut self.pending);
+        for frame in pending {
+            self.dispatch(frame)
+                .expect("re-dispatch of a buffered frame cannot fail");
+        }
+    }
+
+    /// The distributed quiescence condition, evaluated at a round boundary:
+    /// every node in the run is done or fault-exempt, nothing is in flight,
+    /// and every channel slot was idle.  Mirrors `SyncEngine::is_quiescent`
+    /// exactly (given fresh settled counts, which barriers provide).
+    pub fn is_quiescent(&self) -> bool {
+        let settled: u64 = self.settled_remote.iter().map(|&s| s as u64).sum();
+        settled == self.graph.node_count() as u64 && self.q_inflight == 0 && self.q_nonidle == 0
+    }
+
+    /// Overrides the cached settled count for host `h`.  This is the
+    /// in-process control plane used by [`WireNet`] after
+    /// [`update_nodes`](Self::update_nodes) edits states between rounds
+    /// (barriers refresh the counts again as soon as a round runs).
+    pub fn note_settled(&mut self, h: u16, settled: u32) {
+        self.settled_remote[h as usize] = settled;
+    }
+
+    /// Replaces the per-node channel attachment (between rounds only), same
+    /// contract as `SyncEngine::reattach`.
+    pub fn reattach(&mut self, masks: &[u64]) {
+        assert!(!self.in_round, "reattach mid-round");
+        assert_eq!(masks.len(), self.graph.node_count(), "one mask per node");
+        self.channels.reattach(masks);
+    }
+
+    /// Runs `f` over every owned node (between rounds only), same contract
+    /// as `SyncEngine::update_nodes`.  The own-host settled count refreshes
+    /// immediately; peers learn of it via [`WireNet`]'s control plane or
+    /// the next barrier.
+    pub fn update_nodes<F: FnMut(NodeId, &mut P)>(&mut self, mut f: F) {
+        assert!(!self.in_round, "update_nodes mid-round");
+        for (slot, &v) in self.local.iter().enumerate() {
+            f(v, &mut self.nodes[slot]);
+        }
+        let settled = self.local_settled();
+        self.settled_remote[self.host as usize] = settled;
+        self.settled_from_barrier[self.host as usize] = true;
+    }
+
+    /// The owned node `v`, if this host owns it.
+    pub fn node_local(&self, v: NodeId) -> Option<&P> {
+        (owner_of(self.hosts, v) == self.host).then(|| &self.nodes[v.index() / self.hosts as usize])
+    }
+
+    /// Owned node ids, ascending.
+    pub fn local_ids(&self) -> &[NodeId] {
+        &self.local
+    }
+
+    /// Consumes the host, returning its owned `(id, state)` pairs in
+    /// ascending id order.
+    pub fn into_nodes(self) -> Vec<(NodeId, P)> {
+        self.local.into_iter().zip(self.nodes).collect()
+    }
+
+    /// The global cost account (identical on every host of a run).
+    pub fn cost(&self) -> &CostAccount {
+        &self.cost
+    }
+
+    /// Rounds finished so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Total frame bytes this host has pushed onto the wire.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// This host's index.
+    pub fn host(&self) -> u16 {
+        self.host
+    }
+
+    /// Total hosts in the run.
+    pub fn hosts(&self) -> u16 {
+        self.hosts
+    }
+
+    fn flush_all(&mut self) -> io::Result<()> {
+        for dest in 0..self.hosts as usize {
+            flush_one(
+                &self.socket,
+                &self.peers,
+                &mut self.tx,
+                dest,
+                &mut self.bytes_sent,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn bad_frame(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Sends (and clears) the batched frames for `dest`, retrying transient
+/// `WouldBlock` for up to [`SEND_RETRY`].
+fn flush_one(
+    socket: &UdpSocket,
+    peers: &[SocketAddr],
+    tx: &mut [Vec<u8>],
+    dest: usize,
+    bytes_sent: &mut u64,
+) -> io::Result<()> {
+    if tx[dest].is_empty() {
+        return Ok(());
+    }
+    let deadline = Instant::now() + SEND_RETRY;
+    loop {
+        match socket.send_to(&tx[dest], peers[dest]) {
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "UDP send blocked for too long",
+                    ));
+                }
+                std::thread::yield_now();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    *bytes_sent += tx[dest].len() as u64;
+    tx[dest].clear();
+    Ok(())
+}
+
+/// `H` wire hosts over loopback UDP, driven from one thread with the same
+/// surface as `SyncEngine`: [`run`](Self::run) / [`step_round`](Self::step_round) /
+/// [`reattach`](Self::reattach) / [`update_nodes`](Self::update_nodes) /
+/// [`cost`](Self::cost).  Every message still crosses a real socket; only
+/// the scheduling is in-process.  This is the conformance and bench
+/// harness; the `wire_demo` binary shows the genuinely multi-process form.
+pub struct WireNet<'g, P: Protocol>
+where
+    P::Msg: WireMsg,
+{
+    hosts: Vec<WireHost<'g, P>>,
+    /// Per-round completeness deadline before the harness declares the run
+    /// wedged (loopback frames either arrive or are gone; there is no
+    /// retransmit layer).
+    round_timeout: Duration,
+}
+
+impl<'g, P: Protocol> WireNet<'g, P>
+where
+    P::Msg: WireMsg,
+{
+    /// Builds `hosts` hosts over `graph` on the single default channel.
+    pub fn new<F: FnMut(NodeId) -> P>(graph: &'g Graph, hosts: u16, init: F) -> Self {
+        WireNet::with_channels(graph, ChannelSet::single(), hosts, init)
+    }
+
+    /// Builds `hosts` hosts over `graph` and an explicit [`ChannelSet`],
+    /// binds their loopback sockets, and completes the `Hello` handshake.
+    ///
+    /// # Panics
+    ///
+    /// Panics on socket errors (ephemeral loopback binds do not fail in
+    /// practice) or if the handshake cannot complete.
+    pub fn with_channels<F: FnMut(NodeId) -> P>(
+        graph: &'g Graph,
+        channels: ChannelSet,
+        hosts: u16,
+        mut init: F,
+    ) -> Self {
+        let mut built: Vec<WireHost<'g, P>> = (0..hosts)
+            .map(|h| {
+                WireHost::bind(graph, channels.clone(), h, hosts, "127.0.0.1:0", &mut init)
+                    .expect("binding a loopback socket")
+            })
+            .collect();
+        let peers: Vec<SocketAddr> = built
+            .iter()
+            .map(|h| h.local_addr().expect("local_addr"))
+            .collect();
+        for h in built.iter_mut() {
+            h.connect(peers.clone());
+        }
+        let mut net = WireNet {
+            hosts: built,
+            round_timeout: Duration::from_secs(10),
+        };
+        let deadline = Instant::now() + net.round_timeout;
+        while !net.hosts.iter().all(|h| h.ready()) {
+            assert!(Instant::now() < deadline, "wire handshake wedged");
+            for h in net.hosts.iter_mut() {
+                h.send_hello().expect("hello");
+            }
+            net.pump();
+        }
+        net
+    }
+
+    /// Installs the same [`FaultPlan`] on every host; before round 0 only.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for h in self.hosts.iter_mut() {
+            h.set_fault_plan(plan.clone());
+        }
+        self.sync_settled();
+    }
+
+    /// The replicated fault session (host 0's copy), when a plan is
+    /// installed.
+    pub fn fault_session(&self) -> Option<&FaultSession> {
+        self.hosts[0].fault_session()
+    }
+
+    fn pump(&mut self) {
+        for h in self.hosts.iter_mut() {
+            h.poll().expect("polling a loopback socket");
+        }
+    }
+
+    /// In-process settled-count refresh: after construction,
+    /// `set_fault_plan`, or `update_nodes`, every host learns every other
+    /// host's current count without waiting for the next barrier.
+    fn sync_settled(&mut self) {
+        let counts: Vec<u32> = self.hosts.iter().map(|h| h.local_settled()).collect();
+        for h in self.hosts.iter_mut() {
+            for (j, &s) in counts.iter().enumerate() {
+                h.note_settled(j as u16, s);
+            }
+        }
+    }
+
+    /// Executes one full round on every host: step + transmit, pump the
+    /// sockets until every host has collected the complete round, resolve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round cannot complete within the harness timeout
+    /// (frames lost to socket-buffer overflow — raise the flush threshold
+    /// or shrink the round) or on socket errors.
+    pub fn step_round(&mut self) {
+        for h in self.hosts.iter_mut() {
+            h.begin_round().expect("begin_round");
+        }
+        let deadline = Instant::now() + self.round_timeout;
+        loop {
+            self.pump();
+            if self.hosts.iter().all(|h| h.round_complete()) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "wire round {} wedged: a host is missing frames",
+                self.hosts[0].round()
+            );
+        }
+        for h in self.hosts.iter_mut() {
+            h.finish_round();
+        }
+        debug_assert!(
+            self.hosts.windows(2).all(|w| w[0].cost() == w[1].cost()),
+            "hosts disagree on the global cost account"
+        );
+    }
+
+    /// `true` when the distributed quiescence condition holds (all hosts
+    /// agree; host 0's view is returned).
+    pub fn is_quiescent(&self) -> bool {
+        self.hosts[0].is_quiescent()
+    }
+
+    /// Runs until quiescence or until `max_rounds` total rounds have
+    /// executed; same contract as `SyncEngine::run`.
+    pub fn run(&mut self, max_rounds: u64) -> RunOutcome {
+        while self.round() < max_rounds {
+            if self.is_quiescent() {
+                return RunOutcome::Completed {
+                    rounds: self.round(),
+                };
+            }
+            self.step_round();
+        }
+        if self.is_quiescent() {
+            RunOutcome::Completed {
+                rounds: self.round(),
+            }
+        } else {
+            RunOutcome::RoundLimit {
+                rounds: self.round(),
+            }
+        }
+    }
+
+    /// Replaces the per-node channel attachment on every host; between
+    /// rounds only.
+    pub fn reattach(&mut self, masks: &[u64]) {
+        for h in self.hosts.iter_mut() {
+            h.reattach(masks);
+        }
+    }
+
+    /// Runs `f` over every node (each host covers its own); between rounds
+    /// only.
+    pub fn update_nodes<F: FnMut(NodeId, &mut P)>(&mut self, mut f: F) {
+        for h in self.hosts.iter_mut() {
+            h.update_nodes(&mut f);
+        }
+        self.sync_settled();
+    }
+
+    /// Read access to node `v`'s protocol state (on whichever host owns it).
+    pub fn node(&self, v: NodeId) -> &P {
+        let h = owner_of(self.hosts.len() as u16, v);
+        self.hosts[h as usize]
+            .node_local(v)
+            .expect("owner host holds the node")
+    }
+
+    /// The global cost account (bit-identical to the simulator's for the
+    /// same run; all hosts agree, host 0's copy is returned).
+    pub fn cost(&self) -> &CostAccount {
+        self.hosts[0].cost()
+    }
+
+    /// Rounds finished so far.
+    pub fn round(&self) -> u64 {
+        self.hosts[0].round()
+    }
+
+    /// Total frame bytes pushed onto the wire across all hosts.
+    pub fn bytes_sent(&self) -> u64 {
+        self.hosts.iter().map(|h| h.bytes_sent()).sum()
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> u16 {
+        self.hosts.len() as u16
+    }
+
+    /// Consumes the net, returning every node's final state in node-id
+    /// order (the same shape as `SyncEngine::into_parts().0`).
+    pub fn into_nodes(self) -> Vec<P> {
+        let mut all: Vec<(NodeId, P)> = self
+            .hosts
+            .into_iter()
+            .flat_map(WireHost::into_nodes)
+            .collect();
+        all.sort_unstable_by_key(|(v, _)| v.index());
+        all.into_iter().map(|(_, p)| p).collect()
+    }
+}

@@ -1,0 +1,427 @@
+//! Wire ≡ simulation conformance: the fourth execution substrate.
+//!
+//! Every test runs the same protocol twice — once on the flat in-process
+//! [`SyncEngine`], once on [`WireNet`] over real loopback UDP sockets — and
+//! asserts **bit-for-bit identical** observable behavior:
+//!
+//! * per-node event traces: every p2p delivery (round, sender, payload
+//!   digest) and every non-idle slot outcome heard on every channel, in
+//!   order, recorded by a tracing protocol wrapper that runs identically on
+//!   both substrates;
+//! * final protocol states (compared by `Debug` representation);
+//! * the full [`CostAccount`](netsim_sim::CostAccount), including dropped/erased/crashed counters —
+//!   the wire backend reconstructs the engine's *global* account from
+//!   barrier frames;
+//! * final fault lifecycles and the run outcome (rounds executed).
+//!
+//! Matrix: `ChannelShardedSum` at K ∈ {1, 4} across three topology
+//! families × {2, 3} hosts, a p2p-heavy chaos gossip under a seeded
+//! full-churn `FaultPlan` (drops mapped onto never-transmitted frames,
+//! erasures onto broadcast-bus outcomes), and an erasure-only faulted sum.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use netsim_graph::{generators, topologies, Graph, NodeId};
+use netsim_io::WireNet;
+use netsim_sim::{
+    protocols::ChannelShardedSum, wire::WireMsg, ChannelId, ChannelSet, CostAccount, FaultPlan,
+    NodeLifecycle, Protocol, RoundIo, SlotOutcome, SyncEngine,
+};
+
+fn digest<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Tracing wrapper: records every observable event as a digest.  Reads are
+// side-effect-free on both substrates, so wrapping cannot perturb the run.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Traced<P> {
+    inner: P,
+    trace: Vec<u64>,
+}
+
+impl<P> Traced<P> {
+    fn new(inner: P) -> Self {
+        Traced {
+            inner,
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for Traced<P>
+where
+    P::Msg: Hash,
+{
+    type Msg = P::Msg;
+
+    fn step(&mut self, io: &mut RoundIo<'_, Self::Msg>) {
+        let round = io.round();
+        for (from, msg) in io.inbox() {
+            self.trace
+                .push(digest(&(0u8, round, from.index(), digest(msg))));
+        }
+        for c in 0..io.channels() {
+            let chan = ChannelId(c);
+            let d = match io.prev_slot_on(chan) {
+                SlotOutcome::Idle => continue,
+                SlotOutcome::Success { from, msg } => digest(&(1u8, from.index(), digest(msg))),
+                SlotOutcome::Collision => digest(&2u8),
+                SlotOutcome::Erased => digest(&3u8),
+            };
+            self.trace.push(digest(&(1u8, round, c, d)));
+        }
+        self.inner.step(io);
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    fn on_recover(&mut self) {
+        self.trace.push(digest(&(2u8,)));
+        self.inner.on_recover();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness: run on both substrates, compare everything.
+// ---------------------------------------------------------------------------
+
+struct Run {
+    states: Vec<String>,
+    traces: Vec<Vec<u64>>,
+    cost: CostAccount,
+    lifecycles: Vec<NodeLifecycle>,
+    rounds: u64,
+    completed: bool,
+}
+
+fn run_flat<P, F>(
+    g: &Graph,
+    channels: &ChannelSet,
+    plan: Option<&FaultPlan>,
+    mut init: F,
+    max_rounds: u64,
+) -> Run
+where
+    P: Protocol + std::fmt::Debug,
+    P::Msg: Hash,
+    F: FnMut(NodeId) -> P,
+{
+    let mut eng = SyncEngine::with_channels(g, channels.clone(), |v| Traced::new(init(v)));
+    if let Some(p) = plan {
+        eng.set_fault_plan(p.clone());
+    }
+    let out = eng.run(max_rounds);
+    let cost = *eng.cost();
+    let lifecycles = eng.fault_session().map_or_else(
+        || vec![NodeLifecycle::Operational; g.node_count()],
+        |s| s.lifecycles().to_vec(),
+    );
+    let rounds = out.rounds();
+    let completed = out.is_completed();
+    let (wrappers, _) = eng.into_parts();
+    let (states, traces) = wrappers
+        .into_iter()
+        .map(|w| (format!("{:?}", w.inner), w.trace))
+        .unzip();
+    Run {
+        states,
+        traces,
+        cost,
+        lifecycles,
+        rounds,
+        completed,
+    }
+}
+
+fn run_wire<P, F>(
+    g: &Graph,
+    channels: &ChannelSet,
+    plan: Option<&FaultPlan>,
+    hosts: u16,
+    mut init: F,
+    max_rounds: u64,
+) -> Run
+where
+    P: Protocol + std::fmt::Debug,
+    P::Msg: Hash + WireMsg,
+    F: FnMut(NodeId) -> P,
+{
+    let mut net = WireNet::with_channels(g, channels.clone(), hosts, |v| Traced::new(init(v)));
+    if let Some(p) = plan {
+        net.set_fault_plan(p.clone());
+    }
+    let out = net.run(max_rounds);
+    assert!(
+        net.bytes_sent() > 0,
+        "a wire run must put bytes on the wire"
+    );
+    let cost = *net.cost();
+    let lifecycles = net.fault_session().map_or_else(
+        || vec![NodeLifecycle::Operational; g.node_count()],
+        |s| s.lifecycles().to_vec(),
+    );
+    let rounds = out.rounds();
+    let completed = out.is_completed();
+    let (states, traces) = net
+        .into_nodes()
+        .into_iter()
+        .map(|w| (format!("{:?}", w.inner), w.trace))
+        .unzip();
+    Run {
+        states,
+        traces,
+        cost,
+        lifecycles,
+        rounds,
+        completed,
+    }
+}
+
+fn assert_wire_conformant<P, F>(
+    label: &str,
+    g: &Graph,
+    channels: &ChannelSet,
+    plan: Option<&FaultPlan>,
+    hosts: u16,
+    mut init: F,
+    max_rounds: u64,
+) where
+    P: Protocol + std::fmt::Debug,
+    P::Msg: Hash + WireMsg,
+    F: FnMut(NodeId) -> P + Clone,
+{
+    let flat = run_flat(g, channels, plan, &mut init, max_rounds);
+    let wire = run_wire(g, channels, plan, hosts, &mut init, max_rounds);
+    assert_eq!(
+        flat.completed, wire.completed,
+        "{label}: run outcomes disagree"
+    );
+    assert_eq!(flat.rounds, wire.rounds, "{label}: round counts disagree");
+    assert_eq!(flat.cost, wire.cost, "{label}: cost accounts disagree");
+    assert_eq!(
+        flat.lifecycles, wire.lifecycles,
+        "{label}: final lifecycles disagree"
+    );
+    for v in 0..flat.states.len() {
+        assert_eq!(
+            flat.traces[v], wire.traces[v],
+            "{label}: node v{v} traces disagree"
+        );
+        assert_eq!(
+            flat.states[v], wire.states[v],
+            "{label}: node v{v} final states disagree"
+        );
+    }
+}
+
+/// Two topology families (plus a third for luck) at conformance-friendly
+/// sizes.
+fn wire_topologies(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("ring", generators::ring(48)),
+        ("grid", generators::grid(6, 8)),
+        ("ring_of_cliques", topologies::ring_of_cliques(6, 5)),
+        ("random", generators::random_connected(40, 0.14, seed)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// ChaosGossip: p2p-heavy deterministic chaos for the fault dimension — every
+// operational round below the horizon it unicasts to pseudo-random
+// neighbours and sometimes writes a channel, folding everything it hears.
+// Exercises drops (sender-side suppressed frames), erasures, and crash /
+// recover on the wire.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct ChaosGossip {
+    id: NodeId,
+    acc: u64,
+    recoveries: u64,
+    done: bool,
+}
+
+impl ChaosGossip {
+    const HORIZON: u64 = 24;
+
+    fn new(id: NodeId) -> Self {
+        ChaosGossip {
+            id,
+            acc: mix(0xc0a5, id.index() as u64),
+            recoveries: 0,
+            done: false,
+        }
+    }
+}
+
+impl Protocol for ChaosGossip {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for (from, msg) in io.inbox() {
+            self.acc = mix(self.acc, mix(from.index() as u64, *msg));
+        }
+        for c in 0..io.channels() {
+            match io.prev_slot_on(ChannelId(c)) {
+                SlotOutcome::Idle => {}
+                SlotOutcome::Success { from, msg } => {
+                    self.acc = mix(self.acc, mix(from.index() as u64, *msg));
+                }
+                SlotOutcome::Collision => self.acc = mix(self.acc, 0xc011),
+                SlotOutcome::Erased => self.acc = mix(self.acc, 0xe5a5),
+            }
+        }
+        let round = io.round();
+        if round >= Self::HORIZON {
+            self.done = true;
+            return;
+        }
+        let neighbors: Vec<NodeId> = io.neighbors().into_iter().map(|(v, _)| v).collect();
+        if !neighbors.is_empty() {
+            // Two unicasts per round keeps multiple same-round messages per
+            // (sender, receiver) pair in play — the drop coin must treat
+            // them identically on both substrates.
+            for shot in 0..2u64 {
+                let pick = mix(self.acc, mix(round, shot)) as usize % neighbors.len();
+                io.send(neighbors[pick], mix(self.acc, shot));
+            }
+        }
+        let k = io.channels() as u64;
+        if mix(self.acc, round).is_multiple_of(3) {
+            let chan = ChannelId((mix(round, self.id.index() as u64) % k) as u16);
+            io.write_channel_on(chan, self.acc);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn on_recover(&mut self) {
+        self.recoveries += 1;
+        self.acc = mix(self.acc, 0xb007);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The matrix.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_sum_conforms_on_wire_k1_and_k4() {
+    for k in [1u16, 4] {
+        for (name, g) in wire_topologies(17) {
+            let n = g.node_count();
+            for hosts in [2u16, 3] {
+                assert_wire_conformant(
+                    &format!("wire/sharded_sum_k{k}/{name}/h{hosts}"),
+                    &g,
+                    &ChannelShardedSum::channel_set(n, k),
+                    None,
+                    hosts,
+                    |v: NodeId| ChannelShardedSum::new(v, n, k, mix(0x5ade, v.index() as u64)),
+                    10_000,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_host_wire_still_conforms() {
+    let g = generators::ring(32);
+    let n = g.node_count();
+    assert_wire_conformant(
+        "wire/sharded_sum_k4/ring/h1",
+        &g,
+        &ChannelShardedSum::channel_set(n, 4),
+        None,
+        1,
+        |v: NodeId| ChannelShardedSum::new(v, n, 4, mix(0x1057, v.index() as u64)),
+        10_000,
+    );
+}
+
+#[test]
+fn chaos_gossip_conforms_under_seeded_full_churn() {
+    // Drops, erasures, crashes, and recoveries, all drawn from one seeded
+    // plan; the wire maps drops onto frames that are never transmitted and
+    // must still reproduce the engine's cost account to the bit.
+    let plan = FaultPlan::from_rates(0x5eed_0002, 0.15, 0.10, 0.04, 0.30);
+    for (name, g) in wire_topologies(23).into_iter().take(2) {
+        assert_wire_conformant(
+            &format!("wire/chaos_gossip/full_churn/{name}"),
+            &g,
+            &ChannelSet::uniform(3),
+            Some(&plan),
+            2,
+            ChaosGossip::new,
+            10_000,
+        );
+    }
+}
+
+#[test]
+fn sharded_sum_conforms_under_seeded_erasures() {
+    let plan = FaultPlan::from_rates(0xabcd_0001, 0.25, 0.0, 0.0, 0.0);
+    for (name, g) in wire_topologies(31).into_iter().take(2) {
+        let n = g.node_count();
+        assert_wire_conformant(
+            &format!("wire/sharded_sum_k4/erase/{name}"),
+            &g,
+            &ChannelShardedSum::channel_set(n, 4),
+            Some(&plan),
+            2,
+            |v: NodeId| ChannelShardedSum::new(v, n, 4, mix(0xe5a5, v.index() as u64)),
+            10_000,
+        );
+    }
+}
+
+#[test]
+fn wire_sum_is_correct_and_costs_are_global() {
+    // Beyond trace parity: the computed sums are right on every node, and
+    // the byte counter actually moved.
+    let g = generators::ring(40);
+    let n = g.node_count();
+    let k = 4usize;
+    // Each node computes its shard's sum: the shard of v is every node
+    // congruent to v modulo K (they share a channel).
+    let shard_sum = |v: usize| {
+        (0..n)
+            .filter(|u| u % k == v % k)
+            .fold(0u64, |a, u| a.wrapping_add(mix(0xfea7, u as u64)))
+    };
+    let mut net = WireNet::with_channels(
+        &g,
+        ChannelShardedSum::channel_set(n, k as u16),
+        2,
+        |v: NodeId| ChannelShardedSum::new(v, n, k as u16, mix(0xfea7, v.index() as u64)),
+    );
+    let out = net.run(10_000);
+    assert!(out.is_completed());
+    assert!(net.bytes_sent() > 0);
+    assert!(net.cost().rounds > 0);
+    for v in g.nodes() {
+        assert_eq!(
+            net.node(v).sum(),
+            shard_sum(v.index()),
+            "node {v:?} disagrees on its shard sum"
+        );
+    }
+}

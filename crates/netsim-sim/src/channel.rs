@@ -207,8 +207,10 @@ impl ChannelSet {
     }
 
     /// Number of nodes the attachment table covers (`None` for uniform sets,
-    /// which cover any node count).
-    pub(crate) fn table_len(&self) -> Option<usize> {
+    /// which cover any node count).  Execution substrates (the engines, the
+    /// `netsim-io` wire backend) validate this against their graph before a
+    /// run starts.
+    pub fn table_len(&self) -> Option<usize> {
         self.masks.as_ref().map(Vec::len)
     }
 

@@ -119,9 +119,18 @@ pub fn tuned_block_shift() -> u32 {
 }
 
 /// Reads the L2 data-cache size from sysfs and derives the block shift; see
-/// [`tuned_block_shift`].  Returns `None` when the probe cannot run.
+/// [`tuned_block_shift`].  Returns `None` when the probe cannot run — the
+/// file is absent (non-Linux, masked sysfs) or its contents are malformed.
 fn probe_block_shift() -> Option<u32> {
     let text = std::fs::read_to_string("/sys/devices/system/cpu/cpu0/cache/index2/size").ok()?;
+    Some(block_shift_for_l2(parse_l2_size(&text)?))
+}
+
+/// Parses a sysfs cache-size string (`"512K\n"`, `"4M"`, `"262144"`) into
+/// bytes.  Returns `None` for anything malformed — empty input, stray
+/// characters, overflow, or a zero size (a zero-byte cache is a garbled
+/// report, not a tuning signal).
+fn parse_l2_size(text: &str) -> Option<u64> {
     let text = text.trim();
     let (digits, multiplier) = if let Some(d) = text.strip_suffix(['K', 'k']) {
         (d, 1024u64)
@@ -131,12 +140,19 @@ fn probe_block_shift() -> Option<u32> {
         (text, 1)
     };
     let bytes = digits.parse::<u64>().ok()?.checked_mul(multiplier)?;
-    let nodes_per_block = (bytes / 2 / 128).max(1);
-    Some(
-        nodes_per_block
-            .ilog2()
-            .clamp(BLOCK_SHIFT_RANGE.0, BLOCK_SHIFT_RANGE.1),
-    )
+    if bytes == 0 {
+        return None;
+    }
+    Some(bytes)
+}
+
+/// Derives the radix block shift from an L2 size in bytes; total for every
+/// input and always within [`BLOCK_SHIFT_RANGE`].
+fn block_shift_for_l2(l2_bytes: u64) -> u32 {
+    let nodes_per_block = (l2_bytes / 2 / 128).max(1);
+    nodes_per_block
+        .ilog2()
+        .clamp(BLOCK_SHIFT_RANGE.0, BLOCK_SHIFT_RANGE.1)
 }
 
 /// Why a run stopped.
@@ -1558,6 +1574,43 @@ mod tests {
     use super::*;
     use crate::channel::SlotOutcome;
     use netsim_graph::generators;
+
+    #[test]
+    fn l2_probe_parses_wellformed_sysfs_sizes() {
+        assert_eq!(parse_l2_size("512K\n"), Some(512 * 1024));
+        assert_eq!(parse_l2_size("4096K"), Some(4096 * 1024));
+        assert_eq!(parse_l2_size("1M"), Some(1024 * 1024));
+        assert_eq!(parse_l2_size("2m"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_l2_size("  262144  "), Some(262_144));
+    }
+
+    #[test]
+    fn l2_probe_rejects_garbled_sysfs_without_panicking() {
+        // Missing/masked sysfs surfaces as a read error upstream; a present
+        // but garbled file must parse to None, never panic.
+        for garbage in ["", "\n", "abc", "K", "12Q", "-512K", "1.5M", "0", "0K"] {
+            assert_eq!(parse_l2_size(garbage), None, "input {garbage:?}");
+        }
+        // Overflow: u64::MAX kibibytes does not fit in u64 bytes.
+        assert_eq!(parse_l2_size("18446744073709551615K"), None);
+    }
+
+    #[test]
+    fn block_shift_is_always_clamped() {
+        // Tiny, huge, and boundary L2 sizes all land inside the range, so a
+        // failed or absurd probe can never produce a degenerate radix pass.
+        for bytes in [1, 256, 1 << 17, 1 << 21, 1 << 30, u64::MAX] {
+            let shift = block_shift_for_l2(bytes);
+            assert!(
+                (BLOCK_SHIFT_RANGE.0..=BLOCK_SHIFT_RANGE.1).contains(&shift),
+                "l2={bytes} gave shift {shift}"
+            );
+        }
+        // 512 KiB L2 -> 2048-node blocks, the hard-coded default.
+        assert_eq!(block_shift_for_l2(512 * 1024), DEFAULT_BLOCK_SHIFT);
+        let tuned = tuned_block_shift();
+        assert!((BLOCK_SHIFT_RANGE.0..=BLOCK_SHIFT_RANGE.1).contains(&tuned));
+    }
 
     /// Node 0 writes to the channel every round; all others listen and record
     /// the first message heard.

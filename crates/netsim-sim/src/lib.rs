@@ -121,6 +121,7 @@ mod node;
 pub mod payload;
 pub mod protocols;
 pub mod reference;
+pub mod wire;
 
 pub use async_engine::{AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol};
 pub use channel::{
@@ -134,3 +135,4 @@ pub use metrics::CostAccount;
 pub use node::{DrainSends, Inbox, InboxIter, OutboxBuffer, Protocol, RoundIo};
 pub use payload::{PayloadArena, PayloadHandle};
 pub use reference::ReferenceEngine;
+pub use wire::{Frame, WireError, WireMsg};

@@ -16,6 +16,14 @@
 //! matches the synchronous one after adding exactly one all-idle round
 //! ([`lockstep_config`] documents the configuration; the conformance harness
 //! applies the adjustment).
+//!
+//! The real-socket backend (`netsim-io`) solves the same round-framing
+//! problem across *processes* instead of inside one event queue: each host
+//! closes its round with a counted `Barrier` frame (see
+//! [`wire::Frame`](crate::wire::Frame)), so round boundaries and quiescence
+//! are detected from frame counts rather than tick scheduling — the
+//! wire-format sibling of this adapter's slot-boundary discipline, and the
+//! fourth substrate of the conformance matrix.
 
 use crate::async_engine::{AsyncConfig, AsyncCtx, AsyncProtocol};
 use crate::channel::{ChannelId, SlotOutcome};

@@ -687,6 +687,149 @@ fn fault_plans_actually_fire() {
     );
 }
 
+/// Probe for the orphaned-slot regression: nodes 0 and 1 are the *only*
+/// listeners of channel 1 and both write it on round 0 (a guaranteed
+/// collision, or an erasure under a seeded plan); a scripted plan crashes
+/// both at round 1, so the non-idle outcome lands on a channel whose every
+/// attached listener is down.  The engines must neither step the downed
+/// listeners for it nor count them toward quiescence; channel-0 chatter
+/// keeps the survivors busy long enough to surface any leak.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct OrphanSlotProbe {
+    id: u64,
+    state: u64,
+    rounds_active: u32,
+}
+
+impl Protocol for OrphanSlotProbe {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for (from, &m) in io.inbox() {
+            self.state = mix(self.state, mix(from.index() as u64, m));
+        }
+        for c in 0..io.channels() {
+            match io.prev_slot_on(ChannelId(c)) {
+                SlotOutcome::Idle => {}
+                SlotOutcome::Success { from, msg } => {
+                    self.state = mix(self.state, mix(from.index() as u64, *msg));
+                }
+                SlotOutcome::Collision => self.state = mix(self.state, 0xc0 + u64::from(c)),
+                SlotOutcome::Erased => self.state = mix(self.state, 0xe0 + u64::from(c)),
+            }
+        }
+        if io.round() == 0 && self.id <= 1 {
+            io.write_channel_on(ChannelId(1), 0xdead + self.id);
+        }
+        if self.rounds_active > 0 {
+            self.rounds_active -= 1;
+            if mix(self.id, io.round()).is_multiple_of(2) {
+                io.write_channel_on(ChannelId(0), self.state);
+            }
+        }
+        if !self.is_done() {
+            io.wake_me();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+
+    fn on_recover(&mut self) {
+        self.state = mix(self.state, 0x12ec0);
+    }
+}
+
+/// Channel set for [`OrphanSlotProbe`]: everyone on channel 0, only nodes 0
+/// and 1 on channel 1.
+fn orphan_masks(n: usize) -> ChannelSet {
+    ChannelSet::from_masks(
+        2,
+        (0..n).map(|v| if v <= 1 { 0b11 } else { 0b01 }).collect(),
+    )
+}
+
+fn orphan_probe(v: NodeId) -> OrphanSlotProbe {
+    OrphanSlotProbe {
+        id: v.index() as u64,
+        state: mix(0x0e4a, v.index() as u64),
+        rounds_active: 8 + (v.index() as u32 % 3),
+    }
+}
+
+/// Plan for [`OrphanSlotProbe`]: both channel-1 listeners die at round 1,
+/// right as the collision (or erasure) from round 0 becomes observable.
+fn orphan_plan(erase_p: f64) -> FaultPlan {
+    FaultPlan::from_rates(0x0e4a_0001, erase_p, 0.0, 0.0, 0.0).with_events(vec![
+        FaultEvent::Crash {
+            round: 1,
+            node: NodeId(0),
+        },
+        FaultEvent::Crash {
+            round: 1,
+            node: NodeId(1),
+        },
+    ])
+}
+
+/// Regression: a `Collision`/`Erased` outcome on a channel whose every
+/// attached listener is down must not wake, step, or settle the downed
+/// nodes — dense and sparse, on all three substrates, across topologies.
+#[test]
+fn orphaned_slot_on_downed_listeners_conforms() {
+    for erase_p in [0.0, 1.0] {
+        for (name, g) in topology_matrix(41).into_iter().take(3) {
+            let channels = orphan_masks(g.node_count());
+            let plan = orphan_plan(erase_p);
+            assert_conformant_faulted(
+                &format!("orphan_slot/erase{erase_p}/{name}"),
+                &g,
+                &channels,
+                &plan,
+                orphan_probe,
+                10_000,
+            );
+        }
+    }
+}
+
+/// The orphaned-slot scenario actually produces the outcome it claims to:
+/// the round-0 double write on channel 1 collides (or is erased under the
+/// full-erasure plan) and both listeners spend the rest of the run crashed.
+#[test]
+fn orphaned_slot_scenario_fires() {
+    let g = netsim_graph::generators::ring(8);
+    let run = run_sync_faulted(
+        &g,
+        &orphan_masks(8),
+        &orphan_plan(0.0),
+        orphan_probe,
+        10_000,
+    );
+    assert!(
+        run.cost.slots_collision > 0,
+        "round-0 double write never collided"
+    );
+    assert!(run.cost.crashed_rounds > 0, "listeners never crashed");
+    assert!(
+        run.lifecycles[0] == netsim_sim::NodeLifecycle::Crashed
+            && run.lifecycles[1] == netsim_sim::NodeLifecycle::Crashed,
+        "both channel-1 listeners must end the run crashed"
+    );
+    let erased = run_sync_faulted(
+        &g,
+        &orphan_masks(8),
+        &orphan_plan(1.0),
+        orphan_probe,
+        10_000,
+    );
+    assert!(
+        erased.cost.erased_slots > 0,
+        "full-erasure plan never erased the orphaned slot"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Active-set (sparse) stepping dimension: every frontier-safe protocol of
 // the matrix, run dense AND sparse on all three substrates, bit-identical.
@@ -882,5 +1025,27 @@ fn churn_probe_sparse_conforms_under_scripted_churn() {
             |v| Armed(churn_probe(v)),
             10_000,
         );
+    }
+}
+
+/// Sparse variant of the orphaned-slot regression: the non-idle outcome on
+/// the all-listeners-down channel is a frontier wake *source*, so sparse
+/// stepping must discard it for the downed nodes rather than step them or
+/// tick the done count — dense ≡ sparse on all three substrates.
+#[test]
+fn orphaned_slot_on_downed_listeners_sparse_conforms() {
+    for erase_p in [0.0, 1.0] {
+        for (name, g) in topology_matrix(41).into_iter().take(3) {
+            let channels = orphan_masks(g.node_count());
+            let plan = orphan_plan(erase_p);
+            assert_sparse_conformant_faulted(
+                &format!("sparse/orphan_slot/erase{erase_p}/{name}"),
+                &g,
+                &channels,
+                &plan,
+                orphan_probe,
+                10_000,
+            );
+        }
     }
 }

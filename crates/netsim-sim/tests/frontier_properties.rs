@@ -128,6 +128,139 @@ fn probe_init(seed: u64, active: u32) -> impl Fn(NodeId) -> ArmedChaos {
     }
 }
 
+/// Attachment-safe probe for the orphaned-slot regression: nodes 0 and 1
+/// write channel 1 on round 0 (guaranteed collision, or erasure under a
+/// full-erasure plan); background chatter stays on channel 0, which every
+/// node is attached to.  Adopts the canonical `wake_me` pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct OrphanProbe {
+    id: u64,
+    state: u64,
+    rounds_active: u32,
+}
+
+impl Protocol for OrphanProbe {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        for (from, &m) in io.inbox() {
+            self.state = mix(self.state, mix(from.index() as u64, m));
+        }
+        for c in 0..io.channels() {
+            match io.prev_slot_on(ChannelId(c)) {
+                SlotOutcome::Idle => {}
+                SlotOutcome::Success { from, msg } => {
+                    self.state = mix(self.state, mix(from.index() as u64, *msg));
+                }
+                SlotOutcome::Collision => self.state = mix(self.state, 0xc0 + u64::from(c)),
+                SlotOutcome::Erased => self.state = mix(self.state, 0xe0 + u64::from(c)),
+            }
+        }
+        if io.round() == 0 && self.id <= 1 {
+            io.write_channel_on(ChannelId(1), 0xdead + self.id);
+        }
+        if self.rounds_active > 0 {
+            self.rounds_active -= 1;
+            if mix(self.id, io.round()).is_multiple_of(2) {
+                io.write_channel_on(ChannelId(0), self.state);
+            }
+            if mix(self.id, io.round()).is_multiple_of(3) && io.degree() > 0 {
+                let v = io.neighbors().target(self.state as usize % io.degree());
+                io.send(v, mix(self.state, 0xd0));
+            }
+        }
+        if !self.is_done() {
+            io.wake_me();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_active == 0
+    }
+
+    fn on_recover(&mut self) {
+        self.state = mix(self.state, 0x12ec0);
+    }
+}
+
+/// Regression: a non-idle slot outcome (`Collision`, or `Erased` under a
+/// full-erasure plan) on a channel whose *every* attached listener is down
+/// must not leak a frontier wake or a done-count tick for the downed nodes.
+///
+/// Nodes 0 and 1 are the only listeners of channel 1; both write it on
+/// round 0 and a scripted plan crashes both at round 1 — exactly when the
+/// outcome becomes observable.  The flat engine's stepped set must exclude
+/// them from round 1 on, the brute-force reference must agree, and the run
+/// must still quiesce on the survivors (a leaked done tick would end it
+/// early and diverge from the dense run).
+#[test]
+fn downed_channel_listeners_never_enter_the_frontier() {
+    let n = 10;
+    let g = generators::ring(n);
+    for erase_p in [0.0, 1.0] {
+        let plan = FaultPlan::from_rates(0x0e4a_0001, erase_p, 0.0, 0.0, 0.0).with_events(vec![
+            FaultEvent::Crash {
+                round: 1,
+                node: NodeId(0),
+            },
+            FaultEvent::Crash {
+                round: 1,
+                node: NodeId(1),
+            },
+        ]);
+        let channels = ChannelSet::from_masks(
+            2,
+            (0..n).map(|v| if v <= 1 { 0b11 } else { 0b01 }).collect(),
+        );
+        // Probe: the two doomed nodes write channel 1 on round 0; everyone
+        // chatters on channel 0 long enough to surface a leaked wake.
+        let init = |v: NodeId| OrphanProbe {
+            id: v.index() as u64,
+            state: mix(0x0e4a, v.index() as u64),
+            rounds_active: 10 + (v.index() as u32 % 3),
+        };
+        let run = |sparse: bool| {
+            let mut eng = SyncEngine::with_channels(&g, channels.clone(), init);
+            if sparse {
+                eng.enable_sparse_stepping();
+            }
+            eng.set_fault_plan(plan.clone());
+            let mut rounds = 0u64;
+            while !eng.is_quiescent() && rounds < 5_000 {
+                eng.step_round();
+                if let Some(stepped) = eng.last_stepped() {
+                    if rounds >= 1 {
+                        assert!(
+                            !stepped.contains(&0) && !stepped.contains(&1),
+                            "erase_p={erase_p} round {rounds}: crashed channel-1 \
+                             listeners leaked into the stepped set {stepped:?}"
+                        );
+                    }
+                }
+                rounds += 1;
+            }
+            assert!(eng.is_quiescent(), "erase_p={erase_p}: run did not quiesce");
+            let cost = *eng.cost();
+            let lifecycles = eng.fault_session().expect("plan").lifecycles().to_vec();
+            let (nodes, _) = eng.into_parts();
+            (nodes, cost, lifecycles, rounds)
+        };
+        let sparse = run(true);
+        let dense = run(false);
+        assert_eq!(sparse, dense, "erase_p={erase_p}: sparse != dense");
+        assert_eq!(sparse.2[0], netsim_sim::NodeLifecycle::Crashed);
+        assert_eq!(sparse.2[1], netsim_sim::NodeLifecycle::Crashed);
+        if erase_p == 0.0 {
+            assert!(
+                sparse.1.slots_collision > 0,
+                "orphaned collision never fired"
+            );
+        } else {
+            assert!(sparse.1.erased_slots > 0, "orphaned erasure never fired");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -1,0 +1,199 @@
+//! Property tests of the wire frame codec.
+//!
+//! Two contracts, pinned so the socket backend (`netsim-io`) can trust the
+//! codec unconditionally:
+//!
+//! 1. **round-trip identity** — `decode(encode(f)) == f` for every frame
+//!    kind and every payload, including empty and multi-kilobyte bodies;
+//! 2. **total decode** — `Frame::decode` over *arbitrary* bytes returns
+//!    `Err`, never panics, and never reads past the buffer; truncating or
+//!    corrupting a valid encoding always surfaces an error rather than a
+//!    silently different frame.
+
+use netsim_graph::NodeId;
+use netsim_sim::{ChannelId, Frame, WireError};
+use proptest::prelude::*;
+
+fn p2p(round: u64, from: u32, to: u32, seq: u32, payload: u64) -> Frame<u64> {
+    Frame::P2p {
+        round,
+        from: NodeId(from as usize),
+        to: NodeId(to as usize),
+        seq,
+        payload,
+    }
+}
+
+fn slot(round: u64, chan: u16, from: u32, payload: u64) -> Frame<u64> {
+    Frame::Slot {
+        round,
+        chan: ChannelId(chan),
+        from: NodeId(from as usize),
+        payload,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Contract 1: every frame kind round-trips bit-exactly through the
+    /// codec with a `u64` payload.
+    #[test]
+    fn every_frame_kind_roundtrips(
+        round in 0u64..u64::MAX,
+        a in 0u32..10_000,
+        b in 0u32..10_000,
+        seq in 0u32..u32::MAX,
+        payload in 0u64..u64::MAX,
+        chan in 0u16..u16::MAX,
+        host in 0u16..64,
+        hosts in 1u16..64,
+        sent_to in collection::vec(0u32..1_000, 0..9),
+    ) {
+        let frames: Vec<Frame<u64>> = vec![
+            p2p(round, a, b, seq, payload),
+            slot(round, chan, a, payload),
+            Frame::Barrier {
+                round,
+                host,
+                settled: a,
+                staged: b,
+                dropped: seq % 4096,
+                slot_frames: seq % 1024,
+                sent_to: sent_to.clone(),
+            },
+            Frame::Hello {
+                host,
+                hosts,
+                nodes: a,
+                k: chan,
+                settled: b,
+            },
+        ];
+        for f in frames {
+            let bytes = f.encode_to_vec();
+            prop_assert_eq!(Frame::<u64>::decode(&bytes).unwrap(), f);
+        }
+    }
+
+    /// Contract 1 with variable-length payloads: `Vec<u8>` bodies of any
+    /// length (including empty) survive the trip, and the explicit length
+    /// fields keep adjacent fields un-smeared.
+    #[test]
+    fn vec_payloads_roundtrip(
+        round in 0u64..1_000_000,
+        from in 0u32..4_096,
+        to in 0u32..4_096,
+        seq in 0u32..65_536,
+        body in collection::vec(0u8..=255, 0..2_048),
+    ) {
+        let f = Frame::P2p {
+            round,
+            from: NodeId(from as usize),
+            to: NodeId(to as usize),
+            seq,
+            payload: body.clone(),
+        };
+        let bytes = f.encode_to_vec();
+        prop_assert_eq!(Frame::<Vec<u8>>::decode(&bytes).unwrap(), f);
+
+        let s = Frame::Slot {
+            round,
+            chan: ChannelId((seq % 64) as u16),
+            from: NodeId(from as usize),
+            payload: body,
+        };
+        let bytes = s.encode_to_vec();
+        prop_assert_eq!(Frame::<Vec<u8>>::decode(&bytes).unwrap(), s);
+    }
+
+    /// Contract 2: decoding arbitrary garbage is total — it returns `Err`
+    /// without panicking or over-reading, for both payload types.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in collection::vec(0u8..=255, 0..256),
+    ) {
+        // Random bytes essentially never carry a valid magic + CRC pair;
+        // either way the call must return *some* Result without panicking.
+        let _ = Frame::<u64>::decode(&bytes);
+        let _ = Frame::<Vec<u8>>::decode(&bytes);
+    }
+
+    /// Contract 2: garbage prefixed with a valid header shape (magic,
+    /// version, kind, plausible length) still decodes totally — this steers
+    /// cases past the cheap early rejections and into body parsing.
+    #[test]
+    fn framed_garbage_never_panics(
+        kind in 0u8..8,
+        body in collection::vec(0u8..=255, 0..96),
+    ) {
+        let mut bytes = Vec::with_capacity(body.len() + 12);
+        bytes.extend_from_slice(&0xA588u16.to_le_bytes());
+        bytes.push(1); // version
+        bytes.push(kind);
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        let crc = netsim_sim::wire::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let _ = Frame::<u64>::decode(&bytes);
+        let _ = Frame::<Vec<u8>>::decode(&bytes);
+    }
+
+    /// Contract 2: every strict prefix of a valid encoding is rejected —
+    /// truncation can never yield a shorter-but-valid frame.
+    #[test]
+    fn truncations_are_rejected(
+        round in 0u64..1_000_000,
+        from in 0u32..1_024,
+        to in 0u32..1_024,
+        cut in 0u64..u64::MAX,
+        body in collection::vec(0u8..=255, 0..64),
+    ) {
+        let f = Frame::P2p {
+            round,
+            from: NodeId(from as usize),
+            to: NodeId(to as usize),
+            seq: 7,
+            payload: body,
+        };
+        let bytes = f.encode_to_vec();
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(Frame::<Vec<u8>>::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Contract 2: flipping any single byte of a valid encoding is caught.
+    /// CRC-32 detects all single-byte corruptions, so a flip can never
+    /// decode into a *different* valid frame.
+    #[test]
+    fn single_byte_corruption_is_rejected(
+        round in 0u64..1_000_000,
+        seq in 0u32..65_536,
+        pos in 0u64..u64::MAX,
+        flip in 1u8..=255,
+        payload in 0u64..u64::MAX,
+    ) {
+        let f = p2p(round, 3, 4, seq, payload);
+        let mut bytes = f.encode_to_vec();
+        let pos = (pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip; // xor with nonzero => guaranteed different byte
+        match Frame::<u64>::decode(&bytes) {
+            Err(_) => {}
+            Ok(g) => prop_assert!(false, "corrupt frame decoded as {g:?}"),
+        }
+    }
+
+    /// Appending trailing bytes after the checksum is rejected: frames are
+    /// exactly delimited, so datagram parsers can rely on `body_len`.
+    #[test]
+    fn trailing_bytes_are_rejected(
+        payload in 0u64..u64::MAX,
+        extra in collection::vec(0u8..=255, 1..16),
+    ) {
+        let mut bytes = p2p(1, 0, 1, 0, payload).encode_to_vec();
+        bytes.extend_from_slice(&extra);
+        prop_assert_eq!(
+            Frame::<u64>::decode(&bytes).unwrap_err(),
+            WireError::Trailing
+        );
+    }
+}
