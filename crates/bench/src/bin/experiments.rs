@@ -848,6 +848,88 @@ impl MstShardedRow {
     }
 }
 
+/// One measured election-lane configuration (the same saturated election
+/// workload as scalar one-at-a-time slots vs word-wide lane batches), for
+/// the `lane_elections` section of `BENCH_engine.json`.  At width 64 with
+/// 64 saturated slots the whole series fits one batch, so `rounds` drops by
+/// ~the lane width (`speedup_vs_scalar`).
+struct LaneElectionRow {
+    topology: &'static str,
+    n: usize,
+    elections: u32,
+    /// `"scalar"` ([`channel_access::assigned::ElectionSeries`]) or
+    /// `"lanes"` ([`channel_access::assigned::LaneElectionSeries`]).
+    series: &'static str,
+    width: u32,
+    rounds: u64,
+    lane_writes: u64,
+    lanes_busy: u64,
+    speedup_vs_scalar: f64,
+    seconds: f64,
+    checksum: u64,
+}
+
+impl LaneElectionRow {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"topology\": \"{}\", \"n\": {}, \"elections\": {}, \"series\": \"{}\", \
+             \"width\": {}, \"rounds\": {}, \"lane_writes\": {}, \"lanes_busy\": {}, \
+             \"speedup_vs_scalar\": {}, \"seconds\": {}, \"checksum\": \"{:016x}\"}}",
+            json_escape(self.topology),
+            self.n,
+            self.elections,
+            json_escape(self.series),
+            self.width,
+            self.rounds,
+            self.lane_writes,
+            self.lanes_busy,
+            json_f64(self.speedup_vs_scalar),
+            json_f64(self.seconds),
+            self.checksum,
+        )
+    }
+}
+
+/// One measured channel-sharded global-function configuration (the Section
+/// 5.1 pipeline with its global stage on `K` per-group channels), for the
+/// `global_fn_sharded` section of `BENCH_engine.json`.  `global_rounds` is
+/// the engine-executed channel-stage round count — the number that drops
+/// with the shard factor.
+struct GlobalFnShardedRow {
+    topology: &'static str,
+    n: usize,
+    m: usize,
+    k: u16,
+    engine: &'static str,
+    tree_count: usize,
+    groups: usize,
+    global_rounds: u64,
+    total_rounds: u64,
+    seconds: f64,
+    value: u64,
+}
+
+impl GlobalFnShardedRow {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"topology\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \"engine\": \"{}\", \
+             \"tree_count\": {}, \"groups\": {}, \"global_rounds\": {}, \"total_rounds\": {}, \
+             \"seconds\": {}, \"value\": \"{:016x}\"}}",
+            json_escape(self.topology),
+            self.n,
+            self.m,
+            self.k,
+            json_escape(self.engine),
+            self.tree_count,
+            self.groups,
+            self.global_rounds,
+            self.total_rounds,
+            json_f64(self.seconds),
+            self.value,
+        )
+    }
+}
+
 /// One measured fault-dimension configuration (seeded erasures and scripted
 /// churn over the channel-sharded workloads), for the `faults` section of
 /// `BENCH_engine.json`.  `rounds` vs `fault_free_rounds` is the
@@ -1386,6 +1468,188 @@ fn engine(opts: &Opts) {
         );
     }
 
+    // ---- Election-lane dimension: scalar slots vs word-wide lane batches. -
+    // The same saturated election workload (every slot has contenders, node
+    // v contends in slot v mod E with its index as the station id) run as
+    // one-at-a-time scalar `ElectionSeries` slots and as `LaneElectionSeries`
+    // batches of increasing width.  At width 64 the 64 slots collapse into a
+    // single word-wide batch: the engine-executed round count drops by ~the
+    // lane width, with identical winners (checksums asserted equal).
+    let lane_ns: &[usize] = if opts.quick { &[256] } else { &[256, 4_096] };
+    let lane_elections_count = 64u32;
+    let lane_widths: [u32; 3] = [1, 8, 64];
+    let mut lane_rows: Vec<LaneElectionRow> = Vec::new();
+    println!("\n== ENGINE lane_elections — scalar election slots vs word-wide lane batches ==");
+    println!(
+        "{:<12}{:>9}{:>6}  {:<8}{:>7}{:>9}{:>12}{:>12}{:>10}",
+        "topology", "n", "E", "series", "width", "rounds", "lane_writes", "lanes_busy", "speedup"
+    );
+    for &n in lane_ns {
+        let g = Family::Grid.generate(n, 42);
+        let scalar = engine_bench::run_scalar_elections(&g, lane_elections_count);
+        let mut record =
+            |series: &'static str, width: u32, stats: engine_bench::ElectionRunStats| {
+                let speedup = scalar.rounds as f64 / stats.rounds.max(1) as f64;
+                println!(
+                    "{:<12}{:>9}{:>6}  {:<8}{:>7}{:>9}{:>12}{:>12}{:>10.1}",
+                    "grid",
+                    g.node_count(),
+                    lane_elections_count,
+                    series,
+                    width,
+                    stats.rounds,
+                    stats.lane_writes,
+                    stats.lanes_busy,
+                    speedup,
+                );
+                lane_rows.push(LaneElectionRow {
+                    topology: "grid",
+                    n: g.node_count(),
+                    elections: lane_elections_count,
+                    series,
+                    width,
+                    rounds: stats.rounds,
+                    lane_writes: stats.lane_writes,
+                    lanes_busy: stats.lanes_busy,
+                    speedup_vs_scalar: speedup,
+                    seconds: stats.seconds,
+                    checksum: stats.checksum,
+                });
+            };
+        record("scalar", 1, scalar);
+        let mut widest_rounds = scalar.rounds;
+        for &width in &lane_widths {
+            let lanes = engine_bench::run_lane_elections(&g, lane_elections_count, width);
+            assert_eq!(
+                lanes.checksum, scalar.checksum,
+                "lane packing changed a winner at n={n} width={width}"
+            );
+            if width == 1 {
+                assert_eq!(
+                    lanes.rounds, scalar.rounds,
+                    "width-1 lanes must be the scalar schedule"
+                );
+            }
+            assert!(
+                lanes.lanes_busy > 0,
+                "saturated slots never occupied a lane"
+            );
+            widest_rounds = lanes.rounds;
+            record("lanes", width, lanes);
+        }
+        assert!(
+            widest_rounds * 8 <= scalar.rounds,
+            "64 saturated lanes must cut election rounds >= 8x \
+             (got {widest_rounds} vs scalar {})",
+            scalar.rounds
+        );
+        println!(
+            "   -> grid n={n}: scalar {} rounds vs one 64-wide batch {} rounds, {:.1}x",
+            scalar.rounds,
+            widest_rounds,
+            scalar.rounds as f64 / widest_rounds.max(1) as f64
+        );
+    }
+
+    // ---- Sharded global-function dimension: Section 5.1 on K channels. ----
+    // The deterministic global-sensitive-function pipeline with its global
+    // stage ported onto per-group channels: each group elects a rep and
+    // TDMA-broadcasts its tree partials concurrently with the other groups,
+    // then the reps combine on channel 0.  The engine-executed global-stage
+    // round count drops with the shard factor; the value and the global cost
+    // are pinned identical across the engine substrates.
+    let gfn_n = if opts.quick { 512 } else { 2_048 };
+    let gfn_families = [Family::RingOfCliques, Family::Geometric];
+    let gfn_ks: [u16; 3] = [1, 4, 16];
+    let mut gfn_rows: Vec<GlobalFnShardedRow> = Vec::new();
+    println!("\n== ENGINE global_fn_sharded — Section 5.1 global stage on K group channels ==");
+    println!(
+        "{:<12}{:>9}{:>6}  {:<16}{:>7}{:>8}{:>10}{:>12}{:>12}",
+        "topology", "n", "K", "engine", "trees", "groups", "rounds", "total", "seconds"
+    );
+    for fam in gfn_families {
+        let net = workload(fam, gfn_n, 42);
+        let stage1 =
+            deterministic::partition_to_level(&net, global_fn::balanced_target_level(&net));
+        let inputs: Vec<Sum> = (0..net.node_count() as u64)
+            .map(|i| Sum(i.wrapping_mul(0x9e3779b97f4a7c15) | 1))
+            .collect();
+        let expected = inputs.iter().fold(0u64, |a, s| a.wrapping_add(s.0));
+        let mut per_k_rounds: Vec<u64> = Vec::new();
+        for &k in &gfn_ks {
+            let mut per_engine: Vec<(&'static str, global_fn::ShardedGlobalFnRun<Sum>)> =
+                Vec::new();
+            for (name, which) in [
+                ("flat", mst::MergeSubstrate::Flat),
+                ("reference", mst::MergeSubstrate::Reference),
+                ("async-lockstep", mst::MergeSubstrate::AsyncLockstep),
+            ] {
+                let start = std::time::Instant::now();
+                let run =
+                    global_fn::compute_sharded_with_partition(&net, &stage1, &inputs, k, which);
+                let seconds = start.elapsed().as_secs_f64();
+                assert_eq!(
+                    run.value.0,
+                    expected,
+                    "sharded global sum diverged on {} K={k} ({name})",
+                    fam.name()
+                );
+                println!(
+                    "{:<12}{:>9}{:>6}  {:<16}{:>7}{:>8}{:>10}{:>12}{:>12.3}",
+                    fam.name(),
+                    net.node_count(),
+                    k,
+                    name,
+                    run.tree_count,
+                    run.groups,
+                    run.global_rounds(),
+                    run.total_cost().rounds,
+                    seconds,
+                );
+                gfn_rows.push(GlobalFnShardedRow {
+                    topology: fam.name(),
+                    n: net.node_count(),
+                    m: net.edge_count(),
+                    k,
+                    engine: name,
+                    tree_count: run.tree_count,
+                    groups: run.groups,
+                    global_rounds: run.global_rounds(),
+                    total_rounds: run.total_cost().rounds,
+                    seconds,
+                    value: run.value.0,
+                });
+                per_engine.push((name, run));
+            }
+            let (_, flat) = &per_engine[0];
+            for (name, run) in &per_engine[1..] {
+                assert_eq!(
+                    flat.global_cost,
+                    run.global_cost,
+                    "sharded global-fn cost diverged on {} K={k} ({name})",
+                    fam.name()
+                );
+            }
+            per_k_rounds.push(flat.global_rounds());
+        }
+        // The combine broadcast grows with min(F, K), so the ladder need not
+        // be strictly monotone at large K — but sharding the group phase
+        // must beat the single-channel schedule.
+        assert!(
+            per_k_rounds.last().unwrap() < per_k_rounds.first().unwrap(),
+            "global rounds must drop with K on {}: {per_k_rounds:?}",
+            fam.name()
+        );
+        println!(
+            "   -> {}: global rounds {} (K=1) -> {} (K=4) -> {} (K=16), {:.1}x shard win",
+            fam.name(),
+            per_k_rounds[0],
+            per_k_rounds[1],
+            per_k_rounds[2],
+            per_k_rounds[0] as f64 / *per_k_rounds.last().unwrap() as f64
+        );
+    }
+
     // ---- Fault dimension: seeded erasures and scripted churn. -------------
     // Rounds-to-reconverge on both channel-sharded workloads: the TDMA
     // global sum (erased slots cost retry rounds, crashed ranks time out
@@ -1544,7 +1808,7 @@ fn engine(opts: &Opts) {
                     name,
                     run.election_rounds(),
                     run.election_rounds() as f64 / baseline.election_rounds().max(1) as f64,
-                    run.election_cost.erased_slots,
+                    run.election_cost.lanes_erased,
                     run.election_cost.crashed_rounds,
                     run.phases,
                 );
@@ -1560,7 +1824,9 @@ fn engine(opts: &Opts) {
                     churn_events,
                     rounds: run.election_rounds(),
                     fault_free_rounds: baseline.election_rounds(),
-                    erased_slots: run.election_cost.erased_slots,
+                    // Elections ride the lane sub-slot, so their erasures
+                    // land in the lane counter, not the message-slot one.
+                    erased_slots: run.election_cost.lanes_erased,
                     dropped_messages: run.election_cost.dropped_messages,
                     crashed_rounds: run.election_cost.crashed_rounds,
                     phases: run.phases,
@@ -1570,7 +1836,7 @@ fn engine(opts: &Opts) {
                 per_engine.push((name, run));
             }
             let (_, flat) = &per_engine[0];
-            assert!(flat.election_cost.erased_slots > 0);
+            assert!(flat.election_cost.lanes_erased > 0);
             for (name, run) in &per_engine[1..] {
                 assert_eq!(
                     flat.edges, run.edges,
@@ -1698,13 +1964,15 @@ fn engine(opts: &Opts) {
     let channel_json: Vec<String> = channel_rows.iter().map(ChannelBenchRow::to_json).collect();
     let wire_json: Vec<String> = wire_rows.iter().map(WireBenchRow::to_json).collect();
     let mst_json: Vec<String> = mst_rows.iter().map(MstShardedRow::to_json).collect();
+    let lane_json: Vec<String> = lane_rows.iter().map(LaneElectionRow::to_json).collect();
+    let gfn_json: Vec<String> = gfn_rows.iter().map(GlobalFnShardedRow::to_json).collect();
     let fault_json: Vec<String> = fault_rows.iter().map(FaultBenchRow::to_json).collect();
     let active_json: Vec<String> = active_rows.iter().map(ActiveSetRow::to_json).collect();
     // Record the autotuned radix-scatter block shift so a perf shift between
     // machines (or a probe change) is attributable from the JSON alone.
     let block_shift = netsim_sim::tuned_block_shift();
     let doc = format!(
-        "{{\n\"schema\": \"bench-engine/v8\",\n\"block_shift\": {block_shift},\n\
+        "{{\n\"schema\": \"bench-engine/v9\",\n\"block_shift\": {block_shift},\n\
          \"workload\": \"global-sum gossip \
          (constant-traffic heartbeat aggregation; see bench::engine_bench)\",\n\
          \"payload_workload\": \"Vec<u8> frame gossip (intern-on-broadcast arena vs \
@@ -1715,6 +1983,14 @@ fn engine(opts: &Opts) {
          \"mst_sharded_workload\": \"channel-sharded MST merge (per-fragment \
          bitwise elections on per-fragment channels, dynamic re-attachment to \
          the winner's channel between phases; see multimedia::mst::sharded_mst)\",\n\
+         \"lane_elections_workload\": \"saturated bitwise elections: scalar \
+         one-at-a-time ElectionSeries slots vs up to 64 elections packed into \
+         word-wide LaneElectionSeries batches, identical winners asserted \
+         (see bench::engine_bench::run_lane_elections)\",\n\
+         \"global_fn_sharded_workload\": \"Section 5.1 global sensitive \
+         function with its global stage on K per-group channels: per-group \
+         rep election + TDMA partial broadcasts, reps re-attach and combine \
+         on channel 0 (see multimedia::global_fn::compute_sharded)\",\n\
          \"faults_workload\": \"seeded erasures and scripted churn over the \
          channel-sharded workloads: rounds to reconverge vs the fault-free \
          schedule, every result verified (see netsim_sim::fault and \
@@ -1731,6 +2007,8 @@ fn engine(opts: &Opts) {
          \"channels\": [\n{}\n],\n\
          \"wire\": [\n{}\n],\n\
          \"mst_sharded\": [\n{}\n],\n\
+         \"lane_elections\": [\n{}\n],\n\
+         \"global_fn_sharded\": [\n{}\n],\n\
          \"faults\": [\n{}\n],\n\
          \"active_set\": [\n{}\n],\n\
          \"graph_construction\": [\n{}\n],\n\
@@ -1741,6 +2019,8 @@ fn engine(opts: &Opts) {
         channel_json.join(",\n"),
         wire_json.join(",\n"),
         mst_json.join(",\n"),
+        lane_json.join(",\n"),
+        gfn_json.join(",\n"),
         fault_json.join(",\n"),
         active_json.join(",\n"),
         build_json.join(",\n"),

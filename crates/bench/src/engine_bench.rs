@@ -16,8 +16,11 @@
 //! while the reference engine clones every frame per delivery — the
 //! workload the arena path exists for.
 
+use channel_access::assigned::{ElectionSeries, LaneElectionSeries};
 use netsim_graph::{Graph, NodeId};
-use netsim_sim::{protocols::ChannelShardedSum, Protocol, ReferenceEngine, RoundIo, SyncEngine};
+use netsim_sim::{
+    protocols::ChannelShardedSum, ChannelId, Protocol, ReferenceEngine, RoundIo, SyncEngine,
+};
 use std::time::Instant;
 
 /// Global-sum gossip: every node starts with a value and, for a fixed number
@@ -609,6 +612,134 @@ pub fn run_active_set(g: &Graph, seeds: u64, rounds: u32, sparse: bool) -> Activ
     }
 }
 
+// ---------------------------------------------------------------------------
+// Election-lane dimension: scalar election slots vs word-wide lane packing.
+// ---------------------------------------------------------------------------
+
+/// Outcome of one measured election-series run (the `lane_elections`
+/// section of `BENCH_engine.json`).
+#[derive(Clone, Copy, Debug)]
+pub struct ElectionRunStats {
+    /// Engine rounds the whole series took — the number that drops by the
+    /// lane width when the slots are saturated.
+    pub rounds: u64,
+    /// Lane-word writes the contenders issued.
+    pub lane_writes: u64,
+    /// Busy lane observations across all nodes.
+    pub lanes_busy: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Fold of every node's winner view; equal across the scalar and lane
+    /// schedules iff they elected identically.
+    pub checksum: u64,
+}
+
+/// The saturated election workload: node `v` contends in slot
+/// `v mod elections` with its (globally unique) index as the station id, so
+/// every one of the `elections` slots has contenders and the expected winner
+/// of slot `s` is the largest node index congruent to `s`.
+fn election_entry(v: NodeId, n: usize, elections: u32) -> Option<(u32, u64)> {
+    debug_assert!(v.index() < n);
+    Some(((v.index() % elections as usize) as u32, v.index() as u64))
+}
+
+/// Station-id width for [`election_entry`] on an `n`-node graph.
+pub fn election_bits(n: usize) -> u32 {
+    (usize::BITS - n.next_power_of_two().leading_zeros()).max(1)
+}
+
+fn election_fold(checksum: &mut u64, winners: &[Option<u64>], n: usize, elections: u32) {
+    for (s, &won) in winners.iter().enumerate() {
+        let last = n - 1;
+        let expected = last - (last + elections as usize - s) % elections as usize;
+        assert_eq!(
+            won,
+            Some(expected as u64),
+            "slot {s} must elect its largest contender"
+        );
+        *checksum = checksum
+            .rotate_left(7)
+            .wrapping_add(won.unwrap_or(u64::MAX) ^ s as u64);
+    }
+}
+
+/// Runs the saturated election workload as `elections` *scalar*
+/// [`ElectionSeries`] slots — one election at a time on the channel — and
+/// verifies every node elected the spec winners.
+pub fn run_scalar_elections(g: &Graph, elections: u32) -> ElectionRunStats {
+    let n = g.node_count();
+    assert!(
+        elections as usize <= n,
+        "saturation needs a contender per slot"
+    );
+    let bits = election_bits(n);
+    let mut engine = SyncEngine::new(g, |v| {
+        ElectionSeries::new(
+            election_entry(v, n, elections),
+            bits,
+            elections,
+            ChannelId(0),
+        )
+    });
+    let budget = u64::from(elections) * ElectionSeries::slot_rounds(bits) + 8;
+    let start = Instant::now();
+    let completed = engine.run(budget).is_completed();
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(completed, "scalar series must quiesce within its schedule");
+    let cost = *engine.cost();
+    let mut checksum = 0u64;
+    for v in g.nodes() {
+        election_fold(&mut checksum, engine.node(v).winners(), n, elections);
+    }
+    ElectionRunStats {
+        rounds: cost.rounds,
+        lane_writes: cost.lane_writes,
+        lanes_busy: cost.lanes_busy,
+        seconds,
+        checksum,
+    }
+}
+
+/// Runs the same saturated workload with up to `width` elections packed
+/// into each word-wide lane batch ([`LaneElectionSeries`]); at `width` 64
+/// with 64 saturated slots the whole series costs one batch — a ~64×
+/// round-count reduction over [`run_scalar_elections`].
+pub fn run_lane_elections(g: &Graph, elections: u32, width: u32) -> ElectionRunStats {
+    let n = g.node_count();
+    assert!(
+        elections as usize <= n,
+        "saturation needs a contender per slot"
+    );
+    let bits = election_bits(n);
+    let mut engine = SyncEngine::new(g, |v| {
+        LaneElectionSeries::new(
+            election_entry(v, n, elections),
+            bits,
+            elections,
+            width,
+            ChannelId(0),
+        )
+    });
+    let batches = u64::from(elections.div_ceil(width));
+    let budget = batches * LaneElectionSeries::slot_rounds(bits) + 8;
+    let start = Instant::now();
+    let completed = engine.run(budget).is_completed();
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(completed, "lane series must quiesce within its schedule");
+    let cost = *engine.cost();
+    let mut checksum = 0u64;
+    for v in g.nodes() {
+        election_fold(&mut checksum, engine.node(v).winners(), n, elections);
+    }
+    ElectionRunStats {
+        rounds: cost.rounds,
+        lane_writes: cost.lane_writes,
+        lanes_busy: cost.lanes_busy,
+        seconds,
+        checksum,
+    }
+}
+
 /// Runs the workload on the allocation-per-round reference engine.
 pub fn run_reference(g: &Graph, rounds: u32) -> RunStats {
     let mut engine = ReferenceEngine::new(g, |v| GlobalSumGossip::new(v, rounds));
@@ -719,6 +850,29 @@ mod tests {
         assert!(sparse.stepped <= u64::from(rounds) * seeds);
         assert!(sparse.activity(4_096) < 0.01);
         assert!((dense.activity(4_096) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lane_packing_cuts_saturated_election_rounds() {
+        let g = Family::Grid.generate(256, 3);
+        let elections = 64u32;
+        let scalar = run_scalar_elections(&g, elections);
+        let lanes_1 = run_lane_elections(&g, elections, 1);
+        let lanes_64 = run_lane_elections(&g, elections, 64);
+        // Width-1 lanes are the scalar schedule; same winners everywhere.
+        assert_eq!(scalar.checksum, lanes_1.checksum);
+        assert_eq!(scalar.checksum, lanes_64.checksum);
+        assert_eq!(scalar.rounds, lanes_1.rounds);
+        // 64 saturated slots in one word-wide batch: >= 8x fewer rounds
+        // (the BENCH_engine.json acceptance bar; the schedule says ~64x).
+        assert!(
+            lanes_64.rounds * 8 <= scalar.rounds,
+            "expected >= 8x round cut, got {} vs {}",
+            lanes_64.rounds,
+            scalar.rounds
+        );
+        assert!(lanes_64.lane_writes > 0);
+        assert!(lanes_64.lanes_busy > 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! same schedule order, same per-outcome slot counts (on the assigned
 //! channel), one probe per round.
 
-use netsim_sim::{ChannelId, Protocol, RoundIo, SlotOutcome};
+use netsim_sim::{ChannelId, LaneOutcome, Protocol, RoundIo, SlotOutcome};
 
 fn mix(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.wrapping_mul(0x9e3779b97f4a7c15);
@@ -211,67 +211,109 @@ impl Protocol for AssignedElection {
 }
 
 // ---------------------------------------------------------------------------
-// Slot-scheduled series of bitwise elections over an assigned channel
+// Bit-parallel lanes of bitwise elections over an assigned channel
 // ---------------------------------------------------------------------------
 
-/// A **series** of [`AssignedElection`]-style bitwise elections on one
-/// assigned channel, serialized in known slot order — the per-phase workhorse
-/// of the channel-sharded MST: each fragment scheduled on the channel gets
-/// one election slot, its members contend with their `bits`-bit station ids
-/// (max id wins), and **every** node attached to the channel learns every
-/// slot's winner.
+/// Up to 64 **concurrent** bitwise elections per batch, packed one per lane
+/// of the channel's bit-parallel lane sub-slot
+/// ([`RoundIo::write_lanes_on`]) — the `w`-wide generalization of
+/// [`ElectionSeries`], and the primitive that collapses a phase of `F`
+/// fragment elections from `F·(bits+2)` rounds to `⌈F/w⌉·(bits+2)`.
 ///
-/// As for every bitwise election, the station ids contending in one slot
-/// must be **distinct**: two contenders sharing an id would survive every
-/// probe together and collide in the announce slot, which the listeners
-/// cannot distinguish from an empty election
-/// ([`ElectionSeries::winners`] reports `None`).  The sharded MST satisfies
-/// this structurally — a fragment's stations are its members' distinct
-/// candidate edges.
+/// Election slot `e` occupies lane `e % width` of batch `e / width`; a batch
+/// runs all of its lanes *simultaneously* in `L = bits + 2` local rounds:
 ///
-/// Unlike [`AssignedElection`], the series counts rounds **locally** (from
-/// the step the state was seeded at) rather than from the engine's absolute
-/// round clock, so it can be re-armed between phases of a multi-phase
-/// pipeline via the engines' `update_nodes` + `reattach` hooks without any
-/// cross-engine round-offset bookkeeping.  Election `j` occupies local
-/// rounds `j·L .. (j+1)·L` with `L = bits + 2` (`bits` probe rounds, one
-/// announce slot, one observation round); a node stepped after its series
-/// finished (its channel hosted fewer elections than the engine's busiest
-/// one) is a no-op.
+/// * **round 0 — presence**: the contender of lane `ℓ` writes `1 << ℓ`.
+///   The resolved presence word tells every listener which lanes host a
+///   non-empty election (and disambiguates "no contender" from "winner with
+///   id 0");
+/// * **rounds 1..=bits — probes**: round `t` probes bit `bits − t`, most
+///   significant first.  An active contender whose id has the probed bit
+///   set writes its lane bit; each round also observes the previous probe's
+///   resolved word and a contender goes inactive iff its *own lane's* bit
+///   was busy while its id bit was 0 — the per-lane knockout of the scalar
+///   election, 64 lanes at once;
+/// * **round bits + 1 — observation**: the last probe's word arrives.  No
+///   announce slot is needed: in a max-id knockout, bit `b` of lane `ℓ`'s
+///   winner *equals* the busy bit `ℓ` of the probe-`b` word, so every
+///   attached node reconstructs every lane's winner from the stored probe
+///   words plus the presence word.
+///
+/// # Determinism contract
+///
+/// A lane election is deterministic end to end, on every substrate:
+///
+/// * lane resolution is a commutative OR-fold
+///   ([`resolve_lanes`](netsim_sim::resolve_lanes)), so the resolved word —
+///   and hence every knockout, every reconstructed winner — is independent
+///   of node iteration order, engine internals (flat arena, reference
+///   clone, lockstep tick, wire datagram arrival order), and parallel
+///   stepping;
+/// * the schedule is a pure function of the **local** round counter seeded
+///   at construction, with [`RoundIo::wake_me`] arming idle probe rounds,
+///   so sparse/dense runs and re-armed multi-phase pipelines
+///   (`update_nodes` + `reattach`) are bit-identical;
+/// * fault draws ([`FaultPlan`](netsim_sim::FaultPlan) erasure and
+///   corruption coins) are pure functions of `(seed, round, channel)`,
+///   replicated on every host.
+///
+/// Consequently the full result vector — [`winners`](Self::winners) on
+/// every attached node — is bit-identical across
+/// `SyncEngine`/`ReferenceEngine`/`Lockstep`/`WireNet` for the same seeds,
+/// which the `engine_conformance` and proptest suites pin lane-by-lane
+/// against 64 independent scalar [`ElectionSeries`] runs.
+///
+/// # Station ids must be distinct per lane
+///
+/// Two contenders of one lane sharing the maximal id would survive every
+/// probe together; the reconstruction then reports *that shared id* (the
+/// scalar series' announce collision instead reported `None`).  Drivers
+/// must guarantee per-lane distinctness — the sharded MST does so
+/// structurally (a fragment's stations are distinct packed edge keys).
 ///
 /// # Fault semantics
 ///
-/// Under a [`FaultPlan`](netsim_sim::FaultPlan) the series keeps its fixed
-/// horizon — faults degrade *results*, never *termination*:
+/// The series keeps its fixed horizon — faults degrade *results*, never
+/// *termination*:
 ///
-/// * an **`Erased`** probe slot is treated as busy (like `Success` and
-///   `Collision`), which is *truthful*: a slot is only ever erased when at
-///   least one station transmitted, so the knockout it induces is exactly
-///   the one the un-erased outcome would have induced;
-/// * an **`Erased` announce slot** destroys the winner's id in flight: the
-///   slot's entry in [`ElectionSeries::winners`] stays `None`, which every
-///   listener observes identically — indistinguishable from an empty
-///   election, and handled the same way by drivers (the sharded MST simply
-///   retries the fragment in its next phase);
-/// * a **crashed contender** stops transmitting, so the slot may elect a
-///   different (still unique) survivor, or nobody.  Drivers that act on a
-///   winner must re-validate it against their own ground truth — see
-///   `multimedia::mst`'s phase driver.
+/// * an **`Erased` lane word poisons its whole batch**: the knockout and
+///   reconstruction of *every* lane of the batch depend on each resolved
+///   word, so all contenders of the batch deactivate and all of its entries
+///   in [`winners`](Self::winners) stay `None` — observed identically by
+///   every listener (erasure is a channel-level event), and handled like an
+///   empty election by drivers (retry in the next phase);
+/// * a **corrupted** lane word ([`FaultPlan::with_corruption`](netsim_sim::FaultPlan::with_corruption))
+///   flips one seeded bit for *all* hearers alike, so listeners still
+///   agree — on a possibly wrong winner; drivers re-validate winners
+///   against ground truth exactly as for crashed contenders;
+/// * a **crashed contender** stops transmitting, so a lane may elect a
+///   different (still unique) survivor, or nobody; a recovered node's own
+///   series retires inert ([`crashed_out`](Self::crashed_out)).
 ///
-/// Consequently, for any erasure-only schedule each reported winner is
-/// either `None` or the exact fault-free leader of its slot.
+/// For any erasure-only schedule each reported winner is either `None` or
+/// the exact fault-free leader of its lane.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ElectionSeries {
+pub struct LaneElectionSeries {
     chan: ChannelId,
     bits: u32,
+    /// Lanes per batch, `1..=64`.
+    width: u32,
     /// `(slot, station id)` this node contends in, `None` for pure listeners.
     entry: Option<(u32, u64)>,
     /// Number of election slots scheduled on this node's channel.
     elections: u32,
     /// Per-slot winner station ids (`None` for an empty election).
     winners: Vec<Option<u64>>,
-    /// Still in the running for the current slot's election.
+    /// Still in the running for the current batch.
     active: bool,
+    /// The current batch observed an erased lane word: every lane of the
+    /// batch reports `None`.
+    poisoned: bool,
+    /// Presence word of the current batch (resolved round-0 write).
+    presence: u64,
+    /// Resolved probe words of the current batch, index `i` holding the
+    /// probe of bit `bits - 1 - i`.
+    busy_words: Vec<u64>,
     /// Local round counter since seeding.
     round: u64,
     /// Set on recovery from a crash: the local round counter is stale (the
@@ -281,19 +323,26 @@ pub struct ElectionSeries {
     done: bool,
 }
 
-impl ElectionSeries {
+impl LaneElectionSeries {
     /// Per-node state: this node contends in election slot `entry.0` with
     /// station id `entry.1` (`None` for a listener), `elections` slots run
-    /// on channel `chan`, ids fit in `bits` bits.  Station ids must be
-    /// distinct per slot (see the type docs) — a cross-node invariant the
-    /// constructor cannot check locally.
+    /// on channel `chan` packed `width` lanes per batch, ids fit in `bits`
+    /// bits.  Station ids must be distinct per lane (see the type docs) — a
+    /// cross-node invariant the constructor cannot check locally.
     ///
     /// # Panics
     ///
-    /// Panics unless `1 <= bits <= 63`, the entry's slot is within the
-    /// series, and its station id fits in `bits` bits.
-    pub fn new(entry: Option<(u32, u64)>, bits: u32, elections: u32, chan: ChannelId) -> Self {
+    /// Panics unless `1 <= bits <= 63`, `1 <= width <= 64`, the entry's
+    /// slot is within the series, and its station id fits in `bits` bits.
+    pub fn new(
+        entry: Option<(u32, u64)>,
+        bits: u32,
+        elections: u32,
+        width: u32,
+        chan: ChannelId,
+    ) -> Self {
         assert!(bits > 0 && bits <= 63, "bits must be in 1..=63");
+        assert!(width > 0 && width <= 64, "width must be in 1..=64");
         if let Some((slot, id)) = entry {
             assert!(
                 slot < elections,
@@ -301,13 +350,17 @@ impl ElectionSeries {
             );
             assert!(id < (1u64 << bits), "id {id} does not fit in {bits} bits");
         }
-        ElectionSeries {
+        LaneElectionSeries {
             chan,
             bits,
+            width,
             entry,
             elections,
             winners: vec![None; elections as usize],
             active: false,
+            poisoned: false,
+            presence: 0,
+            busy_words: vec![0; bits as usize],
             round: 0,
             crashed_out: false,
             done: elections == 0,
@@ -316,27 +369,35 @@ impl ElectionSeries {
 
     /// `true` once the node has crashed and recovered mid-series: its local
     /// round counter is stale, so [`Protocol::on_recover`] retired it to an
-    /// inert (done, never-writing) state and its [`ElectionSeries::winners`]
-    /// are frozen mid-phase — drivers must not read them.
+    /// inert (done, never-writing) state and its winners are frozen
+    /// mid-phase — drivers must not read them.
     pub fn crashed_out(&self) -> bool {
         self.crashed_out
     }
 
-    /// Rounds one election slot occupies: `bits` probes, the announce slot,
-    /// and the observation round.
+    /// Rounds one batch occupies: the presence round, `bits` probes, and
+    /// the observation round — identical to the scalar
+    /// [`ElectionSeries::slot_rounds`], so lane packing divides phase
+    /// rounds by the batch width without changing the per-batch shape.
     pub fn slot_rounds(bits: u32) -> u64 {
         u64::from(bits) + 2
     }
 
+    /// Batches this series runs: `⌈elections / width⌉`.
+    pub fn batches(&self) -> u32 {
+        self.elections.div_ceil(self.width)
+    }
+
     /// Per-slot winner station ids, in slot order (`None` for a slot whose
-    /// election had no contender).  Identical on every node attached to the
-    /// channel once the series is done.
+    /// election had no contender or whose batch was erasure-poisoned).
+    /// Identical on every node attached to the channel once the series is
+    /// done.
     pub fn winners(&self) -> &[Option<u64>] {
         &self.winners
     }
 }
 
-impl Protocol for ElectionSeries {
+impl Protocol for LaneElectionSeries {
     type Msg = u64;
 
     fn step(&mut self, io: &mut RoundIo<'_, u64>) {
@@ -344,52 +405,83 @@ impl Protocol for ElectionSeries {
             return; // the engine's busiest channel is still electing
         }
         let l = Self::slot_rounds(self.bits);
-        let j = (self.round / l) as u32;
+        let batch = (self.round / l) as u32;
         let t = self.round % l;
         let bits = self.bits;
-        let station = self.entry.and_then(|(slot, id)| (slot == j).then_some(id));
+        // This node's lane of the current batch, if its slot falls in it.
+        let entry = self
+            .entry
+            .and_then(|(slot, id)| (slot / self.width == batch).then_some((slot % self.width, id)));
         if t == 0 {
-            self.active = station.is_some();
-        }
-        // Feedback of probe t - 1 (bit `bits - t`) knocks out the stations
-        // whose bit was 0 while the slot was busy.
-        if (1..=u64::from(bits)).contains(&t)
-            && self.active
-            && !io.prev_slot_on(self.chan).is_idle()
-        {
-            if let Some(id) = station {
-                if (id >> (bits - t as u32)) & 1 == 0 {
-                    self.active = false;
-                }
-            }
-        }
-        if t < u64::from(bits) {
-            // Probe round: active stations with the current bit set transmit.
-            if let Some(id) = station {
-                if self.active && (id >> (bits - 1 - t as u32)) & 1 == 1 {
-                    io.write_channel_on(self.chan, id);
-                }
-            }
-        } else if t == u64::from(bits) {
-            // Announce slot: the unique survivor transmits its id.
-            if self.active {
-                if let Some(id) = station {
-                    io.write_channel_on(self.chan, id);
-                }
+            // Presence round: a contender claims its lane.
+            self.active = entry.is_some();
+            self.poisoned = false;
+            self.presence = 0;
+            self.busy_words.fill(0);
+            if let Some((lane, _)) = entry {
+                io.write_lanes_on(self.chan, 1u64 << lane);
             }
         } else {
-            // Observation round: every attached node records the winner.
-            if let SlotOutcome::Success { msg, .. } = io.prev_slot_on(self.chan) {
-                self.winners[j as usize] = Some(*msg);
+            // Observe the word resolved from round t - 1's writes.
+            match io.prev_lanes_on(self.chan) {
+                LaneOutcome::Erased => {
+                    // Every lane of the batch depended on this word: poison
+                    // the batch, stop transmitting, report all-None.
+                    self.poisoned = true;
+                    self.active = false;
+                }
+                outcome => {
+                    let word = outcome.word().unwrap_or(0);
+                    if t == 1 {
+                        self.presence = word;
+                    } else {
+                        // Word of the probe of bit `bits - (t - 1)`.
+                        self.busy_words[(t - 2) as usize] = word;
+                        if let Some((lane, id)) = entry {
+                            if self.active
+                                && word & (1 << lane) != 0
+                                && (id >> (bits - (t as u32 - 1))) & 1 == 0
+                            {
+                                self.active = false;
+                            }
+                        }
+                    }
+                }
             }
-            if j + 1 == self.elections {
-                self.done = true;
+            if t <= u64::from(bits) {
+                // Probe round t transmits bit `bits - t`, MSB first.
+                if let Some((lane, id)) = entry {
+                    if self.active && (id >> (bits - t as u32)) & 1 == 1 {
+                        io.write_lanes_on(self.chan, 1u64 << lane);
+                    }
+                }
+            } else {
+                // Observation round: reconstruct every lane's winner from
+                // the stored probe words (bit b of the winner == busy bit of
+                // the probe-b word) gated by the presence word.
+                if !self.poisoned {
+                    let base = batch * self.width;
+                    for lane in 0..self.width.min(self.elections - base) {
+                        if self.presence & (1 << lane) != 0 {
+                            let mut id = 0u64;
+                            for (i, &w) in self.busy_words.iter().enumerate() {
+                                if w & (1 << lane) != 0 {
+                                    id |= 1 << (bits - 1 - i as u32);
+                                }
+                            }
+                            self.winners[(base + lane) as usize] = Some(id);
+                        }
+                    }
+                }
+                if (batch + 1) * self.width >= self.elections {
+                    self.done = true;
+                }
             }
         }
         self.round += 1;
-        // Phase arming: the probe/announce schedule runs off the local round
-        // counter, and idle probe slots never wake a node under sparse
-        // stepping — an unfinished series schedules its own next round.
+        // Phase arming: the probe schedule runs off the local round counter,
+        // and idle probe rounds never wake a node under sparse stepping — an
+        // unfinished series schedules its own next round.
         if !self.done {
             io.wake_me();
         }
@@ -401,12 +493,87 @@ impl Protocol for ElectionSeries {
 
     fn on_recover(&mut self) {
         // The node missed steps while crashed, so its local round counter no
-        // longer tracks the shared slot schedule: writing again would corrupt
-        // other fragments' elections.  Retire to an inert, done state (the
-        // recorded winners are frozen and must not be read — see
-        // [`ElectionSeries::crashed_out`]).
+        // longer tracks the shared batch schedule: writing again would
+        // corrupt other lanes' elections.  Retire to an inert, done state.
         self.crashed_out = true;
         self.done = true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slot-scheduled series of bitwise elections over an assigned channel
+// ---------------------------------------------------------------------------
+
+/// A **series** of bitwise elections on one assigned channel, serialized in
+/// known slot order — the per-phase workhorse of the channel-sharded MST:
+/// each fragment scheduled on the channel gets one election slot, its
+/// members contend with their `bits`-bit station ids (max id wins), and
+/// **every** node attached to the channel learns every slot's winner.
+///
+/// This is the **1-lane special case** of [`LaneElectionSeries`]: each
+/// election occupies lane 0 of its own batch, so slots run one after the
+/// other in `L = bits + 2` rounds each, exactly the scalar schedule.  All
+/// semantics — local round counting for multi-phase re-arming, the
+/// distinct-ids-per-slot requirement, crash retirement
+/// ([`crashed_out`](Self::crashed_out)), and the fault contract (an erased
+/// round reports the slot `None`; for erasure-only schedules each winner is
+/// `None` or the exact fault-free leader) — are inherited from the lane
+/// series; see its docs for the determinism contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElectionSeries {
+    inner: LaneElectionSeries,
+}
+
+impl ElectionSeries {
+    /// Per-node state: this node contends in election slot `entry.0` with
+    /// station id `entry.1` (`None` for a listener), `elections` slots run
+    /// on channel `chan`, ids fit in `bits` bits.  Station ids must be
+    /// distinct per slot — a cross-node invariant the constructor cannot
+    /// check locally.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 63`, the entry's slot is within the
+    /// series, and its station id fits in `bits` bits.
+    pub fn new(entry: Option<(u32, u64)>, bits: u32, elections: u32, chan: ChannelId) -> Self {
+        ElectionSeries {
+            inner: LaneElectionSeries::new(entry, bits, elections, 1, chan),
+        }
+    }
+
+    /// `true` once the node has crashed and recovered mid-series — see
+    /// [`LaneElectionSeries::crashed_out`].
+    pub fn crashed_out(&self) -> bool {
+        self.inner.crashed_out()
+    }
+
+    /// Rounds one election slot occupies: the presence round, `bits`
+    /// probes, and the observation round.
+    pub fn slot_rounds(bits: u32) -> u64 {
+        LaneElectionSeries::slot_rounds(bits)
+    }
+
+    /// Per-slot winner station ids, in slot order (`None` for a slot whose
+    /// election had no contender).  Identical on every node attached to the
+    /// channel once the series is done.
+    pub fn winners(&self) -> &[Option<u64>] {
+        self.inner.winners()
+    }
+}
+
+impl Protocol for ElectionSeries {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        self.inner.step(io);
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    fn on_recover(&mut self) {
+        self.inner.on_recover();
     }
 }
 
@@ -679,9 +846,8 @@ mod tests {
 
     #[test]
     fn election_series_erased_announce_reports_none() {
-        // With every busy slot erased, probe feedback is still truthfully
-        // "busy" (the knockout sequence is unchanged), but the announce
-        // slot's id never reaches the listeners: the series runs its exact
+        // With every busy lane word erased, the presence word is destroyed
+        // in flight and the batch is poisoned: the series runs its exact
         // fault-free horizon and every slot reports an empty election.
         let g = generators::ring(10);
         let bits = 6;
@@ -692,7 +858,7 @@ mod tests {
         let out = eng.run(10_000);
         assert!(out.is_completed());
         assert_eq!(out.rounds(), ElectionSeries::slot_rounds(bits));
-        assert!(eng.cost().erased_slots > 0);
+        assert!(eng.cost().lanes_erased > 0);
         for v in g.nodes() {
             assert_eq!(eng.node(v).winners(), &[None]);
         }

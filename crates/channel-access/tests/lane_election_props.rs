@@ -1,0 +1,297 @@
+//! Property tests pinning [`LaneElectionSeries`] against its executable
+//! scalar specification.
+//!
+//! The lane series packs up to 64 concurrent bitwise elections into the
+//! channel's word-wide lane sub-slot; [`ElectionSeries`] is its 1-lane
+//! special case and serves as the spec.  Three contracts:
+//!
+//! 1. **lane-by-lane equivalence** — for random slot assignments, station
+//!    ids, widths, and message-slot traffic, every slot's winner under lane
+//!    packing equals the winner the scalar series elects for that slot (and
+//!    both equal the max station of the slot's contenders);
+//! 2. **erasures never corrupt** — under random lane erasures a slot's
+//!    winner is either `None` (its batch was poisoned) or exactly the
+//!    fault-free winner, never a third value;
+//! 3. **re-arm after reattach** — a second series, re-seeded via
+//!    `update_nodes` after a mid-run `reattach` that moves every node to a
+//!    different channel, elects exactly the spec winners again.
+
+use channel_access::assigned::{ElectionSeries, LaneElectionSeries};
+use netsim_graph::{generators, NodeId};
+use netsim_sim::{ChannelId, ChannelSet, FaultPlan, Protocol, RoundIo, SyncEngine};
+use proptest::prelude::*;
+
+const NODES: usize = 48;
+
+/// A series plus deterministic message-slot noise: pseudo-random writes on
+/// the channel's *message* slot while the election runs on the *lane*
+/// sub-slot.  The two sub-slots are independent by construction, so traffic
+/// must never perturb a winner.
+struct Noisy<P> {
+    inner: P,
+    chan: ChannelId,
+    /// Per-node noise seed; zero keeps the node silent.
+    noise: u64,
+    round: u64,
+}
+
+impl<P: Protocol<Msg = u64>> Protocol for Noisy<P> {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        let r = self.round;
+        self.round += 1;
+        if !self.inner.is_done() && self.noise != 0 {
+            let draw = self
+                .noise
+                .wrapping_mul(r + 1)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .rotate_left(17);
+            if draw.is_multiple_of(3) {
+                io.write_channel_on(self.chan, draw);
+            }
+        }
+        self.inner.step(io);
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    fn on_recover(&mut self) {
+        self.inner.on_recover();
+    }
+}
+
+/// One generated election workload: per-slot contender assignments with
+/// distinct stations, derived deterministically from proptest draws.
+struct Workload {
+    bits: u32,
+    elections: u32,
+    /// `entry[v]` is node `v`'s `(slot, station)` or `None` for listeners.
+    entries: Vec<Option<(u32, u64)>>,
+    /// Expected winner per slot: the max station among its contenders.
+    expected: Vec<Option<u64>>,
+}
+
+fn build_workload(bits: u32, elections: u32, picks: &[(u32, u32)], salt: u64) -> Workload {
+    let space = 1u64 << bits;
+    // Distinct stations per slot: a per-slot odd-stride walk over the id
+    // space, so up to 2^bits contenders per slot all get different ids.
+    let stride = ((salt | 1) % space) | 1;
+    let base: Vec<u64> = (0..elections)
+        .map(|s| salt.wrapping_mul(u64::from(s) + 1) % space)
+        .collect();
+    let mut taken = vec![0u64; elections as usize];
+    let mut entries = Vec::with_capacity(picks.len());
+    let mut expected = vec![None; elections as usize];
+    for &(pick, participate) in picks {
+        let slot = pick % elections;
+        let s = slot as usize;
+        // Roughly a quarter of the nodes stay pure listeners.
+        if participate == 0 || taken[s] >= space {
+            entries.push(None);
+            continue;
+        }
+        let station = (base[s] + taken[s] * stride) % space;
+        taken[s] += 1;
+        entries.push(Some((slot, station)));
+        expected[s] = Some(expected[s].map_or(station, |w: u64| station.max(w)));
+    }
+    Workload {
+        bits,
+        elections,
+        entries,
+        expected,
+    }
+}
+
+/// Runs the workload on a fresh single-channel engine with `width` lanes
+/// per batch (width 1 = the scalar schedule) and returns every node's
+/// winner view.
+fn run_lanes(
+    w: &Workload,
+    width: u32,
+    noise_salt: u64,
+    plan: Option<FaultPlan>,
+) -> Vec<Vec<Option<u64>>> {
+    let g = generators::path(NODES);
+    let mut engine = SyncEngine::new(&g, |v: NodeId| Noisy {
+        inner: LaneElectionSeries::new(
+            w.entries[v.index()],
+            w.bits,
+            w.elections,
+            width,
+            ChannelId::DEFAULT,
+        ),
+        chan: ChannelId::DEFAULT,
+        noise: noise_salt.wrapping_mul(v.index() as u64 + 1) & 0x7,
+        round: 0,
+    });
+    if let Some(plan) = plan {
+        engine.set_fault_plan(plan);
+    }
+    let batches = u64::from(w.elections.div_ceil(width));
+    let budget = batches * LaneElectionSeries::slot_rounds(w.bits) + 8;
+    assert!(
+        engine.run(budget).is_completed(),
+        "series must quiesce within its schedule"
+    );
+    g.nodes()
+        .map(|v| engine.node(v).inner.winners().to_vec())
+        .collect()
+}
+
+/// Runs the workload as *scalar* [`ElectionSeries`] slots — the executable
+/// spec the lane series is pinned against — and returns every node's
+/// winner view.
+fn run_scalar(w: &Workload, noise_salt: u64) -> Vec<Vec<Option<u64>>> {
+    let g = generators::path(NODES);
+    let mut engine = SyncEngine::new(&g, |v: NodeId| Noisy {
+        inner: ElectionSeries::new(
+            w.entries[v.index()],
+            w.bits,
+            w.elections,
+            ChannelId::DEFAULT,
+        ),
+        chan: ChannelId::DEFAULT,
+        noise: noise_salt.wrapping_mul(v.index() as u64 + 1) & 0x7,
+        round: 0,
+    });
+    let budget = u64::from(w.elections) * ElectionSeries::slot_rounds(w.bits) + 8;
+    assert!(
+        engine.run(budget).is_completed(),
+        "scalar series must quiesce within its schedule"
+    );
+    g.nodes()
+        .map(|v| engine.node(v).inner.winners().to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Contract 1: lane packing elects, slot for slot, exactly what the
+    /// scalar series (and the max-station spec) elects — under random
+    /// widths, assignments, and concurrent message-slot traffic.
+    #[test]
+    fn lane_series_matches_scalar_slot_by_slot(
+        bits in 1u32..=6,
+        width in 1u32..=64,
+        elections in 1u32..=40,
+        salt in 1u64..u64::MAX,
+        noise_salt in 0u64..u64::MAX,
+        picks in collection::vec((0u32..1_000, 0u32..4), NODES..NODES + 1),
+    ) {
+        let w = build_workload(bits, elections, &picks, salt);
+        let lanes = run_lanes(&w, width, noise_salt, None);
+        let scalar = run_scalar(&w, noise_salt);
+        for (v, view) in lanes.iter().enumerate() {
+            prop_assert_eq!(view, &w.expected, "lane view of node {}", v);
+            prop_assert_eq!(view, &scalar[v], "lane vs scalar at node {}", v);
+        }
+    }
+
+    /// Contract 2: random lane erasures may only poison a batch (all its
+    /// slots report `None`) — a surviving winner is always the exact
+    /// fault-free one, at every width.
+    #[test]
+    fn erasures_poison_but_never_corrupt(
+        bits in 1u32..=5,
+        width in 1u32..=64,
+        elections in 1u32..=32,
+        salt in 1u64..u64::MAX,
+        fault_seed in 0u64..u64::MAX,
+        erase_pct in 5u32..=40,
+        picks in collection::vec((0u32..1_000, 0u32..4), NODES..NODES + 1),
+    ) {
+        let w = build_workload(bits, elections, &picks, salt);
+        let plan = FaultPlan::from_rates(fault_seed, f64::from(erase_pct) / 100.0, 0.0, 0.0, 0.0);
+        let faulted = run_lanes(&w, width, 0, Some(plan));
+        for view in &faulted {
+            prop_assert_eq!(view.len(), w.expected.len());
+            for (s, &won) in view.iter().enumerate() {
+                prop_assert!(
+                    won.is_none() || won == w.expected[s],
+                    "slot {} elected {:?}, fault-free winner {:?}",
+                    s, won, w.expected[s]
+                );
+            }
+        }
+    }
+
+    /// Contract 3: a series re-armed through `update_nodes` after a
+    /// `reattach` that moves every node to the other channel elects exactly
+    /// the spec winners again — the multi-phase path the sharded MST and
+    /// global-function drivers rely on.
+    #[test]
+    fn re_armed_series_after_reattach_matches_spec(
+        bits in 1u32..=5,
+        width in 1u32..=16,
+        elections in 1u32..=12,
+        salt_a in 1u64..u64::MAX,
+        salt_b in 1u64..u64::MAX,
+        picks_a in collection::vec((0u32..1_000, 0u32..4), NODES..NODES + 1),
+        picks_b in collection::vec((0u32..1_000, 0u32..4), NODES..NODES + 1),
+    ) {
+        let wa = build_workload(bits, elections, &picks_a, salt_a);
+        let wb = build_workload(bits, elections, &picks_b, salt_b);
+        let g = generators::path(NODES);
+        // Phase 1: nodes split across two channels by parity; node v's
+        // series runs on its own channel.
+        let chan_1 = |v: NodeId| ChannelId((v.index() % 2) as u16);
+        let masks_1: Vec<u64> = (0..NODES).map(|i| 1u64 << (i % 2)).collect();
+        let mut engine = SyncEngine::with_channels(
+            &g,
+            ChannelSet::from_masks(2, masks_1),
+            |v: NodeId| LaneElectionSeries::new(
+                wa.entries[v.index()], bits, elections, width, chan_1(v),
+            ),
+        );
+        let batches = u64::from(elections.div_ceil(width));
+        let budget = batches * LaneElectionSeries::slot_rounds(bits) + 8;
+        prop_assert!(engine.run(budget).is_completed());
+        // Per-channel spec for phase 1: the contenders of channel c are the
+        // nodes with v % 2 == c, so recompute expectations per channel.
+        for c in 0..2u16 {
+            let mut expected = vec![None; elections as usize];
+            for (i, e) in wa.entries.iter().enumerate() {
+                if i % 2 == c as usize {
+                    if let Some((slot, st)) = *e {
+                        let s = slot as usize;
+                        expected[s] = Some(expected[s].map_or(st, |w: u64| st.max(w)));
+                    }
+                }
+            }
+            for v in g.nodes().filter(|v| v.index() % 2 == c as usize) {
+                prop_assert_eq!(engine.node(v).winners(), &expected[..]);
+            }
+        }
+        // Phase 2: every node reattaches to the *other* channel and re-arms
+        // with a fresh workload; same spec must hold on the new attachment.
+        let masks_2: Vec<u64> = (0..NODES).map(|i| 1u64 << ((i + 1) % 2)).collect();
+        engine.reattach(&masks_2);
+        let chan_2 = |v: NodeId| ChannelId(((v.index() + 1) % 2) as u16);
+        engine.update_nodes(|v, series| {
+            *series = LaneElectionSeries::new(
+                wb.entries[v.index()], bits, elections, width, chan_2(v),
+            );
+        });
+        let limit = engine.round() + budget;
+        prop_assert!(engine.run(limit).is_completed());
+        for c in 0..2u16 {
+            let mut expected = vec![None; elections as usize];
+            for (i, e) in wb.entries.iter().enumerate() {
+                if (i + 1) % 2 == c as usize {
+                    if let Some((slot, st)) = *e {
+                        let s = slot as usize;
+                        expected[s] = Some(expected[s].map_or(st, |w: u64| st.max(w)));
+                    }
+                }
+            }
+            for v in g.nodes().filter(|v| (v.index() + 1) % 2 == c as usize) {
+                prop_assert_eq!(engine.node(v).winners(), &expected[..]);
+            }
+        }
+    }
+}

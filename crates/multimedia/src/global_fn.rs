@@ -21,10 +21,16 @@
 //! `O(√n·log* n)` time.
 
 use crate::model::MultimediaNetwork;
+use crate::mst::MergeSubstrate;
 use crate::partition::{deterministic, randomized, PartitionOutcome};
+use channel_access::assigned::ElectionSeries;
 use channel_access::{backoff, capetanakis, Contender};
 use netsim_graph::{ceil_log2, log_star, NodeId, SpanningForest};
-use netsim_sim::{protocols::Convergecast, CostAccount, SyncEngine};
+use netsim_io::WireNet;
+use netsim_sim::{
+    lockstep_config, protocols::Convergecast, AsyncEngine, ChannelId, ChannelSet, CostAccount,
+    Lockstep, Protocol, ReferenceEngine, RoundIo, SlotOutcome, SyncEngine, MAX_CHANNELS,
+};
 
 /// A commutative semigroup element: the domain of a global sensitive function.
 ///
@@ -231,6 +237,514 @@ pub fn compute_randomized<T: Semigroup>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Channel-sharded global stage (engine-executed, per-group channels).
+// ---------------------------------------------------------------------------
+
+/// A [`Semigroup`] whose elements round-trip through a single channel word —
+/// the `O(log n)`-bit data element the paper's channel slots carry.
+///
+/// Implementations must satisfy `from_word(x.to_word()) == x` for every
+/// value the computation can produce; all four provided wrappers ([`Sum`],
+/// [`Min`], [`Max`], [`Xor`]) are transparent `u64` newtypes.
+pub trait WordSemigroup: Semigroup {
+    /// Packs the value into a channel word.
+    fn to_word(&self) -> u64;
+    /// Unpacks a channel word heard on the channel.
+    fn from_word(word: u64) -> Self;
+}
+
+impl WordSemigroup for Sum {
+    fn to_word(&self) -> u64 {
+        self.0
+    }
+    fn from_word(word: u64) -> Self {
+        Sum(word)
+    }
+}
+impl WordSemigroup for Min {
+    fn to_word(&self) -> u64 {
+        self.0
+    }
+    fn from_word(word: u64) -> Self {
+        Min(word)
+    }
+}
+impl WordSemigroup for Max {
+    fn to_word(&self) -> u64 {
+        self.0
+    }
+    fn from_word(word: u64) -> Self {
+        Max(word)
+    }
+}
+impl WordSemigroup for Xor {
+    fn to_word(&self) -> u64 {
+        self.0
+    }
+    fn from_word(word: u64) -> Self {
+        Xor(word)
+    }
+}
+
+/// One engine-executed phase of the sharded Section 5.1 pipeline.
+///
+/// The phase has two parts sharing one channel:
+///
+/// 1. **Rep election** (`horizon` rounds): an [`ElectionSeries`] with one
+///    slot in which the phase's broadcasters contend with their processor
+///    ids — the maximum id becomes the group representative every attached
+///    node learns.  A phase with nothing to elect sets `horizon = 0` and an
+///    inert series.
+/// 2. **Data rounds** (`data_rounds` slots): TDMA over the channel's message
+///    slot — the broadcaster with roster position `p` writes its packed
+///    partial value in slot `p`, and *every* attached node folds each heard
+///    word into its accumulator with the semigroup operation.
+///
+/// The driver composes two such phases ([`compute_sharded`]): a **group
+/// phase** on per-group channels (each group folds its trees' partials and
+/// elects its rep), then — after re-attaching everyone to channel 0 — a
+/// **combine phase** in which the elected reps broadcast their group totals
+/// to the whole network.  Both phases are executed by the engines; the
+/// driver only reads results and re-seeds state between phases.
+#[derive(Clone, Debug)]
+pub struct ShardedGlobalFn<T> {
+    series: ElectionSeries,
+    /// Election rounds before the TDMA data rounds begin.
+    horizon: u64,
+    chan: ChannelId,
+    /// This node's TDMA roster position (`None` for pure listeners).
+    slot: Option<u32>,
+    /// The packed partial this node broadcasts in its slot.
+    word: Option<u64>,
+    /// TDMA slots this phase schedules on the channel.
+    data_rounds: u64,
+    acc: Option<T>,
+    round: u64,
+    done: bool,
+}
+
+impl<T: WordSemigroup> ShardedGlobalFn<T> {
+    /// Per-node phase state; `slot`/`word` are `Some` exactly for this
+    /// phase's broadcasters.
+    pub fn new(
+        series: ElectionSeries,
+        horizon: u64,
+        chan: ChannelId,
+        slot: Option<u32>,
+        word: Option<u64>,
+        data_rounds: u64,
+    ) -> Self {
+        ShardedGlobalFn {
+            series,
+            horizon,
+            chan,
+            slot,
+            word,
+            data_rounds,
+            acc: None,
+            round: 0,
+            done: false,
+        }
+    }
+
+    /// The semigroup fold of every word this node heard this phase.
+    pub fn value(&self) -> Option<&T> {
+        self.acc.as_ref()
+    }
+
+    /// The station id the phase's rep election resolved to (`None` before
+    /// the election finishes or when the phase elects nothing).
+    pub fn elected(&self) -> Option<u64> {
+        self.series.winners().first().copied().flatten()
+    }
+}
+
+impl<T: WordSemigroup> Protocol for ShardedGlobalFn<T> {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        if self.done {
+            return;
+        }
+        let r = self.round;
+        self.round += 1;
+        if r < self.horizon {
+            self.series.step(io);
+        }
+        // Fold the word resolved from the previous data round's write.
+        if r > self.horizon && r <= self.horizon + self.data_rounds {
+            if let SlotOutcome::Success { msg, .. } = io.prev_slot_on(self.chan) {
+                let heard = T::from_word(*msg);
+                self.acc = Some(match &self.acc {
+                    None => heard,
+                    Some(acc) => acc.combine(&heard),
+                });
+            }
+        }
+        // TDMA write: roster position p owns data round p.
+        if r >= self.horizon
+            && r < self.horizon + self.data_rounds
+            && self.slot == Some((r - self.horizon) as u32)
+        {
+            if let Some(w) = self.word {
+                io.write_channel_on(self.chan, w);
+            }
+        }
+        if r >= self.horizon + self.data_rounds {
+            self.done = true;
+        } else {
+            io.wake_me();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn on_recover(&mut self) {
+        // A stale local round counter would desync both the election and the
+        // TDMA schedule: retire inert, like the series.
+        self.series.on_recover();
+        self.done = true;
+    }
+}
+
+/// Result of the channel-sharded global-function computation
+/// ([`compute_sharded`]).
+#[derive(Clone, Debug)]
+pub struct ShardedGlobalFnRun<T> {
+    /// The function value, known to (and verified identical on) every node.
+    pub value: T,
+    /// Number of trees (cores) produced by the partition stage.
+    pub tree_count: usize,
+    /// Number of per-channel groups the trees were sharded into
+    /// (`min(tree_count, k)`).
+    pub groups: usize,
+    /// Shard factor `K` the global stage contended on.
+    pub k: u16,
+    /// Cost of building the partition.
+    pub partition_cost: CostAccount,
+    /// Cost of the local (point-to-point) aggregation stage.
+    pub local_cost: CostAccount,
+    /// Engine-measured cost of both channel phases (group + combine),
+    /// reconciled across substrates.
+    pub global_cost: CostAccount,
+}
+
+impl<T> ShardedGlobalFnRun<T> {
+    /// Total cost of all three stages.
+    pub fn total_cost(&self) -> CostAccount {
+        self.partition_cost + self.local_cost + self.global_cost
+    }
+
+    /// Channel rounds the engine executed for the global stage — the number
+    /// that drops with the shard factor in the `global_fn_sharded` benchmark
+    /// section.
+    pub fn global_rounds(&self) -> u64 {
+        self.global_cost.rounds
+    }
+}
+
+/// The engine executing the sharded global stage, dispatched over the four
+/// substrates (same quartet as the sharded MST's [`MergeSubstrate`]).
+enum GlobalEngine<'g, T: WordSemigroup> {
+    Flat(SyncEngine<'g, ShardedGlobalFn<T>>),
+    Reference(ReferenceEngine<'g, ShardedGlobalFn<T>>),
+    Lockstep(AsyncEngine<'g, Lockstep<ShardedGlobalFn<T>>>),
+    Wire(WireNet<'g, ShardedGlobalFn<T>>),
+}
+
+/// Hosts the wire substrate partitions the node set across.
+const WIRE_GLOBAL_HOSTS: u16 = 2;
+
+impl<'g, T: WordSemigroup + Clone> GlobalEngine<'g, T> {
+    fn new<F: FnMut(NodeId) -> ShardedGlobalFn<T>>(
+        which: MergeSubstrate,
+        g: &'g netsim_graph::Graph,
+        k: u16,
+        masks: &[u64],
+        mut init: F,
+    ) -> Self {
+        let channels = ChannelSet::from_masks(k, masks.to_vec());
+        match which {
+            MergeSubstrate::Flat => {
+                GlobalEngine::Flat(SyncEngine::with_channels(g, channels, init))
+            }
+            MergeSubstrate::Reference => {
+                GlobalEngine::Reference(ReferenceEngine::with_channels(g, channels, init))
+            }
+            MergeSubstrate::AsyncLockstep => GlobalEngine::Lockstep(AsyncEngine::with_channels(
+                g,
+                lockstep_config(),
+                channels,
+                |v| Lockstep::new(init(v), k),
+            )),
+            MergeSubstrate::Wire => {
+                GlobalEngine::Wire(WireNet::with_channels(g, channels, WIRE_GLOBAL_HOSTS, init))
+            }
+        }
+    }
+
+    /// Applies the combine phase's attachment snapshot and re-seeds every
+    /// node's phase state.
+    fn reseed<F: FnMut(NodeId) -> ShardedGlobalFn<T>>(&mut self, masks: &[u64], mut init: F) {
+        match self {
+            GlobalEngine::Flat(e) => {
+                e.reattach(masks);
+                e.update_nodes(|v, p| *p = init(v));
+            }
+            GlobalEngine::Reference(e) => {
+                e.reattach(masks);
+                e.update_nodes(|v, p| *p = init(v));
+            }
+            GlobalEngine::Lockstep(e) => {
+                e.reattach(masks);
+                e.update_nodes(|v, adapter| *adapter.inner_mut() = init(v));
+            }
+            GlobalEngine::Wire(e) => {
+                e.reattach(masks);
+                e.update_nodes(|v, p| *p = init(v));
+            }
+        }
+    }
+
+    /// Runs the current phase to quiescence within `rounds` plus slack.
+    fn run_phase(&mut self, rounds: u64) {
+        let budget = rounds + 8;
+        let completed = match self {
+            GlobalEngine::Flat(e) => {
+                let limit = e.round() + budget;
+                e.run(limit).is_completed()
+            }
+            GlobalEngine::Reference(e) => {
+                let limit = e.round() + budget;
+                e.run(limit).is_completed()
+            }
+            GlobalEngine::Lockstep(e) => {
+                let limit = e.tick() + budget;
+                e.run(limit)
+            }
+            GlobalEngine::Wire(e) => {
+                let limit = e.round() + budget;
+                e.run(limit).is_completed()
+            }
+        };
+        assert!(
+            completed,
+            "global-stage phase must quiesce within its schedule"
+        );
+    }
+
+    /// The station id node `v`'s rep election resolved to.
+    fn elected(&self, v: NodeId) -> Option<u64> {
+        match self {
+            GlobalEngine::Flat(e) => e.node(v).elected(),
+            GlobalEngine::Reference(e) => e.node(v).elected(),
+            GlobalEngine::Lockstep(e) => e.node(v).inner().elected(),
+            GlobalEngine::Wire(e) => e.node(v).elected(),
+        }
+    }
+
+    /// Node `v`'s folded phase value.
+    fn value(&self, v: NodeId) -> Option<T> {
+        match self {
+            GlobalEngine::Flat(e) => e.node(v).value().cloned(),
+            GlobalEngine::Reference(e) => e.node(v).value().cloned(),
+            GlobalEngine::Lockstep(e) => e.node(v).inner().value().cloned(),
+            GlobalEngine::Wire(e) => e.node(v).value().cloned(),
+        }
+    }
+
+    /// The engine's cost account, lockstep-reconciled like the sharded
+    /// MST's (see [`netsim_sim::lockstep`]).
+    fn cost(&self, k: u16) -> CostAccount {
+        match self {
+            GlobalEngine::Flat(e) => *e.cost(),
+            GlobalEngine::Reference(e) => *e.cost(),
+            GlobalEngine::Lockstep(e) => netsim_sim::reconciled_cost(*e.cost(), k),
+            GlobalEngine::Wire(e) => *e.cost(),
+        }
+    }
+}
+
+/// Channel-sharded deterministic computation of a global sensitive function:
+/// the Section 5.1 pipeline with its global stage ported onto per-group
+/// channels of a `K`-channel [`ChannelSet`], entirely engine-executed.
+///
+/// * **Group phase** — tree `i` of the partition is assigned to channel
+///   `i mod K`, and every node attaches to its tree's channel.  On each
+///   channel the attached cores elect a group representative by processor
+///   id ([`ElectionSeries`], one slot), then broadcast their tree partials
+///   in TDMA slots; every group member folds them into the group total.
+/// * **Combine phase** — the driver re-attaches all nodes to channel 0
+///   (dynamic-attachment snapshot, as in the sharded MST) and re-seeds the
+///   phase state; the `min(F, K)` elected reps broadcast their group totals
+///   in TDMA slots, and every node folds them into the function value.
+///
+/// With `K` channels the group phase runs its `⌈F/K⌉`-ish broadcasts per
+/// channel concurrently, so the busiest channel's round count — and with it
+/// the engine-measured global-stage time — drops with the shard factor
+/// (the `global_fn_sharded` section of `BENCH_engine.json`), while the
+/// value stays exactly [`compute_deterministic`]'s on all four substrates.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != n`, `n == 0`, the graph is disconnected, or
+/// `k` is outside `1..=`[`MAX_CHANNELS`].
+pub fn compute_sharded<T: WordSemigroup>(
+    net: &MultimediaNetwork,
+    inputs: &[T],
+    k: u16,
+    which: MergeSubstrate,
+) -> ShardedGlobalFnRun<T> {
+    assert!(net.node_count() > 0, "need at least one processor");
+    let partition = deterministic::partition_to_level(net, balanced_target_level(net));
+    compute_sharded_with_partition(net, &partition, inputs, k, which)
+}
+
+/// [`compute_sharded`] on a pre-computed partition.
+pub fn compute_sharded_with_partition<T: WordSemigroup>(
+    net: &MultimediaNetwork,
+    partition: &PartitionOutcome,
+    inputs: &[T],
+    k: u16,
+    which: MergeSubstrate,
+) -> ShardedGlobalFnRun<T> {
+    let g = net.graph();
+    let n = g.node_count();
+    assert!(n > 0, "need at least one processor");
+    assert!(
+        (1..=MAX_CHANNELS).contains(&k),
+        "shard factor {k} outside 1..={MAX_CHANNELS}"
+    );
+    let (partials, local_cost) = local_aggregate(net, &partition.forest, inputs);
+    let f = partials.len();
+
+    // Group assignment: tree i -> channel i mod K; its core's TDMA roster
+    // position is its rank among the trees on that channel.
+    let mut roster = vec![0u32; f];
+    let mut group_size = vec![0u32; k as usize];
+    for (i, r) in roster.iter_mut().enumerate() {
+        let c = i % k as usize;
+        *r = group_size[c];
+        group_size[c] += 1;
+    }
+    // Every node attaches to its tree's channel.
+    let mut tree_of = vec![usize::MAX; n];
+    {
+        let mut core_index = vec![usize::MAX; n];
+        for (i, &(r, _)) in partials.iter().enumerate() {
+            core_index[r.index()] = i;
+        }
+        for v in g.nodes() {
+            tree_of[v.index()] = core_index[partition.forest.root_of(v).index()];
+        }
+    }
+    let chan_of = |v: NodeId| ChannelId((tree_of[v.index()] % k as usize) as u16);
+    let masks: Vec<u64> = g.nodes().map(|v| 1u64 << chan_of(v).index()).collect();
+
+    // Group-phase broadcasters: the cores, with their roster slots and
+    // packed tree partials.
+    let mut slot_word: Vec<Option<(u32, u64)>> = vec![None; n];
+    for (i, (r, val)) in partials.iter().enumerate() {
+        slot_word[r.index()] = Some((roster[i], val.to_word()));
+    }
+    let bits = net.id_bits();
+    let horizon = ElectionSeries::slot_rounds(bits);
+    let init = |v: NodeId| {
+        let c = chan_of(v);
+        let entry = slot_word[v.index()].map(|_| (0u32, net.id_of(v)));
+        ShardedGlobalFn::new(
+            ElectionSeries::new(entry, bits, 1, c),
+            horizon,
+            c,
+            slot_word[v.index()].map(|(p, _)| p),
+            slot_word[v.index()].map(|(_, w)| w),
+            u64::from(group_size[c.index()]),
+        )
+    };
+    let mut engine = GlobalEngine::new(which, g, k, &masks, init);
+    let max_group = group_size.iter().copied().max().unwrap_or(0);
+    engine.run_phase(horizon + u64::from(max_group) + 1);
+
+    // Group-phase harvest: the elected rep and folded total of every group.
+    // Channels fill round-robin from 0, so channels 0..min(F, K) each host a
+    // group.
+    let groups = f.min(k as usize);
+    let mut rep_of: Vec<Option<NodeId>> = vec![None; groups];
+    for (i, &(r, _)) in partials.iter().enumerate() {
+        let c = i % k as usize;
+        let elected = engine
+            .elected(r)
+            .expect("fault-free rep election must resolve");
+        if elected == net.id_of(r) {
+            rep_of[c] = Some(r);
+        }
+    }
+    let group_val: Vec<T> = rep_of
+        .iter()
+        .enumerate()
+        .map(|(c, rep)| {
+            let rep = rep.unwrap_or_else(|| panic!("group {c} elected no attached core"));
+            engine
+                .value(rep)
+                .expect("a group rep heard its own broadcast")
+        })
+        .collect();
+    // Conformance: every member of a group folded the same group total.
+    for v in g.nodes() {
+        let c = tree_of[v.index()] % k as usize;
+        let folded = engine
+            .value(v)
+            .expect("every group member heard its group's broadcasts");
+        assert_eq!(
+            folded.to_word(),
+            group_val[c].to_word(),
+            "group members must agree on the group total"
+        );
+    }
+
+    // Combine phase: everyone re-attaches to channel 0; the rep of group c
+    // broadcasts the group total in TDMA slot c; nothing is elected.
+    let masks_combine = vec![1u64; n];
+    let init_combine = |v: NodeId| {
+        let c = tree_of[v.index()] % k as usize;
+        let mine = rep_of[c] == Some(v);
+        ShardedGlobalFn::new(
+            ElectionSeries::new(None, bits, 0, ChannelId(0)),
+            0,
+            ChannelId(0),
+            mine.then_some(c as u32),
+            mine.then(|| group_val[c].to_word()),
+            groups as u64,
+        )
+    };
+    engine.reseed(&masks_combine, init_combine);
+    engine.run_phase(groups as u64 + 1);
+
+    let value = engine
+        .value(NodeId(0))
+        .expect("every node heard every group total");
+    for v in g.nodes() {
+        let folded = engine.value(v).expect("every node heard every group total");
+        assert_eq!(
+            folded.to_word(),
+            value.to_word(),
+            "all nodes must agree on the function value"
+        );
+    }
+    ShardedGlobalFnRun {
+        value,
+        tree_count: f,
+        groups,
+        k,
+        partition_cost: partition.cost,
+        local_cost,
+        global_cost: engine.cost(k),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +856,83 @@ mod tests {
     fn wrong_input_length_rejected() {
         let net = MultimediaNetwork::new(generators::ring(5));
         let _ = compute_deterministic(&net, &[Sum(1), Sum(2)]);
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_across_shard_factors() {
+        let g = generators::Family::Grid.generate(100, 3);
+        let n = g.node_count();
+        let net = MultimediaNetwork::new(g);
+        let (vals, expect) = inputs_sum(n);
+        let reference = compute_deterministic(&net, &vals);
+        assert_eq!(reference.value.0, expect);
+        for k in [1u16, 2, 4, 8] {
+            let run = compute_sharded(&net, &vals, k, MergeSubstrate::Flat);
+            assert_eq!(run.value.0, expect, "k = {k}");
+            assert_eq!(run.tree_count, reference.tree_count);
+            assert_eq!(run.groups, run.tree_count.min(k as usize));
+            assert!(run.global_rounds() > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_semigroups_beyond_sum() {
+        let g = generators::Family::RandomConnected.generate(90, 21);
+        let n = g.node_count();
+        let net = MultimediaNetwork::new(g);
+        let mins: Vec<Min> = (0..n as u64).map(|i| Min((i * 29 + 17) % 83 + 3)).collect();
+        let expect_min = mins.iter().map(|m| m.0).min().unwrap();
+        let run = compute_sharded(&net, &mins, 4, MergeSubstrate::Flat);
+        assert_eq!(run.value.0, expect_min);
+        let xors: Vec<Xor> = (0..n as u64).map(|i| Xor(i.wrapping_mul(0x9e37))).collect();
+        let expect_xor = xors.iter().fold(0, |a, x| a ^ x.0);
+        let run = compute_sharded(&net, &xors, 6, MergeSubstrate::Flat);
+        assert_eq!(run.value.0, expect_xor);
+    }
+
+    #[test]
+    fn sharded_is_pinned_across_all_four_substrates() {
+        let g = generators::Family::Torus.generate(64, 11);
+        let n = g.node_count();
+        let net = MultimediaNetwork::new(g);
+        let (vals, expect) = inputs_sum(n);
+        let flat = compute_sharded(&net, &vals, 4, MergeSubstrate::Flat);
+        assert_eq!(flat.value.0, expect);
+        for which in [
+            MergeSubstrate::Reference,
+            MergeSubstrate::AsyncLockstep,
+            MergeSubstrate::Wire,
+        ] {
+            let run = compute_sharded(&net, &vals, 4, which);
+            assert_eq!(run.value.0, flat.value.0, "{which:?}");
+            assert_eq!(run.groups, flat.groups, "{which:?}");
+            assert_eq!(run.global_cost, flat.global_cost, "{which:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_global_rounds_drop_with_the_shard_factor() {
+        let g = generators::Family::Grid.generate(400, 9);
+        let n = g.node_count();
+        let net = MultimediaNetwork::new(g);
+        let (vals, expect) = inputs_sum(n);
+        let serial = compute_sharded(&net, &vals, 1, MergeSubstrate::Flat);
+        let sharded = compute_sharded(&net, &vals, 8, MergeSubstrate::Flat);
+        assert_eq!(serial.value.0, expect);
+        assert_eq!(sharded.value.0, expect);
+        assert!(
+            sharded.global_rounds() < serial.global_rounds(),
+            "8-way sharding must beat the single channel: {} vs {}",
+            sharded.global_rounds(),
+            serial.global_rounds()
+        );
+    }
+
+    #[test]
+    fn sharded_single_node() {
+        let net = MultimediaNetwork::new(generators::path(1));
+        let run = compute_sharded(&net, &[Sum(7)], 2, MergeSubstrate::Flat);
+        assert_eq!(run.value.0, 7);
+        assert_eq!(run.groups, 1);
     }
 }

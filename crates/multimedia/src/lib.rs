@@ -55,5 +55,5 @@ pub mod partition;
 pub mod size;
 pub mod synchronizer;
 
-pub use model::{EdgeRanks, MultimediaNetwork};
+pub use model::{MultimediaNetwork, WeightStations};
 pub use partition::PartitionOutcome;

@@ -1,8 +1,8 @@
 //! The multimedia network handle: the point-to-point graph plus the global
-//! parameters (processor ids, id width, √n, edge-weight ranks) that the
+//! parameters (processor ids, id width, √n, edge-weight stations) that the
 //! paper's algorithms use.
 
-use netsim_graph::{ceil_log2, EdgeId, Graph, NodeId};
+use netsim_graph::{ceil_log2, EdgeId, Graph, NodeId, Weight};
 
 /// A multimedia network: `n` processors connected by an arbitrary-topology
 /// point-to-point graph **and** a shared slotted collision channel.
@@ -105,64 +105,91 @@ impl MultimediaNetwork {
     }
 }
 
-/// Dense rank of every edge in the graph's tie-broken weight order
-/// ([`Graph::edge_key`]) — the `O(log m)`-bit **station space** the
+/// Station ids over **raw edge weights** — the `O(log n)`-bit space the
 /// channel-sharded MST's per-fragment elections contend in.
 ///
-/// The paper assumes `O(log n)`-bit messages (one data element plus ids);
-/// electing on the dense weight *rank* instead of the raw `u64` weight
-/// realises that normalisation for arbitrary inputs: a fragment-local
-/// bitwise election over `bits()` probe rounds elects the fragment's
-/// **minimum-weight** outgoing link, because [`EdgeRanks::station_of`]
-/// inverts the rank order (lower weight ⇒ higher station, and the bitwise
-/// election elects the maximum station).
-#[derive(Clone, Debug)]
-pub struct EdgeRanks {
-    /// Edge ids sorted ascending by `edge_key`; `by_rank[r]` has rank `r`.
-    by_rank: Vec<EdgeId>,
-    /// Rank of each edge, indexed by edge id.
-    rank_of: Vec<u32>,
-    /// Station-space width: `⌈log₂ m⌉` bits (at least 1).
+/// A station packs the edge's inverted weight above its inverted index:
+///
+/// ```text
+/// station(e) = (max_weight − w(e)) << index_bits  |  (m − 1 − index(e))
+/// ```
+///
+/// so the maximum-station winner of a bitwise election is exactly the
+/// [`Graph::edge_key`]-minimal edge (lower weight ⇒ higher station; equal
+/// weights fall back to the lower edge index), and the winning station
+/// *itself* names the edge — [`WeightStations::edge_of`] is a mask, not a
+/// table lookup.  Unlike the dense rank table this replaces, no `O(m log m)`
+/// sort and no per-graph rank vectors are built: construction is a single
+/// max-weight scan, and every node can compute its own stations locally
+/// from weights it already knows — which is what lets the election run as a
+/// real distributed protocol instead of contending on driver-precomputed
+/// ranks.
+///
+/// With the distinct-weight assumption of the paper's MST sections
+/// (permutation weights `1..=m`, see
+/// [`assign_random_weights`](netsim_graph::generators::assign_random_weights)),
+/// the station width is `O(log m) = O(log n)` bits, matching the paper's
+/// message-size model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightStations {
+    /// Maximum edge weight in the graph (the weight-inversion anchor).
+    max_weight: Weight,
+    /// Number of edges `m` (the index-inversion anchor).
+    edge_count: usize,
+    /// Bits of the index part (low bits of a station).
+    index_bits: u32,
+    /// Total station width: weight bits plus index bits.
     bits: u32,
 }
 
-impl EdgeRanks {
-    /// Ranks the edges of `g` by ascending [`Graph::edge_key`].
+impl WeightStations {
+    /// Builds the station space of `g` (one `O(m)` max-weight scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges, or if the packed station would
+    /// exceed 63 bits (weights too large for the election's probe budget).
     pub fn new(g: &Graph) -> Self {
         let m = g.edge_count();
-        let mut by_rank: Vec<EdgeId> = (0..m).map(EdgeId).collect();
-        by_rank.sort_unstable_by_key(|&e| g.edge_key(e));
-        let mut rank_of = vec![0u32; m];
-        for (r, &e) in by_rank.iter().enumerate() {
-            rank_of[e.index()] = r as u32;
-        }
-        EdgeRanks {
-            by_rank,
-            rank_of,
-            bits: ceil_log2(m.max(2) as u64).max(1),
+        assert!(m > 0, "station space of an edgeless graph is empty");
+        let max_weight = g.edges().map(|e| e.weight).max().unwrap_or(0);
+        let index_bits = ceil_log2(m.max(2) as u64).max(1);
+        let weight_bits = ceil_log2(max_weight + 1).max(1);
+        let bits = weight_bits + index_bits;
+        assert!(
+            bits <= 63,
+            "station space needs {bits} bits (> 63): max weight {max_weight} over {m} edges"
+        );
+        WeightStations {
+            max_weight,
+            edge_count: m,
+            index_bits,
+            bits,
         }
     }
 
-    /// Bits a station id needs: `⌈log₂ m⌉`, the election's probe count.
+    /// Bits a station id needs — the election's probe count.
     pub fn bits(&self) -> u32 {
         self.bits
     }
 
-    /// Station id of edge `e`: the *inverted* weight rank, so the
-    /// maximum-station winner of a bitwise election is the minimum-weight
-    /// edge.
-    pub fn station_of(&self, e: EdgeId) -> u64 {
-        (self.by_rank.len() - 1 - self.rank_of[e.index()] as usize) as u64
+    /// Station id of edge `e` (see the type docs for the packing).
+    pub fn station_of(&self, g: &Graph, e: EdgeId) -> u64 {
+        let inv_weight = self.max_weight - g.weight(e);
+        let inv_index = (self.edge_count - 1 - e.index()) as u64;
+        (inv_weight << self.index_bits) | inv_index
     }
 
-    /// The edge a winning station id denotes (inverse of
-    /// [`EdgeRanks::station_of`]).
+    /// The edge a winning station id denotes: the index part is read
+    /// straight out of the low bits (inverse of
+    /// [`WeightStations::station_of`]).
     ///
     /// # Panics
     ///
-    /// Panics if `station` is outside the station space.
-    pub fn edge_of_station(&self, station: u64) -> EdgeId {
-        self.by_rank[self.by_rank.len() - 1 - station as usize]
+    /// Panics if the station's index part is outside the edge set.
+    pub fn edge_of(&self, station: u64) -> EdgeId {
+        let inv_index = (station & ((1u64 << self.index_bits) - 1)) as usize;
+        EdgeId(self.edge_count - 1 - inv_index)
     }
 }
 
@@ -201,25 +228,47 @@ mod tests {
     }
 
     #[test]
-    fn edge_ranks_invert_weight_order() {
+    fn weight_stations_invert_edge_key_order() {
         let g = generators::assign_random_weights(&generators::ring(12), 7);
-        let ranks = EdgeRanks::new(&g);
-        assert_eq!(ranks.bits(), 4); // ⌈log₂ 12⌉
-        let mut stations: Vec<u64> = Vec::new();
+        let stations = WeightStations::new(&g);
+        // Permutation weights 1..=12 need 4 weight bits, 12 indices 4 more.
+        assert_eq!(stations.bits(), 8);
+        let mut ids: Vec<(u64, EdgeId)> = Vec::new();
         for e in 0..g.edge_count() {
             let e = EdgeId(e);
-            let s = ranks.station_of(e);
-            assert_eq!(ranks.edge_of_station(s), e);
-            stations.push(s);
+            let s = stations.station_of(&g, e);
+            assert!(s < 1 << stations.bits());
+            assert_eq!(stations.edge_of(s), e);
+            ids.push((s, e));
         }
-        stations.sort_unstable();
-        assert_eq!(stations, (0..12u64).collect::<Vec<_>>());
+        // Station order is exactly the reverse of edge_key order.
+        ids.sort_unstable();
+        let by_station: Vec<EdgeId> = ids.into_iter().map(|(_, e)| e).collect();
+        let mut by_key: Vec<EdgeId> = (0..g.edge_count()).map(EdgeId).collect();
+        by_key.sort_unstable_by_key(|&e| std::cmp::Reverse(g.edge_key(e)));
+        assert_eq!(by_station, by_key);
         // The minimum-key edge owns the maximum station.
         let min_edge = (0..g.edge_count())
             .map(EdgeId)
             .min_by_key(|&e| g.edge_key(e))
             .unwrap();
-        assert_eq!(ranks.station_of(min_edge), 11);
+        let max_station = (0..g.edge_count())
+            .map(|e| stations.station_of(&g, EdgeId(e)))
+            .max()
+            .unwrap();
+        assert_eq!(stations.station_of(&g, min_edge), max_station);
+    }
+
+    #[test]
+    fn weight_stations_break_weight_ties_by_index() {
+        // Two equal-weight edges: the lower-index edge must win (higher
+        // station), matching edge_key's tiebreak.
+        let mut b = netsim_graph::GraphBuilder::new(3);
+        let e0 = b.add_edge(NodeId(0), NodeId(1), 5);
+        let e1 = b.add_edge(NodeId(1), NodeId(2), 5);
+        let g = b.build();
+        let stations = WeightStations::new(&g);
+        assert!(stations.station_of(&g, e0) > stations.station_of(&g, e1));
     }
 
     #[test]

@@ -24,24 +24,31 @@
 //! `K`-channel [`ChannelSet`]: every current fragment contends on **its
 //! own** channel (fragments sharing a channel are serialized into election
 //! slots), the fragment-local minimum-edge election runs as an
-//! engine-executed bitwise election over the weight-rank station space
-//! ([`EdgeRanks`]), and a merged fragment re-attaches to its *winner's*
-//! channel between phases through the engines' dynamic-attachment
-//! snapshots ([`SyncEngine::reattach`]).  The busiest channel then hosts
-//! `⌈F/K⌉`-ish elections per phase instead of `F`, so the engine-measured
-//! round count drops by the shard factor (the `mst_sharded` section of
-//! `BENCH_engine.json`), while the elected tree stays the unique MST on all
-//! three engine substrates.
+//! engine-executed bitwise election over **raw packed edge weights**
+//! ([`WeightStations`] — no driver-side rank tables), and a merged fragment
+//! re-attaches to its *winner's* channel between phases through the
+//! engines' dynamic-attachment snapshots ([`SyncEngine::reattach`]).  The
+//! busiest channel then hosts `⌈F/K⌉`-ish elections per phase instead of
+//! `F`, so the engine-measured round count drops by the shard factor (the
+//! `mst_sharded` section of `BENCH_engine.json`), while the elected tree
+//! stays the unique MST on all four engine substrates.
+//!
+//! The cross-fragment **merge handshake** is engine-executed too
+//! ([`MergePhase`]): once the elections of a phase resolve, each fragment's
+//! winning node sends a `GRAFT` carrying its fragment label over its
+//! elected link, the far endpoint answers `ACCEPT` with *its* label, and
+//! the driver merely harvests the exchanged label pairs — no synthesized
+//! per-phase message or round accounting remains.
 
-use crate::model::{EdgeRanks, MultimediaNetwork};
+use crate::model::{MultimediaNetwork, WeightStations};
 use crate::partition::{deterministic, PartitionOutcome};
 use channel_access::assigned::ElectionSeries;
 use channel_access::{capetanakis, Contender};
 use netsim_graph::{EdgeId, Graph, NodeId, SpanningForest, UnionFind};
 use netsim_io::WireNet;
 use netsim_sim::{
-    lockstep_config, AsyncEngine, ChannelId, ChannelSet, CostAccount, Lockstep, ReferenceEngine,
-    SyncEngine, MAX_CHANNELS,
+    lockstep_config, AsyncEngine, ChannelId, ChannelSet, CostAccount, Lockstep, Protocol,
+    ReferenceEngine, RoundIo, SyncEngine, MAX_CHANNELS,
 };
 
 /// Dense initial-fragment index per node: `init_of[v]` is the position of
@@ -212,6 +219,184 @@ pub fn minimum_spanning_tree_from_partition(
 // Channel-sharded MST: per-fragment contention on per-fragment channels.
 // ---------------------------------------------------------------------------
 
+/// This node's proposal in one merge phase: its minimum outgoing link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergeCandidate {
+    /// Election slot of this node's current fragment on its channel.
+    pub slot: u32,
+    /// Packed station id of the proposed edge ([`WeightStations`]).
+    pub station: u64,
+    /// The proposed edge itself.
+    pub edge: EdgeId,
+    /// The far endpoint of the proposed edge (the `GRAFT` destination).
+    pub peer: NodeId,
+}
+
+/// Message kind tag of the merge handshake, in the top bits of the `u64`
+/// payload: `GRAFT` carries the winner's fragment label over the elected
+/// link, `ACCEPT` answers with the far fragment's label.
+const KIND_GRAFT: u64 = 1 << 62;
+const KIND_ACCEPT: u64 = 2 << 62;
+
+fn pack_merge_msg(kind: u64, edge: EdgeId, label: u64) -> u64 {
+    debug_assert!(edge.index() < (1 << 30), "edge index exceeds 30 bits");
+    debug_assert!(label < (1 << 32), "fragment label exceeds 32 bits");
+    kind | ((edge.index() as u64) << 32) | label
+}
+
+fn unpack_merge_msg(msg: u64) -> (u64, EdgeId, u64) {
+    let kind = msg & (0b11 << 62);
+    let edge = EdgeId(((msg >> 32) & ((1 << 30) - 1)) as usize);
+    let label = msg & 0xffff_ffff;
+    (kind, edge, label)
+}
+
+/// One engine-executed merge phase of the channel-sharded MST: the
+/// fragment-local minimum-edge election ([`ElectionSeries`] over packed
+/// [`WeightStations`] ids) followed by the **cross-fragment merge
+/// handshake** over the elected links, all as one [`Protocol`].
+///
+/// The schedule, identical on every node:
+///
+/// * **rounds `0..horizon`** — the election series runs on this node's
+///   fragment channel (`horizon` is the busiest channel's slot count times
+///   [`ElectionSeries::slot_rounds`], a global constant of the phase);
+/// * **round `horizon` — GRAFT**: the node whose proposed station won its
+///   fragment's slot sends `GRAFT(its fragment label)` point-to-point over
+///   the elected link;
+/// * **round `horizon + 1` — ACCEPT**: every node answers each received
+///   `GRAFT` with `ACCEPT(its own fragment label)` back over the link;
+/// * **round `horizon + 2`** — the winner records the `(edge, far label)`
+///   pair ([`MergePhase::accepted`]), which the driver harvests to union
+///   the two fragments.  Both endpoints of a doubly-elected link (an edge
+///   that is minimal for the fragments on *both* sides) graft each other
+///   and each records the other's label; the union is idempotent.
+///
+/// The handshake messages ride the engines' point-to-point layer, so the
+/// phase's message count and round count are **measured**, not synthesized,
+/// and stay bit-identical across all four substrates.  Under faults a
+/// crashed winner (or peer) simply leaves [`MergePhase::accepted`] empty —
+/// the fragment retries next phase; a recovered node retires inert exactly
+/// like its election series ([`MergePhase::crashed_out`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergePhase {
+    series: ElectionSeries,
+    /// Global election horizon of the phase, in rounds.
+    horizon: u64,
+    candidate: Option<MergeCandidate>,
+    /// This node's current-fragment label (union-find representative).
+    label: u64,
+    /// The `(elected edge, far fragment label)` pair this node's `GRAFT`
+    /// got `ACCEPT`ed with, if it won its fragment's election.
+    accepted: Option<(EdgeId, u64)>,
+    /// Local round counter since seeding (see [`ElectionSeries`] on why
+    /// schedules run off local counters).
+    round: u64,
+    done: bool,
+}
+
+impl MergePhase {
+    /// Per-node state for one phase: the node's election series, the
+    /// phase's global election `horizon` in rounds, this node's proposal
+    /// (`None` where it has no outgoing candidate), and its fragment label.
+    pub fn new(
+        series: ElectionSeries,
+        horizon: u64,
+        candidate: Option<MergeCandidate>,
+        label: u64,
+    ) -> Self {
+        MergePhase {
+            series,
+            horizon,
+            candidate,
+            label,
+            accepted: None,
+            round: 0,
+            done: false,
+        }
+    }
+
+    /// Per-slot election winners as heard by this node — see
+    /// [`ElectionSeries::winners`].
+    pub fn winners(&self) -> &[Option<u64>] {
+        self.series.winners()
+    }
+
+    /// The `(elected edge, far fragment label)` pair recorded by a
+    /// completed handshake (`None` on non-winners, and on winners whose
+    /// peer never answered — crashed mid-phase).
+    pub fn accepted(&self) -> Option<(EdgeId, u64)> {
+        self.accepted
+    }
+
+    /// `true` once the node crashed and recovered mid-phase — see
+    /// [`ElectionSeries::crashed_out`].
+    pub fn crashed_out(&self) -> bool {
+        self.series.crashed_out()
+    }
+
+    /// Rounds one phase occupies beyond its election horizon: the `GRAFT`
+    /// round, the `ACCEPT` round, and the recording round.
+    pub const HANDSHAKE_ROUNDS: u64 = 3;
+}
+
+impl Protocol for MergePhase {
+    type Msg = u64;
+
+    fn step(&mut self, io: &mut RoundIo<'_, u64>) {
+        if self.done {
+            return;
+        }
+        let r = self.round;
+        self.round += 1;
+        if r < self.horizon {
+            self.series.step(io);
+        }
+        // Handshake deliveries: answer every GRAFT, record a matching
+        // ACCEPT.  Kind-dispatched rather than round-gated so a node that
+        // is simultaneously a winner and a graft target handles both roles.
+        for (from, &msg) in io.inbox() {
+            let (kind, edge, label) = unpack_merge_msg(msg);
+            match kind {
+                KIND_GRAFT => io.send(from, pack_merge_msg(KIND_ACCEPT, edge, self.label)),
+                KIND_ACCEPT => {
+                    if self.candidate.map(|c| c.edge) == Some(edge) {
+                        self.accepted = Some((edge, label));
+                    }
+                }
+                _ => unreachable!("unknown merge-handshake kind"),
+            }
+        }
+        if r == self.horizon {
+            // GRAFT round: the fragment's winner grafts over its link.
+            if let Some(c) = self.candidate {
+                if self.series.winners()[c.slot as usize] == Some(c.station) {
+                    io.send(c.peer, pack_merge_msg(KIND_GRAFT, c.edge, self.label));
+                }
+            }
+        }
+        if r + 1 >= self.horizon + Self::HANDSHAKE_ROUNDS {
+            self.done = true;
+        } else {
+            // The handshake rounds run off the local counter, so the node
+            // must keep scheduling itself under sparse stepping even when
+            // its own channel's elections finished early.
+            io.wake_me();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn on_recover(&mut self) {
+        // A stale local round counter would desync both the election
+        // schedule and the handshake rounds: retire inert, like the series.
+        self.series.on_recover();
+        self.done = true;
+    }
+}
+
 /// Which engine executes the sharded merge pipeline's channel elections.
 ///
 /// All three substrates are round-for-round identical on this pipeline
@@ -276,14 +461,16 @@ impl ShardedMstRun {
     }
 }
 
-/// One phase's schedule: attachment masks, per-node election entries, and
+/// One phase's schedule: attachment masks, per-node merge candidates, and
 /// the per-channel election counts.
 struct PhasePlan {
     /// Per-node attachment snapshot (each node on its fragment's channel).
     masks: Vec<u64>,
-    /// Per-node `(slot, station)` election entry (`None` where the node has
-    /// no outgoing candidate this phase).
-    entries: Vec<Option<(u32, u64)>>,
+    /// Per-node merge proposal (`None` where the node has no outgoing
+    /// candidate this phase).
+    candidates: Vec<Option<MergeCandidate>>,
+    /// Per-node fragment label (the current fragment's representative).
+    labels: Vec<u64>,
     /// Per-node assigned channel (the node's current fragment's channel).
     chans: Vec<u16>,
     /// Election slots scheduled per channel.
@@ -291,20 +478,22 @@ struct PhasePlan {
     /// Election slot of each current fragment, indexed by initial-fragment
     /// index (valid at union-find representatives).
     slot_of: Vec<u32>,
-    /// Rounds the busiest channel needs this phase.
+    /// Election rounds the busiest channel needs this phase (the phase's
+    /// handshake horizon).
     rounds: u64,
 }
 
 /// Builds one phase's schedule: every current fragment gets one election
 /// slot on its channel (slots in ascending representative order), and every
-/// node's station is the inverted weight rank of its minimum outgoing link.
+/// node's proposal is the packed raw-weight station of its minimum outgoing
+/// link.
 fn plan_phase(
     g: &Graph,
     init_of: &[usize],
     current: &mut UnionFind,
     chan_of: &[u16],
     k: u16,
-    ranks: &EdgeRanks,
+    stations: &WeightStations,
 ) -> PhasePlan {
     let f = chan_of.len();
     let mut slot_of = vec![u32::MAX; f];
@@ -318,28 +507,36 @@ fn plan_phase(
     }
     let n = g.node_count();
     let mut masks = Vec::with_capacity(n);
-    let mut entries = Vec::with_capacity(n);
+    let mut candidates = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
     let mut chans = Vec::with_capacity(n);
     for v in g.nodes() {
         let cur = current.find(init_of[v.index()]);
         let c = chan_of[cur];
         chans.push(c);
         masks.push(1u64 << c);
+        labels.push(cur as u64);
         // Adjacency is weight-sorted, so the first link leaving the current
         // fragment is this node's minimum outgoing candidate.
-        let entry = g.neighbors(v).into_iter().find_map(|(w, e)| {
-            (current.find(init_of[w.index()]) != cur).then(|| (slot_of[cur], ranks.station_of(e)))
+        let candidate = g.neighbors(v).into_iter().find_map(|(w, e)| {
+            (current.find(init_of[w.index()]) != cur).then(|| MergeCandidate {
+                slot: slot_of[cur],
+                station: stations.station_of(g, e),
+                edge: e,
+                peer: w,
+            })
         });
-        entries.push(entry);
+        candidates.push(candidate);
     }
     let busiest = elections.iter().copied().max().unwrap_or(0);
     PhasePlan {
         masks,
-        entries,
+        candidates,
+        labels,
         chans,
         elections,
         slot_of,
-        rounds: u64::from(busiest) * ElectionSeries::slot_rounds(ranks.bits()),
+        rounds: u64::from(busiest) * ElectionSeries::slot_rounds(stations.bits()),
     }
 }
 
@@ -347,10 +544,10 @@ fn plan_phase(
 /// substrates (each phase: re-attach, re-arm the per-node series, run to
 /// quiescence).
 enum MergeEngine<'g> {
-    Flat(SyncEngine<'g, ElectionSeries>),
-    Reference(ReferenceEngine<'g, ElectionSeries>),
-    Lockstep(AsyncEngine<'g, Lockstep<ElectionSeries>>),
-    Wire(WireNet<'g, ElectionSeries>),
+    Flat(SyncEngine<'g, MergePhase>),
+    Reference(ReferenceEngine<'g, MergePhase>),
+    Lockstep(AsyncEngine<'g, Lockstep<MergePhase>>),
+    Wire(WireNet<'g, MergePhase>),
 }
 
 /// Hosts the [`MergeSubstrate::Wire`] substrate partitions the node set
@@ -358,7 +555,7 @@ enum MergeEngine<'g> {
 const WIRE_MERGE_HOSTS: u16 = 2;
 
 impl<'g> MergeEngine<'g> {
-    fn new<F: FnMut(NodeId) -> ElectionSeries>(
+    fn new<F: FnMut(NodeId) -> MergePhase>(
         which: MergeSubstrate,
         g: &'g Graph,
         k: u16,
@@ -384,16 +581,16 @@ impl<'g> MergeEngine<'g> {
     }
 
     /// Applies the next phase's attachment snapshot between rounds and
-    /// re-arms every node's election series.
-    fn reseed<F: FnMut(NodeId) -> ElectionSeries>(&mut self, masks: &[u64], mut init: F) {
+    /// re-arms every node's merge-phase state.
+    fn reseed<F: FnMut(NodeId) -> MergePhase>(&mut self, masks: &[u64], mut init: F) {
         match self {
             MergeEngine::Flat(e) => {
                 e.reattach(masks);
-                e.update_nodes(|v, series| *series = init(v));
+                e.update_nodes(|v, phase| *phase = init(v));
             }
             MergeEngine::Reference(e) => {
                 e.reattach(masks);
-                e.update_nodes(|v, series| *series = init(v));
+                e.update_nodes(|v, phase| *phase = init(v));
             }
             MergeEngine::Lockstep(e) => {
                 e.reattach(masks);
@@ -401,7 +598,7 @@ impl<'g> MergeEngine<'g> {
             }
             MergeEngine::Wire(e) => {
                 e.reattach(masks);
-                e.update_nodes(|v, series| *series = init(v));
+                e.update_nodes(|v, phase| *phase = init(v));
             }
         }
     }
@@ -427,7 +624,7 @@ impl<'g> MergeEngine<'g> {
         session.map_or(netsim_sim::NodeLifecycle::Operational, |s| s.lifecycle(v))
     }
 
-    /// Did node `v`'s election series crash out (crash + recover) this phase?
+    /// Did node `v`'s merge phase crash out (crash + recover) this phase?
     fn node_crashed_out(&self, v: NodeId) -> bool {
         match self {
             MergeEngine::Flat(e) => e.node(v).crashed_out(),
@@ -437,12 +634,23 @@ impl<'g> MergeEngine<'g> {
         }
     }
 
-    /// Runs the current phase to quiescence within `rounds` plus slack,
-    /// returning whether it quiesced — a faulted phase can legitimately
-    /// overrun its schedule (e.g. a node stuck `Booting` under adversarial
-    /// churn), which the faulted driver reports instead of panicking.
+    /// The `(elected edge, far label)` pair node `v`'s handshake recorded.
+    fn accepted(&self, v: NodeId) -> Option<(EdgeId, u64)> {
+        match self {
+            MergeEngine::Flat(e) => e.node(v).accepted(),
+            MergeEngine::Reference(e) => e.node(v).accepted(),
+            MergeEngine::Lockstep(e) => e.node(v).inner().accepted(),
+            MergeEngine::Wire(e) => e.node(v).accepted(),
+        }
+    }
+
+    /// Runs the current phase to quiescence within `rounds` election rounds
+    /// plus the handshake tail plus slack, returning whether it quiesced —
+    /// a faulted phase can legitimately overrun its schedule (e.g. a node
+    /// stuck `Booting` under adversarial churn), which the faulted driver
+    /// reports instead of panicking.
     fn run_phase_budget(&mut self, rounds: u64, slack: u64) -> bool {
-        let budget = rounds + slack;
+        let budget = rounds + MergePhase::HANDSHAKE_ROUNDS + slack;
         match self {
             MergeEngine::Flat(e) => {
                 let limit = e.round() + budget;
@@ -546,8 +754,8 @@ pub fn sharded_mst_from_partition(
     let cores: Vec<NodeId> = forest.roots().to_vec();
     let f = cores.len();
     let init_of = initial_fragment_index(g, forest, &cores);
-    let ranks = EdgeRanks::new(g);
-    let bits = ranks.bits();
+    let stations = WeightStations::new(g);
+    let bits = stations.bits();
 
     let mut mst_edges: Vec<EdgeId> = forest.tree_edges(g);
     let mut current = UnionFind::new(f);
@@ -565,18 +773,24 @@ pub fn sharded_mst_from_partition(
     let mut phases = 0u32;
     // Scratch, reused across phases: per-new-representative winner tracking.
     let mut best: Vec<Option<((u64, usize), u16)>> = vec![None; f];
-    let mut merges: Vec<(usize, EdgeId)> = Vec::new();
+    let mut merges: Vec<(usize, EdgeId, u64)> = Vec::new();
 
     while current.set_count() > 1 {
         phases += 1;
-        let plan = plan_phase(g, &init_of, &mut current, &chan_of, k, &ranks);
+        let plan = plan_phase(g, &init_of, &mut current, &chan_of, k, &stations);
         let init = |v: NodeId| {
             let c = plan.chans[v.index()];
-            ElectionSeries::new(
-                plan.entries[v.index()],
+            let series = ElectionSeries::new(
+                plan.candidates[v.index()].map(|cand| (cand.slot, cand.station)),
                 bits,
                 plan.elections[c as usize],
                 ChannelId(c),
+            );
+            MergePhase::new(
+                series,
+                plan.rounds,
+                plan.candidates[v.index()],
+                plan.labels[v.index()],
             )
         };
         match &mut engine {
@@ -587,7 +801,10 @@ pub fn sharded_mst_from_partition(
         eng.run_phase(plan.rounds);
 
         // Every member of a fragment (here: its Stage-1 core) heard its
-        // fragment's elected minimum outgoing link on the fragment channel.
+        // fragment's elected minimum outgoing link on the fragment channel;
+        // the winning station itself names the edge.  The winner *endpoint*
+        // then grafted across that link and recorded its peer fragment's
+        // label from the engine-executed GRAFT/ACCEPT handshake.
         merges.clear();
         for (i, &core) in cores.iter().enumerate() {
             if current.find(i) != i {
@@ -596,26 +813,34 @@ pub fn sharded_mst_from_partition(
             let station = eng
                 .winners(core, plan.slot_of[i])
                 .expect("MST of a disconnected graph is undefined");
-            merges.push((i, ranks.edge_of_station(station)));
+            let e = stations.edge_of(station);
+            let edge = g.edge(e);
+            let winner = if current.find(init_of[edge.u.index()]) == i {
+                edge.u
+            } else {
+                edge.v
+            };
+            let (accepted, far) = eng
+                .accepted(winner)
+                .expect("fault-free graft must be accepted within the phase");
+            assert_eq!(accepted, e, "handshake must confirm the elected link");
+            merges.push((i, e, far));
         }
 
-        // Merge along the elected links (ascending representative order) and
-        // account the cross-fragment handshake over those links.
-        for &(_, e) in &merges {
-            let edge = g.edge(e);
-            let a = current.find(init_of[edge.u.index()]);
-            let b = current.find(init_of[edge.v.index()]);
+        // Merge along the handshake-exchanged label pairs (ascending
+        // representative order).
+        for &(rep, e, far) in &merges {
+            let a = current.find(rep);
+            let b = current.find(far as usize);
             if current.union(a, b) {
                 mst_edges.push(e);
             }
         }
-        merge_cost.add_messages(2 * merges.len() as u64);
-        merge_cost.add_idle_rounds(1);
 
         // Re-attachment rule: the merged component adopts the channel of the
         // constituent whose elected link has the minimal key — the winner's
         // channel.
-        for &(rep, e) in &merges {
+        for &(rep, e, _) in &merges {
             let nr = current.find(rep);
             let key = g.edge_key(e);
             let better = match &best[nr] {
@@ -705,8 +930,10 @@ impl FaultedMstRun {
 /// faulted engine, and the merge driver is hardened against every fault
 /// class instead of assuming clean feedback.
 ///
-/// * **Erased announce slots** leave a fragment's winner unknown; the
-///   fragment simply retries in the next phase.
+/// * **Erased election words** poison the whole batch on that channel (the
+///   series reports no winners); the fragment simply retries in the next
+///   phase.  A graft whose acceptance never arrives (the peer crashed
+///   mid-handshake) is likewise retried.
 /// * **Crashed nodes are permanently departed**, even if the plan later
 ///   recovers them: a mid-election crash strands the node's
 ///   [`ElectionSeries`] at a stale local round, so recovery retires it to a
@@ -751,8 +978,8 @@ pub fn sharded_mst_faulted(
     let forest = &partition.forest;
     let cores: Vec<NodeId> = forest.roots().to_vec();
     let init_of = initial_fragment_index(g, forest, &cores);
-    let ranks = EdgeRanks::new(g);
-    let bits = ranks.bits();
+    let stations = WeightStations::new(g);
+    let bits = stations.bits();
     let tree_edges: Vec<EdgeId> = forest.tree_edges(g);
 
     // Permanently departed nodes (ever non-operational); initially-off nodes
@@ -834,7 +1061,8 @@ pub fn sharded_mst_faulted(
         }
         let mut masks = Vec::with_capacity(n);
         let mut chans = Vec::with_capacity(n);
-        let mut entries: Vec<Option<(u32, u64)>> = Vec::with_capacity(n);
+        let mut candidates: Vec<Option<MergeCandidate>> = Vec::with_capacity(n);
+        let mut labels: Vec<u64> = Vec::with_capacity(n);
         for v in g.nodes() {
             let rep = if departed[v.index()] {
                 v.index()
@@ -844,23 +1072,35 @@ pub fn sharded_mst_faulted(
             let c = chan_of_rep(rep);
             chans.push(c.index() as u16);
             masks.push(1u64 << c.index());
-            let entry = candidate[v.index()].and_then(|e| {
+            labels.push(rep as u64);
+            let cand = candidate[v.index()].and_then(|e| {
                 let slot = slot_of[comp.find(v.index())];
-                (slot != u32::MAX).then_some((slot, ranks.station_of(e)))
+                if slot == u32::MAX {
+                    return None;
+                }
+                let edge = g.edge(e);
+                let peer = if edge.u == v { edge.v } else { edge.u };
+                Some(MergeCandidate {
+                    slot,
+                    station: stations.station_of(g, e),
+                    edge: e,
+                    peer,
+                })
             });
-            entries.push(entry);
+            candidates.push(cand);
         }
         let busiest = elections.iter().copied().max().unwrap_or(0);
         let rounds = u64::from(busiest) * ElectionSeries::slot_rounds(bits);
 
         let init = |v: NodeId| {
             let c = chans[v.index()];
-            ElectionSeries::new(
-                entries[v.index()],
+            let series = ElectionSeries::new(
+                candidates[v.index()].map(|cand| (cand.slot, cand.station)),
                 bits,
                 elections[c as usize],
                 ChannelId(c),
-            )
+            );
+            MergePhase::new(series, rounds, candidates[v.index()], labels[v.index()])
         };
         match &mut engine {
             None => {
@@ -892,7 +1132,7 @@ pub fn sharded_mst_faulted(
         // pre-phase component structure — exactly the one the elections were
         // scheduled against — so all winners are harvested before any merge
         // mutates it.
-        let mut merges: Vec<EdgeId> = Vec::new();
+        let mut merges: Vec<(usize, EdgeId, u64)> = Vec::new();
         for (rep, &slot) in slot_of.iter().enumerate() {
             if slot == u32::MAX {
                 continue;
@@ -912,9 +1152,9 @@ pub fn sharded_mst_faulted(
                 continue; // the whole fragment departed mid-phase
             };
             let Some(station) = eng.winners(reader, slot) else {
-                continue; // empty or erased announce slot: retry next phase
+                continue; // empty or erasure-poisoned election: retry
             };
-            let elected = ranks.edge_of_station(station);
+            let elected = stations.edge_of(station);
             // Ground truth after the census: the minimum-weight link from
             // this fragment's survivors to other fragments' survivors.
             let mut truth: Option<EdgeId> = None;
@@ -939,11 +1179,26 @@ pub fn sharded_mst_faulted(
             if truth != Some(elected) {
                 continue; // corrupted by mid-election churn: retry
             }
-            merges.push(elected);
+            // The validated link's inside endpoint survived the census (a
+            // departed endpoint would have failed validation), so it grafted
+            // across the link; require the engine-executed handshake to have
+            // recorded the peer fragment's label, else retry next phase.
+            let edge = g.edge(elected);
+            let winner = if !departed[edge.u.index()] && comp.find(edge.u.index()) == rep {
+                edge.u
+            } else {
+                edge.v
+            };
+            let Some((confirmed, far)) = eng.accepted(winner) else {
+                continue; // peer crashed mid-handshake: retry
+            };
+            if confirmed != elected {
+                continue; // stale acceptance from a poisoned batch: retry
+            }
+            merges.push((rep, elected, far));
         }
-        for e in merges {
-            let edge = g.edge(e);
-            let (a, b) = (comp.find(edge.u.index()), comp.find(edge.v.index()));
+        for (rep, e, far) in merges {
+            let (a, b) = (comp.find(rep), comp.find(far as usize));
             if comp.union(a, b) {
                 accepted.push(e);
             }
@@ -1254,9 +1509,9 @@ mod tests {
 
     #[test]
     fn faulted_sharded_mst_is_exact_under_erasures() {
-        // Erasures destroy announce slots (the fragment retries next phase)
-        // but never corrupt a winner, so the run still converges to the
-        // exact full-graph MST — just in more phases.
+        // Erasures poison whole election batches (the fragment retries next
+        // phase) but never corrupt a winner, so the run still converges to
+        // the exact full-graph MST — just in more phases.
         let net = faulted_net();
         let partition = deterministic::partition(&net);
         let run = sharded_mst_faulted(
@@ -1270,7 +1525,9 @@ mod tests {
         assert!(run.converged);
         assert_eq!(run.survivors.len(), net.graph().node_count());
         assert!(refmst::is_minimum_spanning_tree(net.graph(), &run.edges));
-        assert!(run.election_cost.erased_slots > 0);
+        // Elections ride the lane sub-slots now, so their erasures land in
+        // the lane counter, not the scalar-slot one.
+        assert!(run.election_cost.lanes_erased > 0);
     }
 
     #[test]

@@ -58,7 +58,7 @@ use std::time::{Duration, Instant};
 use netsim_graph::{Graph, NodeId};
 use netsim_sim::wire::{Frame, WireMsg, HEADER_LEN, TRAILER_LEN};
 use netsim_sim::{
-    ChannelId, ChannelSet, CostAccount, FaultPlan, FaultSession, Inbox, NodeLifecycle,
+    ChannelId, ChannelSet, CostAccount, FaultPlan, FaultSession, Inbox, LaneOutcome, NodeLifecycle,
     OutboxBuffer, Protocol, RoundIo, RunOutcome, SlotOutcome,
 };
 
@@ -83,6 +83,7 @@ struct BarrierInfo {
     staged: u32,
     dropped: u32,
     slot_frames: u32,
+    lane_frames: u32,
     sent_to: Vec<u32>,
 }
 
@@ -110,6 +111,7 @@ where
     round: u64,
     cost: CostAccount,
     prev_slots: Vec<SlotOutcome<P::Msg>>,
+    prev_lanes: Vec<LaneOutcome>,
     /// Per local node: messages delivered to the *next* step, sorted by
     /// (sender index, sequence) at `finish_round`.
     inbox_now: Vec<Vec<(NodeId, P::Msg)>>,
@@ -117,9 +119,12 @@ where
     inbox_next: Vec<Vec<(NodeId, u32, P::Msg)>>,
     /// Slot writes heard this round (the broadcast bus contents).
     slot_writes: Vec<(ChannelId, NodeId, P::Msg)>,
+    /// Lane words heard this round (already per-node OR-merged at senders).
+    lane_writes: Vec<(ChannelId, NodeId, u64)>,
     barriers: Vec<Option<BarrierInfo>>,
     got_p2p: u32,
     got_slots: u32,
+    got_lanes: u32,
     /// Frames that belong to a round we have not finished collecting yet.
     pending: Vec<Frame<P::Msg>>,
     hello_seen: Vec<bool>,
@@ -195,10 +200,13 @@ where
             round: 0,
             cost: CostAccount::default(),
             prev_slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
+            prev_lanes: vec![LaneOutcome::Idle; k],
             slot_writes: Vec::new(),
+            lane_writes: Vec::new(),
             barriers: vec![None; hosts as usize],
             got_p2p: 0,
             got_slots: 0,
+            got_lanes: 0,
             pending: Vec::new(),
             hello_seen: vec![false; hosts as usize],
             settled_remote: vec![0; hosts as usize],
@@ -376,12 +384,24 @@ where
                         self.slot_writes.push((chan, from, payload));
                         self.got_slots += 1;
                     }
+                    Frame::Lanes {
+                        chan, from, word, ..
+                    } => {
+                        if chan.0 >= self.channels.channels()
+                            || from.index() >= self.graph.node_count()
+                        {
+                            return Err(bad_frame("lane frame out of range"));
+                        }
+                        self.lane_writes.push((chan, from, word));
+                        self.got_lanes += 1;
+                    }
                     Frame::Barrier {
                         host,
                         settled,
                         staged,
                         dropped,
                         slot_frames,
+                        lane_frames,
                         sent_to,
                         ..
                     } => {
@@ -394,6 +414,7 @@ where
                             staged,
                             dropped,
                             slot_frames,
+                            lane_frames,
                             sent_to,
                         });
                     }
@@ -442,6 +463,7 @@ where
         let mut staged: u32 = 0;
         let mut dropped: u32 = 0;
         let mut slot_frames: u32 = 0;
+        let mut lane_frames: u32 = 0;
         let mut sent_to = vec![0u32; hosts];
         let mut seq: u32 = 0;
         for slot in 0..self.local.len() {
@@ -463,7 +485,8 @@ where
                     &self.prev_slots,
                     &mut self.outbox,
                 )
-                .with_attachment(self.channels.mask(v));
+                .with_attachment(self.channels.mask(v))
+                .with_lanes(&self.prev_lanes);
                 let mut io = io;
                 self.nodes[slot].step(&mut io);
             }
@@ -494,6 +517,27 @@ where
                 }
             });
             chan_err?;
+            // Lane words ride the same broadcast bus, one frame per
+            // (node, channel); receivers OR them channel-wise.
+            let mut lane_err = Ok(());
+            self.outbox.take_lane_writes(|chan, from, word| {
+                let frame: Frame<P::Msg> = Frame::Lanes {
+                    round,
+                    chan,
+                    from,
+                    word,
+                };
+                lane_frames += 1;
+                for dest in 0..hosts {
+                    frame.encode(&mut tx[dest]);
+                    if tx[dest].len() >= FLUSH_BYTES {
+                        if let Err(e) = flush_one(socket, peers, tx, dest, bytes) {
+                            lane_err = Err(e);
+                        }
+                    }
+                }
+            });
+            lane_err?;
             for (to, payload) in self.outbox.drain_sends() {
                 staged += 1;
                 let this_seq = seq;
@@ -540,6 +584,7 @@ where
             staged,
             dropped,
             slot_frames,
+            lane_frames,
             sent_to,
         };
         for dest in 0..hosts {
@@ -559,11 +604,13 @@ where
         }
         let mut want_p2p = 0u32;
         let mut want_slots = 0u32;
+        let mut want_lanes = 0u32;
         for b in self.barriers.iter().flatten() {
             want_p2p += b.sent_to[self.host as usize];
             want_slots += b.slot_frames;
+            want_lanes += b.lane_frames;
         }
-        self.got_p2p == want_p2p && self.got_slots == want_slots
+        self.got_p2p == want_p2p && self.got_slots == want_slots && self.got_lanes == want_lanes
     }
 
     /// Resolves the round from the collected frames: channel outcomes (with
@@ -637,6 +684,50 @@ where
             }
         }
 
+        // Lane resolution: OR the broadcast words per channel
+        // (order-independent), then the channel's erasure draw and the
+        // corruption draw — identical classification to the engines.
+        let mut lane_counts = vec![0u64; k];
+        for lane in self.prev_lanes.iter_mut() {
+            *lane = LaneOutcome::Idle;
+        }
+        for (chan, _, word) in self.lane_writes.drain(..) {
+            let c = chan.index();
+            lane_counts[c] += 1;
+            self.prev_lanes[c] = match self.prev_lanes[c] {
+                LaneOutcome::Idle => LaneOutcome::Word(word),
+                LaneOutcome::Word(w) => LaneOutcome::Word(w | word),
+                LaneOutcome::Erased => unreachable!("erasure happens post-fold"),
+            };
+        }
+        for (c, &count) in lane_counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            nonidle += 1;
+            let chan = ChannelId(c as u16);
+            if self
+                .session
+                .as_ref()
+                .is_some_and(|s| s.erases_slot(round, chan))
+            {
+                self.prev_lanes[c] = LaneOutcome::Erased;
+                self.cost.add_erased_lanes(count);
+            } else {
+                if let Some(bit) = self
+                    .session
+                    .as_ref()
+                    .and_then(|s| s.corrupts_lane(round, chan))
+                {
+                    if let LaneOutcome::Word(w) = &mut self.prev_lanes[c] {
+                        *w ^= 1u64 << bit;
+                    }
+                    self.cost.add_corrupted_payloads(1);
+                }
+                self.cost.add_lane_slot(count);
+            }
+        }
+
         // Deliver: sort each inbox by (sender index, staging sequence) —
         // the simulator's inbox order, independent of datagram order.
         for slot in 0..self.local.len() {
@@ -659,6 +750,7 @@ where
         }
         self.got_p2p = 0;
         self.got_slots = 0;
+        self.got_lanes = 0;
         self.round += 1;
         self.in_round = false;
         let pending = std::mem::take(&mut self.pending);

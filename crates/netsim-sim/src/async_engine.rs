@@ -31,7 +31,7 @@
 //! message into its outcome — never cloned — and parks it in the graveyard
 //! afterwards, mirroring the synchronous engine's handle-based outcomes.
 
-use crate::channel::{ChannelId, ChannelSet, SlotOutcome};
+use crate::channel::{ChannelId, ChannelSet, LaneOutcome, SlotOutcome};
 use crate::fault::{FaultPlan, FaultSession, NodeLifecycle};
 use crate::metrics::CostAccount;
 use netsim_graph::{Graph, NodeId};
@@ -107,6 +107,23 @@ pub trait AsyncProtocol {
         }
     }
 
+    /// Called at every slot boundary once **per channel** with the channel's
+    /// lane sub-slot outcome (the word-wide OR-merge surface; see
+    /// [`RoundIo::prev_lanes_on`](crate::RoundIo::prev_lanes_on)), in
+    /// ascending channel order and **before** any of the boundary's
+    /// [`AsyncProtocol::on_slot_on`] calls, so adapters that step on the
+    /// last message-slot callback observe the boundary's lanes too.  A node
+    /// not attached to a channel observes [`LaneOutcome::Idle`].  Defaults
+    /// to ignoring the outcome.
+    fn on_lanes_on(
+        &mut self,
+        chan: ChannelId,
+        lanes: &LaneOutcome,
+        ctx: &mut AsyncCtx<'_, Self::Msg>,
+    ) {
+        let _ = (chan, lanes, ctx);
+    }
+
     /// Local termination flag.
     ///
     /// As for the synchronous engine's O(1) quiescence tracking, the value
@@ -146,6 +163,8 @@ pub struct AsyncCtx<'a, M> {
     graveyard: &'a mut Vec<M>,
     /// Channel writes staged by this callback (pooled engine scratch).
     chan_writes: &'a mut Vec<(ChannelId, M)>,
+    /// Lane writes staged by this callback (pooled engine scratch).
+    lane_writes: &'a mut Vec<(ChannelId, u64)>,
     /// Channel count of the engine's [`ChannelSet`].
     k: u16,
     /// Attachment bitmask of this node.
@@ -235,6 +254,31 @@ impl<'a, M: Clone> AsyncCtx<'a, M> {
             self.node
         );
         self.chan_writes.push((chan, msg));
+    }
+
+    /// Stages a lane write on channel `chan` for the current slot: the
+    /// bitwise OR of every attached writer's word resolves at the next slot
+    /// boundary ([`AsyncProtocol::on_lanes_on`]).  Repeated writes by the
+    /// same node OR-merge — the asynchronous counterpart of
+    /// [`RoundIo::write_lanes_on`](crate::RoundIo::write_lanes_on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is not a channel of the engine's [`ChannelSet`] or
+    /// this node is not attached to it.
+    pub fn write_lanes_on(&mut self, chan: ChannelId, word: u64) {
+        assert!(
+            chan.0 < self.k,
+            "{:?} wrote lanes on {chan:?} of a {}-channel set",
+            self.node,
+            self.k
+        );
+        assert!(
+            self.attached & (1 << chan.0) != 0,
+            "{:?} attempted to write lanes on unattached {chan:?}",
+            self.node
+        );
+        self.lane_writes.push((chan, word));
     }
 
     /// Schedules this node for dispatch at the **next slot boundary**.
@@ -363,10 +407,22 @@ pub struct AsyncEngine<'g, P: AsyncProtocol> {
     slot_writes: Vec<Option<P::Msg>>,
     /// `(node, channel)` pairs with a queued write this slot, in request order.
     writers: Vec<(NodeId, ChannelId)>,
+    /// Lane words queued for the current slot: at most one (OR-merged) word
+    /// per node and channel, at `lane_slot_writes[v * K + c]`.
+    lane_slot_writes: Vec<Option<u64>>,
+    /// `(node, channel)` pairs with a queued lane write this slot, in
+    /// request order.
+    lane_writers: Vec<(NodeId, ChannelId)>,
     /// Pooled callback send buffer.
     send_scratch: Vec<StagedSend<P::Msg>>,
     /// Pooled callback channel-write buffer.
     chan_write_scratch: Vec<(ChannelId, P::Msg)>,
+    /// Pooled callback lane-write buffer.
+    lane_write_scratch: Vec<(ChannelId, u64)>,
+    /// Pooled per-boundary lane outcomes, one per channel.
+    lane_scratch: Vec<LaneOutcome>,
+    /// Pooled per-channel lane writer counters; length `K`.
+    lane_counts: Vec<u32>,
     /// Pooled per-boundary slot outcomes, one per channel.  The winners are
     /// **moved** in from `slot_writes` (never cloned) and parked in the slab
     /// graveyard after the boundary's callbacks, so heap payloads written to
@@ -463,8 +519,13 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                 .take(graph.node_count() * k)
                 .collect(),
             writers: Vec::new(),
+            lane_slot_writes: vec![None; graph.node_count() * k],
+            lane_writers: Vec::new(),
             send_scratch: Vec::new(),
             chan_write_scratch: Vec::new(),
+            lane_write_scratch: Vec::new(),
+            lane_scratch: vec![LaneOutcome::Idle; k],
+            lane_counts: vec![0; k],
             outcome_scratch: (0..k).map(|_| SlotOutcome::Idle).collect(),
             chan_counts: vec![0; k],
             channels,
@@ -706,6 +767,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
     {
         let mut sends = std::mem::take(&mut self.send_scratch);
         let mut chan_writes = std::mem::take(&mut self.chan_write_scratch);
+        let mut lane_writes = std::mem::take(&mut self.lane_write_scratch);
         let mut graveyard = std::mem::take(&mut self.slab.graveyard);
         let k = self.channels.channels();
         let node = &mut self.nodes[v.index()];
@@ -718,6 +780,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             sends: &mut sends,
             graveyard: &mut graveyard,
             chan_writes: &mut chan_writes,
+            lane_writes: &mut lane_writes,
             k,
             attached: self.channels.mask(v),
             woken: &mut woken,
@@ -806,6 +869,19 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             }
         }
         self.chan_write_scratch = chan_writes;
+
+        // Lane words OR-merge per (node, channel) instead of replacing.
+        for (chan, word) in lane_writes.drain(..) {
+            let queued = &mut self.lane_slot_writes[v.index() * k + chan.index()];
+            match queued {
+                Some(w) => *w |= word,
+                None => {
+                    *queued = Some(word);
+                    self.lane_writers.push((v, chan));
+                }
+            }
+        }
+        self.lane_write_scratch = lane_writes;
     }
 
     /// Queues one delivery of the payload in `slot` from `from` to `to`
@@ -827,6 +903,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         self.done_count + self.undone_exempt == self.nodes.len()
             && self.in_flight.is_empty()
             && self.writers.is_empty()
+            && self.lane_writers.is_empty()
     }
 
     fn deliver_due(&mut self) {
@@ -885,6 +962,25 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             }
         }
         self.writers.clear();
+        // Lane sub-slots fold the same way, except words OR together instead
+        // of colliding.
+        let mut lane_outcomes = std::mem::take(&mut self.lane_scratch);
+        debug_assert!(lane_outcomes.iter().all(LaneOutcome::is_idle));
+        self.lane_counts.fill(0);
+        for i in 0..self.lane_writers.len() {
+            let (v, chan) = self.lane_writers[i];
+            let c = chan.index();
+            let word = self.lane_slot_writes[v.index() * k + c]
+                .take()
+                .expect("queued lane write");
+            self.lane_counts[c] += 1;
+            lane_outcomes[c] = match lane_outcomes[c] {
+                LaneOutcome::Idle => LaneOutcome::Word(word),
+                LaneOutcome::Word(w) => LaneOutcome::Word(w | word),
+                LaneOutcome::Erased => unreachable!("erasure happens post-fold"),
+            };
+        }
+        self.lane_writers.clear();
         self.cost.add_round();
         // Churn accounting: this boundary accounts the slot whose writes
         // were staged up to the previous tick, so it is charged the
@@ -917,6 +1013,35 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                 self.cost.add_channel_slot(u64::from(count));
             }
         }
+        // Lane erasure shares the channel's erasure draw (the round's
+        // transmission on that channel is lost as a whole); corruption flips
+        // one seeded bit of a busy, non-erased word.
+        for (c, &count) in self.lane_counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let chan = ChannelId(c as u16);
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|s| s.erases_slot(erase_round, chan))
+            {
+                lane_outcomes[c] = LaneOutcome::Erased;
+                self.cost.add_erased_lanes(u64::from(count));
+            } else {
+                if let Some(bit) = self
+                    .faults
+                    .as_ref()
+                    .and_then(|s| s.corrupts_lane(erase_round, chan))
+                {
+                    if let LaneOutcome::Word(w) = &mut lane_outcomes[c] {
+                        *w ^= 1u64 << bit;
+                    }
+                    self.cost.add_corrupted_payloads(1);
+                }
+                self.cost.add_lane_slot(u64::from(count));
+            }
+        }
 
         // A non-idle outcome is feedback every *attached* node hears, so
         // under sparse dispatch those nodes join the boundary's wake set
@@ -924,7 +1049,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         if self.sparse {
             let mut nonidle_mask = 0u64;
             for (c, outcome) in outcomes.iter().enumerate() {
-                if !outcome.is_idle() {
+                if !outcome.is_idle() || !lane_outcomes[c].is_idle() {
                     nonidle_mask |= 1 << c;
                 }
             }
@@ -954,6 +1079,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         // callback would have observed only idle outcomes and staged
         // nothing (in particular, no RNG draws are skipped).
         let idle = SlotOutcome::Idle;
+        let lane_idle = LaneOutcome::Idle;
         if self.sparse && !self.wake_all {
             // Wakes raised *during* these callbacks are self-wakes of the
             // node being dispatched (its bit is already cleared below), so
@@ -970,6 +1096,14 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                 }
                 let attached = self.channels.mask(v);
                 self.dispatch(v, |node, ctx| {
+                    for (c, lanes) in lane_outcomes.iter().enumerate() {
+                        let heard = if attached & (1 << c) != 0 {
+                            lanes
+                        } else {
+                            &lane_idle
+                        };
+                        node.on_lanes_on(ChannelId(c as u16), heard, ctx);
+                    }
                     for (c, outcome) in outcomes.iter().enumerate() {
                         let heard = if attached & (1 << c) != 0 {
                             outcome
@@ -998,6 +1132,14 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                 }
                 let attached = self.channels.mask(v);
                 self.dispatch(v, |node, ctx| {
+                    for (c, lanes) in lane_outcomes.iter().enumerate() {
+                        let heard = if attached & (1 << c) != 0 {
+                            lanes
+                        } else {
+                            &lane_idle
+                        };
+                        node.on_lanes_on(ChannelId(c as u16), heard, ctx);
+                    }
                     for (c, outcome) in outcomes.iter().enumerate() {
                         let heard = if attached & (1 << c) != 0 {
                             outcome
@@ -1018,6 +1160,8 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             }
         }
         self.outcome_scratch = outcomes;
+        lane_outcomes.fill(LaneOutcome::Idle);
+        self.lane_scratch = lane_outcomes;
     }
 
     /// Runs until quiescence or until `max_ticks` ticks have elapsed.
@@ -1127,6 +1271,45 @@ mod tests {
         fn is_done(&self) -> bool {
             self.saw.is_some()
         }
+    }
+
+    /// Every node contributes one bit of a lane word at start; all must hear
+    /// the OR of the fleet's bits at the next boundary.
+    struct LaneOnce {
+        id: NodeId,
+        heard: Option<LaneOutcome>,
+    }
+    impl AsyncProtocol for LaneOnce {
+        type Msg = u8;
+        fn on_start(&mut self, ctx: &mut AsyncCtx<'_, u8>) {
+            ctx.write_lanes_on(ChannelId::DEFAULT, 1u64 << self.id.index());
+        }
+        fn on_message(&mut self, _f: NodeId, _m: &u8, _c: &mut AsyncCtx<'_, u8>) {}
+        fn on_lanes_on(&mut self, chan: ChannelId, lanes: &LaneOutcome, _c: &mut AsyncCtx<'_, u8>) {
+            if chan == ChannelId::DEFAULT && self.heard.is_none() && !lanes.is_idle() {
+                self.heard = Some(*lanes);
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.heard.is_some()
+        }
+    }
+
+    #[test]
+    fn lane_boundaries_or_merge_words() {
+        let g = generators::ring(5);
+        let mut eng = AsyncEngine::new(&g, AsyncConfig::default(), |id| LaneOnce {
+            id,
+            heard: None,
+        });
+        assert!(eng.run(100));
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).heard, Some(LaneOutcome::Word(0b11111)));
+        }
+        assert_eq!(eng.cost().lane_writes, 5);
+        assert_eq!(eng.cost().lanes_busy, 1);
+        assert_eq!(eng.cost().slots_collision, 0);
+        assert!(eng.is_quiescent());
     }
 
     #[test]

@@ -328,6 +328,85 @@ impl<M> SlotOutcome<M> {
     }
 }
 
+/// Outcome of one channel's **lane sub-slot**, as observed by every attached
+/// node.
+///
+/// Lanes are the word-wide *bit-parallel* sibling of the message slot: each
+/// round, every channel resolves — next to its ordinary [`SlotOutcome`] — one
+/// lane word formed as the **bitwise OR** of every `u64` staged through
+/// [`RoundIo::write_lanes_on`](crate::RoundIo::write_lanes_on) on that
+/// channel.  Unlike the message slot there is no collision: concurrent
+/// writers *merge*, which is exactly the busy/idle-per-bit feedback 64
+/// concurrent bitwise elections need (each election occupies one bit lane;
+/// a set bit means "some contender of this lane transmitted").
+///
+/// The lane sub-slot is independent of the message slot of the same channel
+/// and round: a protocol may stage both a message write and a lane write,
+/// and each resolves on its own.  Fault semantics mirror the message slot —
+/// an injected erasure (same `(round, channel)` draw as
+/// [`SlotOutcome::Erased`]) destroys a *busy* lane word in flight, and a
+/// seeded corruption fault may flip one bit of a busy word (counted in
+/// [`CostAccount::corrupted_payloads`](crate::CostAccount)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LaneOutcome {
+    /// Nobody staged a lane write on this channel this round.
+    Idle,
+    /// At least one node wrote; the word is the OR of every staged word
+    /// (after any injected corruption bit-flip).
+    Word(u64),
+    /// The sub-slot carried at least one write but an injected channel fault
+    /// erased it: attached nodes hear that the lanes were busy but learn no
+    /// word.  Like [`SlotOutcome::Erased`], fault-free executions never
+    /// observe this variant.
+    Erased,
+}
+
+impl LaneOutcome {
+    /// Returns `true` for [`LaneOutcome::Idle`].
+    pub fn is_idle(&self) -> bool {
+        matches!(self, LaneOutcome::Idle)
+    }
+
+    /// Returns `true` for [`LaneOutcome::Erased`].
+    pub fn is_erased(&self) -> bool {
+        matches!(self, LaneOutcome::Erased)
+    }
+
+    /// The resolved word, when the sub-slot was busy and not erased.
+    pub fn word(&self) -> Option<u64> {
+        match self {
+            LaneOutcome::Word(w) => Some(*w),
+            _ => None,
+        }
+    }
+}
+
+/// Resolves every channel's lane sub-slot from the flat list of
+/// `(channel, writer, word)` attempts: the outcome of channel `c` is the OR
+/// of every word staged on it ([`LaneOutcome::Idle`] with zero writers).
+/// The clone-free sibling of [`resolve_slots`], shared by the reference
+/// engine and the wire backend; the flat engines fold in place instead.
+///
+/// # Panics
+///
+/// Panics if a write addresses a channel at or beyond `k`.
+pub fn resolve_lanes(k: u16, writes: &[(ChannelId, NodeId, u64)]) -> Vec<LaneOutcome> {
+    let mut out: Vec<LaneOutcome> = (0..k).map(|_| LaneOutcome::Idle).collect();
+    for (chan, from, word) in writes {
+        assert!(
+            chan.0 < k,
+            "{from:?} wrote lanes on {chan:?} of a {k}-channel set"
+        );
+        let lane = &mut out[chan.index()];
+        *lane = match *lane {
+            LaneOutcome::Idle => LaneOutcome::Word(*word),
+            LaneOutcome::Word(w) => LaneOutcome::Word(w | *word),
+            LaneOutcome::Erased => unreachable!("erasure happens post-fold"),
+        };
+    }
+    out
+}
+
 /// Resolves a slot from the list of `(writer, message)` attempts.
 ///
 /// When several nodes write, the outcome is a collision and the message
@@ -488,6 +567,30 @@ mod tests {
         assert!(out[1].is_collision());
         assert!(out[2].is_idle());
         assert_eq!(out[3].message(), Some(&40));
+    }
+
+    #[test]
+    fn resolve_lanes_or_merges_per_channel() {
+        let writes = vec![
+            (ChannelId(1), NodeId(0), 0b0011u64),
+            (ChannelId(1), NodeId(2), 0b0110),
+            (ChannelId(3), NodeId(3), 1 << 63),
+        ];
+        let out = resolve_lanes(4, &writes);
+        assert_eq!(out[0], LaneOutcome::Idle);
+        assert!(out[0].is_idle());
+        assert_eq!(out[1], LaneOutcome::Word(0b0111));
+        assert_eq!(out[1].word(), Some(0b0111));
+        assert_eq!(out[2].word(), None);
+        assert_eq!(out[3], LaneOutcome::Word(1 << 63));
+        assert!(LaneOutcome::Erased.is_erased());
+        assert_eq!(LaneOutcome::Erased.word(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrote lanes on")]
+    fn resolve_lanes_rejects_out_of_range_channel() {
+        let _ = resolve_lanes(2, &[(ChannelId(2), NodeId(0), 1)]);
     }
 
     #[test]

@@ -78,7 +78,7 @@
 //! shards in node-index order, so parallel runs are bit-for-bit identical to
 //! sequential ones.
 
-use crate::channel::{ChannelId, ChannelOutcome, ChannelSet, SlotState};
+use crate::channel::{ChannelId, ChannelOutcome, ChannelSet, LaneOutcome, SlotState};
 use crate::fault::{FaultPlan, FaultSession, NodeLifecycle};
 use crate::metrics::CostAccount;
 use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo, Slots, Staged};
@@ -294,6 +294,7 @@ fn step_chunk<P: Protocol>(
     offsets: &[usize],
     channels: &ChannelSet,
     slot_outcomes: &[ChannelOutcome],
+    prev_lanes: &[LaneOutcome],
     round: u64,
     lifecycles: Option<&[NodeLifecycle]>,
     shard: &mut Shard<P::Msg>,
@@ -313,6 +314,7 @@ fn step_chunk<P: Protocol>(
                 outcomes: slot_outcomes,
                 payloads,
             },
+            lanes: prev_lanes,
             attached: channels.mask(v),
             outbox: &mut shard.outbox,
         };
@@ -336,6 +338,7 @@ struct SparseCtx<'a, M> {
     arena_epoch: u64,
     channels: &'a ChannelSet,
     slot_outcomes: &'a [ChannelOutcome],
+    prev_lanes: &'a [LaneOutcome],
     round: u64,
     lifecycles: Option<&'a [NodeLifecycle]>,
 }
@@ -384,6 +387,7 @@ fn step_sparse<P: Protocol>(
                 outcomes: ctx.slot_outcomes,
                 payloads: ctx.payloads,
             },
+            lanes: ctx.prev_lanes,
             attached: ctx.channels.mask(v),
             outbox: &mut shard.outbox,
         };
@@ -467,6 +471,18 @@ pub struct SyncEngine<'g, P: Protocol> {
     /// Channels of `slot_outcomes` that are currently non-idle; cached so
     /// quiescence stays O(1).
     nonidle_slots: usize,
+    /// Per-channel lane sub-slot outcome of the last resolved round; length
+    /// `K`.  Lane words are bare `u64`s, so they bypass the payload arena.
+    prev_lanes: Vec<LaneOutcome>,
+    /// Pooled merged lane writes of the current round.
+    lane_writes: Vec<(ChannelId, NodeId, u64)>,
+    /// Pooled per-channel lane writer counters; length `K`.
+    lane_counts: Vec<u32>,
+    /// Pooled per-channel OR-accumulators of the lane fold; length `K`.
+    lane_accum: Vec<u64>,
+    /// Channels of `prev_lanes` that are currently non-idle; cached so
+    /// quiescence stays O(1).
+    nonidle_lanes: usize,
     /// Pooled per-receiver chain heads for the bucketing pass; length `n`.
     heads: Vec<u32>,
     /// Pooled chain links, parallel to the staging buffer.
@@ -559,6 +575,11 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             chan_writes: Vec::new(),
             chan_counts: vec![0; k],
             nonidle_slots: 0,
+            prev_lanes: vec![LaneOutcome::Idle; k],
+            lane_writes: Vec::new(),
+            lane_counts: vec![0; k],
+            lane_accum: vec![0; k],
+            nonidle_lanes: 0,
             heads: vec![NIL; n],
             links: Vec::new(),
             scratch: Vec::new(),
@@ -837,6 +858,16 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         }
     }
 
+    /// Outcome of channel `chan`'s most recently resolved lane sub-slot
+    /// (the word-wide OR-merge surface; see [`RoundIo::prev_lanes_on`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is not a channel of the engine's [`ChannelSet`].
+    pub fn last_lanes(&self, chan: ChannelId) -> LaneOutcome {
+        self.prev_lanes[chan.index()]
+    }
+
     /// Number of point-to-point messages currently in flight (sent last
     /// round, delivered at the next step).
     pub fn in_flight(&self) -> usize {
@@ -887,6 +918,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         self.done_count + self.undone_exempt == self.nodes.len()
             && self.arena.is_empty()
             && self.nonidle_slots == 0
+            && self.nonidle_lanes == 0
     }
 
     /// Executes one round for every node and resolves one slot per channel.
@@ -908,6 +940,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 offsets,
                 shards,
                 slot_outcomes,
+                prev_lanes,
                 round,
                 faults,
                 ..
@@ -921,6 +954,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 offsets,
                 channels,
                 slot_outcomes,
+                prev_lanes,
                 *round,
                 faults.as_ref().map(|s| s.lifecycles()),
                 &mut shards[0],
@@ -941,6 +975,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             payloads,
             shards,
             slot_outcomes,
+            prev_lanes,
             round,
             faults,
             frontier,
@@ -960,6 +995,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             arena_epoch: *arena_epoch,
             channels: &*channels,
             slot_outcomes: slot_outcomes.as_slice(),
+            prev_lanes: prev_lanes.as_slice(),
             round: *round,
             lifecycles: faults.as_ref().map(|s| s.lifecycles()),
         };
@@ -1016,13 +1052,19 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         };
         self.cost.add_messages(messages);
         self.resolve_channels();
-        // Slot wakeups: a non-idle outcome is channel feedback that every
-        // *attached* node observes next round, so those nodes must step.
-        if self.nonidle_slots > 0 {
+        // Slot wakeups: a non-idle outcome — message slot *or* lane
+        // sub-slot — is channel feedback that every *attached* node observes
+        // next round, so those nodes must step.
+        if self.nonidle_slots > 0 || self.nonidle_lanes > 0 {
             if let Some(frontier) = &mut self.frontier {
                 let mut nonidle_mask = 0u64;
                 for (c, outcome) in self.slot_outcomes.iter().enumerate() {
                     if !matches!(outcome, ChannelOutcome::Idle) {
+                        nonidle_mask |= 1 << c;
+                    }
+                }
+                for (c, lanes) in self.prev_lanes.iter().enumerate() {
+                    if !lanes.is_idle() {
                         nonidle_mask |= 1 << c;
                     }
                 }
@@ -1062,6 +1104,18 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 self.slot_outcomes[c] = ChannelOutcome::Collision;
             }
         }
+        // Lane sub-slots OR-merge instead of colliding: fold the staged
+        // words per channel (order-independent — OR is commutative).
+        self.lane_counts.fill(0);
+        for &(chan, _, word) in &self.lane_writes {
+            let c = chan.index();
+            if self.lane_counts[c] == 0 {
+                self.lane_accum[c] = word;
+            } else {
+                self.lane_accum[c] |= word;
+            }
+            self.lane_counts[c] += 1;
+        }
         self.cost.add_round();
         self.nonidle_slots = 0;
         for (c, &count) in self.chan_counts.iter().enumerate() {
@@ -1087,7 +1141,40 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 self.cost.add_channel_slot(u64::from(count));
             }
         }
+        // Lane sub-slots: idle lanes cost nothing (see
+        // [`CostAccount::lanes_busy`]); an erasure shares the channel's slot
+        // draw — the round's transmission on that channel is lost as a
+        // whole — and corruption flips one seeded bit of the resolved word
+        // at this boundary, so every hearer observes the same word.
+        self.nonidle_lanes = 0;
+        for (c, &count) in self.lane_counts.iter().enumerate() {
+            if count == 0 {
+                self.prev_lanes[c] = LaneOutcome::Idle;
+            } else if self
+                .faults
+                .as_ref()
+                .is_some_and(|s| s.erases_slot(self.round, ChannelId(c as u16)))
+            {
+                self.prev_lanes[c] = LaneOutcome::Erased;
+                self.nonidle_lanes += 1;
+                self.cost.add_erased_lanes(u64::from(count));
+            } else {
+                let mut word = self.lane_accum[c];
+                if let Some(bit) = self
+                    .faults
+                    .as_ref()
+                    .and_then(|s| s.corrupts_lane(self.round, ChannelId(c as u16)))
+                {
+                    word ^= 1u64 << bit;
+                    self.cost.add_corrupted_payloads(1);
+                }
+                self.prev_lanes[c] = LaneOutcome::Word(word);
+                self.nonidle_lanes += 1;
+                self.cost.add_lane_slot(u64::from(count));
+            }
+        }
         self.chan_writes.clear();
+        self.lane_writes.clear();
     }
 
     /// Shared prologue of the dense and sparse arena rebuilds: rotates the
@@ -1138,6 +1225,13 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         debug_assert!(self.chan_writes.is_empty());
         for shard in &mut self.shards {
             self.chan_writes.append(&mut shard.outbox.chan_writes);
+        }
+
+        // Lane words are bare `u64`s — no handles to rebase, so the merge is
+        // a plain append in shard (= node-index) order.
+        debug_assert!(self.lane_writes.is_empty());
+        for shard in &mut self.shards {
+            self.lane_writes.append(&mut shard.outbox.lane_writes);
         }
 
         // Merge worker shards in node-index order (no-op sequentially).
@@ -1431,17 +1525,19 @@ where
             offsets,
             shards,
             slot_outcomes,
+            prev_lanes,
             round,
             faults,
             ..
         } = self;
-        let (graph, channels, arena, payloads, offsets, slot_outcomes, round) = (
+        let (graph, channels, arena, payloads, offsets, slot_outcomes, prev_lanes, round) = (
             &**graph,
             &*channels,
             &*arena,
             &*payloads,
             &*offsets,
             &*slot_outcomes,
+            &*prev_lanes,
             *round,
         );
         let lifecycles = faults.as_ref().map(|s| s.lifecycles());
@@ -1461,6 +1557,7 @@ where
                         offsets,
                         channels,
                         slot_outcomes,
+                        prev_lanes,
                         round,
                         lifecycles,
                         shard,
@@ -1487,6 +1584,7 @@ where
             payloads,
             shards,
             slot_outcomes,
+            prev_lanes,
             round,
             faults,
             frontier,
@@ -1506,6 +1604,7 @@ where
             arena_epoch: *arena_epoch,
             channels: &*channels,
             slot_outcomes: slot_outcomes.as_slice(),
+            prev_lanes: prev_lanes.as_slice(),
             round: *round,
             lifecycles: faults.as_ref().map(|s| s.lifecycles()),
         };
@@ -1752,6 +1851,65 @@ mod tests {
             let c = v.index() as u16;
             assert_eq!(eng.node(v).heard, vec![(c, 100 + u64::from(c))]);
         }
+    }
+
+    /// Every node writes its id bit on the lane sub-slot of round 0 and
+    /// records the OR-merged word it hears back.
+    struct LaneMarker {
+        id: NodeId,
+        heard: Option<LaneOutcome>,
+    }
+    impl Protocol for LaneMarker {
+        type Msg = ();
+        fn step(&mut self, io: &mut RoundIo<'_, ()>) {
+            if io.round() == 0 {
+                io.write_lanes_on(ChannelId(0), 1 << self.id.index());
+            }
+            if !io.prev_lanes_on(ChannelId(0)).is_idle() && self.heard.is_none() {
+                self.heard = Some(io.prev_lanes_on(ChannelId(0)));
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.heard.is_some()
+        }
+    }
+
+    #[test]
+    fn lane_writes_or_merge_and_block_quiescence() {
+        let g = generators::complete(5);
+        let mut eng = SyncEngine::new(&g, |id| LaneMarker { id, heard: None });
+        let out = eng.run(10);
+        assert!(out.is_completed());
+        // Five simultaneous lane writers OR-merge instead of colliding, and
+        // the busy lane keeps the engine alive one more round so everyone
+        // hears the merged word.
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).heard, Some(LaneOutcome::Word(0b11111)));
+        }
+        assert_eq!(eng.cost().lane_writes, 5);
+        assert_eq!(eng.cost().lanes_busy, 1);
+        assert_eq!(eng.cost().lanes_erased, 0);
+        assert_eq!(eng.cost().slots_collision, 0);
+        assert_eq!(eng.cost().channel_writes, 0);
+        assert_eq!(eng.last_lanes(ChannelId(0)), LaneOutcome::Idle);
+    }
+
+    #[test]
+    fn lane_corruption_flips_one_seeded_bit() {
+        let g = generators::complete(3);
+        let plan = FaultPlan::none().with_corruption(1.0);
+        let expected_bit = plan
+            .corrupts_lane(0, ChannelId(0))
+            .expect("rate 1.0 must fire");
+        let mut eng = SyncEngine::new(&g, |id| LaneMarker { id, heard: None });
+        eng.set_fault_plan(plan);
+        let out = eng.run(10);
+        assert!(out.is_completed());
+        let expected = 0b111u64 ^ (1 << expected_bit);
+        for v in g.nodes() {
+            assert_eq!(eng.node(v).heard, Some(LaneOutcome::Word(expected)));
+        }
+        assert!(eng.cost().corrupted_payloads >= 1);
     }
 
     #[test]

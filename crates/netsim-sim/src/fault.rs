@@ -67,6 +67,7 @@ const DOMAIN_ERASE: u64 = 1;
 const DOMAIN_DROP: u64 = 2;
 const DOMAIN_CRASH: u64 = 3;
 const DOMAIN_RECOVER: u64 = 4;
+const DOMAIN_CORRUPT: u64 = 5;
 
 /// Where a node is in its crash/recover lifecycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,6 +139,7 @@ pub struct FaultPlan {
     drop_p: f64,
     crash_p: f64,
     recover_p: f64,
+    corrupt_p: f64,
     /// Explicit churn schedule, sorted by round (stable).
     events: Vec<FaultEvent>,
     /// Nodes that start `Off` instead of `Operational`.
@@ -178,9 +180,29 @@ impl FaultPlan {
             drop_p,
             crash_p,
             recover_p,
+            corrupt_p: 0.0,
             events: Vec::new(),
             initial_off: Vec::new(),
         }
+    }
+
+    /// Adds a payload-corruption rate: each round, every channel's busy
+    /// lane word is corrupted — a seeded single-bit flip at the resolve
+    /// boundary — with probability `corrupt_p` (see
+    /// [`FaultPlan::corrupts_lane`]).  Corruption only touches lane words
+    /// (`u64` sub-slot payloads); arena-backed message payloads are opaque
+    /// to the fault layer and stay intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corrupt_p` is outside `0.0..=1.0`.
+    pub fn with_corruption(mut self, corrupt_p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&corrupt_p),
+            "corrupt_p = {corrupt_p} outside 0..=1"
+        );
+        self.corrupt_p = corrupt_p;
+        self
     }
 
     /// Adds an explicit churn schedule on top of the seeded rates.  Events
@@ -205,6 +227,7 @@ impl FaultPlan {
             && self.drop_p <= 0.0
             && self.crash_p <= 0.0
             && self.recover_p <= 0.0
+            && self.corrupt_p <= 0.0
             && self.events.is_empty()
             && self.initial_off.is_empty()
     }
@@ -222,6 +245,24 @@ impl FaultPlan {
                 .rng()
                 .split(DOMAIN_ERASE)
                 .chance(round, chan.index() as u64, self.erase_p)
+    }
+
+    /// Stateless draw: is channel `chan`'s lane word of round `round`
+    /// scheduled for corruption?  Returns the bit index (`0..64`) to flip.
+    /// The corruption *applies* only if the lane sub-slot is busy and not
+    /// erased — the flip lands on the resolved (OR-merged) word at the
+    /// resolve boundary, so every hearer observes the same corrupted word.
+    pub fn corrupts_lane(&self, round: u64, chan: ChannelId) -> Option<u32> {
+        if self.corrupt_p <= 0.0 {
+            return None;
+        }
+        let rng = self.rng().split(DOMAIN_CORRUPT);
+        if !rng.chance(round, chan.index() as u64, self.corrupt_p) {
+            return None;
+        }
+        // A distinct key (high bit set) decorrelates the bit index from the
+        // fire decision while staying a pure function of (round, chan).
+        Some((rng.draw(round, chan.index() as u64 | (1 << 32)) & 63) as u32)
     }
 
     /// Stateless draw: are the messages sent in round `round` over the
@@ -327,6 +368,11 @@ impl FaultSession {
     /// Delegates to [`FaultPlan::erases_slot`].
     pub fn erases_slot(&self, round: u64, chan: ChannelId) -> bool {
         self.plan.erases_slot(round, chan)
+    }
+
+    /// Delegates to [`FaultPlan::corrupts_lane`].
+    pub fn corrupts_lane(&self, round: u64, chan: ChannelId) -> Option<u32> {
+        self.plan.corrupts_lane(round, chan)
     }
 
     fn transition<F: FnMut(NodeId, NodeLifecycle, NodeLifecycle)>(
@@ -469,12 +515,36 @@ mod tests {
     }
 
     #[test]
+    fn corruption_draws_are_seeded_and_bounded() {
+        let a = FaultPlan::none().with_corruption(0.4);
+        let b = FaultPlan::none().with_corruption(0.4);
+        assert!(!a.is_null());
+        let fwd: Vec<Option<u32>> = (0..200).map(|r| a.corrupts_lane(r, ChannelId(1))).collect();
+        let bwd: Vec<Option<u32>> = (0..200)
+            .rev()
+            .map(|r| b.corrupts_lane(r, ChannelId(1)))
+            .rev()
+            .collect();
+        assert_eq!(fwd, bwd);
+        assert!(fwd.iter().any(|c| c.is_some()), "0.4 rate must fire");
+        assert!(fwd.iter().any(|c| c.is_none()), "0.4 rate must also miss");
+        for bit in fwd.iter().flatten() {
+            assert!(*bit < 64, "flip index {bit} out of word range");
+        }
+        // Bit indices are decorrelated from the fire decision: over 200
+        // rounds the fired flips must not all land on the same bit.
+        let bits: Vec<u32> = fwd.iter().flatten().copied().collect();
+        assert!(bits.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
     fn null_plan_never_fires() {
         let p = FaultPlan::none();
         assert!(p.is_null());
         for r in 0..100 {
             assert!(!p.erases_slot(r, ChannelId(0)));
             assert!(!p.drops_message(r, NodeId(0), NodeId(1)));
+            assert!(p.corrupts_lane(r, ChannelId(0)).is_none());
         }
         let mut s = FaultSession::new(p, 8);
         for r in 0..100 {

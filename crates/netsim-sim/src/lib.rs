@@ -125,8 +125,8 @@ pub mod wire;
 
 pub use async_engine::{AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol};
 pub use channel::{
-    fdma_slot_lengths, resolve_slot, resolve_slots, ChannelId, ChannelSet, SlotOutcome, SlotState,
-    MAX_CHANNELS,
+    fdma_slot_lengths, resolve_lanes, resolve_slot, resolve_slots, ChannelId, ChannelSet,
+    LaneOutcome, SlotOutcome, SlotState, MAX_CHANNELS,
 };
 pub use engine::{tuned_block_shift, RunOutcome, SyncEngine};
 pub use fault::{FaultEvent, FaultPlan, FaultSession, NodeLifecycle};

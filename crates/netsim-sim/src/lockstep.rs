@@ -26,7 +26,7 @@
 //! fourth substrate of the conformance matrix.
 
 use crate::async_engine::{AsyncConfig, AsyncCtx, AsyncProtocol};
-use crate::channel::{ChannelId, SlotOutcome};
+use crate::channel::{ChannelId, LaneOutcome, SlotOutcome};
 use crate::node::{Inbox, OutboxBuffer, Protocol, RoundIo};
 use netsim_graph::NodeId;
 
@@ -88,6 +88,10 @@ pub struct Lockstep<P: Protocol> {
     inbox: Vec<(NodeId, P::Msg)>,
     /// Per-channel outcomes of the boundary being delivered.
     slots: Vec<SlotOutcome<P::Msg>>,
+    /// Per-channel lane words of the boundary being delivered (the engine
+    /// fires `on_lanes_on` for every channel before any `on_slot_on`, so
+    /// these are complete by the time the last slot callback steps us).
+    lanes: Vec<LaneOutcome>,
     outbox: OutboxBuffer<P::Msg>,
 }
 
@@ -98,6 +102,7 @@ impl<P: Protocol> Lockstep<P> {
             inner,
             inbox: Vec::new(),
             slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
+            lanes: vec![LaneOutcome::Idle; usize::from(k)],
             outbox: OutboxBuffer::new(),
         }
     }
@@ -139,7 +144,8 @@ impl<P: Protocol> Lockstep<P> {
             &self.slots,
             &mut self.outbox,
         )
-        .with_attachment(attached);
+        .with_attachment(attached)
+        .with_lanes(&self.lanes);
         self.inner.step(&mut io);
         self.inbox.clear();
         // Forward the inner protocol's wakeup requests onto the engine's
@@ -154,6 +160,8 @@ impl<P: Protocol> Lockstep<P> {
         // retires the payload epoch the write handles point into.
         self.outbox
             .take_channel_writes(|chan, _, msg| ctx.write_channel_on(chan, msg));
+        self.outbox
+            .take_lane_writes(|chan, _, word| ctx.write_lanes_on(chan, word));
         for (to, msg) in self.outbox.drain_sends() {
             ctx.send(to, msg);
         }
@@ -168,11 +176,21 @@ impl<P: Protocol> AsyncProtocol for Lockstep<P> {
         for slot in &mut self.slots {
             *slot = SlotOutcome::Idle;
         }
+        self.lanes.fill(LaneOutcome::Idle);
         self.step_sync(ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: &Self::Msg, _ctx: &mut AsyncCtx<'_, Self::Msg>) {
         self.inbox.push((from, msg.clone()));
+    }
+
+    fn on_lanes_on(
+        &mut self,
+        chan: ChannelId,
+        lanes: &LaneOutcome,
+        _ctx: &mut AsyncCtx<'_, Self::Msg>,
+    ) {
+        self.lanes[chan.index()] = *lanes;
     }
 
     fn on_slot_on(

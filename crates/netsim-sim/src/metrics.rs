@@ -36,6 +36,24 @@ pub struct CostAccount {
     /// Sum over executed rounds of the number of non-operational (off,
     /// booting, or crashed) nodes in that round — the integral of churn.
     pub crashed_rounds: u64,
+    /// Individual lane-word write attempts
+    /// ([`RoundIo::write_lanes_on`](crate::RoundIo::write_lanes_on)); at
+    /// most one per node, channel, and round (same-node repeats OR-merge at
+    /// staging time).
+    pub lane_writes: u64,
+    /// Channel-rounds whose lane sub-slot was busy and resolved to a
+    /// [`LaneOutcome::Word`](crate::LaneOutcome).  Idle lane sub-slots are
+    /// deliberately *not* counted: lanes are an opt-in sub-slot, and charging
+    /// `K` idle lanes per round would retroactively change every account of
+    /// a protocol that never stages a lane write.
+    pub lanes_busy: u64,
+    /// Channel-rounds whose busy lane sub-slot was erased by an injected
+    /// fault (the word was destroyed in flight; not counted in `lanes_busy`).
+    pub lanes_erased: u64,
+    /// Payload words corrupted in flight by an injected fault: seeded
+    /// single-bit flips applied to resolved lane words at the resolve
+    /// boundary (see [`FaultPlan::corrupts_lane`](crate::FaultPlan)).
+    pub corrupted_payloads: u64,
 }
 
 impl CostAccount {
@@ -66,6 +84,10 @@ impl CostAccount {
         self.dropped_messages += other.dropped_messages;
         self.erased_slots += other.erased_slots;
         self.crashed_rounds += other.crashed_rounds;
+        self.lane_writes += other.lane_writes;
+        self.lanes_busy += other.lanes_busy;
+        self.lanes_erased += other.lanes_erased;
+        self.corrupted_payloads += other.corrupted_payloads;
     }
 
     /// Records `count` point-to-point messages.
@@ -114,6 +136,30 @@ impl CostAccount {
         self.erased_slots += 1;
     }
 
+    /// Records one busy lane sub-slot with `writers >= 1` staged words
+    /// (idle lane sub-slots are not recorded — see
+    /// [`CostAccount::lanes_busy`]).
+    pub fn add_lane_slot(&mut self, writers: u64) {
+        debug_assert!(writers >= 1, "idle lane sub-slots are not recorded");
+        self.lane_writes += writers;
+        self.lanes_busy += 1;
+    }
+
+    /// Records one busy lane sub-slot whose `writers >= 1` words were erased
+    /// by an injected fault: the write attempts still count, but the
+    /// sub-slot is classified as erased rather than busy.
+    pub fn add_erased_lanes(&mut self, writers: u64) {
+        debug_assert!(writers >= 1, "an idle lane sub-slot cannot be erased");
+        self.lane_writes += writers;
+        self.lanes_erased += 1;
+    }
+
+    /// Records `count` payload words corrupted in flight by an injected
+    /// fault.
+    pub fn add_corrupted_payloads(&mut self, count: u64) {
+        self.corrupted_payloads += count;
+    }
+
     /// Records `count` dropped point-to-point messages (the sends were
     /// already counted by [`CostAccount::add_messages`]).
     pub fn add_dropped_messages(&mut self, count: u64) {
@@ -146,7 +192,7 @@ impl std::fmt::Display for CostAccount {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "rounds={} p2p_msgs={} writes={} slots(idle/succ/coll/erased)={}/{}/{}/{} dropped={} crashed_rounds={}",
+            "rounds={} p2p_msgs={} writes={} slots(idle/succ/coll/erased)={}/{}/{}/{} lanes(writes/busy/erased)={}/{}/{} dropped={} crashed_rounds={} corrupted={}",
             self.rounds,
             self.p2p_messages,
             self.channel_writes,
@@ -154,8 +200,12 @@ impl std::fmt::Display for CostAccount {
             self.slots_success,
             self.slots_collision,
             self.erased_slots,
+            self.lane_writes,
+            self.lanes_busy,
+            self.lanes_erased,
             self.dropped_messages,
-            self.crashed_rounds
+            self.crashed_rounds,
+            self.corrupted_payloads
         )
     }
 }
@@ -219,6 +269,27 @@ mod tests {
         assert_eq!(d, c);
         let s = format!("{c}");
         assert!(s.contains("erased") && s.contains("dropped") && s.contains("crashed"));
+    }
+
+    #[test]
+    fn lane_and_corruption_counters() {
+        let mut c = CostAccount::new();
+        c.add_round();
+        c.add_lane_slot(5);
+        c.add_erased_lanes(2);
+        c.add_corrupted_payloads(1);
+        assert_eq!(c.lane_writes, 7);
+        assert_eq!(c.lanes_busy, 1);
+        assert_eq!(c.lanes_erased, 1);
+        assert_eq!(c.corrupted_payloads, 1);
+        // Lane activity stays out of the message-slot classification.
+        assert_eq!(c.channel_writes, 0);
+        assert_eq!(c.slots_busy(), 0);
+        let mut d = CostAccount::new();
+        d.absorb(&c);
+        assert_eq!(d, c);
+        let s = format!("{c}");
+        assert!(s.contains("lanes") && s.contains("corrupted"));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! `(sender, &payload)` pairs whether the engine stores materialised
 //! messages (the reference clone path) or arena handles (the flat engines).
 
-use crate::channel::{ChannelId, ChannelOutcome, SlotOutcome};
+use crate::channel::{ChannelId, ChannelOutcome, LaneOutcome, SlotOutcome};
 use crate::payload::{PayloadArena, PayloadHandle};
 use netsim_graph::{Neighbors, NodeId};
 
@@ -85,6 +85,12 @@ pub struct OutboxBuffer<M> {
     /// point-to-point ones, which is what lets the flat engines deliver slot
     /// winners by handle instead of cloning them.
     pub(crate) chan_writes: Vec<(ChannelId, NodeId, PayloadHandle)>,
+    /// Lane words staged this round as `(channel, writer, word)` triples.
+    /// Lane payloads are bare `u64`s (see
+    /// [`LaneOutcome`](crate::LaneOutcome)), so they bypass the arena
+    /// entirely; same-node same-channel writes are OR-merged at staging
+    /// time, keeping at most one entry per `(node, channel)`.
+    pub(crate) lane_writes: Vec<(ChannelId, NodeId, u64)>,
     /// Self-scheduled wakeups requested through [`RoundIo::wake_me`]: nodes
     /// asking to be on the next round's activity frontier.  Engines running
     /// dense ignore (and clear) them; the sparse stepping mode folds them
@@ -99,6 +105,7 @@ impl<M> OutboxBuffer<M> {
             entries: Vec::new(),
             arena: PayloadArena::new(),
             chan_writes: Vec::new(),
+            lane_writes: Vec::new(),
             wakes: Vec::new(),
         }
     }
@@ -118,6 +125,7 @@ impl<M> OutboxBuffer<M> {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.chan_writes.clear();
+        self.lane_writes.clear();
         self.wakes.clear();
         self.arena.expire();
     }
@@ -149,6 +157,22 @@ impl<M> OutboxBuffer<M> {
         } = self;
         for (chan, from, h) in chan_writes.drain(..) {
             f(chan, from, arena.take(h));
+        }
+    }
+
+    /// Returns `true` when at least one lane write is staged.
+    pub fn has_lane_writes(&self) -> bool {
+        !self.lane_writes.is_empty()
+    }
+
+    /// Moves every staged lane write out as `(channel, writer, word)`, in
+    /// staging order (at most one entry per node and channel — same-node
+    /// repeats were OR-merged at staging time).  Simulation wrappers (the
+    /// async lockstep adapter, the reference engine, the wire backend) use
+    /// this to forward lane words onto their own substrate.
+    pub fn take_lane_writes(&mut self, mut f: impl FnMut(ChannelId, NodeId, u64)) {
+        for (chan, from, word) in self.lane_writes.drain(..) {
+            f(chan, from, word);
         }
     }
 
@@ -471,6 +495,9 @@ pub struct RoundIo<'a, M> {
     pub(crate) inbox: Inbox<'a, M>,
     /// Previous round's outcome of every channel of the set.
     pub(crate) slots: Slots<'a, M>,
+    /// Previous round's lane sub-slot outcome of every channel; an empty
+    /// slice (the detached default) reads as all-[`LaneOutcome::Idle`].
+    pub(crate) lanes: &'a [LaneOutcome],
     /// Bitmask of the channels this node is attached to.
     pub(crate) attached: u64,
     pub(crate) outbox: &'a mut OutboxBuffer<M>,
@@ -532,9 +559,30 @@ impl<'a, M: Clone> RoundIo<'a, M> {
             neighbors,
             inbox,
             slots: Slots::Direct(prev_slots),
+            lanes: &[],
             attached: crate::channel::ChannelSet::full_mask(k as u16),
             outbox,
         }
+    }
+
+    /// Attaches the previous round's per-channel lane outcomes to a detached
+    /// window (the default is all-idle).  Wrappers replaying lane-writing
+    /// protocols (the async lockstep adapter) chain this so
+    /// [`RoundIo::prev_lanes_on`] observes the real sub-slot feedback.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the slice covers exactly the window's channel count.
+    pub fn with_lanes(mut self, lanes: &'a [LaneOutcome]) -> Self {
+        assert_eq!(
+            lanes.len(),
+            self.slots.len(),
+            "lane outcomes cover {} channels, window has {}",
+            lanes.len(),
+            self.slots.len()
+        );
+        self.lanes = lanes;
+        self
     }
 
     /// Restricts a detached window to an explicit attachment bitmask, so
@@ -632,6 +680,30 @@ impl<'a, M: Clone> RoundIo<'a, M> {
             return SlotOutcome::Idle;
         }
         self.slots.get(c)
+    }
+
+    /// Outcome of the previous round's **lane sub-slot** of channel `chan`
+    /// (see [`LaneOutcome`]): the OR of every word staged there through
+    /// [`RoundIo::write_lanes_on`], independent of the channel's message
+    /// slot.  A node that is not attached to `chan` observes
+    /// [`LaneOutcome::Idle`]; in round 0 every channel reads idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is not a channel of the engine's
+    /// [`ChannelSet`](crate::ChannelSet).
+    pub fn prev_lanes_on(&self, chan: ChannelId) -> LaneOutcome {
+        let c = chan.index();
+        assert!(
+            c < self.slots.len(),
+            "{:?} read lanes on {chan:?} of a {}-channel set",
+            self.node,
+            self.slots.len()
+        );
+        if self.attached & (1 << c) == 0 {
+            return LaneOutcome::Idle;
+        }
+        self.lanes.get(c).copied().unwrap_or(LaneOutcome::Idle)
     }
 
     /// Number of channels `K` of the engine's [`ChannelSet`](crate::ChannelSet).
@@ -745,6 +817,48 @@ impl<'a, M: Clone> RoundIo<'a, M> {
         match earlier {
             Some(entry) => entry.2 = h,
             None => self.outbox.chan_writes.push((chan, node, h)),
+        }
+    }
+
+    /// Writes `word` to channel `chan`'s **lane sub-slot** in the current
+    /// round.  All words staged on one channel resolve by bitwise OR into a
+    /// single [`LaneOutcome::Word`] every attached node observes next round
+    /// — there is no collision, which is what lets 64 concurrent bitwise
+    /// elections share one channel (one bit lane each; see
+    /// `channel_access::LaneElectionSeries`).  Writing twice in one round
+    /// ORs into the earlier word (one transmitter per channel, but bits
+    /// merge, unlike the message slot's last-write-wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is not a channel of the engine's
+    /// [`ChannelSet`](crate::ChannelSet) or this node is not attached to it.
+    pub fn write_lanes_on(&mut self, chan: ChannelId, word: u64) {
+        assert!(
+            chan.index() < self.slots.len(),
+            "{:?} wrote lanes on {chan:?} of a {}-channel set",
+            self.node,
+            self.slots.len()
+        );
+        assert!(
+            self.attached & (1 << chan.index()) != 0,
+            "{:?} attempted to write lanes on unattached {chan:?}",
+            self.node
+        );
+        // OR-merge per channel: this node's staged lane writes are the
+        // contiguous tail of the buffer (one node steps at a time), so a
+        // short reverse scan finds an earlier write to the same channel.
+        let node = self.node;
+        let earlier = self
+            .outbox
+            .lane_writes
+            .iter_mut()
+            .rev()
+            .take_while(|&&mut (_, from, _)| from == node)
+            .find(|&&mut (c, _, _)| c == chan);
+        match earlier {
+            Some(entry) => entry.2 |= word,
+            None => self.outbox.lane_writes.push((chan, node, word)),
         }
     }
 
@@ -1015,6 +1129,77 @@ mod tests {
             vec![(ChannelId(2), NodeId(0), 9), (ChannelId(1), NodeId(0), 5)]
         );
         assert!(!outbox.has_channel_writes());
+    }
+
+    #[test]
+    fn lane_writes_or_merge_and_reads_default_idle() {
+        let prev = [SlotOutcome::Idle, SlotOutcome::Idle];
+        let lanes = [LaneOutcome::Word(0b101), LaneOutcome::Erased];
+        let mut outbox: OutboxBuffer<u32> = OutboxBuffer::new();
+        let mut io = RoundIo::detached_multi(
+            NodeId(0),
+            0,
+            Neighbors::new(&TARGETS, &EDGES),
+            Inbox::empty(),
+            &prev,
+            &mut outbox,
+        )
+        .with_lanes(&lanes);
+        assert_eq!(io.prev_lanes_on(ChannelId(0)), LaneOutcome::Word(0b101));
+        assert_eq!(io.prev_lanes_on(ChannelId(1)), LaneOutcome::Erased);
+        io.write_lanes_on(ChannelId(0), 0b0011);
+        io.write_lanes_on(ChannelId(1), 1 << 7);
+        io.write_lanes_on(ChannelId(0), 0b0110); // OR-merges with the first
+        let mut writes = Vec::new();
+        outbox.take_lane_writes(|c, from, w| writes.push((c, from, w)));
+        assert_eq!(
+            writes,
+            vec![
+                (ChannelId(0), NodeId(0), 0b0111),
+                (ChannelId(1), NodeId(0), 1 << 7)
+            ]
+        );
+        assert!(!outbox.has_lane_writes());
+    }
+
+    #[test]
+    fn lanes_default_to_idle_and_gate_on_attachment() {
+        let prev = [SlotOutcome::<u32>::Idle, SlotOutcome::Idle];
+        let lanes = [LaneOutcome::Word(1), LaneOutcome::Word(2)];
+        let mut outbox = OutboxBuffer::new();
+        // No with_lanes: everything reads idle.
+        let io = RoundIo::detached_multi(
+            NodeId(0),
+            0,
+            Neighbors::new(&TARGETS, &EDGES),
+            Inbox::empty(),
+            &prev,
+            &mut outbox,
+        );
+        assert!(io.prev_lanes_on(ChannelId(0)).is_idle());
+        assert!(io.prev_lanes_on(ChannelId(1)).is_idle());
+        // Unattached channels read idle even when the lane word was busy.
+        let io = RoundIo::detached_multi(
+            NodeId(0),
+            0,
+            Neighbors::new(&TARGETS, &EDGES),
+            Inbox::empty(),
+            &prev,
+            &mut outbox,
+        )
+        .with_lanes(&lanes)
+        .with_attachment(0b10);
+        assert!(io.prev_lanes_on(ChannelId(0)).is_idle());
+        assert_eq!(io.prev_lanes_on(ChannelId(1)), LaneOutcome::Word(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrote lanes on")]
+    fn lane_write_to_unknown_channel_panics() {
+        let prev = SlotOutcome::<u32>::Idle;
+        let mut outbox = OutboxBuffer::new();
+        let mut io = make_io(Neighbors::new(&TARGETS, &EDGES), &[], &prev, &mut outbox);
+        io.write_lanes_on(ChannelId(1), 1);
     }
 
     #[test]

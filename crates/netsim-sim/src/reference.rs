@@ -25,7 +25,9 @@
 //!
 //! Do not use it for experiments; it is deliberately allocator-bound.
 
-use crate::channel::{resolve_slots, ChannelId, ChannelSet, SlotOutcome, SlotState};
+use crate::channel::{
+    resolve_lanes, resolve_slots, ChannelId, ChannelSet, LaneOutcome, SlotOutcome, SlotState,
+};
 use crate::engine::RunOutcome;
 use crate::fault::{FaultPlan, FaultSession, NodeLifecycle};
 use crate::metrics::CostAccount;
@@ -47,6 +49,9 @@ pub struct ReferenceEngine<'g, P: Protocol> {
     /// Per-channel outcome of the last resolved round, winners **cloned**
     /// into place by [`resolve_slots`] — the seed's clone-path semantics.
     prev_slots: Vec<SlotOutcome<P::Msg>>,
+    /// Per-channel lane sub-slot outcome of the last resolved round
+    /// ([`resolve_lanes`]); length `K`.
+    prev_lanes: Vec<LaneOutcome>,
     cost: CostAccount,
     round: u64,
     /// Injected-fault session, when [`ReferenceEngine::set_fault_plan`]
@@ -106,6 +111,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             pending: vec![Vec::new(); graph.node_count()],
             next_pending: vec![Vec::new(); graph.node_count()],
             prev_slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
+            prev_lanes: vec![LaneOutcome::Idle; k as usize],
             cost: CostAccount::new(),
             round: 0,
             faults: None,
@@ -294,6 +300,12 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
                     .is_some_and(|s| s.lifecycle(NodeId(i)).is_exempt())
         }) && self.pending.iter().all(Vec::is_empty)
             && self.prev_slots.iter().all(SlotOutcome::is_idle)
+            && self.prev_lanes.iter().all(LaneOutcome::is_idle)
+    }
+
+    /// Outcome of channel `chan`'s most recently resolved lane sub-slot.
+    pub fn last_lanes(&self, chan: ChannelId) -> LaneOutcome {
+        self.prev_lanes[chan.index()]
     }
 
     /// Executes one round for every node and resolves one slot per channel.
@@ -317,6 +329,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             queue.clear(); // keep capacity: the pooled half of the buffer pair
         }
         let mut writes: Vec<(ChannelId, NodeId, P::Msg)> = Vec::new();
+        let mut lane_writes: Vec<(ChannelId, NodeId, u64)> = Vec::new();
         let mut messages_sent: u64 = 0;
         let mut dropped: u64 = 0;
 
@@ -327,6 +340,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             pending,
             next_pending,
             prev_slots,
+            prev_lanes,
             round,
             faults,
             sparse,
@@ -349,7 +363,11 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
                 let hears_slot = prev_slots
                     .iter()
                     .enumerate()
-                    .any(|(c, o)| mask & (1 << c) != 0 && !o.is_idle());
+                    .any(|(c, o)| mask & (1 << c) != 0 && !o.is_idle())
+                    || prev_lanes
+                        .iter()
+                        .enumerate()
+                        .any(|(c, l)| mask & (1 << c) != 0 && !l.is_idle());
                 let active =
                     step_all || !pending[v.index()].is_empty() || woken[v.index()] || hears_slot;
                 if !active {
@@ -364,6 +382,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
                 neighbors: graph.neighbors(v),
                 inbox: Inbox::direct(&pending[v.index()]),
                 slots: Slots::Direct(prev_slots),
+                lanes: prev_lanes.as_slice(),
                 attached: channels.mask(v),
                 outbox: &mut outbox,
             };
@@ -376,6 +395,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             // when the seed staged them in an `Option<M>`), because draining
             // the sends retires the payload epoch.
             outbox.take_channel_writes(|chan, from, msg| writes.push((chan, from, msg)));
+            outbox.take_lane_writes(|chan, from, word| lane_writes.push((chan, from, word)));
             for (to, msg) in outbox.drain_sends() {
                 // Drop at the delivery boundary: sent (counted above), never
                 // queued for the receiver.
@@ -417,6 +437,40 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
                 self.cost.add_erased_slot(count);
             } else {
                 self.cost.add_channel_slot(count);
+            }
+        }
+        // Lane sub-slots: the OR-merged words, with the erasure sharing the
+        // channel's slot draw and corruption flipping one seeded bit of the
+        // resolved word — bit-identical semantics to the flat engine.
+        self.prev_lanes = resolve_lanes(self.channels.channels(), &lane_writes);
+        let mut lane_counts = vec![0u64; k];
+        for (chan, _, _) in &lane_writes {
+            lane_counts[chan.index()] += 1;
+        }
+        for (c, count) in lane_counts.into_iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let chan = ChannelId(c as u16);
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|s| s.erases_slot(self.round, chan))
+            {
+                self.prev_lanes[c] = LaneOutcome::Erased;
+                self.cost.add_erased_lanes(count);
+            } else {
+                if let Some(bit) = self
+                    .faults
+                    .as_ref()
+                    .and_then(|s| s.plan().corrupts_lane(self.round, chan))
+                {
+                    if let LaneOutcome::Word(w) = &mut self.prev_lanes[c] {
+                        *w ^= 1u64 << bit;
+                    }
+                    self.cost.add_corrupted_payloads(1);
+                }
+                self.cost.add_lane_slot(count);
             }
         }
         std::mem::swap(&mut self.pending, &mut self.next_pending);

@@ -1,6 +1,6 @@
 //! Compact binary wire format for the real-I/O backend (`netsim-io`).
 //!
-//! Everything a round exchanges between hosts is one of four frame kinds:
+//! Everything a round exchanges between hosts is one of five frame kinds:
 //!
 //! | kind | frame | carries |
 //! |------|-------|---------|
@@ -8,6 +8,7 @@
 //! | 2 | [`Frame::Slot`] | one node's write onto one collision channel |
 //! | 3 | [`Frame::Barrier`] | end-of-round control: counts that let every host detect round completeness and reproduce the engine's global cost accounting |
 //! | 4 | [`Frame::Hello`] | startup handshake: host identity + initial done count |
+//! | 5 | [`Frame::Lanes`] | one node's bit-parallel lane word on one channel; receivers OR all words per channel |
 //!
 //! Layout (all integers little-endian):
 //!
@@ -35,7 +36,8 @@ use netsim_graph::NodeId;
 /// Leading magic bytes: `0xA588`, a nod to the source paper (AfekLSY '88).
 pub const MAGIC: u16 = 0xA588;
 /// Current wire-format version; bumped on any layout change.
-pub const VERSION: u8 = 1;
+/// v2 added [`Frame::Lanes`] and the `lane_frames` barrier count.
+pub const VERSION: u8 = 2;
 /// Fixed header length in bytes (magic + version + kind + body_len).
 pub const HEADER_LEN: usize = 8;
 /// CRC-32 trailer length in bytes.
@@ -45,6 +47,7 @@ const KIND_P2P: u8 = 1;
 const KIND_SLOT: u8 = 2;
 const KIND_BARRIER: u8 = 3;
 const KIND_HELLO: u8 = 4;
+const KIND_LANES: u8 = 5;
 
 /// Why a buffer failed to decode.  Every malformed input maps onto one of
 /// these; none of them panic.
@@ -305,6 +308,8 @@ pub enum Frame<M> {
         dropped: u32,
         /// Slot frames this host broadcast (each goes to every host).
         slot_frames: u32,
+        /// Lane frames this host broadcast (each goes to every host).
+        lane_frames: u32,
         /// P2p frames actually transmitted to each destination host,
         /// indexed by host id.
         sent_to: Vec<u32>,
@@ -324,6 +329,20 @@ pub enum Frame<M> {
         /// Initially done or fault-exempt nodes owned by the sender.
         settled: u32,
     },
+    /// One node's bit-parallel lane word on one channel during `round`.
+    /// Broadcast to every host; receivers OR all round-`round` words per
+    /// channel (then apply erasure/corruption) to reproduce the engines'
+    /// [`LaneOutcome`](crate::LaneOutcome) resolution.
+    Lanes {
+        /// Round the word was staged in.
+        round: u64,
+        /// Channel written.
+        chan: ChannelId,
+        /// Writing node.
+        from: NodeId,
+        /// The 64-lane word (already per-node OR-merged by the sender).
+        word: u64,
+    },
 }
 
 impl<M: WireMsg> Frame<M> {
@@ -338,6 +357,7 @@ impl<M: WireMsg> Frame<M> {
             Frame::Slot { .. } => KIND_SLOT,
             Frame::Barrier { .. } => KIND_BARRIER,
             Frame::Hello { .. } => KIND_HELLO,
+            Frame::Lanes { .. } => KIND_LANES,
         });
         out.extend_from_slice(&[0; 4]); // body_len backpatched below
         let body_start = out.len();
@@ -373,6 +393,7 @@ impl<M: WireMsg> Frame<M> {
                 staged,
                 dropped,
                 slot_frames,
+                lane_frames,
                 sent_to,
             } => {
                 out.extend_from_slice(&round.to_le_bytes());
@@ -381,6 +402,7 @@ impl<M: WireMsg> Frame<M> {
                 out.extend_from_slice(&staged.to_le_bytes());
                 out.extend_from_slice(&dropped.to_le_bytes());
                 out.extend_from_slice(&slot_frames.to_le_bytes());
+                out.extend_from_slice(&lane_frames.to_le_bytes());
                 let n = u16::try_from(sent_to.len()).expect("more than 65535 hosts");
                 out.extend_from_slice(&n.to_le_bytes());
                 for s in sent_to {
@@ -399,6 +421,17 @@ impl<M: WireMsg> Frame<M> {
                 out.extend_from_slice(&nodes.to_le_bytes());
                 out.extend_from_slice(&k.to_le_bytes());
                 out.extend_from_slice(&settled.to_le_bytes());
+            }
+            Frame::Lanes {
+                round,
+                chan,
+                from,
+                word,
+            } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&chan.0.to_le_bytes());
+                out.extend_from_slice(&(from.index() as u32).to_le_bytes());
+                out.extend_from_slice(&word.to_le_bytes());
             }
         }
         let body_len = (out.len() - body_start) as u32;
@@ -430,7 +463,7 @@ impl<M: WireMsg> Frame<M> {
             return Err(WireError::BadVersion(version));
         }
         let kind = hdr.u8()?;
-        if !(KIND_P2P..=KIND_HELLO).contains(&kind) {
+        if !(KIND_P2P..=KIND_LANES).contains(&kind) {
             return Err(WireError::BadKind(kind));
         }
         let body_len = hdr.u32()? as usize;
@@ -483,6 +516,7 @@ impl<M: WireMsg> Frame<M> {
                 let staged = r.u32()?;
                 let dropped = r.u32()?;
                 let slot_frames = r.u32()?;
+                let lane_frames = r.u32()?;
                 let n = r.u16()? as usize;
                 let mut sent_to = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -496,6 +530,7 @@ impl<M: WireMsg> Frame<M> {
                     staged,
                     dropped,
                     slot_frames,
+                    lane_frames,
                     sent_to,
                 }
             }
@@ -514,6 +549,19 @@ impl<M: WireMsg> Frame<M> {
                     settled,
                 }
             }
+            KIND_LANES => {
+                let round = r.u64()?;
+                let chan = ChannelId(r.u16()?);
+                let from = NodeId(r.u32()? as usize);
+                let word = r.u64()?;
+                r.done()?;
+                Frame::Lanes {
+                    round,
+                    chan,
+                    from,
+                    word,
+                }
+            }
             _ => unreachable!("kind validated above"),
         };
         Ok(frame)
@@ -523,9 +571,10 @@ impl<M: WireMsg> Frame<M> {
     /// report 0).
     pub fn round(&self) -> u64 {
         match self {
-            Frame::P2p { round, .. } | Frame::Slot { round, .. } | Frame::Barrier { round, .. } => {
-                *round
-            }
+            Frame::P2p { round, .. }
+            | Frame::Slot { round, .. }
+            | Frame::Barrier { round, .. }
+            | Frame::Lanes { round, .. } => *round,
             Frame::Hello { .. } => 0,
         }
     }
@@ -562,6 +611,7 @@ mod tests {
             staged: 99,
             dropped: 3,
             slot_frames: 5,
+            lane_frames: 2,
             sent_to: vec![0, 17, 4],
         });
         roundtrip(Frame::Hello {
@@ -570,6 +620,12 @@ mod tests {
             nodes: 1024,
             k: 16,
             settled: 0,
+        });
+        roundtrip(Frame::Lanes {
+            round: 3,
+            chan: ChannelId(7),
+            from: NodeId(42),
+            word: u64::MAX,
         });
     }
 

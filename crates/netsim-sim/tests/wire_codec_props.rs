@@ -60,6 +60,7 @@ proptest! {
                 staged: b,
                 dropped: seq % 4096,
                 slot_frames: seq % 1024,
+                lane_frames: seq % 512,
                 sent_to: sent_to.clone(),
             },
             Frame::Hello {
@@ -68,6 +69,12 @@ proptest! {
                 nodes: a,
                 k: chan,
                 settled: b,
+            },
+            Frame::Lanes {
+                round,
+                chan: ChannelId(chan),
+                from: NodeId(a as usize),
+                word: payload,
             },
         ];
         for f in frames {
@@ -129,7 +136,7 @@ proptest! {
     ) {
         let mut bytes = Vec::with_capacity(body.len() + 12);
         bytes.extend_from_slice(&0xA588u16.to_le_bytes());
-        bytes.push(1); // version
+        bytes.push(netsim_sim::wire::VERSION);
         bytes.push(kind);
         bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
         bytes.extend_from_slice(&body);
