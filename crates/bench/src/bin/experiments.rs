@@ -22,7 +22,7 @@ use multimedia::{
     global_fn::{self, Sum},
     lower_bounds, mst,
     partition::{deterministic, randomized},
-    size, synchronizer,
+    rebalance, size, synchronizer,
 };
 use netsim_graph::{generators, generators::Family, log_star, NodeId};
 use netsim_sim::{protocols::BfsBuild, AsyncConfig, FaultEvent, FaultPlan, SyncEngine};
@@ -930,6 +930,68 @@ impl GlobalFnShardedRow {
     }
 }
 
+/// One measured adaptive re-sharding configuration (the Zipf-skewed sharded
+/// global sum with the attachment either static or rebalanced between
+/// windows), for the `resharding` section of `BENCH_engine.json`.
+/// `beats_static` is the headline claim: the adaptive run finishes the same
+/// window schedule in fewer engine rounds and more rounds of useful work per
+/// second than the static attachment.
+struct ReshardingRow {
+    topology: &'static str,
+    n: usize,
+    m: usize,
+    k: u16,
+    engine: &'static str,
+    /// `"static"` (skew bound off) or `"adaptive"` (monitor + re-sharding).
+    mode: &'static str,
+    windows: u32,
+    rounds: u64,
+    seconds: f64,
+    windows_per_sec: f64,
+    /// Re-sharding attempts the monitor fired (0 for static rows).
+    attempts: usize,
+    /// Attempts that committed (idle veto slot).
+    commits: usize,
+    migrations: u64,
+    /// `static_rounds / rounds` — > 1 exactly when re-sharding won.
+    round_win: f64,
+    beats_static: bool,
+    /// Order-sensitive digest of window totals + the decision trace,
+    /// asserted bit-identical across all four substrates.
+    checksum: u64,
+    /// The per-window global sum (identical in every window).
+    value: u64,
+}
+
+impl ReshardingRow {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"topology\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \"engine\": \"{}\", \
+             \"mode\": \"{}\", \"windows\": {}, \"rounds\": {}, \"seconds\": {}, \
+             \"windows_per_sec\": {}, \"attempts\": {}, \"commits\": {}, \"migrations\": {}, \
+             \"round_win\": {}, \"beats_static\": {}, \"checksum\": \"{:016x}\", \
+             \"value\": \"{:016x}\"}}",
+            json_escape(self.topology),
+            self.n,
+            self.m,
+            self.k,
+            json_escape(self.engine),
+            json_escape(self.mode),
+            self.windows,
+            self.rounds,
+            json_f64(self.seconds),
+            json_f64(self.windows_per_sec),
+            self.attempts,
+            self.commits,
+            self.migrations,
+            json_f64(self.round_win),
+            self.beats_static,
+            self.checksum,
+            self.value,
+        )
+    }
+}
+
 /// One measured fault-dimension configuration (seeded erasures and scripted
 /// churn over the channel-sharded workloads), for the `faults` section of
 /// `BENCH_engine.json`.  `rounds` vs `fault_free_rounds` is the
@@ -1650,6 +1712,180 @@ fn engine(opts: &Opts) {
         );
     }
 
+    // ---- Re-sharding dimension: adaptive channel re-sharding. -------------
+    // The Zipf-skewed sharded global sum (channel 0 carries a harmonic
+    // share of all nodes, so its oversized shard serialises the TDMA
+    // schedule) repeated for a fixed window count, once with the attachment
+    // frozen and once with `multimedia::rebalance` interleaving the
+    // engine-executed re-sharding protocol between windows.  Each attempt
+    // costs real engine rounds (Wilson-walk stream, cut broadcast, notify
+    // census, veto slot) and the adaptive run still finishes the schedule
+    // in fewer total rounds.  Window totals, decision trace, CostAccount,
+    // and run checksum are pinned bit-identical across all four substrates.
+    let reshard_n = if opts.quick { 512 } else { 8_192 };
+    let reshard_k: u16 = 16;
+    let reshard_windows: u32 = 6;
+    let reshard_skew: u64 = 2;
+    let mut reshard_rows: Vec<ReshardingRow> = Vec::new();
+    println!("\n== ENGINE resharding — adaptive re-sharding of a Zipf-skewed sharded sum ==");
+    println!(
+        "{:<12}{:>9}{:>6}  {:<16}{:<10}{:>9}{:>11}{:>10}{:>12}{:>7}",
+        "topology",
+        "n",
+        "K",
+        "engine",
+        "mode",
+        "rounds",
+        "windows/s",
+        "attempts",
+        "migrations",
+        "win"
+    );
+    {
+        let net = workload(Family::Ring, reshard_n, 42);
+        let n = net.node_count();
+        let vals: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+            .collect();
+        let expected = vals.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        let chans = rebalance::zipf_channels(n, reshard_k, 1);
+        let mut per_engine: Vec<(
+            &'static str,
+            rebalance::RebalanceRun,
+            rebalance::RebalanceRun,
+        )> = Vec::new();
+        for (name, which) in [
+            ("flat", mst::MergeSubstrate::Flat),
+            ("reference", mst::MergeSubstrate::Reference),
+            ("async-lockstep", mst::MergeSubstrate::AsyncLockstep),
+            ("wire", mst::MergeSubstrate::Wire),
+        ] {
+            let measure = |mode: &'static str,
+                           skew: Option<u64>,
+                           static_rounds: Option<u64>,
+                           rows: &mut Vec<ReshardingRow>| {
+                let start = std::time::Instant::now();
+                let run = rebalance::rebalanced_sum(
+                    &net,
+                    &vals,
+                    &chans,
+                    reshard_k,
+                    reshard_windows,
+                    skew,
+                    0x5eed,
+                    None,
+                    which,
+                );
+                let seconds = start.elapsed().as_secs_f64();
+                assert_eq!(run.window_totals.len(), reshard_windows as usize);
+                for &t in &run.window_totals {
+                    assert_eq!(t, expected, "window total diverged ({name}, {mode})");
+                }
+                let commits = run.events.iter().filter(|e| e.committed).count();
+                let round_win = static_rounds.map_or(1.0, |s| s as f64 / run.rounds() as f64);
+                let beats_static = static_rounds.is_some_and(|s| run.rounds() < s);
+                println!(
+                    "{:<12}{:>9}{:>6}  {:<16}{:<10}{:>9}{:>11.1}{:>10}{:>12}{:>7}",
+                    Family::Ring.name(),
+                    n,
+                    reshard_k,
+                    name,
+                    mode,
+                    run.rounds(),
+                    f64::from(reshard_windows) / seconds,
+                    run.events.len(),
+                    run.migrations,
+                    if static_rounds.is_some() {
+                        if beats_static {
+                            "yes"
+                        } else {
+                            "NO"
+                        }
+                    } else {
+                        "-"
+                    },
+                );
+                rows.push(ReshardingRow {
+                    topology: Family::Ring.name(),
+                    n,
+                    m: net.edge_count(),
+                    k: reshard_k,
+                    engine: name,
+                    mode,
+                    windows: reshard_windows,
+                    rounds: run.rounds(),
+                    seconds,
+                    windows_per_sec: f64::from(reshard_windows) / seconds,
+                    attempts: run.events.len(),
+                    commits,
+                    migrations: run.migrations,
+                    round_win,
+                    beats_static,
+                    checksum: run.checksum(),
+                    value: expected,
+                });
+                run
+            };
+            let static_run = measure("static", None, None, &mut reshard_rows);
+            let adaptive = measure(
+                "adaptive",
+                Some(reshard_skew),
+                Some(static_run.rounds()),
+                &mut reshard_rows,
+            );
+            assert!(
+                adaptive.migrations > 0,
+                "the monitor never committed a migration ({name})"
+            );
+            assert!(
+                adaptive.rounds() < static_run.rounds(),
+                "adaptive re-sharding must beat the static attachment ({name}): \
+                 {} vs {} rounds",
+                adaptive.rounds(),
+                static_run.rounds()
+            );
+            println!(
+                "   -> {name}: adaptive {} rounds vs static {}, {:.2}x round win, \
+                 {} migrations over {} commits",
+                adaptive.rounds(),
+                static_run.rounds(),
+                static_run.rounds() as f64 / adaptive.rounds() as f64,
+                adaptive.migrations,
+                adaptive.events.iter().filter(|e| e.committed).count(),
+            );
+            per_engine.push((name, static_run, adaptive));
+        }
+        let (_, flat_static, flat_adaptive) = &per_engine[0];
+        for (name, static_run, adaptive) in &per_engine[1..] {
+            assert_eq!(
+                static_run.window_totals, flat_static.window_totals,
+                "static window totals diverged ({name})"
+            );
+            assert_eq!(
+                static_run.cost, flat_static.cost,
+                "static cost diverged ({name})"
+            );
+            assert_eq!(
+                static_run.checksum(),
+                flat_static.checksum(),
+                "static checksum diverged ({name})"
+            );
+            assert_eq!(
+                adaptive.events, flat_adaptive.events,
+                "re-sharding decision trace diverged ({name})"
+            );
+            assert_eq!(
+                adaptive.cost, flat_adaptive.cost,
+                "adaptive cost diverged ({name})"
+            );
+            assert_eq!(
+                adaptive.checksum(),
+                flat_adaptive.checksum(),
+                "adaptive checksum diverged ({name})"
+            );
+        }
+    }
+
     // ---- Fault dimension: seeded erasures and scripted churn. -------------
     // Rounds-to-reconverge on both channel-sharded workloads: the TDMA
     // global sum (erased slots cost retry rounds, crashed ranks time out
@@ -1966,13 +2202,14 @@ fn engine(opts: &Opts) {
     let mst_json: Vec<String> = mst_rows.iter().map(MstShardedRow::to_json).collect();
     let lane_json: Vec<String> = lane_rows.iter().map(LaneElectionRow::to_json).collect();
     let gfn_json: Vec<String> = gfn_rows.iter().map(GlobalFnShardedRow::to_json).collect();
+    let reshard_json: Vec<String> = reshard_rows.iter().map(ReshardingRow::to_json).collect();
     let fault_json: Vec<String> = fault_rows.iter().map(FaultBenchRow::to_json).collect();
     let active_json: Vec<String> = active_rows.iter().map(ActiveSetRow::to_json).collect();
     // Record the autotuned radix-scatter block shift so a perf shift between
     // machines (or a probe change) is attributable from the JSON alone.
     let block_shift = netsim_sim::tuned_block_shift();
     let doc = format!(
-        "{{\n\"schema\": \"bench-engine/v9\",\n\"block_shift\": {block_shift},\n\
+        "{{\n\"schema\": \"bench-engine/v10\",\n\"block_shift\": {block_shift},\n\
          \"workload\": \"global-sum gossip \
          (constant-traffic heartbeat aggregation; see bench::engine_bench)\",\n\
          \"payload_workload\": \"Vec<u8> frame gossip (intern-on-broadcast arena vs \
@@ -1991,6 +2228,13 @@ fn engine(opts: &Opts) {
          function with its global stage on K per-group channels: per-group \
          rep election + TDMA partial broadcasts, reps re-attach and combine \
          on channel 0 (see multimedia::global_fn::compute_sharded)\",\n\
+         \"resharding_workload\": \"adaptive channel re-sharding: the \
+         Zipf-skewed K-channel sharded sum repeated for a fixed window \
+         schedule, static attachment vs the engine-executed re-sharding \
+         protocol (contention monitor, Wilson-walk spanning tree, \
+         balance-optimal cut, notify census + veto slot) between windows; \
+         decision trace and checksum pinned across all four substrates \
+         (see multimedia::rebalance and netsim_sim::reshard)\",\n\
          \"faults_workload\": \"seeded erasures and scripted churn over the \
          channel-sharded workloads: rounds to reconverge vs the fault-free \
          schedule, every result verified (see netsim_sim::fault and \
@@ -2009,6 +2253,7 @@ fn engine(opts: &Opts) {
          \"mst_sharded\": [\n{}\n],\n\
          \"lane_elections\": [\n{}\n],\n\
          \"global_fn_sharded\": [\n{}\n],\n\
+         \"resharding\": [\n{}\n],\n\
          \"faults\": [\n{}\n],\n\
          \"active_set\": [\n{}\n],\n\
          \"graph_construction\": [\n{}\n],\n\
@@ -2021,6 +2266,7 @@ fn engine(opts: &Opts) {
         mst_json.join(",\n"),
         lane_json.join(",\n"),
         gfn_json.join(",\n"),
+        reshard_json.join(",\n"),
         fault_json.join(",\n"),
         active_json.join(",\n"),
         build_json.join(",\n"),

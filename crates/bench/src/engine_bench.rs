@@ -643,7 +643,8 @@ fn election_entry(v: NodeId, n: usize, elections: u32) -> Option<(u32, u64)> {
     Some(((v.index() % elections as usize) as u32, v.index() as u64))
 }
 
-/// Station-id width for [`election_entry`] on an `n`-node graph.
+/// Station-id width for the saturated election workload (`election_entry`)
+/// on an `n`-node graph.
 pub fn election_bits(n: usize) -> u32 {
     (usize::BITS - n.next_power_of_two().leading_zeros()).max(1)
 }

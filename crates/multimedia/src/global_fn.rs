@@ -28,8 +28,8 @@ use channel_access::{backoff, capetanakis, Contender};
 use netsim_graph::{ceil_log2, log_star, NodeId, SpanningForest};
 use netsim_io::WireNet;
 use netsim_sim::{
-    lockstep_config, protocols::Convergecast, AsyncEngine, ChannelId, ChannelSet, CostAccount,
-    Lockstep, Protocol, ReferenceEngine, RoundIo, SlotOutcome, SyncEngine, MAX_CHANNELS,
+    protocols::Convergecast, ChannelId, ChannelSet, CostAccount, EngineBuilder, EngineControl,
+    Protocol, RoundIo, SlotOutcome, SyncEngine, MAX_CHANNELS,
 };
 
 /// A commutative semigroup element: the domain of a global sensitive function.
@@ -446,126 +446,24 @@ impl<T> ShardedGlobalFnRun<T> {
     }
 }
 
-/// The engine executing the sharded global stage, dispatched over the four
-/// substrates (same quartet as the sharded MST's [`MergeSubstrate`]).
-enum GlobalEngine<'g, T: WordSemigroup> {
-    Flat(SyncEngine<'g, ShardedGlobalFn<T>>),
-    Reference(ReferenceEngine<'g, ShardedGlobalFn<T>>),
-    Lockstep(AsyncEngine<'g, Lockstep<ShardedGlobalFn<T>>>),
-    Wire(WireNet<'g, ShardedGlobalFn<T>>),
-}
-
 /// Hosts the wire substrate partitions the node set across.
 const WIRE_GLOBAL_HOSTS: u16 = 2;
 
-impl<'g, T: WordSemigroup + Clone> GlobalEngine<'g, T> {
-    fn new<F: FnMut(NodeId) -> ShardedGlobalFn<T>>(
-        which: MergeSubstrate,
-        g: &'g netsim_graph::Graph,
-        k: u16,
-        masks: &[u64],
-        mut init: F,
-    ) -> Self {
-        let channels = ChannelSet::from_masks(k, masks.to_vec());
-        match which {
-            MergeSubstrate::Flat => {
-                GlobalEngine::Flat(SyncEngine::with_channels(g, channels, init))
-            }
-            MergeSubstrate::Reference => {
-                GlobalEngine::Reference(ReferenceEngine::with_channels(g, channels, init))
-            }
-            MergeSubstrate::AsyncLockstep => GlobalEngine::Lockstep(AsyncEngine::with_channels(
-                g,
-                lockstep_config(),
-                channels,
-                |v| Lockstep::new(init(v), k),
-            )),
-            MergeSubstrate::Wire => {
-                GlobalEngine::Wire(WireNet::with_channels(g, channels, WIRE_GLOBAL_HOSTS, init))
-            }
-        }
-    }
-
-    /// Applies the combine phase's attachment snapshot and re-seeds every
-    /// node's phase state.
-    fn reseed<F: FnMut(NodeId) -> ShardedGlobalFn<T>>(&mut self, masks: &[u64], mut init: F) {
-        match self {
-            GlobalEngine::Flat(e) => {
-                e.reattach(masks);
-                e.update_nodes(|v, p| *p = init(v));
-            }
-            GlobalEngine::Reference(e) => {
-                e.reattach(masks);
-                e.update_nodes(|v, p| *p = init(v));
-            }
-            GlobalEngine::Lockstep(e) => {
-                e.reattach(masks);
-                e.update_nodes(|v, adapter| *adapter.inner_mut() = init(v));
-            }
-            GlobalEngine::Wire(e) => {
-                e.reattach(masks);
-                e.update_nodes(|v, p| *p = init(v));
-            }
-        }
-    }
-
-    /// Runs the current phase to quiescence within `rounds` plus slack.
-    fn run_phase(&mut self, rounds: u64) {
-        let budget = rounds + 8;
-        let completed = match self {
-            GlobalEngine::Flat(e) => {
-                let limit = e.round() + budget;
-                e.run(limit).is_completed()
-            }
-            GlobalEngine::Reference(e) => {
-                let limit = e.round() + budget;
-                e.run(limit).is_completed()
-            }
-            GlobalEngine::Lockstep(e) => {
-                let limit = e.tick() + budget;
-                e.run(limit)
-            }
-            GlobalEngine::Wire(e) => {
-                let limit = e.round() + budget;
-                e.run(limit).is_completed()
-            }
-        };
-        assert!(
-            completed,
-            "global-stage phase must quiesce within its schedule"
-        );
-    }
-
-    /// The station id node `v`'s rep election resolved to.
-    fn elected(&self, v: NodeId) -> Option<u64> {
-        match self {
-            GlobalEngine::Flat(e) => e.node(v).elected(),
-            GlobalEngine::Reference(e) => e.node(v).elected(),
-            GlobalEngine::Lockstep(e) => e.node(v).inner().elected(),
-            GlobalEngine::Wire(e) => e.node(v).elected(),
-        }
-    }
-
-    /// Node `v`'s folded phase value.
-    fn value(&self, v: NodeId) -> Option<T> {
-        match self {
-            GlobalEngine::Flat(e) => e.node(v).value().cloned(),
-            GlobalEngine::Reference(e) => e.node(v).value().cloned(),
-            GlobalEngine::Lockstep(e) => e.node(v).inner().value().cloned(),
-            GlobalEngine::Wire(e) => e.node(v).value().cloned(),
-        }
-    }
-
-    /// The engine's cost account, lockstep-reconciled like the sharded
-    /// MST's (see [`netsim_sim::lockstep`]).
-    fn cost(&self, k: u16) -> CostAccount {
-        match self {
-            GlobalEngine::Flat(e) => *e.cost(),
-            GlobalEngine::Reference(e) => *e.cost(),
-            GlobalEngine::Lockstep(e) => netsim_sim::reconciled_cost(*e.cost(), k),
-            GlobalEngine::Wire(e) => *e.cost(),
-        }
-    }
+/// Runs the current global-stage phase to quiescence within `rounds` plus
+/// slack.  Written once against [`EngineControl`]; the lockstep
+/// substrate's round offset is folded into
+/// [`round`](EngineControl::round), so the absolute limit is
+/// substrate-agnostic.
+fn run_global_phase<T, E>(eng: &mut E, rounds: u64)
+where
+    T: WordSemigroup,
+    E: EngineControl<ShardedGlobalFn<T>>,
+{
+    let limit = eng.round() + rounds + 8;
+    assert!(
+        eng.run(limit).is_completed(),
+        "global-stage phase must quiesce within its schedule"
+    );
 }
 
 /// Channel-sharded deterministic computation of a global sensitive function:
@@ -611,6 +509,38 @@ pub fn compute_sharded_with_partition<T: WordSemigroup>(
     k: u16,
     which: MergeSubstrate,
 ) -> ShardedGlobalFnRun<T> {
+    match which {
+        MergeSubstrate::Flat => {
+            compute_sharded_generic(net, partition, inputs, k, |b, init| b.build_flat(init))
+        }
+        MergeSubstrate::Reference => {
+            compute_sharded_generic(net, partition, inputs, k, |b, init| b.build_reference(init))
+        }
+        MergeSubstrate::AsyncLockstep => {
+            compute_sharded_generic(net, partition, inputs, k, |b, init| b.build_lockstep(init))
+        }
+        MergeSubstrate::Wire => compute_sharded_generic(net, partition, inputs, k, |b, init| {
+            WireNet::from_builder(b, WIRE_GLOBAL_HOSTS, init)
+        }),
+    }
+}
+
+/// The substrate-generic body of [`compute_sharded_with_partition`]: both
+/// channel phases written once against [`EngineControl`], with the
+/// concrete engine supplied by a one-shot `build` closure over the shared
+/// [`EngineBuilder`] snapshot of the group phase's attachment.
+fn compute_sharded_generic<'g, T, E, B>(
+    net: &'g MultimediaNetwork,
+    partition: &PartitionOutcome,
+    inputs: &[T],
+    k: u16,
+    build: B,
+) -> ShardedGlobalFnRun<T>
+where
+    T: WordSemigroup,
+    E: EngineControl<ShardedGlobalFn<T>>,
+    B: FnOnce(&EngineBuilder<'g>, &mut dyn FnMut(NodeId) -> ShardedGlobalFn<T>) -> E,
+{
     let g = net.graph();
     let n = g.node_count();
     assert!(n > 0, "need at least one processor");
@@ -652,7 +582,7 @@ pub fn compute_sharded_with_partition<T: WordSemigroup>(
     }
     let bits = net.id_bits();
     let horizon = ElectionSeries::slot_rounds(bits);
-    let init = |v: NodeId| {
+    let mut init = |v: NodeId| {
         let c = chan_of(v);
         let entry = slot_word[v.index()].map(|_| (0u32, net.id_of(v)));
         ShardedGlobalFn::new(
@@ -664,9 +594,10 @@ pub fn compute_sharded_with_partition<T: WordSemigroup>(
             u64::from(group_size[c.index()]),
         )
     };
-    let mut engine = GlobalEngine::new(which, g, k, &masks, init);
+    let builder = EngineBuilder::new(g).channels(ChannelSet::from_masks(k, masks));
+    let mut engine = build(&builder, &mut init);
     let max_group = group_size.iter().copied().max().unwrap_or(0);
-    engine.run_phase(horizon + u64::from(max_group) + 1);
+    run_global_phase(&mut engine, horizon + u64::from(max_group) + 1);
 
     // Group-phase harvest: the elected rep and folded total of every group.
     // Channels fill round-robin from 0, so channels 0..min(F, K) each host a
@@ -676,7 +607,8 @@ pub fn compute_sharded_with_partition<T: WordSemigroup>(
     for (i, &(r, _)) in partials.iter().enumerate() {
         let c = i % k as usize;
         let elected = engine
-            .elected(r)
+            .node(r)
+            .elected()
             .expect("fault-free rep election must resolve");
         if elected == net.id_of(r) {
             rep_of[c] = Some(r);
@@ -688,7 +620,9 @@ pub fn compute_sharded_with_partition<T: WordSemigroup>(
         .map(|(c, rep)| {
             let rep = rep.unwrap_or_else(|| panic!("group {c} elected no attached core"));
             engine
-                .value(rep)
+                .node(rep)
+                .value()
+                .cloned()
                 .expect("a group rep heard its own broadcast")
         })
         .collect();
@@ -696,7 +630,9 @@ pub fn compute_sharded_with_partition<T: WordSemigroup>(
     for v in g.nodes() {
         let c = tree_of[v.index()] % k as usize;
         let folded = engine
-            .value(v)
+            .node(v)
+            .value()
+            .cloned()
             .expect("every group member heard its group's broadcasts");
         assert_eq!(
             folded.to_word(),
@@ -708,26 +644,32 @@ pub fn compute_sharded_with_partition<T: WordSemigroup>(
     // Combine phase: everyone re-attaches to channel 0; the rep of group c
     // broadcasts the group total in TDMA slot c; nothing is elected.
     let masks_combine = vec![1u64; n];
-    let init_combine = |v: NodeId| {
+    engine.reattach(&masks_combine);
+    engine.update_nodes(&mut |v, p| {
         let c = tree_of[v.index()] % k as usize;
         let mine = rep_of[c] == Some(v);
-        ShardedGlobalFn::new(
+        *p = ShardedGlobalFn::new(
             ElectionSeries::new(None, bits, 0, ChannelId(0)),
             0,
             ChannelId(0),
             mine.then_some(c as u32),
             mine.then(|| group_val[c].to_word()),
             groups as u64,
-        )
-    };
-    engine.reseed(&masks_combine, init_combine);
-    engine.run_phase(groups as u64 + 1);
+        );
+    });
+    run_global_phase(&mut engine, groups as u64 + 1);
 
     let value = engine
-        .value(NodeId(0))
+        .node(NodeId(0))
+        .value()
+        .cloned()
         .expect("every node heard every group total");
     for v in g.nodes() {
-        let folded = engine.value(v).expect("every node heard every group total");
+        let folded = engine
+            .node(v)
+            .value()
+            .cloned()
+            .expect("every node heard every group total");
         assert_eq!(
             folded.to_word(),
             value.to_word(),
@@ -741,7 +683,7 @@ pub fn compute_sharded_with_partition<T: WordSemigroup>(
         k,
         partition_cost: partition.cost,
         local_cost,
-        global_cost: engine.cost(k),
+        global_cost: engine.cost(),
     }
 }
 

@@ -52,6 +52,7 @@ pub mod lower_bounds;
 mod model;
 pub mod mst;
 pub mod partition;
+pub mod rebalance;
 pub mod size;
 pub mod synchronizer;
 

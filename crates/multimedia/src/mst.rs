@@ -27,7 +27,8 @@
 //! engine-executed bitwise election over **raw packed edge weights**
 //! ([`WeightStations`] — no driver-side rank tables), and a merged fragment
 //! re-attaches to its *winner's* channel between phases through the
-//! engines' dynamic-attachment snapshots ([`SyncEngine::reattach`]).  The
+//! engines' dynamic-attachment snapshots
+//! ([`EngineControl::reattach`]).  The
 //! busiest channel then hosts `⌈F/K⌉`-ish elections per phase instead of
 //! `F`, so the engine-measured round count drops by the shard factor (the
 //! `mst_sharded` section of `BENCH_engine.json`), while the elected tree
@@ -45,10 +46,9 @@ use crate::partition::{deterministic, PartitionOutcome};
 use channel_access::assigned::ElectionSeries;
 use channel_access::{capetanakis, Contender};
 use netsim_graph::{EdgeId, Graph, NodeId, SpanningForest, UnionFind};
-use netsim_io::WireNet;
 use netsim_sim::{
-    lockstep_config, AsyncEngine, ChannelId, ChannelSet, CostAccount, Lockstep, Protocol,
-    ReferenceEngine, RoundIo, SyncEngine, MAX_CHANNELS,
+    ChannelId, ChannelSet, CostAccount, EngineBuilder, EngineControl, Protocol, RoundIo,
+    MAX_CHANNELS,
 };
 
 /// Dense initial-fragment index per node: `init_of[v]` is the position of
@@ -404,13 +404,15 @@ impl Protocol for MergePhase {
 /// `mst_sharded` section of `BENCH_engine.json` is pinned on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MergeSubstrate {
-    /// The flat arena-backed [`SyncEngine`].
+    /// The flat arena-backed [`SyncEngine`](netsim_sim::SyncEngine).
     Flat,
-    /// The clone-path [`ReferenceEngine`].
+    /// The clone-path [`ReferenceEngine`](netsim_sim::ReferenceEngine).
     Reference,
-    /// The [`AsyncEngine`] replaying rounds through the [`Lockstep`] adapter.
+    /// The [`AsyncEngine`](netsim_sim::AsyncEngine) replaying rounds
+    /// through the [`Lockstep`](netsim_sim::Lockstep) adapter.
     AsyncLockstep,
-    /// The `netsim-io` [`WireNet`] backend: two loopback-UDP hosts exchange
+    /// The `netsim-io` [`WireNet`](netsim_io::WireNet) backend: two
+    /// loopback-UDP hosts exchange
     /// every election write and merge message as real wire frames.  Pinned
     /// bit-identical to the in-process substrates (including the election
     /// cost account) by the `sharded_mst` conformance tests.
@@ -540,167 +542,21 @@ fn plan_phase(
     }
 }
 
-/// The engine executing the election phases, dispatched over the three
-/// substrates (each phase: re-attach, re-arm the per-node series, run to
-/// quiescence).
-enum MergeEngine<'g> {
-    Flat(SyncEngine<'g, MergePhase>),
-    Reference(ReferenceEngine<'g, MergePhase>),
-    Lockstep(AsyncEngine<'g, Lockstep<MergePhase>>),
-    Wire(WireNet<'g, MergePhase>),
-}
-
 /// Hosts the [`MergeSubstrate::Wire`] substrate partitions the node set
 /// across (each a loopback UDP socket).
 const WIRE_MERGE_HOSTS: u16 = 2;
 
-impl<'g> MergeEngine<'g> {
-    fn new<F: FnMut(NodeId) -> MergePhase>(
-        which: MergeSubstrate,
-        g: &'g Graph,
-        k: u16,
-        masks: &[u64],
-        mut init: F,
-    ) -> Self {
-        let channels = ChannelSet::from_masks(k, masks.to_vec());
-        match which {
-            MergeSubstrate::Flat => MergeEngine::Flat(SyncEngine::with_channels(g, channels, init)),
-            MergeSubstrate::Reference => {
-                MergeEngine::Reference(ReferenceEngine::with_channels(g, channels, init))
-            }
-            MergeSubstrate::AsyncLockstep => MergeEngine::Lockstep(AsyncEngine::with_channels(
-                g,
-                lockstep_config(),
-                channels,
-                |v| Lockstep::new(init(v), k),
-            )),
-            MergeSubstrate::Wire => {
-                MergeEngine::Wire(WireNet::with_channels(g, channels, WIRE_MERGE_HOSTS, init))
-            }
-        }
-    }
-
-    /// Applies the next phase's attachment snapshot between rounds and
-    /// re-arms every node's merge-phase state.
-    fn reseed<F: FnMut(NodeId) -> MergePhase>(&mut self, masks: &[u64], mut init: F) {
-        match self {
-            MergeEngine::Flat(e) => {
-                e.reattach(masks);
-                e.update_nodes(|v, phase| *phase = init(v));
-            }
-            MergeEngine::Reference(e) => {
-                e.reattach(masks);
-                e.update_nodes(|v, phase| *phase = init(v));
-            }
-            MergeEngine::Lockstep(e) => {
-                e.reattach(masks);
-                e.update_nodes(|v, adapter| *adapter.inner_mut() = init(v));
-            }
-            MergeEngine::Wire(e) => {
-                e.reattach(masks);
-                e.update_nodes(|v, phase| *phase = init(v));
-            }
-        }
-    }
-
-    /// Installs a fault plan; must be called before the first phase runs.
-    fn set_plan(&mut self, plan: netsim_sim::FaultPlan) {
-        match self {
-            MergeEngine::Flat(e) => e.set_fault_plan(plan),
-            MergeEngine::Reference(e) => e.set_fault_plan(plan),
-            MergeEngine::Lockstep(e) => e.set_fault_plan(plan),
-            MergeEngine::Wire(e) => e.set_fault_plan(plan),
-        }
-    }
-
-    /// Current lifecycle of node `v` (`Operational` when no plan is set).
-    fn lifecycle(&self, v: NodeId) -> netsim_sim::NodeLifecycle {
-        let session = match self {
-            MergeEngine::Flat(e) => e.fault_session(),
-            MergeEngine::Reference(e) => e.fault_session(),
-            MergeEngine::Lockstep(e) => e.fault_session(),
-            MergeEngine::Wire(e) => e.fault_session(),
-        };
-        session.map_or(netsim_sim::NodeLifecycle::Operational, |s| s.lifecycle(v))
-    }
-
-    /// Did node `v`'s merge phase crash out (crash + recover) this phase?
-    fn node_crashed_out(&self, v: NodeId) -> bool {
-        match self {
-            MergeEngine::Flat(e) => e.node(v).crashed_out(),
-            MergeEngine::Reference(e) => e.node(v).crashed_out(),
-            MergeEngine::Lockstep(e) => e.node(v).inner().crashed_out(),
-            MergeEngine::Wire(e) => e.node(v).crashed_out(),
-        }
-    }
-
-    /// The `(elected edge, far label)` pair node `v`'s handshake recorded.
-    fn accepted(&self, v: NodeId) -> Option<(EdgeId, u64)> {
-        match self {
-            MergeEngine::Flat(e) => e.node(v).accepted(),
-            MergeEngine::Reference(e) => e.node(v).accepted(),
-            MergeEngine::Lockstep(e) => e.node(v).inner().accepted(),
-            MergeEngine::Wire(e) => e.node(v).accepted(),
-        }
-    }
-
-    /// Runs the current phase to quiescence within `rounds` election rounds
-    /// plus the handshake tail plus slack, returning whether it quiesced —
-    /// a faulted phase can legitimately overrun its schedule (e.g. a node
-    /// stuck `Booting` under adversarial churn), which the faulted driver
-    /// reports instead of panicking.
-    fn run_phase_budget(&mut self, rounds: u64, slack: u64) -> bool {
-        let budget = rounds + MergePhase::HANDSHAKE_ROUNDS + slack;
-        match self {
-            MergeEngine::Flat(e) => {
-                let limit = e.round() + budget;
-                e.run(limit).is_completed()
-            }
-            MergeEngine::Reference(e) => {
-                let limit = e.round() + budget;
-                e.run(limit).is_completed()
-            }
-            MergeEngine::Lockstep(e) => {
-                let limit = e.tick() + budget;
-                e.run(limit)
-            }
-            MergeEngine::Wire(e) => {
-                let limit = e.round() + budget;
-                e.run(limit).is_completed()
-            }
-        }
-    }
-
-    /// Runs the current phase to quiescence (`rounds` plus slack).
-    fn run_phase(&mut self, rounds: u64) {
-        let completed = self.run_phase_budget(rounds, 8);
-        assert!(completed, "election phase must quiesce within its schedule");
-    }
-
-    /// Per-slot winners as heard by node `v`.
-    fn winners(&self, v: NodeId, slot: u32) -> Option<u64> {
-        match self {
-            MergeEngine::Flat(e) => e.node(v).winners()[slot as usize],
-            MergeEngine::Reference(e) => e.node(v).winners()[slot as usize],
-            MergeEngine::Lockstep(e) => e.node(v).inner().winners()[slot as usize],
-            MergeEngine::Wire(e) => e.node(v).winners()[slot as usize],
-        }
-    }
-
-    /// The engine's cost account, with the lockstep substrate's one
-    /// axiomatic idle round reconciled (see the [`netsim_sim::lockstep`]
-    /// module docs) so all three substrates report identical accounts.
-    fn cost(&self, k: u16) -> CostAccount {
-        match self {
-            MergeEngine::Flat(e) => *e.cost(),
-            MergeEngine::Reference(e) => *e.cost(),
-            MergeEngine::Lockstep(e) => {
-                let crashed = e.fault_session().map_or(0, |s| s.non_operational_count());
-                netsim_sim::reconciled_cost_faulted(*e.cost(), k, crashed)
-            }
-            MergeEngine::Wire(e) => *e.cost(),
-        }
-    }
+/// Runs the current phase within `rounds` election rounds plus the
+/// handshake tail plus slack, returning whether it quiesced — a faulted
+/// phase can legitimately overrun its schedule (e.g. a node stuck
+/// `Booting` under adversarial churn), which the faulted driver reports
+/// instead of panicking.  Written once against [`EngineControl`]; the
+/// lockstep substrate's round offset is folded into
+/// [`round`](EngineControl::round), so the absolute limit is
+/// substrate-agnostic.
+fn run_phase_budget<E: EngineControl<MergePhase>>(eng: &mut E, rounds: u64, slack: u64) -> bool {
+    let limit = eng.round() + rounds + MergePhase::HANDSHAKE_ROUNDS + slack;
+    eng.run(limit).is_completed()
 }
 
 /// Builds the minimum spanning tree with per-fragment contention sharded
@@ -743,6 +599,36 @@ pub fn sharded_mst_from_partition(
     k: u16,
     which: MergeSubstrate,
 ) -> ShardedMstRun {
+    match which {
+        MergeSubstrate::Flat => {
+            sharded_mst_generic(net, partition, k, |b, init| b.build_flat(init))
+        }
+        MergeSubstrate::Reference => {
+            sharded_mst_generic(net, partition, k, |b, init| b.build_reference(init))
+        }
+        MergeSubstrate::AsyncLockstep => {
+            sharded_mst_generic(net, partition, k, |b, init| b.build_lockstep(init))
+        }
+        MergeSubstrate::Wire => sharded_mst_generic(net, partition, k, |b, init| {
+            netsim_io::WireNet::from_builder(b, WIRE_MERGE_HOSTS, init)
+        }),
+    }
+}
+
+/// The substrate-generic body of [`sharded_mst_from_partition`]: the merge
+/// driver written once against [`EngineControl`], with the concrete engine
+/// supplied by a one-shot `build` closure over the shared
+/// [`EngineBuilder`] snapshot of the first phase's attachment.
+fn sharded_mst_generic<'g, E, B>(
+    net: &'g MultimediaNetwork,
+    partition: &PartitionOutcome,
+    k: u16,
+    build: B,
+) -> ShardedMstRun
+where
+    E: EngineControl<MergePhase>,
+    B: FnOnce(&EngineBuilder<'g>, &mut dyn FnMut(NodeId) -> MergePhase) -> E,
+{
     let g = net.graph();
     let n = g.node_count();
     assert!(n > 0, "MST of an empty graph is undefined");
@@ -769,7 +655,8 @@ pub fn sharded_mst_from_partition(
     merge_cost.add_messages(2 * g.edge_count() as u64);
     merge_cost.add_idle_rounds(1);
 
-    let mut engine: Option<MergeEngine<'_>> = None;
+    let mut engine: Option<E> = None;
+    let mut build = Some(build);
     let mut phases = 0u32;
     // Scratch, reused across phases: per-new-representative winner tracking.
     let mut best: Vec<Option<((u64, usize), u16)>> = vec![None; f];
@@ -778,7 +665,7 @@ pub fn sharded_mst_from_partition(
     while current.set_count() > 1 {
         phases += 1;
         let plan = plan_phase(g, &init_of, &mut current, &chan_of, k, &stations);
-        let init = |v: NodeId| {
+        let mut init = |v: NodeId| {
             let c = plan.chans[v.index()];
             let series = ElectionSeries::new(
                 plan.candidates[v.index()].map(|cand| (cand.slot, cand.station)),
@@ -794,11 +681,23 @@ pub fn sharded_mst_from_partition(
             )
         };
         match &mut engine {
-            None => engine = Some(MergeEngine::new(which, g, k, &plan.masks, init)),
-            Some(e) => e.reseed(&plan.masks, init),
+            None => {
+                let builder =
+                    EngineBuilder::new(g).channels(ChannelSet::from_masks(k, plan.masks.clone()));
+                engine = Some((build.take().expect("build is one-shot"))(
+                    &builder, &mut init,
+                ));
+            }
+            Some(e) => {
+                e.reattach(&plan.masks);
+                e.update_nodes(&mut |v, phase| *phase = init(v));
+            }
         }
         let eng = engine.as_mut().expect("engine constructed");
-        eng.run_phase(plan.rounds);
+        assert!(
+            run_phase_budget(eng, plan.rounds, 8),
+            "election phase must quiesce within its schedule"
+        );
 
         // Every member of a fragment (here: its Stage-1 core) heard its
         // fragment's elected minimum outgoing link on the fragment channel;
@@ -810,8 +709,7 @@ pub fn sharded_mst_from_partition(
             if current.find(i) != i {
                 continue;
             }
-            let station = eng
-                .winners(core, plan.slot_of[i])
+            let station = eng.node(core).winners()[plan.slot_of[i] as usize]
                 .expect("MST of a disconnected graph is undefined");
             let e = stations.edge_of(station);
             let edge = g.edge(e);
@@ -821,7 +719,8 @@ pub fn sharded_mst_from_partition(
                 edge.v
             };
             let (accepted, far) = eng
-                .accepted(winner)
+                .node(winner)
+                .accepted()
                 .expect("fault-free graft must be accepted within the phase");
             assert_eq!(accepted, e, "handshake must confirm the elected link");
             merges.push((i, e, far));
@@ -864,7 +763,7 @@ pub fn sharded_mst_from_partition(
 
     mst_edges.sort();
     mst_edges.dedup();
-    let election_cost = engine.map(|e| e.cost(k)).unwrap_or_default();
+    let election_cost = engine.as_ref().map(|e| e.cost()).unwrap_or_default();
     ShardedMstRun {
         edges: mst_edges,
         k,
@@ -968,6 +867,45 @@ pub fn sharded_mst_faulted(
     plan: netsim_sim::FaultPlan,
     max_phases: u32,
 ) -> FaultedMstRun {
+    match which {
+        MergeSubstrate::Flat => {
+            sharded_mst_faulted_generic(net, partition, k, plan, max_phases, |b, init| {
+                b.build_flat(init)
+            })
+        }
+        MergeSubstrate::Reference => {
+            sharded_mst_faulted_generic(net, partition, k, plan, max_phases, |b, init| {
+                b.build_reference(init)
+            })
+        }
+        MergeSubstrate::AsyncLockstep => {
+            sharded_mst_faulted_generic(net, partition, k, plan, max_phases, |b, init| {
+                b.build_lockstep(init)
+            })
+        }
+        MergeSubstrate::Wire => {
+            sharded_mst_faulted_generic(net, partition, k, plan, max_phases, |b, init| {
+                netsim_io::WireNet::from_builder(b, WIRE_MERGE_HOSTS, init)
+            })
+        }
+    }
+}
+
+/// The substrate-generic body of [`sharded_mst_faulted`], mirroring
+/// [`sharded_mst_generic`] with the fault plan threaded through the
+/// [`EngineBuilder`].
+fn sharded_mst_faulted_generic<'g, E, B>(
+    net: &'g MultimediaNetwork,
+    partition: &PartitionOutcome,
+    k: u16,
+    plan: netsim_sim::FaultPlan,
+    max_phases: u32,
+    build: B,
+) -> FaultedMstRun
+where
+    E: EngineControl<MergePhase>,
+    B: FnOnce(&EngineBuilder<'g>, &mut dyn FnMut(NodeId) -> MergePhase) -> E,
+{
     let g = net.graph();
     let n = g.node_count();
     assert!(n > 0, "MST of an empty graph is undefined");
@@ -993,7 +931,8 @@ pub fn sharded_mst_faulted(
     }
 
     let mut accepted: Vec<EdgeId> = Vec::new();
-    let mut engine: Option<MergeEngine<'_>> = None;
+    let mut engine: Option<E> = None;
+    let mut build = Some(build);
     let mut phases = 0u32;
     let mut converged = false;
     // A fragment's channel: its representative's initial fragment, spread
@@ -1092,7 +1031,7 @@ pub fn sharded_mst_faulted(
         let busiest = elections.iter().copied().max().unwrap_or(0);
         let rounds = u64::from(busiest) * ElectionSeries::slot_rounds(bits);
 
-        let init = |v: NodeId| {
+        let mut init = |v: NodeId| {
             let c = chans[v.index()];
             let series = ElectionSeries::new(
                 candidates[v.index()].map(|cand| (cand.slot, cand.station)),
@@ -1104,24 +1043,30 @@ pub fn sharded_mst_faulted(
         };
         match &mut engine {
             None => {
-                let mut e = MergeEngine::new(which, g, k, &masks, init);
-                e.set_plan(plan.clone());
-                engine = Some(e);
+                let builder = EngineBuilder::new(g)
+                    .channels(ChannelSet::from_masks(k, masks.clone()))
+                    .fault_plan(plan.clone());
+                engine = Some((build.take().expect("build is one-shot"))(
+                    &builder, &mut init,
+                ));
             }
-            Some(e) => e.reseed(&masks, init),
+            Some(e) => {
+                e.reattach(&masks);
+                e.update_nodes(&mut |v, phase| *phase = init(v));
+            }
         }
         let eng = engine.as_mut().expect("engine constructed");
         // Slack beyond the schedule: churn can stall quiescence by a few
         // rounds (a `Booting` node steps one round late), and a phase that
         // still overruns is reported, not panicked on.
-        if !eng.run_phase_budget(rounds, 16) {
+        if !run_phase_budget(eng, rounds, 16) {
             break;
         }
 
         // Post-phase census: a node seen non-operational at the boundary, or
         // whose series crashed out mid-phase, is permanently departed.
         for v in g.nodes() {
-            if !eng.lifecycle(v).is_operational() || eng.node_crashed_out(v) {
+            if !eng.lifecycle(v).is_operational() || eng.node(v).crashed_out() {
                 departed[v.index()] = true;
             }
         }
@@ -1142,7 +1087,7 @@ pub fn sharded_mst_faulted(
                 if comp.find(v.index()) == rep
                     && !departed[v.index()]
                     && eng.lifecycle(v).is_operational()
-                    && !eng.node_crashed_out(v)
+                    && !eng.node(v).crashed_out()
                 {
                     reader = Some(v);
                     break;
@@ -1151,7 +1096,7 @@ pub fn sharded_mst_faulted(
             let Some(reader) = reader else {
                 continue; // the whole fragment departed mid-phase
             };
-            let Some(station) = eng.winners(reader, slot) else {
+            let Some(station) = eng.node(reader).winners()[slot as usize] else {
                 continue; // empty or erasure-poisoned election: retry
             };
             let elected = stations.edge_of(station);
@@ -1189,7 +1134,7 @@ pub fn sharded_mst_faulted(
             } else {
                 edge.v
             };
-            let Some((confirmed, far)) = eng.accepted(winner) else {
+            let Some((confirmed, far)) = eng.node(winner).accepted() else {
                 continue; // peer crashed mid-handshake: retry
             };
             if confirmed != elected {
@@ -1225,7 +1170,7 @@ pub fn sharded_mst_faulted(
         survivors: g.nodes().filter(|&v| alive(v)).collect(),
         initial_fragments: cores.len(),
         partition_cost: partition.cost,
-        election_cost: engine.map(|e| e.cost(k)).unwrap_or_default(),
+        election_cost: engine.as_ref().map(|e| e.cost()).unwrap_or_default(),
     }
 }
 

@@ -58,8 +58,8 @@ use std::time::{Duration, Instant};
 use netsim_graph::{Graph, NodeId};
 use netsim_sim::wire::{Frame, WireMsg, HEADER_LEN, TRAILER_LEN};
 use netsim_sim::{
-    ChannelId, ChannelSet, CostAccount, FaultPlan, FaultSession, Inbox, LaneOutcome, NodeLifecycle,
-    OutboxBuffer, Protocol, RoundIo, RunOutcome, SlotOutcome,
+    ChannelId, ChannelSet, CostAccount, EngineBuilder, EngineControl, FaultPlan, FaultSession,
+    Inbox, LaneOutcome, NodeLifecycle, OutboxBuffer, Protocol, RoundIo, RunOutcome, SlotOutcome,
 };
 
 /// Flush threshold for per-destination frame batches; comfortably under the
@@ -110,6 +110,11 @@ where
     outbox: OutboxBuffer<P::Msg>,
     round: u64,
     cost: CostAccount,
+    /// Per-channel breakdown of the channel-scoped counters in `cost`.
+    /// Slot resolution is replicated identically on every host from the
+    /// broadcast frames, so each host's per-channel accounts equal the
+    /// simulator's global ones, exactly like `cost`.
+    chan_cost: Vec<CostAccount>,
     prev_slots: Vec<SlotOutcome<P::Msg>>,
     prev_lanes: Vec<LaneOutcome>,
     /// Per local node: messages delivered to the *next* step, sorted by
@@ -199,6 +204,7 @@ where
             outbox: OutboxBuffer::new(),
             round: 0,
             cost: CostAccount::default(),
+            chan_cost: vec![CostAccount::default(); k],
             prev_slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
             prev_lanes: vec![LaneOutcome::Idle; k],
             slot_writes: Vec::new(),
@@ -664,8 +670,10 @@ where
         }
         for (c, &count) in counts.iter().enumerate().take(k) {
             let writers = u64::from(count);
+            self.chan_cost[c].add_round();
             if writers == 0 {
                 self.cost.add_channel_slot(0);
+                self.chan_cost[c].add_channel_slot(0);
                 continue;
             }
             nonidle += 1;
@@ -676,11 +684,13 @@ where
             if erased {
                 self.prev_slots[c] = SlotOutcome::Erased;
                 self.cost.add_erased_slot(writers);
+                self.chan_cost[c].add_erased_slot(writers);
             } else {
                 if writers >= 2 {
                     self.prev_slots[c] = SlotOutcome::Collision;
                 }
                 self.cost.add_channel_slot(writers);
+                self.chan_cost[c].add_channel_slot(writers);
             }
         }
 
@@ -713,6 +723,7 @@ where
             {
                 self.prev_lanes[c] = LaneOutcome::Erased;
                 self.cost.add_erased_lanes(count);
+                self.chan_cost[c].add_erased_lanes(count);
             } else {
                 if let Some(bit) = self
                     .session
@@ -723,8 +734,10 @@ where
                         *w ^= 1u64 << bit;
                     }
                     self.cost.add_corrupted_payloads(1);
+                    self.chan_cost[c].add_corrupted_payloads(1);
                 }
                 self.cost.add_lane_slot(count);
+                self.chan_cost[c].add_lane_slot(count);
             }
         }
 
@@ -818,6 +831,13 @@ where
     /// The global cost account (identical on every host of a run).
     pub fn cost(&self) -> &CostAccount {
         &self.cost
+    }
+
+    /// Per-channel breakdown of the channel-scoped counters of
+    /// [`cost`](Self::cost); replicated identically on every host, like the
+    /// global account.
+    pub fn channel_costs(&self) -> &[CostAccount] {
+        &self.chan_cost
     }
 
     /// Rounds finished so far.
@@ -958,6 +978,24 @@ where
         net
     }
 
+    /// Builds the net from a shared [`EngineBuilder`] description — the
+    /// fourth substrate of the unified [`EngineControl`] surface.  The
+    /// builder's sparse flag is accepted and ignored (wire hosts step dense
+    /// by construction; outcomes are pinned identical either way for
+    /// frontier-safe protocols).
+    pub fn from_builder<F: FnMut(NodeId) -> P>(
+        builder: &EngineBuilder<'g>,
+        hosts: u16,
+        init: F,
+    ) -> Self {
+        let mut net =
+            WireNet::with_channels(builder.graph(), builder.channel_set().clone(), hosts, init);
+        if let Some(plan) = builder.plan() {
+            net.set_fault_plan(plan.clone());
+        }
+        net
+    }
+
     /// Installs the same [`FaultPlan`] on every host; before round 0 only.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         for h in self.hosts.iter_mut() {
@@ -1082,6 +1120,12 @@ where
         self.hosts[0].cost()
     }
 
+    /// Per-channel breakdown of the channel-scoped counters of
+    /// [`cost`](Self::cost) (all hosts agree; host 0's copy is returned).
+    pub fn channel_costs(&self) -> &[CostAccount] {
+        self.hosts[0].channel_costs()
+    }
+
     /// Rounds finished so far.
     pub fn round(&self) -> u64 {
         self.hosts[0].round()
@@ -1097,6 +1141,11 @@ where
         self.hosts.len() as u16
     }
 
+    /// Number of channels `K` in the replicated [`ChannelSet`].
+    pub fn channel_count(&self) -> u16 {
+        self.hosts[0].channels.channels()
+    }
+
     /// Consumes the net, returning every node's final state in node-id
     /// order (the same shape as `SyncEngine::into_parts().0`).
     pub fn into_nodes(self) -> Vec<P> {
@@ -1108,4 +1157,53 @@ where
         all.sort_unstable_by_key(|(v, _)| v.index());
         all.into_iter().map(|(_, p)| p).collect()
     }
+}
+
+/// The wire substrate on the unified control surface: every host already
+/// replicates the simulator's global accounting, so no reconciliation is
+/// needed — host 0's view is the engine's view.
+/// [`enable_sparse`](EngineControl::enable_sparse) is a no-op (wire hosts
+/// step dense by construction; pinned identical for frontier-safe
+/// protocols).
+impl<'g, P: Protocol> EngineControl<P> for WireNet<'g, P>
+where
+    P::Msg: WireMsg,
+{
+    fn step_round(&mut self) {
+        WireNet::step_round(self);
+    }
+    fn run(&mut self, max_rounds: u64) -> RunOutcome {
+        WireNet::run(self, max_rounds)
+    }
+    fn round(&self) -> u64 {
+        WireNet::round(self)
+    }
+    fn is_quiescent(&self) -> bool {
+        WireNet::is_quiescent(self)
+    }
+    fn cost(&self) -> CostAccount {
+        *WireNet::cost(self)
+    }
+    fn channel_costs(&self) -> Vec<CostAccount> {
+        WireNet::channel_costs(self).to_vec()
+    }
+    fn channel_count(&self) -> u16 {
+        WireNet::channel_count(self)
+    }
+    fn reattach(&mut self, masks: &[u64]) {
+        WireNet::reattach(self, masks);
+    }
+    fn update_nodes(&mut self, f: &mut dyn FnMut(NodeId, &mut P)) {
+        WireNet::update_nodes(self, f);
+    }
+    fn node(&self, v: NodeId) -> &P {
+        WireNet::node(self, v)
+    }
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        WireNet::set_fault_plan(self, plan);
+    }
+    fn fault_session(&self) -> Option<&FaultSession> {
+        WireNet::fault_session(self)
+    }
+    fn enable_sparse(&mut self) {}
 }

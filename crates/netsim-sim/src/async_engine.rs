@@ -432,6 +432,11 @@ pub struct AsyncEngine<'g, P: AsyncProtocol> {
     chan_counts: Vec<u32>,
     tick: u64,
     cost: CostAccount,
+    /// Per-channel breakdown of the channel-scoped counters in `cost`;
+    /// length `K`.  Under the lockstep configuration it matches the
+    /// synchronous engines' after
+    /// [`reconciled_channel_costs`](crate::lockstep::reconciled_channel_costs).
+    chan_cost: Vec<CostAccount>,
     started: bool,
     /// Nodes currently reporting [`AsyncProtocol::is_done`].
     done_count: usize,
@@ -531,6 +536,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             channels,
             tick: 0,
             cost: CostAccount::new(),
+            chan_cost: vec![CostAccount::new(); k],
             started: false,
             done_count,
             faults: None,
@@ -725,6 +731,17 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
     /// Cost account (rounds = slots elapsed).
     pub fn cost(&self) -> &CostAccount {
         &self.cost
+    }
+
+    /// Per-channel breakdown of the channel-scoped counters of
+    /// [`cost`](Self::cost); see
+    /// [`SyncEngine::channel_costs`](crate::SyncEngine::channel_costs).
+    /// Raw (unreconciled) boundary accounting — under the lockstep
+    /// configuration apply
+    /// [`reconciled_channel_costs`](crate::lockstep::reconciled_channel_costs)
+    /// to compare with a synchronous run.
+    pub fn channel_costs(&self) -> &[CostAccount] {
+        &self.chan_cost
     }
 
     /// Current time in ticks.
@@ -995,6 +1012,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
         // draw when `slot_ticks == 1`.
         let erase_round = (self.tick / self.config.slot_ticks).saturating_sub(1);
         for (c, &count) in self.chan_counts.iter().enumerate() {
+            self.chan_cost[c].add_round();
             if count > 0
                 && self
                     .faults
@@ -1009,8 +1027,10 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                     self.slab.park(msg, k);
                 }
                 self.cost.add_erased_slot(u64::from(count));
+                self.chan_cost[c].add_erased_slot(u64::from(count));
             } else {
                 self.cost.add_channel_slot(u64::from(count));
+                self.chan_cost[c].add_channel_slot(u64::from(count));
             }
         }
         // Lane erasure shares the channel's erasure draw (the round's
@@ -1028,6 +1048,7 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
             {
                 lane_outcomes[c] = LaneOutcome::Erased;
                 self.cost.add_erased_lanes(u64::from(count));
+                self.chan_cost[c].add_erased_lanes(u64::from(count));
             } else {
                 if let Some(bit) = self
                     .faults
@@ -1038,8 +1059,10 @@ impl<'g, P: AsyncProtocol> AsyncEngine<'g, P> {
                         *w ^= 1u64 << bit;
                     }
                     self.cost.add_corrupted_payloads(1);
+                    self.chan_cost[c].add_corrupted_payloads(1);
                 }
                 self.cost.add_lane_slot(u64::from(count));
+                self.chan_cost[c].add_lane_slot(u64::from(count));
             }
         }
 

@@ -493,6 +493,12 @@ pub struct SyncEngine<'g, P: Protocol> {
     /// Pooled per-block write cursors of the radix pass; length `blocks + 1`.
     block_cursors: Vec<u32>,
     cost: CostAccount,
+    /// Per-channel breakdown of the channel-scoped counters in `cost`
+    /// (rounds, slot classification, lane classification, corruption);
+    /// length `K`.  Point-to-point counters stay global-only.  This is the
+    /// contention signal [`reshard::ContentionMonitor`](crate::reshard)
+    /// consumes as deltas.
+    chan_cost: Vec<CostAccount>,
     round: u64,
     /// Number of nodes currently reporting [`Protocol::is_done`]; maintained
     /// incrementally so quiescence is O(1).
@@ -585,6 +591,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             scratch: Vec::new(),
             block_cursors: Vec::new(),
             cost: CostAccount::new(),
+            chan_cost: vec![CostAccount::new(); k],
             round: 0,
             done_count,
             faults: None,
@@ -834,6 +841,17 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
     /// The cost account accumulated so far.
     pub fn cost(&self) -> &CostAccount {
         &self.cost
+    }
+
+    /// Per-channel breakdown of the channel-scoped counters of
+    /// [`cost`](Self::cost): entry `c` carries channel `c`'s rounds, slot
+    /// classification (idle / success / collision / erased), write attempts,
+    /// and lane counters.  Point-to-point counters (`p2p_messages`,
+    /// `dropped_messages`, `crashed_rounds`) are not channel-scoped and stay
+    /// zero here.  Summing the channel-scoped counters over all `K` entries
+    /// reproduces the global account's.
+    pub fn channel_costs(&self) -> &[CostAccount] {
+        &self.chan_cost
     }
 
     /// Rounds executed so far.
@@ -1119,11 +1137,13 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         self.cost.add_round();
         self.nonidle_slots = 0;
         for (c, &count) in self.chan_counts.iter().enumerate() {
+            self.chan_cost[c].add_round();
             if count == 0 {
                 // An idle slot can never be erased: erasure models the loss
                 // of a transmission, and nothing was transmitted.
                 self.slot_outcomes[c] = ChannelOutcome::Idle;
                 self.cost.add_channel_slot(0);
+                self.chan_cost[c].add_channel_slot(0);
             } else if self
                 .faults
                 .as_ref()
@@ -1136,9 +1156,11 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 self.slot_outcomes[c] = ChannelOutcome::Erased;
                 self.nonidle_slots += 1;
                 self.cost.add_erased_slot(u64::from(count));
+                self.chan_cost[c].add_erased_slot(u64::from(count));
             } else {
                 self.nonidle_slots += 1;
                 self.cost.add_channel_slot(u64::from(count));
+                self.chan_cost[c].add_channel_slot(u64::from(count));
             }
         }
         // Lane sub-slots: idle lanes cost nothing (see
@@ -1158,6 +1180,7 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 self.prev_lanes[c] = LaneOutcome::Erased;
                 self.nonidle_lanes += 1;
                 self.cost.add_erased_lanes(u64::from(count));
+                self.chan_cost[c].add_erased_lanes(u64::from(count));
             } else {
                 let mut word = self.lane_accum[c];
                 if let Some(bit) = self
@@ -1167,10 +1190,12 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
                 {
                     word ^= 1u64 << bit;
                     self.cost.add_corrupted_payloads(1);
+                    self.chan_cost[c].add_corrupted_payloads(1);
                 }
                 self.prev_lanes[c] = LaneOutcome::Word(word);
                 self.nonidle_lanes += 1;
                 self.cost.add_lane_slot(u64::from(count));
+                self.chan_cost[c].add_lane_slot(u64::from(count));
             }
         }
         self.chan_writes.clear();

@@ -144,6 +144,10 @@ pub struct FaultPlan {
     events: Vec<FaultEvent>,
     /// Nodes that start `Off` instead of `Operational`.
     initial_off: Vec<NodeId>,
+    /// A link partition: `(first_round, end_round, side)` — every message
+    /// crossing the cut between `side` (sorted) and its complement is
+    /// dropped in rounds `first_round..end_round`.
+    partition: Option<(u64, u64, Vec<NodeId>)>,
 }
 
 impl FaultPlan {
@@ -183,6 +187,7 @@ impl FaultPlan {
             corrupt_p: 0.0,
             events: Vec::new(),
             initial_off: Vec::new(),
+            partition: None,
         }
     }
 
@@ -221,6 +226,35 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a **link partition**: in rounds `first_round..end_round`, every
+    /// point-to-point message crossing the cut between `side` and its
+    /// complement is dropped — *correlated* drops on an edge cut, unlike
+    /// the independent per-edge coin flips of `drop_p`.  Drops apply at the
+    /// same delivery boundary as rate drops (sent and counted as dropped,
+    /// never delivered); channel traffic is unaffected, which is exactly
+    /// the adversary the re-sharding veto census exists to catch.  The
+    /// window heals at `end_round`: messages sent in round `end_round` or
+    /// later cross normally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_round >= end_round`.
+    pub fn with_partition(
+        mut self,
+        first_round: u64,
+        end_round: u64,
+        mut side: Vec<NodeId>,
+    ) -> Self {
+        assert!(
+            first_round < end_round,
+            "partition window {first_round}..{end_round} is empty"
+        );
+        side.sort();
+        side.dedup();
+        self.partition = Some((first_round, end_round, side));
+        self
+    }
+
     /// `true` when the plan can never produce a fault.
     pub fn is_null(&self) -> bool {
         self.erase_p <= 0.0
@@ -230,6 +264,7 @@ impl FaultPlan {
             && self.corrupt_p <= 0.0
             && self.events.is_empty()
             && self.initial_off.is_empty()
+            && self.partition.is_none()
     }
 
     fn rng(&self) -> FaultRng {
@@ -267,8 +302,16 @@ impl FaultPlan {
 
     /// Stateless draw: are the messages sent in round `round` over the
     /// directed edge `from → to` dropped?  One draw covers every same-round
-    /// copy on that edge.
+    /// copy on that edge.  A [`with_partition`](Self::with_partition) cut
+    /// drops deterministically (no draw) while its window is open.
     pub fn drops_message(&self, round: u64, from: NodeId, to: NodeId) -> bool {
+        if let Some((first, end, side)) = &self.partition {
+            if (*first..*end).contains(&round)
+                && side.binary_search(&from).is_ok() != side.binary_search(&to).is_ok()
+            {
+                return true;
+            }
+        }
         self.drop_p > 0.0
             && self.rng().split(DOMAIN_DROP).chance(
                 round,
@@ -535,6 +578,26 @@ mod tests {
         // rounds the fired flips must not all land on the same bit.
         let bits: Vec<u32> = fwd.iter().flatten().copied().collect();
         assert!(bits.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn partition_drops_exactly_the_cut_in_its_window() {
+        let plan = FaultPlan::none().with_partition(3, 6, vec![NodeId(0), NodeId(2)]);
+        assert!(!plan.is_null());
+        for r in 0..10 {
+            let open = (3..6).contains(&r);
+            // Cross-cut pairs drop iff the window is open, both directions.
+            assert_eq!(plan.drops_message(r, NodeId(0), NodeId(1)), open);
+            assert_eq!(plan.drops_message(r, NodeId(1), NodeId(2)), open);
+            // Same-side pairs never drop.
+            assert!(!plan.drops_message(r, NodeId(0), NodeId(2)));
+            assert!(!plan.drops_message(r, NodeId(1), NodeId(3)));
+        }
+        // Rate drops still layer on top of the cut.
+        let layered =
+            FaultPlan::from_rates(9, 0.0, 0.5, 0.0, 0.0).with_partition(0, 1, vec![NodeId(0)]);
+        assert!(layered.drops_message(0, NodeId(0), NodeId(1)));
+        assert!((0..200).any(|r| layered.drops_message(r, NodeId(1), NodeId(3))));
     }
 
     #[test]

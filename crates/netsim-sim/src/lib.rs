@@ -113,6 +113,7 @@
 
 mod async_engine;
 mod channel;
+pub mod control;
 mod engine;
 pub mod fault;
 pub mod lockstep;
@@ -121,6 +122,7 @@ mod node;
 pub mod payload;
 pub mod protocols;
 pub mod reference;
+pub mod reshard;
 pub mod wire;
 
 pub use async_engine::{AsyncConfig, AsyncCtx, AsyncEngine, AsyncProtocol};
@@ -128,9 +130,12 @@ pub use channel::{
     fdma_slot_lengths, resolve_lanes, resolve_slot, resolve_slots, ChannelId, ChannelSet,
     LaneOutcome, SlotOutcome, SlotState, MAX_CHANNELS,
 };
+pub use control::{EngineBuilder, EngineControl};
 pub use engine::{tuned_block_shift, RunOutcome, SyncEngine};
 pub use fault::{FaultEvent, FaultPlan, FaultSession, NodeLifecycle};
-pub use lockstep::{lockstep_config, reconciled_cost, reconciled_cost_faulted, Lockstep};
+pub use lockstep::{
+    lockstep_config, reconciled_channel_costs, reconciled_cost, reconciled_cost_faulted, Lockstep,
+};
 pub use metrics::CostAccount;
 pub use node::{DrainSends, Inbox, InboxIter, OutboxBuffer, Protocol, RoundIo};
 pub use payload::{PayloadArena, PayloadHandle};

@@ -54,6 +54,24 @@ pub fn reconciled_cost(mut cost: crate::CostAccount, k: u16) -> crate::CostAccou
     cost
 }
 
+/// Per-channel counterpart of [`reconciled_cost`]: adds the one axiomatic
+/// all-idle round (and its idle slot) to every channel's account.  After
+/// this adjustment the per-channel accounts of a lockstep run
+/// ([`AsyncEngine::channel_costs`](crate::AsyncEngine::channel_costs)) are
+/// bit-identical to the synchronous engines' — the channel-scoped counters
+/// carry no churn, so no faulted variant is needed.
+pub fn reconciled_channel_costs(costs: &[crate::CostAccount]) -> Vec<crate::CostAccount> {
+    costs
+        .iter()
+        .map(|&c| {
+            let mut c = c;
+            c.add_round();
+            c.add_channel_slot(0);
+            c
+        })
+        .collect()
+}
+
 /// [`reconciled_cost`] for runs with an installed
 /// [`FaultPlan`](crate::FaultPlan): the synchronous run's final all-idle
 /// round also charges that round's churn, which the lockstep run's last

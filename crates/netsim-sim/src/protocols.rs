@@ -332,6 +332,26 @@ impl ChannelShardedSum {
         ChannelSet::sharded(k, n, |v| ChannelId((v.index() % k as usize) as u16))
     }
 
+    /// Per-node state under an **arbitrary** shard assignment: this node
+    /// computes on `chan` as the `rank`-th of `shard_size` members (ranks
+    /// are the shard's TDMA schedule, so every member of a shard must
+    /// receive a distinct rank in `0..shard_size`).  [`new`](Self::new) is
+    /// the `v mod k` special case; adaptive re-sharding
+    /// (`netsim_sim::reshard`) reseeds with this after migrating nodes
+    /// between channels.
+    pub fn with_assignment(chan: ChannelId, rank: u64, shard_size: u64, value: u64) -> Self {
+        ChannelShardedSum {
+            chan,
+            rank,
+            shard_size,
+            value,
+            sum: 0,
+            turn: 0,
+            strikes: 0,
+            crashed_out: false,
+        }
+    }
+
     /// Sum of the values of this node's shard (meaningful once done).
     pub fn sum(&self) -> u64 {
         self.sum

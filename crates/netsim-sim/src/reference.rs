@@ -53,6 +53,11 @@ pub struct ReferenceEngine<'g, P: Protocol> {
     /// ([`resolve_lanes`]); length `K`.
     prev_lanes: Vec<LaneOutcome>,
     cost: CostAccount,
+    /// Per-channel breakdown of the channel-scoped counters in `cost`;
+    /// length `K`.  Mirrors
+    /// [`SyncEngine::channel_costs`](crate::SyncEngine::channel_costs)
+    /// bit-for-bit.
+    chan_cost: Vec<CostAccount>,
     round: u64,
     /// Injected-fault session, when [`ReferenceEngine::set_fault_plan`]
     /// installed one.
@@ -113,6 +118,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             prev_slots: (0..k).map(|_| SlotOutcome::Idle).collect(),
             prev_lanes: vec![LaneOutcome::Idle; k as usize],
             cost: CostAccount::new(),
+            chan_cost: vec![CostAccount::new(); k as usize],
             round: 0,
             faults: None,
             sparse: false,
@@ -266,6 +272,13 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
     /// Immutable access to all protocol states, indexed by node id.
     pub fn nodes(&self) -> &[P] {
         &self.nodes
+    }
+
+    /// Per-channel breakdown of the channel-scoped counters of
+    /// [`cost`](Self::cost); see
+    /// [`SyncEngine::channel_costs`](crate::SyncEngine::channel_costs).
+    pub fn channel_costs(&self) -> &[CostAccount] {
+        &self.chan_cost
     }
 
     /// The cost account accumulated so far.
@@ -424,6 +437,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             counts[chan.index()] += 1;
         }
         for (c, count) in counts.into_iter().enumerate() {
+            self.chan_cost[c].add_round();
             // Erasure at the resolve boundary, busy slots only: the cloned
             // winner (if any) is discarded and replaced by the distinguished
             // `Erased` feedback.
@@ -435,8 +449,10 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             {
                 self.prev_slots[c] = SlotOutcome::Erased;
                 self.cost.add_erased_slot(count);
+                self.chan_cost[c].add_erased_slot(count);
             } else {
                 self.cost.add_channel_slot(count);
+                self.chan_cost[c].add_channel_slot(count);
             }
         }
         // Lane sub-slots: the OR-merged words, with the erasure sharing the
@@ -459,6 +475,7 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
             {
                 self.prev_lanes[c] = LaneOutcome::Erased;
                 self.cost.add_erased_lanes(count);
+                self.chan_cost[c].add_erased_lanes(count);
             } else {
                 if let Some(bit) = self
                     .faults
@@ -469,8 +486,10 @@ impl<'g, P: Protocol> ReferenceEngine<'g, P> {
                         *w ^= 1u64 << bit;
                     }
                     self.cost.add_corrupted_payloads(1);
+                    self.chan_cost[c].add_corrupted_payloads(1);
                 }
                 self.cost.add_lane_slot(count);
+                self.chan_cost[c].add_lane_slot(count);
             }
         }
         std::mem::swap(&mut self.pending, &mut self.next_pending);

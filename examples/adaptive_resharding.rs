@@ -1,0 +1,94 @@
+//! Adaptive channel re-sharding: a Zipf-skewed sharded global sum whose
+//! channel attachment is rebalanced *by the network itself* between
+//! repetitions.
+//!
+//! Channel 0 starts with a harmonic share of all nodes, so its oversized
+//! shard serialises the TDMA schedule.  After each window a contention
+//! monitor reads the engine's per-channel cost deltas; when the hot/cold
+//! skew exceeds the bound, the merged hot+cold shard grows a Wilson-walk
+//! spanning tree over the collision channel, cuts it at the balance-optimal
+//! edge, and the cut subtree migrates — all as engine-executed rounds of the
+//! protocol in `netsim_sim::reshard`, not driver-side bookkeeping.
+//!
+//! The driver (`multimedia::rebalance::rebalanced_sum`) is written once
+//! against the `EngineControl` trait, so the same code runs on the flat,
+//! reference, lockstep-async, and loopback-UDP wire substrates with a
+//! bit-identical decision trace.
+//!
+//! Run with: `cargo run --example adaptive_resharding`
+
+use multimedia_net::graph::generators;
+use multimedia_net::multimedia::{
+    mst::MergeSubstrate,
+    rebalance::{rebalanced_sum, zipf_channels},
+    MultimediaNetwork,
+};
+
+fn main() {
+    let n = 1024;
+    let k = 8;
+    let windows = 6;
+    let net = MultimediaNetwork::new(generators::Family::Ring.generate(n, 7));
+    let readings: Vec<u64> = (0..n as u64).map(|i| 20 + (i * 131) % 80).collect();
+    let expected: u64 = readings.iter().fold(0, |a, &v| a.wrapping_add(v));
+
+    // The skewed starting attachment: channel c gets ~1/(c+1) of the nodes.
+    let chans = zipf_channels(n, k, 1);
+
+    let static_run = rebalanced_sum(
+        &net,
+        &readings,
+        &chans,
+        k,
+        windows,
+        None, // attachment frozen: the baseline
+        7,
+        None,
+        MergeSubstrate::Flat,
+    );
+    let adaptive = rebalanced_sum(
+        &net,
+        &readings,
+        &chans,
+        k,
+        windows,
+        Some(2), // re-shard when the hot shard loads 2x the cold one
+        7,
+        None,
+        MergeSubstrate::Flat,
+    );
+
+    for run in [&static_run, &adaptive] {
+        assert!(run.window_totals.iter().all(|&t| t == expected));
+    }
+    println!("{n} nodes, {k} channels, {windows} windows of the sharded sum");
+    println!(
+        "static attachment: {} rounds ({} per window)",
+        static_run.rounds(),
+        static_run.rounds() / u64::from(windows),
+    );
+    println!(
+        "adaptive re-sharding: {} rounds, {} migrations over {} attempts:",
+        adaptive.rounds(),
+        adaptive.migrations,
+        adaptive.events.len(),
+    );
+    for e in &adaptive.events {
+        println!(
+            "  window {}: ch{} ({} load) vs ch{} ({} load) -> {} ({} moved, cut {})",
+            e.window,
+            e.hot.index(),
+            e.hot_load,
+            e.cold.index(),
+            e.cold_load,
+            if e.committed { "commit" } else { "veto" },
+            e.migrated,
+            e.cut,
+        );
+    }
+    assert!(adaptive.rounds() < static_run.rounds());
+    println!(
+        "round win: {:.2}x",
+        static_run.rounds() as f64 / adaptive.rounds() as f64
+    );
+}
